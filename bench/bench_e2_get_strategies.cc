@@ -1,0 +1,147 @@
+// E2 — deriving extents from the type hierarchy: the cost of the
+// generic Get under the three strategies the paper's efficiency
+// discussion anticipates.
+//
+//  * GetScan        — "traverse the whole database ... check the
+//                      structure of each value": one subtype test per
+//                      stored value;
+//  * GetViaIndex    — group values by principal type: one subtype test
+//                      per *distinct* type;
+//  * GetViaExtent   — "keep a set of (statically) typed lists":
+//                      maintained extents, O(result) reads but paying
+//                      subtype tests on every insert.
+//
+// Expected shape: scan grows linearly with database size regardless of
+// result size; the index amortizes to the number of distinct types;
+// extents are the fastest reads but InsertWithExtents shows the insert
+// penalty growing with the number of registered extents.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "dyndb/database.h"
+#include "types/parse.h"
+
+namespace {
+
+using dbpl::core::Value;
+using dbpl::dyndb::Database;
+using dbpl::types::ParseType;
+using dbpl::types::Type;
+
+Type PersonT() { return *ParseType("{Name: String}"); }
+Type EmployeeT() { return *ParseType("{Name: String, Empno: Int, Dept: String}"); }
+
+/// Fills a database with `n` values; `sel_pct` percent are employees
+/// (the Get targets), the rest spread over `hier` other record shapes.
+Database MakeDb(int64_t n, int64_t sel_pct, int64_t hier) {
+  Database db;
+  uint64_t s = 88172645463325252ULL;
+  auto next = [&s]() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  };
+  for (int64_t i = 0; i < n; ++i) {
+    if (next() % 100 < static_cast<uint64_t>(sel_pct)) {
+      db.InsertValue(Value::RecordOf(
+          {{"Name", Value::String("e" + std::to_string(i))},
+           {"Empno", Value::Int(i)},
+           {"Dept", Value::String("Sales")}}));
+    } else {
+      // One of `hier` sibling shapes, none a subtype of Employee.
+      int64_t shape = static_cast<int64_t>(next() % static_cast<uint64_t>(hier));
+      db.InsertValue(Value::RecordOf(
+          {{"Name", Value::String("p" + std::to_string(i))},
+           {"Extra" + std::to_string(shape), Value::Int(i)}}));
+    }
+  }
+  return db;
+}
+
+void BM_GetScan(benchmark::State& state) {
+  Database db = MakeDb(state.range(0), state.range(1), 8);
+  Type t = EmployeeT();
+  size_t found = 0;
+  for (auto _ : state) {
+    auto result = db.GetScan(t);
+    found = result.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["n"] = static_cast<double>(state.range(0));
+  state.counters["sel_pct"] = static_cast<double>(state.range(1));
+  state.counters["found"] = static_cast<double>(found);
+}
+
+void BM_GetViaIndex(benchmark::State& state) {
+  Database db = MakeDb(state.range(0), state.range(1), 8);
+  Type t = EmployeeT();
+  size_t found = 0;
+  for (auto _ : state) {
+    auto result = db.GetViaIndex(t);
+    found = result.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["n"] = static_cast<double>(state.range(0));
+  state.counters["distinct_types"] = static_cast<double>(db.DistinctTypeCount());
+  state.counters["found"] = static_cast<double>(found);
+}
+
+void BM_GetViaExtent(benchmark::State& state) {
+  Database db = MakeDb(state.range(0), state.range(1), 8);
+  (void)db.RegisterExtent("employees", EmployeeT());
+  size_t found = 0;
+  for (auto _ : state) {
+    auto result = db.GetViaExtent(EmployeeT());
+    found = result->size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["n"] = static_cast<double>(state.range(0));
+  state.counters["found"] = static_cast<double>(found);
+}
+
+/// The hidden cost of maintained extents: every insert pays one
+/// subtype check per registered extent.
+void BM_InsertWithExtents(benchmark::State& state) {
+  int64_t extents = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Database db;
+    for (int64_t k = 0; k < extents; ++k) {
+      (void)db.RegisterExtent(
+          "x" + std::to_string(k),
+          *ParseType("{Name: String, Extra" + std::to_string(k) + ": Int}"));
+    }
+    state.ResumeTiming();
+    for (int64_t i = 0; i < 1024; ++i) {
+      db.InsertValue(Value::RecordOf(
+          {{"Name", Value::String("e")},
+           {"Empno", Value::Int(i)},
+           {"Dept", Value::String("Sales")}}));
+    }
+    benchmark::DoNotOptimize(db);
+  }
+  state.counters["registered_extents"] = static_cast<double>(extents);
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+
+}  // namespace
+
+BENCHMARK(BM_GetScan)
+    ->ArgsProduct({{256, 1024, 4096, 16384, 65536}, {1, 10, 50}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_GetViaIndex)
+    ->ArgsProduct({{256, 1024, 4096, 16384, 65536}, {1, 10, 50}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_GetViaExtent)
+    ->ArgsProduct({{256, 1024, 4096, 16384, 65536}, {1, 10, 50}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_InsertWithExtents)
+    ->Arg(0)
+    ->Arg(2)
+    ->Arg(8)
+    ->Arg(32)
+    ->Unit(benchmark::kMicrosecond);

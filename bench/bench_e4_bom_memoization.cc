@@ -1,0 +1,131 @@
+// E4 — the bill-of-materials example: memoizing TotalCost by attaching
+// transient fields to persistent Part objects.
+//
+// The parts explosion is a ladder DAG of depth d (each assembly uses
+// the previous one twice), so the naive recursion visits 2^d parts
+// while the memoized version visits each part once.
+//
+// Expected shape: naive time doubles per depth step; memoized time is
+// linear in d — the paper's motivation for letting transient
+// information attach to persistent structures.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "core/heap.h"
+#include "core/value.h"
+
+namespace {
+
+using dbpl::core::Heap;
+using dbpl::core::Oid;
+using dbpl::core::Value;
+
+Value BasePart(double price) {
+  return Value::RecordOf({{"IsBase", Value::Bool(true)},
+                          {"PurchasePrice", Value::Real(price)},
+                          {"Components", Value::List({})}});
+}
+
+Value Assembly(double cost, const std::vector<std::pair<Oid, double>>& cs) {
+  std::vector<Value> comps;
+  for (const auto& [oid, qty] : cs) {
+    comps.push_back(Value::RecordOf(
+        {{"SubPart", Value::Ref(oid)}, {"Qty", Value::Real(qty)}}));
+  }
+  return Value::RecordOf({{"IsBase", Value::Bool(false)},
+                          {"ManufacturingCost", Value::Real(cost)},
+                          {"Components", Value::List(std::move(comps))}});
+}
+
+Oid BuildLadder(Heap& heap, int64_t depth) {
+  Oid level = heap.Allocate(BasePart(0.5));
+  for (int64_t i = 0; i < depth; ++i) {
+    level = heap.Allocate(Assembly(1.0, {{level, 1.0}, {level, 1.0}}));
+  }
+  return level;
+}
+
+double TotalCostNaive(const Heap& heap, Oid part, uint64_t* visits) {
+  ++*visits;
+  Value p = *heap.Get(part);
+  if (p.FindField("IsBase")->AsBool()) {
+    return p.FindField("PurchasePrice")->AsReal();
+  }
+  double total = p.FindField("ManufacturingCost")->AsReal();
+  for (const Value& c : p.FindField("Components")->elements()) {
+    total += c.FindField("Qty")->AsReal() *
+             TotalCostNaive(heap, c.FindField("SubPart")->AsRef(), visits);
+  }
+  return total;
+}
+
+double TotalCostMemo(Heap& heap, Oid part, uint64_t* visits) {
+  ++*visits;
+  Value p = *heap.Get(part);
+  if (const Value* memo = p.FindField("Memo")) return memo->AsReal();
+  double total;
+  if (p.FindField("IsBase")->AsBool()) {
+    total = p.FindField("PurchasePrice")->AsReal();
+  } else {
+    total = p.FindField("ManufacturingCost")->AsReal();
+    for (const Value& c : p.FindField("Components")->elements()) {
+      total += c.FindField("Qty")->AsReal() *
+               TotalCostMemo(heap, c.FindField("SubPart")->AsRef(), visits);
+    }
+  }
+  (void)heap.Extend(part, Value::RecordOf({{"Memo", Value::Real(total)}}));
+  return total;
+}
+
+void StripMemos(Heap& heap) {
+  for (Oid oid : heap.Oids()) {
+    Value v = *heap.Get(oid);
+    if (v.FindField("Memo") == nullptr) continue;
+    std::vector<std::string> keep;
+    for (const auto& f : v.fields()) {
+      if (f.name != "Memo") keep.push_back(f.name);
+    }
+    (void)heap.Put(oid, v.Project(keep));
+  }
+}
+
+void BM_TotalCostNaive(benchmark::State& state) {
+  Heap heap;
+  Oid root = BuildLadder(heap, state.range(0));
+  uint64_t visits = 0;
+  for (auto _ : state) {
+    visits = 0;
+    double total = TotalCostNaive(heap, root, &visits);
+    benchmark::DoNotOptimize(total);
+  }
+  state.counters["depth"] = static_cast<double>(state.range(0));
+  state.counters["part_visits"] = static_cast<double>(visits);
+}
+
+void BM_TotalCostMemoized(benchmark::State& state) {
+  Heap heap;
+  Oid root = BuildLadder(heap, state.range(0));
+  uint64_t visits = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    StripMemos(heap);  // forget previous iterations' transient fields
+    state.ResumeTiming();
+    visits = 0;
+    double total = TotalCostMemo(heap, root, &visits);
+    benchmark::DoNotOptimize(total);
+  }
+  state.counters["depth"] = static_cast<double>(state.range(0));
+  state.counters["part_visits"] = static_cast<double>(visits);
+}
+
+}  // namespace
+
+BENCHMARK(BM_TotalCostNaive)
+    ->DenseRange(8, 20, 4)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_TotalCostMemoized)
+    ->DenseRange(8, 20, 4)
+    ->Unit(benchmark::kMicrosecond);

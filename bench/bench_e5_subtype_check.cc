@@ -1,0 +1,120 @@
+// E5 — "a certain amount of computation has to take place at the level
+// of types": the cost of the subtype checks that every Get, coerce and
+// class operation performs.
+//
+// Sweeps record width and nesting depth, plus the quantified and
+// recursive checks (existential packing, mu-unfolding) that the
+// Cardelli–Wegner machinery adds.
+//
+// Expected shape: record checks are O(width · depth); mu and
+// existential checks add a constant factor via the coinductive
+// assumption set — cheap enough to justify the paper's claim that the
+// class hierarchy can be *computed* from the type hierarchy.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "types/subtype.h"
+#include "types/type.h"
+
+namespace {
+
+using dbpl::types::Type;
+
+/// A record with `width` Int fields plus, when depth > 1, one nested
+/// record of (width, depth-1).
+Type WideRecord(int64_t width, int64_t depth) {
+  std::vector<std::pair<std::string, Type>> fields;
+  for (int64_t i = 0; i < width; ++i) {
+    fields.emplace_back("f" + std::to_string(i), Type::Int());
+  }
+  if (depth > 1) {
+    fields.emplace_back("nested", WideRecord(width, depth - 1));
+  }
+  return Type::RecordOf(std::move(fields));
+}
+
+/// The subtype: every field of WideRecord plus `extra` more.
+Type WiderRecord(int64_t width, int64_t depth, int64_t extra) {
+  std::vector<std::pair<std::string, Type>> fields;
+  for (int64_t i = 0; i < width + extra; ++i) {
+    fields.emplace_back("f" + std::to_string(i), Type::Int());
+  }
+  if (depth > 1) {
+    fields.emplace_back("nested", WiderRecord(width, depth - 1, extra));
+  }
+  return Type::RecordOf(std::move(fields));
+}
+
+void BM_RecordSubtypeWidth(benchmark::State& state) {
+  Type sup = WideRecord(state.range(0), 1);
+  Type sub = WiderRecord(state.range(0), 1, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dbpl::types::IsSubtype(sub, sup));
+  }
+  state.counters["width"] = static_cast<double>(state.range(0));
+}
+
+void BM_RecordSubtypeDepth(benchmark::State& state) {
+  Type sup = WideRecord(4, state.range(0));
+  Type sub = WiderRecord(4, state.range(0), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dbpl::types::IsSubtype(sub, sup));
+  }
+  state.counters["depth"] = static_cast<double>(state.range(0));
+}
+
+void BM_RecordSubtypeNegative(benchmark::State& state) {
+  // Failing checks (missing one field) cost about the same: the search
+  // stops at the first absent field.
+  Type sup = WideRecord(state.range(0), 1);
+  Type sub = WideRecord(state.range(0) - 1, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dbpl::types::IsSubtype(sub, sup));
+  }
+  state.counters["width"] = static_cast<double>(state.range(0));
+}
+
+void BM_ExistentialPacking(benchmark::State& state) {
+  // Employee ≤ ∃t ≤ Person. t — the element check of Get's result type.
+  Type person = WideRecord(state.range(0), 2);
+  Type employee = WiderRecord(state.range(0), 2, 4);
+  Type package = Type::Exists("t", person, Type::Var("t"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dbpl::types::IsSubtype(employee, package));
+  }
+  state.counters["width"] = static_cast<double>(state.range(0));
+}
+
+void BM_RecursiveSubtype(benchmark::State& state) {
+  // Streams of wider records vs streams of records (equi-recursive).
+  Type sup = Type::Mu("s", Type::RecordOf({{"head", WideRecord(state.range(0), 1)},
+                                           {"tail", Type::Var("s")}}));
+  Type sub = Type::Mu("s", Type::RecordOf(
+                               {{"head", WiderRecord(state.range(0), 1, 4)},
+                                {"tail", Type::Var("s")}}));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dbpl::types::IsSubtype(sub, sup));
+  }
+  state.counters["width"] = static_cast<double>(state.range(0));
+}
+
+void BM_TypeEquivalence(benchmark::State& state) {
+  Type a = WideRecord(state.range(0), 4);
+  Type b = WideRecord(state.range(0), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dbpl::types::TypeEquiv(a, b));
+  }
+  state.counters["width"] = static_cast<double>(state.range(0));
+}
+
+}  // namespace
+
+BENCHMARK(BM_RecordSubtypeWidth)->RangeMultiplier(2)->Range(2, 64);
+BENCHMARK(BM_RecordSubtypeDepth)->DenseRange(1, 8, 1);
+BENCHMARK(BM_RecordSubtypeNegative)->RangeMultiplier(2)->Range(2, 64);
+BENCHMARK(BM_ExistentialPacking)->RangeMultiplier(2)->Range(2, 64);
+BENCHMARK(BM_RecursiveSubtype)->RangeMultiplier(2)->Range(2, 64);
+BENCHMARK(BM_TypeEquivalence)->RangeMultiplier(2)->Range(2, 16);

@@ -1,0 +1,122 @@
+// E6 — principle P2: "while a value persists, so should its
+// description (type)". What does carrying the type descriptor cost?
+//
+//  * EncodeValue / DecodeValue — raw value bytes only (what a Pascal
+//    file would hold; reading at the wrong type is silent corruption);
+//  * EncodeDynamic / DecodeDynamic — self-describing: header + type +
+//    value;
+//  * SchemaCheckedRead — decode a dynamic and verify its carried type
+//    against a requested (super)type, the paper's safe read.
+//
+// Expected shape: the descriptor adds bytes proportional to the *type*
+// size, not the data size, so its relative overhead vanishes as values
+// grow — type-safe persistence is essentially free at database scale.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "dyndb/dynamic.h"
+#include "serial/decoder.h"
+#include "serial/encoder.h"
+#include "types/subtype.h"
+#include "types/type_of.h"
+
+namespace {
+
+using dbpl::ByteBuffer;
+using dbpl::ByteReader;
+using dbpl::core::Value;
+
+/// A list of n employee records.
+Value MakeData(int64_t n) {
+  std::vector<Value> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    out.push_back(Value::RecordOf(
+        {{"Name", Value::String("employee-" + std::to_string(i))},
+         {"Empno", Value::Int(i)},
+         {"Dept", Value::String(i % 2 == 0 ? "Sales" : "Manuf")}}));
+  }
+  return Value::List(std::move(out));
+}
+
+void BM_EncodeValueOnly(benchmark::State& state) {
+  Value v = MakeData(state.range(0));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    ByteBuffer buf;
+    dbpl::serial::EncodeValue(v, &buf);
+    bytes = buf.size();
+    benchmark::DoNotOptimize(buf);
+  }
+  state.counters["records"] = static_cast<double>(state.range(0));
+  state.counters["bytes"] = static_cast<double>(bytes);
+}
+
+void BM_EncodeSelfDescribing(benchmark::State& state) {
+  dbpl::dyndb::Dynamic d = dbpl::dyndb::MakeDynamic(MakeData(state.range(0)));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    ByteBuffer buf;
+    dbpl::serial::EncodeDynamic(d, &buf);
+    bytes = buf.size();
+    benchmark::DoNotOptimize(buf);
+  }
+  state.counters["records"] = static_cast<double>(state.range(0));
+  state.counters["bytes"] = static_cast<double>(bytes);
+}
+
+void BM_DecodeValueOnly(benchmark::State& state) {
+  ByteBuffer buf;
+  dbpl::serial::EncodeValue(MakeData(state.range(0)), &buf);
+  for (auto _ : state) {
+    ByteReader in(buf);
+    auto v = dbpl::serial::DecodeValue(&in);
+    benchmark::DoNotOptimize(v);
+  }
+  state.counters["records"] = static_cast<double>(state.range(0));
+}
+
+void BM_DecodeSelfDescribing(benchmark::State& state) {
+  ByteBuffer buf;
+  dbpl::serial::EncodeDynamic(dbpl::dyndb::MakeDynamic(MakeData(state.range(0))),
+                              &buf);
+  for (auto _ : state) {
+    ByteReader in(buf);
+    auto d = dbpl::serial::DecodeDynamic(&in);
+    benchmark::DoNotOptimize(d);
+  }
+  state.counters["records"] = static_cast<double>(state.range(0));
+}
+
+void BM_SchemaCheckedRead(benchmark::State& state) {
+  // Decode and verify the carried type against the evolved supertype a
+  // recompiled program requests.
+  ByteBuffer buf;
+  dbpl::serial::EncodeDynamic(dbpl::dyndb::MakeDynamic(MakeData(state.range(0))),
+                              &buf);
+  dbpl::types::Type requested = dbpl::types::Type::List(
+      dbpl::types::Type::RecordOf({{"Name", dbpl::types::Type::String()}}));
+  for (auto _ : state) {
+    ByteReader in(buf);
+    auto d = dbpl::serial::DecodeDynamic(&in);
+    bool ok = d.ok() && dbpl::types::IsSubtype(d->type, requested);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.counters["records"] = static_cast<double>(state.range(0));
+}
+
+}  // namespace
+
+BENCHMARK(BM_EncodeValueOnly)->RangeMultiplier(4)->Range(16, 16384)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_EncodeSelfDescribing)->RangeMultiplier(4)->Range(16, 16384)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_DecodeValueOnly)->RangeMultiplier(4)->Range(16, 16384)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_DecodeSelfDescribing)->RangeMultiplier(4)->Range(16, 16384)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SchemaCheckedRead)->RangeMultiplier(4)->Range(16, 16384)
+    ->Unit(benchmark::kMicrosecond);

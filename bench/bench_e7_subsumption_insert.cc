@@ -1,0 +1,121 @@
+// E7 — the cochain admission rule: "we will not admit an object o into
+// a relation R if there is already an object in R which contains as
+// much information as o, and if it is more informative ... we will
+// subsume those objects".
+//
+// Compares the cost of building a collection of n objects under:
+//  * GRelation::Insert — subsumption (O(|R|) dominance scans);
+//  * plain set insert  — structural equality only (the 1NF semantics);
+//  * keyed 1NF insert  — hash-based key enforcement.
+//
+// The comparability rate is controlled by how often a record is a
+// refined copy of an earlier one (extra fields added).
+//
+// Expected shape: subsumption insert is quadratic overall where the
+// flat inserts are ~constant per element — the price of the richer
+// semantics, and the reason keys matter in practice.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "core/grelation.h"
+#include "core/value.h"
+#include "relational/relation.h"
+
+namespace {
+
+using dbpl::core::GRelation;
+using dbpl::core::Value;
+
+/// n records; with probability refine_pct, record i is a strictly more
+/// informative copy of an earlier record (same Name, extra field).
+std::vector<Value> MakeObjects(int64_t n, int64_t refine_pct) {
+  std::vector<Value> out;
+  uint64_t s = 2463534242ULL;
+  auto next = [&s]() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  };
+  for (int64_t i = 0; i < n; ++i) {
+    bool refine = !out.empty() &&
+                  next() % 100 < static_cast<uint64_t>(refine_pct);
+    if (refine) {
+      const Value& base = out[next() % out.size()];
+      out.push_back(base.WithField(
+          "Extra" + std::to_string(next() % 4),
+          Value::Int(static_cast<int64_t>(next() % 100))));
+    } else {
+      out.push_back(Value::RecordOf(
+          {{"Name", Value::String("n" + std::to_string(i))},
+           {"Dept", Value::String(i % 2 == 0 ? "Sales" : "Manuf")}}));
+    }
+  }
+  return out;
+}
+
+void BM_SubsumptionInsert(benchmark::State& state) {
+  auto objects = MakeObjects(state.range(0), state.range(1));
+  size_t final_size = 0;
+  for (auto _ : state) {
+    GRelation r;
+    for (const Value& o : objects) r.Insert(o);
+    final_size = r.size();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["n"] = static_cast<double>(state.range(0));
+  state.counters["refine_pct"] = static_cast<double>(state.range(1));
+  state.counters["final_size"] = static_cast<double>(final_size);
+}
+
+void BM_PlainSetInsert(benchmark::State& state) {
+  auto objects = MakeObjects(state.range(0), state.range(1));
+  size_t final_size = 0;
+  for (auto _ : state) {
+    // The 1NF reading: a set keyed on the whole value; refined copies
+    // coexist with their originals (no subsumption).
+    std::vector<Value> elems = objects;
+    Value set = Value::Set(std::move(elems));
+    final_size = set.elements().size();
+    benchmark::DoNotOptimize(set);
+  }
+  state.counters["n"] = static_cast<double>(state.range(0));
+  state.counters["final_size"] = static_cast<double>(final_size);
+}
+
+void BM_Keyed1NFInsert(benchmark::State& state) {
+  using dbpl::relational::AtomType;
+  using dbpl::relational::Relation;
+  using dbpl::relational::Schema;
+  int64_t n = state.range(0);
+  // Flat total tuples only: the keyed baseline.
+  for (auto _ : state) {
+    auto r = Relation::WithKey(
+        Schema::Of({{"Name", AtomType::kString}, {"Dept", AtomType::kString}}),
+        {"Name"});
+    for (int64_t i = 0; i < n; ++i) {
+      (void)r->Insert({Value::String("n" + std::to_string(i)),
+                       Value::String(i % 2 == 0 ? "Sales" : "Manuf")});
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+
+}  // namespace
+
+BENCHMARK(BM_SubsumptionInsert)
+    ->ArgsProduct({{64, 256, 1024, 4096}, {0, 25, 50}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PlainSetInsert)
+    ->ArgsProduct({{64, 256, 1024, 4096}, {0, 50}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Keyed1NFInsert)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);

@@ -1,0 +1,140 @@
+// E8 — "we ask whether the notion of class is fundamental or whether
+// it can be derived from more primitive constructs": what does the
+// *derived* class construct cost?
+//
+// Creating n instances under:
+//  * ClassSystem::NewInstance into a hierarchy of depth d (type check
+//    + key checks + insertion into every ancestor extent);
+//  * raw heap allocation plus manual extent push (no checks);
+//  * plain vector push (no identity at all).
+//
+// Expected shape: the derived class construct costs one subtype check
+// plus d extent insertions per instance — linear bookkeeping, i.e. the
+// construct is sugar, not a necessary primitive.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "classes/class_system.h"
+#include "core/heap.h"
+#include "types/type.h"
+
+namespace {
+
+using dbpl::core::Heap;
+using dbpl::core::Oid;
+using dbpl::core::Value;
+using dbpl::types::Type;
+
+/// A chain of classes C0 ⊇ C1 ⊇ ... ⊇ C(depth-1); returns the leaf
+/// class name. Class Ci has fields f0..fi.
+std::string DefineChain(dbpl::classes::ClassSystem& classes, int64_t depth) {
+  std::string prev;
+  for (int64_t i = 0; i < depth; ++i) {
+    std::vector<std::pair<std::string, Type>> fields;
+    for (int64_t j = 0; j <= i; ++j) {
+      fields.emplace_back("f" + std::to_string(j), Type::Int());
+    }
+    std::string name = "C" + std::to_string(i);
+    std::vector<std::string> parents;
+    if (!prev.empty()) parents.push_back(prev);
+    (void)classes.DefineVariableClass(name, Type::RecordOf(std::move(fields)),
+                                      parents);
+    prev = name;
+  }
+  return prev;
+}
+
+Value LeafInstance(int64_t depth, int64_t i) {
+  std::vector<dbpl::core::RecordField> fields;
+  for (int64_t j = 0; j < depth; ++j) {
+    fields.push_back({"f" + std::to_string(j), Value::Int(i + j)});
+  }
+  return Value::RecordOf(std::move(fields));
+}
+
+void BM_ClassNewInstance(benchmark::State& state) {
+  int64_t depth = state.range(0);
+  constexpr int64_t kInstances = 512;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Heap heap;
+    dbpl::classes::ClassSystem classes(&heap);
+    std::string leaf = DefineChain(classes, depth);
+    state.ResumeTiming();
+    for (int64_t i = 0; i < kInstances; ++i) {
+      benchmark::DoNotOptimize(
+          classes.NewInstance(leaf, LeafInstance(depth, i)));
+    }
+  }
+  state.counters["hierarchy_depth"] = static_cast<double>(depth);
+  state.SetItemsProcessed(state.iterations() * kInstances);
+}
+
+void BM_RawHeapPlusExtent(benchmark::State& state) {
+  int64_t depth = state.range(0);
+  constexpr int64_t kInstances = 512;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Heap heap;
+    std::vector<std::vector<Oid>> extents(static_cast<size_t>(depth));
+    state.ResumeTiming();
+    for (int64_t i = 0; i < kInstances; ++i) {
+      Oid oid = heap.Allocate(LeafInstance(depth, i));
+      for (auto& extent : extents) extent.push_back(oid);
+      benchmark::DoNotOptimize(oid);
+    }
+    benchmark::DoNotOptimize(extents);
+  }
+  state.counters["hierarchy_depth"] = static_cast<double>(depth);
+  state.SetItemsProcessed(state.iterations() * kInstances);
+}
+
+void BM_PlainVectorPush(benchmark::State& state) {
+  int64_t depth = state.range(0);
+  constexpr int64_t kInstances = 512;
+  for (auto _ : state) {
+    std::vector<Value> values;
+    values.reserve(kInstances);
+    for (int64_t i = 0; i < kInstances; ++i) {
+      values.push_back(LeafInstance(depth, i));
+    }
+    benchmark::DoNotOptimize(values);
+  }
+  state.counters["record_width"] = static_cast<double>(depth);
+  state.SetItemsProcessed(state.iterations() * kInstances);
+}
+
+/// Keys amplify the cost: each insert scans the extent for agreement.
+void BM_ClassNewInstanceWithKey(benchmark::State& state) {
+  int64_t n = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Heap heap;
+    dbpl::classes::ClassSystem classes(&heap);
+    (void)classes.DefineVariableClass(
+        "Keyed", Type::RecordOf({{"f0", Type::Int()}}), {}, {"f0"});
+    state.ResumeTiming();
+    for (int64_t i = 0; i < n; ++i) {
+      benchmark::DoNotOptimize(classes.NewInstance(
+          "Keyed", Value::RecordOf({{"f0", Value::Int(i)}})));
+    }
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+
+}  // namespace
+
+BENCHMARK(BM_ClassNewInstance)->DenseRange(1, 6, 1)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_RawHeapPlusExtent)->DenseRange(1, 6, 1)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PlainVectorPush)->DenseRange(1, 6, 1)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ClassNewInstanceWithKey)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);

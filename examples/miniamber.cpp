@@ -1,0 +1,120 @@
+// MiniAmber runner: executes a .mam program file, or the built-in demo
+// program (a condensed tour of every paper feature) when no file is
+// given.
+//
+// Usage:
+//   ./build/examples/miniamber [program.mam [persist_dir]]
+//   ./build/examples/miniamber -i          # interactive REPL
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "lang/interp.h"
+
+namespace {
+
+constexpr char kDemo[] = R"(
+-- MiniAmber demo: the paper's features in one program.
+
+-- Structural types; Employee <= Person is inferred, not declared.
+type Person = {Name: String, Address: {City: String}};
+type Employee = {Name: String, Address: {City: String},
+                 Empno: Int, Dept: String};
+
+-- Amber's Dynamic.
+let d = dynamic 3;
+coerce d to Int;                       -- 3
+typeof (dynamic {Name = "J Doe"});     -- the carried type
+
+-- The heterogeneous database and the generic Get.
+let db = database;
+insert {Name = "p1", Address = {City = "Moose"}} into db;
+insert {Name = "e1", Address = {City = "Austin"},
+        Empno = 1, Dept = "Sales"} into db;
+insert {Name = "e2", Address = {City = "Austin"},
+        Empno = 2, Dept = "Manuf"} into db;
+insert 42 into db;                     -- anything goes
+
+length(get Person from db);            -- 3
+length(get Employee from db);          -- 2
+map(fun (p: Person) : String => p.Name, get Person from db);
+
+-- Object-level inheritance: the information join.
+let o1 = {Name = "J Doe", Address = {City = "Austin"}};
+o1 join {Emp_no = 1234};
+
+-- A recursive function over data.
+let rec fact(n: Int) : Int = if n <= 1 then 1 else n * fact(n - 1);
+fact(10);
+
+-- Variants with exhaustiveness-checked case, over a recursive Mu type.
+type IntList = Mu l. <nil: {} | cons: {head: Int, tail: l}>;
+let rec total(l: IntList) : Int =
+  case l of nil(u) => 0 | cons(c) => c.head + total(c.tail) end;
+total(<cons = {head = 1, tail = <cons = {head = 2, tail = <nil = {}>}>}>);
+)";
+
+}  // namespace
+
+int RunRepl() {
+  dbpl::lang::Interp interp("/tmp/dbpl_repl_store");
+  std::cout << "MiniAmber REPL — end each statement with ';', Ctrl-D to "
+               "quit.\n";
+  std::string buffer;
+  std::string line;
+  std::cout << "> " << std::flush;
+  while (std::getline(std::cin, line)) {
+    buffer += line;
+    buffer += "\n";
+    // Execute once the input ends with a semicolon.
+    auto last = buffer.find_last_not_of(" \t\n");
+    if (last != std::string::npos && buffer[last] == ';') {
+      auto out = interp.RunIncremental(buffer);
+      if (!out.ok()) {
+        std::cout << "error: " << out.status() << "\n";
+      } else {
+        for (size_t i = 0; i < out->values.size(); ++i) {
+          std::cout << out->values[i] << " : " << out->types[i] << "\n";
+        }
+      }
+      buffer.clear();
+      std::cout << "> " << std::flush;
+    } else {
+      std::cout << "... " << std::flush;
+    }
+  }
+  std::cout << "\n";
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  std::string source = kDemo;
+  std::string persist_dir;
+  if (argc > 1 && std::string(argv[1]) == "-i") {
+    return RunRepl();
+  }
+  if (argc > 1) {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::cerr << "cannot open " << argv[1] << "\n";
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << file.rdbuf();
+    source = buf.str();
+  }
+  if (argc > 2) persist_dir = argv[2];
+
+  dbpl::lang::Interp interp(persist_dir);
+  auto out = interp.Run(source);
+  if (!out.ok()) {
+    std::cerr << "error: " << out.status() << "\n";
+    return 1;
+  }
+  for (size_t i = 0; i < out->values.size(); ++i) {
+    std::cout << out->values[i] << " : " << out->types[i] << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,131 @@
+// The paper's two instance-hierarchy scenarios:
+//
+//  1. The university parking lot: a car is an *instance of* a
+//     make-and-model; the length lives on the make-and-model, not the
+//     car. Deleting the registration tag leaves two indistinguishable
+//     cars that must nevertheless coexist — object identity.
+//
+//  2. The manufacturing plant: products above a price are individuals
+//     (objects with their own weight and completion date); below it
+//     they are classes with number-in-stock — the level in the
+//     instance hierarchy depends on an attribute.
+//
+// Build & run:  ./build/examples/parking_lot
+
+#include <iostream>
+
+#include "classes/class_system.h"
+#include "core/heap.h"
+#include "core/order.h"
+#include "types/parse.h"
+
+using dbpl::core::Value;
+
+int main() {
+  using dbpl::types::ParseType;
+  dbpl::core::Heap heap;
+  dbpl::classes::ClassSystem classes(&heap);
+
+  // -------------------------------------------------------------------
+  // Scenario 1: cars and make-and-models.
+  // Make-and-model is itself represented as data (one level up the
+  // instance hierarchy); cars reference it, so "the Chevy Nova weighs
+  // 3,000 pounds" is asked of the model, not the car.
+  // -------------------------------------------------------------------
+  (void)classes.DefineVariableClass(
+      "MakeModel", *ParseType("{Model: String, LengthFt: Int, WeightLb: Int}"));
+  (void)classes.DefineVariableClass(
+      "Car", *ParseType("{Tag: String, Model: {Model: String}}"));
+
+  auto nova = classes.NewInstance(
+      "MakeModel", Value::RecordOf({{"Model", Value::String("Chevy Nova")},
+                                    {"LengthFt", Value::Int(15)},
+                                    {"WeightLb", Value::Int(3000)}}));
+
+  auto car1 = classes.NewInstance(
+      "Car", Value::RecordOf(
+                 {{"Tag", Value::String("PA-1234")},
+                  {"Model", Value::RecordOf(
+                                {{"Model", Value::String("Chevy Nova")}})}}));
+  (void)car1;
+
+  // Switching levels: "My car is a Chevy Nova. The Chevy Nova weighs
+  // 3,000 pounds." — resolve the car's model against the model extent.
+  Value car = *heap.Get(*car1);
+  const Value* model_key = car.FindField("Model");
+  auto models = classes.ExtentValues("MakeModel");
+  for (const auto& m : *models) {
+    if (dbpl::core::LessEq(*model_key, m)) {
+      std::cout << "car " << *car.FindField("Tag") << " is a "
+                << *m.FindField("Model") << " weighing "
+                << m.FindField("WeightLb")->AsInt() << " lb\n";
+    }
+  }
+  (void)nova;
+
+  // Without tags, two identical cars must coexist: objects are not
+  // identified by intrinsic properties.
+  Value bare = Value::RecordOf(
+      {{"Model",
+        Value::RecordOf({{"Model", Value::String("Chevy Nova")}})}});
+  dbpl::core::Oid twin1 = heap.Allocate(bare);
+  dbpl::core::Oid twin2 = heap.Allocate(bare);
+  std::cout << "two identical cars coexist: oids " << twin1 << " and "
+            << twin2 << ", values equal: " << std::boolalpha
+            << (*heap.Get(twin1) == *heap.Get(twin2)) << "\n\n";
+
+  // -------------------------------------------------------------------
+  // Scenario 2: expensive products are individuals; cheap ones are
+  // classes with stock counts. The "level" is decided by Price.
+  // -------------------------------------------------------------------
+  (void)classes.DefineVariableClass(
+      "ProductKind",
+      *ParseType("{Sku: String, Price: Real, WeightLb: Int, InStock: Int}"));
+  (void)classes.DefineVariableClass(
+      "ProductUnit",
+      *ParseType("{Sku: String, Price: Real, WeightLb: Int, "
+                 "Completed: String}"));
+
+  struct Incoming {
+    const char* sku;
+    double price;
+    int weight;
+  };
+  const Incoming incoming[] = {
+      {"bolt-3in", 0.45, 1}, {"turbine-9", 125000.0, 4200},
+      {"nut-3in", 0.15, 1},  {"press-2", 89000.0, 9800},
+  };
+  const double kIndividualThreshold = 1000.0;
+
+  for (const auto& item : incoming) {
+    if (item.price >= kIndividualThreshold) {
+      // An individual: one object per physical unit.
+      (void)classes.NewInstance(
+          "ProductUnit",
+          Value::RecordOf({{"Sku", Value::String(item.sku)},
+                           {"Price", Value::Real(item.price)},
+                           {"WeightLb", Value::Int(item.weight)},
+                           {"Completed", Value::String("2026-07-06")}}));
+    } else {
+      // A class: stock is a property of the kind.
+      (void)classes.NewInstance(
+          "ProductKind",
+          Value::RecordOf({{"Sku", Value::String(item.sku)},
+                           {"Price", Value::Real(item.price)},
+                           {"WeightLb", Value::Int(item.weight)},
+                           {"InStock", Value::Int(100)}}));
+    }
+  }
+
+  std::cout << "individually-tracked products:\n";
+  auto units = classes.ExtentValues("ProductUnit");
+  for (const auto& v : *units) {
+    std::cout << "  " << v << "\n";
+  }
+  std::cout << "class-tracked products:\n";
+  auto kinds = classes.ExtentValues("ProductKind");
+  for (const auto& v : *kinds) {
+    std::cout << "  " << v << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,328 @@
+#include "classes/class_system.h"
+
+#include <algorithm>
+#include <set>
+
+#include "core/order.h"
+#include "types/subtype.h"
+#include "types/type_of.h"
+
+namespace dbpl::classes {
+
+Status ClassSystem::DefineAggregateClass(const std::string& name,
+                                         types::Type type,
+                                         std::vector<std::string> parents) {
+  return DefineClass(name, std::move(type), std::move(parents), {},
+                     /*has_extent=*/false);
+}
+
+Status ClassSystem::DefineVariableClass(const std::string& name,
+                                        types::Type type,
+                                        std::vector<std::string> parents,
+                                        std::vector<std::string> key) {
+  return DefineClass(name, std::move(type), std::move(parents),
+                     std::move(key), /*has_extent=*/true);
+}
+
+void ClassSystem::EnsureMetaObjects() {
+  if (universal_class_object_ != core::kInvalidOid) return;
+  universal_class_object_ = heap_->Allocate(core::Value::RecordOf(
+      {{"Name", core::Value::String("CLASS")},
+       {"Kind", core::Value::String("UniversalClass")}}));
+  variable_metaclass_object_ = heap_->Allocate(core::Value::RecordOf(
+      {{"Name", core::Value::String("VARIABLE_CLASS")},
+       {"Kind", core::Value::String("MetaClass")},
+       {"InstanceOf", core::Value::Ref(universal_class_object_)}}));
+  aggregate_metaclass_object_ = heap_->Allocate(core::Value::RecordOf(
+      {{"Name", core::Value::String("AGGREGATE_CLASS")},
+       {"Kind", core::Value::String("MetaClass")},
+       {"InstanceOf", core::Value::Ref(universal_class_object_)}}));
+}
+
+Status ClassSystem::DefineClass(const std::string& name, types::Type type,
+                                std::vector<std::string> parents,
+                                std::vector<std::string> key,
+                                bool has_extent) {
+  if (classes_.contains(name)) {
+    return Status::AlreadyExists("class already defined: " + name);
+  }
+  for (const auto& p : parents) {
+    auto it = classes_.find(p);
+    if (it == classes_.end()) {
+      return Status::NotFound("unknown parent class: " + p);
+    }
+    // The class hierarchy is *derived from* the type hierarchy: an
+    // `isa` declaration that the types do not support is rejected.
+    if (!types::IsSubtype(type, it->second.type)) {
+      return Status::TypeError("type of " + name + " (" + type.ToString() +
+                               ") is not a subtype of parent " + p + " (" +
+                               it->second.type.ToString() + ")");
+    }
+  }
+  EnsureMetaObjects();
+  ClassInfo info;
+  info.has_extent = has_extent;
+  info.parents = std::move(parents);
+  info.key = std::move(key);
+  // Reify the class as an object: the class is an *instance of* its
+  // meta-class (the Taxis instance hierarchy).
+  info.class_object = heap_->Allocate(core::Value::RecordOf(
+      {{"Name", core::Value::String(name)},
+       {"Kind", core::Value::String(has_extent ? "VariableClass"
+                                               : "AggregateClass")},
+       {"TypeText", core::Value::String(type.ToString())},
+       {"InstanceOf", core::Value::Ref(has_extent
+                                           ? variable_metaclass_object_
+                                           : aggregate_metaclass_object_)}}));
+  info.type = std::move(type);
+  classes_.emplace(name, std::move(info));
+  return Status::OK();
+}
+
+Result<core::Oid> ClassSystem::ClassObject(const std::string& name) const {
+  auto it = classes_.find(name);
+  if (it == classes_.end()) {
+    return Status::NotFound("unknown class: " + name);
+  }
+  return it->second.class_object;
+}
+
+Result<std::string> ClassSystem::ClassOfInstance(core::Oid oid) const {
+  auto it = instance_class_.find(oid);
+  if (it == instance_class_.end()) {
+    return Status::NotFound("object " + std::to_string(oid) +
+                            " was not created through a class");
+  }
+  return it->second;
+}
+
+Result<std::vector<core::Oid>> ClassSystem::InstanceChain(
+    core::Oid oid) const {
+  DBPL_ASSIGN_OR_RETURN(std::string cls, ClassOfInstance(oid));
+  const ClassInfo& info = classes_.at(cls);
+  return std::vector<core::Oid>{
+      oid, info.class_object,
+      info.has_extent ? variable_metaclass_object_
+                      : aggregate_metaclass_object_,
+      universal_class_object_};
+}
+
+Status ClassSystem::Include(const std::string& sub, const std::string& super) {
+  auto sub_it = classes_.find(sub);
+  if (sub_it == classes_.end()) {
+    return Status::NotFound("unknown class: " + sub);
+  }
+  auto super_it = classes_.find(super);
+  if (super_it == classes_.end()) {
+    return Status::NotFound("unknown class: " + super);
+  }
+  if (sub != super && IsSubclass(super, sub)) {
+    return Status::InvalidArgument("include would create a cycle");
+  }
+  if (!types::IsSubtype(sub_it->second.type, super_it->second.type)) {
+    return Status::TypeError("include rejected: " + sub +
+                             " is not a structural subtype of " + super);
+  }
+  if (IsSubclass(sub, super)) return Status::OK();  // already included
+  sub_it->second.parents.push_back(super);
+  // Retroactively propagate the existing extent upward.
+  if (sub_it->second.has_extent && super_it->second.has_extent) {
+    for (core::Oid oid : sub_it->second.extent) {
+      Result<core::Value> v = heap_->Get(oid);
+      if (!v.ok()) return v.status();
+      for (const auto& cls : AncestorChain(super)) {
+        ClassInfo& info = classes_.at(cls);
+        if (!info.has_extent) continue;
+        if (std::find(info.extent.begin(), info.extent.end(), oid) ==
+            info.extent.end()) {
+          DBPL_RETURN_IF_ERROR(CheckKeys(info, *v, oid));
+          info.extent.push_back(oid);
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> ClassSystem::AncestorChain(
+    const std::string& name) const {
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  std::vector<std::string> work = {name};
+  while (!work.empty()) {
+    std::string cls = work.back();
+    work.pop_back();
+    if (!seen.insert(cls).second) continue;
+    out.push_back(cls);
+    auto it = classes_.find(cls);
+    if (it != classes_.end()) {
+      for (const auto& p : it->second.parents) work.push_back(p);
+    }
+  }
+  return out;
+}
+
+Status ClassSystem::CheckKeys(const ClassInfo& info, const core::Value& v,
+                              core::Oid ignore_oid) const {
+  if (info.key.empty()) return Status::OK();
+  core::Value key_proj = v.kind() == core::ValueKind::kRecord
+                             ? v.Project(info.key)
+                             : core::Value::Bottom();
+  for (const auto& k : info.key) {
+    if (key_proj.kind() != core::ValueKind::kRecord ||
+        key_proj.FindField(k) == nullptr) {
+      return Status::InvalidArgument("instance is missing key attribute " + k);
+    }
+  }
+  for (core::Oid member : info.extent) {
+    if (member == ignore_oid) continue;
+    Result<core::Value> mv = heap_->Get(member);
+    if (!mv.ok()) continue;  // dangling extents are skipped
+    if (mv->kind() != core::ValueKind::kRecord) continue;
+    if (mv->Project(info.key) == key_proj) {
+      return Status::Inconsistent("key violation: an object with key " +
+                                  key_proj.ToString() + " already exists");
+    }
+  }
+  return Status::OK();
+}
+
+Result<core::Oid> ClassSystem::NewInstance(const std::string& class_name,
+                                           core::Value v) {
+  auto it = classes_.find(class_name);
+  if (it == classes_.end()) {
+    return Status::NotFound("unknown class: " + class_name);
+  }
+  if (!it->second.has_extent) {
+    return Status::Unsupported("class " + class_name +
+                               " has no extent (aggregate class)");
+  }
+  types::Type principal = types::TypeOf(v);
+  if (!types::IsSubtype(principal, it->second.type)) {
+    return Status::TypeError("value of type " + principal.ToString() +
+                             " is not an instance of " + class_name);
+  }
+  std::vector<std::string> chain = AncestorChain(class_name);
+  for (const auto& cls : chain) {
+    const ClassInfo& info = classes_.at(cls);
+    if (info.has_extent) DBPL_RETURN_IF_ERROR(CheckKeys(info, v, 0));
+  }
+  core::Oid oid = heap_->Allocate(std::move(v));
+  for (const auto& cls : chain) {
+    ClassInfo& info = classes_.at(cls);
+    if (info.has_extent) info.extent.push_back(oid);
+  }
+  instance_class_[oid] = class_name;
+  return oid;
+}
+
+Result<core::Oid> ClassSystem::Specialize(core::Oid oid,
+                                          const std::string& subclass,
+                                          const core::Value& extra) {
+  auto it = classes_.find(subclass);
+  if (it == classes_.end()) {
+    return Status::NotFound("unknown class: " + subclass);
+  }
+  if (!it->second.has_extent) {
+    return Status::Unsupported("class " + subclass +
+                               " has no extent (aggregate class)");
+  }
+  DBPL_ASSIGN_OR_RETURN(core::Value current, heap_->Get(oid));
+  DBPL_ASSIGN_OR_RETURN(core::Value joined, core::Join(current, extra));
+  types::Type principal = types::TypeOf(joined);
+  if (!types::IsSubtype(principal, it->second.type)) {
+    return Status::TypeError("specialized value of type " +
+                             principal.ToString() +
+                             " is not an instance of " + subclass);
+  }
+  std::vector<std::string> chain = AncestorChain(subclass);
+  for (const auto& cls : chain) {
+    const ClassInfo& info = classes_.at(cls);
+    if (info.has_extent) DBPL_RETURN_IF_ERROR(CheckKeys(info, joined, oid));
+  }
+  DBPL_RETURN_IF_ERROR(heap_->Put(oid, std::move(joined)));
+  for (const auto& cls : chain) {
+    ClassInfo& info = classes_.at(cls);
+    if (info.has_extent &&
+        std::find(info.extent.begin(), info.extent.end(), oid) ==
+            info.extent.end()) {
+      info.extent.push_back(oid);
+    }
+  }
+  instance_class_[oid] = subclass;
+  return oid;
+}
+
+Status ClassSystem::Remove(const std::string& class_name, core::Oid oid) {
+  auto it = classes_.find(class_name);
+  if (it == classes_.end()) {
+    return Status::NotFound("unknown class: " + class_name);
+  }
+  bool removed = false;
+  // Remove from this class and every class that includes it (i.e., any
+  // class whose extent the object may have joined through this one) —
+  // the paper's extent-subset constraint must keep holding downward:
+  // remove from `class_name` and every *descendant*.
+  for (auto& [name, info] : classes_) {
+    if (!info.has_extent) continue;
+    if (name == class_name || IsSubclass(name, class_name)) {
+      auto pos = std::find(info.extent.begin(), info.extent.end(), oid);
+      if (pos != info.extent.end()) {
+        info.extent.erase(pos);
+        if (name == class_name) removed = true;
+      }
+    }
+  }
+  if (!removed) {
+    return Status::NotFound("object is not in the extent of " + class_name);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<core::Oid>> ClassSystem::Extent(
+    const std::string& class_name) const {
+  auto it = classes_.find(class_name);
+  if (it == classes_.end()) {
+    return Status::NotFound("unknown class: " + class_name);
+  }
+  if (!it->second.has_extent) {
+    return Status::Unsupported("class " + class_name +
+                               " has no extent (aggregate class)");
+  }
+  return it->second.extent;
+}
+
+Result<std::vector<core::Value>> ClassSystem::ExtentValues(
+    const std::string& class_name) const {
+  DBPL_ASSIGN_OR_RETURN(std::vector<core::Oid> oids, Extent(class_name));
+  std::vector<core::Value> out;
+  out.reserve(oids.size());
+  for (core::Oid oid : oids) {
+    DBPL_ASSIGN_OR_RETURN(core::Value v, heap_->Get(oid));
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+Result<types::Type> ClassSystem::ClassType(const std::string& name) const {
+  auto it = classes_.find(name);
+  if (it == classes_.end()) {
+    return Status::NotFound("unknown class: " + name);
+  }
+  return it->second.type;
+}
+
+bool ClassSystem::IsSubclass(const std::string& sub,
+                             const std::string& super) const {
+  std::vector<std::string> chain = AncestorChain(sub);
+  return std::find(chain.begin(), chain.end(), super) != chain.end();
+}
+
+std::vector<std::string> ClassSystem::ClassNames() const {
+  std::vector<std::string> out;
+  out.reserve(classes_.size());
+  for (const auto& [name, _] : classes_) out.push_back(name);
+  return out;
+}
+
+}  // namespace dbpl::classes

@@ -1,0 +1,151 @@
+#ifndef DBPL_CLASSES_CLASS_SYSTEM_H_
+#define DBPL_CLASSES_CLASS_SYSTEM_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/heap.h"
+#include "core/value.h"
+#include "types/type.h"
+
+namespace dbpl::classes {
+
+/// The class constructs of Taxis / Adaplex / Galileo, built entirely
+/// from this library's orthogonal primitives — demonstrating the
+/// paper's central question ("whether the notion of class is
+/// fundamental or whether it can be derived from more primitive
+/// constructs") in the affirmative:
+///
+///  * an **aggregate class** (Taxis AGGREGATE_CLASS) is just a named
+///    type;
+///  * a **variable class** (Taxis VARIABLE_CLASS, Adaplex entity,
+///    Galileo class) is a type *plus* a maintained extent of heap
+///    objects, with explicit insertion and deletion;
+///  * declaring `EMPLOYEE isa PERSON` (or Adaplex
+///    `include Employee in Person`) makes every instance of the
+///    subclass a member of the superclass extent — and the declaration
+///    is only accepted when the subclass *type* is a structural subtype
+///    of the superclass type, so the class hierarchy cannot contradict
+///    the type hierarchy it is derived from;
+///  * keys: a variable class may declare key attributes; inserting an
+///    object whose key agrees with an existing member is rejected —
+///    which, as the paper notes, also prevents `⊑`-comparable objects
+///    from coexisting in the extent.
+///
+/// Object-level inheritance is `Specialize`: an existing Person object
+/// becomes an Employee *in place* (its value joined with the new
+/// fields, its identity unchanged), the operation the paper points out
+/// Amber cannot express.
+class ClassSystem {
+ public:
+  /// `heap` must outlive the class system; instances live there.
+  explicit ClassSystem(core::Heap* heap) : heap_(heap) {}
+
+  /// Defines a class with no extent (a named type).
+  Status DefineAggregateClass(const std::string& name, types::Type type,
+                              std::vector<std::string> parents = {});
+
+  /// Defines a class with a maintained extent. Each parent must exist,
+  /// and `type` must be a structural subtype of every parent's type.
+  Status DefineVariableClass(const std::string& name, types::Type type,
+                             std::vector<std::string> parents = {},
+                             std::vector<std::string> key = {});
+
+  /// Adaplex's `include sub in super`, declared after the fact. Every
+  /// current and future member of `sub`'s extent joins `super`'s.
+  Status Include(const std::string& sub, const std::string& super);
+
+  /// Creates an instance: checks the value against the class type and
+  /// the keys of the class and its ancestors, allocates a heap object,
+  /// and inserts it into every extent up the hierarchy.
+  Result<core::Oid> NewInstance(const std::string& class_name, core::Value v);
+
+  /// Object-level inheritance: joins `extra` into the object's value
+  /// (in place), verifies the result against `subclass`, and adds the
+  /// object to the subclass extent chain. The object keeps its oid.
+  Result<core::Oid> Specialize(core::Oid oid, const std::string& subclass,
+                               const core::Value& extra);
+
+  /// Removes an object from an extent (and all subclass extents).
+  Status Remove(const std::string& class_name, core::Oid oid);
+
+  /// The extent of a variable class (Unsupported for aggregate classes,
+  /// which "do not have an associated extent").
+  Result<std::vector<core::Oid>> Extent(const std::string& class_name) const;
+
+  /// Extent materialized as values.
+  Result<std::vector<core::Value>> ExtentValues(
+      const std::string& class_name) const;
+
+  Result<types::Type> ClassType(const std::string& name) const;
+
+  /// Reflexive-transitive subclass test.
+  bool IsSubclass(const std::string& sub, const std::string& super) const;
+
+  bool HasClass(const std::string& name) const {
+    return classes_.contains(name);
+  }
+  std::vector<std::string> ClassNames() const;
+
+  // --- The instance (is-a-kind-of) hierarchy, Taxis-style. ----------
+  //
+  // Taxis makes EMPLOYEE an *instance of* the meta-class
+  // VARIABLE_CLASS as well as a subclass of PERSON. Here every defined
+  // class is reified as a heap object, the two meta-classes are
+  // themselves objects, and both are instances of the universal class
+  // object — so programs can "move up and down the instance hierarchy"
+  // as the paper's parking-lot scenarios require.
+
+  /// The heap object reifying class `name` (a record with Name/Meta).
+  Result<core::Oid> ClassObject(const std::string& name) const;
+
+  /// The most specific class that created instance `oid` via
+  /// NewInstance/Specialize.
+  Result<std::string> ClassOfInstance(core::Oid oid) const;
+
+  /// The instance chain of an object: the object itself, its class
+  /// object, its meta-class object, and the universal class object —
+  /// the paper's "two-level" value/type hierarchy, extended to the
+  /// Taxis three-plus levels.
+  Result<std::vector<core::Oid>> InstanceChain(core::Oid oid) const;
+
+ private:
+  struct ClassInfo {
+    types::Type type;
+    bool has_extent = false;
+    std::vector<std::string> parents;
+    std::vector<std::string> key;
+    std::vector<core::Oid> extent;
+    /// The heap object reifying this class.
+    core::Oid class_object = core::kInvalidOid;
+  };
+
+  /// Lazily allocates the universal and meta-class objects.
+  void EnsureMetaObjects();
+
+  Status DefineClass(const std::string& name, types::Type type,
+                     std::vector<std::string> parents,
+                     std::vector<std::string> key, bool has_extent);
+
+  /// `name` and all its ancestors, deduplicated, name first.
+  std::vector<std::string> AncestorChain(const std::string& name) const;
+
+  /// Checks `v` against the keys of class `info`'s extent.
+  Status CheckKeys(const ClassInfo& info, const core::Value& v,
+                   core::Oid ignore_oid) const;
+
+  core::Heap* heap_;
+  std::map<std::string, ClassInfo> classes_;
+  /// Most specific creating class per instance.
+  std::map<core::Oid, std::string> instance_class_;
+  /// Reified meta-objects (allocated on first class definition).
+  core::Oid universal_class_object_ = core::kInvalidOid;
+  core::Oid variable_metaclass_object_ = core::kInvalidOid;
+  core::Oid aggregate_metaclass_object_ = core::kInvalidOid;
+};
+
+}  // namespace dbpl::classes
+
+#endif  // DBPL_CLASSES_CLASS_SYSTEM_H_

@@ -1,0 +1,113 @@
+#include "common/bytes.h"
+
+#include <cstring>
+
+namespace dbpl {
+
+void ByteBuffer::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) bytes_.push_back((v >> (8 * i)) & 0xFF);
+}
+
+void ByteBuffer::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) bytes_.push_back((v >> (8 * i)) & 0xFF);
+}
+
+void ByteBuffer::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    bytes_.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  bytes_.push_back(static_cast<uint8_t>(v));
+}
+
+void ByteBuffer::PutVarintSigned(int64_t v) {
+  // Zig-zag: maps small negative numbers to small unsigned numbers.
+  uint64_t zz =
+      (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+  PutVarint(zz);
+}
+
+void ByteBuffer::PutDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void ByteBuffer::PutString(std::string_view s) {
+  PutVarint(s.size());
+  PutRaw(s.data(), s.size());
+}
+
+void ByteBuffer::PutRaw(const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  bytes_.insert(bytes_.end(), p, p + n);
+}
+
+Result<uint8_t> ByteReader::ReadU8() {
+  if (remaining() < 1) return Status::Corruption("truncated u8");
+  return data_[pos_++];
+}
+
+Result<uint32_t> ByteReader::ReadU32() {
+  if (remaining() < 4) return Status::Corruption("truncated u32");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+Result<uint64_t> ByteReader::ReadU64() {
+  if (remaining() < 8) return Status::Corruption("truncated u64");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+Result<uint64_t> ByteReader::ReadVarint() {
+  uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (pos_ >= size_) return Status::Corruption("truncated varint");
+    if (shift >= 64) return Status::Corruption("varint too long");
+    uint8_t b = data_[pos_++];
+    v |= static_cast<uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+  }
+  return v;
+}
+
+Result<int64_t> ByteReader::ReadVarintSigned() {
+  DBPL_ASSIGN_OR_RETURN(uint64_t zz, ReadVarint());
+  return static_cast<int64_t>((zz >> 1) ^ (~(zz & 1) + 1));
+}
+
+Result<double> ByteReader::ReadDouble() {
+  DBPL_ASSIGN_OR_RETURN(uint64_t bits, ReadU64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> ByteReader::ReadString() {
+  DBPL_ASSIGN_OR_RETURN(uint64_t n, ReadVarint());
+  if (remaining() < n) return Status::Corruption("truncated string");
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+Status ByteReader::ReadRaw(void* out, size_t n) {
+  if (remaining() < n) return Status::Corruption("truncated raw read");
+  std::memcpy(out, data_ + pos_, n);
+  pos_ += n;
+  return Status::OK();
+}
+
+Status ByteReader::Skip(size_t n) {
+  if (remaining() < n) return Status::Corruption("skip past end");
+  pos_ += n;
+  return Status::OK();
+}
+
+}  // namespace dbpl

@@ -1,0 +1,87 @@
+#ifndef DBPL_COMMON_BYTES_H_
+#define DBPL_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace dbpl {
+
+/// A growable byte buffer with primitive little-endian and varint append
+/// operations. This is the unit of exchange between the serialization
+/// layer and the storage layer.
+class ByteBuffer {
+ public:
+  ByteBuffer() = default;
+
+  const uint8_t* data() const { return bytes_.data(); }
+  size_t size() const { return bytes_.size(); }
+  bool empty() const { return bytes_.empty(); }
+  void clear() { bytes_.clear(); }
+  void reserve(size_t n) { bytes_.reserve(n); }
+
+  std::vector<uint8_t>& vec() { return bytes_; }
+  const std::vector<uint8_t>& vec() const { return bytes_; }
+
+  /// Appends a single byte.
+  void PutU8(uint8_t v) { bytes_.push_back(v); }
+  /// Appends a 32-bit unsigned integer, little-endian.
+  void PutU32(uint32_t v);
+  /// Appends a 64-bit unsigned integer, little-endian.
+  void PutU64(uint64_t v);
+  /// Appends an unsigned integer in LEB128 varint encoding (1-10 bytes).
+  void PutVarint(uint64_t v);
+  /// Appends a signed integer zig-zag + varint encoded.
+  void PutVarintSigned(int64_t v);
+  /// Appends the IEEE-754 bits of a double, little-endian.
+  void PutDouble(double v);
+  /// Appends a varint length prefix followed by the string bytes.
+  void PutString(std::string_view s);
+  /// Appends raw bytes with no length prefix.
+  void PutRaw(const void* data, size_t n);
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+/// A read cursor over a byte span. All reads are bounds-checked and return
+/// `Corruption` on truncated input, so a damaged file can never crash the
+/// decoder.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size)
+      : data_(data), size_(size), pos_(0) {}
+  explicit ByteReader(const ByteBuffer& buf)
+      : ByteReader(buf.data(), buf.size()) {}
+  explicit ByteReader(std::string_view s)
+      : ByteReader(reinterpret_cast<const uint8_t*>(s.data()), s.size()) {}
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+  Result<uint8_t> ReadU8();
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<uint64_t> ReadVarint();
+  Result<int64_t> ReadVarintSigned();
+  Result<double> ReadDouble();
+  Result<std::string> ReadString();
+  /// Reads exactly `n` raw bytes into `out`.
+  Status ReadRaw(void* out, size_t n);
+  /// Skips `n` bytes.
+  Status Skip(size_t n);
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_;
+};
+
+}  // namespace dbpl
+
+#endif  // DBPL_COMMON_BYTES_H_

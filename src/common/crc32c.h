@@ -1,0 +1,32 @@
+#ifndef DBPL_COMMON_CRC32C_H_
+#define DBPL_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dbpl {
+
+/// CRC-32C (Castagnoli) checksum, as used by the storage layer to detect
+/// corrupted pages and log records. Software table-driven implementation.
+///
+/// `Crc32c(data, n)` computes the checksum of a buffer;
+/// `Crc32cExtend(crc, data, n)` continues a running checksum.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+/// Masks a CRC so that a CRC stored next to the data it covers does not
+/// produce a fixed point (RocksDB/LevelDB trick).
+inline uint32_t MaskCrc(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+inline uint32_t UnmaskCrc(uint32_t masked) {
+  uint32_t rot = masked - 0xa282ead8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace dbpl
+
+#endif  // DBPL_COMMON_CRC32C_H_

@@ -1,0 +1,81 @@
+#ifndef DBPL_COMMON_RESULT_H_
+#define DBPL_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace dbpl {
+
+/// The result of an operation that either yields a `T` or fails with a
+/// `Status`. Analogous to `arrow::Result` / `absl::StatusOr`.
+///
+/// A `Result` constructed from an OK status is a programming error and is
+/// converted to an `Internal` error so it is still observable.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT: implicit by design
+  /// Constructs a failed result holding `status` (must be non-OK).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Status of the operation; OK when a value is present.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// The contained value. Requires `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// The contained value, or `fallback` on error.
+  T value_or(T fallback) const {
+    if (ok()) return value();
+    return fallback;
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Evaluates `rexpr` (a Result<T>), propagating errors; on success binds
+/// the value to `lhs`.
+#define DBPL_ASSIGN_OR_RETURN(lhs, rexpr)              \
+  DBPL_ASSIGN_OR_RETURN_IMPL_(                         \
+      DBPL_RESULT_CONCAT_(_dbpl_result_, __COUNTER__), lhs, rexpr)
+
+#define DBPL_RESULT_CONCAT_INNER_(a, b) a##b
+#define DBPL_RESULT_CONCAT_(a, b) DBPL_RESULT_CONCAT_INNER_(a, b)
+#define DBPL_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+}  // namespace dbpl
+
+#endif  // DBPL_COMMON_RESULT_H_

@@ -1,0 +1,110 @@
+#ifndef DBPL_COMMON_STATUS_H_
+#define DBPL_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace dbpl {
+
+/// Machine-readable classification of a failure.
+///
+/// The library does not throw exceptions across its public API; every
+/// fallible operation returns a `Status` or a `Result<T>` (see result.h),
+/// following the Arrow/RocksDB idiom for database libraries.
+enum class StatusCode {
+  kOk = 0,
+  /// A caller-supplied argument was malformed or out of range.
+  kInvalidArgument,
+  /// A lookup (field, handle, key, OID, class, ...) found nothing.
+  kNotFound,
+  /// An insert/definition collided with an existing entity.
+  kAlreadyExists,
+  /// Two pieces of information contradict each other: a failed value
+  /// join, inconsistent types, a key violation, a schema mismatch.
+  kInconsistent,
+  /// A dynamic type check failed (e.g. `coerce d to T` with typeof(d) ≰ T).
+  kTypeError,
+  /// Stored bytes are unreadable: bad magic, bad CRC, truncated record.
+  kCorruption,
+  /// An I/O system call failed.
+  kIoError,
+  /// The operation is not supported for this value/type/store.
+  kUnsupported,
+  /// An internal invariant was violated (a bug in this library).
+  kInternal,
+};
+
+/// Human-readable name of a status code (e.g. "TypeError").
+std::string_view StatusCodeName(StatusCode code);
+
+/// The result of an operation that can fail but returns no value.
+///
+/// `Status` is cheap to copy in the OK case (a single pointer-sized
+/// enum plus an empty string) and carries a message in the error case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Inconsistent(std::string msg) {
+    return Status(StatusCode::kInconsistent, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Propagates a non-OK status to the caller.
+#define DBPL_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::dbpl::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+}  // namespace dbpl
+
+#endif  // DBPL_COMMON_STATUS_H_

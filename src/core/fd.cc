@@ -1,0 +1,252 @@
+#include "core/fd.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/order.h"
+
+namespace dbpl::core {
+namespace {
+
+bool Subset(const AttrSet& a, const AttrSet& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+std::vector<std::string> ToVec(const AttrSet& s) {
+  return std::vector<std::string>(s.begin(), s.end());
+}
+
+}  // namespace
+
+std::string FunctionalDependency::ToString() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& a : lhs) {
+    if (!first) os << ",";
+    first = false;
+    os << a;
+  }
+  os << " -> ";
+  first = true;
+  for (const auto& a : rhs) {
+    if (!first) os << ",";
+    first = false;
+    os << a;
+  }
+  return os.str();
+}
+
+AttrSet Closure(const AttrSet& attrs,
+                const std::vector<FunctionalDependency>& fds) {
+  AttrSet closure = attrs;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& fd : fds) {
+      if (Subset(fd.lhs, closure)) {
+        for (const auto& a : fd.rhs) {
+          if (closure.insert(a).second) changed = true;
+        }
+      }
+    }
+  }
+  return closure;
+}
+
+bool Implies(const std::vector<FunctionalDependency>& fds,
+             const FunctionalDependency& fd) {
+  return Subset(fd.rhs, Closure(fd.lhs, fds));
+}
+
+bool IsSuperkey(const AttrSet& attrs, const AttrSet& all,
+                const std::vector<FunctionalDependency>& fds) {
+  return Subset(all, Closure(attrs, fds));
+}
+
+std::vector<AttrSet> CandidateKeys(
+    const AttrSet& all, const std::vector<FunctionalDependency>& fds) {
+  std::vector<std::string> attrs = ToVec(all);
+  const size_t n = attrs.size();
+  std::vector<AttrSet> keys;
+  // Enumerate subsets in order of increasing size so supersets of found
+  // keys can be skipped.
+  for (size_t size = 0; size <= n; ++size) {
+    std::vector<bool> pick(n, false);
+    std::fill(pick.end() - static_cast<long>(size), pick.end(), true);
+    do {
+      AttrSet candidate;
+      for (size_t i = 0; i < n; ++i) {
+        if (pick[i]) candidate.insert(attrs[i]);
+      }
+      bool superset_of_key = false;
+      for (const auto& k : keys) {
+        if (Subset(k, candidate)) {
+          superset_of_key = true;
+          break;
+        }
+      }
+      if (!superset_of_key && IsSuperkey(candidate, all, fds)) {
+        keys.push_back(candidate);
+      }
+    } while (std::next_permutation(pick.begin(), pick.end()));
+  }
+  return keys;
+}
+
+std::vector<FunctionalDependency> MinimalCover(
+    std::vector<FunctionalDependency> fds) {
+  // 1. Singleton right-hand sides.
+  std::vector<FunctionalDependency> work;
+  for (const auto& fd : fds) {
+    for (const auto& a : fd.rhs) work.push_back({fd.lhs, {a}});
+  }
+  // 2. Remove extraneous left-hand attributes.
+  for (auto& fd : work) {
+    bool shrunk = true;
+    while (shrunk && fd.lhs.size() > 1) {
+      shrunk = false;
+      for (const auto& a : fd.lhs) {
+        AttrSet smaller = fd.lhs;
+        smaller.erase(a);
+        if (Subset(fd.rhs, Closure(smaller, work))) {
+          fd.lhs = smaller;
+          shrunk = true;
+          break;
+        }
+      }
+    }
+  }
+  // 3. Remove redundant dependencies.
+  for (size_t i = 0; i < work.size();) {
+    std::vector<FunctionalDependency> without = work;
+    without.erase(without.begin() + static_cast<long>(i));
+    if (Implies(without, work[i])) {
+      work = std::move(without);
+    } else {
+      ++i;
+    }
+  }
+  // 4. Deduplicate.
+  std::sort(work.begin(), work.end(),
+            [](const FunctionalDependency& a, const FunctionalDependency& b) {
+              if (a.lhs != b.lhs) return a.lhs < b.lhs;
+              return a.rhs < b.rhs;
+            });
+  work.erase(std::unique(work.begin(), work.end()), work.end());
+  return work;
+}
+
+bool IsBcnf(const AttrSet& all, const std::vector<FunctionalDependency>& fds) {
+  for (const auto& fd : fds) {
+    if (Subset(fd.rhs, fd.lhs)) continue;  // trivial
+    if (!IsSuperkey(fd.lhs, all, fds)) return false;
+  }
+  return true;
+}
+
+std::vector<FunctionalDependency> ProjectFds(
+    const AttrSet& attrs, const std::vector<FunctionalDependency>& fds) {
+  // Enumerate subsets X of attrs; the projected dependencies are
+  // X → (closure(X) ∩ attrs) \ X.
+  std::vector<std::string> vec = ToVec(attrs);
+  const size_t n = vec.size();
+  std::vector<FunctionalDependency> out;
+  for (uint64_t mask = 1; mask < (1ull << n); ++mask) {
+    AttrSet lhs;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (1ull << i)) lhs.insert(vec[i]);
+    }
+    AttrSet closure = Closure(lhs, fds);
+    AttrSet rhs;
+    for (const auto& a : attrs) {
+      if (closure.contains(a) && !lhs.contains(a)) rhs.insert(a);
+    }
+    if (!rhs.empty()) out.push_back({std::move(lhs), std::move(rhs)});
+  }
+  return MinimalCover(std::move(out));
+}
+
+std::vector<AttrSet> DecomposeBcnf(
+    const AttrSet& all, const std::vector<FunctionalDependency>& fds) {
+  std::vector<std::pair<AttrSet, std::vector<FunctionalDependency>>> work = {
+      {all, ProjectFds(all, fds)}};
+  std::vector<AttrSet> done;
+  while (!work.empty()) {
+    auto [attrs, local] = std::move(work.back());
+    work.pop_back();
+    const FunctionalDependency* violation = nullptr;
+    for (const auto& fd : local) {
+      if (!Subset(fd.rhs, fd.lhs) && !IsSuperkey(fd.lhs, attrs, local)) {
+        violation = &fd;
+        break;
+      }
+    }
+    if (violation == nullptr) {
+      done.push_back(std::move(attrs));
+      continue;
+    }
+    // Split into (X ∪ X+∩attrs) and (attrs \ X+ ∪ X).
+    AttrSet closure = Closure(violation->lhs, local);
+    AttrSet left;
+    for (const auto& a : attrs) {
+      if (closure.contains(a)) left.insert(a);
+    }
+    AttrSet right = violation->lhs;
+    for (const auto& a : attrs) {
+      if (!closure.contains(a)) right.insert(a);
+    }
+    work.emplace_back(left, ProjectFds(left, local));
+    work.emplace_back(right, ProjectFds(right, local));
+  }
+  std::sort(done.begin(), done.end());
+  done.erase(std::unique(done.begin(), done.end()), done.end());
+  // Drop fragments contained in another fragment.
+  std::vector<AttrSet> out;
+  for (const auto& a : done) {
+    bool contained = false;
+    for (const auto& b : done) {
+      if (a != b && Subset(a, b)) {
+        contained = true;
+        break;
+      }
+    }
+    if (!contained) out.push_back(a);
+  }
+  return out;
+}
+
+bool SatisfiesClassic(const GRelation& r, const FunctionalDependency& fd) {
+  std::vector<std::string> lhs = ToVec(fd.lhs);
+  std::vector<std::string> rhs = ToVec(fd.rhs);
+  const auto& objs = r.objects();
+  for (size_t i = 0; i < objs.size(); ++i) {
+    if (objs[i].kind() != ValueKind::kRecord) continue;
+    for (size_t j = i + 1; j < objs.size(); ++j) {
+      if (objs[j].kind() != ValueKind::kRecord) continue;
+      if (objs[i].Project(lhs) == objs[j].Project(lhs) &&
+          objs[i].Project(rhs) != objs[j].Project(rhs)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool SatisfiesWeak(const GRelation& r, const FunctionalDependency& fd) {
+  std::vector<std::string> lhs = ToVec(fd.lhs);
+  std::vector<std::string> rhs = ToVec(fd.rhs);
+  const auto& objs = r.objects();
+  for (size_t i = 0; i < objs.size(); ++i) {
+    if (objs[i].kind() != ValueKind::kRecord) continue;
+    for (size_t j = i + 1; j < objs.size(); ++j) {
+      if (objs[j].kind() != ValueKind::kRecord) continue;
+      if (Consistent(objs[i].Project(lhs), objs[j].Project(lhs)) &&
+          !Consistent(objs[i].Project(rhs), objs[j].Project(rhs))) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace dbpl::core

@@ -1,0 +1,82 @@
+#ifndef DBPL_CORE_FD_H_
+#define DBPL_CORE_FD_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/grelation.h"
+
+namespace dbpl::core {
+
+/// A set of attribute names.
+using AttrSet = std::set<std::string>;
+
+/// A functional dependency `lhs → rhs`.
+///
+/// The paper points at [Bune86], where the interaction of the relation
+/// ordering and a projection ordering "allows us to derive the basic
+/// results of the theory of functional dependencies"; this module
+/// implements that classical theory (Armstrong closure, implication,
+/// covers, keys) plus two satisfaction semantics on generalized
+/// relations: the classical equality semantics and the domain-theoretic
+/// *consistency* semantics appropriate to partial objects.
+struct FunctionalDependency {
+  AttrSet lhs;
+  AttrSet rhs;
+
+  bool operator==(const FunctionalDependency& other) const = default;
+  std::string ToString() const;
+};
+
+/// The closure `attrs+` of an attribute set under `fds` (Armstrong).
+AttrSet Closure(const AttrSet& attrs, const std::vector<FunctionalDependency>& fds);
+
+/// True iff `fds ⊨ fd` (fd is derivable from fds).
+bool Implies(const std::vector<FunctionalDependency>& fds,
+             const FunctionalDependency& fd);
+
+/// True iff `attrs` functionally determines every attribute in `all`.
+bool IsSuperkey(const AttrSet& attrs, const AttrSet& all,
+                const std::vector<FunctionalDependency>& fds);
+
+/// All minimal superkeys of a schema (exponential; intended for the small
+/// schemas of tests and examples).
+std::vector<AttrSet> CandidateKeys(const AttrSet& all,
+                                   const std::vector<FunctionalDependency>& fds);
+
+/// A minimal cover: singleton right-hand sides, no extraneous left-hand
+/// attributes, no redundant dependencies.
+std::vector<FunctionalDependency> MinimalCover(
+    std::vector<FunctionalDependency> fds);
+
+/// Classical satisfaction: any two objects whose `lhs` projections are
+/// equal have equal `rhs` projections.
+bool SatisfiesClassic(const GRelation& r, const FunctionalDependency& fd);
+
+/// Domain-theoretic (weak) satisfaction for partial objects: any two
+/// objects whose `lhs` projections are *consistent* (joinable) have
+/// consistent `rhs` projections. On total flat records this coincides
+/// with classical satisfaction.
+bool SatisfiesWeak(const GRelation& r, const FunctionalDependency& fd);
+
+/// True iff every dependency is trivial or has a superkey left-hand
+/// side — the Boyce–Codd normal form condition on schema `all`.
+bool IsBcnf(const AttrSet& all, const std::vector<FunctionalDependency>& fds);
+
+/// A BCNF decomposition of `all` under `fds` (the classical lossless
+/// algorithm: repeatedly split on a violating dependency, projecting
+/// the dependencies onto each fragment). The result is a set of
+/// attribute sets, each in BCNF under the projected dependencies.
+std::vector<AttrSet> DecomposeBcnf(const AttrSet& all,
+                                   const std::vector<FunctionalDependency>& fds);
+
+/// The projection of `fds` onto the attribute subset `attrs`: every
+/// implied dependency X → A with X ∪ {A} ⊆ attrs (computed via
+/// closures; exponential in |attrs|, fine for test-sized schemas).
+std::vector<FunctionalDependency> ProjectFds(
+    const AttrSet& attrs, const std::vector<FunctionalDependency>& fds);
+
+}  // namespace dbpl::core
+
+#endif  // DBPL_CORE_FD_H_

@@ -1,0 +1,159 @@
+#include "core/grelation.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/order.h"
+
+namespace dbpl::core {
+namespace {
+
+bool CanonicalLess(const Value& a, const Value& b) {
+  return Compare(a, b) < 0;
+}
+
+}  // namespace
+
+GRelation GRelation::FromObjects(std::vector<Value> objects) {
+  GRelation r;
+  for (Value& v : objects) r.Insert(std::move(v));
+  return r;
+}
+
+Result<GRelation> GRelation::FromValue(const Value& v) {
+  if (v.kind() != ValueKind::kSet) {
+    return Status::InvalidArgument("relation must be built from a set, got " +
+                                   std::string(ValueKindName(v.kind())));
+  }
+  return FromObjects(v.elements());
+}
+
+GRelation::InsertOutcome GRelation::Insert(Value object) {
+  for (const Value& o : objects_) {
+    if (dbpl::core::LessEq(object, o)) return InsertOutcome::kAbsorbed;
+  }
+  bool subsumed_any = false;
+  auto dominated = [&](const Value& o) {
+    if (dbpl::core::LessEq(o, object)) {
+      subsumed_any = true;
+      return true;
+    }
+    return false;
+  };
+  objects_.erase(std::remove_if(objects_.begin(), objects_.end(), dominated),
+                 objects_.end());
+  auto it = std::lower_bound(objects_.begin(), objects_.end(), object,
+                             CanonicalLess);
+  objects_.insert(it, std::move(object));
+  return subsumed_any ? InsertOutcome::kSubsumed : InsertOutcome::kInserted;
+}
+
+bool GRelation::Contains(const Value& object) const {
+  return std::binary_search(objects_.begin(), objects_.end(), object,
+                            CanonicalLess);
+}
+
+bool GRelation::Covers(const Value& object) const {
+  for (const Value& o : objects_) {
+    if (dbpl::core::LessEq(object, o)) return true;
+  }
+  return false;
+}
+
+GRelation GRelation::Join(const GRelation& r1, const GRelation& r2) {
+  GRelation out;
+  for (const Value& x : r1.objects_) {
+    for (const Value& y : r2.objects_) {
+      Result<Value> j = dbpl::core::Join(x, y);
+      if (j.ok()) out.Insert(std::move(j).value());
+    }
+  }
+  return out;
+}
+
+GRelation GRelation::Merge(const GRelation& r1, const GRelation& r2) {
+  GRelation out = r1;
+  for (const Value& y : r2.objects_) out.Insert(y);
+  return out;
+}
+
+GRelation GRelation::Project(const std::vector<std::string>& attrs) const {
+  GRelation out;
+  for (const Value& o : objects_) {
+    if (o.kind() == ValueKind::kRecord) {
+      out.Insert(o.Project(attrs));
+    }
+  }
+  return out;
+}
+
+GRelation GRelation::Select(
+    const std::function<bool(const Value&)>& pred) const {
+  GRelation out;
+  for (const Value& o : objects_) {
+    if (pred(o)) out.Insert(o);
+  }
+  return out;
+}
+
+bool GRelation::LessEq(const GRelation& r1, const GRelation& r2) {
+  for (const Value& op : r2.objects_) {
+    bool found = false;
+    for (const Value& o : r1.objects_) {
+      if (dbpl::core::LessEq(o, op)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+bool GRelation::LessEqHoare(const GRelation& r1, const GRelation& r2) {
+  for (const Value& o : r1.objects_) {
+    bool found = false;
+    for (const Value& op : r2.objects_) {
+      if (dbpl::core::LessEq(o, op)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+Value GRelation::ToValue() const { return Value::Set(objects_); }
+
+Status GRelation::CheckInvariant() const {
+  for (size_t i = 0; i < objects_.size(); ++i) {
+    for (size_t j = 0; j < objects_.size(); ++j) {
+      if (i == j) continue;
+      if (dbpl::core::LessEq(objects_[i], objects_[j])) {
+        return Status::Internal("cochain violated: " + objects_[i].ToString() +
+                                " ⊑ " + objects_[j].ToString());
+      }
+    }
+  }
+  for (size_t i = 1; i < objects_.size(); ++i) {
+    if (Compare(objects_[i - 1], objects_[i]) >= 0) {
+      return Status::Internal("canonical order violated");
+    }
+  }
+  return Status::OK();
+}
+
+bool GRelation::operator==(const GRelation& other) const {
+  return objects_ == other.objects_;
+}
+
+std::string GRelation::ToString() const {
+  std::ostringstream os;
+  os << "{\n";
+  for (const Value& o : objects_) os << "  " << o << "\n";
+  os << "}";
+  return os.str();
+}
+
+}  // namespace dbpl::core

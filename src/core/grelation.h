@@ -1,0 +1,109 @@
+#ifndef DBPL_CORE_GRELATION_H_
+#define DBPL_CORE_GRELATION_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/value.h"
+
+namespace dbpl::core {
+
+/// A generalized relation: a set of mutually `⊑`-incomparable objects
+/// (a *cochain*), as defined in the paper's "Inheritance on Values"
+/// section. Objects are arbitrary values but are typically records with
+/// possibly-missing and possibly-nested fields, so a generalized relation
+/// strictly extends a 1NF relation (which it becomes when every object is
+/// a flat, total record over the same attributes).
+///
+/// The class maintains the cochain invariant on every operation:
+/// inserting an object that is *less* informative than an existing one is
+/// absorbed; inserting one that is *more* informative subsumes (replaces)
+/// the objects it dominates — the paper's admission rule, verbatim.
+class GRelation {
+ public:
+  /// What `Insert` did with the object.
+  enum class InsertOutcome {
+    /// The object was new and incomparable with everything present.
+    kInserted,
+    /// An existing object already carried at least this information;
+    /// the relation is unchanged.
+    kAbsorbed,
+    /// The object replaced one or more existing objects it dominates.
+    kSubsumed,
+  };
+
+  /// The empty relation. NOTE: in the paper's relation ordering the empty
+  /// relation is the *top* element (it refines everything).
+  GRelation() = default;
+
+  /// Builds a relation from arbitrary objects, reducing to maxima.
+  static GRelation FromObjects(std::vector<Value> objects);
+
+  /// Re-reads a relation from a set value, reducing to maxima.
+  /// Fails unless `v` is a set.
+  static Result<GRelation> FromValue(const Value& v);
+
+  /// Inserts with subsumption (see class comment).
+  InsertOutcome Insert(Value object);
+
+  /// Exact membership.
+  bool Contains(const Value& object) const;
+
+  /// True iff some member carries at least the information of `object`
+  /// (i.e. inserting it would be absorbed).
+  bool Covers(const Value& object) const;
+
+  const std::vector<Value>& objects() const { return objects_; }
+  size_t size() const { return objects_.size(); }
+  bool empty() const { return objects_.empty(); }
+
+  /// The generalized natural join of the paper's Figure 1: every
+  /// consistent pairwise join, reduced to maxima. Restricted to flat,
+  /// total records over equal schemas this is the classical natural join.
+  static GRelation Join(const GRelation& r1, const GRelation& r2);
+
+  /// The union in the information ordering (the meet of relations):
+  /// maxima of the set union.
+  static GRelation Merge(const GRelation& r1, const GRelation& r2);
+
+  /// Projection: each object restricted to `attrs`, reduced to maxima.
+  /// Non-record objects project to `⊥` and are dropped unless the
+  /// relation would become empty of records entirely.
+  GRelation Project(const std::vector<std::string>& attrs) const;
+
+  /// Selection by arbitrary predicate.
+  GRelation Select(const std::function<bool(const Value&)>& pred) const;
+
+  /// The paper's relation ordering: `r1 ⊑ r2` iff every object of `r2`
+  /// refines some object of `r1` (Smyth-style).
+  static bool LessEq(const GRelation& r1, const GRelation& r2);
+
+  /// The "slightly different ordering on relations" the paper says the
+  /// projection operator is defined from (Hoare-style): `r1 ⊑ r2` iff
+  /// every object of `r1` is refined by some object of `r2`. Projection
+  /// and Merge are monotone with respect to this ordering
+  /// (property-tested); Join is monotone with respect to `LessEq`.
+  static bool LessEqHoare(const GRelation& r1, const GRelation& r2);
+
+  /// This relation as a set value (so relations nest inside values,
+  /// deliberately violating first-normal-form as the paper proposes).
+  Value ToValue() const;
+
+  /// Verifies the cochain invariant; Internal error if violated.
+  Status CheckInvariant() const;
+
+  bool operator==(const GRelation& other) const;
+
+  std::string ToString() const;
+
+ private:
+  /// Members, kept canonically sorted (by the total order) and mutually
+  /// incomparable (by the information order).
+  std::vector<Value> objects_;
+};
+
+}  // namespace dbpl::core
+
+#endif  // DBPL_CORE_GRELATION_H_

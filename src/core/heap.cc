@@ -1,0 +1,120 @@
+#include "core/heap.h"
+
+#include <algorithm>
+#include <set>
+
+#include "core/order.h"
+
+namespace dbpl::core {
+
+Oid Heap::Allocate(Value v) {
+  Oid oid = next_oid_++;
+  objects_.emplace(oid, std::move(v));
+  return oid;
+}
+
+Status Heap::AllocateWithOid(Oid oid, Value v) {
+  if (oid == kInvalidOid) return Status::InvalidArgument("oid 0 is reserved");
+  if (objects_.contains(oid)) {
+    return Status::AlreadyExists("oid already in use: " + std::to_string(oid));
+  }
+  objects_.emplace(oid, std::move(v));
+  if (oid >= next_oid_) next_oid_ = oid + 1;
+  return Status::OK();
+}
+
+Result<Value> Heap::Get(Oid oid) const {
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) {
+    return Status::NotFound("no object with oid " + std::to_string(oid));
+  }
+  return it->second;
+}
+
+Status Heap::Put(Oid oid, Value v) {
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) {
+    return Status::NotFound("no object with oid " + std::to_string(oid));
+  }
+  it->second = std::move(v);
+  return Status::OK();
+}
+
+Result<Value> Heap::Extend(Oid oid, const Value& extra) {
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) {
+    return Status::NotFound("no object with oid " + std::to_string(oid));
+  }
+  DBPL_ASSIGN_OR_RETURN(Value joined, Join(it->second, extra));
+  it->second = joined;
+  return joined;
+}
+
+Status Heap::Delete(Oid oid) {
+  if (objects_.erase(oid) == 0) {
+    return Status::NotFound("no object with oid " + std::to_string(oid));
+  }
+  return Status::OK();
+}
+
+std::vector<Oid> Heap::Oids() const {
+  std::vector<Oid> out;
+  out.reserve(objects_.size());
+  for (const auto& [oid, _] : objects_) out.push_back(oid);
+  return out;
+}
+
+void CollectRefs(const Value& v, std::vector<Oid>* out) {
+  switch (v.kind()) {
+    case ValueKind::kRef:
+      out->push_back(v.AsRef());
+      return;
+    case ValueKind::kRecord:
+      for (const auto& f : v.fields()) CollectRefs(f.value, out);
+      return;
+    case ValueKind::kSet:
+    case ValueKind::kList:
+      for (const auto& e : v.elements()) CollectRefs(e, out);
+      return;
+    case ValueKind::kTagged:
+      CollectRefs(v.payload(), out);
+      return;
+    default:
+      return;
+  }
+}
+
+std::vector<Oid> Heap::ReachableFrom(const std::vector<Oid>& roots) const {
+  std::set<Oid> seen;
+  std::vector<Oid> work;
+  for (Oid r : roots) {
+    if (objects_.contains(r) && seen.insert(r).second) work.push_back(r);
+  }
+  while (!work.empty()) {
+    Oid oid = work.back();
+    work.pop_back();
+    std::vector<Oid> refs;
+    CollectRefs(objects_.at(oid), &refs);
+    for (Oid r : refs) {
+      if (objects_.contains(r) && seen.insert(r).second) work.push_back(r);
+    }
+  }
+  return std::vector<Oid>(seen.begin(), seen.end());
+}
+
+size_t Heap::CollectGarbage(const std::vector<Oid>& roots) {
+  std::vector<Oid> live = ReachableFrom(roots);
+  std::set<Oid> live_set(live.begin(), live.end());
+  size_t reclaimed = 0;
+  for (auto it = objects_.begin(); it != objects_.end();) {
+    if (!live_set.contains(it->first)) {
+      it = objects_.erase(it);
+      ++reclaimed;
+    } else {
+      ++it;
+    }
+  }
+  return reclaimed;
+}
+
+}  // namespace dbpl::core

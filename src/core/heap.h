@@ -1,0 +1,83 @@
+#ifndef DBPL_CORE_HEAP_H_
+#define DBPL_CORE_HEAP_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/value.h"
+
+namespace dbpl::core {
+
+/// A heap of mutable, identity-bearing objects.
+///
+/// The paper distinguishes values (identified by intrinsic properties, as
+/// in a relation) from objects (with identity independent of content, as
+/// in object-oriented databases). A `Heap` provides the latter: each
+/// `Allocate` yields a fresh `Oid` that keeps naming the same object
+/// however its value evolves, so two objects with identical — or
+/// comparable — values can coexist (the paper's two-identical-cars
+/// parking-lot scenario).
+///
+/// Object-level inheritance ("turning a Person into an Employee") is
+/// `Extend`: the object's value is replaced by its join with new
+/// information, in place, so every existing reference sees the upgrade —
+/// precisely the operation the paper notes Amber lacks.
+class Heap {
+ public:
+  Heap() = default;
+  Heap(const Heap&) = delete;
+  Heap& operator=(const Heap&) = delete;
+  Heap(Heap&&) = default;
+  Heap& operator=(Heap&&) = default;
+
+  /// Creates a new object holding `v`; returns its identity.
+  Oid Allocate(Value v);
+
+  /// Creates an object with a caller-chosen id (used when re-loading a
+  /// persisted heap). Fails with AlreadyExists on collision.
+  Status AllocateWithOid(Oid oid, Value v);
+
+  /// Current value of object `oid`.
+  Result<Value> Get(Oid oid) const;
+
+  /// Replaces the value of `oid`.
+  Status Put(Oid oid, Value v);
+
+  /// Object-level inheritance: replaces the value of `oid` with
+  /// `old ⊔ extra` and returns the new value. Fails with `Inconsistent`
+  /// when the new information contradicts the old.
+  Result<Value> Extend(Oid oid, const Value& extra);
+
+  /// Removes the object. References elsewhere become dangling; `Get`
+  /// on them reports NotFound.
+  Status Delete(Oid oid);
+
+  bool Contains(Oid oid) const { return objects_.contains(oid); }
+  size_t size() const { return objects_.size(); }
+
+  /// All oids, ascending.
+  std::vector<Oid> Oids() const;
+
+  /// Transitive closure of `roots` under kRef edges (through records,
+  /// sets and lists), sorted ascending. Dangling references are ignored.
+  /// This is the reachability relation intrinsic persistence is built on.
+  std::vector<Oid> ReachableFrom(const std::vector<Oid>& roots) const;
+
+  /// Deletes every object not reachable from `roots`; returns the number
+  /// reclaimed.
+  size_t CollectGarbage(const std::vector<Oid>& roots);
+
+ private:
+  std::map<Oid, Value> objects_;
+  Oid next_oid_ = 1;
+};
+
+/// Appends every Oid referenced (transitively through the value structure,
+/// not through the heap) by `v` to `out`.
+void CollectRefs(const Value& v, std::vector<Oid>* out);
+
+}  // namespace dbpl::core
+
+#endif  // DBPL_CORE_HEAP_H_

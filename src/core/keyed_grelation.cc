@@ -1,0 +1,82 @@
+#include "core/keyed_grelation.h"
+
+#include "core/order.h"
+
+namespace dbpl::core {
+
+Result<KeyedGRelation> KeyedGRelation::Make(std::vector<std::string> key) {
+  if (key.empty()) {
+    return Status::InvalidArgument("a key needs at least one attribute");
+  }
+  return KeyedGRelation(std::move(key));
+}
+
+Result<Value> KeyedGRelation::KeyOf(const Value& object) const {
+  if (object.kind() != ValueKind::kRecord) {
+    return Status::InvalidArgument("keyed relations hold records, got " +
+                                   object.ToString());
+  }
+  Value proj = object.Project(key_);
+  for (const auto& k : key_) {
+    if (proj.FindField(k) == nullptr) {
+      return Status::InvalidArgument("object is missing key attribute " + k +
+                                     ": " + object.ToString());
+    }
+  }
+  return proj;
+}
+
+Result<KeyedGRelation::InsertOutcome> KeyedGRelation::Insert(
+    const Value& object) {
+  DBPL_ASSIGN_OR_RETURN(Value key_proj, KeyOf(object));
+  // Find the entity (at most one, by the invariant) with a consistent
+  // key projection.
+  const Value* match = nullptr;
+  for (const Value& member : relation_.objects()) {
+    if (Consistent(member.Project(key_), key_proj)) {
+      match = &member;
+      break;
+    }
+  }
+  if (match == nullptr) {
+    relation_.Insert(object);
+    return InsertOutcome::kInserted;
+  }
+  if (LessEq(object, *match)) return InsertOutcome::kAbsorbed;
+  Result<Value> merged = Join(*match, object);
+  if (!merged.ok()) {
+    return Status::Inconsistent(
+        "key violation: object " + object.ToString() +
+        " contradicts the existing entity with the same key: " +
+        merged.status().message());
+  }
+  relation_.Insert(std::move(merged).value());  // subsumes the old member
+  return InsertOutcome::kMerged;
+}
+
+Result<Value> KeyedGRelation::Lookup(const Value& key_probe) const {
+  for (const Value& member : relation_.objects()) {
+    if (Consistent(member.Project(key_), key_probe)) {
+      return member;
+    }
+  }
+  return Status::NotFound("no entity with key " + key_probe.ToString());
+}
+
+Status KeyedGRelation::CheckInvariant() const {
+  DBPL_RETURN_IF_ERROR(relation_.CheckInvariant());
+  const auto& objs = relation_.objects();
+  for (size_t i = 0; i < objs.size(); ++i) {
+    DBPL_ASSIGN_OR_RETURN(Value ki, KeyOf(objs[i]));
+    for (size_t j = i + 1; j < objs.size(); ++j) {
+      DBPL_ASSIGN_OR_RETURN(Value kj, KeyOf(objs[j]));
+      if (Consistent(ki, kj)) {
+        return Status::Internal("two entities share a key: " +
+                                ki.ToString() + " and " + kj.ToString());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace dbpl::core

@@ -1,0 +1,81 @@
+#ifndef DBPL_CORE_KEYED_GRELATION_H_
+#define DBPL_CORE_KEYED_GRELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/grelation.h"
+#include "core/value.h"
+
+namespace dbpl::core {
+
+/// Keys for generalized relations — an account of the open problem the
+/// paper leaves ("we have not given an account of keys for generalized
+/// relations").
+///
+/// The design follows the paper's two observations:
+///  1. in the classical model, a key identifies a tuple by an intrinsic
+///     property;
+///  2. imposing a key "will also prevent comparable values (under ⊑)
+///     from coexisting in the same set", because comparable objects
+///     necessarily agree on the key.
+///
+/// Generalizing to partial objects, two objects with *consistent*
+/// (joinable) key projections describe the same entity, so:
+///  * inserting an object whose key projection is consistent with an
+///    existing member **merges** the two by joining them (information
+///    accumulates on the entity) — the upsert semantics classical keys
+///    approximate with update-in-place;
+///  * if the join of the two objects fails, the insert is rejected as a
+///    key violation: same entity, contradictory facts;
+///  * an object missing part of its key is rejected outright (an entity
+///    must be identified to be admitted).
+///
+/// With total, flat records this degenerates exactly to classical key
+/// enforcement (equal keys → reject unless the tuples are identical),
+/// which the tests verify against relational::Relation.
+class KeyedGRelation {
+ public:
+  /// `key` must be non-empty.
+  static Result<KeyedGRelation> Make(std::vector<std::string> key);
+
+  enum class InsertOutcome {
+    /// A new entity.
+    kInserted,
+    /// Merged (joined) with an existing entity sharing its key.
+    kMerged,
+    /// The information was already present.
+    kAbsorbed,
+  };
+
+  /// Inserts with entity-merging semantics (see class comment).
+  Result<InsertOutcome> Insert(const Value& object);
+
+  /// The object whose key projection is consistent with `key_probe`'s
+  /// (a record over the key attributes), or NotFound.
+  Result<Value> Lookup(const Value& key_probe) const;
+
+  const std::vector<std::string>& key() const { return key_; }
+  const GRelation& relation() const { return relation_; }
+  size_t size() const { return relation_.size(); }
+
+  /// Verifies the keyed invariant: all members are mutually
+  /// incomparable AND have pairwise-inconsistent key projections.
+  Status CheckInvariant() const;
+
+ private:
+  explicit KeyedGRelation(std::vector<std::string> key)
+      : key_(std::move(key)) {}
+
+  /// The key projection of `object`; fails if any key attribute is
+  /// missing or the object is not a record.
+  Result<Value> KeyOf(const Value& object) const;
+
+  std::vector<std::string> key_;
+  GRelation relation_;
+};
+
+}  // namespace dbpl::core
+
+#endif  // DBPL_CORE_KEYED_GRELATION_H_

@@ -1,0 +1,214 @@
+#include "core/order.h"
+
+#include <vector>
+
+namespace dbpl::core {
+namespace {
+
+/// Reduces to the minimal antichain: drops any element strictly above
+/// another. Under the Smyth-style relation ordering the paper uses
+/// (`R ⊑ R'` iff every object of R' refines some object of R), the
+/// canonical representative of a relation's order-equivalence class is
+/// its set of *minimal* elements, and the least upper bound of two
+/// antichains is the min-reduction of their pairwise joins. (The
+/// *operational* relations in grelation.h instead keep maximal elements,
+/// the paper's subsumption rule; see the discussion there.)
+std::vector<Value> MinReduce(std::vector<Value> vs) {
+  std::vector<Value> out;
+  for (const Value& v : vs) {
+    bool dominated = false;
+    for (const Value& w : vs) {
+      if (!(v == w) && LessEq(w, v)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool LessEq(const Value& a, const Value& b) {
+  if (a.is_bottom()) return true;
+  if (a.kind() != b.kind()) return false;
+  switch (a.kind()) {
+    case ValueKind::kBottom:
+      return true;
+    case ValueKind::kBool:
+    case ValueKind::kInt:
+    case ValueKind::kReal:
+    case ValueKind::kString:
+    case ValueKind::kRef:
+      return a == b;  // flat domains
+    case ValueKind::kRecord: {
+      for (const auto& f : a.fields()) {
+        const Value* bf = b.FindField(f.name);
+        if (bf == nullptr || !LessEq(f.value, *bf)) return false;
+      }
+      return true;
+    }
+    case ValueKind::kList: {
+      const auto& ea = a.elements();
+      const auto& eb = b.elements();
+      if (ea.size() != eb.size()) return false;
+      for (size_t i = 0; i < ea.size(); ++i) {
+        if (!LessEq(ea[i], eb[i])) return false;
+      }
+      return true;
+    }
+    case ValueKind::kTagged:
+      return a.tag() == b.tag() && LessEq(a.payload(), b.payload());
+    case ValueKind::kSet: {
+      // R ⊑ R' iff every object of R' refines some object of R.
+      for (const auto& op : b.elements()) {
+        bool found = false;
+        for (const auto& o : a.elements()) {
+          if (LessEq(o, op)) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<Value> Join(const Value& a, const Value& b) {
+  if (a.is_bottom()) return b;
+  if (b.is_bottom()) return a;
+  if (a.kind() != b.kind()) {
+    return Status::Inconsistent("cannot join " +
+                                std::string(ValueKindName(a.kind())) +
+                                " with " +
+                                std::string(ValueKindName(b.kind())));
+  }
+  switch (a.kind()) {
+    case ValueKind::kBottom:
+      return a;
+    case ValueKind::kBool:
+    case ValueKind::kInt:
+    case ValueKind::kReal:
+    case ValueKind::kString:
+    case ValueKind::kRef: {
+      if (a == b) return a;
+      return Status::Inconsistent("atoms disagree: " + a.ToString() + " vs " +
+                                  b.ToString());
+    }
+    case ValueKind::kRecord: {
+      std::vector<Value::RecordField> out = a.fields();
+      for (const auto& f : b.fields()) {
+        const Value* av = a.FindField(f.name);
+        if (av == nullptr) {
+          out.push_back(f);
+        } else {
+          Result<Value> j = Join(*av, f.value);
+          if (!j.ok()) {
+            return Status::Inconsistent("field " + f.name + ": " +
+                                        j.status().message());
+          }
+          for (auto& of : out) {
+            if (of.name == f.name) {
+              of.value = std::move(j).value();
+              break;
+            }
+          }
+        }
+      }
+      return Value::Record(std::move(out));
+    }
+    case ValueKind::kList: {
+      const auto& ea = a.elements();
+      const auto& eb = b.elements();
+      if (ea.size() != eb.size()) {
+        return Status::Inconsistent("lists of different length");
+      }
+      std::vector<Value> out;
+      out.reserve(ea.size());
+      for (size_t i = 0; i < ea.size(); ++i) {
+        DBPL_ASSIGN_OR_RETURN(Value j, Join(ea[i], eb[i]));
+        out.push_back(std::move(j));
+      }
+      return Value::List(std::move(out));
+    }
+    case ValueKind::kTagged: {
+      if (a.tag() != b.tag()) {
+        return Status::Inconsistent("variant tags disagree: " + a.tag() +
+                                    " vs " + b.tag());
+      }
+      DBPL_ASSIGN_OR_RETURN(Value j, Join(a.payload(), b.payload()));
+      return Value::Tagged(a.tag(), std::move(j));
+    }
+    case ValueKind::kSet: {
+      // Generalized relational join: all consistent pairwise joins,
+      // reduced to the minimal antichain (the least upper bound under
+      // the Smyth-style ordering). Never fails: if every pair is
+      // contradictory, the join is the empty (top) relation.
+      std::vector<Value> out;
+      for (const auto& x : a.elements()) {
+        for (const auto& y : b.elements()) {
+          Result<Value> j = Join(x, y);
+          if (j.ok()) out.push_back(std::move(j).value());
+        }
+      }
+      return Value::Set(MinReduce(std::move(out)));
+    }
+  }
+  return Status::Internal("unreachable join case");
+}
+
+bool Consistent(const Value& a, const Value& b) { return Join(a, b).ok(); }
+
+Value Meet(const Value& a, const Value& b) {
+  if (a.is_bottom() || b.is_bottom()) return Value::Bottom();
+  if (a.kind() != b.kind()) return Value::Bottom();
+  switch (a.kind()) {
+    case ValueKind::kBottom:
+      return Value::Bottom();
+    case ValueKind::kBool:
+    case ValueKind::kInt:
+    case ValueKind::kReal:
+    case ValueKind::kString:
+    case ValueKind::kRef:
+      return a == b ? a : Value::Bottom();
+    case ValueKind::kRecord: {
+      // Common fields, with the meet of their values. A field whose
+      // values' meet is ⊥ is retained: `{x = ⊥}` still records that an
+      // x-component exists, and is above `{}` in the ordering.
+      std::vector<Value::RecordField> out;
+      for (const auto& f : a.fields()) {
+        if (const Value* bv = b.FindField(f.name)) {
+          out.push_back({f.name, Meet(f.value, *bv)});
+        }
+      }
+      return Value::RecordOf(std::move(out));
+    }
+    case ValueKind::kList: {
+      const auto& ea = a.elements();
+      const auto& eb = b.elements();
+      if (ea.size() != eb.size()) return Value::Bottom();
+      std::vector<Value> out;
+      out.reserve(ea.size());
+      for (size_t i = 0; i < ea.size(); ++i) out.push_back(Meet(ea[i], eb[i]));
+      return Value::List(std::move(out));
+    }
+    case ValueKind::kTagged:
+      if (a.tag() != b.tag()) return Value::Bottom();
+      return Value::Tagged(a.tag(), Meet(a.payload(), b.payload()));
+    case ValueKind::kSet: {
+      // Greatest lower bound of two relations: the minimal antichain of
+      // their union.
+      std::vector<Value> all = a.elements();
+      const auto& eb = b.elements();
+      all.insert(all.end(), eb.begin(), eb.end());
+      return Value::Set(MinReduce(std::move(all)));
+    }
+  }
+  return Value::Bottom();
+}
+
+}  // namespace dbpl::core

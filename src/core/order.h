@@ -1,0 +1,54 @@
+#ifndef DBPL_CORE_ORDER_H_
+#define DBPL_CORE_ORDER_H_
+
+#include "common/result.h"
+#include "core/value.h"
+
+namespace dbpl::core {
+
+/// The information ordering `⊑` of the paper ("Inheritance on Values").
+///
+/// `a ⊑ b` reads "b contains at least as much information as a":
+///  * `⊥ ⊑ v` for every v;
+///  * atoms (Bool/Int/Real/String/Ref) form flat domains: comparable only
+///    when equal;
+///  * records: `a ⊑ b` iff every field of `a` is present in `b` with a
+///    `⊒`-better value — a more informative object either adds fields or
+///    better-defines existing ones;
+///  * lists: same length, pointwise;
+///  * sets are ordered as (Smyth-style) relations, exactly as the paper
+///    defines: `R ⊑ R'` iff for every `o' ∈ R'` there is `o ∈ R` with
+///    `o ⊑ o'`. Note the consequence the paper's lattice-theory sources
+///    embrace: the empty set is the top relation;
+///  * values of different kinds are incomparable.
+bool LessEq(const Value& a, const Value& b);
+
+/// Strict version of `LessEq`.
+inline bool Less(const Value& a, const Value& b) {
+  return LessEq(a, b) && !(a == b);
+}
+
+/// True iff `a ⊑ b` or `b ⊑ a`.
+inline bool Comparable(const Value& a, const Value& b) {
+  return LessEq(a, b) || LessEq(b, a);
+}
+
+/// The join `a ⊔ b`: the least value containing the information of both.
+///
+/// Fails with `Inconsistent` when the two values contradict each other —
+/// e.g. `{Name = "J Doe"} ⊔ {Name = "K Smith"}` has no upper bound, as in
+/// the paper. Record joins merge field sets and join common fields; set
+/// joins are the generalized relational join (never fail; an empty result
+/// means the relations were wholly contradictory).
+Result<Value> Join(const Value& a, const Value& b);
+
+/// True iff `Join(a, b)` exists ("a and b are consistent").
+bool Consistent(const Value& a, const Value& b);
+
+/// The meet `a ⊓ b`: the greatest value whose information is common to
+/// both. Always exists (falling back to `⊥`).
+Value Meet(const Value& a, const Value& b);
+
+}  // namespace dbpl::core
+
+#endif  // DBPL_CORE_ORDER_H_

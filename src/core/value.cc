@@ -1,0 +1,378 @@
+#include "core/value.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <sstream>
+#include <variant>
+
+namespace dbpl::core {
+
+std::string_view ValueKindName(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::kBottom:
+      return "Bottom";
+    case ValueKind::kBool:
+      return "Bool";
+    case ValueKind::kInt:
+      return "Int";
+    case ValueKind::kReal:
+      return "Real";
+    case ValueKind::kString:
+      return "String";
+    case ValueKind::kRecord:
+      return "Record";
+    case ValueKind::kSet:
+      return "Set";
+    case ValueKind::kList:
+      return "List";
+    case ValueKind::kRef:
+      return "Ref";
+    case ValueKind::kTagged:
+      return "Tagged";
+  }
+  return "Unknown";
+}
+
+struct Value::Rep {
+  ValueKind kind;
+  std::variant<std::monostate, bool, int64_t, double, std::string,
+               std::vector<RecordField>, std::vector<Value>, Oid,
+               std::pair<std::string, Value>>
+      payload;
+};
+
+bool RecordField::operator==(const RecordField& other) const {
+  return name == other.name && value == other.value;
+}
+
+Value Value::Bool(bool v) {
+  return Value(std::make_shared<const Rep>(Rep{ValueKind::kBool, v}));
+}
+
+Value Value::Int(int64_t v) {
+  return Value(std::make_shared<const Rep>(Rep{ValueKind::kInt, v}));
+}
+
+Value Value::Real(double v) {
+  return Value(std::make_shared<const Rep>(Rep{ValueKind::kReal, v}));
+}
+
+Value Value::String(std::string v) {
+  return Value(
+      std::make_shared<const Rep>(Rep{ValueKind::kString, std::move(v)}));
+}
+
+Result<Value> Value::Record(std::vector<RecordField> fields) {
+  std::sort(fields.begin(), fields.end(),
+            [](const RecordField& a, const RecordField& b) {
+              return a.name < b.name;
+            });
+  for (size_t i = 1; i < fields.size(); ++i) {
+    if (fields[i].name == fields[i - 1].name) {
+      return Status::InvalidArgument("duplicate record field: " +
+                                     fields[i].name);
+    }
+  }
+  return Value(
+      std::make_shared<const Rep>(Rep{ValueKind::kRecord, std::move(fields)}));
+}
+
+Value Value::RecordOf(std::vector<RecordField> fields) {
+  Result<Value> r = Record(std::move(fields));
+  if (!r.ok()) {
+    // Programmer error in a literal; fail loudly.
+    std::abort();
+  }
+  return std::move(r).value();
+}
+
+Value Value::Set(std::vector<Value> elements) {
+  std::sort(elements.begin(), elements.end(),
+            [](const Value& a, const Value& b) { return Compare(a, b) < 0; });
+  elements.erase(std::unique(elements.begin(), elements.end()),
+                 elements.end());
+  return Value(
+      std::make_shared<const Rep>(Rep{ValueKind::kSet, std::move(elements)}));
+}
+
+Value Value::List(std::vector<Value> elements) {
+  return Value(
+      std::make_shared<const Rep>(Rep{ValueKind::kList, std::move(elements)}));
+}
+
+Value Value::Ref(Oid oid) {
+  return Value(std::make_shared<const Rep>(Rep{ValueKind::kRef, oid}));
+}
+
+Value Value::Tagged(std::string tag, Value payload) {
+  return Value(std::make_shared<const Rep>(
+      Rep{ValueKind::kTagged,
+          std::make_pair(std::move(tag), std::move(payload))}));
+}
+
+ValueKind Value::kind() const {
+  return rep_ ? rep_->kind : ValueKind::kBottom;
+}
+
+bool Value::AsBool() const {
+  assert(kind() == ValueKind::kBool);
+  return std::get<bool>(rep_->payload);
+}
+
+int64_t Value::AsInt() const {
+  assert(kind() == ValueKind::kInt);
+  return std::get<int64_t>(rep_->payload);
+}
+
+double Value::AsReal() const {
+  assert(kind() == ValueKind::kReal);
+  return std::get<double>(rep_->payload);
+}
+
+const std::string& Value::AsString() const {
+  assert(kind() == ValueKind::kString);
+  return std::get<std::string>(rep_->payload);
+}
+
+Oid Value::AsRef() const {
+  assert(kind() == ValueKind::kRef);
+  return std::get<Oid>(rep_->payload);
+}
+
+const std::vector<Value::RecordField>& Value::fields() const {
+  assert(kind() == ValueKind::kRecord);
+  return std::get<std::vector<RecordField>>(rep_->payload);
+}
+
+const std::vector<Value>& Value::elements() const {
+  assert(kind() == ValueKind::kSet || kind() == ValueKind::kList);
+  return std::get<std::vector<Value>>(rep_->payload);
+}
+
+const std::string& Value::tag() const {
+  assert(kind() == ValueKind::kTagged);
+  return std::get<std::pair<std::string, Value>>(rep_->payload).first;
+}
+
+const Value& Value::payload() const {
+  assert(kind() == ValueKind::kTagged);
+  return std::get<std::pair<std::string, Value>>(rep_->payload).second;
+}
+
+const Value* Value::FindField(std::string_view name) const {
+  if (kind() != ValueKind::kRecord) return nullptr;
+  const auto& fs = fields();
+  auto it = std::lower_bound(
+      fs.begin(), fs.end(), name,
+      [](const RecordField& f, std::string_view n) { return f.name < n; });
+  if (it != fs.end() && it->name == name) return &it->value;
+  return nullptr;
+}
+
+Value Value::WithField(std::string_view name, Value v) const {
+  assert(kind() == ValueKind::kRecord);
+  std::vector<RecordField> fs = fields();
+  bool replaced = false;
+  for (auto& f : fs) {
+    if (f.name == name) {
+      f.value = std::move(v);
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) fs.push_back({std::string(name), std::move(v)});
+  return RecordOf(std::move(fs));
+}
+
+Value Value::Project(const std::vector<std::string>& names) const {
+  assert(kind() == ValueKind::kRecord);
+  std::vector<RecordField> out;
+  for (const auto& n : names) {
+    if (const Value* v = FindField(n)) out.push_back({n, *v});
+  }
+  return RecordOf(std::move(out));
+}
+
+bool Value::operator==(const Value& other) const {
+  return Compare(*this, other) == 0;
+}
+
+namespace {
+
+size_t HashCombine(size_t seed, size_t h) {
+  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace
+
+size_t Value::Hash() const {
+  size_t h = static_cast<size_t>(kind()) * 0x9e3779b97f4a7c15ULL + 1;
+  switch (kind()) {
+    case ValueKind::kBottom:
+      return h;
+    case ValueKind::kBool:
+      return HashCombine(h, AsBool() ? 2 : 1);
+    case ValueKind::kInt:
+      return HashCombine(h, std::hash<int64_t>()(AsInt()));
+    case ValueKind::kReal:
+      return HashCombine(h, std::hash<double>()(AsReal()));
+    case ValueKind::kString:
+      return HashCombine(h, std::hash<std::string>()(AsString()));
+    case ValueKind::kRef:
+      return HashCombine(h, std::hash<Oid>()(AsRef()));
+    case ValueKind::kRecord: {
+      for (const auto& f : fields()) {
+        h = HashCombine(h, std::hash<std::string>()(f.name));
+        h = HashCombine(h, f.value.Hash());
+      }
+      return h;
+    }
+    case ValueKind::kSet:
+    case ValueKind::kList: {
+      for (const auto& e : elements()) h = HashCombine(h, e.Hash());
+      return h;
+    }
+    case ValueKind::kTagged:
+      h = HashCombine(h, std::hash<std::string>()(tag()));
+      return HashCombine(h, payload().Hash());
+  }
+  return h;
+}
+
+int Compare(const Value& a, const Value& b) {
+  if (a.rep_ == b.rep_) return 0;  // covers Bottom==Bottom and shared reps
+  if (a.kind() != b.kind()) {
+    return static_cast<int>(a.kind()) < static_cast<int>(b.kind()) ? -1 : 1;
+  }
+  switch (a.kind()) {
+    case ValueKind::kBottom:
+      return 0;
+    case ValueKind::kBool:
+      return static_cast<int>(a.AsBool()) - static_cast<int>(b.AsBool());
+    case ValueKind::kInt: {
+      int64_t x = a.AsInt(), y = b.AsInt();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case ValueKind::kReal: {
+      double x = a.AsReal(), y = b.AsReal();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case ValueKind::kString:
+      return a.AsString().compare(b.AsString());
+    case ValueKind::kRef: {
+      Oid x = a.AsRef(), y = b.AsRef();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case ValueKind::kRecord: {
+      const auto& fa = a.fields();
+      const auto& fb = b.fields();
+      size_t n = std::min(fa.size(), fb.size());
+      for (size_t i = 0; i < n; ++i) {
+        int c = fa[i].name.compare(fb[i].name);
+        if (c != 0) return c;
+        c = Compare(fa[i].value, fb[i].value);
+        if (c != 0) return c;
+      }
+      if (fa.size() != fb.size()) return fa.size() < fb.size() ? -1 : 1;
+      return 0;
+    }
+    case ValueKind::kSet:
+    case ValueKind::kList: {
+      const auto& ea = a.elements();
+      const auto& eb = b.elements();
+      size_t n = std::min(ea.size(), eb.size());
+      for (size_t i = 0; i < n; ++i) {
+        int c = Compare(ea[i], eb[i]);
+        if (c != 0) return c;
+      }
+      if (ea.size() != eb.size()) return ea.size() < eb.size() ? -1 : 1;
+      return 0;
+    }
+    case ValueKind::kTagged: {
+      int c = a.tag().compare(b.tag());
+      if (c != 0) return c;
+      return Compare(a.payload(), b.payload());
+    }
+  }
+  return 0;
+}
+
+namespace {
+
+void Render(const Value& v, std::ostream& os) {
+  switch (v.kind()) {
+    case ValueKind::kBottom:
+      os << "_|_";
+      return;
+    case ValueKind::kBool:
+      os << (v.AsBool() ? "true" : "false");
+      return;
+    case ValueKind::kInt:
+      os << v.AsInt();
+      return;
+    case ValueKind::kReal:
+      os << v.AsReal();
+      return;
+    case ValueKind::kString:
+      os << '"' << v.AsString() << '"';
+      return;
+    case ValueKind::kRef:
+      os << "@" << v.AsRef();
+      return;
+    case ValueKind::kRecord: {
+      os << "{";
+      bool first = true;
+      for (const auto& f : v.fields()) {
+        if (!first) os << ", ";
+        first = false;
+        os << f.name << " = ";
+        Render(f.value, os);
+      }
+      os << "}";
+      return;
+    }
+    case ValueKind::kSet: {
+      os << "{|";
+      bool first = true;
+      for (const auto& e : v.elements()) {
+        if (!first) os << ", ";
+        first = false;
+        Render(e, os);
+      }
+      os << "|}";
+      return;
+    }
+    case ValueKind::kList: {
+      os << "[";
+      bool first = true;
+      for (const auto& e : v.elements()) {
+        if (!first) os << ", ";
+        first = false;
+        Render(e, os);
+      }
+      os << "]";
+      return;
+    }
+    case ValueKind::kTagged:
+      os << v.tag() << "(";
+      Render(v.payload(), os);
+      os << ")";
+      return;
+  }
+}
+
+}  // namespace
+
+std::string Value::ToString() const {
+  std::ostringstream os;
+  Render(*this, os);
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  Render(v, os);
+  return os;
+}
+
+}  // namespace dbpl::core

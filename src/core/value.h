@@ -1,0 +1,156 @@
+#ifndef DBPL_CORE_VALUE_H_
+#define DBPL_CORE_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace dbpl::core {
+
+/// Object identifier: a stable name for a mutable object in a `Heap`.
+/// `kInvalidOid` (0) never names an object.
+using Oid = uint64_t;
+inline constexpr Oid kInvalidOid = 0;
+
+/// The kinds of database values.
+///
+/// The model follows the paper's "Inheritance on Values" section: values
+/// are atoms, records whose components may themselves be records, sets,
+/// lists, and references to heap objects. `kBottom` is the least element
+/// of the information ordering — the wholly uninformative value.
+enum class ValueKind : uint8_t {
+  kBottom = 0,
+  kBool,
+  kInt,
+  kReal,
+  kString,
+  kRecord,
+  kSet,
+  kList,
+  kRef,
+  /// A tagged value `tag(payload)` — an inhabitant of a variant type.
+  kTagged,
+};
+
+/// Human-readable name of a value kind ("Record", "Int", ...).
+std::string_view ValueKindName(ValueKind kind);
+
+struct RecordField;
+
+/// An immutable database value.
+///
+/// `Value` is a cheap-to-copy handle (one shared pointer) to an immutable
+/// representation. Records keep their fields sorted by name; sets keep
+/// their elements deduplicated and sorted by the *canonical* total order
+/// (`Compare`), so structural equality is representation equality.
+///
+/// Two distinct orders exist on values and must not be confused:
+///  * the canonical total order `Compare` — an arbitrary but consistent
+///    ordering used for normalization, maps and sets of values;
+///  * the *information* partial order `⊑` of the paper, implemented in
+///    order.h (`LessEq`, `Join`, `Meet`).
+class Value {
+ public:
+  /// A (name, value) pair inside a record (alias of core::RecordField).
+  using RecordField = ::dbpl::core::RecordField;
+
+  /// Constructs Bottom (the valueless value, `⊥`).
+  Value() = default;
+
+  static Value Bottom() { return Value(); }
+  static Value Bool(bool v);
+  static Value Int(int64_t v);
+  static Value Real(double v);
+  static Value String(std::string v);
+  /// Builds a record; duplicate field names are rejected.
+  static Result<Value> Record(std::vector<RecordField> fields);
+  /// Builds a record from distinct field names; aborts on duplicates.
+  /// Convenience for literals in tests and examples.
+  static Value RecordOf(std::vector<RecordField> fields);
+  /// Builds a set; elements are deduplicated and canonically sorted.
+  static Value Set(std::vector<Value> elements);
+  /// Builds a list (ordered, duplicates preserved).
+  static Value List(std::vector<Value> elements);
+  /// Builds a reference to heap object `oid`.
+  static Value Ref(Oid oid);
+  /// Builds a tagged value `tag(payload)` (a variant inhabitant).
+  static Value Tagged(std::string tag, Value payload);
+
+  ValueKind kind() const;
+  bool is_bottom() const { return kind() == ValueKind::kBottom; }
+
+  /// Accessors. Each requires the matching kind.
+  bool AsBool() const;
+  int64_t AsInt() const;
+  double AsReal() const;
+  const std::string& AsString() const;
+  Oid AsRef() const;
+  /// Record fields, sorted by name. Requires kRecord.
+  const std::vector<RecordField>& fields() const;
+  /// Set or list elements. Requires kSet or kList.
+  const std::vector<Value>& elements() const;
+  /// Variant tag. Requires kTagged.
+  const std::string& tag() const;
+  /// Variant payload. Requires kTagged.
+  const Value& payload() const;
+
+  /// Looks up a record field by name; nullptr when absent or not a record.
+  const Value* FindField(std::string_view name) const;
+
+  /// Returns a copy of this record with `name` bound to `v` (replacing any
+  /// existing binding). Requires kRecord.
+  Value WithField(std::string_view name, Value v) const;
+
+  /// Returns this record restricted to the given field names (fields not
+  /// present are simply absent in the result). Requires kRecord.
+  Value Project(const std::vector<std::string>& names) const;
+
+  /// Structural equality.
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Structural hash, compatible with operator==.
+  size_t Hash() const;
+
+  /// Renders the value using the paper's notation, e.g.
+  /// `{Name = "J Doe", Addr = {City = "Austin"}}`.
+  std::string ToString() const;
+
+ private:
+  struct Rep;
+  explicit Value(std::shared_ptr<const Rep> rep) : rep_(std::move(rep)) {}
+
+  /// nullptr encodes Bottom; everything else points to an immutable Rep.
+  std::shared_ptr<const Rep> rep_;
+
+  friend int Compare(const Value& a, const Value& b);
+};
+
+/// A (name, value) pair inside a record.
+struct RecordField {
+  std::string name;
+  Value value;
+
+  bool operator==(const RecordField& other) const;
+};
+
+/// Canonical total order: negative/zero/positive like strcmp. This is a
+/// normalization order, *not* the information order of the paper.
+int Compare(const Value& a, const Value& b);
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+/// Hash functor for unordered containers keyed by Value.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace dbpl::core
+
+#endif  // DBPL_CORE_VALUE_H_

@@ -1,0 +1,90 @@
+#include "dyndb/database.h"
+
+#include "types/subtype.h"
+
+namespace dbpl::dyndb {
+
+Database::EntryId Database::Insert(Dynamic d) {
+  EntryId id = entries_.size();
+  by_type_[d.type].push_back(id);
+  for (auto& [name, extent] : extents_) {
+    if (types::IsSubtype(d.type, extent.type)) {
+      extent.members.push_back(id);
+    }
+  }
+  entries_.push_back(std::move(d));
+  return id;
+}
+
+Result<Dynamic> Database::Get(EntryId id) const {
+  if (id >= entries_.size()) {
+    return Status::NotFound("no entry with id " + std::to_string(id));
+  }
+  return entries_[id];
+}
+
+std::vector<core::Value> Database::GetScan(const types::Type& t) const {
+  std::vector<core::Value> out;
+  for (const Dynamic& d : entries_) {
+    if (types::IsSubtype(d.type, t)) out.push_back(d.value);
+  }
+  return out;
+}
+
+Result<std::vector<core::Value>> Database::GetViaExtent(
+    const types::Type& t) const {
+  for (const auto& [name, extent] : extents_) {
+    if (types::TypeEquiv(extent.type, t)) {
+      std::vector<core::Value> out;
+      out.reserve(extent.members.size());
+      for (EntryId id : extent.members) out.push_back(entries_[id].value);
+      return out;
+    }
+  }
+  return Status::NotFound("no registered extent for type " + t.ToString());
+}
+
+std::vector<core::Value> Database::GetViaIndex(const types::Type& t) const {
+  std::vector<core::Value> out;
+  for (const auto& [type, ids] : by_type_) {
+    if (types::IsSubtype(type, t)) {
+      for (EntryId id : ids) out.push_back(entries_[id].value);
+    }
+  }
+  return out;
+}
+
+std::vector<Dynamic> Database::GetPackages(const types::Type& t) const {
+  std::vector<Dynamic> out;
+  for (const Dynamic& d : entries_) {
+    if (types::IsSubtype(d.type, t)) {
+      Result<Dynamic> sealed = Seal(d, t);
+      if (sealed.ok()) out.push_back(std::move(sealed).value());
+    }
+  }
+  return out;
+}
+
+Status Database::RegisterExtent(const std::string& name, types::Type t) {
+  if (extents_.contains(name)) {
+    return Status::AlreadyExists("extent already registered: " + name);
+  }
+  Extent extent;
+  extent.type = std::move(t);
+  for (EntryId id = 0; id < entries_.size(); ++id) {
+    if (types::IsSubtype(entries_[id].type, extent.type)) {
+      extent.members.push_back(id);
+    }
+  }
+  extents_.emplace(name, std::move(extent));
+  return Status::OK();
+}
+
+std::vector<std::string> Database::ExtentNames() const {
+  std::vector<std::string> out;
+  out.reserve(extents_.size());
+  for (const auto& [name, _] : extents_) out.push_back(name);
+  return out;
+}
+
+}  // namespace dbpl::dyndb

@@ -1,0 +1,96 @@
+#ifndef DBPL_DYNDB_DATABASE_H_
+#define DBPL_DYNDB_DATABASE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dyndb/dynamic.h"
+#include "types/type.h"
+
+namespace dbpl::dyndb {
+
+/// A heterogeneous database: "a list of dynamic values", as the paper
+/// constructs in Amber. Anything can be inserted — the database is
+/// deliberately unconstrained — and extents are *derived* from the type
+/// hierarchy by the generic
+///
+///   Get : ∀t. Database → List[∃t' ≤ t. t']
+///
+/// rather than being stored per class. The class hierarchy is thereby
+/// derived from the type hierarchy: `T ≤ U` implies
+/// `Get(T) ⊆ Get(U)` for every database.
+///
+/// Three implementations of Get are provided, matching the efficiency
+/// discussion in the paper (experiment E2):
+///  * `GetScan` — "traverse the whole database ... with the overhead of
+///    having to check the structure of each value we encounter";
+///  * `GetViaExtent` — "keep a set of (statically) typed lists", i.e.
+///    maintained extents, which cost bookkeeping on every insert and
+///    must be declared in advance for each type of interest;
+///  * `GetViaIndex` — a middle road this library adds: values are
+///    grouped by their *principal* type, so a Get performs one subtype
+///    check per distinct principal type instead of one per value.
+class Database {
+ public:
+  /// Identifier of an inserted value (insertion order, starting at 0).
+  using EntryId = uint64_t;
+
+  Database() = default;
+
+  /// Inserts a dynamic value. Updates every registered extent.
+  EntryId Insert(Dynamic d);
+
+  /// Convenience: wraps and inserts a plain value.
+  EntryId InsertValue(core::Value v) { return Insert(MakeDynamic(std::move(v))); }
+
+  size_t size() const { return entries_.size(); }
+  const std::vector<Dynamic>& entries() const { return entries_; }
+
+  /// Entry by id.
+  Result<Dynamic> Get(EntryId id) const;
+
+  /// Strategy 1: full scan with a subtype check per value.
+  std::vector<core::Value> GetScan(const types::Type& t) const;
+
+  /// Strategy 2: read a maintained extent. Fails with NotFound unless
+  /// `RegisterExtent` was called for a type equivalent to `t` before the
+  /// relevant inserts (extents register retroactively, scanning once).
+  Result<std::vector<core::Value>> GetViaExtent(const types::Type& t) const;
+
+  /// Strategy 3: principal-type index; one subtype check per distinct
+  /// principal type present in the database.
+  std::vector<core::Value> GetViaIndex(const types::Type& t) const;
+
+  /// Like GetScan, but returns existential packages of type
+  /// `∃t' ≤ t. t'` — the precise result type of the paper's Get.
+  std::vector<Dynamic> GetPackages(const types::Type& t) const;
+
+  /// Declares a maintained extent for `t`; existing entries are indexed
+  /// immediately, later inserts incrementally.
+  Status RegisterExtent(const std::string& name, types::Type t);
+
+  /// Names of registered extents.
+  std::vector<std::string> ExtentNames() const;
+
+  /// Number of distinct principal types currently indexed.
+  size_t DistinctTypeCount() const { return by_type_.size(); }
+
+ private:
+  struct Extent {
+    types::Type type;
+    std::vector<EntryId> members;
+  };
+
+  std::vector<Dynamic> entries_;
+  /// Principal type -> entries with exactly that carried type.
+  std::map<types::Type, std::vector<EntryId>, types::TypeLess> by_type_;
+  /// Named maintained extents.
+  std::map<std::string, Extent> extents_;
+};
+
+}  // namespace dbpl::dyndb
+
+#endif  // DBPL_DYNDB_DATABASE_H_

@@ -1,0 +1,42 @@
+#include "dyndb/dynamic.h"
+
+#include "types/subtype.h"
+#include "types/type_of.h"
+
+namespace dbpl::dyndb {
+
+std::string Dynamic::ToString() const {
+  return "dynamic(" + value.ToString() + " : " + type.ToString() + ")";
+}
+
+Dynamic MakeDynamic(core::Value v) {
+  types::Type t = types::TypeOf(v);
+  return Dynamic{std::move(v), std::move(t)};
+}
+
+Result<Dynamic> MakeDynamicAs(core::Value v, types::Type declared) {
+  types::Type principal = types::TypeOf(v);
+  if (!types::IsSubtype(principal, declared)) {
+    return Status::TypeError("value of type " + principal.ToString() +
+                             " cannot be declared as " + declared.ToString());
+  }
+  return Dynamic{std::move(v), std::move(declared)};
+}
+
+Result<core::Value> Coerce(const Dynamic& d, const types::Type& target) {
+  if (!types::IsSubtype(d.type, target)) {
+    return Status::TypeError("cannot coerce " + d.type.ToString() + " to " +
+                             target.ToString());
+  }
+  return d.value;
+}
+
+Result<Dynamic> Seal(const Dynamic& d, const types::Type& bound) {
+  if (!types::IsSubtype(d.type, bound)) {
+    return Status::TypeError("cannot seal " + d.type.ToString() +
+                             " at bound " + bound.ToString());
+  }
+  return Dynamic{d.value, types::Type::Exists("t", bound, types::Type::Var("t"))};
+}
+
+}  // namespace dbpl::dyndb

@@ -1,0 +1,52 @@
+#ifndef DBPL_DYNDB_DYNAMIC_H_
+#define DBPL_DYNDB_DYNAMIC_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/value.h"
+#include "types/type.h"
+
+namespace dbpl::dyndb {
+
+/// Amber's `Dynamic`: a value that "carries around both a value and a
+/// type". Ordinary values are made dynamic with `MakeDynamic` and
+/// coerced back with `Coerce`, exactly as in the paper's example:
+///
+///   let d = dynamic 3;
+///   let i = coerce d to Int;      -- i = 3
+///   let s = coerce d to String;   -- run-time type error
+struct Dynamic {
+  core::Value value;
+  types::Type type;
+
+  bool operator==(const Dynamic& other) const {
+    return value == other.value && type == other.type;
+  }
+  std::string ToString() const;
+};
+
+/// Wraps a value with its principal structural type (Amber's `dynamic`
+/// operator composed with `typeOf`).
+Dynamic MakeDynamic(core::Value v);
+
+/// Wraps a value with a declared type; fails with TypeError unless the
+/// value's principal type is a subtype of the declaration.
+Result<Dynamic> MakeDynamicAs(core::Value v, types::Type declared);
+
+/// Amber's `typeOf`: the type carried by a dynamic value.
+inline const types::Type& TypeOfDynamic(const Dynamic& d) { return d.type; }
+
+/// Amber's `coerce d to T`: succeeds iff the carried type is a subtype
+/// of the target (the static type the program will see), failing with
+/// TypeError otherwise.
+Result<core::Value> Coerce(const Dynamic& d, const types::Type& target);
+
+/// Packs a dynamic value as an existential package of type
+/// `∃t ≤ bound. t` — the element type of the paper's generic `Get`.
+/// Fails with TypeError unless the carried type is a subtype of `bound`.
+Result<Dynamic> Seal(const Dynamic& d, const types::Type& bound);
+
+}  // namespace dbpl::dyndb
+
+#endif  // DBPL_DYNDB_DYNAMIC_H_

@@ -1,0 +1,133 @@
+#ifndef DBPL_LANG_AST_H_
+#define DBPL_LANG_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "types/type.h"
+
+namespace dbpl::lang {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+enum class ExprKind : uint8_t {
+  kBoolLit,
+  kIntLit,
+  kRealLit,
+  kStringLit,
+  kVar,
+  kRecordLit,
+  kListLit,
+  kSetLit,
+  kField,    // a.f
+  kBinary,
+  kUnary,
+  kIf,
+  kLambda,
+  kCall,
+  kLet,      // let x = e1 in e2
+  kDynamic,  // dynamic e
+  kCoerce,   // coerce e to T
+  kTypeofE,  // typeof e (renders the carried type of a dynamic)
+  kJoinE,    // e1 join e2 (the information join ⊔)
+  kNewDb,    // database  (a fresh empty database)
+  kInsert,   // insert e into db
+  kGet,      // get T from db (the paper's generic Get)
+  kExtern,   // extern e as "handle"
+  kIntern,   // intern "handle"
+  kVariantLit,  // <tag = e> — a variant inhabitant
+  kCase,        // case e of tag1(x) => e1 | ... end
+};
+
+enum class BinaryOp : uint8_t {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+};
+
+enum class UnaryOp : uint8_t {
+  kNot,
+  kNeg,
+};
+
+/// A lambda parameter with its (mandatory) type annotation.
+struct Param {
+  std::string name;
+  types::Type type;
+};
+
+/// One arm of a case expression: `tag(binder) => body`.
+struct CaseArm {
+  std::string tag;
+  std::string binder;
+  ExprPtr body;
+};
+
+/// One AST node. A single struct with optional payloads keeps the tree
+/// simple to build and walk; `kind` dictates which fields are live.
+struct Expr {
+  ExprKind kind;
+  int line = 0;
+  int column = 0;
+
+  // Literals and names.
+  bool bool_val = false;
+  int64_t int_val = 0;
+  double real_val = 0;
+  /// Variable / field / let-binder / extern-intern handle / string lit.
+  std::string str;
+
+  // Children.
+  ExprPtr a;  // lhs / callee / condition / operand / bound expr
+  ExprPtr b;  // rhs / then / body
+  ExprPtr c;  // else
+  std::vector<std::pair<std::string, ExprPtr>> fields;  // record literal
+  std::vector<ExprPtr> elems;                           // list/set/args
+
+  BinaryOp bin_op = BinaryOp::kAdd;
+  UnaryOp un_op = UnaryOp::kNot;
+
+  std::vector<Param> params;  // lambda
+  std::vector<CaseArm> arms;  // case
+  /// Coerce target, Get type, lambda return / let annotation.
+  types::Type type;
+  bool has_type = false;
+};
+
+/// A top-level declaration.
+struct Decl {
+  enum class Kind : uint8_t {
+    kTypeAlias,  // type Name = T;
+    kLet,        // let x [: T] = e;
+    kLetRec,     // let rec f(x: T, ...) : R = e;
+    kExpr,       // e;  (evaluated; its value is a program output)
+  };
+
+  Kind kind;
+  int line = 0;
+  std::string name;       // alias / binder name
+  types::Type type;       // alias target or let annotation
+  bool has_type = false;
+  ExprPtr expr;           // bound expression (a lambda for kLetRec)
+};
+
+struct Program {
+  std::vector<Decl> decls;
+};
+
+}  // namespace dbpl::lang
+
+#endif  // DBPL_LANG_AST_H_

@@ -1,0 +1,576 @@
+#include "lang/eval.h"
+
+#include "core/order.h"
+#include "dyndb/dynamic.h"
+#include "lang/typecheck.h"
+#include "types/subtype.h"
+#include "types/type_of.h"
+
+namespace dbpl::lang {
+namespace {
+
+using core::Value;
+
+/// Builds a list RtValue: a plain data list when every element is
+/// data, a generic list otherwise.
+RtValue MakeListValue(std::vector<RtValue> elems) {
+  bool all_data = true;
+  for (const auto& e : elems) {
+    if (!e.is_data()) {
+      all_data = false;
+      break;
+    }
+  }
+  if (all_data) {
+    std::vector<Value> core_elems;
+    core_elems.reserve(elems.size());
+    for (const auto& e : elems) core_elems.push_back(e.data());
+    return RtValue::Data(Value::List(std::move(core_elems)));
+  }
+  return RtValue::GenList(std::move(elems));
+}
+
+}  // namespace
+
+Result<RtValue> Evaluator::EvalDecl(const Decl& decl) {
+  switch (decl.kind) {
+    case Decl::Kind::kTypeAlias:
+      return RtValue::Data(Value::Bottom());
+    case Decl::Kind::kLet: {
+      DBPL_ASSIGN_OR_RETURN(RtValue v, Eval(decl.expr, nullptr));
+      globals_[decl.name] = v;
+      return v;
+    }
+    case Decl::Kind::kLetRec: {
+      Closure closure;
+      closure.params = decl.expr->params;
+      closure.body = decl.expr->b;
+      closure.env = nullptr;
+      closure.self_name = decl.name;
+      RtValue fn = RtValue::MakeClosure(std::move(closure));
+      globals_[decl.name] = fn;
+      return fn;
+    }
+    case Decl::Kind::kExpr:
+      return Eval(decl.expr, nullptr);
+  }
+  return Status::Internal("unreachable decl kind");
+}
+
+Result<RtValue> Evaluator::Global(const std::string& name) const {
+  auto it = globals_.find(name);
+  if (it == globals_.end()) {
+    return Status::NotFound("no global named '" + name + "'");
+  }
+  return it->second;
+}
+
+Result<RtValue> Evaluator::Eval(const ExprPtr& eptr, const EnvPtr& env) {
+  const Expr& e = *eptr;
+  switch (e.kind) {
+    case ExprKind::kBoolLit:
+      return RtValue::Data(Value::Bool(e.bool_val));
+    case ExprKind::kIntLit:
+      return RtValue::Data(Value::Int(e.int_val));
+    case ExprKind::kRealLit:
+      return RtValue::Data(Value::Real(e.real_val));
+    case ExprKind::kStringLit:
+      return RtValue::Data(Value::String(e.str));
+    case ExprKind::kVar: {
+      if (env != nullptr) {
+        for (auto it = env->rbegin(); it != env->rend(); ++it) {
+          if (it->first == e.str) return it->second;
+        }
+      }
+      auto it = globals_.find(e.str);
+      if (it != globals_.end()) return it->second;
+      return Err(e.line, "unbound variable '" + e.str + "'");
+    }
+    case ExprKind::kRecordLit: {
+      std::vector<core::RecordField> fields;
+      for (const auto& [name, sub] : e.fields) {
+        DBPL_ASSIGN_OR_RETURN(RtValue v, Eval(sub, env));
+        Result<Value> cv = v.ToCore();
+        if (!cv.ok()) {
+          return Err(e.line, "record fields must be first-order data");
+        }
+        fields.push_back({name, std::move(cv).value()});
+      }
+      Result<Value> made = Value::Record(std::move(fields));
+      if (!made.ok()) return made.status();
+      return RtValue::Data(std::move(made).value());
+    }
+    case ExprKind::kListLit: {
+      std::vector<RtValue> elems;
+      for (const auto& sub : e.elems) {
+        DBPL_ASSIGN_OR_RETURN(RtValue v, Eval(sub, env));
+        elems.push_back(std::move(v));
+      }
+      return MakeListValue(std::move(elems));
+    }
+    case ExprKind::kSetLit: {
+      std::vector<Value> elems;
+      for (const auto& sub : e.elems) {
+        DBPL_ASSIGN_OR_RETURN(RtValue v, Eval(sub, env));
+        Result<Value> cv = v.ToCore();
+        if (!cv.ok()) {
+          return Err(e.line, "set elements must be first-order data");
+        }
+        elems.push_back(std::move(cv).value());
+      }
+      return RtValue::Data(Value::Set(std::move(elems)));
+    }
+    case ExprKind::kField: {
+      DBPL_ASSIGN_OR_RETURN(RtValue v, Eval(e.a, env));
+      if (!v.is_data() || v.data().kind() != core::ValueKind::kRecord) {
+        return Err(e.line, "field selection on a non-record value " +
+                               v.ToString());
+      }
+      const Value* f = v.data().FindField(e.str);
+      if (f == nullptr) {
+        return Err(e.line, "value has no field '" + e.str + "': " +
+                               v.data().ToString());
+      }
+      return RtValue::Data(*f);
+    }
+    case ExprKind::kBinary:
+      return EvalBinary(e, env);
+    case ExprKind::kUnary: {
+      DBPL_ASSIGN_OR_RETURN(RtValue v, Eval(e.a, env));
+      if (e.un_op == UnaryOp::kNot) {
+        return RtValue::Data(Value::Bool(!v.data().AsBool()));
+      }
+      if (v.data().kind() == core::ValueKind::kInt) {
+        return RtValue::Data(Value::Int(-v.data().AsInt()));
+      }
+      return RtValue::Data(Value::Real(-v.data().AsReal()));
+    }
+    case ExprKind::kIf: {
+      DBPL_ASSIGN_OR_RETURN(RtValue c, Eval(e.a, env));
+      return c.data().AsBool() ? Eval(e.b, env) : Eval(e.c, env);
+    }
+    case ExprKind::kLambda: {
+      Closure closure;
+      closure.params = e.params;
+      closure.body = e.b;
+      closure.env = env;
+      return RtValue::MakeClosure(std::move(closure));
+    }
+    case ExprKind::kCall:
+      return EvalCall(e, env);
+    case ExprKind::kLet: {
+      DBPL_ASSIGN_OR_RETURN(RtValue bound, Eval(e.a, env));
+      auto extended = std::make_shared<Env>(
+          env ? *env : Env{});
+      extended->emplace_back(e.str, std::move(bound));
+      return Eval(e.b, extended);
+    }
+    case ExprKind::kDynamic: {
+      DBPL_ASSIGN_OR_RETURN(RtValue v, Eval(e.a, env));
+      Result<Value> cv = v.ToCore();
+      if (!cv.ok()) return Err(e.line, cv.status().message());
+      // Carry the static type recorded by the checker (Amber pairs the
+      // value with its static type); fall back to the principal type.
+      types::Type carried =
+          e.has_type ? e.type : types::TypeOf(*cv);
+      Result<dyndb::Dynamic> d = dyndb::MakeDynamicAs(*cv, carried);
+      if (!d.ok()) return d.status();
+      return RtValue::Dyn(std::move(d).value());
+    }
+    case ExprKind::kCoerce: {
+      DBPL_ASSIGN_OR_RETURN(RtValue v, Eval(e.a, env));
+      if (v.kind() != RtValue::Kind::kDynamic) {
+        return Err(e.line, "'coerce' needs a dynamic value");
+      }
+      Result<Value> out = dyndb::Coerce(v.dyn(), e.type);
+      if (!out.ok()) return out.status();
+      return RtValue::Data(std::move(out).value());
+    }
+    case ExprKind::kTypeofE: {
+      DBPL_ASSIGN_OR_RETURN(RtValue v, Eval(e.a, env));
+      if (v.kind() != RtValue::Kind::kDynamic) {
+        return Err(e.line, "'typeof' needs a dynamic value");
+      }
+      return RtValue::Data(Value::String(v.dyn().type.ToString()));
+    }
+    case ExprKind::kJoinE: {
+      DBPL_ASSIGN_OR_RETURN(RtValue v1, Eval(e.a, env));
+      DBPL_ASSIGN_OR_RETURN(RtValue v2, Eval(e.b, env));
+      Result<Value> c1 = v1.ToCore();
+      Result<Value> c2 = v2.ToCore();
+      if (!c1.ok() || !c2.ok()) {
+        return Err(e.line, "'join' needs first-order data");
+      }
+      Result<Value> joined = core::Join(*c1, *c2);
+      if (!joined.ok()) {
+        return Status::Inconsistent("line " + std::to_string(e.line) + ": " +
+                                    joined.status().message());
+      }
+      return RtValue::Data(std::move(joined).value());
+    }
+    case ExprKind::kNewDb:
+      return RtValue::NewDatabase();
+    case ExprKind::kInsert: {
+      DBPL_ASSIGN_OR_RETURN(RtValue v, Eval(e.a, env));
+      DBPL_ASSIGN_OR_RETURN(RtValue db, Eval(e.b, env));
+      dyndb::Dynamic d;
+      if (v.kind() == RtValue::Kind::kDynamic) {
+        d = v.dyn();
+      } else {
+        Result<Value> cv = v.ToCore();
+        if (!cv.ok()) return Err(e.line, cv.status().message());
+        types::Type carried = e.has_type ? e.type : types::TypeOf(*cv);
+        Result<dyndb::Dynamic> made = dyndb::MakeDynamicAs(*cv, carried);
+        if (!made.ok()) return made.status();
+        d = std::move(made).value();
+      }
+      if (db.kind() == RtValue::Kind::kDatabase) {
+        db.database()->push_back(std::move(d));
+        return db;
+      }
+      // An immutable list of dynamics: insertion builds a new list.
+      DBPL_ASSIGN_OR_RETURN(std::vector<RtValue> elems,
+                            Elements(db, e.line, false));
+      elems.push_back(RtValue::Dyn(std::move(d)));
+      return RtValue::GenList(std::move(elems));
+    }
+    case ExprKind::kGet: {
+      DBPL_ASSIGN_OR_RETURN(RtValue db, Eval(e.b, env));
+      std::vector<dyndb::Dynamic> dynamics;
+      if (db.kind() == RtValue::Kind::kDatabase) {
+        dynamics = *db.database();
+      } else {
+        DBPL_ASSIGN_OR_RETURN(std::vector<RtValue> elems,
+                              Elements(db, e.line, false));
+        for (const auto& el : elems) {
+          if (el.kind() != RtValue::Kind::kDynamic) {
+            return Err(e.line, "'get' source must hold dynamic values");
+          }
+          dynamics.push_back(el.dyn());
+        }
+      }
+      std::vector<RtValue> matches;
+      for (const auto& d : dynamics) {
+        if (types::IsSubtype(d.type, e.type)) {
+          matches.push_back(RtValue::Data(d.value));
+        }
+      }
+      return MakeListValue(std::move(matches));
+    }
+    case ExprKind::kExtern: {
+      if (store_ == nullptr) {
+        return Status::Unsupported("no persistent store configured");
+      }
+      DBPL_ASSIGN_OR_RETURN(RtValue v, Eval(e.a, env));
+      dyndb::Dynamic d;
+      if (v.kind() == RtValue::Kind::kDynamic) {
+        d = v.dyn();
+      } else {
+        Result<Value> cv = v.ToCore();
+        if (!cv.ok()) return Err(e.line, cv.status().message());
+        types::Type carried = e.has_type ? e.type : types::TypeOf(*cv);
+        Result<dyndb::Dynamic> made = dyndb::MakeDynamicAs(*cv, carried);
+        if (!made.ok()) return made.status();
+        d = std::move(made).value();
+      }
+      DBPL_RETURN_IF_ERROR(store_->Extern(e.str, d));
+      return v;
+    }
+    case ExprKind::kIntern: {
+      if (store_ == nullptr) {
+        return Status::Unsupported("no persistent store configured");
+      }
+      Result<dyndb::Dynamic> d = store_->Intern(e.str);
+      if (!d.ok()) return d.status();
+      return RtValue::Dyn(std::move(d).value());
+    }
+    case ExprKind::kVariantLit: {
+      DBPL_ASSIGN_OR_RETURN(RtValue v, Eval(e.a, env));
+      Result<Value> cv = v.ToCore();
+      if (!cv.ok()) return Err(e.line, cv.status().message());
+      return RtValue::Data(Value::Tagged(e.str, std::move(cv).value()));
+    }
+    case ExprKind::kCase: {
+      DBPL_ASSIGN_OR_RETURN(RtValue v, Eval(e.a, env));
+      if (!v.is_data() || v.data().kind() != core::ValueKind::kTagged) {
+        return Err(e.line, "'case' needs a variant value, got " +
+                               v.ToString());
+      }
+      for (const CaseArm& arm : e.arms) {
+        if (arm.tag != v.data().tag()) continue;
+        auto extended = std::make_shared<Env>(env ? *env : Env{});
+        extended->emplace_back(arm.binder,
+                               RtValue::Data(v.data().payload()));
+        return Eval(arm.body, extended);
+      }
+      return Err(e.line, "no case arm matches tag '" + v.data().tag() + "'");
+    }
+  }
+  return Status::Internal("unreachable expression kind");
+}
+
+Result<RtValue> Evaluator::EvalCall(const Expr& e, const EnvPtr& env) {
+  if (e.a->kind == ExprKind::kVar && IsBuiltinName(e.a->str) &&
+      !globals_.contains(e.a->str)) {
+    bool shadowed = false;
+    if (env != nullptr) {
+      for (const auto& [name, _] : *env) {
+        if (name == e.a->str) shadowed = true;
+      }
+    }
+    if (!shadowed) return EvalBuiltin(e, env);
+  }
+  DBPL_ASSIGN_OR_RETURN(RtValue fn, Eval(e.a, env));
+  std::vector<RtValue> args;
+  args.reserve(e.elems.size());
+  for (const auto& arg : e.elems) {
+    DBPL_ASSIGN_OR_RETURN(RtValue v, Eval(arg, env));
+    args.push_back(std::move(v));
+  }
+  return Apply(fn, std::move(args), e.line);
+}
+
+Result<RtValue> Evaluator::Apply(const RtValue& fn, std::vector<RtValue> args,
+                                 int line) {
+  if (fn.kind() != RtValue::Kind::kClosure) {
+    return Err(line, "calling a non-function value " + fn.ToString());
+  }
+  const Closure& closure = fn.closure();
+  if (closure.params.size() != args.size()) {
+    return Err(line, "expected " + std::to_string(closure.params.size()) +
+                         " arguments, got " + std::to_string(args.size()));
+  }
+  auto call_env = std::make_shared<Env>(closure.env ? *closure.env : Env{});
+  if (!closure.self_name.empty()) {
+    call_env->emplace_back(closure.self_name, fn);
+  }
+  for (size_t i = 0; i < args.size(); ++i) {
+    call_env->emplace_back(closure.params[i].name, std::move(args[i]));
+  }
+  return Eval(closure.body, call_env);
+}
+
+Result<std::vector<RtValue>> Evaluator::Elements(const RtValue& v, int line,
+                                                 bool allow_set) {
+  if (v.kind() == RtValue::Kind::kGenList) return v.gen_list();
+  if (v.is_data()) {
+    const Value& data = v.data();
+    if (data.kind() == core::ValueKind::kList ||
+        (allow_set && data.kind() == core::ValueKind::kSet)) {
+      std::vector<RtValue> out;
+      out.reserve(data.elements().size());
+      for (const auto& el : data.elements()) {
+        out.push_back(RtValue::Data(el));
+      }
+      return out;
+    }
+  }
+  if (v.kind() == RtValue::Kind::kDatabase) {
+    std::vector<RtValue> out;
+    for (const auto& d : *v.database()) out.push_back(RtValue::Dyn(d));
+    return out;
+  }
+  return Err(line, "expected a list" + std::string(allow_set ? " or set" : "") +
+                       ", got " + v.ToString());
+}
+
+Result<RtValue> Evaluator::EvalBuiltin(const Expr& e, const EnvPtr& env) {
+  const std::string& name = e.a->str;
+  std::vector<RtValue> args;
+  args.reserve(e.elems.size());
+  for (const auto& arg : e.elems) {
+    DBPL_ASSIGN_OR_RETURN(RtValue v, Eval(arg, env));
+    args.push_back(std::move(v));
+  }
+  if (name == "head") {
+    DBPL_ASSIGN_OR_RETURN(auto elems, Elements(args[0], e.line, false));
+    if (elems.empty()) return Err(e.line, "'head' of an empty list");
+    return elems[0];
+  }
+  if (name == "tail") {
+    DBPL_ASSIGN_OR_RETURN(auto elems, Elements(args[0], e.line, false));
+    if (elems.empty()) return Err(e.line, "'tail' of an empty list");
+    elems.erase(elems.begin());
+    return MakeListValue(std::move(elems));
+  }
+  if (name == "cons") {
+    DBPL_ASSIGN_OR_RETURN(auto elems, Elements(args[1], e.line, false));
+    elems.insert(elems.begin(), args[0]);
+    return MakeListValue(std::move(elems));
+  }
+  if (name == "length") {
+    DBPL_ASSIGN_OR_RETURN(auto elems, Elements(args[0], e.line, true));
+    return RtValue::Data(Value::Int(static_cast<int64_t>(elems.size())));
+  }
+  if (name == "isempty") {
+    DBPL_ASSIGN_OR_RETURN(auto elems, Elements(args[0], e.line, true));
+    return RtValue::Data(Value::Bool(elems.empty()));
+  }
+  if (name == "nth") {
+    DBPL_ASSIGN_OR_RETURN(auto elems, Elements(args[0], e.line, false));
+    int64_t idx = args[1].data().AsInt();
+    if (idx < 0 || static_cast<size_t>(idx) >= elems.size()) {
+      return Err(e.line, "'nth' index " + std::to_string(idx) +
+                             " out of range [0, " +
+                             std::to_string(elems.size()) + ")");
+    }
+    return elems[static_cast<size_t>(idx)];
+  }
+  if (name == "sum") {
+    DBPL_ASSIGN_OR_RETURN(auto elems, Elements(args[0], e.line, true));
+    bool real = false;
+    for (const auto& el : elems) {
+      if (el.is_data() && el.data().kind() == core::ValueKind::kReal) {
+        real = true;
+      }
+    }
+    if (real) {
+      double total = 0;
+      for (const auto& el : elems) total += el.data().AsReal();
+      return RtValue::Data(Value::Real(total));
+    }
+    int64_t total = 0;
+    for (const auto& el : elems) total += el.data().AsInt();
+    return RtValue::Data(Value::Int(total));
+  }
+  if (name == "map") {
+    DBPL_ASSIGN_OR_RETURN(auto elems, Elements(args[1], e.line, false));
+    std::vector<RtValue> out;
+    out.reserve(elems.size());
+    for (auto& el : elems) {
+      DBPL_ASSIGN_OR_RETURN(RtValue v, Apply(args[0], {el}, e.line));
+      out.push_back(std::move(v));
+    }
+    return MakeListValue(std::move(out));
+  }
+  if (name == "filter") {
+    DBPL_ASSIGN_OR_RETURN(auto elems, Elements(args[1], e.line, false));
+    std::vector<RtValue> out;
+    for (auto& el : elems) {
+      DBPL_ASSIGN_OR_RETURN(RtValue keep, Apply(args[0], {el}, e.line));
+      if (keep.data().AsBool()) out.push_back(el);
+    }
+    return MakeListValue(std::move(out));
+  }
+  if (name == "fold") {
+    DBPL_ASSIGN_OR_RETURN(auto elems, Elements(args[2], e.line, false));
+    RtValue acc = args[1];
+    for (auto& el : elems) {
+      DBPL_ASSIGN_OR_RETURN(acc, Apply(args[0], {acc, el}, e.line));
+    }
+    return acc;
+  }
+  if (name == "concat") {
+    DBPL_ASSIGN_OR_RETURN(auto e1, Elements(args[0], e.line, false));
+    DBPL_ASSIGN_OR_RETURN(auto e2, Elements(args[1], e.line, false));
+    e1.insert(e1.end(), e2.begin(), e2.end());
+    return MakeListValue(std::move(e1));
+  }
+  if (name == "elements") {
+    DBPL_ASSIGN_OR_RETURN(auto elems, Elements(args[0], e.line, true));
+    return MakeListValue(std::move(elems));
+  }
+  if (name == "setof") {
+    DBPL_ASSIGN_OR_RETURN(auto elems, Elements(args[0], e.line, false));
+    std::vector<Value> core_elems;
+    for (const auto& el : elems) {
+      Result<Value> cv = el.ToCore();
+      if (!cv.ok()) return Err(e.line, "set elements must be data");
+      core_elems.push_back(std::move(cv).value());
+    }
+    return RtValue::Data(Value::Set(std::move(core_elems)));
+  }
+  if (name == "lesseq" || name == "consistent" || name == "meet") {
+    Result<Value> a = args[0].ToCore();
+    Result<Value> b = args[1].ToCore();
+    if (!a.ok() || !b.ok()) {
+      return Err(e.line, "'" + name + "' needs first-order data");
+    }
+    if (name == "lesseq") {
+      return RtValue::Data(Value::Bool(core::LessEq(*a, *b)));
+    }
+    if (name == "consistent") {
+      return RtValue::Data(Value::Bool(core::Consistent(*a, *b)));
+    }
+    return RtValue::Data(core::Meet(*a, *b));
+  }
+  return Err(e.line, "unknown builtin '" + name + "'");
+}
+
+Result<RtValue> Evaluator::EvalBinary(const Expr& e, const EnvPtr& env) {
+  // Short-circuit logical operators.
+  if (e.bin_op == BinaryOp::kAnd || e.bin_op == BinaryOp::kOr) {
+    DBPL_ASSIGN_OR_RETURN(RtValue lhs, Eval(e.a, env));
+    bool l = lhs.data().AsBool();
+    if (e.bin_op == BinaryOp::kAnd && !l) {
+      return RtValue::Data(Value::Bool(false));
+    }
+    if (e.bin_op == BinaryOp::kOr && l) {
+      return RtValue::Data(Value::Bool(true));
+    }
+    DBPL_ASSIGN_OR_RETURN(RtValue rhs, Eval(e.b, env));
+    return RtValue::Data(Value::Bool(rhs.data().AsBool()));
+  }
+  DBPL_ASSIGN_OR_RETURN(RtValue lhs, Eval(e.a, env));
+  DBPL_ASSIGN_OR_RETURN(RtValue rhs, Eval(e.b, env));
+  if (e.bin_op == BinaryOp::kEq || e.bin_op == BinaryOp::kNe) {
+    Result<bool> eq = lhs.Equals(rhs);
+    if (!eq.ok()) return eq.status();
+    return RtValue::Data(
+        Value::Bool(e.bin_op == BinaryOp::kEq ? *eq : !*eq));
+  }
+  const Value& a = lhs.data();
+  const Value& b = rhs.data();
+  switch (e.bin_op) {
+    case BinaryOp::kAdd:
+      if (a.kind() == core::ValueKind::kString) {
+        return RtValue::Data(Value::String(a.AsString() + b.AsString()));
+      }
+      if (a.kind() == core::ValueKind::kInt) {
+        return RtValue::Data(Value::Int(a.AsInt() + b.AsInt()));
+      }
+      return RtValue::Data(Value::Real(a.AsReal() + b.AsReal()));
+    case BinaryOp::kSub:
+      if (a.kind() == core::ValueKind::kInt) {
+        return RtValue::Data(Value::Int(a.AsInt() - b.AsInt()));
+      }
+      return RtValue::Data(Value::Real(a.AsReal() - b.AsReal()));
+    case BinaryOp::kMul:
+      if (a.kind() == core::ValueKind::kInt) {
+        return RtValue::Data(Value::Int(a.AsInt() * b.AsInt()));
+      }
+      return RtValue::Data(Value::Real(a.AsReal() * b.AsReal()));
+    case BinaryOp::kDiv:
+      if (a.kind() == core::ValueKind::kInt) {
+        if (b.AsInt() == 0) return Err(e.line, "division by zero");
+        return RtValue::Data(Value::Int(a.AsInt() / b.AsInt()));
+      }
+      return RtValue::Data(Value::Real(a.AsReal() / b.AsReal()));
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe: {
+      int c = core::Compare(a, b);
+      bool out = false;
+      switch (e.bin_op) {
+        case BinaryOp::kLt:
+          out = c < 0;
+          break;
+        case BinaryOp::kLe:
+          out = c <= 0;
+          break;
+        case BinaryOp::kGt:
+          out = c > 0;
+          break;
+        default:
+          out = c >= 0;
+          break;
+      }
+      return RtValue::Data(Value::Bool(out));
+    }
+    default:
+      return Err(e.line, "unreachable binary operator");
+  }
+}
+
+}  // namespace dbpl::lang

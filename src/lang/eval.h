@@ -1,0 +1,61 @@
+#ifndef DBPL_LANG_EVAL_H_
+#define DBPL_LANG_EVAL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "lang/ast.h"
+#include "lang/rt_value.h"
+#include "persist/replicating_store.h"
+
+namespace dbpl::lang {
+
+/// Evaluates type-checked MiniAmber programs.
+///
+/// `extern`/`intern` are backed by a `persist::ReplicatingStore` so the
+/// language exhibits exactly the replicating-persistence semantics the
+/// paper describes for Amber (handles name copies).
+class Evaluator {
+ public:
+  /// `store` may be null; extern/intern then fail with Unsupported.
+  explicit Evaluator(persist::ReplicatingStore* store) : store_(store) {}
+
+  /// Evaluates one top-level declaration, updating the global
+  /// environment. For expression statements the value is returned;
+  /// for lets, the bound value.
+  Result<RtValue> EvalDecl(const Decl& decl);
+
+  /// Looks up a global binding (for tests and the REPL).
+  Result<RtValue> Global(const std::string& name) const;
+
+ private:
+  using Env = std::vector<std::pair<std::string, RtValue>>;
+  using EnvPtr = std::shared_ptr<const Env>;
+
+  Result<RtValue> Eval(const ExprPtr& e, const EnvPtr& env);
+  Result<RtValue> EvalCall(const Expr& e, const EnvPtr& env);
+  Result<RtValue> EvalBuiltin(const Expr& e, const EnvPtr& env);
+  Result<RtValue> EvalBinary(const Expr& e, const EnvPtr& env);
+  Result<RtValue> Apply(const RtValue& fn, std::vector<RtValue> args,
+                        int line);
+
+  /// Gets the elements of a list-like value (data list, generic list),
+  /// or of a data set when `allow_set`.
+  Result<std::vector<RtValue>> Elements(const RtValue& v, int line,
+                                        bool allow_set);
+
+  Status Err(int line, const std::string& msg) const {
+    return Status::InvalidArgument("line " + std::to_string(line) + ": " +
+                                   msg);
+  }
+
+  persist::ReplicatingStore* store_;
+  std::map<std::string, RtValue> globals_;
+};
+
+}  // namespace dbpl::lang
+
+#endif  // DBPL_LANG_EVAL_H_

@@ -1,0 +1,76 @@
+#ifndef DBPL_LANG_INTERP_H_
+#define DBPL_LANG_INTERP_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "lang/eval.h"
+#include "lang/typecheck.h"
+#include "lang/rt_value.h"
+#include "persist/replicating_store.h"
+
+namespace dbpl::lang {
+
+/// MiniAmber: the small statically-typed database programming language
+/// this library uses to reproduce the paper's program fragments.
+///
+/// Highlights (all straight from the paper):
+///  * structural record types with inferred subtyping — declaring
+///    `type Employee = {Name: String, Empno: Int}` makes Employee a
+///    subtype of `{Name: String}` by structure alone, as in Amber;
+///  * `dynamic e`, `coerce d to T`, `typeof d` — Amber's Dynamic;
+///  * `database` / `insert e into db` / `get T from db` — the
+///    heterogeneous database as a list of dynamics, with extents
+///    *derived* by the generic Get (result type `List[Exists t <= T. t]`);
+///  * `e1 join e2` — object-level information join `⊔`;
+///  * `extern e as "handle"` / `intern "handle"` — replicating
+///    persistence with copy semantics.
+///
+/// Example (the paper's dynamic/coerce fragment):
+///
+///   let d = dynamic 3;
+///   let i = coerce d to Int;   -- 3
+///   i + 1;                     -- prints 4
+///
+/// Each top-level expression statement's value becomes one line of the
+/// program's output.
+class Interp {
+ public:
+  /// Outputs of one program run.
+  struct Output {
+    /// Rendered value of each expression statement, in order.
+    std::vector<std::string> values;
+    /// Static type of each expression statement (same order).
+    std::vector<std::string> types;
+  };
+
+  /// An interpreter whose `extern`/`intern` use the replicating store
+  /// rooted at `persist_dir`; empty disables persistence.
+  explicit Interp(const std::string& persist_dir = "");
+  ~Interp();
+
+  /// Parses, type-checks, and runs a program. Static errors
+  /// (TypeError) are reported before any evaluation happens.
+  Result<Output> Run(std::string_view source);
+
+  /// Runs and keeps the evaluator state, so successive calls share
+  /// globals (a REPL).
+  Result<Output> RunIncremental(std::string_view source);
+
+  /// A global binding after Run/RunIncremental.
+  Result<RtValue> Global(const std::string& name) const;
+
+ private:
+  std::unique_ptr<persist::ReplicatingStore> store_;
+  std::map<std::string, types::Type> aliases_;
+  std::unique_ptr<TypeChecker> checker_;
+  std::unique_ptr<Evaluator> evaluator_;
+};
+
+}  // namespace dbpl::lang
+
+#endif  // DBPL_LANG_INTERP_H_

@@ -1,0 +1,390 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+#include <map>
+
+namespace dbpl::lang {
+
+std::string_view TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof:
+      return "end of input";
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kIntLit:
+      return "integer literal";
+    case TokenKind::kRealLit:
+      return "real literal";
+    case TokenKind::kStringLit:
+      return "string literal";
+    case TokenKind::kLet:
+      return "'let'";
+    case TokenKind::kRec:
+      return "'rec'";
+    case TokenKind::kIn:
+      return "'in'";
+    case TokenKind::kFun:
+      return "'fun'";
+    case TokenKind::kIf:
+      return "'if'";
+    case TokenKind::kThen:
+      return "'then'";
+    case TokenKind::kElse:
+      return "'else'";
+    case TokenKind::kTrue:
+      return "'true'";
+    case TokenKind::kFalse:
+      return "'false'";
+    case TokenKind::kType:
+      return "'type'";
+    case TokenKind::kDynamic:
+      return "'dynamic'";
+    case TokenKind::kCoerce:
+      return "'coerce'";
+    case TokenKind::kTo:
+      return "'to'";
+    case TokenKind::kTypeof:
+      return "'typeof'";
+    case TokenKind::kJoin:
+      return "'join'";
+    case TokenKind::kInsert:
+      return "'insert'";
+    case TokenKind::kInto:
+      return "'into'";
+    case TokenKind::kGet:
+      return "'get'";
+    case TokenKind::kFrom:
+      return "'from'";
+    case TokenKind::kExtern:
+      return "'extern'";
+    case TokenKind::kIntern:
+      return "'intern'";
+    case TokenKind::kAs:
+      return "'as'";
+    case TokenKind::kDatabase:
+      return "'database'";
+    case TokenKind::kAnd:
+      return "'and'";
+    case TokenKind::kOr:
+      return "'or'";
+    case TokenKind::kNot:
+      return "'not'";
+    case TokenKind::kCase:
+      return "'case'";
+    case TokenKind::kOf:
+      return "'of'";
+    case TokenKind::kEnd:
+      return "'end'";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLBrace:
+      return "'{'";
+    case TokenKind::kRBrace:
+      return "'}'";
+    case TokenKind::kLBracket:
+      return "'['";
+    case TokenKind::kRBracket:
+      return "']'";
+    case TokenKind::kLBraceBar:
+      return "'{|'";
+    case TokenKind::kRBraceBar:
+      return "'|}'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kAssign:
+      return "'='";
+    case TokenKind::kEq:
+      return "'=='";
+    case TokenKind::kNe:
+      return "'!='";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kMinus:
+      return "'-'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kSlash:
+      return "'/'";
+    case TokenKind::kArrow:
+      return "'->'";
+    case TokenKind::kFatArrow:
+      return "'=>'";
+    case TokenKind::kBar:
+      return "'|'";
+  }
+  return "unknown token";
+}
+
+std::string Token::Describe() const {
+  if (kind == TokenKind::kIdent || kind == TokenKind::kIntLit ||
+      kind == TokenKind::kRealLit) {
+    return "'" + text + "'";
+  }
+  if (kind == TokenKind::kStringLit) return "\"" + text + "\"";
+  return std::string(TokenKindName(kind));
+}
+
+namespace {
+
+const std::map<std::string_view, TokenKind>& Keywords() {
+  static const auto* keywords = new std::map<std::string_view, TokenKind>{
+      {"let", TokenKind::kLet},       {"rec", TokenKind::kRec},
+      {"in", TokenKind::kIn},         {"fun", TokenKind::kFun},
+      {"if", TokenKind::kIf},         {"then", TokenKind::kThen},
+      {"else", TokenKind::kElse},     {"true", TokenKind::kTrue},
+      {"false", TokenKind::kFalse},   {"type", TokenKind::kType},
+      {"dynamic", TokenKind::kDynamic}, {"coerce", TokenKind::kCoerce},
+      {"to", TokenKind::kTo},         {"typeof", TokenKind::kTypeof},
+      {"join", TokenKind::kJoin},     {"insert", TokenKind::kInsert},
+      {"into", TokenKind::kInto},     {"get", TokenKind::kGet},
+      {"from", TokenKind::kFrom},     {"extern", TokenKind::kExtern},
+      {"intern", TokenKind::kIntern}, {"as", TokenKind::kAs},
+      {"database", TokenKind::kDatabase}, {"and", TokenKind::kAnd},
+      {"or", TokenKind::kOr},         {"not", TokenKind::kNot},
+      {"case", TokenKind::kCase},     {"of", TokenKind::kOf},
+      {"end", TokenKind::kEnd},
+  };
+  return *keywords;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(std::string_view source) {
+  std::vector<Token> out;
+  size_t i = 0;
+  int line = 1;
+  int column = 1;
+
+  auto advance = [&](size_t n) {
+    for (size_t k = 0; k < n; ++k) {
+      if (i < source.size() && source[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+      ++i;
+    }
+  };
+  auto make = [&](TokenKind kind, std::string text) {
+    out.push_back(Token{kind, std::move(text), line, column});
+  };
+  auto error = [&](const std::string& msg) {
+    return Status::InvalidArgument("lex error at line " +
+                                   std::to_string(line) + ":" +
+                                   std::to_string(column) + ": " + msg);
+  };
+
+  while (i < source.size()) {
+    char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    // Comment: -- to end of line.
+    if (c == '-' && i + 1 < source.size() && source[i + 1] == '-') {
+      while (i < source.size() && source[i] != '\n') advance(1);
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[i])) ||
+              source[i] == '_')) {
+        advance(1);
+      }
+      std::string word(source.substr(start, i - start));
+      auto it = Keywords().find(word);
+      if (it != Keywords().end()) {
+        make(it->second, std::move(word));
+      } else {
+        make(TokenKind::kIdent, std::move(word));
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_real = false;
+      while (i < source.size() &&
+             std::isdigit(static_cast<unsigned char>(source[i]))) {
+        advance(1);
+      }
+      if (i + 1 < source.size() && source[i] == '.' &&
+          std::isdigit(static_cast<unsigned char>(source[i + 1]))) {
+        is_real = true;
+        advance(1);
+        while (i < source.size() &&
+               std::isdigit(static_cast<unsigned char>(source[i]))) {
+          advance(1);
+        }
+      }
+      make(is_real ? TokenKind::kRealLit : TokenKind::kIntLit,
+           std::string(source.substr(start, i - start)));
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      advance(1);
+      std::string text;
+      bool closed = false;
+      while (i < source.size()) {
+        char d = source[i];
+        if (d == quote) {
+          advance(1);
+          closed = true;
+          break;
+        }
+        if (d == '\\' && i + 1 < source.size()) {
+          char esc = source[i + 1];
+          advance(2);
+          switch (esc) {
+            case 'n':
+              text.push_back('\n');
+              break;
+            case 't':
+              text.push_back('\t');
+              break;
+            case '\\':
+              text.push_back('\\');
+              break;
+            case '"':
+              text.push_back('"');
+              break;
+            case '\'':
+              text.push_back('\'');
+              break;
+            default:
+              return error(std::string("unknown escape \\") + esc);
+          }
+          continue;
+        }
+        if (d == '\n') return error("newline in string literal");
+        text.push_back(d);
+        advance(1);
+      }
+      if (!closed) return error("unterminated string literal");
+      make(TokenKind::kStringLit, std::move(text));
+      continue;
+    }
+    auto two = source.substr(i, 2);
+    if (two == "{|") {
+      make(TokenKind::kLBraceBar, "{|");
+      advance(2);
+      continue;
+    }
+    if (two == "|}") {
+      make(TokenKind::kRBraceBar, "|}");
+      advance(2);
+      continue;
+    }
+    if (two == "==") {
+      make(TokenKind::kEq, "==");
+      advance(2);
+      continue;
+    }
+    if (two == "!=") {
+      make(TokenKind::kNe, "!=");
+      advance(2);
+      continue;
+    }
+    if (two == "<=") {
+      make(TokenKind::kLe, "<=");
+      advance(2);
+      continue;
+    }
+    if (two == ">=") {
+      make(TokenKind::kGe, ">=");
+      advance(2);
+      continue;
+    }
+    if (two == "->") {
+      make(TokenKind::kArrow, "->");
+      advance(2);
+      continue;
+    }
+    if (two == "=>") {
+      make(TokenKind::kFatArrow, "=>");
+      advance(2);
+      continue;
+    }
+    switch (c) {
+      case '(':
+        make(TokenKind::kLParen, "(");
+        break;
+      case ')':
+        make(TokenKind::kRParen, ")");
+        break;
+      case '{':
+        make(TokenKind::kLBrace, "{");
+        break;
+      case '}':
+        make(TokenKind::kRBrace, "}");
+        break;
+      case '[':
+        make(TokenKind::kLBracket, "[");
+        break;
+      case ']':
+        make(TokenKind::kRBracket, "]");
+        break;
+      case ',':
+        make(TokenKind::kComma, ",");
+        break;
+      case ';':
+        make(TokenKind::kSemicolon, ";");
+        break;
+      case ':':
+        make(TokenKind::kColon, ":");
+        break;
+      case '.':
+        make(TokenKind::kDot, ".");
+        break;
+      case '=':
+        make(TokenKind::kAssign, "=");
+        break;
+      case '<':
+        make(TokenKind::kLt, "<");
+        break;
+      case '>':
+        make(TokenKind::kGt, ">");
+        break;
+      case '+':
+        make(TokenKind::kPlus, "+");
+        break;
+      case '-':
+        make(TokenKind::kMinus, "-");
+        break;
+      case '*':
+        make(TokenKind::kStar, "*");
+        break;
+      case '/':
+        make(TokenKind::kSlash, "/");
+        break;
+      case '|':
+        make(TokenKind::kBar, "|");
+        break;
+      default:
+        return error(std::string("unexpected character '") + c + "'");
+    }
+    advance(1);
+  }
+  out.push_back(Token{TokenKind::kEof, "", line, column});
+  return out;
+}
+
+}  // namespace dbpl::lang

@@ -1,0 +1,18 @@
+#ifndef DBPL_LANG_LEXER_H_
+#define DBPL_LANG_LEXER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "lang/token.h"
+
+namespace dbpl::lang {
+
+/// Tokenizes MiniAmber source. Comments run from `--` to end of line
+/// (as in the paper's program fragments).
+Result<std::vector<Token>> Lex(std::string_view source);
+
+}  // namespace dbpl::lang
+
+#endif  // DBPL_LANG_LEXER_H_

@@ -1,0 +1,653 @@
+#include "lang/parser.h"
+
+#include <map>
+#include <set>
+
+#include "lang/lexer.h"
+
+namespace dbpl::lang {
+namespace {
+
+using types::Type;
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, std::map<std::string, Type>* aliases)
+      : tokens_(std::move(tokens)), aliases_(*aliases) {}
+
+  Result<Program> ParseProgram() {
+    Program program;
+    while (!At(TokenKind::kEof)) {
+      DBPL_ASSIGN_OR_RETURN(Decl decl, ParseDecl());
+      program.decls.push_back(std::move(decl));
+    }
+    return program;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t idx = pos_ + ahead;
+    return idx < tokens_.size() ? tokens_[idx] : tokens_.back();
+  }
+  bool At(TokenKind kind) const { return Peek().kind == kind; }
+  Token Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool Eat(TokenKind kind) {
+    if (At(kind)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status Err(const std::string& msg) {
+    const Token& t = Peek();
+    return Status::InvalidArgument("parse error at line " +
+                                   std::to_string(t.line) + ":" +
+                                   std::to_string(t.column) + ": " + msg +
+                                   " (found " + t.Describe() + ")");
+  }
+
+  Status Expect(TokenKind kind) {
+    if (Eat(kind)) return Status::OK();
+    return Err("expected " + std::string(TokenKindName(kind)));
+  }
+
+  ExprPtr Node(ExprKind kind) {
+    auto e = std::make_shared<Expr>();
+    e->kind = kind;
+    e->line = Peek().line;
+    e->column = Peek().column;
+    return e;
+  }
+
+  // ------------------------------------------------------------------
+  // Declarations
+  // ------------------------------------------------------------------
+
+  Result<Decl> ParseDecl() {
+    Decl decl;
+    decl.line = Peek().line;
+    if (Eat(TokenKind::kType)) {
+      decl.kind = Decl::Kind::kTypeAlias;
+      if (!At(TokenKind::kIdent)) return Err("expected type alias name");
+      decl.name = Advance().text;
+      DBPL_RETURN_IF_ERROR(Expect(TokenKind::kAssign));
+      DBPL_ASSIGN_OR_RETURN(decl.type, ParseType());
+      decl.has_type = true;
+      DBPL_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon));
+      if (aliases_.contains(decl.name)) {
+        return Status::AlreadyExists("type alias redefined: " + decl.name);
+      }
+      aliases_[decl.name] = decl.type;
+      return decl;
+    }
+    if (Eat(TokenKind::kLet)) {
+      if (Eat(TokenKind::kRec)) {
+        return ParseLetRec();
+      }
+      decl.kind = Decl::Kind::kLet;
+      if (!At(TokenKind::kIdent)) return Err("expected binder name");
+      decl.name = Advance().text;
+      if (Eat(TokenKind::kColon)) {
+        DBPL_ASSIGN_OR_RETURN(decl.type, ParseType());
+        decl.has_type = true;
+      }
+      DBPL_RETURN_IF_ERROR(Expect(TokenKind::kAssign));
+      DBPL_ASSIGN_OR_RETURN(decl.expr, ParseExpr());
+      if (Eat(TokenKind::kIn)) {
+        // This was a let-in *expression* statement, not a declaration.
+        ExprPtr let_expr = Node(ExprKind::kLet);
+        let_expr->str = decl.name;
+        let_expr->type = decl.type;
+        let_expr->has_type = decl.has_type;
+        let_expr->a = decl.expr;
+        DBPL_ASSIGN_OR_RETURN(let_expr->b, ParseExpr());
+        decl = Decl{};
+        decl.kind = Decl::Kind::kExpr;
+        decl.expr = std::move(let_expr);
+      }
+      DBPL_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon));
+      return decl;
+    }
+    decl.kind = Decl::Kind::kExpr;
+    DBPL_ASSIGN_OR_RETURN(decl.expr, ParseExpr());
+    DBPL_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon));
+    return decl;
+  }
+
+  Result<Decl> ParseLetRec() {
+    Decl decl;
+    decl.kind = Decl::Kind::kLetRec;
+    decl.line = Peek().line;
+    if (!At(TokenKind::kIdent)) return Err("expected function name");
+    decl.name = Advance().text;
+    ExprPtr lambda = Node(ExprKind::kLambda);
+    DBPL_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    if (!Eat(TokenKind::kRParen)) {
+      while (true) {
+        if (!At(TokenKind::kIdent)) return Err("expected parameter name");
+        Param p;
+        p.name = Advance().text;
+        DBPL_RETURN_IF_ERROR(Expect(TokenKind::kColon));
+        DBPL_ASSIGN_OR_RETURN(p.type, ParseType());
+        lambda->params.push_back(std::move(p));
+        if (Eat(TokenKind::kRParen)) break;
+        DBPL_RETURN_IF_ERROR(Expect(TokenKind::kComma));
+      }
+    }
+    DBPL_RETURN_IF_ERROR(Expect(TokenKind::kColon));
+    DBPL_ASSIGN_OR_RETURN(lambda->type, ParseType());
+    lambda->has_type = true;  // return annotation (required for rec)
+    DBPL_RETURN_IF_ERROR(Expect(TokenKind::kAssign));
+    DBPL_ASSIGN_OR_RETURN(lambda->b, ParseExpr());
+    DBPL_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon));
+    decl.expr = std::move(lambda);
+    return decl;
+  }
+
+  // ------------------------------------------------------------------
+  // Types (aliases resolved eagerly)
+  // ------------------------------------------------------------------
+
+  Result<Type> ParseType() {
+    DBPL_ASSIGN_OR_RETURN(Type lhs, ParseTypePrimary());
+    if (Eat(TokenKind::kArrow)) {
+      DBPL_ASSIGN_OR_RETURN(Type result, ParseType());
+      return Type::Func({std::move(lhs)}, std::move(result));
+    }
+    return lhs;
+  }
+
+  Result<Type> ParseTypePrimary() {
+    if (Eat(TokenKind::kLBrace)) {
+      std::vector<std::pair<std::string, Type>> fields;
+      if (!Eat(TokenKind::kRBrace)) {
+        while (true) {
+          if (!At(TokenKind::kIdent)) return Err("expected field label");
+          std::string name = Advance().text;
+          DBPL_RETURN_IF_ERROR(Expect(TokenKind::kColon));
+          DBPL_ASSIGN_OR_RETURN(Type t, ParseType());
+          fields.emplace_back(std::move(name), std::move(t));
+          if (Eat(TokenKind::kRBrace)) break;
+          DBPL_RETURN_IF_ERROR(Expect(TokenKind::kComma));
+        }
+      }
+      Result<Type> made = Type::Record(std::move(fields));
+      if (!made.ok()) return made.status();
+      return made;
+    }
+    if (Eat(TokenKind::kLt)) {
+      std::vector<std::pair<std::string, Type>> tags;
+      while (true) {
+        if (!At(TokenKind::kIdent)) return Err("expected variant tag");
+        std::string name = Advance().text;
+        DBPL_RETURN_IF_ERROR(Expect(TokenKind::kColon));
+        DBPL_ASSIGN_OR_RETURN(Type t, ParseType());
+        tags.emplace_back(std::move(name), std::move(t));
+        if (Eat(TokenKind::kGt)) break;
+        DBPL_RETURN_IF_ERROR(Expect(TokenKind::kBar));
+      }
+      Result<Type> made = Type::Variant(std::move(tags));
+      if (!made.ok()) return made.status();
+      return made;
+    }
+    if (Eat(TokenKind::kLParen)) {
+      std::vector<Type> list;
+      if (!Eat(TokenKind::kRParen)) {
+        while (true) {
+          DBPL_ASSIGN_OR_RETURN(Type t, ParseType());
+          list.push_back(std::move(t));
+          if (Eat(TokenKind::kRParen)) break;
+          DBPL_RETURN_IF_ERROR(Expect(TokenKind::kComma));
+        }
+      }
+      if (Eat(TokenKind::kArrow)) {
+        DBPL_ASSIGN_OR_RETURN(Type result, ParseType());
+        return Type::Func(std::move(list), std::move(result));
+      }
+      if (list.size() == 1) return list[0];
+      return Err("parenthesized type list must be followed by '->'");
+    }
+    if (At(TokenKind::kDynamic)) {
+      Advance();
+      return Type::Dynamic();
+    }
+    if (At(TokenKind::kDatabase)) {
+      Advance();
+      return Type::List(Type::Dynamic());
+    }
+    if (!At(TokenKind::kIdent)) return Err("expected a type");
+    std::string name = Advance().text;
+    if (name == "Mu") {
+      // Recursive type: Mu v. T (v is in scope as a type variable).
+      if (!At(TokenKind::kIdent)) return Err("expected Mu variable");
+      std::string var = Advance().text;
+      DBPL_RETURN_IF_ERROR(Expect(TokenKind::kDot));
+      type_vars_.insert(var);
+      Result<Type> body = ParseType();
+      type_vars_.erase(var);
+      if (!body.ok()) return body.status();
+      return Type::Mu(std::move(var), std::move(body).value());
+    }
+    if (type_vars_.contains(name)) return Type::Var(name);
+    if (name == "Int") return Type::Int();
+    if (name == "Real") return Type::Real();
+    if (name == "Bool") return Type::Bool();
+    if (name == "String") return Type::String();
+    if (name == "Top") return Type::Top();
+    if (name == "Bottom") return Type::Bottom();
+    if (name == "Dynamic") return Type::Dynamic();
+    if (name == "Database") return Type::List(Type::Dynamic());
+    if (name == "List" || name == "Set") {
+      DBPL_RETURN_IF_ERROR(Expect(TokenKind::kLBracket));
+      DBPL_ASSIGN_OR_RETURN(Type element, ParseType());
+      DBPL_RETURN_IF_ERROR(Expect(TokenKind::kRBracket));
+      return name == "List" ? Type::List(std::move(element))
+                            : Type::Set(std::move(element));
+    }
+    auto it = aliases_.find(name);
+    if (it != aliases_.end()) return it->second;
+    return Err("unknown type name '" + name + "'");
+  }
+
+  // ------------------------------------------------------------------
+  // Expressions (precedence climbing)
+  // ------------------------------------------------------------------
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    DBPL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (At(TokenKind::kOr)) {
+      ExprPtr node = Node(ExprKind::kBinary);
+      Advance();
+      node->bin_op = BinaryOp::kOr;
+      node->a = lhs;
+      DBPL_ASSIGN_OR_RETURN(node->b, ParseAnd());
+      lhs = node;
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    DBPL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseComparison());
+    while (At(TokenKind::kAnd)) {
+      ExprPtr node = Node(ExprKind::kBinary);
+      Advance();
+      node->bin_op = BinaryOp::kAnd;
+      node->a = lhs;
+      DBPL_ASSIGN_OR_RETURN(node->b, ParseComparison());
+      lhs = node;
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    DBPL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseJoin());
+    while (At(TokenKind::kEq) || At(TokenKind::kNe) || At(TokenKind::kLt) ||
+           At(TokenKind::kLe) || At(TokenKind::kGt) || At(TokenKind::kGe)) {
+      ExprPtr node = Node(ExprKind::kBinary);
+      switch (Advance().kind) {
+        case TokenKind::kEq:
+          node->bin_op = BinaryOp::kEq;
+          break;
+        case TokenKind::kNe:
+          node->bin_op = BinaryOp::kNe;
+          break;
+        case TokenKind::kLt:
+          node->bin_op = BinaryOp::kLt;
+          break;
+        case TokenKind::kLe:
+          node->bin_op = BinaryOp::kLe;
+          break;
+        case TokenKind::kGt:
+          node->bin_op = BinaryOp::kGt;
+          break;
+        default:
+          node->bin_op = BinaryOp::kGe;
+          break;
+      }
+      node->a = lhs;
+      DBPL_ASSIGN_OR_RETURN(node->b, ParseJoin());
+      lhs = node;
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseJoin() {
+    DBPL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    while (At(TokenKind::kJoin)) {
+      ExprPtr node = Node(ExprKind::kJoinE);
+      Advance();
+      node->a = lhs;
+      DBPL_ASSIGN_OR_RETURN(node->b, ParseAdditive());
+      lhs = node;
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    DBPL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (At(TokenKind::kPlus) || At(TokenKind::kMinus)) {
+      ExprPtr node = Node(ExprKind::kBinary);
+      node->bin_op =
+          Advance().kind == TokenKind::kPlus ? BinaryOp::kAdd : BinaryOp::kSub;
+      node->a = lhs;
+      DBPL_ASSIGN_OR_RETURN(node->b, ParseMultiplicative());
+      lhs = node;
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    DBPL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (At(TokenKind::kStar) || At(TokenKind::kSlash)) {
+      ExprPtr node = Node(ExprKind::kBinary);
+      node->bin_op =
+          Advance().kind == TokenKind::kStar ? BinaryOp::kMul : BinaryOp::kDiv;
+      node->a = lhs;
+      DBPL_ASSIGN_OR_RETURN(node->b, ParseUnary());
+      lhs = node;
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (At(TokenKind::kNot)) {
+      ExprPtr node = Node(ExprKind::kUnary);
+      Advance();
+      node->un_op = UnaryOp::kNot;
+      DBPL_ASSIGN_OR_RETURN(node->a, ParseUnary());
+      return node;
+    }
+    if (At(TokenKind::kMinus)) {
+      ExprPtr node = Node(ExprKind::kUnary);
+      Advance();
+      node->un_op = UnaryOp::kNeg;
+      DBPL_ASSIGN_OR_RETURN(node->a, ParseUnary());
+      return node;
+    }
+    return ParsePostfix();
+  }
+
+  Result<ExprPtr> ParsePostfix() {
+    DBPL_ASSIGN_OR_RETURN(ExprPtr expr, ParsePrimary());
+    while (true) {
+      if (At(TokenKind::kDot)) {
+        ExprPtr node = Node(ExprKind::kField);
+        Advance();
+        if (!At(TokenKind::kIdent)) return Err("expected field name");
+        node->str = Advance().text;
+        node->a = expr;
+        expr = node;
+        continue;
+      }
+      if (At(TokenKind::kLParen)) {
+        ExprPtr node = Node(ExprKind::kCall);
+        Advance();
+        node->a = expr;
+        if (!Eat(TokenKind::kRParen)) {
+          while (true) {
+            DBPL_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+            node->elems.push_back(std::move(arg));
+            if (Eat(TokenKind::kRParen)) break;
+            DBPL_RETURN_IF_ERROR(Expect(TokenKind::kComma));
+          }
+        }
+        expr = node;
+        continue;
+      }
+      break;
+    }
+    return expr;
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    switch (Peek().kind) {
+      case TokenKind::kIntLit: {
+        ExprPtr node = Node(ExprKind::kIntLit);
+        node->int_val = std::stoll(Advance().text);
+        return node;
+      }
+      case TokenKind::kRealLit: {
+        ExprPtr node = Node(ExprKind::kRealLit);
+        node->real_val = std::stod(Advance().text);
+        return node;
+      }
+      case TokenKind::kStringLit: {
+        ExprPtr node = Node(ExprKind::kStringLit);
+        node->str = Advance().text;
+        return node;
+      }
+      case TokenKind::kTrue:
+      case TokenKind::kFalse: {
+        ExprPtr node = Node(ExprKind::kBoolLit);
+        node->bool_val = Advance().kind == TokenKind::kTrue;
+        return node;
+      }
+      case TokenKind::kIdent: {
+        ExprPtr node = Node(ExprKind::kVar);
+        node->str = Advance().text;
+        return node;
+      }
+      case TokenKind::kLParen: {
+        Advance();
+        DBPL_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+        DBPL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+        return inner;
+      }
+      case TokenKind::kLBrace: {
+        // Record literal {a = e, ...}.
+        ExprPtr node = Node(ExprKind::kRecordLit);
+        Advance();
+        if (!Eat(TokenKind::kRBrace)) {
+          while (true) {
+            if (!At(TokenKind::kIdent)) return Err("expected field name");
+            std::string name = Advance().text;
+            DBPL_RETURN_IF_ERROR(Expect(TokenKind::kAssign));
+            DBPL_ASSIGN_OR_RETURN(ExprPtr value, ParseExpr());
+            node->fields.emplace_back(std::move(name), std::move(value));
+            if (Eat(TokenKind::kRBrace)) break;
+            DBPL_RETURN_IF_ERROR(Expect(TokenKind::kComma));
+          }
+        }
+        return node;
+      }
+      case TokenKind::kLBracket: {
+        ExprPtr node = Node(ExprKind::kListLit);
+        Advance();
+        if (!Eat(TokenKind::kRBracket)) {
+          while (true) {
+            DBPL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+            node->elems.push_back(std::move(e));
+            if (Eat(TokenKind::kRBracket)) break;
+            DBPL_RETURN_IF_ERROR(Expect(TokenKind::kComma));
+          }
+        }
+        return node;
+      }
+      case TokenKind::kLBraceBar: {
+        ExprPtr node = Node(ExprKind::kSetLit);
+        Advance();
+        if (!Eat(TokenKind::kRBraceBar)) {
+          while (true) {
+            DBPL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+            node->elems.push_back(std::move(e));
+            if (Eat(TokenKind::kRBraceBar)) break;
+            DBPL_RETURN_IF_ERROR(Expect(TokenKind::kComma));
+          }
+        }
+        return node;
+      }
+      case TokenKind::kLt: {
+        // Variant literal: <tag = e>. The payload parses above
+        // comparison precedence so the closing '>' is unambiguous;
+        // parenthesize a comparison payload: <ok = (a > b)>.
+        ExprPtr node = Node(ExprKind::kVariantLit);
+        Advance();
+        if (!At(TokenKind::kIdent)) return Err("expected variant tag");
+        node->str = Advance().text;
+        DBPL_RETURN_IF_ERROR(Expect(TokenKind::kAssign));
+        DBPL_ASSIGN_OR_RETURN(node->a, ParseJoin());
+        DBPL_RETURN_IF_ERROR(Expect(TokenKind::kGt));
+        return node;
+      }
+      case TokenKind::kCase: {
+        // case e of tag1(x) => e1 | tag2(y) => e2 | ... end
+        ExprPtr node = Node(ExprKind::kCase);
+        Advance();
+        DBPL_ASSIGN_OR_RETURN(node->a, ParseExpr());
+        DBPL_RETURN_IF_ERROR(Expect(TokenKind::kOf));
+        while (true) {
+          CaseArm arm;
+          if (!At(TokenKind::kIdent)) return Err("expected case arm tag");
+          arm.tag = Advance().text;
+          DBPL_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+          if (!At(TokenKind::kIdent)) return Err("expected arm binder");
+          arm.binder = Advance().text;
+          DBPL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+          DBPL_RETURN_IF_ERROR(Expect(TokenKind::kFatArrow));
+          DBPL_ASSIGN_OR_RETURN(arm.body, ParseExpr());
+          node->arms.push_back(std::move(arm));
+          if (Eat(TokenKind::kEnd)) break;
+          DBPL_RETURN_IF_ERROR(Expect(TokenKind::kBar));
+        }
+        return node;
+      }
+      case TokenKind::kIf: {
+        ExprPtr node = Node(ExprKind::kIf);
+        Advance();
+        DBPL_ASSIGN_OR_RETURN(node->a, ParseExpr());
+        DBPL_RETURN_IF_ERROR(Expect(TokenKind::kThen));
+        DBPL_ASSIGN_OR_RETURN(node->b, ParseExpr());
+        DBPL_RETURN_IF_ERROR(Expect(TokenKind::kElse));
+        DBPL_ASSIGN_OR_RETURN(node->c, ParseExpr());
+        return node;
+      }
+      case TokenKind::kFun: {
+        // fun (x: T, ...) [: R] => body
+        ExprPtr node = Node(ExprKind::kLambda);
+        Advance();
+        DBPL_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+        if (!Eat(TokenKind::kRParen)) {
+          while (true) {
+            if (!At(TokenKind::kIdent)) return Err("expected parameter name");
+            Param p;
+            p.name = Advance().text;
+            DBPL_RETURN_IF_ERROR(Expect(TokenKind::kColon));
+            DBPL_ASSIGN_OR_RETURN(p.type, ParseType());
+            node->params.push_back(std::move(p));
+            if (Eat(TokenKind::kRParen)) break;
+            DBPL_RETURN_IF_ERROR(Expect(TokenKind::kComma));
+          }
+        }
+        if (Eat(TokenKind::kColon)) {
+          DBPL_ASSIGN_OR_RETURN(node->type, ParseType());
+          node->has_type = true;
+        }
+        DBPL_RETURN_IF_ERROR(Expect(TokenKind::kFatArrow));
+        DBPL_ASSIGN_OR_RETURN(node->b, ParseExpr());
+        return node;
+      }
+      case TokenKind::kLet: {
+        // let x [: T] = e1 in e2
+        ExprPtr node = Node(ExprKind::kLet);
+        Advance();
+        if (!At(TokenKind::kIdent)) return Err("expected binder name");
+        node->str = Advance().text;
+        if (Eat(TokenKind::kColon)) {
+          DBPL_ASSIGN_OR_RETURN(node->type, ParseType());
+          node->has_type = true;
+        }
+        DBPL_RETURN_IF_ERROR(Expect(TokenKind::kAssign));
+        DBPL_ASSIGN_OR_RETURN(node->a, ParseExpr());
+        DBPL_RETURN_IF_ERROR(Expect(TokenKind::kIn));
+        DBPL_ASSIGN_OR_RETURN(node->b, ParseExpr());
+        return node;
+      }
+      case TokenKind::kDynamic: {
+        ExprPtr node = Node(ExprKind::kDynamic);
+        Advance();
+        DBPL_ASSIGN_OR_RETURN(node->a, ParseUnary());
+        return node;
+      }
+      case TokenKind::kCoerce: {
+        ExprPtr node = Node(ExprKind::kCoerce);
+        Advance();
+        DBPL_ASSIGN_OR_RETURN(node->a, ParseExpr());
+        DBPL_RETURN_IF_ERROR(Expect(TokenKind::kTo));
+        DBPL_ASSIGN_OR_RETURN(node->type, ParseType());
+        node->has_type = true;
+        return node;
+      }
+      case TokenKind::kTypeof: {
+        ExprPtr node = Node(ExprKind::kTypeofE);
+        Advance();
+        DBPL_ASSIGN_OR_RETURN(node->a, ParseUnary());
+        return node;
+      }
+      case TokenKind::kDatabase: {
+        ExprPtr node = Node(ExprKind::kNewDb);
+        Advance();
+        return node;
+      }
+      case TokenKind::kInsert: {
+        ExprPtr node = Node(ExprKind::kInsert);
+        Advance();
+        DBPL_ASSIGN_OR_RETURN(node->a, ParseExpr());
+        DBPL_RETURN_IF_ERROR(Expect(TokenKind::kInto));
+        DBPL_ASSIGN_OR_RETURN(node->b, ParseExpr());
+        return node;
+      }
+      case TokenKind::kGet: {
+        ExprPtr node = Node(ExprKind::kGet);
+        Advance();
+        DBPL_ASSIGN_OR_RETURN(node->type, ParseType());
+        node->has_type = true;
+        DBPL_RETURN_IF_ERROR(Expect(TokenKind::kFrom));
+        DBPL_ASSIGN_OR_RETURN(node->b, ParseExpr());
+        return node;
+      }
+      case TokenKind::kExtern: {
+        ExprPtr node = Node(ExprKind::kExtern);
+        Advance();
+        DBPL_ASSIGN_OR_RETURN(node->a, ParseExpr());
+        DBPL_RETURN_IF_ERROR(Expect(TokenKind::kAs));
+        if (!At(TokenKind::kStringLit)) return Err("expected handle string");
+        node->str = Advance().text;
+        return node;
+      }
+      case TokenKind::kIntern: {
+        ExprPtr node = Node(ExprKind::kIntern);
+        Advance();
+        if (!At(TokenKind::kStringLit)) return Err("expected handle string");
+        node->str = Advance().text;
+        return node;
+      }
+      default:
+        return Err("expected an expression");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  std::map<std::string, Type>& aliases_;
+  /// Type variables bound by enclosing Mu binders.
+  std::set<std::string> type_vars_;
+};
+
+}  // namespace
+
+Result<Program> Parse(std::string_view source,
+                      std::map<std::string, types::Type>* aliases) {
+  DBPL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source));
+  Parser parser(std::move(tokens), aliases);
+  return parser.ParseProgram();
+}
+
+Result<Program> Parse(std::string_view source) {
+  std::map<std::string, types::Type> aliases;
+  return Parse(source, &aliases);
+}
+
+}  // namespace dbpl::lang

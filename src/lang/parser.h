@@ -1,0 +1,36 @@
+#ifndef DBPL_LANG_PARSER_H_
+#define DBPL_LANG_PARSER_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "lang/ast.h"
+
+namespace dbpl::lang {
+
+/// Parses a MiniAmber program:
+///
+///   Program := { Decl }
+///   Decl    := 'type' IDENT '=' Type ';'
+///            | 'let' IDENT [':' Type] '=' Expr ';'
+///            | 'let' 'rec' IDENT '(' Params ')' ':' Type '=' Expr ';'
+///            | Expr ';'
+///
+/// Type aliases are resolved eagerly, in declaration order, so later
+/// types and expressions may use earlier aliases. Types use the same
+/// syntax as types/parse.h (minus quantifiers): base types, `{l: T}`
+/// records, `<t: T | ...>` variants, `List[T]`, `Set[T]`, `(T,..) -> R`,
+/// plus `Database` as sugar for `List[Dynamic]` — a database *is* a
+/// list of dynamic values, exactly as the paper constructs it in Amber.
+Result<Program> Parse(std::string_view source);
+
+/// As above, with a caller-owned alias table that survives across calls
+/// (used by the incremental interpreter / REPL).
+Result<Program> Parse(std::string_view source,
+                      std::map<std::string, types::Type>* aliases);
+
+}  // namespace dbpl::lang
+
+#endif  // DBPL_LANG_PARSER_H_

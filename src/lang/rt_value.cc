@@ -1,0 +1,150 @@
+#include "lang/rt_value.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace dbpl::lang {
+
+RtValue RtValue::Data(core::Value v) {
+  RtValue out;
+  out.kind_ = Kind::kData;
+  out.data_ = std::move(v);
+  return out;
+}
+
+RtValue RtValue::MakeClosure(Closure c) {
+  RtValue out;
+  out.kind_ = Kind::kClosure;
+  out.closure_ = std::make_shared<const Closure>(std::move(c));
+  return out;
+}
+
+RtValue RtValue::Dyn(dyndb::Dynamic d) {
+  RtValue out;
+  out.kind_ = Kind::kDynamic;
+  out.dyn_ = std::make_shared<const dyndb::Dynamic>(std::move(d));
+  return out;
+}
+
+RtValue RtValue::GenList(std::vector<RtValue> elems) {
+  RtValue out;
+  out.kind_ = Kind::kGenList;
+  out.gen_list_ =
+      std::make_shared<const std::vector<RtValue>>(std::move(elems));
+  return out;
+}
+
+RtValue RtValue::NewDatabase() {
+  RtValue out;
+  out.kind_ = Kind::kDatabase;
+  out.db_ = std::make_shared<Db>();
+  return out;
+}
+
+const core::Value& RtValue::data() const {
+  assert(kind_ == Kind::kData);
+  return data_;
+}
+
+const Closure& RtValue::closure() const {
+  assert(kind_ == Kind::kClosure);
+  return *closure_;
+}
+
+const dyndb::Dynamic& RtValue::dyn() const {
+  assert(kind_ == Kind::kDynamic);
+  return *dyn_;
+}
+
+const std::vector<RtValue>& RtValue::gen_list() const {
+  assert(kind_ == Kind::kGenList);
+  return *gen_list_;
+}
+
+const std::shared_ptr<RtValue::Db>& RtValue::database() const {
+  assert(kind_ == Kind::kDatabase);
+  return db_;
+}
+
+Result<core::Value> RtValue::ToCore() const {
+  switch (kind_) {
+    case Kind::kData:
+      return data_;
+    case Kind::kClosure:
+      return Status::Unsupported("a function value is not first-order data");
+    case Kind::kDynamic:
+      return Status::Unsupported("a dynamic value is not plain data");
+    case Kind::kDatabase:
+      return Status::Unsupported("a database is not plain data");
+    case Kind::kGenList: {
+      std::vector<core::Value> elems;
+      elems.reserve(gen_list_->size());
+      for (const auto& e : *gen_list_) {
+        DBPL_ASSIGN_OR_RETURN(core::Value v, e.ToCore());
+        elems.push_back(std::move(v));
+      }
+      return core::Value::List(std::move(elems));
+    }
+  }
+  return Status::Internal("unreachable RtValue kind");
+}
+
+Result<bool> RtValue::Equals(const RtValue& other) const {
+  if (kind_ == Kind::kClosure || other.kind_ == Kind::kClosure) {
+    return Status::Unsupported("functions cannot be compared for equality");
+  }
+  if (kind_ == Kind::kDatabase || other.kind_ == Kind::kDatabase) {
+    return kind_ == other.kind_ && db_ == other.db_;
+  }
+  if (kind_ == Kind::kDynamic && other.kind_ == Kind::kDynamic) {
+    return *dyn_ == *other.dyn_;
+  }
+  if (kind_ == Kind::kDynamic || other.kind_ == Kind::kDynamic) {
+    return false;
+  }
+  // Data vs generic list: convert both where possible.
+  Result<core::Value> a = ToCore();
+  Result<core::Value> b = other.ToCore();
+  if (a.ok() && b.ok()) return *a == *b;
+  if (kind_ != other.kind_) return false;
+  // Generic lists containing dynamics: compare elementwise.
+  const auto& la = *gen_list_;
+  const auto& lb = *other.gen_list_;
+  if (la.size() != lb.size()) return false;
+  for (size_t i = 0; i < la.size(); ++i) {
+    DBPL_ASSIGN_OR_RETURN(bool eq, la[i].Equals(lb[i]));
+    if (!eq) return false;
+  }
+  return true;
+}
+
+std::string RtValue::ToString() const {
+  switch (kind_) {
+    case Kind::kData:
+      return data_.ToString();
+    case Kind::kClosure:
+      return "<fun/" + std::to_string(closure_->params.size()) + ">";
+    case Kind::kDynamic:
+      return dyn_->ToString();
+    case Kind::kGenList: {
+      std::ostringstream os;
+      os << "[";
+      bool first = true;
+      for (const auto& e : *gen_list_) {
+        if (!first) os << ", ";
+        first = false;
+        os << e.ToString();
+      }
+      os << "]";
+      return os.str();
+    }
+    case Kind::kDatabase: {
+      std::ostringstream os;
+      os << "<database with " << db_->size() << " values>";
+      return os.str();
+    }
+  }
+  return "<?>";
+}
+
+}  // namespace dbpl::lang

@@ -1,0 +1,92 @@
+#ifndef DBPL_LANG_RT_VALUE_H_
+#define DBPL_LANG_RT_VALUE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/value.h"
+#include "dyndb/dynamic.h"
+#include "lang/ast.h"
+
+namespace dbpl::lang {
+
+class RtValue;
+
+/// A function value: parameters, body, and the captured environment.
+struct Closure {
+  std::vector<Param> params;
+  ExprPtr body;
+  /// Captured bindings (environment snapshot at closure creation).
+  std::shared_ptr<const std::vector<std::pair<std::string, RtValue>>> env;
+  /// Non-empty for `let rec` closures: the closure's own name, looked
+  /// up through itself (recursion).
+  std::string self_name;
+};
+
+/// A run-time value of MiniAmber.
+///
+/// First-order data (atoms, records/lists/sets of data) is stored as a
+/// `core::Value` so the library's information ordering, join and
+/// serialization apply directly. Structures that the core model cannot
+/// express — closures, dynamics, databases, and composites containing
+/// them — get their own representations.
+class RtValue {
+ public:
+  enum class Kind : uint8_t {
+    /// First-order data, stored as a core::Value.
+    kData,
+    /// A function value.
+    kClosure,
+    /// A dynamic: a (core) value paired with its type.
+    kDynamic,
+    /// A generic list whose elements need not be data (e.g.
+    /// List[Dynamic], the result of `get`).
+    kGenList,
+    /// A mutable, shared database: the value of `database`.
+    kDatabase,
+  };
+
+  using Db = std::vector<dyndb::Dynamic>;
+
+  /// Data value ⊥ by default.
+  RtValue() : kind_(Kind::kData) {}
+
+  static RtValue Data(core::Value v);
+  static RtValue MakeClosure(Closure c);
+  static RtValue Dyn(dyndb::Dynamic d);
+  static RtValue GenList(std::vector<RtValue> elems);
+  static RtValue NewDatabase();
+
+  Kind kind() const { return kind_; }
+  bool is_data() const { return kind_ == Kind::kData; }
+
+  const core::Value& data() const;
+  const Closure& closure() const;
+  const dyndb::Dynamic& dyn() const;
+  const std::vector<RtValue>& gen_list() const;
+  const std::shared_ptr<Db>& database() const;
+
+  /// Converts to a core value when first-order; `Unsupported` for
+  /// closures, dynamics, databases and lists containing them.
+  Result<core::Value> ToCore() const;
+
+  /// Structural equality; `Unsupported` when either side is (or
+  /// contains) a closure. Databases compare by identity.
+  Result<bool> Equals(const RtValue& other) const;
+
+  std::string ToString() const;
+
+ private:
+  Kind kind_;
+  core::Value data_;
+  std::shared_ptr<const Closure> closure_;
+  std::shared_ptr<const dyndb::Dynamic> dyn_;
+  std::shared_ptr<const std::vector<RtValue>> gen_list_;
+  std::shared_ptr<Db> db_;
+};
+
+}  // namespace dbpl::lang
+
+#endif  // DBPL_LANG_RT_VALUE_H_

@@ -1,0 +1,92 @@
+#ifndef DBPL_LANG_TOKEN_H_
+#define DBPL_LANG_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dbpl::lang {
+
+/// Token kinds of MiniAmber, the library's small database programming
+/// language (see lang/interp.h for the language overview).
+enum class TokenKind : uint8_t {
+  kEof = 0,
+  kIdent,
+  kIntLit,
+  kRealLit,
+  kStringLit,
+  // Keywords.
+  kLet,
+  kRec,
+  kIn,
+  kFun,
+  kIf,
+  kThen,
+  kElse,
+  kTrue,
+  kFalse,
+  kType,
+  kDynamic,
+  kCoerce,
+  kTo,
+  kTypeof,
+  kJoin,
+  kInsert,
+  kInto,
+  kGet,
+  kFrom,
+  kExtern,
+  kIntern,
+  kAs,
+  kDatabase,
+  kAnd,
+  kOr,
+  kNot,
+  kCase,
+  kOf,
+  kEnd,
+  // Punctuation and operators.
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kLBraceBar,  // {|
+  kRBraceBar,  // |}
+  kComma,
+  kSemicolon,
+  kColon,
+  kDot,
+  kAssign,     // =
+  kEq,         // ==
+  kNe,         // !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kArrow,      // ->
+  kFatArrow,   // =>
+  kBar,        // |
+};
+
+std::string_view TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  /// Raw text (identifier name, keyword, literal spelling; string
+  /// literals hold the *unescaped* contents).
+  std::string text;
+  int line = 1;
+  int column = 1;
+
+  std::string Describe() const;
+};
+
+}  // namespace dbpl::lang
+
+#endif  // DBPL_LANG_TOKEN_H_

@@ -1,0 +1,611 @@
+#include "lang/typecheck.h"
+
+#include <set>
+
+#include "types/lattice.h"
+#include "types/subtype.h"
+
+namespace dbpl::lang {
+namespace {
+
+using types::Type;
+using types::TypeKind;
+
+const std::set<std::string, std::less<>>& Builtins() {
+  static const auto* names = new std::set<std::string, std::less<>>{
+      "head", "tail",   "cons",     "length", "isempty", "nth",
+      "sum",  "map",    "filter",   "fold",   "concat",  "elements",
+      "setof", "lesseq", "consistent", "meet"};
+  return *names;
+}
+
+/// First-order data types: what `dynamic` can wrap and a database can
+/// hold. Functions and nested dynamics/existentials are excluded.
+bool IsDataType(const Type& t) {
+  switch (t.kind()) {
+    case TypeKind::kBottom:
+    case TypeKind::kTop:
+    case TypeKind::kBool:
+    case TypeKind::kInt:
+    case TypeKind::kReal:
+    case TypeKind::kString:
+    case TypeKind::kVar:
+      return true;
+    case TypeKind::kRecord:
+    case TypeKind::kVariant: {
+      for (const auto& f : t.fields()) {
+        if (!IsDataType(f.get())) return false;
+      }
+      return true;
+    }
+    case TypeKind::kList:
+    case TypeKind::kSet:
+      return IsDataType(t.element());
+    case TypeKind::kMu:
+      return IsDataType(t.body());
+    default:
+      return false;
+  }
+}
+
+class Checker {
+ public:
+  explicit Checker(std::map<std::string, Type>* globals)
+      : globals_(*globals) {}
+
+  Result<std::vector<DeclType>> Check(Program& program) {
+    std::vector<DeclType> out;
+    for (Decl& decl : program.decls) {
+      switch (decl.kind) {
+        case Decl::Kind::kTypeAlias:
+          // Resolved by the parser; recorded to keep indices aligned
+          // with program.decls.
+          out.push_back({decl.name, decl.type});
+          break;
+        case Decl::Kind::kLet: {
+          DBPL_ASSIGN_OR_RETURN(Type t, Synth(decl.expr));
+          if (decl.has_type) {
+            DBPL_RETURN_IF_ERROR(
+                Expect(t, decl.type, decl.line, "let binding"));
+            t = decl.type;
+          }
+          globals_[decl.name] = t;
+          out.push_back({decl.name, t});
+          break;
+        }
+        case Decl::Kind::kLetRec: {
+          Expr& lambda = *decl.expr;
+          std::vector<Type> param_types;
+          for (const auto& p : lambda.params) param_types.push_back(p.type);
+          Type fn_type = Type::Func(param_types, lambda.type);
+          globals_[decl.name] = fn_type;  // visible to its own body
+          DBPL_ASSIGN_OR_RETURN(Type body_type, SynthLambdaBody(lambda));
+          DBPL_RETURN_IF_ERROR(Expect(body_type, lambda.type, decl.line,
+                                      "recursive function body"));
+          out.push_back({decl.name, fn_type});
+          break;
+        }
+        case Decl::Kind::kExpr: {
+          DBPL_ASSIGN_OR_RETURN(Type t, Synth(decl.expr));
+          out.push_back({"", t});
+          break;
+        }
+      }
+    }
+    return out;
+  }
+
+ private:
+  Status Err(int line, const std::string& msg) {
+    return Status::TypeError("line " + std::to_string(line) + ": " + msg);
+  }
+
+  Status Expect(const Type& actual, const Type& expected, int line,
+                const std::string& what) {
+    if (!types::IsSubtype(actual, expected)) {
+      return Err(line, what + " has type " + actual.ToString() +
+                           ", expected a subtype of " + expected.ToString());
+    }
+    return Status::OK();
+  }
+
+  /// Resolves a type for field selection: unpacks existential packages
+  /// to their bound (sound: the abstract type is below its bound).
+  Type ResolveForAccess(Type t) {
+    int guard = 0;
+    while (guard++ < 64) {
+      if (t.kind() == TypeKind::kExists) {
+        // ∃v ≤ B. v → B; general bodies substitute the bound.
+        t = t.body().Substitute(t.var(), t.bound());
+        continue;
+      }
+      if (t.kind() == TypeKind::kMu) {
+        t = t.Unfold();
+        continue;
+      }
+      break;
+    }
+    return t;
+  }
+
+  Result<Type> SynthLambdaBody(Expr& lambda) {
+    auto saved = globals_;
+    for (const auto& p : lambda.params) globals_[p.name] = p.type;
+    Result<Type> body = Synth(lambda.b);
+    globals_ = std::move(saved);
+    return body;
+  }
+
+  Result<Type> Synth(const ExprPtr& eptr) {
+    Expr& e = *eptr;
+    switch (e.kind) {
+      case ExprKind::kBoolLit:
+        return Type::Bool();
+      case ExprKind::kIntLit:
+        return Type::Int();
+      case ExprKind::kRealLit:
+        return Type::Real();
+      case ExprKind::kStringLit:
+        return Type::String();
+      case ExprKind::kVar: {
+        auto it = globals_.find(e.str);
+        if (it != globals_.end()) return it->second;
+        if (IsBuiltinName(e.str)) {
+          return Err(e.line, "builtin '" + e.str +
+                                 "' is not first-class; apply it directly");
+        }
+        return Err(e.line, "unbound variable '" + e.str + "'");
+      }
+      case ExprKind::kRecordLit: {
+        std::vector<std::pair<std::string, Type>> fields;
+        for (auto& [name, sub] : e.fields) {
+          DBPL_ASSIGN_OR_RETURN(Type t, Synth(sub));
+          fields.emplace_back(name, std::move(t));
+        }
+        Result<Type> made = Type::Record(std::move(fields));
+        if (!made.ok()) return Err(e.line, made.status().message());
+        return made;
+      }
+      case ExprKind::kListLit:
+      case ExprKind::kSetLit: {
+        Type elem = Type::Bottom();
+        for (auto& sub : e.elems) {
+          DBPL_ASSIGN_OR_RETURN(Type t, Synth(sub));
+          elem = types::Lub(elem, t);
+        }
+        if (e.kind == ExprKind::kSetLit && !IsDataType(elem)) {
+          return Err(e.line, "sets may only contain first-order data");
+        }
+        return e.kind == ExprKind::kListLit ? Type::List(std::move(elem))
+                                            : Type::Set(std::move(elem));
+      }
+      case ExprKind::kField: {
+        DBPL_ASSIGN_OR_RETURN(Type t, Synth(e.a));
+        Type resolved = ResolveForAccess(t);
+        if (resolved.kind() == TypeKind::kDynamic) {
+          return Err(e.line,
+                     "cannot select from a Dynamic; coerce it first");
+        }
+        if (resolved.kind() != TypeKind::kRecord) {
+          return Err(e.line, "field selection on non-record type " +
+                                 t.ToString());
+        }
+        const Type* f = resolved.FindField(e.str);
+        if (f == nullptr) {
+          return Err(e.line, "type " + resolved.ToString() +
+                                 " has no field '" + e.str + "'");
+        }
+        return *f;
+      }
+      case ExprKind::kBinary:
+        return SynthBinary(e);
+      case ExprKind::kUnary: {
+        DBPL_ASSIGN_OR_RETURN(Type t, Synth(e.a));
+        if (e.un_op == UnaryOp::kNot) {
+          DBPL_RETURN_IF_ERROR(Expect(t, Type::Bool(), e.line, "'not'"));
+          return Type::Bool();
+        }
+        if (t == Type::Int() || t == Type::Real()) return t;
+        return Err(e.line, "negation needs Int or Real, got " + t.ToString());
+      }
+      case ExprKind::kIf: {
+        DBPL_ASSIGN_OR_RETURN(Type c, Synth(e.a));
+        DBPL_RETURN_IF_ERROR(Expect(c, Type::Bool(), e.line, "condition"));
+        DBPL_ASSIGN_OR_RETURN(Type t1, Synth(e.b));
+        DBPL_ASSIGN_OR_RETURN(Type t2, Synth(e.c));
+        return types::Lub(t1, t2);
+      }
+      case ExprKind::kLambda: {
+        DBPL_ASSIGN_OR_RETURN(Type body, SynthLambdaBody(e));
+        Type result = body;
+        if (e.has_type) {
+          DBPL_RETURN_IF_ERROR(Expect(body, e.type, e.line, "function body"));
+          result = e.type;
+        }
+        std::vector<Type> params;
+        for (const auto& p : e.params) params.push_back(p.type);
+        return Type::Func(std::move(params), std::move(result));
+      }
+      case ExprKind::kCall:
+        return SynthCall(e);
+      case ExprKind::kLet: {
+        DBPL_ASSIGN_OR_RETURN(Type bound, Synth(e.a));
+        if (e.has_type) {
+          DBPL_RETURN_IF_ERROR(Expect(bound, e.type, e.line, "let binding"));
+          bound = e.type;
+        }
+        auto saved = globals_;
+        globals_[e.str] = bound;
+        Result<Type> body = Synth(e.b);
+        globals_ = std::move(saved);
+        return body;
+      }
+      case ExprKind::kDynamic: {
+        DBPL_ASSIGN_OR_RETURN(Type t, Synth(e.a));
+        if (!IsDataType(t)) {
+          return Err(e.line,
+                     "'dynamic' needs first-order data, got " + t.ToString());
+        }
+        // Record the static type the dynamic will carry (Amber pairs
+        // the value with its static type).
+        e.type = t;
+        e.has_type = true;
+        return Type::Dynamic();
+      }
+      case ExprKind::kCoerce: {
+        DBPL_ASSIGN_OR_RETURN(Type t, Synth(e.a));
+        DBPL_RETURN_IF_ERROR(
+            Expect(t, Type::Dynamic(), e.line, "'coerce' operand"));
+        return e.type;
+      }
+      case ExprKind::kTypeofE: {
+        DBPL_ASSIGN_OR_RETURN(Type t, Synth(e.a));
+        DBPL_RETURN_IF_ERROR(
+            Expect(t, Type::Dynamic(), e.line, "'typeof' operand"));
+        return Type::String();
+      }
+      case ExprKind::kJoinE: {
+        DBPL_ASSIGN_OR_RETURN(Type t1, Synth(e.a));
+        DBPL_ASSIGN_OR_RETURN(Type t2, Synth(e.b));
+        Type r1 = ResolveForAccess(t1);
+        Type r2 = ResolveForAccess(t2);
+        bool records = r1.kind() == TypeKind::kRecord &&
+                       r2.kind() == TypeKind::kRecord;
+        bool sets =
+            r1.kind() == TypeKind::kSet && r2.kind() == TypeKind::kSet;
+        if (!records && !sets) {
+          return Err(e.line, "'join' needs two records or two sets, got " +
+                                 t1.ToString() + " and " + t2.ToString());
+        }
+        Result<Type> glb = types::Glb(r1, r2);
+        if (!glb.ok()) {
+          return Err(e.line, "operands of 'join' have contradictory types: " +
+                                 glb.status().message());
+        }
+        return glb;
+      }
+      case ExprKind::kNewDb:
+        return Type::List(Type::Dynamic());
+      case ExprKind::kInsert: {
+        DBPL_ASSIGN_OR_RETURN(Type vt, Synth(e.a));
+        if (!IsDataType(vt) && vt.kind() != TypeKind::kDynamic) {
+          return Err(e.line, "cannot insert a value of type " + vt.ToString());
+        }
+        if (vt.kind() != TypeKind::kDynamic) {
+          e.type = vt;  // the type the inserted dynamic will carry
+          e.has_type = true;
+        }
+        DBPL_ASSIGN_OR_RETURN(Type dbt, Synth(e.b));
+        DBPL_RETURN_IF_ERROR(Expect(dbt, Type::List(Type::Dynamic()), e.line,
+                                    "'insert' target"));
+        return Type::List(Type::Dynamic());
+      }
+      case ExprKind::kGet: {
+        if (!IsDataType(e.type)) {
+          return Err(e.line, "'get' needs a data type, got " +
+                                 e.type.ToString());
+        }
+        DBPL_ASSIGN_OR_RETURN(Type dbt, Synth(e.b));
+        DBPL_RETURN_IF_ERROR(Expect(dbt, Type::List(Type::Dynamic()), e.line,
+                                    "'get' source"));
+        // The paper's result type: List[∃t ≤ T. t].
+        return Type::List(Type::Exists("t", e.type, Type::Var("t")));
+      }
+      case ExprKind::kExtern: {
+        DBPL_ASSIGN_OR_RETURN(Type t, Synth(e.a));
+        if (!IsDataType(t) && t.kind() != TypeKind::kDynamic) {
+          return Err(e.line,
+                     "cannot extern a value of type " + t.ToString());
+        }
+        if (t.kind() != TypeKind::kDynamic) {
+          e.type = t;  // the type the externed dynamic will carry
+          e.has_type = true;
+        }
+        return t;
+      }
+      case ExprKind::kIntern:
+        return Type::Dynamic();
+      case ExprKind::kVariantLit: {
+        DBPL_ASSIGN_OR_RETURN(Type t, Synth(e.a));
+        if (!IsDataType(t)) {
+          return Err(e.line, "variant payload must be first-order data");
+        }
+        return Type::VariantOf({{e.str, std::move(t)}});
+      }
+      case ExprKind::kCase: {
+        DBPL_ASSIGN_OR_RETURN(Type t, Synth(e.a));
+        Type scrutinee = ResolveForAccess(t);
+        if (scrutinee.kind() != TypeKind::kVariant) {
+          return Err(e.line, "'case' scrutinee must be a variant, got " +
+                                 t.ToString());
+        }
+        // Every arm's tag must exist; every variant tag must be
+        // covered (exhaustiveness).
+        std::set<std::string> covered;
+        Type result = Type::Bottom();
+        for (const CaseArm& arm : e.arms) {
+          const Type* payload = scrutinee.FindField(arm.tag);
+          if (payload == nullptr) {
+            return Err(e.line, "case arm '" + arm.tag +
+                                   "' is not a tag of " +
+                                   scrutinee.ToString());
+          }
+          if (!covered.insert(arm.tag).second) {
+            return Err(e.line, "duplicate case arm '" + arm.tag + "'");
+          }
+          auto saved = globals_;
+          globals_[arm.binder] = *payload;
+          Result<Type> body = Synth(arm.body);
+          globals_ = std::move(saved);
+          if (!body.ok()) return body.status();
+          result = types::Lub(result, *body);
+        }
+        for (const auto& tag : scrutinee.fields()) {
+          if (!covered.contains(tag.name)) {
+            return Err(e.line, "case does not cover tag '" + tag.name + "'");
+          }
+        }
+        return result;
+      }
+    }
+    return Err(e.line, "unreachable expression kind");
+  }
+
+  Result<Type> SynthBinary(Expr& e) {
+    DBPL_ASSIGN_OR_RETURN(Type t1, Synth(e.a));
+    DBPL_ASSIGN_OR_RETURN(Type t2, Synth(e.b));
+    switch (e.bin_op) {
+      case BinaryOp::kAnd:
+      case BinaryOp::kOr:
+        DBPL_RETURN_IF_ERROR(Expect(t1, Type::Bool(), e.line, "operand"));
+        DBPL_RETURN_IF_ERROR(Expect(t2, Type::Bool(), e.line, "operand"));
+        return Type::Bool();
+      case BinaryOp::kAdd:
+        if (t1 == Type::String() && t2 == Type::String()) {
+          return Type::String();
+        }
+        [[fallthrough]];
+      case BinaryOp::kSub:
+      case BinaryOp::kMul:
+      case BinaryOp::kDiv:
+        if (t1 == Type::Int() && t2 == Type::Int()) return Type::Int();
+        if (t1 == Type::Real() && t2 == Type::Real()) return Type::Real();
+        return Err(e.line, "arithmetic needs matching Int or Real operands, "
+                           "got " +
+                               t1.ToString() + " and " + t2.ToString());
+      case BinaryOp::kLt:
+      case BinaryOp::kLe:
+      case BinaryOp::kGt:
+      case BinaryOp::kGe:
+        if ((t1 == Type::Int() && t2 == Type::Int()) ||
+            (t1 == Type::Real() && t2 == Type::Real()) ||
+            (t1 == Type::String() && t2 == Type::String())) {
+          return Type::Bool();
+        }
+        return Err(e.line, "comparison needs matching Int, Real or String "
+                           "operands, got " +
+                               t1.ToString() + " and " + t2.ToString());
+      case BinaryOp::kEq:
+      case BinaryOp::kNe:
+        if (types::IsSubtype(t1, t2) || types::IsSubtype(t2, t1)) {
+          return Type::Bool();
+        }
+        return Err(e.line, "equality between unrelated types " +
+                               t1.ToString() + " and " + t2.ToString());
+    }
+    return Err(e.line, "unreachable binary op");
+  }
+
+  Result<Type> SynthCall(Expr& e) {
+    // Contextual builtins.
+    if (e.a->kind == ExprKind::kVar && IsBuiltinName(e.a->str) &&
+        !globals_.contains(e.a->str)) {
+      return SynthBuiltin(e);
+    }
+    DBPL_ASSIGN_OR_RETURN(Type fn, Synth(e.a));
+    if (fn.kind() != TypeKind::kFunc) {
+      return Err(e.line, "calling a non-function of type " + fn.ToString());
+    }
+    if (fn.params().size() != e.elems.size()) {
+      return Err(e.line, "expected " + std::to_string(fn.params().size()) +
+                             " arguments, got " +
+                             std::to_string(e.elems.size()));
+    }
+    for (size_t i = 0; i < e.elems.size(); ++i) {
+      DBPL_ASSIGN_OR_RETURN(Type arg, Synth(e.elems[i]));
+      DBPL_RETURN_IF_ERROR(Expect(arg, fn.params()[i], e.line,
+                                  "argument " + std::to_string(i + 1)));
+    }
+    return fn.result();
+  }
+
+  /// Requires the type to be a List (or Set for the set-friendly
+  /// builtins), after unpacking.
+  Result<Type> ExpectCollection(const Type& t, int line, bool allow_set) {
+    Type r = ResolveForAccess(t);
+    if (r.kind() == TypeKind::kList ||
+        (allow_set && r.kind() == TypeKind::kSet)) {
+      return r;
+    }
+    return Err(line, "expected a List" + std::string(allow_set ? " or Set" : "") +
+                         ", got " + t.ToString());
+  }
+
+  Result<Type> SynthBuiltin(Expr& e) {
+    const std::string& name = e.a->str;
+    auto arity = [&](size_t n) -> Status {
+      if (e.elems.size() != n) {
+        return Err(e.line, "'" + name + "' expects " + std::to_string(n) +
+                               " argument(s), got " +
+                               std::to_string(e.elems.size()));
+      }
+      return Status::OK();
+    };
+    if (name == "head") {
+      DBPL_RETURN_IF_ERROR(arity(1));
+      DBPL_ASSIGN_OR_RETURN(Type t, Synth(e.elems[0]));
+      DBPL_ASSIGN_OR_RETURN(Type l, ExpectCollection(t, e.line, false));
+      return l.element();
+    }
+    if (name == "tail") {
+      DBPL_RETURN_IF_ERROR(arity(1));
+      DBPL_ASSIGN_OR_RETURN(Type t, Synth(e.elems[0]));
+      DBPL_ASSIGN_OR_RETURN(Type l, ExpectCollection(t, e.line, false));
+      return l;
+    }
+    if (name == "cons") {
+      DBPL_RETURN_IF_ERROR(arity(2));
+      DBPL_ASSIGN_OR_RETURN(Type head, Synth(e.elems[0]));
+      DBPL_ASSIGN_OR_RETURN(Type t, Synth(e.elems[1]));
+      DBPL_ASSIGN_OR_RETURN(Type l, ExpectCollection(t, e.line, false));
+      return Type::List(types::Lub(head, l.element()));
+    }
+    if (name == "length") {
+      DBPL_RETURN_IF_ERROR(arity(1));
+      DBPL_ASSIGN_OR_RETURN(Type t, Synth(e.elems[0]));
+      DBPL_RETURN_IF_ERROR(ExpectCollection(t, e.line, true).status());
+      return Type::Int();
+    }
+    if (name == "isempty") {
+      DBPL_RETURN_IF_ERROR(arity(1));
+      DBPL_ASSIGN_OR_RETURN(Type t, Synth(e.elems[0]));
+      DBPL_RETURN_IF_ERROR(ExpectCollection(t, e.line, true).status());
+      return Type::Bool();
+    }
+    if (name == "nth") {
+      DBPL_RETURN_IF_ERROR(arity(2));
+      DBPL_ASSIGN_OR_RETURN(Type t, Synth(e.elems[0]));
+      DBPL_ASSIGN_OR_RETURN(Type l, ExpectCollection(t, e.line, false));
+      DBPL_ASSIGN_OR_RETURN(Type i, Synth(e.elems[1]));
+      DBPL_RETURN_IF_ERROR(Expect(i, Type::Int(), e.line, "index"));
+      return l.element();
+    }
+    if (name == "sum") {
+      DBPL_RETURN_IF_ERROR(arity(1));
+      DBPL_ASSIGN_OR_RETURN(Type t, Synth(e.elems[0]));
+      DBPL_ASSIGN_OR_RETURN(Type l, ExpectCollection(t, e.line, true));
+      if (l.element() == Type::Int() ||
+          l.element() == Type::Bottom()) {
+        return Type::Int();
+      }
+      if (l.element() == Type::Real()) return Type::Real();
+      return Err(e.line, "'sum' needs Int or Real elements, got " +
+                             l.element().ToString());
+    }
+    if (name == "map" || name == "filter") {
+      DBPL_RETURN_IF_ERROR(arity(2));
+      DBPL_ASSIGN_OR_RETURN(Type fn, Synth(e.elems[0]));
+      DBPL_ASSIGN_OR_RETURN(Type t, Synth(e.elems[1]));
+      DBPL_ASSIGN_OR_RETURN(Type l, ExpectCollection(t, e.line, false));
+      if (fn.kind() != TypeKind::kFunc || fn.params().size() != 1) {
+        return Err(e.line, "'" + name + "' needs a one-argument function");
+      }
+      DBPL_RETURN_IF_ERROR(
+          Expect(l.element(), fn.params()[0], e.line, "element type"));
+      if (name == "filter") {
+        DBPL_RETURN_IF_ERROR(
+            Expect(fn.result(), Type::Bool(), e.line, "filter predicate"));
+        return l;
+      }
+      return Type::List(fn.result());
+    }
+    if (name == "fold") {
+      DBPL_RETURN_IF_ERROR(arity(3));
+      DBPL_ASSIGN_OR_RETURN(Type fn, Synth(e.elems[0]));
+      DBPL_ASSIGN_OR_RETURN(Type init, Synth(e.elems[1]));
+      DBPL_ASSIGN_OR_RETURN(Type t, Synth(e.elems[2]));
+      DBPL_ASSIGN_OR_RETURN(Type l, ExpectCollection(t, e.line, false));
+      if (fn.kind() != TypeKind::kFunc || fn.params().size() != 2) {
+        return Err(e.line, "'fold' needs a two-argument function");
+      }
+      DBPL_RETURN_IF_ERROR(Expect(init, fn.params()[0], e.line,
+                                  "fold initial value"));
+      DBPL_RETURN_IF_ERROR(Expect(fn.result(), fn.params()[0], e.line,
+                                  "fold accumulator"));
+      DBPL_RETURN_IF_ERROR(
+          Expect(l.element(), fn.params()[1], e.line, "fold element type"));
+      return fn.result();
+    }
+    if (name == "concat") {
+      DBPL_RETURN_IF_ERROR(arity(2));
+      DBPL_ASSIGN_OR_RETURN(Type t1, Synth(e.elems[0]));
+      DBPL_ASSIGN_OR_RETURN(Type t2, Synth(e.elems[1]));
+      DBPL_ASSIGN_OR_RETURN(Type l1, ExpectCollection(t1, e.line, false));
+      DBPL_ASSIGN_OR_RETURN(Type l2, ExpectCollection(t2, e.line, false));
+      return Type::List(types::Lub(l1.element(), l2.element()));
+    }
+    if (name == "elements") {
+      DBPL_RETURN_IF_ERROR(arity(1));
+      DBPL_ASSIGN_OR_RETURN(Type t, Synth(e.elems[0]));
+      Type r = ResolveForAccess(t);
+      if (r.kind() != TypeKind::kSet) {
+        return Err(e.line, "'elements' needs a Set, got " + t.ToString());
+      }
+      return Type::List(r.element());
+    }
+    if (name == "setof") {
+      DBPL_RETURN_IF_ERROR(arity(1));
+      DBPL_ASSIGN_OR_RETURN(Type t, Synth(e.elems[0]));
+      DBPL_ASSIGN_OR_RETURN(Type l, ExpectCollection(t, e.line, false));
+      if (!IsDataType(l.element())) {
+        return Err(e.line, "sets may only contain first-order data");
+      }
+      return Type::Set(l.element());
+    }
+    if (name == "lesseq" || name == "consistent" || name == "meet") {
+      // The information ordering, exposed to programs: `lesseq(a, b)`
+      // is the paper's a ⊑ b; `consistent(a, b)` tests whether a ⊔ b
+      // exists; `meet(a, b)` computes a ⊓ b (always defined).
+      DBPL_RETURN_IF_ERROR(arity(2));
+      DBPL_ASSIGN_OR_RETURN(Type t1, Synth(e.elems[0]));
+      DBPL_ASSIGN_OR_RETURN(Type t2, Synth(e.elems[1]));
+      if (!IsDataType(t1) || !IsDataType(t2)) {
+        return Err(e.line, "'" + name + "' needs first-order data");
+      }
+      if (name == "meet") return types::Lub(t1, t2);  // less info, higher type
+      return Type::Bool();
+    }
+    return Err(e.line, "unknown builtin '" + name + "'");
+  }
+
+  std::map<std::string, Type>& globals_;
+};
+
+}  // namespace
+
+bool IsBuiltinName(std::string_view name) {
+  return Builtins().contains(name);
+}
+
+Result<std::vector<DeclType>> TypeCheck(Program& program) {
+  std::map<std::string, Type> globals;
+  Checker checker(&globals);
+  return checker.Check(program);
+}
+
+Result<std::vector<DeclType>> TypeChecker::CheckProgram(Program& program) {
+  Checker checker(&globals_);
+  return checker.Check(program);
+}
+
+}  // namespace dbpl::lang

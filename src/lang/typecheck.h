@@ -1,0 +1,48 @@
+#ifndef DBPL_LANG_TYPECHECK_H_
+#define DBPL_LANG_TYPECHECK_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "lang/ast.h"
+#include "types/type.h"
+
+namespace dbpl::lang {
+
+/// True for the contextual builtin functions (head, tail, cons, length,
+/// isempty, nth, sum, map, filter, fold, concat, elements, setof).
+/// Builtins are not first-class: they may only appear applied.
+bool IsBuiltinName(std::string_view name);
+
+/// The static type assigned to each top-level declaration.
+struct DeclType {
+  std::string name;  // empty for expression statements
+  types::Type type;
+};
+
+/// Statically type-checks a program with subsumption (an Employee may
+/// be used wherever a Person is expected), following the paper's
+/// predilection for static checking with two dynamic escape hatches:
+/// `dynamic`/`coerce`, and the generic `get T from db`, whose result is
+/// typed `List[Exists t <= T. t]`.
+///
+/// Checking also *annotates* the AST: each `dynamic e` node records the
+/// static type of `e` (the type the dynamic will carry, as in Amber).
+Result<std::vector<DeclType>> TypeCheck(Program& program);
+
+/// A stateful checker whose global bindings survive across programs
+/// (used by the incremental interpreter / REPL).
+class TypeChecker {
+ public:
+  Result<std::vector<DeclType>> CheckProgram(Program& program);
+
+ private:
+  std::map<std::string, types::Type> globals_;
+};
+
+}  // namespace dbpl::lang
+
+#endif  // DBPL_LANG_TYPECHECK_H_

@@ -1,0 +1,35 @@
+#include "persist/database_io.h"
+
+#include "persist/file_util.h"
+#include "serial/decoder.h"
+#include "serial/encoder.h"
+
+namespace dbpl::persist {
+
+Status SaveDatabase(const std::string& path, const dyndb::Database& db) {
+  ByteBuffer out;
+  serial::EncodeHeader(&out);
+  out.PutVarint(db.size());
+  for (const dyndb::Dynamic& d : db.entries()) {
+    serial::EncodeType(d.type, &out);
+    serial::EncodeValue(d.value, &out);
+  }
+  return WriteFileAtomic(path, out);
+}
+
+Result<dyndb::Database> LoadDatabase(const std::string& path) {
+  DBPL_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFileBytes(path));
+  ByteReader in(bytes.data(), bytes.size());
+  DBPL_RETURN_IF_ERROR(serial::DecodeHeader(&in));
+  DBPL_ASSIGN_OR_RETURN(uint64_t count, in.ReadVarint());
+  dyndb::Database db;
+  for (uint64_t i = 0; i < count; ++i) {
+    DBPL_ASSIGN_OR_RETURN(types::Type type, serial::DecodeType(&in));
+    DBPL_ASSIGN_OR_RETURN(core::Value value, serial::DecodeValue(&in));
+    db.Insert(dyndb::Dynamic{std::move(value), std::move(type)});
+  }
+  if (!in.AtEnd()) return Status::Corruption("trailing bytes in database");
+  return db;
+}
+
+}  // namespace dbpl::persist

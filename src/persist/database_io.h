@@ -1,0 +1,24 @@
+#ifndef DBPL_PERSIST_DATABASE_IO_H_
+#define DBPL_PERSIST_DATABASE_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "dyndb/database.h"
+
+namespace dbpl::persist {
+
+/// Persists a whole heterogeneous database — every entry written
+/// self-describingly (value + carried type, principle P2) — to one
+/// file, atomically. Registered extents are not stored: they are
+/// *derived* state and are rebuilt by re-registering after load, which
+/// is the paper's point about extents being separable from persistence.
+Status SaveDatabase(const std::string& path, const dyndb::Database& db);
+
+/// Loads a database written by `SaveDatabase`. Entry ids are assigned
+/// afresh in the stored order.
+Result<dyndb::Database> LoadDatabase(const std::string& path);
+
+}  // namespace dbpl::persist
+
+#endif  // DBPL_PERSIST_DATABASE_IO_H_

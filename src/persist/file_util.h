@@ -1,0 +1,26 @@
+#ifndef DBPL_PERSIST_FILE_UTIL_H_
+#define DBPL_PERSIST_FILE_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace dbpl::persist {
+
+/// Reads an entire file into memory.
+Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path);
+
+/// Writes a buffer to `path` atomically: write to `path.tmp`, fsync,
+/// rename. A crash mid-save leaves any previous file intact.
+Status WriteFileAtomic(const std::string& path, const ByteBuffer& data);
+
+/// Removes a file if it exists (no error when absent).
+void RemoveFileIfExists(const std::string& path);
+
+bool FileExists(const std::string& path);
+
+}  // namespace dbpl::persist
+
+#endif  // DBPL_PERSIST_FILE_UTIL_H_

@@ -1,0 +1,214 @@
+#include "persist/intrinsic_store.h"
+
+#include <charconv>
+
+#include "common/bytes.h"
+#include "persist/schema_compat.h"
+#include "serial/decoder.h"
+#include "serial/encoder.h"
+#include "types/type_of.h"
+
+namespace dbpl::persist {
+namespace {
+
+constexpr char kObjectPrefix[] = "o/";
+constexpr char kRootPrefix[] = "r/";
+
+std::string ObjectKey(core::Oid oid) {
+  return kObjectPrefix + std::to_string(oid);
+}
+
+std::string RootKey(const std::string& name) { return kRootPrefix + name; }
+
+std::string EncodeObject(const core::Value& v) {
+  ByteBuffer buf;
+  serial::EncodeType(types::TypeOf(v), &buf);
+  serial::EncodeValue(v, &buf);
+  return std::string(reinterpret_cast<const char*>(buf.data()), buf.size());
+}
+
+Result<core::Value> DecodeObject(const std::string& bytes) {
+  ByteReader in(bytes);
+  DBPL_ASSIGN_OR_RETURN(types::Type type, serial::DecodeType(&in));
+  (void)type;
+  DBPL_ASSIGN_OR_RETURN(core::Value value, serial::DecodeValue(&in));
+  if (!in.AtEnd()) return Status::Corruption("trailing bytes in object");
+  return value;
+}
+
+std::string EncodeRoot(core::Oid oid, const types::Type& type) {
+  ByteBuffer buf;
+  buf.PutVarint(oid);
+  serial::EncodeType(type, &buf);
+  return std::string(reinterpret_cast<const char*>(buf.data()), buf.size());
+}
+
+Result<std::pair<core::Oid, types::Type>> DecodeRoot(
+    const std::string& bytes) {
+  ByteReader in(bytes);
+  DBPL_ASSIGN_OR_RETURN(uint64_t oid, in.ReadVarint());
+  DBPL_ASSIGN_OR_RETURN(types::Type type, serial::DecodeType(&in));
+  if (!in.AtEnd()) return Status::Corruption("trailing bytes in root");
+  return std::make_pair(core::Oid(oid), std::move(type));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<IntrinsicStore>> IntrinsicStore::Open(
+    const std::string& path) {
+  DBPL_ASSIGN_OR_RETURN(std::unique_ptr<storage::KvStore> kv,
+                        storage::KvStore::Open(path));
+  std::unique_ptr<IntrinsicStore> store(new IntrinsicStore(std::move(kv)));
+  DBPL_RETURN_IF_ERROR(store->LoadCommitted());
+  return store;
+}
+
+Status IntrinsicStore::LoadCommitted() {
+  for (const std::string& key : kv_->KeysWithPrefix(kObjectPrefix)) {
+    uint64_t oid = 0;
+    std::string_view digits(key);
+    digits.remove_prefix(sizeof(kObjectPrefix) - 1);
+    auto [ptr, ec] = std::from_chars(digits.data(), digits.data() + digits.size(), oid);
+    if (ec != std::errc() || ptr != digits.data() + digits.size()) {
+      return Status::Corruption("malformed object key: " + key);
+    }
+    DBPL_ASSIGN_OR_RETURN(std::string bytes, kv_->Get(key));
+    DBPL_ASSIGN_OR_RETURN(core::Value value, DecodeObject(bytes));
+    DBPL_RETURN_IF_ERROR(heap_.AllocateWithOid(oid, value));
+    committed_.emplace(oid, std::move(value));
+  }
+  for (const std::string& key : kv_->KeysWithPrefix(kRootPrefix)) {
+    std::string name = key.substr(sizeof(kRootPrefix) - 1);
+    DBPL_ASSIGN_OR_RETURN(std::string bytes, kv_->Get(key));
+    DBPL_ASSIGN_OR_RETURN(auto root, DecodeRoot(bytes));
+    if (!heap_.Contains(root.first)) {
+      return Status::Corruption("root '" + name + "' points at missing object");
+    }
+    roots_[name] = root.first;
+    root_types_[name] = root.second;
+    committed_roots_[name] = root.first;
+    committed_root_types_[name] = root.second;
+  }
+  return Status::OK();
+}
+
+Status IntrinsicStore::SetRoot(const std::string& name, core::Oid oid) {
+  return SetRootTyped(name, oid, types::Type::Top());
+}
+
+Status IntrinsicStore::SetRootTyped(const std::string& name, core::Oid oid,
+                                    types::Type declared) {
+  if (!heap_.Contains(oid)) {
+    return Status::NotFound("no object with oid " + std::to_string(oid));
+  }
+  roots_[name] = oid;
+  root_types_[name] = std::move(declared);
+  return Status::OK();
+}
+
+Result<core::Oid> IntrinsicStore::GetRoot(const std::string& name) const {
+  auto it = roots_.find(name);
+  if (it == roots_.end()) {
+    return Status::NotFound("no root named '" + name + "'");
+  }
+  return it->second;
+}
+
+Status IntrinsicStore::RemoveRoot(const std::string& name) {
+  if (roots_.erase(name) == 0) {
+    return Status::NotFound("no root named '" + name + "'");
+  }
+  root_types_.erase(name);
+  return Status::OK();
+}
+
+std::vector<std::string> IntrinsicStore::RootNames() const {
+  std::vector<std::string> out;
+  out.reserve(roots_.size());
+  for (const auto& [name, _] : roots_) out.push_back(name);
+  return out;
+}
+
+Result<types::Type> IntrinsicStore::RootType(const std::string& name) const {
+  if (!roots_.contains(name)) {
+    return Status::NotFound("no root named '" + name + "'");
+  }
+  auto it = root_types_.find(name);
+  return it == root_types_.end() ? types::Type::Top() : it->second;
+}
+
+Result<core::Oid> IntrinsicStore::OpenRootChecked(
+    const std::string& name, const types::Type& requested) {
+  DBPL_ASSIGN_OR_RETURN(core::Oid oid, GetRoot(name));
+  DBPL_ASSIGN_OR_RETURN(types::Type stored, RootType(name));
+  DBPL_ASSIGN_OR_RETURN(types::Type evolved, EvolveSchema(stored, requested));
+  root_types_[name] = std::move(evolved);
+  return oid;
+}
+
+Status IntrinsicStore::Commit() {
+  storage::WriteBatch batch;
+  // Objects: upserts and deletions relative to the committed snapshot.
+  for (core::Oid oid : heap_.Oids()) {
+    Result<core::Value> v = heap_.Get(oid);
+    if (!v.ok()) return v.status();
+    auto it = committed_.find(oid);
+    if (it == committed_.end() || !(it->second == *v)) {
+      batch.Put(ObjectKey(oid), EncodeObject(*v));
+    }
+  }
+  for (const auto& [oid, _] : committed_) {
+    if (!heap_.Contains(oid)) batch.Delete(ObjectKey(oid));
+  }
+  // Roots.
+  for (const auto& [name, oid] : roots_) {
+    auto type_it = root_types_.find(name);
+    types::Type type =
+        type_it == root_types_.end() ? types::Type::Top() : type_it->second;
+    auto c = committed_roots_.find(name);
+    auto ct = committed_root_types_.find(name);
+    bool changed = c == committed_roots_.end() || c->second != oid ||
+                   ct == committed_root_types_.end() ||
+                   !(ct->second == type);
+    if (changed) batch.Put(RootKey(name), EncodeRoot(oid, type));
+  }
+  for (const auto& [name, _] : committed_roots_) {
+    if (!roots_.contains(name)) batch.Delete(RootKey(name));
+  }
+
+  DBPL_RETURN_IF_ERROR(kv_->Apply(batch));
+
+  // Refresh the committed snapshot.
+  committed_.clear();
+  for (core::Oid oid : heap_.Oids()) {
+    committed_.emplace(oid, *heap_.Get(oid));
+  }
+  committed_roots_ = roots_;
+  committed_root_types_ = root_types_;
+  return Status::OK();
+}
+
+bool IntrinsicStore::HasUncommittedChanges() const {
+  if (roots_ != committed_roots_) return true;
+  if (heap_.size() != committed_.size()) return true;
+  for (const auto& [oid, value] : committed_) {
+    Result<core::Value> v = heap_.Get(oid);
+    if (!v.ok() || !(*v == value)) return true;
+  }
+  for (const auto& [name, type] : root_types_) {
+    auto it = committed_root_types_.find(name);
+    if (it == committed_root_types_.end() || !(it->second == type)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t IntrinsicStore::CollectGarbage() {
+  std::vector<core::Oid> root_oids;
+  root_oids.reserve(roots_.size());
+  for (const auto& [_, oid] : roots_) root_oids.push_back(oid);
+  return heap_.CollectGarbage(root_oids);
+}
+
+}  // namespace dbpl::persist

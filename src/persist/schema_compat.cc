@@ -1,0 +1,48 @@
+#include "persist/schema_compat.h"
+
+#include "types/lattice.h"
+#include "types/subtype.h"
+
+namespace dbpl::persist {
+
+std::string_view SchemaCompatName(SchemaCompat c) {
+  switch (c) {
+    case SchemaCompat::kIdentical:
+      return "Identical";
+    case SchemaCompat::kView:
+      return "View";
+    case SchemaCompat::kEnrichment:
+      return "Enrichment";
+    case SchemaCompat::kIncompatible:
+      return "Incompatible";
+  }
+  return "Unknown";
+}
+
+SchemaCompat ClassifySchema(const types::Type& stored,
+                            const types::Type& requested) {
+  if (types::TypeEquiv(stored, requested)) return SchemaCompat::kIdentical;
+  if (types::IsSubtype(stored, requested)) return SchemaCompat::kView;
+  if (types::ConsistentTypes(stored, requested)) {
+    return SchemaCompat::kEnrichment;
+  }
+  return SchemaCompat::kIncompatible;
+}
+
+Result<types::Type> EvolveSchema(const types::Type& stored,
+                                 const types::Type& requested) {
+  switch (ClassifySchema(stored, requested)) {
+    case SchemaCompat::kIdentical:
+    case SchemaCompat::kView:
+      return stored;
+    case SchemaCompat::kEnrichment:
+      return types::Glb(stored, requested);
+    case SchemaCompat::kIncompatible:
+      return Status::Inconsistent(
+          "stored schema " + stored.ToString() +
+          " contradicts requested schema " + requested.ToString());
+  }
+  return Status::Internal("unreachable schema compatibility");
+}
+
+}  // namespace dbpl::persist

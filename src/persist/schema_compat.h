@@ -1,0 +1,42 @@
+#ifndef DBPL_PERSIST_SCHEMA_COMPAT_H_
+#define DBPL_PERSIST_SCHEMA_COMPAT_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "types/type.h"
+
+namespace dbpl::persist {
+
+/// How a requested (program) type relates to a stored (database) type,
+/// following the paper's "Persistent Pascal" recompilation discussion.
+enum class SchemaCompat {
+  /// Types are equivalent: nothing to do.
+  kIdentical,
+  /// The stored type is a subtype of the requested type: the program
+  /// sees a *view* of the database; all requested operations apply.
+  kView,
+  /// Not a subtype, but a common subtype exists: the program *enriches*
+  /// the schema — "provided we never contradict any of our previous
+  /// definitions, we can continue to enrich the type of the database".
+  kEnrichment,
+  /// The types contradict each other; opening must fail.
+  kIncompatible,
+};
+
+std::string_view SchemaCompatName(SchemaCompat c);
+
+/// Classifies `requested` against `stored`.
+SchemaCompat ClassifySchema(const types::Type& stored,
+                            const types::Type& requested);
+
+/// The type the database has after opening at `requested`:
+///  * kIdentical / kView → the stored type (no information lost);
+///  * kEnrichment → the common subtype (stored ⊓ requested);
+///  * kIncompatible → `Inconsistent` error.
+Result<types::Type> EvolveSchema(const types::Type& stored,
+                                 const types::Type& requested);
+
+}  // namespace dbpl::persist
+
+#endif  // DBPL_PERSIST_SCHEMA_COMPAT_H_

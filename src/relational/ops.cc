@@ -1,0 +1,311 @@
+#include "relational/ops.h"
+
+#include <map>
+#include <unordered_map>
+
+namespace dbpl::relational {
+namespace {
+
+size_t HashTupleSlice(const Tuple& t, const std::vector<int>& idx) {
+  size_t h = 0x9e3779b97f4a7c15ULL;
+  for (int i : idx) {
+    h ^= t[static_cast<size_t>(i)].Hash() + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+bool SliceEq(const Tuple& a, const std::vector<int>& ia, const Tuple& b,
+             const std::vector<int>& ib) {
+  for (size_t k = 0; k < ia.size(); ++k) {
+    if (!(a[static_cast<size_t>(ia[k])] == b[static_cast<size_t>(ib[k])])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Relation Select(
+    const Relation& r,
+    const std::function<bool(const Relation&, const Tuple&)>& pred) {
+  Relation out(r.schema());
+  for (const auto& t : r.tuples()) {
+    if (pred(r, t)) {
+      // Insert cannot fail: the tuple already type-checked in r.
+      (void)out.Insert(t);
+    }
+  }
+  return out;
+}
+
+Result<Relation> Project(const Relation& r,
+                         const std::vector<std::string>& attrs) {
+  DBPL_ASSIGN_OR_RETURN(Schema schema, r.schema().Project(attrs));
+  std::vector<int> idx;
+  for (const auto& a : attrs) idx.push_back(r.schema().IndexOf(a));
+  Relation out(std::move(schema));
+  for (const auto& t : r.tuples()) {
+    Tuple nt;
+    nt.reserve(idx.size());
+    for (int i : idx) nt.push_back(t[static_cast<size_t>(i)]);
+    DBPL_RETURN_IF_ERROR(out.Insert(std::move(nt)));
+  }
+  return out;
+}
+
+Result<Relation> NaturalJoin(const Relation& r1, const Relation& r2) {
+  DBPL_ASSIGN_OR_RETURN(Schema joined, r1.schema().JoinWith(r2.schema()));
+  std::vector<std::string> common = r1.schema().CommonAttributes(r2.schema());
+  std::vector<int> idx1, idx2;
+  for (const auto& a : common) {
+    idx1.push_back(r1.schema().IndexOf(a));
+    idx2.push_back(r2.schema().IndexOf(a));
+  }
+  // Attributes of r2 unique to r2, in joined-schema order.
+  std::vector<int> extra2;
+  for (const auto& a : r2.schema().attributes()) {
+    if (!r1.schema().Has(a.name)) {
+      extra2.push_back(r2.schema().IndexOf(a.name));
+    }
+  }
+
+  // Build a hash table over the smaller relation (on the common slice).
+  const bool r1_is_build = r1.size() <= r2.size();
+  const Relation& build = r1_is_build ? r1 : r2;
+  const Relation& probe = r1_is_build ? r2 : r1;
+  const std::vector<int>& build_idx = r1_is_build ? idx1 : idx2;
+  const std::vector<int>& probe_idx = r1_is_build ? idx2 : idx1;
+
+  std::unordered_multimap<size_t, const Tuple*> table;
+  table.reserve(build.size());
+  for (const auto& t : build.tuples()) {
+    table.emplace(HashTupleSlice(t, build_idx), &t);
+  }
+
+  Relation out(std::move(joined));
+  for (const auto& pt : probe.tuples()) {
+    auto [lo, hi] = table.equal_range(HashTupleSlice(pt, probe_idx));
+    for (auto it = lo; it != hi; ++it) {
+      const Tuple& bt = *it->second;
+      if (!SliceEq(bt, build_idx, pt, probe_idx)) continue;
+      const Tuple& t1 = r1_is_build ? bt : pt;
+      const Tuple& t2 = r1_is_build ? pt : bt;
+      Tuple nt = t1;
+      for (int i : extra2) nt.push_back(t2[static_cast<size_t>(i)]);
+      DBPL_RETURN_IF_ERROR(out.Insert(std::move(nt)));
+    }
+  }
+  return out;
+}
+
+Result<Relation> Union(const Relation& r1, const Relation& r2) {
+  if (!(r1.schema() == r2.schema())) {
+    return Status::InvalidArgument("union requires identical schemas");
+  }
+  Relation out(r1.schema());
+  for (const auto& t : r1.tuples()) DBPL_RETURN_IF_ERROR(out.Insert(t));
+  for (const auto& t : r2.tuples()) DBPL_RETURN_IF_ERROR(out.Insert(t));
+  return out;
+}
+
+Result<Relation> Difference(const Relation& r1, const Relation& r2) {
+  if (!(r1.schema() == r2.schema())) {
+    return Status::InvalidArgument("difference requires identical schemas");
+  }
+  Relation out(r1.schema());
+  for (const auto& t : r1.tuples()) {
+    if (!r2.Contains(t)) DBPL_RETURN_IF_ERROR(out.Insert(t));
+  }
+  return out;
+}
+
+namespace {
+
+/// Shared-attribute membership test used by semi- and anti-join.
+Result<Relation> SemiJoinImpl(const Relation& r1, const Relation& r2,
+                              bool keep_matches) {
+  std::vector<std::string> common = r1.schema().CommonAttributes(r2.schema());
+  std::vector<int> idx1, idx2;
+  for (const auto& a : common) {
+    idx1.push_back(r1.schema().IndexOf(a));
+    idx2.push_back(r2.schema().IndexOf(a));
+  }
+  std::unordered_multimap<size_t, const Tuple*> table;
+  for (const auto& t : r2.tuples()) {
+    table.emplace(HashTupleSlice(t, idx2), &t);
+  }
+  Relation out(r1.schema());
+  for (const auto& t : r1.tuples()) {
+    bool matched = false;
+    auto [lo, hi] = table.equal_range(HashTupleSlice(t, idx1));
+    for (auto it = lo; it != hi; ++it) {
+      if (SliceEq(t, idx1, *it->second, idx2)) {
+        matched = true;
+        break;
+      }
+    }
+    // With no shared attributes every tuple matches iff r2 is nonempty.
+    if (common.empty()) matched = !r2.empty();
+    if (matched == keep_matches) {
+      DBPL_RETURN_IF_ERROR(out.Insert(t));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Relation> SemiJoin(const Relation& r1, const Relation& r2) {
+  return SemiJoinImpl(r1, r2, /*keep_matches=*/true);
+}
+
+Result<Relation> AntiJoin(const Relation& r1, const Relation& r2) {
+  return SemiJoinImpl(r1, r2, /*keep_matches=*/false);
+}
+
+Result<Relation> Divide(const Relation& r1, const Relation& r2) {
+  // Attributes of r2 must be strictly inside r1's.
+  std::vector<std::string> quotient_attrs;
+  for (const auto& a : r1.schema().attributes()) {
+    if (!r2.schema().Has(a.name)) quotient_attrs.push_back(a.name);
+  }
+  for (const auto& a : r2.schema().attributes()) {
+    if (!r1.schema().Has(a.name)) {
+      return Status::InvalidArgument("divisor attribute " + a.name +
+                                     " not in dividend");
+    }
+  }
+  if (quotient_attrs.empty()) {
+    return Status::InvalidArgument("division needs quotient attributes");
+  }
+  // Classical identity: π_Q(r1) − π_Q((π_Q(r1) × r2) − r1).
+  DBPL_ASSIGN_OR_RETURN(Relation candidates, Project(r1, quotient_attrs));
+  DBPL_ASSIGN_OR_RETURN(Relation product, NaturalJoin(candidates, r2));
+  // Align product's column order with r1's schema before subtracting.
+  std::vector<std::string> r1_order;
+  for (const auto& a : r1.schema().attributes()) r1_order.push_back(a.name);
+  DBPL_ASSIGN_OR_RETURN(Relation product_aligned, Project(product, r1_order));
+  DBPL_ASSIGN_OR_RETURN(Relation missing,
+                        Difference(product_aligned, r1));
+  DBPL_ASSIGN_OR_RETURN(Relation missing_q, Project(missing, quotient_attrs));
+  return Difference(candidates, missing_q);
+}
+
+Result<Relation> GroupBy(const Relation& r,
+                         const std::vector<std::string>& group_attrs,
+                         const std::vector<AggSpec>& aggs) {
+  using core::Value;
+  // Output schema: group attributes followed by aggregate columns.
+  DBPL_ASSIGN_OR_RETURN(Schema group_schema, r.schema().Project(group_attrs));
+  std::vector<Schema::Attribute> out_attrs = group_schema.attributes();
+  std::vector<int> agg_idx;
+  for (const auto& agg : aggs) {
+    AtomType type = AtomType::kInt;
+    int idx = -1;
+    if (agg.func != AggFunc::kCount) {
+      idx = r.schema().IndexOf(agg.attr);
+      if (idx < 0) {
+        return Status::NotFound("no attribute named " + agg.attr);
+      }
+      type = r.schema().attributes()[static_cast<size_t>(idx)].type;
+      if (agg.func == AggFunc::kSum && type != AtomType::kInt &&
+          type != AtomType::kReal) {
+        return Status::InvalidArgument("sum needs an Int or Real attribute");
+      }
+    }
+    agg_idx.push_back(idx);
+    out_attrs.push_back({agg.as, type});
+  }
+  DBPL_ASSIGN_OR_RETURN(Schema out_schema, Schema::Make(std::move(out_attrs)));
+
+  // Group tuples by their group-attribute slice.
+  std::vector<int> gidx;
+  for (const auto& a : group_attrs) gidx.push_back(r.schema().IndexOf(a));
+  auto slice = [&](const Tuple& t) {
+    Tuple key;
+    key.reserve(gidx.size());
+    for (int i : gidx) key.push_back(t[static_cast<size_t>(i)]);
+    return key;
+  };
+  struct TupleLess {
+    bool operator()(const Tuple& a, const Tuple& b) const {
+      for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+        int c = core::Compare(a[i], b[i]);
+        if (c != 0) return c < 0;
+      }
+      return a.size() < b.size();
+    }
+  };
+  std::map<Tuple, std::vector<const Tuple*>, TupleLess> grouped;
+  for (const auto& t : r.tuples()) grouped[slice(t)].push_back(&t);
+  // An empty relation with no group attributes still aggregates (e.g.
+  // count = 0).
+  if (grouped.empty() && group_attrs.empty()) grouped[{}] = {};
+
+  Relation out(out_schema);
+  for (const auto& [key, members] : grouped) {
+    Tuple row = key;
+    for (size_t k = 0; k < aggs.size(); ++k) {
+      const AggSpec& agg = aggs[k];
+      switch (agg.func) {
+        case AggFunc::kCount:
+          row.push_back(Value::Int(static_cast<int64_t>(members.size())));
+          break;
+        case AggFunc::kSum: {
+          size_t idx = static_cast<size_t>(agg_idx[k]);
+          if (out_schema.attributes()[key.size() + k].type == AtomType::kInt) {
+            int64_t total = 0;
+            for (const Tuple* t : members) total += (*t)[idx].AsInt();
+            row.push_back(Value::Int(total));
+          } else {
+            double total = 0;
+            for (const Tuple* t : members) total += (*t)[idx].AsReal();
+            row.push_back(Value::Real(total));
+          }
+          break;
+        }
+        case AggFunc::kMin:
+        case AggFunc::kMax: {
+          if (members.empty()) {
+            return Status::InvalidArgument(
+                "min/max of an empty relation is undefined");
+          }
+          size_t idx = static_cast<size_t>(agg_idx[k]);
+          Value best = (*members.front())[idx];
+          for (const Tuple* t : members) {
+            int c = core::Compare((*t)[idx], best);
+            if ((agg.func == AggFunc::kMin && c < 0) ||
+                (agg.func == AggFunc::kMax && c > 0)) {
+              best = (*t)[idx];
+            }
+          }
+          row.push_back(best);
+          break;
+        }
+      }
+    }
+    DBPL_RETURN_IF_ERROR(out.Insert(std::move(row)));
+  }
+  return out;
+}
+
+Result<Relation> Rename(const Relation& r, const std::string& from,
+                        const std::string& to) {
+  if (!r.schema().Has(from)) {
+    return Status::NotFound("no attribute named " + from);
+  }
+  if (r.schema().Has(to)) {
+    return Status::AlreadyExists("attribute already exists: " + to);
+  }
+  std::vector<Schema::Attribute> attrs = r.schema().attributes();
+  for (auto& a : attrs) {
+    if (a.name == from) a.name = to;
+  }
+  DBPL_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(attrs)));
+  Relation out(std::move(schema));
+  for (const auto& t : r.tuples()) DBPL_RETURN_IF_ERROR(out.Insert(t));
+  return out;
+}
+
+}  // namespace dbpl::relational

@@ -1,0 +1,75 @@
+#ifndef DBPL_RELATIONAL_OPS_H_
+#define DBPL_RELATIONAL_OPS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/relation.h"
+
+namespace dbpl::relational {
+
+/// Classical relational algebra over 1NF relations — the baseline the
+/// generalized operators of core/grelation.h are measured against.
+
+/// σ: tuples satisfying `pred`.
+Relation Select(const Relation& r,
+                const std::function<bool(const Relation&, const Tuple&)>& pred);
+
+/// π: restriction to `attrs` (duplicates removed).
+Result<Relation> Project(const Relation& r,
+                         const std::vector<std::string>& attrs);
+
+/// ⋈: natural join (hash join on the shared attributes; a cartesian
+/// product when none are shared).
+Result<Relation> NaturalJoin(const Relation& r1, const Relation& r2);
+
+/// ∪ (schemas must match).
+Result<Relation> Union(const Relation& r1, const Relation& r2);
+
+/// − (schemas must match).
+Result<Relation> Difference(const Relation& r1, const Relation& r2);
+
+/// ρ: renames attribute `from` to `to`.
+Result<Relation> Rename(const Relation& r, const std::string& from,
+                        const std::string& to);
+
+/// ⋉: tuples of `r1` with at least one match in `r2` on the shared
+/// attributes.
+Result<Relation> SemiJoin(const Relation& r1, const Relation& r2);
+
+/// ▷: tuples of `r1` with no match in `r2` on the shared attributes.
+Result<Relation> AntiJoin(const Relation& r1, const Relation& r2);
+
+/// ÷: classical relational division — the tuples over `r1 \ r2`'s
+/// attributes paired (in r1) with *every* tuple of `r2`. `r2`'s
+/// attributes must be a strict subset of `r1`'s.
+Result<Relation> Divide(const Relation& r1, const Relation& r2);
+
+/// Aggregate functions for GroupBy.
+enum class AggFunc : uint8_t {
+  kCount,  // number of tuples in the group (attr ignored)
+  kSum,    // sum of an Int or Real attribute
+  kMin,    // minimum under the canonical order
+  kMax,    // maximum under the canonical order
+};
+
+/// One aggregate column: `as = func(attr)`.
+struct AggSpec {
+  AggFunc func;
+  std::string attr;  // ignored for kCount
+  std::string as;
+};
+
+/// γ: groups `r` by `group_attrs` and appends one attribute per
+/// aggregate. With empty `group_attrs`, aggregates the whole relation
+/// into a single tuple (a relational fold — Merrett's use of the
+/// algebra for general computation).
+Result<Relation> GroupBy(const Relation& r,
+                         const std::vector<std::string>& group_attrs,
+                         const std::vector<AggSpec>& aggs);
+
+}  // namespace dbpl::relational
+
+#endif  // DBPL_RELATIONAL_OPS_H_

@@ -1,0 +1,168 @@
+#include "relational/relation.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dbpl::relational {
+namespace {
+
+bool TupleEq(const Tuple& a, const Tuple& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<Relation> Relation::WithKey(Schema schema,
+                                   std::vector<std::string> key) {
+  for (const auto& k : key) {
+    if (!schema.Has(k)) {
+      return Status::InvalidArgument("key attribute not in schema: " + k);
+    }
+  }
+  Relation r(std::move(schema));
+  r.key_ = std::move(key);
+  return r;
+}
+
+Status Relation::CheckTuple(const Tuple& tuple) const {
+  if (tuple.size() != schema_.arity()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(tuple.size()) +
+        " does not match schema arity " + std::to_string(schema_.arity()));
+  }
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (!AtomMatches(tuple[i], schema_.attributes()[i].type)) {
+      return Status::InvalidArgument(
+          "attribute " + schema_.attributes()[i].name + " expects " +
+          std::string(AtomTypeName(schema_.attributes()[i].type)) + ", got " +
+          tuple[i].ToString());
+    }
+  }
+  return Status::OK();
+}
+
+size_t Relation::HashTuple(const Tuple& tuple) {
+  size_t h = 0x9e3779b97f4a7c15ULL;
+  for (const auto& v : tuple) h ^= v.Hash() + (h << 6) + (h >> 2);
+  return h;
+}
+
+size_t Relation::HashKeySlice(const Tuple& tuple) const {
+  size_t h = 0x2545F4914F6CDD1DULL;
+  for (const auto& k : key_) {
+    int idx = schema_.IndexOf(k);
+    h ^= tuple[static_cast<size_t>(idx)].Hash() + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+Status Relation::Insert(Tuple tuple) {
+  DBPL_RETURN_IF_ERROR(CheckTuple(tuple));
+  if (Contains(tuple)) return Status::OK();
+  if (!key_.empty()) {
+    std::vector<int> key_idx;
+    for (const auto& k : key_) key_idx.push_back(schema_.IndexOf(k));
+    auto [lo, hi] = key_index_.equal_range(HashKeySlice(tuple));
+    for (auto it = lo; it != hi; ++it) {
+      const Tuple& existing = tuples_[it->second];
+      bool same_key = true;
+      for (int idx : key_idx) {
+        if (!(existing[static_cast<size_t>(idx)] ==
+              tuple[static_cast<size_t>(idx)])) {
+          same_key = false;
+          break;
+        }
+      }
+      if (same_key) {
+        return Status::Inconsistent("key violation on insert");
+      }
+    }
+  }
+  size_t pos = tuples_.size();
+  tuple_index_.emplace(HashTuple(tuple), pos);
+  if (!key_.empty()) key_index_.emplace(HashKeySlice(tuple), pos);
+  tuples_.push_back(std::move(tuple));
+  return Status::OK();
+}
+
+Status Relation::InsertRecord(const core::Value& record) {
+  if (record.kind() != core::ValueKind::kRecord) {
+    return Status::InvalidArgument("expected a record value");
+  }
+  if (record.fields().size() != schema_.arity()) {
+    return Status::InvalidArgument("record does not cover schema exactly");
+  }
+  Tuple tuple;
+  tuple.reserve(schema_.arity());
+  for (const auto& a : schema_.attributes()) {
+    const core::Value* v = record.FindField(a.name);
+    if (v == nullptr) {
+      return Status::InvalidArgument("record missing attribute " + a.name);
+    }
+    tuple.push_back(*v);
+  }
+  return Insert(std::move(tuple));
+}
+
+bool Relation::Contains(const Tuple& tuple) const {
+  auto [lo, hi] = tuple_index_.equal_range(HashTuple(tuple));
+  for (auto it = lo; it != hi; ++it) {
+    if (TupleEq(tuples_[it->second], tuple)) return true;
+  }
+  return false;
+}
+
+Result<core::Value> Relation::Field(const Tuple& tuple,
+                                    std::string_view attr) const {
+  int idx = schema_.IndexOf(attr);
+  if (idx < 0) {
+    return Status::NotFound("no attribute named " + std::string(attr));
+  }
+  if (tuple.size() != schema_.arity()) {
+    return Status::InvalidArgument("tuple does not match schema");
+  }
+  return tuple[static_cast<size_t>(idx)];
+}
+
+core::GRelation Relation::ToGRelation() const {
+  core::GRelation g;
+  for (const auto& t : tuples_) {
+    std::vector<core::RecordField> fields;
+    fields.reserve(schema_.arity());
+    for (size_t i = 0; i < schema_.arity(); ++i) {
+      fields.push_back({schema_.attributes()[i].name, t[i]});
+    }
+    g.Insert(core::Value::RecordOf(std::move(fields)));
+  }
+  return g;
+}
+
+Result<Relation> Relation::FromGRelation(const Schema& schema,
+                                         const core::GRelation& g) {
+  Relation r(schema);
+  for (const auto& o : g.objects()) {
+    DBPL_RETURN_IF_ERROR(r.InsertRecord(o));
+  }
+  return r;
+}
+
+std::string Relation::ToString() const {
+  std::ostringstream os;
+  os << schema_.ToString() << " {\n";
+  for (const auto& t : tuples_) {
+    os << "  (";
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << t[i];
+    }
+    os << ")\n";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace dbpl::relational

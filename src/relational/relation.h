@@ -1,0 +1,79 @@
+#ifndef DBPL_RELATIONAL_RELATION_H_
+#define DBPL_RELATIONAL_RELATION_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/grelation.h"
+#include "core/value.h"
+#include "relational/schema.h"
+
+namespace dbpl::relational {
+
+/// A flat tuple: one atomic value per schema attribute, in order.
+using Tuple = std::vector<core::Value>;
+
+/// A classical first-normal-form relation: a *set* of flat, total
+/// tuples over a fixed schema, with optional key enforcement.
+///
+/// This is the baseline model the paper contrasts object-oriented
+/// databases with: tuples have no identity beyond their attribute
+/// values, every attribute is atomic, and a declared key prevents two
+/// tuples agreeing on the key — the mechanism the paper notes also
+/// prevents `⊑`-comparable values from coexisting.
+class Relation {
+ public:
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+  /// With a key: `key` must name attributes of the schema.
+  static Result<Relation> WithKey(Schema schema, std::vector<std::string> key);
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<std::string>& key() const { return key_; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// Inserts a tuple. Fails with:
+  ///  * InvalidArgument on arity or atomic-type mismatch;
+  ///  * Inconsistent when a declared key is violated.
+  /// A duplicate of an existing tuple is a silent no-op (sets).
+  Status Insert(Tuple tuple);
+
+  /// Convenience: insert from a flat record value (fields must cover
+  /// the schema exactly).
+  Status InsertRecord(const core::Value& record);
+
+  bool Contains(const Tuple& tuple) const;
+
+  /// Value of `attr` in `tuple`.
+  Result<core::Value> Field(const Tuple& tuple, std::string_view attr) const;
+
+  /// This relation as a generalized relation of flat total records.
+  core::GRelation ToGRelation() const;
+
+  /// Builds a 1NF relation from a generalized relation whose objects
+  /// are flat, total records over exactly this schema; fails otherwise.
+  static Result<Relation> FromGRelation(const Schema& schema,
+                                        const core::GRelation& g);
+
+  std::string ToString() const;
+
+ private:
+  Status CheckTuple(const Tuple& tuple) const;
+  static size_t HashTuple(const Tuple& tuple);
+  size_t HashKeySlice(const Tuple& tuple) const;
+
+  Schema schema_;
+  std::vector<std::string> key_;
+  std::vector<Tuple> tuples_;
+  /// Hash of each tuple -> its index, for O(1) duplicate detection.
+  std::unordered_multimap<size_t, size_t> tuple_index_;
+  /// Hash of each tuple's key slice -> its index, for key enforcement.
+  std::unordered_multimap<size_t, size_t> key_index_;
+};
+
+}  // namespace dbpl::relational
+
+#endif  // DBPL_RELATIONAL_RELATION_H_

@@ -1,0 +1,129 @@
+#include "relational/schema.h"
+
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+namespace dbpl::relational {
+
+std::string_view AtomTypeName(AtomType t) {
+  switch (t) {
+    case AtomType::kBool:
+      return "Bool";
+    case AtomType::kInt:
+      return "Int";
+    case AtomType::kReal:
+      return "Real";
+    case AtomType::kString:
+      return "String";
+  }
+  return "Unknown";
+}
+
+bool AtomMatches(const core::Value& v, AtomType t) {
+  switch (t) {
+    case AtomType::kBool:
+      return v.kind() == core::ValueKind::kBool;
+    case AtomType::kInt:
+      return v.kind() == core::ValueKind::kInt;
+    case AtomType::kReal:
+      return v.kind() == core::ValueKind::kReal;
+    case AtomType::kString:
+      return v.kind() == core::ValueKind::kString;
+  }
+  return false;
+}
+
+Result<Schema> Schema::Make(std::vector<Attribute> attrs) {
+  std::set<std::string> seen;
+  for (const auto& a : attrs) {
+    if (!seen.insert(a.name).second) {
+      return Status::InvalidArgument("duplicate attribute: " + a.name);
+    }
+  }
+  Schema s;
+  s.attrs_ = std::move(attrs);
+  return s;
+}
+
+Schema Schema::Of(std::vector<Attribute> attrs) {
+  Result<Schema> r = Make(std::move(attrs));
+  if (!r.ok()) std::abort();
+  return std::move(r).value();
+}
+
+int Schema::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<std::string> Schema::CommonAttributes(const Schema& other) const {
+  std::vector<std::string> out;
+  for (const auto& a : attrs_) {
+    if (other.Has(a.name)) out.push_back(a.name);
+  }
+  return out;
+}
+
+Result<Schema> Schema::JoinWith(const Schema& other) const {
+  std::vector<Attribute> out = attrs_;
+  for (const auto& a : other.attrs_) {
+    int idx = IndexOf(a.name);
+    if (idx < 0) {
+      out.push_back(a);
+    } else if (attrs_[static_cast<size_t>(idx)].type != a.type) {
+      return Status::Inconsistent("attribute " + a.name +
+                                  " has conflicting types");
+    }
+  }
+  return Make(std::move(out));
+}
+
+Result<Schema> Schema::Project(const std::vector<std::string>& names) const {
+  std::vector<Attribute> out;
+  for (const auto& n : names) {
+    int idx = IndexOf(n);
+    if (idx < 0) return Status::NotFound("no attribute named " + n);
+    out.push_back(attrs_[static_cast<size_t>(idx)]);
+  }
+  return Make(std::move(out));
+}
+
+types::Type Schema::ToType() const {
+  std::vector<std::pair<std::string, types::Type>> fields;
+  fields.reserve(attrs_.size());
+  for (const auto& a : attrs_) {
+    switch (a.type) {
+      case AtomType::kBool:
+        fields.emplace_back(a.name, types::Type::Bool());
+        break;
+      case AtomType::kInt:
+        fields.emplace_back(a.name, types::Type::Int());
+        break;
+      case AtomType::kReal:
+        fields.emplace_back(a.name, types::Type::Real());
+        break;
+      case AtomType::kString:
+        fields.emplace_back(a.name, types::Type::String());
+        break;
+    }
+  }
+  return types::Type::RecordOf(std::move(fields));
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  bool first = true;
+  for (const auto& a : attrs_) {
+    if (!first) os << ", ";
+    first = false;
+    os << a.name << ": " << AtomTypeName(a.type);
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace dbpl::relational

@@ -1,0 +1,74 @@
+#ifndef DBPL_RELATIONAL_SCHEMA_H_
+#define DBPL_RELATIONAL_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/value.h"
+#include "types/type.h"
+
+namespace dbpl::relational {
+
+/// The atomic domains first-normal-form relations range over.
+enum class AtomType : uint8_t {
+  kBool,
+  kInt,
+  kReal,
+  kString,
+};
+
+std::string_view AtomTypeName(AtomType t);
+
+/// True iff `v` is an atom of type `t`.
+bool AtomMatches(const core::Value& v, AtomType t);
+
+/// A flat relation schema: an ordered list of (attribute, atomic type)
+/// pairs. This is the classical model the paper contrasts with: "a
+/// relation is a set of tuples identified by intrinsic properties ...
+/// relations are flat" (the first-normal-form condition).
+class Schema {
+ public:
+  struct Attribute {
+    std::string name;
+    AtomType type;
+
+    bool operator==(const Attribute& other) const = default;
+  };
+
+  Schema() = default;
+  /// Builds a schema; duplicate attribute names are rejected.
+  static Result<Schema> Make(std::vector<Attribute> attrs);
+  /// Aborting convenience for literals.
+  static Schema Of(std::vector<Attribute> attrs);
+
+  const std::vector<Attribute>& attributes() const { return attrs_; }
+  size_t arity() const { return attrs_.size(); }
+  /// Index of an attribute, or -1.
+  int IndexOf(std::string_view name) const;
+  bool Has(std::string_view name) const { return IndexOf(name) >= 0; }
+
+  /// Attribute names shared with `other` (in this schema's order).
+  std::vector<std::string> CommonAttributes(const Schema& other) const;
+
+  /// The schema of a natural join: this schema followed by the
+  /// attributes unique to `other`. Fails when a shared attribute has
+  /// conflicting atomic types.
+  Result<Schema> JoinWith(const Schema& other) const;
+
+  /// Subschema restricted to `names` (in the given order).
+  Result<Schema> Project(const std::vector<std::string>& names) const;
+
+  /// The equivalent structural record type.
+  types::Type ToType() const;
+
+  bool operator==(const Schema& other) const { return attrs_ == other.attrs_; }
+  std::string ToString() const;
+
+ private:
+  std::vector<Attribute> attrs_;
+};
+
+}  // namespace dbpl::relational
+
+#endif  // DBPL_RELATIONAL_SCHEMA_H_

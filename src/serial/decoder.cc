@@ -1,0 +1,215 @@
+#include "serial/decoder.h"
+
+#include "serial/encoder.h"
+
+#include <vector>
+
+namespace dbpl::serial {
+namespace {
+
+/// Defensive bound on recursion so a corrupted deeply-nested payload
+/// cannot blow the stack.
+constexpr int kMaxDepth = 256;
+
+Result<types::Type> DecodeTypeAt(ByteReader* in, int depth);
+Result<core::Value> DecodeValueAt(ByteReader* in, int depth);
+
+Result<types::Type> DecodeTypeAt(ByteReader* in, int depth) {
+  using types::Type;
+  using types::TypeKind;
+  if (depth > kMaxDepth) return Status::Corruption("type nesting too deep");
+  DBPL_ASSIGN_OR_RETURN(uint8_t tag, in->ReadU8());
+  if (tag > static_cast<uint8_t>(TypeKind::kMu)) {
+    return Status::Corruption("unknown type tag " + std::to_string(tag));
+  }
+  TypeKind kind = static_cast<TypeKind>(tag);
+  switch (kind) {
+    case TypeKind::kBottom:
+      return Type::Bottom();
+    case TypeKind::kTop:
+      return Type::Top();
+    case TypeKind::kBool:
+      return Type::Bool();
+    case TypeKind::kInt:
+      return Type::Int();
+    case TypeKind::kReal:
+      return Type::Real();
+    case TypeKind::kString:
+      return Type::String();
+    case TypeKind::kDynamic:
+      return Type::Dynamic();
+    case TypeKind::kVar: {
+      DBPL_ASSIGN_OR_RETURN(std::string name, in->ReadString());
+      return Type::Var(std::move(name));
+    }
+    case TypeKind::kRecord:
+    case TypeKind::kVariant: {
+      DBPL_ASSIGN_OR_RETURN(uint64_t n, in->ReadVarint());
+      if (n > in->remaining()) {
+        return Status::Corruption("field count exceeds payload");
+      }
+      std::vector<std::pair<std::string, Type>> fields;
+      fields.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        DBPL_ASSIGN_OR_RETURN(std::string name, in->ReadString());
+        DBPL_ASSIGN_OR_RETURN(Type t, DecodeTypeAt(in, depth + 1));
+        fields.emplace_back(std::move(name), std::move(t));
+      }
+      Result<Type> made = kind == TypeKind::kRecord
+                              ? Type::Record(std::move(fields))
+                              : Type::Variant(std::move(fields));
+      if (!made.ok()) {
+        return Status::Corruption("malformed composite type: " +
+                                  made.status().message());
+      }
+      return made;
+    }
+    case TypeKind::kList: {
+      DBPL_ASSIGN_OR_RETURN(Type e, DecodeTypeAt(in, depth + 1));
+      return Type::List(std::move(e));
+    }
+    case TypeKind::kSet: {
+      DBPL_ASSIGN_OR_RETURN(Type e, DecodeTypeAt(in, depth + 1));
+      return Type::Set(std::move(e));
+    }
+    case TypeKind::kRef: {
+      DBPL_ASSIGN_OR_RETURN(Type e, DecodeTypeAt(in, depth + 1));
+      return Type::RefTo(std::move(e));
+    }
+    case TypeKind::kFunc: {
+      DBPL_ASSIGN_OR_RETURN(uint64_t n, in->ReadVarint());
+      if (n > in->remaining()) {
+        return Status::Corruption("param count exceeds payload");
+      }
+      std::vector<Type> params;
+      params.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        DBPL_ASSIGN_OR_RETURN(Type p, DecodeTypeAt(in, depth + 1));
+        params.push_back(std::move(p));
+      }
+      DBPL_ASSIGN_OR_RETURN(Type r, DecodeTypeAt(in, depth + 1));
+      return Type::Func(std::move(params), std::move(r));
+    }
+    case TypeKind::kForall:
+    case TypeKind::kExists: {
+      DBPL_ASSIGN_OR_RETURN(std::string var, in->ReadString());
+      DBPL_ASSIGN_OR_RETURN(Type bound, DecodeTypeAt(in, depth + 1));
+      DBPL_ASSIGN_OR_RETURN(Type body, DecodeTypeAt(in, depth + 1));
+      return kind == TypeKind::kForall
+                 ? Type::Forall(std::move(var), std::move(bound),
+                                std::move(body))
+                 : Type::Exists(std::move(var), std::move(bound),
+                                std::move(body));
+    }
+    case TypeKind::kMu: {
+      DBPL_ASSIGN_OR_RETURN(std::string var, in->ReadString());
+      DBPL_ASSIGN_OR_RETURN(Type body, DecodeTypeAt(in, depth + 1));
+      return Type::Mu(std::move(var), std::move(body));
+    }
+  }
+  return Status::Corruption("unreachable type tag");
+}
+
+Result<core::Value> DecodeValueAt(ByteReader* in, int depth) {
+  using core::Value;
+  using core::ValueKind;
+  if (depth > kMaxDepth) return Status::Corruption("value nesting too deep");
+  DBPL_ASSIGN_OR_RETURN(uint8_t tag, in->ReadU8());
+  if (tag > static_cast<uint8_t>(ValueKind::kTagged)) {
+    return Status::Corruption("unknown value tag " + std::to_string(tag));
+  }
+  ValueKind kind = static_cast<ValueKind>(tag);
+  switch (kind) {
+    case ValueKind::kBottom:
+      return Value::Bottom();
+    case ValueKind::kBool: {
+      DBPL_ASSIGN_OR_RETURN(uint8_t b, in->ReadU8());
+      if (b > 1) return Status::Corruption("malformed bool");
+      return Value::Bool(b == 1);
+    }
+    case ValueKind::kInt: {
+      DBPL_ASSIGN_OR_RETURN(int64_t i, in->ReadVarintSigned());
+      return Value::Int(i);
+    }
+    case ValueKind::kReal: {
+      DBPL_ASSIGN_OR_RETURN(double r, in->ReadDouble());
+      return Value::Real(r);
+    }
+    case ValueKind::kString: {
+      DBPL_ASSIGN_OR_RETURN(std::string s, in->ReadString());
+      return Value::String(std::move(s));
+    }
+    case ValueKind::kRef: {
+      DBPL_ASSIGN_OR_RETURN(uint64_t oid, in->ReadVarint());
+      return Value::Ref(oid);
+    }
+    case ValueKind::kRecord: {
+      DBPL_ASSIGN_OR_RETURN(uint64_t n, in->ReadVarint());
+      if (n > in->remaining()) {
+        return Status::Corruption("record field count exceeds payload");
+      }
+      std::vector<core::RecordField> fields;
+      fields.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        DBPL_ASSIGN_OR_RETURN(std::string name, in->ReadString());
+        DBPL_ASSIGN_OR_RETURN(Value v, DecodeValueAt(in, depth + 1));
+        fields.push_back({std::move(name), std::move(v)});
+      }
+      Result<Value> made = Value::Record(std::move(fields));
+      if (!made.ok()) {
+        return Status::Corruption("malformed record: " +
+                                  made.status().message());
+      }
+      return made;
+    }
+    case ValueKind::kSet:
+    case ValueKind::kList: {
+      DBPL_ASSIGN_OR_RETURN(uint64_t n, in->ReadVarint());
+      if (n > in->remaining()) {
+        return Status::Corruption("element count exceeds payload");
+      }
+      std::vector<Value> elems;
+      elems.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        DBPL_ASSIGN_OR_RETURN(Value v, DecodeValueAt(in, depth + 1));
+        elems.push_back(std::move(v));
+      }
+      return kind == ValueKind::kSet ? Value::Set(std::move(elems))
+                                     : Value::List(std::move(elems));
+    }
+    case ValueKind::kTagged: {
+      DBPL_ASSIGN_OR_RETURN(std::string vtag, in->ReadString());
+      DBPL_ASSIGN_OR_RETURN(Value payload, DecodeValueAt(in, depth + 1));
+      return Value::Tagged(std::move(vtag), std::move(payload));
+    }
+  }
+  return Status::Corruption("unreachable value tag");
+}
+
+}  // namespace
+
+Status DecodeHeader(ByteReader* in) {
+  DBPL_ASSIGN_OR_RETURN(uint32_t magic, in->ReadU32());
+  if (magic != kMagic) return Status::Corruption("bad magic number");
+  DBPL_ASSIGN_OR_RETURN(uint32_t version, in->ReadU32());
+  if (version != kFormatVersion) {
+    return Status::Corruption("unsupported format version " +
+                              std::to_string(version));
+  }
+  return Status::OK();
+}
+
+Result<types::Type> DecodeType(ByteReader* in) { return DecodeTypeAt(in, 0); }
+
+Result<core::Value> DecodeValue(ByteReader* in) {
+  return DecodeValueAt(in, 0);
+}
+
+Result<dyndb::Dynamic> DecodeDynamic(ByteReader* in) {
+  DBPL_RETURN_IF_ERROR(DecodeHeader(in));
+  DBPL_ASSIGN_OR_RETURN(types::Type t, DecodeType(in));
+  DBPL_ASSIGN_OR_RETURN(core::Value v, DecodeValue(in));
+  return dyndb::Dynamic{std::move(v), std::move(t)};
+}
+
+}  // namespace dbpl::serial

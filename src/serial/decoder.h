@@ -1,0 +1,26 @@
+#ifndef DBPL_SERIAL_DECODER_H_
+#define DBPL_SERIAL_DECODER_H_
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "core/value.h"
+#include "dyndb/dynamic.h"
+#include "types/type.h"
+
+namespace dbpl::serial {
+
+/// Reads and validates a format header written by `EncodeHeader`.
+Status DecodeHeader(ByteReader* in);
+
+/// Reads a type written by `EncodeType`.
+Result<types::Type> DecodeType(ByteReader* in);
+
+/// Reads a value written by `EncodeValue`.
+Result<core::Value> DecodeValue(ByteReader* in);
+
+/// Reads a self-describing payload written by `EncodeDynamic`.
+Result<dyndb::Dynamic> DecodeDynamic(ByteReader* in);
+
+}  // namespace dbpl::serial
+
+#endif  // DBPL_SERIAL_DECODER_H_

@@ -1,0 +1,106 @@
+#include "serial/encoder.h"
+
+namespace dbpl::serial {
+
+void EncodeHeader(ByteBuffer* out) {
+  out->PutU32(kMagic);
+  out->PutU32(kFormatVersion);
+}
+
+void EncodeType(const types::Type& t, ByteBuffer* out) {
+  using types::TypeKind;
+  out->PutU8(static_cast<uint8_t>(t.kind()));
+  switch (t.kind()) {
+    case TypeKind::kBottom:
+    case TypeKind::kTop:
+    case TypeKind::kBool:
+    case TypeKind::kInt:
+    case TypeKind::kReal:
+    case TypeKind::kString:
+    case TypeKind::kDynamic:
+      return;
+    case TypeKind::kVar:
+      out->PutString(t.var());
+      return;
+    case TypeKind::kRecord:
+    case TypeKind::kVariant: {
+      out->PutVarint(t.fields().size());
+      for (const auto& f : t.fields()) {
+        out->PutString(f.name);
+        EncodeType(f.get(), out);
+      }
+      return;
+    }
+    case TypeKind::kList:
+    case TypeKind::kSet:
+    case TypeKind::kRef:
+      EncodeType(t.element(), out);
+      return;
+    case TypeKind::kFunc: {
+      out->PutVarint(t.params().size());
+      for (const auto& p : t.params()) EncodeType(p, out);
+      EncodeType(t.result(), out);
+      return;
+    }
+    case TypeKind::kForall:
+    case TypeKind::kExists:
+      out->PutString(t.var());
+      EncodeType(t.bound(), out);
+      EncodeType(t.body(), out);
+      return;
+    case TypeKind::kMu:
+      out->PutString(t.var());
+      EncodeType(t.body(), out);
+      return;
+  }
+}
+
+void EncodeValue(const core::Value& v, ByteBuffer* out) {
+  using core::ValueKind;
+  out->PutU8(static_cast<uint8_t>(v.kind()));
+  switch (v.kind()) {
+    case ValueKind::kBottom:
+      return;
+    case ValueKind::kBool:
+      out->PutU8(v.AsBool() ? 1 : 0);
+      return;
+    case ValueKind::kInt:
+      out->PutVarintSigned(v.AsInt());
+      return;
+    case ValueKind::kReal:
+      out->PutDouble(v.AsReal());
+      return;
+    case ValueKind::kString:
+      out->PutString(v.AsString());
+      return;
+    case ValueKind::kRef:
+      out->PutVarint(v.AsRef());
+      return;
+    case ValueKind::kRecord: {
+      out->PutVarint(v.fields().size());
+      for (const auto& f : v.fields()) {
+        out->PutString(f.name);
+        EncodeValue(f.value, out);
+      }
+      return;
+    }
+    case ValueKind::kSet:
+    case ValueKind::kList: {
+      out->PutVarint(v.elements().size());
+      for (const auto& e : v.elements()) EncodeValue(e, out);
+      return;
+    }
+    case ValueKind::kTagged:
+      out->PutString(v.tag());
+      EncodeValue(v.payload(), out);
+      return;
+  }
+}
+
+void EncodeDynamic(const dyndb::Dynamic& d, ByteBuffer* out) {
+  EncodeHeader(out);
+  EncodeType(d.type, out);
+  EncodeValue(d.value, out);
+}
+
+}  // namespace dbpl::serial

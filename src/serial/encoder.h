@@ -1,0 +1,35 @@
+#ifndef DBPL_SERIAL_ENCODER_H_
+#define DBPL_SERIAL_ENCODER_H_
+
+#include "common/bytes.h"
+#include "core/value.h"
+#include "dyndb/dynamic.h"
+#include "types/type.h"
+
+namespace dbpl::serial {
+
+/// Current binary format version. Bumped on incompatible changes; the
+/// decoder rejects unknown versions with `Corruption`.
+inline constexpr uint32_t kFormatVersion = 1;
+
+/// Magic number at the head of self-describing payloads ("DBPL").
+inline constexpr uint32_t kMagic = 0x4C504244;
+
+/// Appends a format header (magic + version).
+void EncodeHeader(ByteBuffer* out);
+
+/// Appends the binary encoding of a type.
+void EncodeType(const types::Type& t, ByteBuffer* out);
+
+/// Appends the binary encoding of a value (without its type).
+void EncodeValue(const core::Value& v, ByteBuffer* out);
+
+/// Appends a *self-describing* encoding: header, type, then value.
+/// This realizes the paper's second persistence principle — "while a
+/// value persists, so should its description (type)" — so data can never
+/// be written as one type and silently read back as another.
+void EncodeDynamic(const dyndb::Dynamic& d, ByteBuffer* out);
+
+}  // namespace dbpl::serial
+
+#endif  // DBPL_SERIAL_ENCODER_H_

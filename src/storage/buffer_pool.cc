@@ -1,0 +1,80 @@
+#include "storage/buffer_pool.h"
+
+#include <utility>
+
+namespace dbpl::storage {
+
+BufferPool::BufferPool(Pager* pager, size_t capacity)
+    : pager_(pager), capacity_(capacity == 0 ? 1 : capacity) {}
+
+void BufferPool::Touch(PageId id, Entry& entry) {
+  lru_.erase(entry.lru_pos);
+  lru_.push_front(id);
+  entry.lru_pos = lru_.begin();
+}
+
+Status BufferPool::MaybeEvict() {
+  while (entries_.size() > capacity_) {
+    PageId victim = lru_.back();
+    auto it = entries_.find(victim);
+    if (it->second.dirty) {
+      DBPL_RETURN_IF_ERROR(pager_->Write(victim, it->second.payload));
+      ++stats_.writebacks;
+    }
+    lru_.pop_back();
+    entries_.erase(it);
+    ++stats_.evictions;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> BufferPool::Get(PageId id) {
+  auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    ++stats_.hits;
+    Touch(id, it->second);
+    return it->second.payload;
+  }
+  ++stats_.misses;
+  DBPL_ASSIGN_OR_RETURN(std::vector<uint8_t> payload, pager_->Read(id));
+  lru_.push_front(id);
+  Entry entry;
+  entry.payload = payload;
+  entry.lru_pos = lru_.begin();
+  entries_.emplace(id, std::move(entry));
+  DBPL_RETURN_IF_ERROR(MaybeEvict());
+  return payload;
+}
+
+Status BufferPool::Put(PageId id, std::vector<uint8_t> payload) {
+  if (payload.size() > pager_->payload_size()) {
+    return Status::InvalidArgument("payload exceeds page capacity");
+  }
+  auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    it->second.payload = std::move(payload);
+    it->second.dirty = true;
+    Touch(id, it->second);
+    return Status::OK();
+  }
+  lru_.push_front(id);
+  Entry entry;
+  entry.payload = std::move(payload);
+  entry.dirty = true;
+  entry.lru_pos = lru_.begin();
+  entries_.emplace(id, std::move(entry));
+  return MaybeEvict();
+}
+
+Status BufferPool::Flush() {
+  for (auto& [id, entry] : entries_) {
+    if (entry.dirty) {
+      DBPL_RETURN_IF_ERROR(pager_->Write(id, entry.payload));
+      entry.dirty = false;
+      ++stats_.writebacks;
+    }
+  }
+  return pager_->Sync();
+}
+
+}  // namespace dbpl::storage

@@ -1,0 +1,69 @@
+#ifndef DBPL_STORAGE_BUFFER_POOL_H_
+#define DBPL_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/pager.h"
+
+namespace dbpl::storage {
+
+/// A write-back LRU page cache over a `Pager`.
+///
+/// `Get` reads through the cache; `Put` stages a dirty page; eviction of
+/// a dirty page writes it back; `Flush` writes all dirty pages and syncs
+/// the file. Single-threaded by design (the library has no internal
+/// concurrency; see DESIGN.md).
+class BufferPool {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t writebacks = 0;
+  };
+
+  /// `capacity` is the number of cached pages (>=1).
+  BufferPool(Pager* pager, size_t capacity);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// The page payload, from cache or disk.
+  Result<std::vector<uint8_t>> Get(PageId id);
+
+  /// Stages new payload for a page (marks it dirty in the cache).
+  Status Put(PageId id, std::vector<uint8_t> payload);
+
+  /// Writes every dirty page back and syncs.
+  Status Flush();
+
+  const Stats& stats() const { return stats_; }
+  size_t cached_pages() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::vector<uint8_t> payload;
+    bool dirty = false;
+    std::list<PageId>::iterator lru_pos;
+  };
+
+  /// Moves `id` to the most-recently-used position.
+  void Touch(PageId id, Entry& entry);
+  /// Evicts the least-recently-used page if over capacity.
+  Status MaybeEvict();
+
+  Pager* pager_;
+  size_t capacity_;
+  std::map<PageId, Entry> entries_;
+  /// Front = most recently used.
+  std::list<PageId> lru_;
+  Stats stats_;
+};
+
+}  // namespace dbpl::storage
+
+#endif  // DBPL_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,121 @@
+#include "storage/kv_store.h"
+
+#include <cstdio>
+
+namespace dbpl::storage {
+
+Result<std::unique_ptr<KvStore>> KvStore::Open(const std::string& path) {
+  std::unique_ptr<KvStore> store(new KvStore(path));
+  // Touch the file so replay and the writer agree it exists.
+  {
+    DBPL_ASSIGN_OR_RETURN(std::unique_ptr<LogWriter> writer,
+                          LogWriter::Open(path));
+    (void)writer;
+  }
+  DBPL_RETURN_IF_ERROR(store->Replay());
+  DBPL_ASSIGN_OR_RETURN(store->writer_, LogWriter::Open(path));
+  return store;
+}
+
+Status KvStore::Replay() {
+  DBPL_ASSIGN_OR_RETURN(std::unique_ptr<LogReader> reader,
+                        LogReader::Open(path_));
+  std::vector<LogRecord> pending;
+  LogRecord record;
+  while (true) {
+    DBPL_ASSIGN_OR_RETURN(bool has, reader->Next(&record));
+    if (!has) break;
+    ++recovery_.records_replayed;
+    if (record.type == LogRecordType::kCommit) {
+      for (auto& r : pending) {
+        if (r.type == LogRecordType::kPut) {
+          index_[std::move(r.key)] = std::move(r.value);
+        } else {
+          index_.erase(r.key);
+        }
+      }
+      pending.clear();
+      ++recovery_.batches_committed;
+    } else {
+      pending.push_back(std::move(record));
+    }
+  }
+  recovery_.uncommitted_dropped = pending.size();
+  recovery_.corrupt_tail = reader->saw_corrupt_tail();
+  return Status::OK();
+}
+
+Status KvStore::Apply(const WriteBatch& batch) {
+  if (batch.empty()) return Status::OK();
+  for (const auto& r : batch.records()) {
+    DBPL_RETURN_IF_ERROR(writer_->Append(r));
+  }
+  DBPL_RETURN_IF_ERROR(
+      writer_->Append(LogRecord{LogRecordType::kCommit, "", ""}));
+  DBPL_RETURN_IF_ERROR(writer_->Sync());
+  for (const auto& r : batch.records()) {
+    if (r.type == LogRecordType::kPut) {
+      index_[r.key] = r.value;
+    } else {
+      index_.erase(r.key);
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::string> KvStore::Get(std::string_view key) const {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    return Status::NotFound("no such key: " + std::string(key));
+  }
+  return it->second;
+}
+
+bool KvStore::Contains(std::string_view key) const {
+  return index_.find(key) != index_.end();
+}
+
+std::vector<std::string> KvStore::Keys() const {
+  std::vector<std::string> out;
+  out.reserve(index_.size());
+  for (const auto& [k, _] : index_) out.push_back(k);
+  return out;
+}
+
+std::vector<std::string> KvStore::KeysWithPrefix(
+    std::string_view prefix) const {
+  std::vector<std::string> out;
+  for (auto it = index_.lower_bound(prefix); it != index_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+Status KvStore::Compact() {
+  const std::string tmp = path_ + ".compact";
+  std::remove(tmp.c_str());
+  {
+    DBPL_ASSIGN_OR_RETURN(std::unique_ptr<LogWriter> writer,
+                          LogWriter::Open(tmp));
+    for (const auto& [k, v] : index_) {
+      DBPL_RETURN_IF_ERROR(
+          writer->Append(LogRecord{LogRecordType::kPut, k, v}));
+    }
+    DBPL_RETURN_IF_ERROR(
+        writer->Append(LogRecord{LogRecordType::kCommit, "", ""}));
+    DBPL_RETURN_IF_ERROR(writer->Sync());
+  }
+  writer_.reset();  // close the old log before replacing it
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    return Status::IoError("rename compacted log failed");
+  }
+  DBPL_ASSIGN_OR_RETURN(writer_, LogWriter::Open(path_));
+  return Status::OK();
+}
+
+uint64_t KvStore::log_bytes() const {
+  return writer_ ? writer_->bytes_written() : 0;
+}
+
+}  // namespace dbpl::storage

@@ -1,0 +1,127 @@
+#include "storage/log.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/crc32c.h"
+
+namespace dbpl::storage {
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<LogWriter>> LogWriter::Open(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) return Errno("fopen " + path);
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    std::fclose(file);
+    return Errno("fseek " + path);
+  }
+  long pos = std::ftell(file);
+  if (pos < 0) {
+    std::fclose(file);
+    return Errno("ftell " + path);
+  }
+  return std::unique_ptr<LogWriter>(
+      new LogWriter(file, static_cast<uint64_t>(pos)));
+}
+
+LogWriter::~LogWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status LogWriter::Append(const LogRecord& record) {
+  ByteBuffer body;
+  body.PutU8(static_cast<uint8_t>(record.type));
+  body.PutString(record.key);
+  body.PutString(record.value);
+
+  ByteBuffer frame;
+  frame.PutU32(MaskCrc(Crc32c(body.data(), body.size())));
+  frame.PutU32(static_cast<uint32_t>(body.size()));
+  frame.PutRaw(body.data(), body.size());
+
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
+    return Errno("fwrite log record");
+  }
+  bytes_written_ += frame.size();
+  return Status::OK();
+}
+
+Status LogWriter::Sync() {
+  if (std::fflush(file_) != 0) return Errno("fflush log");
+  if (::fsync(::fileno(file_)) != 0) return Errno("fsync log");
+  return Status::OK();
+}
+
+Result<std::unique_ptr<LogReader>> LogReader::Open(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return Errno("fopen " + path);
+  return std::unique_ptr<LogReader>(new LogReader(file));
+}
+
+LogReader::~LogReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<bool> LogReader::Next(LogRecord* out) {
+  if (done_) return false;
+  uint8_t header[8];
+  size_t n = std::fread(header, 1, sizeof(header), file_);
+  if (n == 0 && std::feof(file_)) {
+    done_ = true;
+    return false;
+  }
+  if (n != sizeof(header)) {
+    done_ = true;
+    saw_corrupt_tail_ = true;
+    return false;
+  }
+  uint32_t stored_crc = 0, len = 0;
+  std::memcpy(&stored_crc, header, 4);
+  std::memcpy(&len, header + 4, 4);
+  // Sanity bound: a single record larger than 1 GiB is corruption.
+  if (len < 1 || len > (1u << 30)) {
+    done_ = true;
+    saw_corrupt_tail_ = true;
+    return false;
+  }
+  std::vector<uint8_t> body(len);
+  if (std::fread(body.data(), 1, len, file_) != len) {
+    done_ = true;
+    saw_corrupt_tail_ = true;
+    return false;
+  }
+  if (MaskCrc(Crc32c(body.data(), len)) != stored_crc) {
+    done_ = true;
+    saw_corrupt_tail_ = true;
+    return false;
+  }
+  ByteReader reader(body.data(), body.size());
+  Result<uint8_t> type = reader.ReadU8();
+  Result<std::string> key =
+      type.ok() ? reader.ReadString() : Result<std::string>(type.status());
+  Result<std::string> value =
+      key.ok() ? reader.ReadString() : Result<std::string>(key.status());
+  if (!value.ok() ||
+      *type < static_cast<uint8_t>(LogRecordType::kPut) ||
+      *type > static_cast<uint8_t>(LogRecordType::kCommit)) {
+    done_ = true;
+    saw_corrupt_tail_ = true;
+    return false;
+  }
+  out->type = static_cast<LogRecordType>(*type);
+  out->key = std::move(key).value();
+  out->value = std::move(value).value();
+  return true;
+}
+
+}  // namespace dbpl::storage

@@ -1,0 +1,90 @@
+#ifndef DBPL_STORAGE_LOG_H_
+#define DBPL_STORAGE_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace dbpl::storage {
+
+/// Record kinds in the write-ahead log.
+enum class LogRecordType : uint8_t {
+  /// Set `key` to `value`.
+  kPut = 1,
+  /// Remove `key`.
+  kDelete = 2,
+  /// Transaction boundary: everything since the previous commit becomes
+  /// durable and visible at recovery.
+  kCommit = 3,
+};
+
+struct LogRecord {
+  LogRecordType type = LogRecordType::kCommit;
+  std::string key;
+  std::string value;
+
+  bool operator==(const LogRecord& other) const = default;
+};
+
+/// Appends CRC-framed records to a log file.
+///
+/// Framing: `[u32 masked crc of body][u32 body length][body]`, where the
+/// body is `[u8 type][varint key length][key][varint value length][value]`.
+/// A torn final record (crash mid-append) fails its CRC and is dropped at
+/// recovery, together with any uncommitted records before it.
+class LogWriter {
+ public:
+  /// Opens `path` for appending, creating it if absent.
+  static Result<std::unique_ptr<LogWriter>> Open(const std::string& path);
+
+  ~LogWriter();
+  LogWriter(const LogWriter&) = delete;
+  LogWriter& operator=(const LogWriter&) = delete;
+
+  Status Append(const LogRecord& record);
+  /// Flushes to the OS and fsyncs.
+  Status Sync();
+
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  LogWriter(std::FILE* file, uint64_t existing_bytes)
+      : file_(file), bytes_written_(existing_bytes) {}
+
+  std::FILE* file_;
+  uint64_t bytes_written_;
+};
+
+/// Streams records back from a log file, stopping cleanly at the first
+/// corrupt or truncated record (the "tail").
+class LogReader {
+ public:
+  static Result<std::unique_ptr<LogReader>> Open(const std::string& path);
+
+  ~LogReader();
+  LogReader(const LogReader&) = delete;
+  LogReader& operator=(const LogReader&) = delete;
+
+  /// Reads the next record into `out`. Returns false at (clean or
+  /// corrupt) end of log.
+  Result<bool> Next(LogRecord* out);
+
+  /// True when reading stopped because of a damaged/incomplete tail
+  /// rather than a clean end of file.
+  bool saw_corrupt_tail() const { return saw_corrupt_tail_; }
+
+ private:
+  explicit LogReader(std::FILE* file) : file_(file) {}
+
+  std::FILE* file_;
+  bool saw_corrupt_tail_ = false;
+  bool done_ = false;
+};
+
+}  // namespace dbpl::storage
+
+#endif  // DBPL_STORAGE_LOG_H_

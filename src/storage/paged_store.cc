@@ -1,0 +1,101 @@
+#include "storage/paged_store.h"
+
+#include "common/bytes.h"
+
+namespace dbpl::storage {
+
+Result<std::unique_ptr<PagedStore>> PagedStore::Open(const std::string& path,
+                                                     size_t page_size,
+                                                     size_t cache_pages) {
+  DBPL_ASSIGN_OR_RETURN(std::unique_ptr<Pager> pager,
+                        Pager::Open(path, page_size));
+  std::unique_ptr<PagedStore> store(
+      new PagedStore(std::move(pager), cache_pages));
+  DBPL_RETURN_IF_ERROR(store->LoadDirectory());
+  return store;
+}
+
+Status PagedStore::LoadDirectory() {
+  for (PageId id = 0; id < pager_->page_count(); ++id) {
+    DBPL_ASSIGN_OR_RETURN(std::vector<uint8_t> payload, pager_->Read(id));
+    if (payload.empty()) {
+      free_pages_.push_back(id);
+      continue;
+    }
+    ByteReader in(payload.data(), payload.size());
+    DBPL_ASSIGN_OR_RETURN(std::string key, in.ReadString());
+    directory_[std::move(key)] = id;
+  }
+  return Status::OK();
+}
+
+void PagedStore::EncodeRecord(std::string_view key, std::string_view value,
+                              std::vector<uint8_t>* out) {
+  ByteBuffer buf;
+  buf.PutString(key);
+  buf.PutRaw(value.data(), value.size());
+  *out = buf.vec();
+}
+
+Status PagedStore::Put(std::string_view key, std::string_view value) {
+  std::vector<uint8_t> record;
+  EncodeRecord(key, value, &record);
+  if (record.size() > pager_->payload_size()) {
+    return Status::InvalidArgument("record exceeds page capacity (" +
+                                   std::to_string(record.size()) + " > " +
+                                   std::to_string(pager_->payload_size()) +
+                                   ")");
+  }
+  auto it = directory_.find(key);
+  PageId page;
+  if (it != directory_.end()) {
+    page = it->second;  // in-place update: the ablation point
+  } else if (!free_pages_.empty()) {
+    page = free_pages_.back();
+    free_pages_.pop_back();
+  } else {
+    DBPL_ASSIGN_OR_RETURN(page, pager_->Allocate());
+  }
+  DBPL_RETURN_IF_ERROR(pool_->Put(page, std::move(record)));
+  directory_[std::string(key)] = page;
+  return Status::OK();
+}
+
+Status PagedStore::Delete(std::string_view key) {
+  auto it = directory_.find(key);
+  if (it == directory_.end()) {
+    return Status::NotFound("no such key: " + std::string(key));
+  }
+  DBPL_RETURN_IF_ERROR(pool_->Put(it->second, {}));
+  free_pages_.push_back(it->second);
+  directory_.erase(it);
+  return Status::OK();
+}
+
+Result<std::string> PagedStore::Get(std::string_view key) {
+  auto it = directory_.find(key);
+  if (it == directory_.end()) {
+    return Status::NotFound("no such key: " + std::string(key));
+  }
+  DBPL_ASSIGN_OR_RETURN(std::vector<uint8_t> payload, pool_->Get(it->second));
+  ByteReader in(payload.data(), payload.size());
+  DBPL_ASSIGN_OR_RETURN(std::string stored_key, in.ReadString());
+  if (stored_key != key) {
+    return Status::Corruption("directory points at a page holding key '" +
+                              stored_key + "'");
+  }
+  std::string value(payload.size() - in.position(), '\0');
+  DBPL_RETURN_IF_ERROR(in.ReadRaw(value.data(), value.size()));
+  return value;
+}
+
+std::vector<std::string> PagedStore::Keys() const {
+  std::vector<std::string> out;
+  out.reserve(directory_.size());
+  for (const auto& [key, _] : directory_) out.push_back(key);
+  return out;
+}
+
+Status PagedStore::Flush() { return pool_->Flush(); }
+
+}  // namespace dbpl::storage

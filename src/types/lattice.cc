@@ -1,0 +1,157 @@
+#include "types/lattice.h"
+
+#include <vector>
+
+#include "types/subtype.h"
+
+namespace dbpl::types {
+namespace {
+
+/// Depth bound for unfolding recursive types while computing bounds.
+/// Beyond it Lub degrades soundly to Top and Glb reports Inconsistent
+/// (conservative: both remain correct as bounds, merely less precise).
+constexpr int kMaxLatticeDepth = 32;
+
+Type LubAt(const Type& a, const Type& b, int depth);
+Result<Type> GlbAt(const Type& a, const Type& b, int depth);
+
+Type LubAt(const Type& a, const Type& b, int depth) {
+  if (IsSubtype(a, b)) return b;
+  if (IsSubtype(b, a)) return a;
+  if (depth > kMaxLatticeDepth) return Type::Top();
+  // Expose the structure of recursive operands.
+  if (a.kind() == TypeKind::kMu) return LubAt(a.Unfold(), b, depth + 1);
+  if (b.kind() == TypeKind::kMu) return LubAt(a, b.Unfold(), depth + 1);
+  if (a.kind() != b.kind()) return Type::Top();
+  switch (a.kind()) {
+    case TypeKind::kRecord: {
+      // Common fields only, each at the lub of the two field types.
+      std::vector<std::pair<std::string, Type>> out;
+      for (const auto& f : a.fields()) {
+        if (const Type* bf = b.FindField(f.name)) {
+          out.emplace_back(f.name, LubAt(f.get(), *bf, depth + 1));
+        }
+      }
+      return Type::RecordOf(std::move(out));
+    }
+    case TypeKind::kVariant: {
+      // Union of tags (covariant width).
+      std::vector<std::pair<std::string, Type>> out;
+      for (const auto& t : a.fields()) {
+        if (const Type* bt = b.FindField(t.name)) {
+          out.emplace_back(t.name, LubAt(t.get(), *bt, depth + 1));
+        } else {
+          out.emplace_back(t.name, t.get());
+        }
+      }
+      for (const auto& t : b.fields()) {
+        if (a.FindField(t.name) == nullptr) {
+          out.emplace_back(t.name, t.get());
+        }
+      }
+      return Type::VariantOf(std::move(out));
+    }
+    case TypeKind::kList:
+      return Type::List(LubAt(a.element(), b.element(), depth + 1));
+    case TypeKind::kSet:
+      return Type::Set(LubAt(a.element(), b.element(), depth + 1));
+    case TypeKind::kFunc: {
+      if (a.params().size() != b.params().size()) return Type::Top();
+      std::vector<Type> ps;
+      for (size_t i = 0; i < a.params().size(); ++i) {
+        Result<Type> g = GlbAt(a.params()[i], b.params()[i], depth + 1);
+        if (!g.ok()) return Type::Top();
+        ps.push_back(std::move(g).value());
+      }
+      return Type::Func(std::move(ps), LubAt(a.result(), b.result(), depth + 1));
+    }
+    default:
+      // Distinct atoms, refs, variables, quantifiers, mus: no useful
+      // common supertype below Top.
+      return Type::Top();
+  }
+}
+
+Result<Type> GlbAt(const Type& a, const Type& b, int depth) {
+  if (IsSubtype(a, b)) return a;
+  if (IsSubtype(b, a)) return b;
+  if (depth > kMaxLatticeDepth) {
+    return Status::Inconsistent("recursive types too deep to reconcile: " +
+                                a.ToString() + " and " + b.ToString());
+  }
+  if (a.kind() == TypeKind::kMu) return GlbAt(a.Unfold(), b, depth + 1);
+  if (b.kind() == TypeKind::kMu) return GlbAt(a, b.Unfold(), depth + 1);
+  if (a.kind() != b.kind()) {
+    return Status::Inconsistent("no common subtype of " + a.ToString() +
+                                " and " + b.ToString());
+  }
+  switch (a.kind()) {
+    case TypeKind::kRecord: {
+      // Union of fields; shared fields at the glb of their types. This
+      // is exactly the paper's schema enrichment: re-opening a database
+      // at a consistent type refines its schema to the common subtype.
+      std::vector<std::pair<std::string, Type>> out;
+      for (const auto& f : a.fields()) {
+        if (const Type* bf = b.FindField(f.name)) {
+          DBPL_ASSIGN_OR_RETURN(Type g, GlbAt(f.get(), *bf, depth + 1));
+          out.emplace_back(f.name, std::move(g));
+        } else {
+          out.emplace_back(f.name, f.get());
+        }
+      }
+      for (const auto& f : b.fields()) {
+        if (a.FindField(f.name) == nullptr) {
+          out.emplace_back(f.name, f.get());
+        }
+      }
+      return Type::RecordOf(std::move(out));
+    }
+    case TypeKind::kVariant: {
+      // Intersection of tags.
+      std::vector<std::pair<std::string, Type>> out;
+      for (const auto& t : a.fields()) {
+        if (const Type* bt = b.FindField(t.name)) {
+          DBPL_ASSIGN_OR_RETURN(Type g, GlbAt(t.get(), *bt, depth + 1));
+          out.emplace_back(t.name, std::move(g));
+        }
+      }
+      if (out.empty()) {
+        return Status::Inconsistent("variants share no tags: " + a.ToString() +
+                                    " and " + b.ToString());
+      }
+      return Type::VariantOf(std::move(out));
+    }
+    case TypeKind::kList: {
+      DBPL_ASSIGN_OR_RETURN(Type g, GlbAt(a.element(), b.element(), depth + 1));
+      return Type::List(std::move(g));
+    }
+    case TypeKind::kSet: {
+      DBPL_ASSIGN_OR_RETURN(Type g, GlbAt(a.element(), b.element(), depth + 1));
+      return Type::Set(std::move(g));
+    }
+    case TypeKind::kFunc: {
+      if (a.params().size() != b.params().size()) {
+        return Status::Inconsistent("function arities differ");
+      }
+      std::vector<Type> ps;
+      for (size_t i = 0; i < a.params().size(); ++i) {
+        ps.push_back(LubAt(a.params()[i], b.params()[i], depth + 1));
+      }
+      DBPL_ASSIGN_OR_RETURN(Type r, GlbAt(a.result(), b.result(), depth + 1));
+      return Type::Func(std::move(ps), std::move(r));
+    }
+    default:
+      return Status::Inconsistent("no common subtype of " + a.ToString() +
+                                  " and " + b.ToString());
+  }
+}
+
+}  // namespace
+
+Type Lub(const Type& a, const Type& b) { return LubAt(a, b, 0); }
+
+Result<Type> Glb(const Type& a, const Type& b) { return GlbAt(a, b, 0); }
+
+bool ConsistentTypes(const Type& a, const Type& b) { return Glb(a, b).ok(); }
+
+}  // namespace dbpl::types

@@ -1,0 +1,30 @@
+#ifndef DBPL_TYPES_LATTICE_H_
+#define DBPL_TYPES_LATTICE_H_
+
+#include "common/result.h"
+#include "types/type.h"
+
+namespace dbpl::types {
+
+/// Least upper bound of two types: the most specific type both are
+/// subtypes of. Always exists (falling back to Top). For records the lub
+/// keeps the *common* fields (a wider record is a lower type); for
+/// functions it takes the glb of parameters and lub of results.
+///
+/// Quantified and recursive types are supported only when equivalent;
+/// otherwise the lub degrades soundly to Top.
+Type Lub(const Type& a, const Type& b);
+
+/// Greatest lower bound — the "common subtype" the paper's schema-
+/// evolution discussion calls *consistency*: `DBType` is consistent with
+/// `DBType'` when they have a common subtype. Fails with `Inconsistent`
+/// when the only common subtype is the empty type Bottom (e.g. `Int` vs
+/// `String`, or records whose shared field types clash).
+Result<Type> Glb(const Type& a, const Type& b);
+
+/// True iff the two types have a common subtype other than Bottom.
+bool ConsistentTypes(const Type& a, const Type& b);
+
+}  // namespace dbpl::types
+
+#endif  // DBPL_TYPES_LATTICE_H_

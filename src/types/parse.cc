@@ -1,0 +1,197 @@
+#include "types/parse.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace dbpl::types {
+namespace {
+
+/// Minimal recursive-descent parser over the type grammar in parse.h.
+class TypeParser {
+ public:
+  explicit TypeParser(std::string_view text) : text_(text) {}
+
+  Result<Type> Parse() {
+    DBPL_ASSIGN_OR_RETURN(Type t, ParseFull());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Err("trailing input after type");
+    }
+    return t;
+  }
+
+ private:
+  Status Err(const std::string& msg) {
+    return Status::InvalidArgument("type parse error at offset " +
+                                   std::to_string(pos_) + ": " + msg);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(std::string_view token) {
+    SkipSpace();
+    if (text_.substr(pos_, token.size()) == token) {
+      // Avoid matching "<=" when "<" was requested, and identifiers that
+      // merely share a prefix.
+      if (token == "<" && text_.substr(pos_, 2) == "<=") return false;
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool PeekIs(std::string_view token) {
+    SkipSpace();
+    if (token == "<" && text_.substr(pos_, 2) == "<=") return false;
+    return text_.substr(pos_, token.size()) == token;
+  }
+
+  Result<std::string> ParseIdent() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '$' || text_[pos_] == '\'')) {
+      ++pos_;
+    }
+    if (start == pos_) return Err("expected identifier");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Result<Type> ParseFull() {
+    SkipSpace();
+    if (EatKeyword("Forall")) return ParseQuantifier(/*universal=*/true);
+    if (EatKeyword("Exists")) return ParseQuantifier(/*universal=*/false);
+    if (EatKeyword("Mu")) return ParseMu();
+    DBPL_ASSIGN_OR_RETURN(Type lhs, ParsePrimary());
+    if (Eat("->")) {
+      DBPL_ASSIGN_OR_RETURN(Type result, ParseFull());
+      return Type::Func({std::move(lhs)}, std::move(result));
+    }
+    return lhs;
+  }
+
+  /// Eats `word` only when it is a whole identifier at the cursor.
+  bool EatKeyword(std::string_view word) {
+    SkipSpace();
+    if (text_.substr(pos_, word.size()) != word) return false;
+    size_t after = pos_ + word.size();
+    if (after < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[after])) ||
+         text_[after] == '_')) {
+      return false;
+    }
+    pos_ = after;
+    return true;
+  }
+
+  Result<Type> ParseQuantifier(bool universal) {
+    DBPL_ASSIGN_OR_RETURN(std::string var, ParseIdent());
+    Type bound = Type::Top();
+    if (Eat("<=")) {
+      DBPL_ASSIGN_OR_RETURN(bound, ParseFull());
+    }
+    if (!Eat(".")) return Err("expected '.' after quantifier bound");
+    DBPL_ASSIGN_OR_RETURN(Type body, ParseFull());
+    return universal ? Type::Forall(std::move(var), std::move(bound),
+                                    std::move(body))
+                     : Type::Exists(std::move(var), std::move(bound),
+                                    std::move(body));
+  }
+
+  Result<Type> ParseMu() {
+    DBPL_ASSIGN_OR_RETURN(std::string var, ParseIdent());
+    if (!Eat(".")) return Err("expected '.' after Mu variable");
+    DBPL_ASSIGN_OR_RETURN(Type body, ParseFull());
+    return Type::Mu(std::move(var), std::move(body));
+  }
+
+  Result<Type> ParsePrimary() {
+    SkipSpace();
+    if (Eat("{")) return ParseRecord();
+    if (Eat("<")) return ParseVariant();
+    if (Eat("(")) return ParseParenOrFunc();
+    if (EatKeyword("Bottom")) return Type::Bottom();
+    if (EatKeyword("Top")) return Type::Top();
+    if (EatKeyword("Bool")) return Type::Bool();
+    if (EatKeyword("Int")) return Type::Int();
+    if (EatKeyword("Real")) return Type::Real();
+    if (EatKeyword("String")) return Type::String();
+    if (EatKeyword("Dynamic")) return Type::Dynamic();
+    if (EatKeyword("List")) return ParseBracketed(&Type::List);
+    if (EatKeyword("Set")) return ParseBracketed(&Type::Set);
+    if (EatKeyword("Ref")) return ParseBracketed(&Type::RefTo);
+    DBPL_ASSIGN_OR_RETURN(std::string name, ParseIdent());
+    return Type::Var(std::move(name));
+  }
+
+  Result<Type> ParseBracketed(Type (*make)(Type)) {
+    if (!Eat("[")) return Err("expected '['");
+    DBPL_ASSIGN_OR_RETURN(Type element, ParseFull());
+    if (!Eat("]")) return Err("expected ']'");
+    return make(std::move(element));
+  }
+
+  Result<Type> ParseRecord() {
+    std::vector<std::pair<std::string, Type>> fields;
+    if (Eat("}")) return Type::Record(std::move(fields));
+    while (true) {
+      DBPL_ASSIGN_OR_RETURN(std::string name, ParseIdent());
+      if (!Eat(":")) return Err("expected ':' after field label");
+      DBPL_ASSIGN_OR_RETURN(Type t, ParseFull());
+      fields.emplace_back(std::move(name), std::move(t));
+      if (Eat("}")) break;
+      if (!Eat(",")) return Err("expected ',' or '}' in record type");
+    }
+    return Type::Record(std::move(fields));
+  }
+
+  Result<Type> ParseVariant() {
+    std::vector<std::pair<std::string, Type>> tags;
+    while (true) {
+      DBPL_ASSIGN_OR_RETURN(std::string name, ParseIdent());
+      if (!Eat(":")) return Err("expected ':' after variant tag");
+      DBPL_ASSIGN_OR_RETURN(Type t, ParseFull());
+      tags.emplace_back(std::move(name), std::move(t));
+      if (Eat(">")) break;
+      if (!Eat("|")) return Err("expected '|' or '>' in variant type");
+    }
+    return Type::Variant(std::move(tags));
+  }
+
+  Result<Type> ParseParenOrFunc() {
+    std::vector<Type> types;
+    if (!Eat(")")) {
+      while (true) {
+        DBPL_ASSIGN_OR_RETURN(Type t, ParseFull());
+        types.push_back(std::move(t));
+        if (Eat(")")) break;
+        if (!Eat(",")) return Err("expected ',' or ')' in type list");
+      }
+    }
+    if (Eat("->")) {
+      DBPL_ASSIGN_OR_RETURN(Type result, ParseFull());
+      return Type::Func(std::move(types), std::move(result));
+    }
+    if (types.size() == 1) return types[0];
+    return Err("parenthesized type list must be followed by '->'");
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Type> ParseType(std::string_view text) {
+  TypeParser parser(text);
+  return parser.Parse();
+}
+
+}  // namespace dbpl::types

@@ -1,0 +1,28 @@
+#ifndef DBPL_TYPES_PARSE_H_
+#define DBPL_TYPES_PARSE_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "types/type.h"
+
+namespace dbpl::types {
+
+/// Parses the textual type syntax produced by `Type::ToString`:
+///
+///   Bottom | Top | Bool | Int | Real | String | Dynamic
+///   {l1: T1, ..., ln: Tn}            records
+///   <t1: T1 | ... | tn: Tn>          variants
+///   List[T]  Set[T]  Ref[T]
+///   (T1, ..., Tn) -> R               functions (also `T -> R` sugar)
+///   Forall v [<= B]. T               bounded universal
+///   Exists v [<= B]. T               bounded existential
+///   Mu v. T                          recursive
+///   v                                type variable
+///
+/// ParseType(ToString(t)) is equivalent (syntactically equal) to t.
+Result<Type> ParseType(std::string_view text);
+
+}  // namespace dbpl::types
+
+#endif  // DBPL_TYPES_PARSE_H_

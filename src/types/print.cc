@@ -1,0 +1,117 @@
+#include <sstream>
+
+#include "types/type.h"
+
+namespace dbpl::types {
+namespace {
+
+void Render(const Type& t, std::ostream& os) {
+  switch (t.kind()) {
+    case TypeKind::kBottom:
+      os << "Bottom";
+      return;
+    case TypeKind::kTop:
+      os << "Top";
+      return;
+    case TypeKind::kBool:
+      os << "Bool";
+      return;
+    case TypeKind::kInt:
+      os << "Int";
+      return;
+    case TypeKind::kReal:
+      os << "Real";
+      return;
+    case TypeKind::kString:
+      os << "String";
+      return;
+    case TypeKind::kDynamic:
+      os << "Dynamic";
+      return;
+    case TypeKind::kVar:
+      os << t.var();
+      return;
+    case TypeKind::kRecord: {
+      os << "{";
+      bool first = true;
+      for (const auto& f : t.fields()) {
+        if (!first) os << ", ";
+        first = false;
+        os << f.name << ": ";
+        Render(f.get(), os);
+      }
+      os << "}";
+      return;
+    }
+    case TypeKind::kVariant: {
+      os << "<";
+      bool first = true;
+      for (const auto& f : t.fields()) {
+        if (!first) os << " | ";
+        first = false;
+        os << f.name << ": ";
+        Render(f.get(), os);
+      }
+      os << ">";
+      return;
+    }
+    case TypeKind::kList:
+      os << "List[";
+      Render(t.element(), os);
+      os << "]";
+      return;
+    case TypeKind::kSet:
+      os << "Set[";
+      Render(t.element(), os);
+      os << "]";
+      return;
+    case TypeKind::kRef:
+      os << "Ref[";
+      Render(t.element(), os);
+      os << "]";
+      return;
+    case TypeKind::kFunc: {
+      os << "(";
+      bool first = true;
+      for (const auto& p : t.params()) {
+        if (!first) os << ", ";
+        first = false;
+        Render(p, os);
+      }
+      os << ") -> ";
+      Render(t.result(), os);
+      return;
+    }
+    case TypeKind::kForall:
+    case TypeKind::kExists: {
+      os << (t.kind() == TypeKind::kForall ? "Forall " : "Exists ")
+         << t.var();
+      if (!t.bound().is_top()) {
+        os << " <= ";
+        Render(t.bound(), os);
+      }
+      os << ". ";
+      Render(t.body(), os);
+      return;
+    }
+    case TypeKind::kMu:
+      os << "Mu " << t.var() << ". ";
+      Render(t.body(), os);
+      return;
+  }
+}
+
+}  // namespace
+
+std::string Type::ToString() const {
+  std::ostringstream os;
+  Render(*this, os);
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Type& t) {
+  Render(t, os);
+  return os;
+}
+
+}  // namespace dbpl::types

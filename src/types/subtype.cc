@@ -1,0 +1,188 @@
+#include "types/subtype.h"
+
+#include <set>
+#include <utility>
+
+namespace dbpl::types {
+namespace {
+
+/// Coinductive subtype checker. Assumptions record (sub, sup) pairs
+/// currently being checked so that recursive (`Mu`) types terminate: if
+/// the same goal recurs, it is assumed true (greatest fixed point).
+class SubtypeChecker {
+ public:
+  explicit SubtypeChecker(const BoundEnv& env) : env_(env) {}
+
+  bool Check(const Type& sub, const Type& sup) {
+    if (depth_ > kMaxDepth) return false;  // defensive bound
+    if (sub == sup) return true;
+    if (sub.is_bottom()) return true;
+    if (sup.is_top()) return true;
+
+    // Coinductive assumption for recursive goals.
+    auto key = std::make_pair(sub, sup);
+    if (assumptions_.contains(key)) return true;
+
+    const bool involves_mu = sub.kind() == TypeKind::kMu ||
+                             sup.kind() == TypeKind::kMu;
+    if (involves_mu) assumptions_.insert(key);
+    ++depth_;
+    bool ok = CheckStructural(sub, sup);
+    --depth_;
+    if (involves_mu && !ok) assumptions_.erase(key);
+    return ok;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 512;
+
+  bool CheckStructural(const Type& sub, const Type& sup) {
+    // Unfold recursive types first (equi-recursive subtyping).
+    if (sub.kind() == TypeKind::kMu) return Check(sub.Unfold(), sup);
+    if (sup.kind() == TypeKind::kMu) return Check(sub, sup.Unfold());
+
+    // A variable is below anything its declared bound is below.
+    if (sub.kind() == TypeKind::kVar) {
+      auto it = env_.find(sub.var());
+      if (it != env_.end()) return Check(it->second, sup);
+      return false;  // unknown variable: only related to itself/Top
+    }
+
+    // Packing rule: S ≤ ∃v ≤ B. T when witness S packs.
+    if (sup.kind() == TypeKind::kExists &&
+        sub.kind() != TypeKind::kExists) {
+      return Check(sub, sup.bound()) &&
+             Check(sub, sup.body().Substitute(sup.var(), sub));
+    }
+
+    // Unpacking rule: ∃v ≤ B. T ≤ S when T ≤ S holds for an abstract
+    // v ≤ B (v fresh, so it cannot leak into S). This is what lets a
+    // package of type ∃t ≤ Person. t be used wherever a Person can.
+    if (sub.kind() == TypeKind::kExists &&
+        sup.kind() != TypeKind::kExists) {
+      std::string fresh = FreshName(sub, sup);
+      Type body = sub.body().Substitute(sub.var(), Type::Var(fresh));
+      env_[fresh] = sub.bound();
+      bool ok = Check(body, sup);
+      env_.erase(fresh);
+      return ok;
+    }
+
+    if (sub.kind() != sup.kind()) return false;
+
+    switch (sub.kind()) {
+      case TypeKind::kBottom:
+      case TypeKind::kTop:
+      case TypeKind::kBool:
+      case TypeKind::kInt:
+      case TypeKind::kReal:
+      case TypeKind::kString:
+      case TypeKind::kDynamic:
+        return true;
+      case TypeKind::kVar:
+        return false;  // distinct variables (equality handled above)
+      case TypeKind::kRecord: {
+        // Width + depth: sup's fields must all be present in sub.
+        for (const auto& f : sup.fields()) {
+          const Type* sf = sub.FindField(f.name);
+          if (sf == nullptr || !Check(*sf, f.get())) return false;
+        }
+        return true;
+      }
+      case TypeKind::kVariant: {
+        // Covariant width: sub's tags must all be present in sup.
+        for (const auto& t : sub.fields()) {
+          const Type* st = sup.FindField(t.name);
+          if (st == nullptr || !Check(t.get(), *st)) return false;
+        }
+        return true;
+      }
+      case TypeKind::kList:
+      case TypeKind::kSet:
+        return Check(sub.element(), sup.element());
+      case TypeKind::kRef:
+        // Invariant: references are readable and writable.
+        return Check(sub.element(), sup.element()) &&
+               Check(sup.element(), sub.element());
+      case TypeKind::kFunc: {
+        if (sub.params().size() != sup.params().size()) return false;
+        for (size_t i = 0; i < sub.params().size(); ++i) {
+          if (!Check(sup.params()[i], sub.params()[i])) return false;
+        }
+        return Check(sub.result(), sup.result());
+      }
+      case TypeKind::kForall:
+      case TypeKind::kExists: {
+        // Kernel rule: equivalent bounds, bodies under a shared fresh
+        // variable with that bound.
+        if (!Check(sub.bound(), sup.bound()) ||
+            !Check(sup.bound(), sub.bound())) {
+          return false;
+        }
+        std::string fresh = FreshName(sub, sup);
+        Type fresh_var = Type::Var(fresh);
+        Type body_sub = sub.body().Substitute(sub.var(), fresh_var);
+        Type body_sup = sup.body().Substitute(sup.var(), fresh_var);
+        env_[fresh] = sub.bound();
+        bool ok = Check(body_sub, body_sup);
+        env_.erase(fresh);
+        return ok;
+      }
+      case TypeKind::kMu:
+        return false;  // unreachable: unfolded above
+    }
+    return false;
+  }
+
+  std::string FreshName(const Type& a, const Type& b) {
+    std::set<std::string> avoid = a.FreeVars();
+    auto fb = b.FreeVars();
+    avoid.insert(fb.begin(), fb.end());
+    auto add_binder = [&avoid](const Type& t) {
+      if (t.kind() == TypeKind::kForall || t.kind() == TypeKind::kExists ||
+          t.kind() == TypeKind::kMu) {
+        avoid.insert(t.var());
+      }
+    };
+    add_binder(a);
+    add_binder(b);
+    for (const auto& [k, _] : env_) avoid.insert(k);
+    std::string base = "$s";
+    std::string candidate = base + std::to_string(counter_++);
+    while (avoid.contains(candidate)) {
+      candidate = base + std::to_string(counter_++);
+    }
+    return candidate;
+  }
+
+  struct PairLess {
+    bool operator()(const std::pair<Type, Type>& x,
+                    const std::pair<Type, Type>& y) const {
+      int c = Compare(x.first, y.first);
+      if (c != 0) return c < 0;
+      return Compare(x.second, y.second) < 0;
+    }
+  };
+
+  BoundEnv env_;
+  std::set<std::pair<Type, Type>, PairLess> assumptions_;
+  int depth_ = 0;
+  int counter_ = 0;
+};
+
+}  // namespace
+
+bool IsSubtype(const Type& sub, const Type& sup) {
+  return IsSubtype(sub, sup, BoundEnv{});
+}
+
+bool IsSubtype(const Type& sub, const Type& sup, const BoundEnv& env) {
+  SubtypeChecker checker(env);
+  return checker.Check(sub, sup);
+}
+
+bool TypeEquiv(const Type& a, const Type& b) {
+  return IsSubtype(a, b) && IsSubtype(b, a);
+}
+
+}  // namespace dbpl::types

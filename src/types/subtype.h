@@ -1,0 +1,43 @@
+#ifndef DBPL_TYPES_SUBTYPE_H_
+#define DBPL_TYPES_SUBTYPE_H_
+
+#include <map>
+#include <string>
+
+#include "types/type.h"
+
+namespace dbpl::types {
+
+/// Bounds in scope for free type variables: `var ≤ bounds[var]`.
+using BoundEnv = std::map<std::string, Type>;
+
+/// Decides `sub ≤ sup` — "any operation we can perform on a value of
+/// type `sup` can also be performed on a value of type `sub`".
+///
+/// Rules (Cardelli–Wegner style):
+///  * `Bottom ≤ T`, `T ≤ Top`;
+///  * base types and `Dynamic` only relate to themselves;
+///  * records: width and depth — `sub` must have every field of `sup`,
+///    each at a subtype (so `Employee = {Name, Address, Emp_no, Dept} ≤
+///    Person = {Name, Address}` — the structural inference Amber makes);
+///  * variants: covariant width — every tag of `sub` must exist in `sup`;
+///  * `List`/`Set` covariant; `Ref` invariant (mutable);
+///  * functions: contravariant parameters, covariant result;
+///  * a variable `v` is a subtype of `T` when `v = T` or its bound in
+///    `env` is (transitively);
+///  * bounded quantifiers use the kernel-Fun rule (equivalent bounds,
+///    bodies compared under a shared fresh variable);
+///  * additionally `S ≤ ∃v ≤ B. T` holds when packing `S` with witness
+///    `S` does: `S ≤ B` and `S ≤ T[v := S]` — this is what types the
+///    elements of `Get`'s result list;
+///  * `Mu` types are equi-recursive: unfolded under a coinductive
+///    assumption set (Amadio–Cardelli).
+bool IsSubtype(const Type& sub, const Type& sup);
+bool IsSubtype(const Type& sub, const Type& sup, const BoundEnv& env);
+
+/// Semantic equivalence: mutual subtyping (alpha- and mu-insensitive).
+bool TypeEquiv(const Type& a, const Type& b);
+
+}  // namespace dbpl::types
+
+#endif  // DBPL_TYPES_SUBTYPE_H_

@@ -1,0 +1,533 @@
+#include "types/type.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+namespace dbpl::types {
+
+std::string_view TypeKindName(TypeKind kind) {
+  switch (kind) {
+    case TypeKind::kBottom:
+      return "Bottom";
+    case TypeKind::kTop:
+      return "Top";
+    case TypeKind::kBool:
+      return "Bool";
+    case TypeKind::kInt:
+      return "Int";
+    case TypeKind::kReal:
+      return "Real";
+    case TypeKind::kString:
+      return "String";
+    case TypeKind::kDynamic:
+      return "Dynamic";
+    case TypeKind::kRecord:
+      return "Record";
+    case TypeKind::kVariant:
+      return "Variant";
+    case TypeKind::kList:
+      return "List";
+    case TypeKind::kSet:
+      return "Set";
+    case TypeKind::kFunc:
+      return "Func";
+    case TypeKind::kRef:
+      return "Ref";
+    case TypeKind::kVar:
+      return "Var";
+    case TypeKind::kForall:
+      return "Forall";
+    case TypeKind::kExists:
+      return "Exists";
+    case TypeKind::kMu:
+      return "Mu";
+  }
+  return "Unknown";
+}
+
+struct Type::Rep {
+  TypeKind kind = TypeKind::kTop;
+  /// Record fields / variant tags, sorted by name.
+  std::vector<TypeField> fields;
+  /// Function parameter types.
+  std::vector<Type> params;
+  /// Element type (list/set/ref), function result, or quantifier bound.
+  Type a;
+  /// Quantifier or Mu body.
+  Type b;
+  /// Variable name (var and binders).
+  std::string name;
+};
+
+namespace {
+
+std::shared_ptr<const Type> Box(Type t) {
+  return std::make_shared<const Type>(std::move(t));
+}
+
+}  // namespace
+
+Type Type::Top() {
+  Rep rep;
+  rep.kind = TypeKind::kTop;
+  return Type(std::make_shared<const Rep>(std::move(rep)));
+}
+Type Type::Bool() {
+  Rep rep;
+  rep.kind = TypeKind::kBool;
+  return Type(std::make_shared<const Rep>(std::move(rep)));
+}
+Type Type::Int() {
+  Rep rep;
+  rep.kind = TypeKind::kInt;
+  return Type(std::make_shared<const Rep>(std::move(rep)));
+}
+Type Type::Real() {
+  Rep rep;
+  rep.kind = TypeKind::kReal;
+  return Type(std::make_shared<const Rep>(std::move(rep)));
+}
+Type Type::String() {
+  Rep rep;
+  rep.kind = TypeKind::kString;
+  return Type(std::make_shared<const Rep>(std::move(rep)));
+}
+Type Type::Dynamic() {
+  Rep rep;
+  rep.kind = TypeKind::kDynamic;
+  return Type(std::make_shared<const Rep>(std::move(rep)));
+}
+
+namespace {
+
+Result<std::vector<TypeField>> MakeFields(
+    std::vector<std::pair<std::string, Type>> fields, const char* what) {
+  std::sort(fields.begin(), fields.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+  std::vector<TypeField> out;
+  out.reserve(fields.size());
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0 && fields[i].first == fields[i - 1].first) {
+      return Status::InvalidArgument(std::string("duplicate ") + what + ": " +
+                                     fields[i].first);
+    }
+    out.push_back({fields[i].first, Box(std::move(fields[i].second))});
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Type> Type::Record(std::vector<std::pair<std::string, Type>> fields) {
+  DBPL_ASSIGN_OR_RETURN(std::vector<TypeField> fs,
+                        MakeFields(std::move(fields), "record label"));
+  Rep rep;
+  rep.kind = TypeKind::kRecord;
+  rep.fields = std::move(fs);
+  return Type(std::make_shared<const Rep>(std::move(rep)));
+}
+
+Type Type::RecordOf(std::vector<std::pair<std::string, Type>> fields) {
+  Result<Type> r = Record(std::move(fields));
+  if (!r.ok()) std::abort();
+  return std::move(r).value();
+}
+
+Result<Type> Type::Variant(std::vector<std::pair<std::string, Type>> tags) {
+  DBPL_ASSIGN_OR_RETURN(std::vector<TypeField> fs,
+                        MakeFields(std::move(tags), "variant tag"));
+  Rep rep;
+  rep.kind = TypeKind::kVariant;
+  rep.fields = std::move(fs);
+  return Type(std::make_shared<const Rep>(std::move(rep)));
+}
+
+Type Type::VariantOf(std::vector<std::pair<std::string, Type>> tags) {
+  Result<Type> r = Variant(std::move(tags));
+  if (!r.ok()) std::abort();
+  return std::move(r).value();
+}
+
+Type Type::List(Type element) {
+  Rep rep;
+  rep.kind = TypeKind::kList;
+  rep.a = std::move(element);
+  return Type(std::make_shared<const Rep>(std::move(rep)));
+}
+
+Type Type::Set(Type element) {
+  Rep rep;
+  rep.kind = TypeKind::kSet;
+  rep.a = std::move(element);
+  return Type(std::make_shared<const Rep>(std::move(rep)));
+}
+
+Type Type::Func(std::vector<Type> params, Type result) {
+  Rep rep;
+  rep.kind = TypeKind::kFunc;
+  rep.params = std::move(params);
+  rep.a = std::move(result);
+  return Type(std::make_shared<const Rep>(std::move(rep)));
+}
+
+Type Type::RefTo(Type target) {
+  Rep rep;
+  rep.kind = TypeKind::kRef;
+  rep.a = std::move(target);
+  return Type(std::make_shared<const Rep>(std::move(rep)));
+}
+
+Type Type::Var(std::string name) {
+  Rep rep;
+  rep.kind = TypeKind::kVar;
+  rep.name = std::move(name);
+  return Type(std::make_shared<const Rep>(std::move(rep)));
+}
+
+Type Type::Forall(std::string var, Type bound, Type body) {
+  Rep rep;
+  rep.kind = TypeKind::kForall;
+  rep.name = std::move(var);
+  rep.a = std::move(bound);
+  rep.b = std::move(body);
+  return Type(std::make_shared<const Rep>(std::move(rep)));
+}
+
+Type Type::Forall(std::string var, Type body) {
+  return Forall(std::move(var), Top(), std::move(body));
+}
+
+Type Type::Exists(std::string var, Type bound, Type body) {
+  Rep rep;
+  rep.kind = TypeKind::kExists;
+  rep.name = std::move(var);
+  rep.a = std::move(bound);
+  rep.b = std::move(body);
+  return Type(std::make_shared<const Rep>(std::move(rep)));
+}
+
+Type Type::Exists(std::string var, Type body) {
+  return Exists(std::move(var), Top(), std::move(body));
+}
+
+Type Type::Mu(std::string var, Type body) {
+  Rep rep;
+  rep.kind = TypeKind::kMu;
+  rep.name = std::move(var);
+  rep.b = std::move(body);
+  return Type(std::make_shared<const Rep>(std::move(rep)));
+}
+
+TypeKind Type::kind() const { return rep_ ? rep_->kind : TypeKind::kBottom; }
+
+const std::vector<TypeField>& Type::fields() const {
+  assert(kind() == TypeKind::kRecord || kind() == TypeKind::kVariant);
+  return rep_->fields;
+}
+
+const Type& Type::element() const {
+  assert(kind() == TypeKind::kList || kind() == TypeKind::kSet ||
+         kind() == TypeKind::kRef);
+  return rep_->a;
+}
+
+const std::vector<Type>& Type::params() const {
+  assert(kind() == TypeKind::kFunc);
+  return rep_->params;
+}
+
+const Type& Type::result() const {
+  assert(kind() == TypeKind::kFunc);
+  return rep_->a;
+}
+
+const std::string& Type::var() const {
+  assert(kind() == TypeKind::kVar || kind() == TypeKind::kForall ||
+         kind() == TypeKind::kExists || kind() == TypeKind::kMu);
+  return rep_->name;
+}
+
+const Type& Type::bound() const {
+  assert(kind() == TypeKind::kForall || kind() == TypeKind::kExists);
+  return rep_->a;
+}
+
+const Type& Type::body() const {
+  assert(kind() == TypeKind::kForall || kind() == TypeKind::kExists ||
+         kind() == TypeKind::kMu);
+  return rep_->b;
+}
+
+const Type* Type::FindField(std::string_view name) const {
+  if (kind() != TypeKind::kRecord && kind() != TypeKind::kVariant) {
+    return nullptr;
+  }
+  const auto& fs = rep_->fields;
+  auto it = std::lower_bound(
+      fs.begin(), fs.end(), name,
+      [](const TypeField& f, std::string_view n) { return f.name < n; });
+  if (it != fs.end() && it->name == name) return it->type.get();
+  return nullptr;
+}
+
+std::set<std::string> Type::FreeVars() const {
+  std::set<std::string> out;
+  switch (kind()) {
+    case TypeKind::kVar:
+      out.insert(var());
+      return out;
+    case TypeKind::kRecord:
+    case TypeKind::kVariant:
+      for (const auto& f : fields()) {
+        auto sub = f.get().FreeVars();
+        out.insert(sub.begin(), sub.end());
+      }
+      return out;
+    case TypeKind::kList:
+    case TypeKind::kSet:
+    case TypeKind::kRef:
+      return element().FreeVars();
+    case TypeKind::kFunc: {
+      for (const auto& p : params()) {
+        auto sub = p.FreeVars();
+        out.insert(sub.begin(), sub.end());
+      }
+      auto sub = result().FreeVars();
+      out.insert(sub.begin(), sub.end());
+      return out;
+    }
+    case TypeKind::kForall:
+    case TypeKind::kExists: {
+      out = bound().FreeVars();
+      auto sub = body().FreeVars();
+      sub.erase(var());
+      out.insert(sub.begin(), sub.end());
+      return out;
+    }
+    case TypeKind::kMu: {
+      out = body().FreeVars();
+      out.erase(var());
+      return out;
+    }
+    default:
+      return out;
+  }
+}
+
+namespace {
+
+/// Picks a binder name distinct from every name in `avoid`.
+std::string Freshen(const std::string& base, const std::set<std::string>& avoid) {
+  std::string candidate = base;
+  int i = 0;
+  while (avoid.contains(candidate)) {
+    candidate = base + "_" + std::to_string(++i);
+  }
+  return candidate;
+}
+
+}  // namespace
+
+Type Type::Substitute(std::string_view name, const Type& replacement) const {
+  switch (kind()) {
+    case TypeKind::kBottom:
+    case TypeKind::kTop:
+    case TypeKind::kBool:
+    case TypeKind::kInt:
+    case TypeKind::kReal:
+    case TypeKind::kString:
+    case TypeKind::kDynamic:
+      return *this;
+    case TypeKind::kVar:
+      return var() == name ? replacement : *this;
+    case TypeKind::kRecord:
+    case TypeKind::kVariant: {
+      std::vector<std::pair<std::string, Type>> out;
+      out.reserve(fields().size());
+      for (const auto& f : fields()) {
+        out.emplace_back(f.name, f.get().Substitute(name, replacement));
+      }
+      return kind() == TypeKind::kRecord ? RecordOf(std::move(out))
+                                         : VariantOf(std::move(out));
+    }
+    case TypeKind::kList:
+      return List(element().Substitute(name, replacement));
+    case TypeKind::kSet:
+      return Set(element().Substitute(name, replacement));
+    case TypeKind::kRef:
+      return RefTo(element().Substitute(name, replacement));
+    case TypeKind::kFunc: {
+      std::vector<Type> ps;
+      ps.reserve(params().size());
+      for (const auto& p : params()) {
+        ps.push_back(p.Substitute(name, replacement));
+      }
+      return Func(std::move(ps), result().Substitute(name, replacement));
+    }
+    case TypeKind::kForall:
+    case TypeKind::kExists: {
+      Type new_bound = bound().Substitute(name, replacement);
+      if (var() == name) {
+        // Inner occurrences are bound by this binder; only the bound is
+        // in scope of the outer substitution.
+        return kind() == TypeKind::kForall
+                   ? Forall(var(), std::move(new_bound), body())
+                   : Exists(var(), std::move(new_bound), body());
+      }
+      std::string binder = var();
+      Type new_body = body();
+      std::set<std::string> repl_free = replacement.FreeVars();
+      if (repl_free.contains(binder)) {
+        // Rename to avoid capturing a free variable of the replacement.
+        std::set<std::string> avoid = repl_free;
+        auto body_free = new_body.FreeVars();
+        avoid.insert(body_free.begin(), body_free.end());
+        avoid.insert(std::string(name));
+        binder = Freshen(binder, avoid);
+        new_body = new_body.Substitute(var(), Var(binder));
+      }
+      new_body = new_body.Substitute(name, replacement);
+      return kind() == TypeKind::kForall
+                 ? Forall(std::move(binder), std::move(new_bound),
+                          std::move(new_body))
+                 : Exists(std::move(binder), std::move(new_bound),
+                          std::move(new_body));
+    }
+    case TypeKind::kMu: {
+      if (var() == name) return *this;
+      std::string binder = var();
+      Type new_body = body();
+      std::set<std::string> repl_free = replacement.FreeVars();
+      if (repl_free.contains(binder)) {
+        std::set<std::string> avoid = repl_free;
+        auto body_free = new_body.FreeVars();
+        avoid.insert(body_free.begin(), body_free.end());
+        avoid.insert(std::string(name));
+        binder = Freshen(binder, avoid);
+        new_body = new_body.Substitute(var(), Var(binder));
+      }
+      return Mu(std::move(binder), new_body.Substitute(name, replacement));
+    }
+  }
+  return *this;
+}
+
+Type Type::Unfold() const {
+  assert(kind() == TypeKind::kMu);
+  return body().Substitute(var(), *this);
+}
+
+bool Type::operator==(const Type& other) const {
+  return Compare(*this, other) == 0;
+}
+
+namespace {
+
+size_t HashCombine(size_t seed, size_t h) {
+  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace
+
+size_t Type::Hash() const {
+  size_t h = static_cast<size_t>(kind()) * 0x9e3779b97f4a7c15ULL + 0x2545F491;
+  switch (kind()) {
+    case TypeKind::kBottom:
+    case TypeKind::kTop:
+    case TypeKind::kBool:
+    case TypeKind::kInt:
+    case TypeKind::kReal:
+    case TypeKind::kString:
+    case TypeKind::kDynamic:
+      return h;
+    case TypeKind::kVar:
+      return HashCombine(h, std::hash<std::string>()(var()));
+    case TypeKind::kRecord:
+    case TypeKind::kVariant:
+      for (const auto& f : fields()) {
+        h = HashCombine(h, std::hash<std::string>()(f.name));
+        h = HashCombine(h, f.get().Hash());
+      }
+      return h;
+    case TypeKind::kList:
+    case TypeKind::kSet:
+    case TypeKind::kRef:
+      return HashCombine(h, element().Hash());
+    case TypeKind::kFunc:
+      for (const auto& p : params()) h = HashCombine(h, p.Hash());
+      return HashCombine(h, result().Hash());
+    case TypeKind::kForall:
+    case TypeKind::kExists:
+      h = HashCombine(h, std::hash<std::string>()(var()));
+      h = HashCombine(h, bound().Hash());
+      return HashCombine(h, body().Hash());
+    case TypeKind::kMu:
+      h = HashCombine(h, std::hash<std::string>()(var()));
+      return HashCombine(h, body().Hash());
+  }
+  return h;
+}
+
+int Compare(const Type& a, const Type& b) {
+  if (a.rep_ == b.rep_) return 0;
+  if (a.kind() != b.kind()) {
+    return static_cast<int>(a.kind()) < static_cast<int>(b.kind()) ? -1 : 1;
+  }
+  switch (a.kind()) {
+    case TypeKind::kBottom:
+    case TypeKind::kTop:
+    case TypeKind::kBool:
+    case TypeKind::kInt:
+    case TypeKind::kReal:
+    case TypeKind::kString:
+    case TypeKind::kDynamic:
+      return 0;
+    case TypeKind::kVar:
+      return a.var().compare(b.var());
+    case TypeKind::kRecord:
+    case TypeKind::kVariant: {
+      const auto& fa = a.fields();
+      const auto& fb = b.fields();
+      size_t n = std::min(fa.size(), fb.size());
+      for (size_t i = 0; i < n; ++i) {
+        int c = fa[i].name.compare(fb[i].name);
+        if (c != 0) return c;
+        c = Compare(fa[i].get(), fb[i].get());
+        if (c != 0) return c;
+      }
+      if (fa.size() != fb.size()) return fa.size() < fb.size() ? -1 : 1;
+      return 0;
+    }
+    case TypeKind::kList:
+    case TypeKind::kSet:
+    case TypeKind::kRef:
+      return Compare(a.element(), b.element());
+    case TypeKind::kFunc: {
+      const auto& pa = a.params();
+      const auto& pb = b.params();
+      if (pa.size() != pb.size()) return pa.size() < pb.size() ? -1 : 1;
+      for (size_t i = 0; i < pa.size(); ++i) {
+        int c = Compare(pa[i], pb[i]);
+        if (c != 0) return c;
+      }
+      return Compare(a.result(), b.result());
+    }
+    case TypeKind::kForall:
+    case TypeKind::kExists: {
+      int c = a.var().compare(b.var());
+      if (c != 0) return c;
+      c = Compare(a.bound(), b.bound());
+      if (c != 0) return c;
+      return Compare(a.body(), b.body());
+    }
+    case TypeKind::kMu: {
+      int c = a.var().compare(b.var());
+      if (c != 0) return c;
+      return Compare(a.body(), b.body());
+    }
+  }
+  return 0;
+}
+
+}  // namespace dbpl::types

@@ -1,0 +1,182 @@
+#ifndef DBPL_TYPES_TYPE_H_
+#define DBPL_TYPES_TYPE_H_
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace dbpl::types {
+
+/// The kinds of structural types.
+///
+/// The type language follows the Cardelli–Wegner system the paper builds
+/// on: base types, structural records and variants, lists and sets,
+/// functions, mutable references, the special `Dynamic` type (Amber),
+/// type variables with *bounded* universal (`∀t ≤ B. T`) and existential
+/// (`∃t ≤ B. T`) quantification — the machinery that lets the generic
+/// `Get : ∀t. Database → List[∃t' ≤ t. t']` be written down — plus
+/// equi-recursive `μ`-types for self-referential schemas.
+enum class TypeKind : uint8_t {
+  /// The least type: the type of no information. Subtype of everything.
+  kBottom = 0,
+  /// The greatest type: every value has it. In the information-order
+  /// reading of the paper, the wholly uninformative value `⊥` has type
+  /// Top — less informative objects sit *higher* in the type hierarchy.
+  kTop,
+  kBool,
+  kInt,
+  kReal,
+  kString,
+  /// Amber's Dynamic: a value carrying its own type description.
+  kDynamic,
+  /// `{l1: T1, ..., ln: Tn}` — width and depth subtyping.
+  kRecord,
+  /// `Variant<t1: T1 | ... | tn: Tn>` — tagged union, covariant width.
+  kVariant,
+  kList,
+  kSet,
+  /// `(T1, ..., Tn) -> R` — contravariant parameters, covariant result.
+  kFunc,
+  /// `Ref[T]` — a heap reference; invariant in T (references are mutable).
+  kRef,
+  /// A type variable, bound by an enclosing quantifier.
+  kVar,
+  /// `Forall v <= B. T` — bounded universal quantification.
+  kForall,
+  /// `Exists v <= B. T` — bounded existential quantification (abstract
+  /// types / the element type of `Get`'s result).
+  kExists,
+  /// `Mu v. T` — equi-recursive type.
+  kMu,
+};
+
+std::string_view TypeKindName(TypeKind kind);
+
+class Type;
+
+/// One labelled component of a record or variant type.
+struct TypeField {
+  std::string name;
+  /// Owned out-of-line so TypeField can appear inside Type's definition.
+  std::shared_ptr<const Type> type;
+
+  /// Convenience accessor.
+  const Type& get() const { return *type; }
+};
+
+/// An immutable structural type. Cheap to copy (one shared pointer).
+///
+/// Structural equality (`operator==`, `Compare`) is syntactic and
+/// binder-name-sensitive; use `TypeEquiv` in subtype.h for semantic
+/// (alpha- and mu-insensitive) equivalence.
+class Type {
+ public:
+  /// Constructs Bottom.
+  Type() = default;
+
+  static Type Bottom() { return Type(); }
+  static Type Top();
+  static Type Bool();
+  static Type Int();
+  static Type Real();
+  static Type String();
+  static Type Dynamic();
+  /// Builds a record type; duplicate labels are rejected.
+  static Result<Type> Record(std::vector<std::pair<std::string, Type>> fields);
+  /// Builds a record type from distinct labels; aborts on duplicates.
+  static Type RecordOf(std::vector<std::pair<std::string, Type>> fields);
+  /// Builds a variant type; duplicate tags are rejected.
+  static Result<Type> Variant(std::vector<std::pair<std::string, Type>> tags);
+  static Type VariantOf(std::vector<std::pair<std::string, Type>> tags);
+  static Type List(Type element);
+  static Type Set(Type element);
+  static Type Func(std::vector<Type> params, Type result);
+  static Type RefTo(Type target);
+  static Type Var(std::string name);
+  static Type Forall(std::string var, Type bound, Type body);
+  /// `Forall v. T` with the default bound Top.
+  static Type Forall(std::string var, Type body);
+  static Type Exists(std::string var, Type bound, Type body);
+  static Type Exists(std::string var, Type body);
+  static Type Mu(std::string var, Type body);
+
+  TypeKind kind() const;
+  bool is_bottom() const { return kind() == TypeKind::kBottom; }
+  bool is_top() const { return kind() == TypeKind::kTop; }
+
+  /// Record fields or variant tags, sorted by name. Requires
+  /// kRecord/kVariant.
+  const std::vector<TypeField>& fields() const;
+  /// Element type. Requires kList/kSet/kRef.
+  const Type& element() const;
+  /// Parameter types. Requires kFunc.
+  const std::vector<Type>& params() const;
+  /// Result type. Requires kFunc.
+  const Type& result() const;
+  /// Variable name. Requires kVar/kForall/kExists/kMu.
+  const std::string& var() const;
+  /// Bound of the quantifier. Requires kForall/kExists.
+  const Type& bound() const;
+  /// Body of the binder. Requires kForall/kExists/kMu.
+  const Type& body() const;
+
+  /// Field type by label; nullptr when absent or not a record/variant.
+  const Type* FindField(std::string_view name) const;
+
+  /// Capture-avoiding substitution of `replacement` for free occurrences
+  /// of variable `name`.
+  Type Substitute(std::string_view name, const Type& replacement) const;
+
+  /// Unfolds one level of a Mu type: `μv.T  ↦  T[v := μv.T]`.
+  /// Requires kMu.
+  Type Unfold() const;
+
+  /// Free type variables.
+  std::set<std::string> FreeVars() const;
+
+  bool operator==(const Type& other) const;
+  bool operator!=(const Type& other) const { return !(*this == other); }
+
+  size_t Hash() const;
+
+  /// Renders the type, e.g. `{Name: String, Age: Int}`,
+  /// `Forall t <= {Name: String}. Database -> List[Exists u <= t. u]`.
+  std::string ToString() const;
+
+ private:
+  struct Rep;
+  explicit Type(std::shared_ptr<const Rep> rep) : rep_(std::move(rep)) {}
+
+  /// nullptr encodes Bottom.
+  std::shared_ptr<const Rep> rep_;
+
+  friend int Compare(const Type& a, const Type& b);
+};
+
+/// Canonical (syntactic) total order on types.
+int Compare(const Type& a, const Type& b);
+
+std::ostream& operator<<(std::ostream& os, const Type& t);
+
+/// Ordering functor for std::map keyed by Type.
+struct TypeLess {
+  bool operator()(const Type& a, const Type& b) const {
+    return Compare(a, b) < 0;
+  }
+};
+
+/// Hash functor for unordered containers keyed by Type.
+struct TypeHash {
+  size_t operator()(const Type& t) const { return t.Hash(); }
+};
+
+}  // namespace dbpl::types
+
+#endif  // DBPL_TYPES_TYPE_H_

@@ -1,0 +1,46 @@
+#include "types/type_of.h"
+
+#include <vector>
+
+#include "types/lattice.h"
+
+namespace dbpl::types {
+
+Type TypeOf(const core::Value& v) {
+  switch (v.kind()) {
+    case core::ValueKind::kBottom:
+      return Type::Top();
+    case core::ValueKind::kBool:
+      return Type::Bool();
+    case core::ValueKind::kInt:
+      return Type::Int();
+    case core::ValueKind::kReal:
+      return Type::Real();
+    case core::ValueKind::kString:
+      return Type::String();
+    case core::ValueKind::kRef:
+      return Type::RefTo(Type::Top());
+    case core::ValueKind::kRecord: {
+      std::vector<std::pair<std::string, Type>> fields;
+      fields.reserve(v.fields().size());
+      for (const auto& f : v.fields()) {
+        fields.emplace_back(f.name, TypeOf(f.value));
+      }
+      return Type::RecordOf(std::move(fields));
+    }
+    case core::ValueKind::kTagged:
+      // The principal type of tag(v) is the single-tag variant, which
+      // is a subtype of every wider variant carrying the tag.
+      return Type::VariantOf({{v.tag(), TypeOf(v.payload())}});
+    case core::ValueKind::kSet:
+    case core::ValueKind::kList: {
+      Type elem = Type::Bottom();
+      for (const auto& e : v.elements()) elem = Lub(elem, TypeOf(e));
+      return v.kind() == core::ValueKind::kSet ? Type::Set(std::move(elem))
+                                               : Type::List(std::move(elem));
+    }
+  }
+  return Type::Top();
+}
+
+}  // namespace dbpl::types

@@ -1,0 +1,27 @@
+#ifndef DBPL_TYPES_TYPE_OF_H_
+#define DBPL_TYPES_TYPE_OF_H_
+
+#include "core/value.h"
+#include "types/type.h"
+
+namespace dbpl::types {
+
+/// The principal (most specific) structural type of a value — Amber's
+/// `typeOf` on dynamic values.
+///
+/// Mapping:
+///  * atoms map to their base types;
+///  * records map fieldwise, so a more informative object gets a *lower*
+///    type — the reversed orderings the paper points out (`o ⊑ o'`
+///    implies `TypeOf(o') ≤ TypeOf(o)`);
+///  * `⊥` maps to Top: the wholly uninformative value has the wholly
+///    uninformative type;
+///  * sets and lists map to Set/List of the lub of their element types
+///    (empty collections get element type Bottom, the identity of lub);
+///  * references map to `Ref[Top]`: the heap, not the value, knows what
+///    a reference points at.
+Type TypeOf(const core::Value& v);
+
+}  // namespace dbpl::types
+
+#endif  // DBPL_TYPES_TYPE_OF_H_

@@ -1,0 +1,319 @@
+#include "classes/class_system.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/order.h"
+#include "types/parse.h"
+
+namespace dbpl::classes {
+namespace {
+
+using core::Heap;
+using core::Oid;
+using core::Value;
+using types::ParseType;
+using types::Type;
+
+Value S(const char* s) { return Value::String(s); }
+
+class ClassSystemTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cs_ = std::make_unique<ClassSystem>(&heap_);
+    // The Taxis example:
+    //   VARIABLE_CLASS EMPLOYEE isa PERSON with Empno: Int, Dept: String.
+    ASSERT_TRUE(cs_->DefineVariableClass("Person",
+                                         *ParseType("{Name: String}"))
+                    .ok());
+    ASSERT_TRUE(
+        cs_->DefineVariableClass(
+               "Employee",
+               *ParseType("{Name: String, Empno: Int, Dept: String}"),
+               {"Person"})
+            .ok());
+  }
+
+  Value Person(const char* name) {
+    return Value::RecordOf({{"Name", S(name)}});
+  }
+  Value Employee(const char* name, int64_t no, const char* dept) {
+    return Value::RecordOf(
+        {{"Name", S(name)}, {"Empno", Value::Int(no)}, {"Dept", S(dept)}});
+  }
+
+  Heap heap_;
+  std::unique_ptr<ClassSystem> cs_;
+};
+
+TEST_F(ClassSystemTest, InstanceJoinsAllSuperclassExtents) {
+  // "creating an instance of Employee will also create a new instance
+  // of Person" (Adaplex).
+  auto emp = cs_->NewInstance("Employee", Employee("J Doe", 1234, "Sales"));
+  ASSERT_TRUE(emp.ok()) << emp.status();
+  auto persons = cs_->Extent("Person");
+  auto employees = cs_->Extent("Employee");
+  ASSERT_TRUE(persons.ok());
+  ASSERT_TRUE(employees.ok());
+  EXPECT_EQ(persons->size(), 1u);
+  EXPECT_EQ(employees->size(), 1u);
+  EXPECT_EQ((*persons)[0], *emp);
+}
+
+TEST_F(ClassSystemTest, ExtentSubsetInvariant) {
+  ASSERT_TRUE(cs_->NewInstance("Person", Person("P1")).ok());
+  ASSERT_TRUE(cs_->NewInstance("Person", Person("P2")).ok());
+  ASSERT_TRUE(
+      cs_->NewInstance("Employee", Employee("E1", 1, "Sales")).ok());
+  auto persons = cs_->Extent("Person");
+  auto employees = cs_->Extent("Employee");
+  EXPECT_EQ(persons->size(), 3u);
+  EXPECT_EQ(employees->size(), 1u);
+  for (Oid e : *employees) {
+    EXPECT_NE(std::find(persons->begin(), persons->end(), e), persons->end());
+  }
+}
+
+TEST_F(ClassSystemTest, TypeChecksOnInstanceCreation) {
+  // A mere Person value is not an Employee.
+  auto r = cs_->NewInstance("Employee", Person("not enough info"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeError);
+  // An int is not a Person.
+  EXPECT_FALSE(cs_->NewInstance("Person", Value::Int(3)).ok());
+  // Extra fields are fine (structural subtyping).
+  EXPECT_TRUE(cs_->NewInstance("Person", Employee("rich", 9, "X")).ok());
+}
+
+TEST_F(ClassSystemTest, IsaRequiresStructuralSubtype) {
+  // The class hierarchy is derived from the type hierarchy: an isa
+  // declaration the types contradict is rejected.
+  Status s = cs_->DefineVariableClass("Truck", *ParseType("{Plate: Int}"),
+                                      {"Person"});
+  EXPECT_EQ(s.code(), StatusCode::kTypeError);
+  EXPECT_FALSE(cs_->HasClass("Truck"));
+  // Unknown parents are rejected too.
+  EXPECT_EQ(cs_->DefineVariableClass("X", *ParseType("{}"), {"Nope"}).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ClassSystemTest, AggregateClassHasNoExtent) {
+  ASSERT_TRUE(
+      cs_->DefineAggregateClass("Address", *ParseType("{City: String}")).ok());
+  EXPECT_EQ(cs_->Extent("Address").status().code(), StatusCode::kUnsupported);
+  EXPECT_EQ(cs_->NewInstance("Address",
+                             Value::RecordOf({{"City", S("Moose")}}))
+                .status()
+                .code(),
+            StatusCode::kUnsupported);
+  // But it still has a type.
+  EXPECT_EQ(*cs_->ClassType("Address"), *ParseType("{City: String}"));
+}
+
+TEST_F(ClassSystemTest, AdaplexIncludeRetroactively) {
+  // Students defined independently, then `include Student in Person`.
+  ASSERT_TRUE(cs_->DefineVariableClass(
+                     "Student", *ParseType("{Name: String, StudentId: Int}"))
+                  .ok());
+  ASSERT_TRUE(cs_->NewInstance("Student",
+                               Value::RecordOf({{"Name", S("Stu")},
+                                                {"StudentId", Value::Int(1)}}))
+                  .ok());
+  EXPECT_EQ(cs_->Extent("Person")->size(), 0u);
+  ASSERT_TRUE(cs_->Include("Student", "Person").ok());
+  EXPECT_EQ(cs_->Extent("Person")->size(), 1u);
+  EXPECT_TRUE(cs_->IsSubclass("Student", "Person"));
+  // Future students flow up automatically.
+  ASSERT_TRUE(cs_->NewInstance("Student",
+                               Value::RecordOf({{"Name", S("Dent")},
+                                                {"StudentId", Value::Int(2)}}))
+                  .ok());
+  EXPECT_EQ(cs_->Extent("Person")->size(), 2u);
+}
+
+TEST_F(ClassSystemTest, IncludeRejectsNonSubtypeAndCycles) {
+  ASSERT_TRUE(
+      cs_->DefineVariableClass("Thing", *ParseType("{Weight: Int}")).ok());
+  EXPECT_EQ(cs_->Include("Thing", "Person").code(), StatusCode::kTypeError);
+  EXPECT_EQ(cs_->Include("Person", "Employee").code(),
+            StatusCode::kInvalidArgument);  // would create a cycle
+}
+
+TEST_F(ClassSystemTest, SpecializePersonIntoEmployee) {
+  // The operation the paper notes Amber lacks: extending an object so
+  // it belongs to a new subclass, in place.
+  auto p = cs_->NewInstance("Person", Person("J Doe"));
+  ASSERT_TRUE(p.ok());
+  auto e = cs_->Specialize(
+      *p, "Employee",
+      Value::RecordOf({{"Empno", Value::Int(1234)}, {"Dept", S("Sales")}}));
+  ASSERT_TRUE(e.ok()) << e.status();
+  EXPECT_EQ(*e, *p);  // same identity
+  EXPECT_EQ(cs_->Extent("Employee")->size(), 1u);
+  EXPECT_EQ(cs_->Extent("Person")->size(), 1u);  // not duplicated
+  // The object's value is the join of old and new information.
+  EXPECT_EQ(*heap_.Get(*p), Employee("J Doe", 1234, "Sales"));
+}
+
+TEST_F(ClassSystemTest, SpecializeRejectsContradiction) {
+  auto p = cs_->NewInstance("Person", Person("J Doe"));
+  ASSERT_TRUE(p.ok());
+  auto r = cs_->Specialize(
+      *p, "Employee",
+      Value::RecordOf({{"Name", S("K Smith")}, {"Empno", Value::Int(1)},
+                       {"Dept", S("X")}}));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInconsistent);
+  // The object is unchanged and not in the Employee extent.
+  EXPECT_EQ(*heap_.Get(*p), Person("J Doe"));
+  EXPECT_EQ(cs_->Extent("Employee")->size(), 0u);
+}
+
+TEST_F(ClassSystemTest, SpecializeRejectsInsufficientInformation) {
+  auto p = cs_->NewInstance("Person", Person("J Doe"));
+  ASSERT_TRUE(p.ok());
+  // Joining only an Empno does not make an Employee (Dept missing).
+  auto r = cs_->Specialize(*p, "Employee",
+                           Value::RecordOf({{"Empno", Value::Int(1)}}));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeError);
+}
+
+TEST_F(ClassSystemTest, KeysForbidDuplicatesAcrossTheExtent) {
+  Heap heap;
+  ClassSystem cs(&heap);
+  ASSERT_TRUE(cs.DefineVariableClass("Person", *ParseType("{Name: String}"),
+                                     {}, {"Name"})
+                  .ok());
+  ASSERT_TRUE(cs.NewInstance("Person", Person("J Doe")).ok());
+  auto dup = cs.NewInstance("Person", Person("J Doe"));
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kInconsistent);
+  // Missing key attribute is rejected outright.
+  ASSERT_TRUE(cs.DefineVariableClass("Pet", *ParseType("{}"), {}, {"Name"})
+                  .ok());
+  EXPECT_EQ(cs.NewInstance("Pet", Value::RecordOf({})).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ClassSystemTest, WithoutKeysComparableObjectsMayCoexist) {
+  // The paper's parking lot: without keys, two identical cars coexist
+  // because objects are not identified by intrinsic properties.
+  auto c1 = cs_->NewInstance("Person", Person("Twin"));
+  auto c2 = cs_->NewInstance("Person", Person("Twin"));
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  EXPECT_NE(*c1, *c2);
+  EXPECT_EQ(cs_->Extent("Person")->size(), 2u);
+}
+
+TEST_F(ClassSystemTest, RemoveMaintainsSubsetInvariant) {
+  auto e = cs_->NewInstance("Employee", Employee("E", 1, "D"));
+  ASSERT_TRUE(e.ok());
+  // Removing from Person also removes from Employee (else Employee ⊄
+  // Person).
+  ASSERT_TRUE(cs_->Remove("Person", *e).ok());
+  EXPECT_EQ(cs_->Extent("Person")->size(), 0u);
+  EXPECT_EQ(cs_->Extent("Employee")->size(), 0u);
+  EXPECT_EQ(cs_->Remove("Person", *e).code(), StatusCode::kNotFound);
+}
+
+TEST_F(ClassSystemTest, RemoveFromSubclassKeepsSuperclassMembership) {
+  auto e = cs_->NewInstance("Employee", Employee("E", 1, "D"));
+  ASSERT_TRUE(e.ok());
+  ASSERT_TRUE(cs_->Remove("Employee", *e).ok());
+  EXPECT_EQ(cs_->Extent("Employee")->size(), 0u);
+  EXPECT_EQ(cs_->Extent("Person")->size(), 1u);  // still a person
+}
+
+TEST_F(ClassSystemTest, ClassNamesAndTypes) {
+  auto names = cs_->ClassNames();
+  EXPECT_EQ(names.size(), 2u);
+  EXPECT_TRUE(cs_->HasClass("Person"));
+  EXPECT_FALSE(cs_->HasClass("Nope"));
+  EXPECT_EQ(cs_->ClassType("Nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(cs_->DefineVariableClass("Person", *ParseType("{}")).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(ClassSystemTest, InstanceHierarchyIsNavigable) {
+  // Taxis: EMPLOYEE is an *instance of* VARIABLE_CLASS as well as a
+  // subclass of PERSON. The instance chain is object → class object →
+  // meta-class object → universal class object.
+  auto e = cs_->NewInstance("Employee", Employee("J Doe", 1, "Sales"));
+  ASSERT_TRUE(e.ok());
+  auto chain = cs_->InstanceChain(*e);
+  ASSERT_TRUE(chain.ok()) << chain.status();
+  ASSERT_EQ(chain->size(), 4u);
+  EXPECT_EQ((*chain)[0], *e);
+  // Level 1: the class object.
+  Value class_obj = *heap_.Get((*chain)[1]);
+  EXPECT_EQ(class_obj.FindField("Name")->AsString(), "Employee");
+  EXPECT_EQ(class_obj.FindField("Kind")->AsString(), "VariableClass");
+  // Level 2: the meta-class object.
+  Value meta_obj = *heap_.Get((*chain)[2]);
+  EXPECT_EQ(meta_obj.FindField("Name")->AsString(), "VARIABLE_CLASS");
+  // Level 3: the universal class.
+  Value universal = *heap_.Get((*chain)[3]);
+  EXPECT_EQ(universal.FindField("Name")->AsString(), "CLASS");
+  // The class object itself references its meta-class by oid.
+  EXPECT_EQ(class_obj.FindField("InstanceOf")->AsRef(), (*chain)[2]);
+}
+
+TEST_F(ClassSystemTest, ClassOfInstanceTracksMostSpecific) {
+  auto p = cs_->NewInstance("Person", Person("J Doe"));
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(*cs_->ClassOfInstance(*p), "Person");
+  ASSERT_TRUE(cs_->Specialize(*p, "Employee",
+                              Value::RecordOf({{"Empno", Value::Int(1)},
+                                               {"Dept", S("X")}}))
+                  .ok());
+  EXPECT_EQ(*cs_->ClassOfInstance(*p), "Employee");
+  // Objects not created through a class have no instance chain.
+  core::Oid raw = heap_.Allocate(Value::Int(3));
+  EXPECT_EQ(cs_->ClassOfInstance(raw).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(cs_->InstanceChain(raw).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ClassSystemTest, ClassObjectsLiveInTheHeap) {
+  auto oid = cs_->ClassObject("Person");
+  ASSERT_TRUE(oid.ok());
+  EXPECT_TRUE(heap_.Contains(*oid));
+  EXPECT_EQ(cs_->ClassObject("Nope").status().code(), StatusCode::kNotFound);
+  // Aggregate classes chain through AGGREGATE_CLASS.
+  ASSERT_TRUE(cs_->DefineAggregateClass("Addr", *ParseType("{City: String}"))
+                  .ok());
+  Value obj = *heap_.Get(*cs_->ClassObject("Addr"));
+  EXPECT_EQ(obj.FindField("Kind")->AsString(), "AggregateClass");
+}
+
+TEST_F(ClassSystemTest, DiamondHierarchy) {
+  // WorkingStudent isa Employee, isa Student.
+  ASSERT_TRUE(cs_->DefineVariableClass(
+                     "Student", *ParseType("{Name: String, StudentId: Int}"),
+                     {"Person"})
+                  .ok());
+  ASSERT_TRUE(
+      cs_->DefineVariableClass(
+             "WorkingStudent",
+             *ParseType("{Name: String, Empno: Int, Dept: String, "
+                        "StudentId: Int}"),
+             {"Employee", "Student"})
+          .ok());
+  Value ws = Value::RecordOf({{"Name", S("W")},
+                              {"Empno", Value::Int(1)},
+                              {"Dept", S("D")},
+                              {"StudentId", Value::Int(2)}});
+  auto oid = cs_->NewInstance("WorkingStudent", ws);
+  ASSERT_TRUE(oid.ok());
+  // Exactly once in every extent up the diamond.
+  for (const char* cls : {"WorkingStudent", "Employee", "Student", "Person"}) {
+    auto extent = cs_->Extent(cls);
+    ASSERT_TRUE(extent.ok()) << cls;
+    EXPECT_EQ(extent->size(), 1u) << cls;
+  }
+}
+
+}  // namespace
+}  // namespace dbpl::classes

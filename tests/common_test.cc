@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+
+#include "common/bytes.h"
+#include "common/crc32c.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace dbpl {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::TypeError("coerce failed");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kTypeError);
+  EXPECT_EQ(s.message(), "coerce failed");
+  EXPECT_EQ(s.ToString(), "TypeError: coerce failed");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::InvalidArgument("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::Inconsistent("").code(), StatusCode::kInconsistent);
+  EXPECT_EQ(Status::TypeError("").code(), StatusCode::kTypeError);
+  EXPECT_EQ(Status::Corruption("").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::IoError("").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Unsupported("").code(), StatusCode::kUnsupported);
+  EXPECT_EQ(Status::Internal("").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("gone");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, OkStatusBecomesInternalError) {
+  Result<int> r = Status::OK();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+Result<int> Doubled(Result<int> in) {
+  DBPL_ASSIGN_OR_RETURN(int v, in);
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(*Doubled(21), 42);
+  EXPECT_EQ(Doubled(Status::IoError("disk")).status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(Crc32cTest, KnownVectors) {
+  // Standard CRC-32C check value.
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  // 32 zero bytes (iSCSI test vector).
+  unsigned char zeros[32] = {0};
+  EXPECT_EQ(Crc32c(zeros, sizeof(zeros)), 0x8A9136AAu);
+  unsigned char ffs[32];
+  std::memset(ffs, 0xFF, sizeof(ffs));
+  EXPECT_EQ(Crc32c(ffs, sizeof(ffs)), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, ExtendMatchesWhole) {
+  const char* data = "hello, world";
+  uint32_t whole = Crc32c(data, 12);
+  uint32_t part = Crc32cExtend(Crc32c(data, 5), data + 5, 7);
+  EXPECT_EQ(whole, part);
+}
+
+TEST(Crc32cTest, MaskRoundTrip) {
+  for (uint32_t crc : {0u, 1u, 0xDEADBEEFu, 0xFFFFFFFFu}) {
+    EXPECT_EQ(UnmaskCrc(MaskCrc(crc)), crc);
+    EXPECT_NE(MaskCrc(crc), crc);
+  }
+}
+
+TEST(BytesTest, FixedWidthRoundTrip) {
+  ByteBuffer buf;
+  buf.PutU8(0xAB);
+  buf.PutU32(0x12345678u);
+  buf.PutU64(0xDEADBEEFCAFEBABEull);
+  buf.PutDouble(3.14159);
+  ByteReader r(buf);
+  EXPECT_EQ(*r.ReadU8(), 0xAB);
+  EXPECT_EQ(*r.ReadU32(), 0x12345678u);
+  EXPECT_EQ(*r.ReadU64(), 0xDEADBEEFCAFEBABEull);
+  EXPECT_DOUBLE_EQ(*r.ReadDouble(), 3.14159);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, VarintRoundTripBoundaries) {
+  const uint64_t cases[] = {0,
+                            1,
+                            127,
+                            128,
+                            16383,
+                            16384,
+                            (1ull << 32) - 1,
+                            1ull << 32,
+                            std::numeric_limits<uint64_t>::max()};
+  ByteBuffer buf;
+  for (uint64_t v : cases) buf.PutVarint(v);
+  ByteReader r(buf);
+  for (uint64_t v : cases) EXPECT_EQ(*r.ReadVarint(), v);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, VarintEncodingIsCompact) {
+  ByteBuffer buf;
+  buf.PutVarint(5);
+  EXPECT_EQ(buf.size(), 1u);
+  buf.clear();
+  buf.PutVarint(300);
+  EXPECT_EQ(buf.size(), 2u);
+}
+
+TEST(BytesTest, SignedVarintRoundTrip) {
+  const int64_t cases[] = {0,
+                           -1,
+                           1,
+                           -64,
+                           64,
+                           std::numeric_limits<int64_t>::min(),
+                           std::numeric_limits<int64_t>::max()};
+  ByteBuffer buf;
+  for (int64_t v : cases) buf.PutVarintSigned(v);
+  ByteReader r(buf);
+  for (int64_t v : cases) EXPECT_EQ(*r.ReadVarintSigned(), v);
+}
+
+TEST(BytesTest, SmallNegativesAreCompact) {
+  ByteBuffer buf;
+  buf.PutVarintSigned(-1);
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(BytesTest, StringRoundTrip) {
+  ByteBuffer buf;
+  buf.PutString("hello");
+  buf.PutString("");
+  buf.PutString(std::string(1000, 'x'));
+  ByteReader r(buf);
+  EXPECT_EQ(*r.ReadString(), "hello");
+  EXPECT_EQ(*r.ReadString(), "");
+  EXPECT_EQ(*r.ReadString(), std::string(1000, 'x'));
+}
+
+TEST(BytesTest, TruncatedReadsReportCorruption) {
+  ByteBuffer buf;
+  buf.PutU8(0x80);  // an unterminated varint
+  {
+    ByteReader r(buf);
+    EXPECT_EQ(r.ReadVarint().status().code(), StatusCode::kCorruption);
+  }
+  {
+    ByteReader r(buf);
+    EXPECT_EQ(r.ReadU32().status().code(), StatusCode::kCorruption);
+  }
+  {
+    ByteReader r(buf);
+    EXPECT_EQ(r.ReadU64().status().code(), StatusCode::kCorruption);
+  }
+  buf.clear();
+  buf.PutVarint(100);  // string length prefix with no payload
+  ByteReader r(buf);
+  EXPECT_EQ(r.ReadString().status().code(), StatusCode::kCorruption);
+}
+
+TEST(BytesTest, OverlongVarintRejected) {
+  ByteBuffer buf;
+  for (int i = 0; i < 11; ++i) buf.PutU8(0x80);
+  buf.PutU8(0x01);
+  ByteReader r(buf);
+  EXPECT_EQ(r.ReadVarint().status().code(), StatusCode::kCorruption);
+}
+
+TEST(BytesTest, SkipAndRaw) {
+  ByteBuffer buf;
+  buf.PutRaw("abcdef", 6);
+  ByteReader r(buf);
+  EXPECT_TRUE(r.Skip(2).ok());
+  char out[4];
+  EXPECT_TRUE(r.ReadRaw(out, 4).ok());
+  EXPECT_EQ(std::string(out, 4), "cdef");
+  EXPECT_EQ(r.Skip(1).code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace dbpl

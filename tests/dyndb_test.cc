@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dyndb/database.h"
+#include "dyndb/dynamic.h"
+#include "types/parse.h"
+#include "types/subtype.h"
+
+namespace dbpl::dyndb {
+namespace {
+
+using core::Value;
+using types::ParseType;
+using types::Type;
+
+Type PersonT() { return *ParseType("{Name: String}"); }
+Type EmployeeT() { return *ParseType("{Name: String, Empno: Int}"); }
+Type StudentT() { return *ParseType("{Name: String, StudentId: Int}"); }
+
+Value Person(const char* name) {
+  return Value::RecordOf({{"Name", Value::String(name)}});
+}
+Value Employee(const char* name, int64_t empno) {
+  return Value::RecordOf(
+      {{"Name", Value::String(name)}, {"Empno", Value::Int(empno)}});
+}
+Value Student(const char* name, int64_t sid) {
+  return Value::RecordOf(
+      {{"Name", Value::String(name)}, {"StudentId", Value::Int(sid)}});
+}
+
+// ---------------------------------------------------------------------
+// Dynamic: the paper's Amber example, verbatim.
+// ---------------------------------------------------------------------
+
+TEST(DynamicTest, PaperCoerceExample) {
+  // let d = dynamic 3;
+  Dynamic d = MakeDynamic(Value::Int(3));
+  EXPECT_EQ(d.type, Type::Int());
+  // let i = coerce d to Int;  -- i is bound to 3
+  Result<Value> i = Coerce(d, Type::Int());
+  ASSERT_TRUE(i.ok());
+  EXPECT_EQ(*i, Value::Int(3));
+  // let s = coerce d to String;  -- raises a (run-time) type exception
+  Result<Value> s = Coerce(d, Type::String());
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kTypeError);
+}
+
+TEST(DynamicTest, CoerceUpTheHierarchy) {
+  Dynamic d = MakeDynamic(Employee("J Doe", 1234));
+  // An Employee value coerces to Person (subsumption)...
+  EXPECT_TRUE(Coerce(d, PersonT()).ok());
+  // ...and to its own type, and to Top.
+  EXPECT_TRUE(Coerce(d, EmployeeT()).ok());
+  EXPECT_TRUE(Coerce(d, Type::Top()).ok());
+  // ...but not down or sideways.
+  EXPECT_FALSE(Coerce(MakeDynamic(Person("P")), EmployeeT()).ok());
+  EXPECT_FALSE(Coerce(d, StudentT()).ok());
+}
+
+TEST(DynamicTest, MakeDynamicAsChecksDeclaration) {
+  // Declaring an employee value at type Person generalizes its carried
+  // type (a view, as in the paper's schema discussion).
+  Result<Dynamic> d = MakeDynamicAs(Employee("J Doe", 1), PersonT());
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->type, PersonT());
+  // With the carried type generalized, coercion back down now fails:
+  // the type, not the value, governs.
+  EXPECT_FALSE(Coerce(*d, EmployeeT()).ok());
+  // A false declaration is rejected outright.
+  EXPECT_FALSE(MakeDynamicAs(Person("P"), EmployeeT()).ok());
+}
+
+TEST(DynamicTest, TypeOfDynamicExposesCarriedType) {
+  Dynamic d = MakeDynamic(Value::Int(3));
+  EXPECT_EQ(TypeOfDynamic(d), Type::Int());
+}
+
+TEST(DynamicTest, SealProducesExistentialPackage) {
+  Dynamic d = MakeDynamic(Employee("J Doe", 1));
+  Result<Dynamic> pkg = Seal(d, PersonT());
+  ASSERT_TRUE(pkg.ok());
+  EXPECT_EQ(pkg->type.kind(), types::TypeKind::kExists);
+  EXPECT_EQ(pkg->type.bound(), PersonT());
+  // The package still coerces to anything its bound guarantees.
+  EXPECT_TRUE(Coerce(*pkg, PersonT()).ok());
+  // Sealing below an unrelated bound fails.
+  EXPECT_FALSE(Seal(d, StudentT()).ok());
+}
+
+// ---------------------------------------------------------------------
+// Database + generic Get.
+// ---------------------------------------------------------------------
+
+Database MakeMixedDb() {
+  Database db;
+  db.InsertValue(Person("p1"));
+  db.InsertValue(Person("p2"));
+  db.InsertValue(Employee("e1", 1));
+  db.InsertValue(Employee("e2", 2));
+  db.InsertValue(Employee("e3", 3));
+  db.InsertValue(Student("s1", 100));
+  db.InsertValue(Value::Int(42));  // the db is deliberately unconstrained
+  db.InsertValue(Value::String("noise"));
+  return db;
+}
+
+TEST(DatabaseTest, GetScanDerivesExtents) {
+  Database db = MakeMixedDb();
+  EXPECT_EQ(db.GetScan(PersonT()).size(), 6u);    // persons ∪ employees ∪ students
+  EXPECT_EQ(db.GetScan(EmployeeT()).size(), 3u);
+  EXPECT_EQ(db.GetScan(StudentT()).size(), 1u);
+  EXPECT_EQ(db.GetScan(Type::Int()).size(), 1u);
+  EXPECT_EQ(db.GetScan(Type::Top()).size(), 8u);
+}
+
+TEST(DatabaseTest, ExtentInclusionFollowsTypeHierarchy) {
+  // getPersons always returns a larger list than getEmployees, and the
+  // employees are all persons — the containment the paper derives from
+  // the type hierarchy alone.
+  Database db = MakeMixedDb();
+  auto persons = db.GetScan(PersonT());
+  auto employees = db.GetScan(EmployeeT());
+  EXPECT_GE(persons.size(), employees.size());
+  for (const auto& e : employees) {
+    EXPECT_NE(std::find(persons.begin(), persons.end(), e), persons.end());
+  }
+}
+
+TEST(DatabaseTest, AllStrategiesAgree) {
+  Database db;
+  ASSERT_TRUE(db.RegisterExtent("persons", PersonT()).ok());
+  ASSERT_TRUE(db.RegisterExtent("employees", EmployeeT()).ok());
+  db.InsertValue(Person("p1"));
+  db.InsertValue(Employee("e1", 1));
+  db.InsertValue(Employee("e2", 2));
+  db.InsertValue(Student("s1", 7));
+  db.InsertValue(Value::Int(5));
+
+  for (const Type& t : {PersonT(), EmployeeT()}) {
+    auto scan = db.GetScan(t);
+    auto index = db.GetViaIndex(t);
+    Result<std::vector<Value>> extent = db.GetViaExtent(t);
+    ASSERT_TRUE(extent.ok());
+    auto sort_values = [](std::vector<Value>& vs) {
+      std::sort(vs.begin(), vs.end(), [](const Value& a, const Value& b) {
+        return core::Compare(a, b) < 0;
+      });
+    };
+    sort_values(scan);
+    sort_values(index);
+    sort_values(*extent);
+    EXPECT_EQ(scan, index) << t.ToString();
+    EXPECT_EQ(scan, *extent) << t.ToString();
+  }
+}
+
+TEST(DatabaseTest, RetroactiveExtentRegistration) {
+  Database db = MakeMixedDb();
+  ASSERT_TRUE(db.RegisterExtent("employees", EmployeeT()).ok());
+  Result<std::vector<Value>> ext = db.GetViaExtent(EmployeeT());
+  ASSERT_TRUE(ext.ok());
+  EXPECT_EQ(ext->size(), 3u);
+  // New inserts are indexed incrementally.
+  db.InsertValue(Employee("e4", 4));
+  EXPECT_EQ(db.GetViaExtent(EmployeeT())->size(), 4u);
+}
+
+TEST(DatabaseTest, UnregisteredExtentIsNotFound) {
+  Database db = MakeMixedDb();
+  EXPECT_EQ(db.GetViaExtent(EmployeeT()).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_TRUE(db.RegisterExtent("e", EmployeeT()).ok());
+  EXPECT_EQ(db.RegisterExtent("e", PersonT()).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(DatabaseTest, GetPackagesReturnsExistentials) {
+  Database db = MakeMixedDb();
+  auto pkgs = db.GetPackages(PersonT());
+  EXPECT_EQ(pkgs.size(), 6u);
+  for (const auto& p : pkgs) {
+    EXPECT_EQ(p.type.kind(), types::TypeKind::kExists);
+    // Every package coerces to Person: the static guarantee of
+    // List[∃t ≤ Person. t].
+    EXPECT_TRUE(Coerce(p, PersonT()).ok());
+  }
+}
+
+TEST(DatabaseTest, IndexGroupsByPrincipalType) {
+  Database db = MakeMixedDb();
+  // p1/p2 share a type; e1/e2/e3 share a type; s1, Int, String: 5 total.
+  EXPECT_EQ(db.DistinctTypeCount(), 5u);
+}
+
+TEST(DatabaseTest, EntryLookup) {
+  Database db;
+  auto id = db.InsertValue(Value::Int(7));
+  Result<Dynamic> d = db.Get(id);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->value, Value::Int(7));
+  EXPECT_EQ(db.Get(999).status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, MonotonicityOfGetAcrossHierarchy) {
+  // T ≤ U ⟹ Get(T) ⊆ Get(U), for every pair in a chain.
+  Database db = MakeMixedDb();
+  std::vector<Type> chain = {EmployeeT(), PersonT(),
+                             *ParseType("{}"), Type::Top()};
+  for (size_t i = 0; i + 1 < chain.size(); ++i) {
+    ASSERT_TRUE(types::IsSubtype(chain[i], chain[i + 1]));
+    auto lo = db.GetScan(chain[i]);
+    auto hi = db.GetScan(chain[i + 1]);
+    for (const auto& v : lo) {
+      EXPECT_NE(std::find(hi.begin(), hi.end(), v), hi.end());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dbpl::dyndb

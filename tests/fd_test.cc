@@ -1,0 +1,233 @@
+#include "core/fd.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/grelation.h"
+#include "core/value.h"
+
+namespace dbpl::core {
+namespace {
+
+using FD = FunctionalDependency;
+
+Value Str(const char* s) { return Value::String(s); }
+
+TEST(FdTest, ClosureBasic) {
+  // A -> B, B -> C: {A}+ = {A, B, C}.
+  std::vector<FD> fds = {{{"A"}, {"B"}}, {{"B"}, {"C"}}};
+  EXPECT_EQ(Closure({"A"}, fds), (AttrSet{"A", "B", "C"}));
+  EXPECT_EQ(Closure({"B"}, fds), (AttrSet{"B", "C"}));
+  EXPECT_EQ(Closure({"C"}, fds), (AttrSet{"C"}));
+}
+
+TEST(FdTest, ClosureWithCompositeLhs) {
+  // AB -> C, C -> D.
+  std::vector<FD> fds = {{{"A", "B"}, {"C"}}, {{"C"}, {"D"}}};
+  EXPECT_EQ(Closure({"A"}, fds), (AttrSet{"A"}));
+  EXPECT_EQ(Closure({"A", "B"}, fds), (AttrSet{"A", "B", "C", "D"}));
+}
+
+TEST(FdTest, ImpliesDerivesTransitively) {
+  std::vector<FD> fds = {{{"A"}, {"B"}}, {{"B"}, {"C"}}};
+  EXPECT_TRUE(Implies(fds, {{"A"}, {"C"}}));
+  EXPECT_TRUE(Implies(fds, {{"A"}, {"B", "C"}}));
+  EXPECT_FALSE(Implies(fds, {{"C"}, {"A"}}));
+  // Reflexivity: X -> X always holds.
+  EXPECT_TRUE(Implies({}, {{"A"}, {"A"}}));
+  // Augmentation-style consequence.
+  EXPECT_TRUE(Implies(fds, {{"A", "Z"}, {"C"}}));
+}
+
+TEST(FdTest, IsSuperkey) {
+  AttrSet all = {"A", "B", "C"};
+  std::vector<FD> fds = {{{"A"}, {"B"}}, {{"B"}, {"C"}}};
+  EXPECT_TRUE(IsSuperkey({"A"}, all, fds));
+  EXPECT_TRUE(IsSuperkey({"A", "C"}, all, fds));
+  EXPECT_FALSE(IsSuperkey({"B"}, all, fds));
+}
+
+TEST(FdTest, CandidateKeysSimpleChain) {
+  AttrSet all = {"A", "B", "C"};
+  std::vector<FD> fds = {{{"A"}, {"B"}}, {{"B"}, {"C"}}};
+  std::vector<AttrSet> keys = CandidateKeys(all, fds);
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], (AttrSet{"A"}));
+}
+
+TEST(FdTest, CandidateKeysCycle) {
+  // A -> B, B -> A, so both {A,C} and {B,C} are keys of {A,B,C}.
+  AttrSet all = {"A", "B", "C"};
+  std::vector<FD> fds = {{{"A"}, {"B"}}, {{"B"}, {"A"}}};
+  std::vector<AttrSet> keys = CandidateKeys(all, fds);
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_NE(std::find(keys.begin(), keys.end(), AttrSet{"A", "C"}),
+            keys.end());
+  EXPECT_NE(std::find(keys.begin(), keys.end(), AttrSet{"B", "C"}),
+            keys.end());
+}
+
+TEST(FdTest, CandidateKeysNoFds) {
+  AttrSet all = {"A", "B"};
+  std::vector<AttrSet> keys = CandidateKeys(all, {});
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], all);
+}
+
+TEST(FdTest, MinimalCoverSplitsRhsAndRemovesRedundancy) {
+  // {A -> BC, B -> C, A -> B} minimizes to {A -> B, B -> C}.
+  std::vector<FD> fds = {{{"A"}, {"B", "C"}}, {{"B"}, {"C"}}, {{"A"}, {"B"}}};
+  std::vector<FD> cover = MinimalCover(fds);
+  ASSERT_EQ(cover.size(), 2u);
+  EXPECT_NE(std::find(cover.begin(), cover.end(), FD{{"A"}, {"B"}}),
+            cover.end());
+  EXPECT_NE(std::find(cover.begin(), cover.end(), FD{{"B"}, {"C"}}),
+            cover.end());
+}
+
+TEST(FdTest, MinimalCoverRemovesExtraneousLhsAttrs) {
+  // {AB -> C, A -> B}: B is extraneous in AB -> C.
+  std::vector<FD> fds = {{{"A", "B"}, {"C"}}, {{"A"}, {"B"}}};
+  std::vector<FD> cover = MinimalCover(fds);
+  EXPECT_NE(std::find(cover.begin(), cover.end(), FD{{"A"}, {"C"}}),
+            cover.end());
+  for (const auto& fd : cover) {
+    EXPECT_FALSE(fd.lhs == (AttrSet{"A", "B"}));
+  }
+}
+
+TEST(FdTest, MinimalCoverIsEquivalent) {
+  std::vector<FD> fds = {{{"A"}, {"B", "C"}},
+                         {{"B", "C"}, {"D"}},
+                         {{"A", "C"}, {"D"}}};
+  std::vector<FD> cover = MinimalCover(fds);
+  // Every original FD is implied by the cover and vice versa.
+  for (const auto& fd : fds) EXPECT_TRUE(Implies(cover, fd)) << fd.ToString();
+  for (const auto& fd : cover) EXPECT_TRUE(Implies(fds, fd)) << fd.ToString();
+}
+
+GRelation EmployeeRelation() {
+  return GRelation::FromObjects({
+      Value::RecordOf({{"Name", Str("J Doe")},
+                       {"Dept", Str("Sales")},
+                       {"City", Str("Moose")}}),
+      Value::RecordOf({{"Name", Str("M Dee")},
+                       {"Dept", Str("Sales")},
+                       {"City", Str("Moose")}}),
+      Value::RecordOf({{"Name", Str("N Bug")},
+                       {"Dept", Str("Manuf")},
+                       {"City", Str("Billings")}}),
+  });
+}
+
+TEST(FdTest, SatisfiesClassicOnTotalRecords) {
+  GRelation r = EmployeeRelation();
+  EXPECT_TRUE(SatisfiesClassic(r, {{"Name"}, {"Dept"}}));
+  EXPECT_TRUE(SatisfiesClassic(r, {{"Dept"}, {"City"}}));
+  EXPECT_FALSE(SatisfiesClassic(r, {{"Dept"}, {"Name"}}));
+  EXPECT_FALSE(SatisfiesClassic(r, {{"City"}, {"Name"}}));
+}
+
+TEST(FdTest, WeakAgreesWithClassicOnTotalRecords) {
+  GRelation r = EmployeeRelation();
+  for (const FD& fd : std::vector<FD>{{{"Name"}, {"Dept"}},
+                                      {{"Dept"}, {"City"}},
+                                      {{"Dept"}, {"Name"}},
+                                      {{"City"}, {"Name"}}}) {
+    EXPECT_EQ(SatisfiesClassic(r, fd), SatisfiesWeak(r, fd)) << fd.ToString();
+  }
+}
+
+TEST(FdTest, WeakSemanticsSeesThroughPartiality) {
+  // Two partial objects: one lacks Dept, one lacks City. Under classical
+  // equality their Name projections differ, so Name -> Dept holds
+  // trivially; take objects with the *same* name instead.
+  GRelation r = GRelation::FromObjects({
+      Value::RecordOf({{"Name", Str("J Doe")}, {"Dept", Str("Sales")}}),
+      Value::RecordOf({{"Name", Str("J Doe")}, {"City", Str("Moose")}}),
+  });
+  // Classic: {Name} projections equal, {Dept} projections are {Dept=...}
+  // vs {} — unequal, so the FD fails classically.
+  EXPECT_FALSE(SatisfiesClassic(r, {{"Name"}, {"Dept"}}));
+  // Weak: {Dept = Sales} and {} are *consistent* (joinable), so the
+  // partial objects do not violate the dependency.
+  EXPECT_TRUE(SatisfiesWeak(r, {{"Name"}, {"Dept"}}));
+}
+
+TEST(FdTest, WeakSemanticsStillDetectsRealViolations) {
+  GRelation r = GRelation::FromObjects({
+      Value::RecordOf({{"Name", Str("J Doe")}, {"Dept", Str("Sales")}}),
+      Value::RecordOf({{"Name", Str("J Doe")}, {"Dept", Str("Manuf")}}),
+  });
+  EXPECT_FALSE(SatisfiesWeak(r, {{"Name"}, {"Dept"}}));
+  EXPECT_FALSE(SatisfiesClassic(r, {{"Name"}, {"Dept"}}));
+}
+
+TEST(FdTest, IsBcnf) {
+  AttrSet all = {"A", "B", "C"};
+  // A is a key: BCNF.
+  EXPECT_TRUE(IsBcnf(all, {{{"A"}, {"B"}}, {{"A"}, {"C"}}}));
+  // B -> C with B not a key: violation.
+  EXPECT_FALSE(IsBcnf(all, {{{"A"}, {"B"}}, {{"B"}, {"C"}}}));
+  // Trivial dependencies never violate.
+  EXPECT_TRUE(IsBcnf(all, {{{"B"}, {"B"}}}));
+  EXPECT_TRUE(IsBcnf(all, {}));
+}
+
+TEST(FdTest, ProjectFdsFindsTransitiveDependencies) {
+  // A -> B, B -> C projected onto {A, C} yields A -> C.
+  std::vector<FD> fds = {{{"A"}, {"B"}}, {{"B"}, {"C"}}};
+  std::vector<FD> projected = ProjectFds({"A", "C"}, fds);
+  EXPECT_TRUE(Implies(projected, {{"A"}, {"C"}}));
+  // Nothing about B survives.
+  for (const auto& fd : projected) {
+    EXPECT_FALSE(fd.lhs.contains("B"));
+    EXPECT_FALSE(fd.rhs.contains("B"));
+  }
+}
+
+TEST(FdTest, BcnfDecompositionClassicExample) {
+  // The textbook schema: Lot(Prop, County, Lot#, Area, Price) with
+  //   Prop -> everything; {County, Lot#} -> Prop; Area -> Price.
+  // Area -> Price violates BCNF; the decomposition splits it out.
+  AttrSet all = {"Prop", "County", "LotNo", "Area", "Price"};
+  std::vector<FD> fds = {
+      {{"Prop"}, {"County", "LotNo", "Area", "Price"}},
+      {{"County", "LotNo"}, {"Prop"}},
+      {{"Area"}, {"Price"}},
+  };
+  std::vector<AttrSet> fragments = DecomposeBcnf(all, fds);
+  ASSERT_GE(fragments.size(), 2u);
+  // Every fragment is in BCNF under its projected dependencies.
+  for (const auto& frag : fragments) {
+    EXPECT_TRUE(IsBcnf(frag, ProjectFds(frag, fds)))
+        << "fragment not BCNF";
+  }
+  // Attribute preservation: the union of fragments is the schema.
+  AttrSet covered;
+  for (const auto& frag : fragments) covered.insert(frag.begin(), frag.end());
+  EXPECT_EQ(covered, all);
+  // The Area->Price fragment exists.
+  bool has_area_price = false;
+  for (const auto& frag : fragments) {
+    if (frag == AttrSet{"Area", "Price"}) has_area_price = true;
+  }
+  EXPECT_TRUE(has_area_price);
+}
+
+TEST(FdTest, BcnfDecompositionOfBcnfSchemaIsIdentity) {
+  AttrSet all = {"A", "B"};
+  std::vector<FD> fds = {{{"A"}, {"B"}}};
+  std::vector<AttrSet> fragments = DecomposeBcnf(all, fds);
+  ASSERT_EQ(fragments.size(), 1u);
+  EXPECT_EQ(fragments[0], all);
+}
+
+TEST(FdTest, FdToString) {
+  FD fd = {{"A", "B"}, {"C"}};
+  EXPECT_EQ(fd.ToString(), "A,B -> C");
+}
+
+}  // namespace
+}  // namespace dbpl::core

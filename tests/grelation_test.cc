@@ -1,0 +1,349 @@
+#include "core/grelation.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "core/order.h"
+#include "core/value.h"
+#include "test_util.h"
+
+namespace dbpl::core {
+namespace {
+
+Value Str(const char* s) { return Value::String(s); }
+
+Value Addr(const char* city, const char* state) {
+  std::vector<Value::RecordField> fields;
+  if (city) fields.push_back({"City", Str(city)});
+  if (state) fields.push_back({"State", Str(state)});
+  return Value::RecordOf(std::move(fields));
+}
+
+Value Emp(const char* name, const char* dept, Value addr) {
+  std::vector<Value::RecordField> fields;
+  if (name) fields.push_back({"Name", Str(name)});
+  if (dept) fields.push_back({"Dept", Str(dept)});
+  fields.push_back({"Addr", std::move(addr)});
+  return Value::RecordOf(std::move(fields));
+}
+
+// R1 from the paper's Figure 1.
+GRelation FigureR1() {
+  return GRelation::FromObjects({
+      Emp("J Doe", "Sales", Addr("Moose", nullptr)),
+      Value::RecordOf({{"Name", Str("M Dee")}, {"Dept", Str("Manuf")}}),
+      Emp("N Bug", nullptr, Addr(nullptr, "MT")),
+  });
+}
+
+// R2 from the paper's Figure 1.
+GRelation FigureR2() {
+  return GRelation::FromObjects({
+      Value::RecordOf({{"Dept", Str("Sales")}, {"Addr", Addr(nullptr, "WY")}}),
+      Value::RecordOf(
+          {{"Dept", Str("Admin")}, {"Addr", Addr("Billings", nullptr)}}),
+      Value::RecordOf({{"Dept", Str("Manuf")}, {"Addr", Addr(nullptr, "MT")}}),
+  });
+}
+
+// R1 ⋈ R2 from the paper's Figure 1, verbatim.
+GRelation FigureJoin() {
+  return GRelation::FromObjects({
+      Emp("J Doe", "Sales", Addr("Moose", "WY")),
+      Emp("M Dee", "Manuf", Addr(nullptr, "MT")),
+      Emp("N Bug", "Manuf", Addr(nullptr, "MT")),
+      Emp("N Bug", "Admin", Addr("Billings", "MT")),
+  });
+}
+
+TEST(GRelationTest, FigureOneExact) {
+  GRelation joined = GRelation::Join(FigureR1(), FigureR2());
+  EXPECT_EQ(joined, FigureJoin()) << "got:\n"
+                                  << joined.ToString() << "\nwant:\n"
+                                  << FigureJoin().ToString();
+  EXPECT_TRUE(joined.CheckInvariant().ok());
+  EXPECT_EQ(joined.size(), 4u);
+}
+
+TEST(GRelationTest, FigureOneJoinIsAboveBothInputs) {
+  GRelation r1 = FigureR1();
+  GRelation r2 = FigureR2();
+  GRelation j = GRelation::Join(r1, r2);
+  EXPECT_TRUE(GRelation::LessEq(r1, j));
+  EXPECT_TRUE(GRelation::LessEq(r2, j));
+}
+
+TEST(GRelationTest, InsertIncomparableObjects) {
+  GRelation r;
+  EXPECT_EQ(r.Insert(Value::RecordOf({{"a", Value::Int(1)}})),
+            GRelation::InsertOutcome::kInserted);
+  EXPECT_EQ(r.Insert(Value::RecordOf({{"b", Value::Int(2)}})),
+            GRelation::InsertOutcome::kInserted);
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.CheckInvariant().ok());
+}
+
+TEST(GRelationTest, InsertLessInformativeIsAbsorbed) {
+  GRelation r;
+  Value big =
+      Value::RecordOf({{"a", Value::Int(1)}, {"b", Value::Int(2)}});
+  r.Insert(big);
+  EXPECT_EQ(r.Insert(Value::RecordOf({{"a", Value::Int(1)}})),
+            GRelation::InsertOutcome::kAbsorbed);
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.Contains(big));
+}
+
+TEST(GRelationTest, InsertMoreInformativeSubsumes) {
+  GRelation r;
+  Value small = Value::RecordOf({{"a", Value::Int(1)}});
+  r.Insert(small);
+  Value big =
+      Value::RecordOf({{"a", Value::Int(1)}, {"b", Value::Int(2)}});
+  EXPECT_EQ(r.Insert(big), GRelation::InsertOutcome::kSubsumed);
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.Contains(big));
+  EXPECT_FALSE(r.Contains(small));
+  EXPECT_TRUE(r.Covers(small));
+}
+
+TEST(GRelationTest, InsertDuplicateIsAbsorbed) {
+  GRelation r;
+  Value v = Value::RecordOf({{"a", Value::Int(1)}});
+  EXPECT_EQ(r.Insert(v), GRelation::InsertOutcome::kInserted);
+  EXPECT_EQ(r.Insert(v), GRelation::InsertOutcome::kAbsorbed);
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(GRelationTest, SubsumeMultiple) {
+  GRelation r;
+  r.Insert(Value::RecordOf({{"a", Value::Int(1)}}));
+  r.Insert(Value::RecordOf({{"b", Value::Int(2)}}));
+  r.Insert(Value::RecordOf({{"c", Value::Int(3)}}));
+  Value big = Value::RecordOf(
+      {{"a", Value::Int(1)}, {"b", Value::Int(2)}, {"d", Value::Int(4)}});
+  EXPECT_EQ(r.Insert(big), GRelation::InsertOutcome::kSubsumed);
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.Contains(big));
+  EXPECT_TRUE(r.Contains(Value::RecordOf({{"c", Value::Int(3)}})));
+}
+
+TEST(GRelationTest, FromValueRequiresSet) {
+  EXPECT_FALSE(GRelation::FromValue(Value::Int(1)).ok());
+  Result<GRelation> r = GRelation::FromValue(
+      Value::Set({Value::RecordOf({{"a", Value::Int(1)}})}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 1u);
+}
+
+TEST(GRelationTest, ToValueRoundTrip) {
+  GRelation r = FigureR1();
+  Result<GRelation> back = GRelation::FromValue(r.ToValue());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, r);
+}
+
+TEST(GRelationTest, ProjectReducesToCochain) {
+  GRelation r = FigureJoin();
+  GRelation p = r.Project({"Dept"});
+  EXPECT_TRUE(p.CheckInvariant().ok());
+  // Four objects project onto three distinct departments.
+  EXPECT_EQ(p.size(), 3u);
+  EXPECT_TRUE(p.Contains(Value::RecordOf({{"Dept", Str("Sales")}})));
+  EXPECT_TRUE(p.Contains(Value::RecordOf({{"Dept", Str("Manuf")}})));
+  EXPECT_TRUE(p.Contains(Value::RecordOf({{"Dept", Str("Admin")}})));
+}
+
+TEST(GRelationTest, SelectByPredicate) {
+  GRelation r = FigureJoin();
+  GRelation s = r.Select([](const Value& v) {
+    const Value* name = v.FindField("Name");
+    return name != nullptr && name->AsString() == "N Bug";
+  });
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(GRelationTest, MergeKeepsMaxima) {
+  GRelation a;
+  a.Insert(Value::RecordOf({{"a", Value::Int(1)}}));
+  GRelation b;
+  b.Insert(Value::RecordOf({{"a", Value::Int(1)}, {"b", Value::Int(2)}}));
+  GRelation m = GRelation::Merge(a, b);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_TRUE(
+      m.Contains(Value::RecordOf({{"a", Value::Int(1)}, {"b", Value::Int(2)}})));
+}
+
+TEST(GRelationTest, EmptyRelationIsTopAndJoinAbsorbs) {
+  GRelation empty;
+  GRelation r = FigureR1();
+  EXPECT_TRUE(GRelation::LessEq(r, empty));
+  EXPECT_FALSE(GRelation::LessEq(empty, r));
+  // Joining with the empty relation yields the empty relation: there is
+  // nothing consistent to pair with.
+  EXPECT_EQ(GRelation::Join(r, empty).size(), 0u);
+}
+
+// Classical-equivalence: on flat, total records over the same attribute
+// set, the generalized join must coincide with the classical natural
+// join computed naively.
+TEST(GRelationTest, GeneralizedJoinGeneralizesNaturalJoin) {
+  dbpl::testing::Rng rng(42);
+  // Build two flat total relations sharing attribute B.
+  // r1(A, B), r2(B, C).
+  std::vector<Value> t1, t2;
+  for (int i = 0; i < 12; ++i) {
+    t1.push_back(Value::RecordOf(
+        {{"A", Value::Int(static_cast<int64_t>(rng.Below(4)))},
+         {"B", Value::Int(static_cast<int64_t>(rng.Below(3)))}}));
+    t2.push_back(Value::RecordOf(
+        {{"B", Value::Int(static_cast<int64_t>(rng.Below(3)))},
+         {"C", Value::Int(static_cast<int64_t>(rng.Below(4)))}}));
+  }
+  GRelation r1 = GRelation::FromObjects(t1);
+  GRelation r2 = GRelation::FromObjects(t2);
+  GRelation gen = GRelation::Join(r1, r2);
+
+  // Naive classical natural join on the deduplicated inputs.
+  GRelation classic;
+  for (const Value& a : r1.objects()) {
+    for (const Value& b : r2.objects()) {
+      if (*a.FindField("B") == *b.FindField("B")) {
+        classic.Insert(Value::RecordOf({{"A", *a.FindField("A")},
+                                        {"B", *a.FindField("B")},
+                                        {"C", *b.FindField("C")}}));
+      }
+    }
+  }
+  EXPECT_EQ(gen, classic);
+}
+
+class GRelationPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, GRelationPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+TEST_P(GRelationPropertyTest, InvariantHoldsUnderRandomOperations) {
+  dbpl::testing::Rng rng(GetParam());
+  GRelation r;
+  for (int i = 0; i < 60; ++i) {
+    r.Insert(dbpl::testing::RandomRecord(rng));
+    ASSERT_TRUE(r.CheckInvariant().ok()) << r.ToString();
+  }
+  GRelation other;
+  for (int i = 0; i < 10; ++i) other.Insert(dbpl::testing::RandomRecord(rng));
+  GRelation j = GRelation::Join(r, other);
+  EXPECT_TRUE(j.CheckInvariant().ok());
+  GRelation m = GRelation::Merge(r, other);
+  EXPECT_TRUE(m.CheckInvariant().ok());
+  GRelation p = r.Project({"Name", "Dept"});
+  EXPECT_TRUE(p.CheckInvariant().ok());
+}
+
+TEST_P(GRelationPropertyTest, InsertIsOrderInsensitive) {
+  dbpl::testing::Rng rng(GetParam() * 7);
+  std::vector<Value> objs;
+  for (int i = 0; i < 25; ++i) objs.push_back(dbpl::testing::RandomRecord(rng));
+  GRelation fwd = GRelation::FromObjects(objs);
+  std::reverse(objs.begin(), objs.end());
+  GRelation rev = GRelation::FromObjects(objs);
+  EXPECT_EQ(fwd, rev);
+}
+
+TEST(GRelationTest, HoareOrderingBasics) {
+  GRelation small;
+  small.Insert(Value::RecordOf({{"a", Value::Int(1)}}));
+  GRelation big;
+  big.Insert(Value::RecordOf({{"a", Value::Int(1)}, {"b", Value::Int(2)}}));
+  big.Insert(Value::RecordOf({{"c", Value::Int(3)}}));
+  // Every object of `small` is refined by some object of `big`.
+  EXPECT_TRUE(GRelation::LessEqHoare(small, big));
+  EXPECT_FALSE(GRelation::LessEqHoare(big, small));
+  // Contrast with the Smyth ordering, which points the other way here.
+  EXPECT_FALSE(GRelation::LessEq(small, big));
+  // The empty relation is the BOTTOM of the Hoare ordering (vacuously
+  // below everything) where it was the TOP of the Smyth ordering.
+  GRelation empty;
+  EXPECT_TRUE(GRelation::LessEqHoare(empty, small));
+  EXPECT_FALSE(GRelation::LessEqHoare(small, empty));
+}
+
+TEST_P(GRelationPropertyTest, HoareOrderIsPartialOrderOnCochains) {
+  dbpl::testing::Rng rng(GetParam() * 19);
+  std::vector<GRelation> rels;
+  for (int k = 0; k < 8; ++k) {
+    GRelation r;
+    for (int i = 0; i < 6; ++i) r.Insert(dbpl::testing::RandomRecord(rng));
+    rels.push_back(std::move(r));
+  }
+  for (const auto& a : rels) {
+    EXPECT_TRUE(GRelation::LessEqHoare(a, a));
+    for (const auto& b : rels) {
+      if (GRelation::LessEqHoare(a, b) && GRelation::LessEqHoare(b, a)) {
+        EXPECT_EQ(a, b);
+      }
+      for (const auto& c : rels) {
+        if (GRelation::LessEqHoare(a, b) && GRelation::LessEqHoare(b, c)) {
+          EXPECT_TRUE(GRelation::LessEqHoare(a, c));
+        }
+      }
+    }
+  }
+}
+
+TEST_P(GRelationPropertyTest, ProjectionAndMergeMonotoneUnderHoare) {
+  // The paper: "from a slightly different ordering on relations a
+  // projection operator can be defined". Projection and Merge are
+  // monotone with respect to the Hoare ordering.
+  dbpl::testing::Rng rng(GetParam() * 23);
+  for (int round = 0; round < 10; ++round) {
+    GRelation r;
+    for (int i = 0; i < 6; ++i) r.Insert(dbpl::testing::RandomRecord(rng));
+    // Build a Hoare-refinement of r by adding fields to some objects
+    // and appending new ones.
+    GRelation refined = r;
+    for (const Value& o : r.objects()) {
+      if (rng.Coin()) {
+        refined.Insert(o.WithField("Extra", Value::Int(
+                                               static_cast<int64_t>(
+                                                   rng.Below(5)))));
+      }
+    }
+    refined.Insert(dbpl::testing::RandomRecord(rng));
+    ASSERT_TRUE(GRelation::LessEqHoare(r, refined));
+
+    EXPECT_TRUE(GRelation::LessEqHoare(r.Project({"Name", "Dept"}),
+                                       refined.Project({"Name", "Dept"})));
+    GRelation other;
+    for (int i = 0; i < 4; ++i) other.Insert(dbpl::testing::RandomRecord(rng));
+    EXPECT_TRUE(GRelation::LessEqHoare(GRelation::Merge(r, other),
+                                       GRelation::Merge(refined, other)));
+  }
+}
+
+TEST_P(GRelationPropertyTest, RelationOrderIsPartialOrderOnCochains) {
+  dbpl::testing::Rng rng(GetParam() * 13);
+  std::vector<GRelation> rels;
+  for (int k = 0; k < 8; ++k) {
+    GRelation r;
+    for (int i = 0; i < 6; ++i) r.Insert(dbpl::testing::RandomRecord(rng));
+    rels.push_back(std::move(r));
+  }
+  for (const auto& a : rels) {
+    EXPECT_TRUE(GRelation::LessEq(a, a));
+    for (const auto& b : rels) {
+      if (GRelation::LessEq(a, b) && GRelation::LessEq(b, a)) {
+        EXPECT_EQ(a, b);
+      }
+      for (const auto& c : rels) {
+        if (GRelation::LessEq(a, b) && GRelation::LessEq(b, c)) {
+          EXPECT_TRUE(GRelation::LessEq(a, c));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dbpl::core

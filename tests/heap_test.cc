@@ -1,0 +1,154 @@
+#include "core/heap.h"
+
+#include <gtest/gtest.h>
+
+#include "core/order.h"
+#include "core/value.h"
+
+namespace dbpl::core {
+namespace {
+
+Value Str(const char* s) { return Value::String(s); }
+
+TEST(HeapTest, AllocateAndGet) {
+  Heap heap;
+  Oid a = heap.Allocate(Value::Int(1));
+  Oid b = heap.Allocate(Value::Int(2));
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, kInvalidOid);
+  EXPECT_EQ(*heap.Get(a), Value::Int(1));
+  EXPECT_EQ(*heap.Get(b), Value::Int(2));
+  EXPECT_EQ(heap.size(), 2u);
+}
+
+TEST(HeapTest, GetMissingReportsNotFound) {
+  Heap heap;
+  EXPECT_EQ(heap.Get(99).status().code(), StatusCode::kNotFound);
+}
+
+TEST(HeapTest, PutReplaces) {
+  Heap heap;
+  Oid a = heap.Allocate(Value::Int(1));
+  ASSERT_TRUE(heap.Put(a, Str("now a string")).ok());
+  EXPECT_EQ(*heap.Get(a), Str("now a string"));
+  EXPECT_EQ(heap.Put(123, Value::Int(0)).code(), StatusCode::kNotFound);
+}
+
+TEST(HeapTest, IdentityIndependentOfContent) {
+  // The paper's parking-lot scenario: two identical cars must be able to
+  // coexist because objects are not identified by intrinsic properties.
+  Heap heap;
+  Value car = Value::RecordOf({{"MakeModel", Str("Chevy Nova")}});
+  Oid c1 = heap.Allocate(car);
+  Oid c2 = heap.Allocate(car);
+  EXPECT_NE(c1, c2);
+  EXPECT_EQ(*heap.Get(c1), *heap.Get(c2));
+  EXPECT_EQ(heap.size(), 2u);
+}
+
+TEST(HeapTest, ExtendIsObjectLevelInheritance) {
+  // Turning a Person into an Employee in place: every reference sees it.
+  Heap heap;
+  Oid p = heap.Allocate(Value::RecordOf({{"Name", Str("J Doe")}}));
+  Result<Value> extended =
+      heap.Extend(p, Value::RecordOf({{"Emp_no", Value::Int(1234)}}));
+  ASSERT_TRUE(extended.ok());
+  Value expect = Value::RecordOf(
+      {{"Name", Str("J Doe")}, {"Emp_no", Value::Int(1234)}});
+  EXPECT_EQ(*extended, expect);
+  EXPECT_EQ(*heap.Get(p), expect);
+  // The old value is below the new one: information was only added.
+  EXPECT_TRUE(LessEq(Value::RecordOf({{"Name", Str("J Doe")}}), *heap.Get(p)));
+}
+
+TEST(HeapTest, ExtendRejectsContradiction) {
+  Heap heap;
+  Oid p = heap.Allocate(Value::RecordOf({{"Name", Str("J Doe")}}));
+  Result<Value> r = heap.Extend(p, Value::RecordOf({{"Name", Str("K Smith")}}));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInconsistent);
+  // Object unchanged after the failed extension.
+  EXPECT_EQ(*heap.Get(p), Value::RecordOf({{"Name", Str("J Doe")}}));
+}
+
+TEST(HeapTest, DeleteRemoves) {
+  Heap heap;
+  Oid a = heap.Allocate(Value::Int(1));
+  ASSERT_TRUE(heap.Delete(a).ok());
+  EXPECT_EQ(heap.Get(a).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(heap.Delete(a).code(), StatusCode::kNotFound);
+}
+
+TEST(HeapTest, AllocateWithOid) {
+  Heap heap;
+  ASSERT_TRUE(heap.AllocateWithOid(10, Value::Int(1)).ok());
+  EXPECT_EQ(*heap.Get(10), Value::Int(1));
+  EXPECT_EQ(heap.AllocateWithOid(10, Value::Int(2)).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(heap.AllocateWithOid(kInvalidOid, Value::Int(2)).code(),
+            StatusCode::kInvalidArgument);
+  // Fresh allocations never collide with explicitly placed oids.
+  Oid fresh = heap.Allocate(Value::Int(3));
+  EXPECT_GT(fresh, 10u);
+}
+
+TEST(HeapTest, CollectRefsWalksStructure) {
+  Value v = Value::RecordOf(
+      {{"a", Value::Ref(1)},
+       {"b", Value::List({Value::Ref(2), Value::Set({Value::Ref(3)})})}});
+  std::vector<Oid> refs;
+  CollectRefs(v, &refs);
+  std::sort(refs.begin(), refs.end());
+  EXPECT_EQ(refs, (std::vector<Oid>{1, 2, 3}));
+}
+
+TEST(HeapTest, ReachabilityFollowsRefChains) {
+  Heap heap;
+  Oid leaf = heap.Allocate(Value::Int(42));
+  Oid mid = heap.Allocate(Value::RecordOf({{"next", Value::Ref(leaf)}}));
+  Oid root = heap.Allocate(Value::RecordOf({{"next", Value::Ref(mid)}}));
+  Oid island = heap.Allocate(Value::Int(0));
+  std::vector<Oid> live = heap.ReachableFrom({root});
+  EXPECT_EQ(live, (std::vector<Oid>{leaf, mid, root}));
+  EXPECT_EQ(heap.ReachableFrom({island}), (std::vector<Oid>{island}));
+}
+
+TEST(HeapTest, ReachabilityHandlesCycles) {
+  Heap heap;
+  Oid a = heap.Allocate(Value::Bottom());
+  Oid b = heap.Allocate(Value::RecordOf({{"peer", Value::Ref(a)}}));
+  ASSERT_TRUE(heap.Put(a, Value::RecordOf({{"peer", Value::Ref(b)}})).ok());
+  std::vector<Oid> live = heap.ReachableFrom({a});
+  EXPECT_EQ(live, (std::vector<Oid>{a, b}));
+}
+
+TEST(HeapTest, DanglingRefsIgnoredByReachability) {
+  Heap heap;
+  Oid a = heap.Allocate(Value::Ref(999));
+  std::vector<Oid> live = heap.ReachableFrom({a});
+  EXPECT_EQ(live, (std::vector<Oid>{a}));
+}
+
+TEST(HeapTest, GarbageCollection) {
+  Heap heap;
+  Oid keep1 = heap.Allocate(Value::Int(1));
+  Oid root = heap.Allocate(Value::Ref(keep1));
+  heap.Allocate(Value::Int(2));  // garbage
+  heap.Allocate(Value::Int(3));  // garbage
+  size_t reclaimed = heap.CollectGarbage({root});
+  EXPECT_EQ(reclaimed, 2u);
+  EXPECT_EQ(heap.size(), 2u);
+  EXPECT_TRUE(heap.Contains(keep1));
+  EXPECT_TRUE(heap.Contains(root));
+}
+
+TEST(HeapTest, GcWithNoRootsReclaimsEverything) {
+  Heap heap;
+  heap.Allocate(Value::Int(1));
+  heap.Allocate(Value::Int(2));
+  EXPECT_EQ(heap.CollectGarbage({}), 2u);
+  EXPECT_EQ(heap.size(), 0u);
+}
+
+}  // namespace
+}  // namespace dbpl::core

@@ -1,0 +1,168 @@
+#include "core/keyed_grelation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/order.h"
+#include "relational/relation.h"
+#include "test_util.h"
+
+namespace dbpl::core {
+namespace {
+
+Value S(const char* s) { return Value::String(s); }
+
+TEST(KeyedGRelationTest, RequiresNonEmptyKey) {
+  EXPECT_FALSE(KeyedGRelation::Make({}).ok());
+  EXPECT_TRUE(KeyedGRelation::Make({"Name"}).ok());
+}
+
+TEST(KeyedGRelationTest, InsertNewEntities) {
+  auto r = KeyedGRelation::Make({"Name"});
+  ASSERT_TRUE(r.ok());
+  auto o1 = r->Insert(Value::RecordOf({{"Name", S("J Doe")}}));
+  ASSERT_TRUE(o1.ok());
+  EXPECT_EQ(*o1, KeyedGRelation::InsertOutcome::kInserted);
+  auto o2 = r->Insert(Value::RecordOf({{"Name", S("M Dee")}}));
+  ASSERT_TRUE(o2.ok());
+  EXPECT_EQ(*o2, KeyedGRelation::InsertOutcome::kInserted);
+  EXPECT_EQ(r->size(), 2u);
+  EXPECT_TRUE(r->CheckInvariant().ok());
+}
+
+TEST(KeyedGRelationTest, SameKeyMergesInformation) {
+  // Two partial facts about J Doe accumulate on one entity — the
+  // upsert classical databases approximate with update-in-place.
+  auto r = KeyedGRelation::Make({"Name"});
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(
+      r->Insert(Value::RecordOf({{"Name", S("J Doe")}, {"Dept", S("Sales")}}))
+          .ok());
+  auto merged = r->Insert(
+      Value::RecordOf({{"Name", S("J Doe")}, {"Empno", Value::Int(1234)}}));
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(*merged, KeyedGRelation::InsertOutcome::kMerged);
+  EXPECT_EQ(r->size(), 1u);
+  auto entity = r->Lookup(Value::RecordOf({{"Name", S("J Doe")}}));
+  ASSERT_TRUE(entity.ok());
+  EXPECT_EQ(*entity, Value::RecordOf({{"Name", S("J Doe")},
+                                      {"Dept", S("Sales")},
+                                      {"Empno", Value::Int(1234)}}));
+  EXPECT_TRUE(r->CheckInvariant().ok());
+}
+
+TEST(KeyedGRelationTest, SameKeyContradictionRejected) {
+  auto r = KeyedGRelation::Make({"Name"});
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(
+      r->Insert(Value::RecordOf({{"Name", S("J Doe")}, {"Dept", S("Sales")}}))
+          .ok());
+  auto bad = r->Insert(
+      Value::RecordOf({{"Name", S("J Doe")}, {"Dept", S("Admin")}}));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInconsistent);
+  // The stored entity is unchanged.
+  auto entity = r->Lookup(Value::RecordOf({{"Name", S("J Doe")}}));
+  EXPECT_EQ(entity->FindField("Dept")->AsString(), "Sales");
+}
+
+TEST(KeyedGRelationTest, DominatedInsertAbsorbed) {
+  auto r = KeyedGRelation::Make({"Name"});
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(
+      r->Insert(Value::RecordOf({{"Name", S("J Doe")}, {"Dept", S("Sales")}}))
+          .ok());
+  auto weaker = r->Insert(Value::RecordOf({{"Name", S("J Doe")}}));
+  ASSERT_TRUE(weaker.ok());
+  EXPECT_EQ(*weaker, KeyedGRelation::InsertOutcome::kAbsorbed);
+  EXPECT_EQ(r->size(), 1u);
+}
+
+TEST(KeyedGRelationTest, MissingKeyRejected) {
+  auto r = KeyedGRelation::Make({"Name"});
+  ASSERT_TRUE(r.ok());
+  auto bad = r->Insert(Value::RecordOf({{"Dept", S("Sales")}}));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(r->Insert(Value::Int(3)).ok());
+}
+
+TEST(KeyedGRelationTest, CompositeKeys) {
+  auto r = KeyedGRelation::Make({"Dept", "Name"});
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->Insert(Value::RecordOf({{"Name", S("J")},
+                                         {"Dept", S("Sales")},
+                                         {"Room", Value::Int(1)}}))
+                  .ok());
+  // Same name, different department: a different entity.
+  auto other = r->Insert(
+      Value::RecordOf({{"Name", S("J")}, {"Dept", S("Admin")}}));
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(*other, KeyedGRelation::InsertOutcome::kInserted);
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST(KeyedGRelationTest, LookupByKey) {
+  auto r = KeyedGRelation::Make({"Name"});
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(
+      r->Insert(Value::RecordOf({{"Name", S("J Doe")}, {"Dept", S("Sales")}}))
+          .ok());
+  EXPECT_TRUE(r->Lookup(Value::RecordOf({{"Name", S("J Doe")}})).ok());
+  EXPECT_EQ(r->Lookup(Value::RecordOf({{"Name", S("Nobody")}}))
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+// On flat total records, keyed generalized relations behave exactly
+// like classical keyed 1NF relations.
+TEST(KeyedGRelationTest, DegeneratesToClassicalKeysOnTotalRecords) {
+  using relational::AtomType;
+  using relational::Relation;
+  using relational::Schema;
+  auto classical = Relation::WithKey(
+      Schema::Of({{"Name", AtomType::kString}, {"Dept", AtomType::kString}}),
+      {"Name"});
+  ASSERT_TRUE(classical.ok());
+  auto generalized = KeyedGRelation::Make({"Name"});
+  ASSERT_TRUE(generalized.ok());
+
+  struct Row {
+    const char* name;
+    const char* dept;
+  };
+  const Row rows[] = {{"a", "Sales"}, {"b", "Manuf"}, {"a", "Sales"},
+                      {"a", "Admin"}, {"c", "Sales"}};
+  for (const Row& row : rows) {
+    Status s1 = classical->Insert({S(row.name), S(row.dept)});
+    auto s2 = generalized->Insert(
+        Value::RecordOf({{"Name", S(row.name)}, {"Dept", S(row.dept)}}));
+    EXPECT_EQ(s1.ok(), s2.ok()) << row.name << "/" << row.dept;
+  }
+  EXPECT_EQ(classical->size(), generalized->size());
+}
+
+// Property: the keyed invariant holds under arbitrary insert streams.
+class KeyedGRelationPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, KeyedGRelationPropertyTest,
+                         ::testing::Values(5, 17, 29, 41));
+
+TEST_P(KeyedGRelationPropertyTest, InvariantUnderRandomInserts) {
+  dbpl::testing::Rng rng(GetParam());
+  auto r = KeyedGRelation::Make({"Name"});
+  ASSERT_TRUE(r.ok());
+  int accepted = 0;
+  for (int i = 0; i < 80; ++i) {
+    Value v = dbpl::testing::RandomRecord(rng);
+    if (v.FindField("Name") == nullptr) {
+      v = v.WithField("Name", S("fixed"));
+    }
+    auto outcome = r->Insert(v);
+    if (outcome.ok()) ++accepted;
+    ASSERT_TRUE(r->CheckInvariant().ok());
+  }
+  EXPECT_GT(accepted, 0);
+}
+
+}  // namespace
+}  // namespace dbpl::core

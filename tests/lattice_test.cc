@@ -1,0 +1,162 @@
+#include "types/lattice.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "types/subtype.h"
+#include "types/type.h"
+
+namespace dbpl::types {
+namespace {
+
+Type Person() {
+  return Type::RecordOf({{"Name", Type::String()}});
+}
+Type Employee() {
+  return Type::RecordOf({{"Name", Type::String()}, {"Empno", Type::Int()}});
+}
+Type Student() {
+  return Type::RecordOf({{"Name", Type::String()}, {"StudentId", Type::Int()}});
+}
+
+TEST(LatticeTest, LubOfComparableIsUpper) {
+  EXPECT_EQ(Lub(Employee(), Person()), Person());
+  EXPECT_EQ(Lub(Person(), Employee()), Person());
+  EXPECT_EQ(Lub(Type::Bottom(), Type::Int()), Type::Int());
+  EXPECT_EQ(Lub(Type::Int(), Type::Top()), Type::Top());
+}
+
+TEST(LatticeTest, LubOfSiblingsIsCommonFields) {
+  // Employee ∨ Student = Person (their common structure).
+  EXPECT_EQ(Lub(Employee(), Student()), Person());
+}
+
+TEST(LatticeTest, LubOfUnrelatedAtomsIsTop) {
+  EXPECT_EQ(Lub(Type::Int(), Type::String()), Type::Top());
+  EXPECT_EQ(Lub(Type::Int(), Person()), Type::Top());
+}
+
+TEST(LatticeTest, LubOfCollections) {
+  EXPECT_EQ(Lub(Type::List(Employee()), Type::List(Student())),
+            Type::List(Person()));
+  EXPECT_EQ(Lub(Type::Set(Employee()), Type::Set(Student())),
+            Type::Set(Person()));
+}
+
+TEST(LatticeTest, LubOfFunctions) {
+  Type f = Type::Func({Person()}, Employee());
+  Type g = Type::Func({Employee()}, Student());
+  // Lub params = Glb(Person, Employee) = Employee; Lub results = Person.
+  EXPECT_EQ(Lub(f, g), Type::Func({Employee()}, Person()));
+}
+
+TEST(LatticeTest, LubIsUpperBound) {
+  std::vector<Type> samples = {Person(),
+                               Employee(),
+                               Student(),
+                               Type::Int(),
+                               Type::List(Employee()),
+                               Type::RecordOf({}),
+                               Type::Set(Type::Int())};
+  for (const auto& a : samples) {
+    for (const auto& b : samples) {
+      Type l = Lub(a, b);
+      EXPECT_TRUE(IsSubtype(a, l)) << a << " !≤ lub " << l;
+      EXPECT_TRUE(IsSubtype(b, l)) << b << " !≤ lub " << l;
+      EXPECT_TRUE(TypeEquiv(Lub(a, b), Lub(b, a)));
+      EXPECT_TRUE(TypeEquiv(Lub(a, a), a));
+    }
+  }
+}
+
+TEST(LatticeTest, GlbOfComparableIsLower) {
+  EXPECT_EQ(*Glb(Employee(), Person()), Employee());
+  EXPECT_EQ(*Glb(Person(), Employee()), Employee());
+}
+
+TEST(LatticeTest, GlbOfSiblingsMergesFields) {
+  // The "working student": both an Employee and a Student.
+  Result<Type> g = Glb(Employee(), Student());
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(*g, Type::RecordOf({{"Name", Type::String()},
+                                {"Empno", Type::Int()},
+                                {"StudentId", Type::Int()}}));
+}
+
+TEST(LatticeTest, GlbFailsOnContradiction) {
+  EXPECT_FALSE(Glb(Type::Int(), Type::String()).ok());
+  // Records whose shared field types clash have no common subtype.
+  Type a = Type::RecordOf({{"x", Type::Int()}});
+  Type b = Type::RecordOf({{"x", Type::String()}});
+  Result<Type> g = Glb(a, b);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kInconsistent);
+  EXPECT_FALSE(ConsistentTypes(a, b));
+  EXPECT_TRUE(ConsistentTypes(Employee(), Student()));
+}
+
+TEST(LatticeTest, GlbIsLowerBound) {
+  std::vector<Type> samples = {Person(), Employee(), Student(),
+                               Type::RecordOf({}), Type::List(Person())};
+  for (const auto& a : samples) {
+    for (const auto& b : samples) {
+      Result<Type> g = Glb(a, b);
+      if (!g.ok()) continue;
+      EXPECT_TRUE(IsSubtype(*g, a)) << *g << " !≤ " << a;
+      EXPECT_TRUE(IsSubtype(*g, b)) << *g << " !≤ " << b;
+      // Any common lower bound in the sample set is below the glb.
+      for (const auto& l : samples) {
+        if (IsSubtype(l, a) && IsSubtype(l, b)) {
+          EXPECT_TRUE(IsSubtype(l, *g));
+        }
+      }
+    }
+  }
+}
+
+TEST(LatticeTest, SchemaEvolutionScenario) {
+  // The paper's "Persistent Pascal" discussion: DBType' is consistent
+  // with DBType (common subtype), so recompilation enriches the schema.
+  Type db_v1 = Type::RecordOf(
+      {{"Employees", Type::Set(Employee())}});
+  Type db_v2 = Type::RecordOf(
+      {{"Employees", Type::Set(Employee())},
+       {"Departments", Type::Set(Type::RecordOf({{"Dept", Type::String()}}))}});
+  // v2 is a plain subtype: always compatible.
+  EXPECT_TRUE(IsSubtype(db_v2, db_v1));
+  // A third version adding different information is merely *consistent*.
+  Type db_v3 = Type::RecordOf(
+      {{"Employees", Type::Set(Employee())},
+       {"Projects", Type::Set(Type::String())}});
+  EXPECT_FALSE(IsSubtype(db_v3, db_v2));
+  EXPECT_FALSE(IsSubtype(db_v2, db_v3));
+  ASSERT_TRUE(ConsistentTypes(db_v2, db_v3));
+  Result<Type> merged = Glb(db_v2, db_v3);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_NE(merged->FindField("Departments"), nullptr);
+  EXPECT_NE(merged->FindField("Projects"), nullptr);
+  // A contradictory redefinition is rejected.
+  Type db_bad = Type::RecordOf({{"Employees", Type::Int()}});
+  EXPECT_FALSE(ConsistentTypes(db_v2, db_bad));
+}
+
+TEST(LatticeTest, GlbOfVariantsIntersectsTags) {
+  Type a = Type::VariantOf({{"x", Type::Int()}, {"y", Type::Bool()}});
+  Type b = Type::VariantOf({{"y", Type::Bool()}, {"z", Type::String()}});
+  Result<Type> g = Glb(a, b);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(*g, Type::VariantOf({{"y", Type::Bool()}}));
+  Type c = Type::VariantOf({{"w", Type::Int()}});
+  EXPECT_FALSE(Glb(a, c).ok());
+}
+
+TEST(LatticeTest, LubOfVariantsUnionsTags) {
+  Type a = Type::VariantOf({{"x", Type::Int()}});
+  Type b = Type::VariantOf({{"y", Type::Bool()}});
+  EXPECT_EQ(Lub(a, b),
+            Type::VariantOf({{"x", Type::Int()}, {"y", Type::Bool()}}));
+}
+
+}  // namespace
+}  // namespace dbpl::types

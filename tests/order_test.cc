@@ -1,0 +1,250 @@
+#include "core/order.h"
+
+#include <gtest/gtest.h>
+
+#include "core/value.h"
+#include "test_util.h"
+
+namespace dbpl::core {
+namespace {
+
+Value Str(const char* s) { return Value::String(s); }
+
+// The three objects from the paper's "Inheritance on Values" section,
+// verbatim.
+Value PaperO1() {
+  return Value::RecordOf(
+      {{"Name", Str("J Doe")},
+       {"Address", Value::RecordOf({{"City", Str("Austin")}})}});
+}
+Value PaperO2() {
+  return Value::RecordOf(
+      {{"Name", Str("J Doe")},
+       {"Address", Value::RecordOf({{"City", Str("Austin")}})},
+       {"Emp_no", Value::Int(1234)}});
+}
+Value PaperO3() {
+  return Value::RecordOf(
+      {{"Name", Str("J Doe")},
+       {"Address", Value::RecordOf(
+                       {{"City", Str("Austin")}, {"Zip", Value::Int(78759)}})}});
+}
+
+TEST(OrderTest, PaperExampleOrdering) {
+  // o1 ⊑ o2 (a new field was added) and o1 ⊑ o3 (an existing field was
+  // better defined); o2 and o3 are incomparable.
+  EXPECT_TRUE(LessEq(PaperO1(), PaperO2()));
+  EXPECT_TRUE(LessEq(PaperO1(), PaperO3()));
+  EXPECT_FALSE(LessEq(PaperO2(), PaperO1()));
+  EXPECT_FALSE(LessEq(PaperO3(), PaperO1()));
+  EXPECT_FALSE(LessEq(PaperO2(), PaperO3()));
+  EXPECT_FALSE(LessEq(PaperO3(), PaperO2()));
+}
+
+TEST(OrderTest, PaperExampleJoin) {
+  // o2 ⊔ o3 from the paper.
+  Value expected = Value::RecordOf(
+      {{"Name", Str("J Doe")},
+       {"Address", Value::RecordOf(
+                       {{"City", Str("Austin")}, {"Zip", Value::Int(78759)}})},
+       {"Emp_no", Value::Int(1234)}});
+  Result<Value> j = Join(PaperO2(), PaperO3());
+  ASSERT_TRUE(j.ok()) << j.status();
+  EXPECT_EQ(*j, expected);
+}
+
+TEST(OrderTest, PaperSimpleJoin) {
+  // {Name = 'J Doe'} ⊔ {Emp_no = 1234} = {Name = 'J Doe', Emp_no = 1234}.
+  Value a = Value::RecordOf({{"Name", Str("J Doe")}});
+  Value b = Value::RecordOf({{"Emp_no", Value::Int(1234)}});
+  Result<Value> j = Join(a, b);
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(*j, Value::RecordOf(
+                    {{"Name", Str("J Doe")}, {"Emp_no", Value::Int(1234)}}));
+}
+
+TEST(OrderTest, PaperJoinFailure) {
+  // "we cannot join o1 with {Name = 'K Smith'}".
+  Value smith = Value::RecordOf({{"Name", Str("K Smith")}});
+  Result<Value> j = Join(PaperO1(), smith);
+  ASSERT_FALSE(j.ok());
+  EXPECT_EQ(j.status().code(), StatusCode::kInconsistent);
+  EXPECT_FALSE(Consistent(PaperO1(), smith));
+}
+
+TEST(OrderTest, BottomIsLeast) {
+  auto corpus = dbpl::testing::Corpus(7, 40, 2);
+  for (const auto& v : corpus) {
+    EXPECT_TRUE(LessEq(Value::Bottom(), v));
+    Result<Value> j = Join(Value::Bottom(), v);
+    ASSERT_TRUE(j.ok());
+    EXPECT_EQ(*j, v);
+    EXPECT_EQ(Meet(Value::Bottom(), v), Value::Bottom());
+  }
+}
+
+TEST(OrderTest, AtomsAreFlat) {
+  EXPECT_TRUE(LessEq(Value::Int(3), Value::Int(3)));
+  EXPECT_FALSE(LessEq(Value::Int(3), Value::Int(4)));
+  EXPECT_FALSE(LessEq(Value::Int(3), Value::Real(3.0)));
+  EXPECT_FALSE(LessEq(Str("a"), Str("ab")));
+  EXPECT_FALSE(LessEq(Value::Bool(false), Value::Bool(true)));
+}
+
+TEST(OrderTest, DifferentKindsIncomparable) {
+  EXPECT_FALSE(LessEq(Value::Int(1), Str("1")));
+  EXPECT_FALSE(LessEq(Value::RecordOf({}), Value::Set({})));
+  EXPECT_FALSE(LessEq(Value::List({}), Value::Set({})));
+  EXPECT_FALSE(Join(Value::Int(1), Str("1")).ok());
+}
+
+TEST(OrderTest, EmptyRecordIsLeastRecord) {
+  EXPECT_TRUE(LessEq(Value::RecordOf({}), PaperO1()));
+  EXPECT_FALSE(LessEq(PaperO1(), Value::RecordOf({})));
+}
+
+TEST(OrderTest, ListOrderingIsPointwiseSameLength) {
+  Value a = Value::List({Value::RecordOf({}), Value::Int(1)});
+  Value b = Value::List({PaperO1(), Value::Int(1)});
+  EXPECT_TRUE(LessEq(a, b));
+  EXPECT_FALSE(LessEq(b, a));
+  Value c = Value::List({PaperO1()});
+  EXPECT_FALSE(LessEq(a, c));
+  EXPECT_FALSE(Join(a, c).ok());
+}
+
+TEST(OrderTest, SetOrderingIsSmythStyle) {
+  // R ⊑ R' iff each member of R' refines some member of R.
+  Value r = Value::Set({Value::RecordOf({})});
+  Value rp = Value::Set({PaperO1(), PaperO2()});
+  EXPECT_TRUE(LessEq(r, rp));
+  EXPECT_FALSE(LessEq(rp, r));
+  // The empty relation is the top element.
+  Value empty = Value::Set({});
+  EXPECT_TRUE(LessEq(r, empty));
+  EXPECT_TRUE(LessEq(rp, empty));
+  EXPECT_FALSE(LessEq(empty, r));
+}
+
+TEST(OrderTest, SetJoinIsGeneralizedJoin) {
+  Value r1 = Value::Set({Value::RecordOf({{"Name", Str("J Doe")}})});
+  Value r2 = Value::Set({Value::RecordOf({{"Emp_no", Value::Int(1)}})});
+  Result<Value> j = Join(r1, r2);
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(*j, Value::Set({Value::RecordOf(
+                    {{"Name", Str("J Doe")}, {"Emp_no", Value::Int(1)}})}));
+  // Wholly contradictory relations join to the empty (top) relation.
+  Value r3 = Value::Set({Value::RecordOf({{"Name", Str("K Smith")}})});
+  Result<Value> j2 = Join(r1, r3);
+  ASSERT_TRUE(j2.ok());
+  EXPECT_EQ(*j2, Value::Set({}));
+}
+
+// ---------------------------------------------------------------------
+// Property tests over a pseudo-random corpus.
+// ---------------------------------------------------------------------
+
+class OrderPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrderPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST_P(OrderPropertyTest, PartialOrderLaws) {
+  auto corpus = dbpl::testing::Corpus(GetParam(), 30, 2);
+  for (const auto& a : corpus) {
+    EXPECT_TRUE(LessEq(a, a)) << a;
+    for (const auto& b : corpus) {
+      if (LessEq(a, b) && LessEq(b, a)) {
+        EXPECT_EQ(a, b) << a << " vs " << b;
+      }
+      for (const auto& c : corpus) {
+        if (LessEq(a, b) && LessEq(b, c)) {
+          EXPECT_TRUE(LessEq(a, c)) << a << " ⊑ " << b << " ⊑ " << c;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(OrderPropertyTest, JoinIsLeastUpperBound) {
+  auto corpus = dbpl::testing::Corpus(GetParam() * 31, 25, 2);
+  for (const auto& a : corpus) {
+    for (const auto& b : corpus) {
+      Result<Value> j = Join(a, b);
+      if (!j.ok()) continue;
+      EXPECT_TRUE(LessEq(a, *j)) << a << " !⊑ " << *j;
+      EXPECT_TRUE(LessEq(b, *j)) << b << " !⊑ " << *j;
+      // Least: any corpus upper bound dominates the join.
+      for (const auto& u : corpus) {
+        if (LessEq(a, u) && LessEq(b, u)) {
+          EXPECT_TRUE(LessEq(*j, u))
+              << "join " << *j << " not least vs " << u;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(OrderPropertyTest, JoinAlgebraicLaws) {
+  auto corpus = dbpl::testing::Corpus(GetParam() * 17, 20, 2);
+  for (const auto& a : corpus) {
+    // Idempotence.
+    Result<Value> aa = Join(a, a);
+    ASSERT_TRUE(aa.ok());
+    EXPECT_EQ(*aa, a);
+    for (const auto& b : corpus) {
+      // Commutativity (including failure agreement).
+      Result<Value> ab = Join(a, b);
+      Result<Value> ba = Join(b, a);
+      EXPECT_EQ(ab.ok(), ba.ok());
+      if (ab.ok()) EXPECT_EQ(*ab, *ba);
+      // a ⊑ b  ⟺  a ⊔ b = b.
+      if (LessEq(a, b)) {
+        ASSERT_TRUE(ab.ok()) << a << " " << b;
+        EXPECT_EQ(*ab, b);
+      }
+    }
+  }
+}
+
+TEST_P(OrderPropertyTest, MeetIsGreatestLowerBound) {
+  auto corpus = dbpl::testing::Corpus(GetParam() * 71, 25, 2);
+  for (const auto& a : corpus) {
+    for (const auto& b : corpus) {
+      Value m = Meet(a, b);
+      EXPECT_TRUE(LessEq(m, a)) << m << " !⊑ " << a;
+      EXPECT_TRUE(LessEq(m, b)) << m << " !⊑ " << b;
+      for (const auto& l : corpus) {
+        if (LessEq(l, a) && LessEq(l, b)) {
+          EXPECT_TRUE(LessEq(l, m))
+              << "meet " << m << " not greatest vs " << l;
+        }
+      }
+      // Commutativity and idempotence.
+      EXPECT_EQ(m, Meet(b, a));
+    }
+  }
+  for (const auto& a : corpus) EXPECT_EQ(Meet(a, a), a);
+}
+
+TEST_P(OrderPropertyTest, JoinAssociativity) {
+  auto corpus = dbpl::testing::Corpus(GetParam() * 101, 12, 2);
+  for (const auto& a : corpus) {
+    for (const auto& b : corpus) {
+      for (const auto& c : corpus) {
+        Result<Value> ab = Join(a, b);
+        Result<Value> bc = Join(b, c);
+        Result<Value> left =
+            ab.ok() ? Join(*ab, c) : Result<Value>(ab.status());
+        Result<Value> right =
+            bc.ok() ? Join(a, *bc) : Result<Value>(bc.status());
+        EXPECT_EQ(left.ok(), right.ok())
+            << a << " | " << b << " | " << c;
+        if (left.ok() && right.ok()) EXPECT_EQ(*left, *right);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dbpl::core

@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include "core/order.h"
+#include "relational/ops.h"
+#include "relational/relation.h"
+#include "relational/schema.h"
+#include "test_util.h"
+
+namespace dbpl::relational {
+namespace {
+
+using core::Value;
+
+Value S(const char* s) { return Value::String(s); }
+Value I(int64_t i) { return Value::Int(i); }
+
+Schema EmpSchema() {
+  return Schema::Of({{"Name", AtomType::kString},
+                     {"Dept", AtomType::kString},
+                     {"Salary", AtomType::kInt}});
+}
+
+Relation EmpRelation() {
+  Relation r(EmpSchema());
+  EXPECT_TRUE(r.Insert({S("J Doe"), S("Sales"), I(50)}).ok());
+  EXPECT_TRUE(r.Insert({S("M Dee"), S("Manuf"), I(60)}).ok());
+  EXPECT_TRUE(r.Insert({S("N Bug"), S("Sales"), I(55)}).ok());
+  return r;
+}
+
+TEST(SchemaTest, DuplicateAttributesRejected) {
+  EXPECT_FALSE(Schema::Make({{"A", AtomType::kInt}, {"A", AtomType::kInt}})
+                   .ok());
+}
+
+TEST(SchemaTest, IndexAndProjection) {
+  Schema s = EmpSchema();
+  EXPECT_EQ(s.IndexOf("Dept"), 1);
+  EXPECT_EQ(s.IndexOf("Nope"), -1);
+  auto p = s.Project({"Salary", "Name"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->attributes()[0].name, "Salary");
+  EXPECT_FALSE(s.Project({"Nope"}).ok());
+}
+
+TEST(SchemaTest, JoinWithMergesAndChecksTypes) {
+  Schema s1 = Schema::Of({{"A", AtomType::kInt}, {"B", AtomType::kString}});
+  Schema s2 = Schema::Of({{"B", AtomType::kString}, {"C", AtomType::kBool}});
+  auto j = s1.JoinWith(s2);
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(j->arity(), 3u);
+  Schema s3 = Schema::Of({{"B", AtomType::kInt}});
+  EXPECT_EQ(s1.JoinWith(s3).status().code(), StatusCode::kInconsistent);
+}
+
+TEST(SchemaTest, ToTypeMatchesStructure) {
+  EXPECT_EQ(EmpSchema().ToType(),
+            types::Type::RecordOf({{"Name", types::Type::String()},
+                                   {"Dept", types::Type::String()},
+                                   {"Salary", types::Type::Int()}}));
+}
+
+TEST(RelationTest, InsertTypeChecks) {
+  Relation r(EmpSchema());
+  EXPECT_EQ(r.Insert({S("X"), S("Y")}).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.Insert({S("X"), S("Y"), S("not-an-int")}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(r.Insert({S("X"), S("Y"), I(1)}).ok());
+}
+
+TEST(RelationTest, DuplicatesAreSilentlyAbsorbed) {
+  Relation r(EmpSchema());
+  ASSERT_TRUE(r.Insert({S("X"), S("Y"), I(1)}).ok());
+  ASSERT_TRUE(r.Insert({S("X"), S("Y"), I(1)}).ok());
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(RelationTest, KeyEnforcement) {
+  auto r = Relation::WithKey(EmpSchema(), {"Name"});
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->Insert({S("J Doe"), S("Sales"), I(50)}).ok());
+  // Same key, different non-key attributes: rejected.
+  EXPECT_EQ(r->Insert({S("J Doe"), S("Manuf"), I(70)}).code(),
+            StatusCode::kInconsistent);
+  // Exact duplicate: no-op, not a key violation.
+  EXPECT_TRUE(r->Insert({S("J Doe"), S("Sales"), I(50)}).ok());
+  EXPECT_EQ(r->size(), 1u);
+  // Unknown key attribute rejected at construction.
+  EXPECT_FALSE(Relation::WithKey(EmpSchema(), {"Nope"}).ok());
+}
+
+TEST(RelationTest, InsertRecord) {
+  Relation r(EmpSchema());
+  ASSERT_TRUE(r.InsertRecord(Value::RecordOf({{"Name", S("A")},
+                                              {"Dept", S("B")},
+                                              {"Salary", I(1)}}))
+                  .ok());
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_FALSE(
+      r.InsertRecord(Value::RecordOf({{"Name", S("A")}})).ok());
+  EXPECT_FALSE(r.InsertRecord(I(3)).ok());
+}
+
+TEST(OpsTest, Select) {
+  Relation r = EmpRelation();
+  Relation sales = Select(r, [](const Relation& rel, const Tuple& t) {
+    return *rel.Field(t, "Dept") == S("Sales");
+  });
+  EXPECT_EQ(sales.size(), 2u);
+}
+
+TEST(OpsTest, ProjectRemovesDuplicates) {
+  Relation r = EmpRelation();
+  auto depts = Project(r, {"Dept"});
+  ASSERT_TRUE(depts.ok());
+  EXPECT_EQ(depts->size(), 2u);
+  EXPECT_TRUE(depts->Contains({S("Sales")}));
+  EXPECT_TRUE(depts->Contains({S("Manuf")}));
+}
+
+TEST(OpsTest, NaturalJoinOnSharedAttribute) {
+  Relation emp = EmpRelation();
+  Relation dept(Schema::Of({{"Dept", AtomType::kString},
+                            {"City", AtomType::kString}}));
+  ASSERT_TRUE(dept.Insert({S("Sales"), S("Moose")}).ok());
+  ASSERT_TRUE(dept.Insert({S("Manuf"), S("Billings")}).ok());
+  auto j = NaturalJoin(emp, dept);
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(j->size(), 3u);
+  EXPECT_EQ(j->schema().arity(), 4u);
+  EXPECT_TRUE(j->Contains({S("J Doe"), S("Sales"), I(50), S("Moose")}));
+}
+
+TEST(OpsTest, NaturalJoinDisjointSchemasIsProduct) {
+  Relation a(Schema::Of({{"A", AtomType::kInt}}));
+  Relation b(Schema::Of({{"B", AtomType::kInt}}));
+  ASSERT_TRUE(a.Insert({I(1)}).ok());
+  ASSERT_TRUE(a.Insert({I(2)}).ok());
+  ASSERT_TRUE(b.Insert({I(10)}).ok());
+  ASSERT_TRUE(b.Insert({I(20)}).ok());
+  auto j = NaturalJoin(a, b);
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(j->size(), 4u);
+}
+
+TEST(OpsTest, UnionAndDifference) {
+  Relation a(Schema::Of({{"A", AtomType::kInt}}));
+  Relation b(Schema::Of({{"A", AtomType::kInt}}));
+  ASSERT_TRUE(a.Insert({I(1)}).ok());
+  ASSERT_TRUE(a.Insert({I(2)}).ok());
+  ASSERT_TRUE(b.Insert({I(2)}).ok());
+  ASSERT_TRUE(b.Insert({I(3)}).ok());
+  auto u = Union(a, b);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->size(), 3u);
+  auto d = Difference(a, b);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->size(), 1u);
+  EXPECT_TRUE(d->Contains({I(1)}));
+  Relation c(Schema::Of({{"B", AtomType::kInt}}));
+  EXPECT_FALSE(Union(a, c).ok());
+  EXPECT_FALSE(Difference(a, c).ok());
+}
+
+TEST(OpsTest, Rename) {
+  Relation a(Schema::Of({{"A", AtomType::kInt}}));
+  ASSERT_TRUE(a.Insert({I(1)}).ok());
+  auto renamed = Rename(a, "A", "X");
+  ASSERT_TRUE(renamed.ok());
+  EXPECT_TRUE(renamed->schema().Has("X"));
+  EXPECT_FALSE(renamed->schema().Has("A"));
+  EXPECT_FALSE(Rename(a, "Nope", "X").ok());
+  Relation two(Schema::Of({{"A", AtomType::kInt}, {"B", AtomType::kInt}}));
+  EXPECT_FALSE(Rename(two, "A", "B").ok());
+}
+
+TEST(OpsTest, SemiAndAntiJoin) {
+  Relation emp = EmpRelation();
+  Relation dept(Schema::Of({{"Dept", AtomType::kString}}));
+  ASSERT_TRUE(dept.Insert({S("Sales")}).ok());
+  auto semi = SemiJoin(emp, dept);
+  ASSERT_TRUE(semi.ok());
+  EXPECT_EQ(semi->size(), 2u);  // the two Sales employees
+  EXPECT_EQ(semi->schema(), emp.schema());  // schema unchanged
+  auto anti = AntiJoin(emp, dept);
+  ASSERT_TRUE(anti.ok());
+  EXPECT_EQ(anti->size(), 1u);  // M Dee (Manuf)
+  // Semi ∪ anti = original.
+  auto u = Union(*semi, *anti);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->size(), emp.size());
+}
+
+TEST(OpsTest, DivisionFindsUniversallyQualified) {
+  // Who is enrolled in *every* course?
+  Relation enrolled(Schema::Of({{"Student", AtomType::kString},
+                                {"Course", AtomType::kString}}));
+  for (const char* c : {"db", "pl"}) {
+    ASSERT_TRUE(enrolled.Insert({S("alice"), S(c)}).ok());
+  }
+  ASSERT_TRUE(enrolled.Insert({S("bob"), S("db")}).ok());
+  Relation courses(Schema::Of({{"Course", AtomType::kString}}));
+  ASSERT_TRUE(courses.Insert({S("db")}).ok());
+  ASSERT_TRUE(courses.Insert({S("pl")}).ok());
+  auto quotient = Divide(enrolled, courses);
+  ASSERT_TRUE(quotient.ok()) << quotient.status();
+  EXPECT_EQ(quotient->size(), 1u);
+  EXPECT_TRUE(quotient->Contains({S("alice")}));
+  // Divisor must be a strict attribute subset.
+  EXPECT_FALSE(Divide(courses, enrolled).ok());
+  EXPECT_FALSE(Divide(enrolled, enrolled).ok());
+}
+
+TEST(OpsTest, GroupByAggregates) {
+  Relation emp = EmpRelation();
+  auto grouped = GroupBy(emp, {"Dept"},
+                         {{AggFunc::kCount, "", "N"},
+                          {AggFunc::kSum, "Salary", "Total"},
+                          {AggFunc::kMax, "Salary", "Top"}});
+  ASSERT_TRUE(grouped.ok()) << grouped.status();
+  EXPECT_EQ(grouped->size(), 2u);
+  EXPECT_TRUE(grouped->Contains({S("Sales"), I(2), I(105), I(55)}));
+  EXPECT_TRUE(grouped->Contains({S("Manuf"), I(1), I(60), I(60)}));
+}
+
+TEST(OpsTest, GroupByWholeRelationIsAFold) {
+  Relation emp = EmpRelation();
+  auto total = GroupBy(emp, {}, {{AggFunc::kSum, "Salary", "Total"},
+                                 {AggFunc::kMin, "Name", "First"}});
+  ASSERT_TRUE(total.ok());
+  ASSERT_EQ(total->size(), 1u);
+  EXPECT_EQ(total->tuples()[0][0], I(165));
+  EXPECT_EQ(total->tuples()[0][1], S("J Doe"));
+  // Count of an empty relation is 0.
+  Relation empty(EmpSchema());
+  auto zero = GroupBy(empty, {}, {{AggFunc::kCount, "", "N"}});
+  ASSERT_TRUE(zero.ok());
+  ASSERT_EQ(zero->size(), 1u);
+  EXPECT_EQ(zero->tuples()[0][0], I(0));
+  // min/max over an empty relation is an error.
+  EXPECT_FALSE(GroupBy(empty, {}, {{AggFunc::kMin, "Salary", "M"}}).ok());
+}
+
+TEST(OpsTest, GroupByErrors) {
+  Relation emp = EmpRelation();
+  EXPECT_FALSE(GroupBy(emp, {"Nope"}, {}).ok());
+  EXPECT_FALSE(GroupBy(emp, {}, {{AggFunc::kSum, "Name", "X"}}).ok());
+  EXPECT_FALSE(GroupBy(emp, {}, {{AggFunc::kSum, "Nope", "X"}}).ok());
+}
+
+// The bridge theorem: the generalized join of core/grelation.h,
+// restricted to flat total records, IS the classical natural join.
+TEST(BridgeTest, GeneralizedJoinEqualsClassicalOnFlatData) {
+  dbpl::testing::Rng rng(77);
+  Relation r1(Schema::Of({{"A", AtomType::kInt}, {"B", AtomType::kInt}}));
+  Relation r2(Schema::Of({{"B", AtomType::kInt}, {"C", AtomType::kInt}}));
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(r1.Insert({I(static_cast<int64_t>(rng.Below(5))),
+                           I(static_cast<int64_t>(rng.Below(4)))})
+                    .ok());
+    ASSERT_TRUE(r2.Insert({I(static_cast<int64_t>(rng.Below(4))),
+                           I(static_cast<int64_t>(rng.Below(5)))})
+                    .ok());
+  }
+  auto classical = NaturalJoin(r1, r2);
+  ASSERT_TRUE(classical.ok());
+  core::GRelation generalized =
+      core::GRelation::Join(r1.ToGRelation(), r2.ToGRelation());
+  EXPECT_EQ(generalized, classical->ToGRelation());
+}
+
+TEST(BridgeTest, RoundTripThroughGRelation) {
+  Relation r = EmpRelation();
+  auto back = Relation::FromGRelation(EmpSchema(), r.ToGRelation());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), r.size());
+  for (const auto& t : r.tuples()) EXPECT_TRUE(back->Contains(t));
+  // A partial record cannot come back as 1NF.
+  core::GRelation partial;
+  partial.Insert(Value::RecordOf({{"Name", S("X")}}));
+  EXPECT_FALSE(Relation::FromGRelation(EmpSchema(), partial).ok());
+}
+
+// The paper: keys prevent ⊑-comparable objects from coexisting.
+TEST(BridgeTest, KeysPreventComparableObjects) {
+  auto r = Relation::WithKey(Schema::Of({{"Name", AtomType::kString},
+                                         {"Dept", AtomType::kString}}),
+                             {"Name"});
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->Insert({S("J Doe"), S("Sales")}).ok());
+  // Any tuple comparable with an existing one must share its key and is
+  // therefore rejected (flat total tuples: comparable means equal, and
+  // equal-key partial updates are the interesting case in GRelation).
+  EXPECT_FALSE(r->Insert({S("J Doe"), S("Admin")}).ok());
+}
+
+}  // namespace
+}  // namespace dbpl::relational

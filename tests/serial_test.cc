@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "serial/decoder.h"
+#include "serial/encoder.h"
+#include "test_util.h"
+#include "types/parse.h"
+#include "types/type_of.h"
+
+namespace dbpl::serial {
+namespace {
+
+using core::Value;
+using types::Type;
+
+void ExpectValueRoundTrip(const Value& v) {
+  ByteBuffer buf;
+  EncodeValue(v, &buf);
+  ByteReader in(buf);
+  Result<Value> back = DecodeValue(&in);
+  ASSERT_TRUE(back.ok()) << v << ": " << back.status();
+  EXPECT_EQ(*back, v);
+  EXPECT_TRUE(in.AtEnd());
+}
+
+void ExpectTypeRoundTrip(const Type& t) {
+  ByteBuffer buf;
+  EncodeType(t, &buf);
+  ByteReader in(buf);
+  Result<Type> back = DecodeType(&in);
+  ASSERT_TRUE(back.ok()) << t << ": " << back.status();
+  EXPECT_EQ(*back, t);
+  EXPECT_TRUE(in.AtEnd());
+}
+
+TEST(SerialTest, ValueRoundTripAtoms) {
+  ExpectValueRoundTrip(Value::Bottom());
+  ExpectValueRoundTrip(Value::Bool(true));
+  ExpectValueRoundTrip(Value::Bool(false));
+  ExpectValueRoundTrip(Value::Int(0));
+  ExpectValueRoundTrip(Value::Int(-123456789));
+  ExpectValueRoundTrip(Value::Real(3.14159));
+  ExpectValueRoundTrip(Value::Real(-0.0));
+  ExpectValueRoundTrip(Value::String(""));
+  ExpectValueRoundTrip(Value::String("J Doe"));
+  ExpectValueRoundTrip(Value::Ref(424242));
+}
+
+TEST(SerialTest, ValueRoundTripComposites) {
+  ExpectValueRoundTrip(Value::RecordOf(
+      {{"Name", Value::String("J Doe")},
+       {"Addr", Value::RecordOf({{"City", Value::String("Austin")}})},
+       {"Tags", Value::Set({Value::Int(1), Value::Int(2)})},
+       {"Hist", Value::List({Value::Bool(true), Value::Bottom()})}}));
+  ExpectValueRoundTrip(Value::Set({}));
+  ExpectValueRoundTrip(Value::List({}));
+  ExpectValueRoundTrip(Value::RecordOf({}));
+}
+
+TEST(SerialTest, ValueRoundTripCorpus) {
+  for (const auto& v : dbpl::testing::Corpus(2024, 120, 3)) {
+    ExpectValueRoundTrip(v);
+  }
+}
+
+TEST(SerialTest, TypeRoundTripAll) {
+  ExpectTypeRoundTrip(Type::Bottom());
+  ExpectTypeRoundTrip(Type::Top());
+  ExpectTypeRoundTrip(Type::Int());
+  ExpectTypeRoundTrip(Type::Dynamic());
+  ExpectTypeRoundTrip(*types::ParseType("{Name: String, Age: Int}"));
+  ExpectTypeRoundTrip(*types::ParseType("<ok: Int | err: String>"));
+  ExpectTypeRoundTrip(*types::ParseType("List[Set[Ref[Int]]]"));
+  ExpectTypeRoundTrip(*types::ParseType("(Int, String) -> Bool"));
+  ExpectTypeRoundTrip(
+      *types::ParseType("Forall t <= {Name: String}. (List[Dynamic]) -> "
+                        "List[Exists u <= t. u]"));
+  ExpectTypeRoundTrip(*types::ParseType("Mu l. <nil: {} | cons: {tail: l}>"));
+}
+
+TEST(SerialTest, DynamicIsSelfDescribing) {
+  dyndb::Dynamic d = dyndb::MakeDynamic(Value::RecordOf(
+      {{"Name", Value::String("J Doe")}, {"Empno", Value::Int(1)}}));
+  ByteBuffer buf;
+  EncodeDynamic(d, &buf);
+  ByteReader in(buf);
+  Result<dyndb::Dynamic> back = DecodeDynamic(&in);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->value, d.value);
+  EXPECT_EQ(back->type, d.type);
+  // The type descriptor really is in the bytes: stripping the header and
+  // type makes the payload undecodable as a dynamic.
+  EXPECT_GT(buf.size(), 8u);
+}
+
+TEST(SerialTest, HeaderRejectsBadMagicAndVersion) {
+  ByteBuffer buf;
+  buf.PutU32(0xBADC0DE);
+  buf.PutU32(kFormatVersion);
+  ByteReader in(buf);
+  EXPECT_EQ(DecodeHeader(&in).code(), StatusCode::kCorruption);
+
+  ByteBuffer buf2;
+  buf2.PutU32(kMagic);
+  buf2.PutU32(kFormatVersion + 7);
+  ByteReader in2(buf2);
+  EXPECT_EQ(DecodeHeader(&in2).code(), StatusCode::kCorruption);
+}
+
+TEST(SerialTest, TruncatedPayloadsReportCorruptionNotCrash) {
+  Value v = Value::RecordOf(
+      {{"Name", Value::String("J Doe")},
+       {"Tags", Value::Set({Value::Int(1), Value::Int(2)})}});
+  ByteBuffer buf;
+  EncodeValue(v, &buf);
+  // Every strict prefix must fail cleanly.
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    ByteReader in(buf.data(), cut);
+    Result<Value> r = DecodeValue(&in);
+    EXPECT_FALSE(r.ok()) << "prefix length " << cut;
+  }
+}
+
+TEST(SerialTest, UnknownTagsRejected) {
+  ByteBuffer buf;
+  buf.PutU8(200);
+  {
+    ByteReader in(buf);
+    EXPECT_EQ(DecodeValue(&in).status().code(), StatusCode::kCorruption);
+  }
+  {
+    ByteReader in(buf);
+    EXPECT_EQ(DecodeType(&in).status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(SerialTest, HostileLengthsRejected) {
+  // A record claiming 2^40 fields must not allocate or loop forever.
+  ByteBuffer buf;
+  buf.PutU8(static_cast<uint8_t>(core::ValueKind::kRecord));
+  buf.PutVarint(1ull << 40);
+  ByteReader in(buf);
+  EXPECT_EQ(DecodeValue(&in).status().code(), StatusCode::kCorruption);
+}
+
+TEST(SerialTest, DeepNestingRejectedNotStackOverflow) {
+  // 10k nested lists: decoder must stop at its depth bound.
+  ByteBuffer buf;
+  for (int i = 0; i < 10000; ++i) {
+    buf.PutU8(static_cast<uint8_t>(core::ValueKind::kList));
+    buf.PutVarint(1);
+  }
+  buf.PutU8(static_cast<uint8_t>(core::ValueKind::kInt));
+  buf.PutVarintSigned(7);
+  ByteReader in(buf);
+  EXPECT_EQ(DecodeValue(&in).status().code(), StatusCode::kCorruption);
+}
+
+TEST(SerialTest, EncodingIsDeterministic) {
+  Value v = Value::RecordOf({{"b", Value::Int(1)}, {"a", Value::Int(2)}});
+  Value w = Value::RecordOf({{"a", Value::Int(2)}, {"b", Value::Int(1)}});
+  ByteBuffer b1, b2;
+  EncodeValue(v, &b1);
+  EncodeValue(w, &b2);
+  EXPECT_EQ(b1.vec(), b2.vec());
+}
+
+}  // namespace
+}  // namespace dbpl::serial

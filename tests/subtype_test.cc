@@ -1,0 +1,314 @@
+#include "types/subtype.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "test_util.h"
+#include "types/lattice.h"
+#include "types/type.h"
+
+namespace dbpl::types {
+namespace {
+
+// Person / Employee / Student hierarchy, as the paper's running example
+// (in Amber, the subtype relation is inferred from the structure).
+Type Person() {
+  return Type::RecordOf({{"Name", Type::String()},
+                         {"Address", Type::RecordOf({{"City", Type::String()}})}});
+}
+Type Employee() {
+  return Type::RecordOf({{"Name", Type::String()},
+                         {"Address", Type::RecordOf({{"City", Type::String()}})},
+                         {"Empno", Type::Int()},
+                         {"Dept", Type::String()}});
+}
+Type Student() {
+  return Type::RecordOf({{"Name", Type::String()},
+                         {"Address", Type::RecordOf({{"City", Type::String()}})},
+                         {"StudentId", Type::Int()}});
+}
+
+TEST(SubtypeTest, ReflexiveOnAllKinds) {
+  std::vector<Type> samples = {
+      Type::Bottom(), Type::Top(), Type::Int(), Type::Dynamic(), Person(),
+      Type::List(Person()), Type::Set(Type::Int()),
+      Type::Func({Person()}, Type::Int()), Type::RefTo(Person()),
+      Type::Var("t"), Type::Forall("t", Person(), Type::Var("t")),
+      Type::Exists("t", Person(), Type::Var("t")),
+      Type::Mu("l", Type::RecordOf({{"next", Type::Var("l")}}))};
+  for (const auto& t : samples) {
+    EXPECT_TRUE(IsSubtype(t, t)) << t.ToString();
+  }
+}
+
+TEST(SubtypeTest, BottomAndTop) {
+  for (const Type& t : {Type::Int(), Person(), Type::Dynamic(),
+                        Type::Func({Type::Int()}, Type::Int())}) {
+    EXPECT_TRUE(IsSubtype(Type::Bottom(), t));
+    EXPECT_TRUE(IsSubtype(t, Type::Top()));
+    if (!t.is_top()) EXPECT_FALSE(IsSubtype(Type::Top(), t));
+    if (!t.is_bottom()) EXPECT_FALSE(IsSubtype(t, Type::Bottom()));
+  }
+}
+
+TEST(SubtypeTest, EmployeeIsSubtypeOfPerson) {
+  EXPECT_TRUE(IsSubtype(Employee(), Person()));
+  EXPECT_FALSE(IsSubtype(Person(), Employee()));
+  EXPECT_TRUE(IsSubtype(Student(), Person()));
+  EXPECT_FALSE(IsSubtype(Employee(), Student()));
+  EXPECT_FALSE(IsSubtype(Student(), Employee()));
+}
+
+TEST(SubtypeTest, RecordDepthSubtyping) {
+  Type wide_addr = Type::RecordOf(
+      {{"Name", Type::String()},
+       {"Address", Type::RecordOf(
+                       {{"City", Type::String()}, {"Zip", Type::Int()}})}});
+  EXPECT_TRUE(IsSubtype(wide_addr, Person()));
+  EXPECT_FALSE(IsSubtype(Person(), wide_addr));
+}
+
+TEST(SubtypeTest, EmptyRecordIsTopOfRecords) {
+  Type empty = Type::RecordOf({});
+  EXPECT_TRUE(IsSubtype(Person(), empty));
+  EXPECT_FALSE(IsSubtype(empty, Person()));
+}
+
+TEST(SubtypeTest, BaseTypesUnrelated) {
+  EXPECT_FALSE(IsSubtype(Type::Int(), Type::Real()));
+  EXPECT_FALSE(IsSubtype(Type::Real(), Type::Int()));
+  EXPECT_FALSE(IsSubtype(Type::Int(), Type::String()));
+  EXPECT_FALSE(IsSubtype(Type::Dynamic(), Type::Int()));
+  EXPECT_FALSE(IsSubtype(Type::Int(), Type::Dynamic()));
+}
+
+TEST(SubtypeTest, ListAndSetCovariant) {
+  EXPECT_TRUE(IsSubtype(Type::List(Employee()), Type::List(Person())));
+  EXPECT_FALSE(IsSubtype(Type::List(Person()), Type::List(Employee())));
+  EXPECT_TRUE(IsSubtype(Type::Set(Employee()), Type::Set(Person())));
+  EXPECT_FALSE(IsSubtype(Type::List(Person()), Type::Set(Person())));
+}
+
+TEST(SubtypeTest, RefInvariant) {
+  EXPECT_FALSE(IsSubtype(Type::RefTo(Employee()), Type::RefTo(Person())));
+  EXPECT_FALSE(IsSubtype(Type::RefTo(Person()), Type::RefTo(Employee())));
+  EXPECT_TRUE(IsSubtype(Type::RefTo(Person()), Type::RefTo(Person())));
+}
+
+TEST(SubtypeTest, FunctionContravariantParamsCovariantResult) {
+  // A function that accepts any Person and returns an Employee can be
+  // used where one accepting Employees and returning Persons is needed.
+  Type sub = Type::Func({Person()}, Employee());
+  Type sup = Type::Func({Employee()}, Person());
+  EXPECT_TRUE(IsSubtype(sub, sup));
+  EXPECT_FALSE(IsSubtype(sup, sub));
+  // Arity must match.
+  EXPECT_FALSE(
+      IsSubtype(Type::Func({}, Person()), Type::Func({Person()}, Person())));
+}
+
+TEST(SubtypeTest, VariantCovariantWidth) {
+  Type small = Type::VariantOf({{"ok", Type::Int()}});
+  Type big = Type::VariantOf({{"ok", Type::Int()}, {"err", Type::String()}});
+  EXPECT_TRUE(IsSubtype(small, big));
+  EXPECT_FALSE(IsSubtype(big, small));
+}
+
+TEST(SubtypeTest, VarSubtypeThroughBound) {
+  BoundEnv env;
+  env["t"] = Employee();
+  EXPECT_TRUE(IsSubtype(Type::Var("t"), Person(), env));
+  EXPECT_TRUE(IsSubtype(Type::Var("t"), Employee(), env));
+  EXPECT_FALSE(IsSubtype(Type::Var("t"), Student(), env));
+  EXPECT_FALSE(IsSubtype(Person(), Type::Var("t"), env));
+  // Unknown variables are only below Top and themselves.
+  EXPECT_TRUE(IsSubtype(Type::Var("u"), Type::Top()));
+  EXPECT_TRUE(IsSubtype(Type::Var("u"), Type::Var("u")));
+  EXPECT_FALSE(IsSubtype(Type::Var("u"), Person()));
+}
+
+TEST(SubtypeTest, ForallAlphaEquivalence) {
+  Type a = Type::Forall("t", Person(), Type::Func({Type::Var("t")}, Type::Var("t")));
+  Type b = Type::Forall("s", Person(), Type::Func({Type::Var("s")}, Type::Var("s")));
+  EXPECT_TRUE(TypeEquiv(a, b));
+}
+
+TEST(SubtypeTest, ForallKernelRuleRequiresEquivalentBounds) {
+  Type a = Type::Forall("t", Employee(), Type::Var("t"));
+  Type b = Type::Forall("t", Person(), Type::Var("t"));
+  EXPECT_FALSE(IsSubtype(a, b));
+  EXPECT_FALSE(IsSubtype(b, a));
+}
+
+TEST(SubtypeTest, ForallBodySubtyping) {
+  // Same bound, body covariance: ∀t ≤ P. Employee ≤ ∀t ≤ P. Person.
+  Type a = Type::Forall("t", Person(), Employee());
+  Type b = Type::Forall("t", Person(), Person());
+  EXPECT_TRUE(IsSubtype(a, b));
+  EXPECT_FALSE(IsSubtype(b, a));
+}
+
+TEST(SubtypeTest, ExistentialPacking) {
+  // The element type of Get's result: Employee ≤ ∃t ≤ Person. t.
+  Type pkg = Type::Exists("t", Person(), Type::Var("t"));
+  EXPECT_TRUE(IsSubtype(Employee(), pkg));
+  EXPECT_TRUE(IsSubtype(Person(), pkg));
+  EXPECT_TRUE(IsSubtype(Student(), pkg));
+  EXPECT_FALSE(IsSubtype(Type::Int(), pkg));
+  // And List covariance lifts it to Get's whole result type.
+  EXPECT_TRUE(IsSubtype(Type::List(Employee()), Type::List(pkg)));
+}
+
+TEST(SubtypeTest, ExistentialWidening) {
+  // ∃t ≤ Employee. t  ≤  ∃t ≤ Person. t does NOT follow from the kernel
+  // rule (bounds must be equivalent), but every packed Employee also
+  // packs at Person directly.
+  Type emp_pkg = Type::Exists("t", Employee(), Type::Var("t"));
+  Type person_pkg = Type::Exists("t", Person(), Type::Var("t"));
+  EXPECT_TRUE(TypeEquiv(emp_pkg, emp_pkg));
+  EXPECT_FALSE(IsSubtype(person_pkg, emp_pkg));
+}
+
+TEST(SubtypeTest, RecursiveTypesEquiRecursive) {
+  // IntList and its one-step unfolding are equivalent.
+  Type list = Type::Mu(
+      "l", Type::VariantOf(
+               {{"nil", Type::RecordOf({})},
+                {"cons", Type::RecordOf(
+                             {{"head", Type::Int()}, {"tail", Type::Var("l")}})}}));
+  EXPECT_TRUE(TypeEquiv(list, list.Unfold()));
+  EXPECT_TRUE(TypeEquiv(list.Unfold(), list.Unfold().FindField("cons")
+                                           ->FindField("tail")
+                                           ->Unfold()));
+}
+
+TEST(SubtypeTest, RecursiveRecordSubtyping) {
+  // Streams of Employees are subtypes of streams of Persons.
+  Type emp_stream = Type::Mu(
+      "s", Type::RecordOf({{"head", Employee()}, {"tail", Type::Var("s")}}));
+  Type person_stream = Type::Mu(
+      "s", Type::RecordOf({{"head", Person()}, {"tail", Type::Var("s")}}));
+  EXPECT_TRUE(IsSubtype(emp_stream, person_stream));
+  EXPECT_FALSE(IsSubtype(person_stream, emp_stream));
+}
+
+TEST(SubtypeTest, DistinctRecursiveShapesNotRelated) {
+  Type a = Type::Mu("s", Type::RecordOf({{"x", Type::Var("s")}}));
+  Type b = Type::Mu("s", Type::RecordOf({{"y", Type::Var("s")}}));
+  EXPECT_FALSE(IsSubtype(a, b));
+  EXPECT_FALSE(IsSubtype(b, a));
+}
+
+TEST(SubtypeTest, TransitivityOnHierarchySamples) {
+  std::vector<Type> chain = {Employee(), Person(), Type::RecordOf({}),
+                             Type::Top()};
+  for (size_t i = 0; i < chain.size(); ++i) {
+    for (size_t j = i; j < chain.size(); ++j) {
+      EXPECT_TRUE(IsSubtype(chain[i], chain[j]))
+          << chain[i].ToString() << " ≤ " << chain[j].ToString();
+    }
+  }
+}
+
+// -----------------------------------------------------------------------
+// Property tests over random structural types (quantifier-free corpus).
+// -----------------------------------------------------------------------
+
+class SubtypePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, SubtypePropertyTest,
+                         ::testing::Values(2, 3, 5, 7, 11, 13));
+
+TEST_P(SubtypePropertyTest, PreorderLaws) {
+  auto corpus = dbpl::testing::TypeCorpus(GetParam(), 18, 2);
+  for (const auto& a : corpus) {
+    EXPECT_TRUE(IsSubtype(a, a)) << a;
+    for (const auto& b : corpus) {
+      for (const auto& c : corpus) {
+        if (IsSubtype(a, b) && IsSubtype(b, c)) {
+          EXPECT_TRUE(IsSubtype(a, c))
+              << a << " ≤ " << b << " ≤ " << c;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(SubtypePropertyTest, LubIsLeastUpperBound) {
+  auto corpus = dbpl::testing::TypeCorpus(GetParam() * 31, 18, 2);
+  for (const auto& a : corpus) {
+    for (const auto& b : corpus) {
+      Type l = Lub(a, b);
+      EXPECT_TRUE(IsSubtype(a, l)) << a << " !≤ lub " << l;
+      EXPECT_TRUE(IsSubtype(b, l)) << b << " !≤ lub " << l;
+      EXPECT_TRUE(TypeEquiv(l, Lub(b, a)));
+      // Least among the corpus's upper bounds.
+      for (const auto& u : corpus) {
+        if (IsSubtype(a, u) && IsSubtype(b, u)) {
+          EXPECT_TRUE(IsSubtype(l, u))
+              << "lub " << l << " not least vs " << u;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(SubtypePropertyTest, GlbIsGreatestLowerBound) {
+  auto corpus = dbpl::testing::TypeCorpus(GetParam() * 17, 15, 2);
+  for (const auto& a : corpus) {
+    for (const auto& b : corpus) {
+      auto g = Glb(a, b);
+      if (!g.ok()) {
+        // No common subtype: no corpus type may be below both
+        // (except Bottom, which Glb deliberately excludes).
+        for (const auto& l : corpus) {
+          if (!l.is_bottom() && IsSubtype(l, a) && IsSubtype(l, b)) {
+            ADD_FAILURE() << l << " is below both " << a << " and " << b
+                          << " but Glb failed";
+          }
+        }
+        continue;
+      }
+      EXPECT_TRUE(IsSubtype(*g, a)) << *g << " !≤ " << a;
+      EXPECT_TRUE(IsSubtype(*g, b)) << *g << " !≤ " << b;
+      for (const auto& l : corpus) {
+        if (l.is_bottom()) continue;
+        if (IsSubtype(l, a) && IsSubtype(l, b)) {
+          EXPECT_TRUE(IsSubtype(l, *g))
+              << "glb " << *g << " not greatest vs " << l;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(SubtypePropertyTest, SubtypeAgreesWithLattice) {
+  auto corpus = dbpl::testing::TypeCorpus(GetParam() * 101, 15, 2);
+  for (const auto& a : corpus) {
+    for (const auto& b : corpus) {
+      if (IsSubtype(a, b)) {
+        EXPECT_TRUE(TypeEquiv(Lub(a, b), b));
+        auto g = Glb(a, b);
+        if (!a.is_bottom()) {
+          ASSERT_TRUE(g.ok()) << a << " ≤ " << b;
+          EXPECT_TRUE(TypeEquiv(*g, a));
+        }
+      }
+    }
+  }
+}
+
+TEST(SubtypeTest, GetExtentContainmentFollowsFromSubtyping) {
+  // The key claim: T ≤ U means every T-value is a U-value, so the class
+  // hierarchy (extent inclusion) is derivable from the type hierarchy.
+  // Checked here at the type level; database_test checks it on data.
+  EXPECT_TRUE(IsSubtype(Employee(), Person()));
+  Type emp_pkg = Type::Exists("t", Employee(), Type::Var("t"));
+  Type person_pkg = Type::Exists("t", Person(), Type::Var("t"));
+  // Any type packing at the Employee bound also packs at Person:
+  EXPECT_TRUE(IsSubtype(Employee(), emp_pkg));
+  EXPECT_TRUE(IsSubtype(Employee(), person_pkg));
+}
+
+}  // namespace
+}  // namespace dbpl::types

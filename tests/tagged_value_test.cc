@@ -1,0 +1,126 @@
+// Tagged (variant) values: the value-level inhabitants of the variant
+// types the Cardelli-style type layer always had.
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "core/heap.h"
+#include "core/order.h"
+#include "core/value.h"
+#include "serial/decoder.h"
+#include "serial/encoder.h"
+#include "types/subtype.h"
+#include "types/type_of.h"
+
+namespace dbpl::core {
+namespace {
+
+using types::Type;
+
+TEST(TaggedValueTest, ConstructionAndAccessors) {
+  Value v = Value::Tagged("ok", Value::Int(42));
+  EXPECT_EQ(v.kind(), ValueKind::kTagged);
+  EXPECT_EQ(v.tag(), "ok");
+  EXPECT_EQ(v.payload(), Value::Int(42));
+  EXPECT_EQ(v.ToString(), "ok(42)");
+}
+
+TEST(TaggedValueTest, EqualityAndHashing) {
+  Value a = Value::Tagged("ok", Value::Int(1));
+  Value b = Value::Tagged("ok", Value::Int(1));
+  Value c = Value::Tagged("err", Value::Int(1));
+  Value d = Value::Tagged("ok", Value::Int(2));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+  // Total order is consistent.
+  EXPECT_EQ(Compare(a, b), 0);
+  EXPECT_NE(Compare(a, c), 0);
+}
+
+TEST(TaggedValueTest, InformationOrdering) {
+  // Same tag: ordered by payload; different tags: incomparable.
+  Value partial = Value::Tagged("emp", Value::RecordOf({{"Name", Value::String("J")}}));
+  Value fuller = Value::Tagged(
+      "emp", Value::RecordOf({{"Name", Value::String("J")},
+                              {"Empno", Value::Int(1)}}));
+  EXPECT_TRUE(LessEq(partial, fuller));
+  EXPECT_FALSE(LessEq(fuller, partial));
+  Value other = Value::Tagged("mgr", Value::RecordOf({{"Name", Value::String("J")}}));
+  EXPECT_FALSE(LessEq(partial, other));
+  EXPECT_FALSE(LessEq(other, partial));
+}
+
+TEST(TaggedValueTest, JoinAndMeet) {
+  Value a = Value::Tagged("emp", Value::RecordOf({{"Name", Value::String("J")}}));
+  Value b = Value::Tagged("emp", Value::RecordOf({{"Empno", Value::Int(1)}}));
+  Result<Value> j = Join(a, b);
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(*j, Value::Tagged("emp", Value::RecordOf(
+                                         {{"Name", Value::String("J")},
+                                          {"Empno", Value::Int(1)}})));
+  // Different tags contradict.
+  Value c = Value::Tagged("mgr", Value::RecordOf({}));
+  EXPECT_FALSE(Join(a, c).ok());
+  EXPECT_EQ(Meet(a, c), Value::Bottom());
+  // Same tag: meet of payloads, under the tag.
+  EXPECT_EQ(Meet(*j, a), a);
+}
+
+TEST(TaggedValueTest, PrincipalTypeIsSingleTagVariant) {
+  Value v = Value::Tagged("ok", Value::Int(1));
+  Type t = types::TypeOf(v);
+  EXPECT_EQ(t, Type::VariantOf({{"ok", Type::Int()}}));
+  // ...which is a subtype of any wider variant carrying the tag.
+  Type wide = Type::VariantOf({{"ok", Type::Int()}, {"err", Type::String()}});
+  EXPECT_TRUE(types::IsSubtype(t, wide));
+  EXPECT_FALSE(types::IsSubtype(wide, t));
+}
+
+TEST(TaggedValueTest, SerializationRoundTrip) {
+  Value v = Value::Tagged(
+      "cons", Value::RecordOf({{"head", Value::Int(1)},
+                               {"tail", Value::Tagged("nil", Value::RecordOf({}))}}));
+  ByteBuffer buf;
+  serial::EncodeValue(v, &buf);
+  ByteReader in(buf);
+  auto back = serial::DecodeValue(&in);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, v);
+}
+
+TEST(TaggedValueTest, RefsInsidePayloadsAreTraced) {
+  Heap heap;
+  Oid target = heap.Allocate(Value::Int(7));
+  Oid holder = heap.Allocate(Value::Tagged("ref", Value::Ref(target)));
+  auto live = heap.ReachableFrom({holder});
+  EXPECT_EQ(live, (std::vector<Oid>{target, holder}));
+}
+
+TEST(TaggedValueTest, ModelsTheRecursiveListType) {
+  // The inhabitants of Mu l. <nil: {} | cons: {head: Int, tail: l}>.
+  Type list_t = Type::Mu(
+      "l", Type::VariantOf(
+               {{"nil", Type::RecordOf({})},
+                {"cons", Type::RecordOf(
+                             {{"head", Type::Int()}, {"tail", Type::Var("l")}})}}));
+  Value nil = Value::Tagged("nil", Value::RecordOf({}));
+  Value one_two = Value::Tagged(
+      "cons", Value::RecordOf(
+                  {{"head", Value::Int(1)},
+                   {"tail", Value::Tagged(
+                                "cons",
+                                Value::RecordOf({{"head", Value::Int(2)},
+                                                 {"tail", nil}}))}}));
+  EXPECT_TRUE(types::IsSubtype(types::TypeOf(nil), list_t));
+  EXPECT_TRUE(types::IsSubtype(types::TypeOf(one_two), list_t));
+  // A malformed list (Bool head) does not inhabit the type.
+  Value bad = Value::Tagged(
+      "cons", Value::RecordOf(
+                  {{"head", Value::Bool(true)}, {"tail", nil}}));
+  EXPECT_FALSE(types::IsSubtype(types::TypeOf(bad), list_t));
+}
+
+}  // namespace
+}  // namespace dbpl::core

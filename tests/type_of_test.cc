@@ -1,0 +1,98 @@
+#include "types/type_of.h"
+
+#include <gtest/gtest.h>
+
+#include "core/order.h"
+#include "core/value.h"
+#include "test_util.h"
+#include "types/subtype.h"
+
+namespace dbpl::types {
+namespace {
+
+using core::Value;
+
+TEST(TypeOfTest, Atoms) {
+  EXPECT_EQ(TypeOf(Value::Bool(true)), Type::Bool());
+  EXPECT_EQ(TypeOf(Value::Int(3)), Type::Int());
+  EXPECT_EQ(TypeOf(Value::Real(3.5)), Type::Real());
+  EXPECT_EQ(TypeOf(Value::String("x")), Type::String());
+  EXPECT_EQ(TypeOf(Value::Ref(7)), Type::RefTo(Type::Top()));
+}
+
+TEST(TypeOfTest, BottomHasTopType) {
+  // The wholly uninformative value has the wholly uninformative type.
+  EXPECT_EQ(TypeOf(Value::Bottom()), Type::Top());
+}
+
+TEST(TypeOfTest, RecordsMapFieldwise) {
+  Value v = Value::RecordOf(
+      {{"Name", Value::String("J Doe")}, {"Age", Value::Int(40)}});
+  EXPECT_EQ(TypeOf(v), Type::RecordOf({{"Name", Type::String()},
+                                       {"Age", Type::Int()}}));
+}
+
+TEST(TypeOfTest, CollectionsUseLubOfElements) {
+  Value homog = Value::List({Value::Int(1), Value::Int(2)});
+  EXPECT_EQ(TypeOf(homog), Type::List(Type::Int()));
+  Value mixed = Value::List({Value::Int(1), Value::String("x")});
+  EXPECT_EQ(TypeOf(mixed), Type::List(Type::Top()));
+  EXPECT_EQ(TypeOf(Value::Set({})), Type::Set(Type::Bottom()));
+  EXPECT_EQ(TypeOf(Value::List({})), Type::List(Type::Bottom()));
+}
+
+TEST(TypeOfTest, SetOfRecordsLubsToCommonStructure) {
+  Value employees = Value::Set({
+      Value::RecordOf({{"Name", Value::String("J Doe")},
+                       {"Empno", Value::Int(1)}}),
+      Value::RecordOf({{"Name", Value::String("M Dee")},
+                       {"StudentId", Value::Int(2)}}),
+  });
+  EXPECT_EQ(TypeOf(employees),
+            Type::Set(Type::RecordOf({{"Name", Type::String()}})));
+}
+
+TEST(TypeOfTest, PrincipalityOnSamples) {
+  // TypeOf(v) accepts v, and is below any other structural type that
+  // accepts similar records.
+  Value emp = Value::RecordOf({{"Name", Value::String("J Doe")},
+                               {"Empno", Value::Int(1)}});
+  Type person = Type::RecordOf({{"Name", Type::String()}});
+  EXPECT_TRUE(IsSubtype(TypeOf(emp), person));
+}
+
+// The paper's observation: "a more informative object appears to have a
+// type that is lower in the type hierarchy". Formally:
+// a ⊑ b  ⟹  TypeOf(b) ≤ TypeOf(a).
+class TypeOfAntitoneTest : public ::testing::TestWithParam<uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, TypeOfAntitoneTest,
+                         ::testing::Values(3, 7, 11, 19, 23));
+
+TEST_P(TypeOfAntitoneTest, TypeOfIsAntitone) {
+  auto corpus = dbpl::testing::Corpus(GetParam(), 40, 2);
+  for (const auto& a : corpus) {
+    for (const auto& b : corpus) {
+      if (core::LessEq(a, b)) {
+        EXPECT_TRUE(IsSubtype(TypeOf(b), TypeOf(a)))
+            << a << " ⊑ " << b << " but " << TypeOf(b) << " !≤ "
+            << TypeOf(a);
+      }
+    }
+  }
+}
+
+TEST_P(TypeOfAntitoneTest, JoinLowersType) {
+  // a ⊔ b (when it exists) has a type below both TypeOf(a), TypeOf(b).
+  auto corpus = dbpl::testing::Corpus(GetParam() * 13, 30, 2);
+  for (const auto& a : corpus) {
+    for (const auto& b : corpus) {
+      auto j = core::Join(a, b);
+      if (!j.ok()) continue;
+      EXPECT_TRUE(IsSubtype(TypeOf(*j), TypeOf(a)));
+      EXPECT_TRUE(IsSubtype(TypeOf(*j), TypeOf(b)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dbpl::types

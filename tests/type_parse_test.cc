@@ -1,0 +1,118 @@
+#include "types/parse.h"
+
+#include <gtest/gtest.h>
+
+#include "types/subtype.h"
+#include "types/type.h"
+
+namespace dbpl::types {
+namespace {
+
+void ExpectRoundTrip(const Type& t) {
+  Result<Type> parsed = ParseType(t.ToString());
+  ASSERT_TRUE(parsed.ok()) << t.ToString() << " -> " << parsed.status();
+  EXPECT_EQ(*parsed, t) << "printed: " << t.ToString()
+                        << " reparsed: " << parsed->ToString();
+}
+
+TEST(TypeParseTest, BaseTypes) {
+  EXPECT_EQ(*ParseType("Int"), Type::Int());
+  EXPECT_EQ(*ParseType("  Bool "), Type::Bool());
+  EXPECT_EQ(*ParseType("Top"), Type::Top());
+  EXPECT_EQ(*ParseType("Bottom"), Type::Bottom());
+  EXPECT_EQ(*ParseType("Dynamic"), Type::Dynamic());
+  EXPECT_EQ(*ParseType("Real"), Type::Real());
+  EXPECT_EQ(*ParseType("String"), Type::String());
+}
+
+TEST(TypeParseTest, Records) {
+  EXPECT_EQ(*ParseType("{}"), Type::RecordOf({}));
+  EXPECT_EQ(*ParseType("{Name: String, Age: Int}"),
+            Type::RecordOf({{"Name", Type::String()}, {"Age", Type::Int()}}));
+  EXPECT_EQ(*ParseType("{Addr: {City: String}}"),
+            Type::RecordOf(
+                {{"Addr", Type::RecordOf({{"City", Type::String()}})}}));
+}
+
+TEST(TypeParseTest, Collections) {
+  EXPECT_EQ(*ParseType("List[Int]"), Type::List(Type::Int()));
+  EXPECT_EQ(*ParseType("Set[{Name: String}]"),
+            Type::Set(Type::RecordOf({{"Name", Type::String()}})));
+  EXPECT_EQ(*ParseType("Ref[Int]"), Type::RefTo(Type::Int()));
+}
+
+TEST(TypeParseTest, Functions) {
+  EXPECT_EQ(*ParseType("(Int) -> Bool"),
+            Type::Func({Type::Int()}, Type::Bool()));
+  EXPECT_EQ(*ParseType("(Int, String) -> Bool"),
+            Type::Func({Type::Int(), Type::String()}, Type::Bool()));
+  EXPECT_EQ(*ParseType("() -> Int"), Type::Func({}, Type::Int()));
+  // Sugar: unparenthesized single parameter, right-associative.
+  EXPECT_EQ(*ParseType("Int -> Bool -> String"),
+            Type::Func({Type::Int()},
+                       Type::Func({Type::Bool()}, Type::String())));
+  // Grouping parens.
+  EXPECT_EQ(*ParseType("(Int)"), Type::Int());
+}
+
+TEST(TypeParseTest, Variants) {
+  EXPECT_EQ(*ParseType("<ok: Int | err: String>"),
+            Type::VariantOf({{"ok", Type::Int()}, {"err", Type::String()}}));
+}
+
+TEST(TypeParseTest, Quantifiers) {
+  EXPECT_EQ(*ParseType("Forall t. t"), Type::Forall("t", Type::Var("t")));
+  EXPECT_EQ(*ParseType("Exists t <= {Name: String}. t"),
+            Type::Exists("t", Type::RecordOf({{"Name", Type::String()}}),
+                         Type::Var("t")));
+  EXPECT_EQ(*ParseType("Mu l. {next: l}"),
+            Type::Mu("l", Type::RecordOf({{"next", Type::Var("l")}})));
+}
+
+TEST(TypeParseTest, GetTypeFromThePaper) {
+  Result<Type> t = ParseType(
+      "Forall t. (List[Dynamic]) -> List[Exists u <= t. u]");
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_EQ(t->kind(), TypeKind::kForall);
+  EXPECT_EQ(t->body().result().element().kind(), TypeKind::kExists);
+}
+
+TEST(TypeParseTest, RoundTripsComplexTypes) {
+  ExpectRoundTrip(Type::RecordOf(
+      {{"Employees",
+        Type::Set(Type::RecordOf(
+            {{"Name", Type::String()},
+             {"Addr", Type::RecordOf({{"City", Type::String()}})}}))},
+       {"Count", Type::Int()}}));
+  ExpectRoundTrip(Type::Forall(
+      "t", Type::RecordOf({{"Name", Type::String()}}),
+      Type::Func({Type::List(Type::Dynamic())},
+                 Type::List(Type::Exists("u", Type::Var("t"),
+                                         Type::Var("u"))))));
+  ExpectRoundTrip(Type::Mu(
+      "l", Type::VariantOf(
+               {{"nil", Type::RecordOf({})},
+                {"cons", Type::RecordOf(
+                             {{"head", Type::Int()}, {"tail", Type::Var("l")}})}})));
+  ExpectRoundTrip(Type::Func({}, Type::Func({Type::Int()}, Type::Int())));
+  ExpectRoundTrip(Type::VariantOf({{"a", Type::List(Type::Set(Type::Top()))}}));
+}
+
+TEST(TypeParseTest, Errors) {
+  EXPECT_FALSE(ParseType("").ok());
+  EXPECT_FALSE(ParseType("{Name String}").ok());
+  EXPECT_FALSE(ParseType("List[Int").ok());
+  EXPECT_FALSE(ParseType("Int extra").ok());
+  EXPECT_FALSE(ParseType("Forall . t").ok());
+  EXPECT_FALSE(ParseType("(Int, Bool)").ok());  // list without ->
+  EXPECT_FALSE(ParseType("{x: Int, x: Bool}").ok());  // duplicate label
+}
+
+TEST(TypeParseTest, ParsedTypesInteroperateWithSubtyping) {
+  Type emp = *ParseType("{Name: String, Empno: Int}");
+  Type person = *ParseType("{Name: String}");
+  EXPECT_TRUE(IsSubtype(emp, person));
+}
+
+}  // namespace
+}  // namespace dbpl::types

@@ -1,0 +1,152 @@
+#include "types/type.h"
+
+#include <gtest/gtest.h>
+
+namespace dbpl::types {
+namespace {
+
+Type PersonType() {
+  return Type::RecordOf({{"Name", Type::String()},
+                         {"Address", Type::RecordOf({{"City", Type::String()}})}});
+}
+
+TEST(TypeTest, DefaultIsBottom) {
+  Type t;
+  EXPECT_TRUE(t.is_bottom());
+  EXPECT_EQ(t, Type::Bottom());
+}
+
+TEST(TypeTest, BaseTypesDistinct) {
+  std::vector<Type> bases = {Type::Bottom(), Type::Top(),    Type::Bool(),
+                             Type::Int(),    Type::Real(),   Type::String(),
+                             Type::Dynamic()};
+  for (size_t i = 0; i < bases.size(); ++i) {
+    for (size_t j = 0; j < bases.size(); ++j) {
+      if (i == j) {
+        EXPECT_EQ(bases[i], bases[j]);
+      } else {
+        EXPECT_NE(bases[i], bases[j]);
+      }
+    }
+  }
+}
+
+TEST(TypeTest, RecordFieldsSortedAndDupsRejected) {
+  Type t = Type::RecordOf({{"z", Type::Int()}, {"a", Type::Bool()}});
+  EXPECT_EQ(t.fields()[0].name, "a");
+  EXPECT_EQ(t.fields()[1].name, "z");
+  EXPECT_FALSE(Type::Record({{"x", Type::Int()}, {"x", Type::Int()}}).ok());
+  EXPECT_FALSE(Type::Variant({{"x", Type::Int()}, {"x", Type::Int()}}).ok());
+}
+
+TEST(TypeTest, FindField) {
+  Type t = PersonType();
+  ASSERT_NE(t.FindField("Name"), nullptr);
+  EXPECT_EQ(*t.FindField("Name"), Type::String());
+  EXPECT_EQ(t.FindField("Nope"), nullptr);
+  EXPECT_EQ(Type::Int().FindField("x"), nullptr);
+}
+
+TEST(TypeTest, AccessorsRoundTrip) {
+  Type f = Type::Func({Type::Int(), Type::Bool()}, Type::String());
+  EXPECT_EQ(f.params().size(), 2u);
+  EXPECT_EQ(f.result(), Type::String());
+  EXPECT_EQ(Type::List(Type::Int()).element(), Type::Int());
+  EXPECT_EQ(Type::Set(Type::Int()).element(), Type::Int());
+  EXPECT_EQ(Type::RefTo(Type::Int()).element(), Type::Int());
+  Type q = Type::Forall("t", PersonType(), Type::Var("t"));
+  EXPECT_EQ(q.var(), "t");
+  EXPECT_EQ(q.bound(), PersonType());
+  EXPECT_EQ(q.body(), Type::Var("t"));
+}
+
+TEST(TypeTest, FreeVars) {
+  Type t = Type::Forall(
+      "t", Type::Var("b"),
+      Type::Func({Type::Var("t")}, Type::List(Type::Var("u"))));
+  auto fv = t.FreeVars();
+  EXPECT_TRUE(fv.contains("b"));
+  EXPECT_TRUE(fv.contains("u"));
+  EXPECT_FALSE(fv.contains("t"));
+}
+
+TEST(TypeTest, SubstituteReplacesFreeOccurrences) {
+  Type body = Type::Func({Type::Var("t")}, Type::Var("t"));
+  Type subst = body.Substitute("t", Type::Int());
+  EXPECT_EQ(subst, Type::Func({Type::Int()}, Type::Int()));
+}
+
+TEST(TypeTest, SubstituteRespectsShadowing) {
+  // In `Forall t. t -> u`, substituting for t must not touch the bound
+  // occurrences.
+  Type t = Type::Forall("t", Type::Func({Type::Var("t")}, Type::Var("u")));
+  Type subst = t.Substitute("t", Type::Int());
+  EXPECT_EQ(subst.body(), Type::Func({Type::Var("t")}, Type::Var("u")));
+  // But the free variable u is replaced.
+  Type subst2 = t.Substitute("u", Type::Int());
+  EXPECT_EQ(subst2.body(), Type::Func({Type::Var("t")}, Type::Int()));
+}
+
+TEST(TypeTest, SubstituteAvoidsCapture) {
+  // Substituting u := t into `Forall t. u` must not capture: the result
+  // body must still refer to the *free* t, not the binder.
+  Type t = Type::Forall("t", Type::Var("u"));
+  Type subst = t.Substitute("u", Type::Var("t"));
+  EXPECT_NE(subst.var(), "t");  // binder was renamed
+  EXPECT_EQ(subst.body(), Type::Var("t"));
+  auto fv = subst.FreeVars();
+  EXPECT_TRUE(fv.contains("t"));
+}
+
+TEST(TypeTest, MuUnfold) {
+  // IntList = Mu l. Variant<nil: Top | cons: {head: Int, tail: l}>.
+  Type l = Type::Mu(
+      "l", Type::VariantOf(
+               {{"nil", Type::Top()},
+                {"cons", Type::RecordOf(
+                             {{"head", Type::Int()}, {"tail", Type::Var("l")}})}}));
+  Type unfolded = l.Unfold();
+  EXPECT_EQ(unfolded.kind(), TypeKind::kVariant);
+  const Type* cons = unfolded.FindField("cons");
+  ASSERT_NE(cons, nullptr);
+  EXPECT_EQ(*cons->FindField("tail"), l);
+}
+
+TEST(TypeTest, ToStringRendering) {
+  EXPECT_EQ(PersonType().ToString(),
+            "{Address: {City: String}, Name: String}");
+  EXPECT_EQ(Type::Func({Type::Int()}, Type::Bool()).ToString(),
+            "(Int) -> Bool");
+  EXPECT_EQ(Type::List(Type::Int()).ToString(), "List[Int]");
+  EXPECT_EQ(Type::Forall("t", Type::Var("t")).ToString(), "Forall t. t");
+  EXPECT_EQ(Type::Exists("t", Type::Int(), Type::Var("t")).ToString(),
+            "Exists t <= Int. t");
+  EXPECT_EQ(Type::Mu("l", Type::Var("l")).ToString(), "Mu l. l");
+  EXPECT_EQ(Type::VariantOf({{"a", Type::Int()}, {"b", Type::Bool()}})
+                .ToString(),
+            "<a: Int | b: Bool>");
+}
+
+TEST(TypeTest, GetTypeFromThePaperRendersReadably) {
+  // ∀t. Database → List[∃t' ≤ t. t']
+  Type database = Type::List(Type::Dynamic());
+  Type get = Type::Forall(
+      "t", Type::Func({database},
+                      Type::List(Type::Exists("u", Type::Var("t"),
+                                              Type::Var("u")))));
+  EXPECT_EQ(get.ToString(),
+            "Forall t. (List[Dynamic]) -> List[Exists u <= t. u]");
+}
+
+TEST(TypeTest, CompareIsConsistentWithEquality) {
+  Type a = PersonType();
+  Type b = PersonType();
+  EXPECT_EQ(Compare(a, b), 0);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  Type c = Type::RecordOf({{"Name", Type::String()}});
+  EXPECT_NE(Compare(a, c), 0);
+  EXPECT_EQ(Compare(a, c) < 0, Compare(c, a) > 0);
+}
+
+}  // namespace
+}  // namespace dbpl::types

@@ -1,0 +1,181 @@
+#include "core/value.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "test_util.h"
+
+namespace dbpl::core {
+namespace {
+
+using RecordField = Value::RecordField;
+
+TEST(ValueTest, DefaultIsBottom) {
+  Value v;
+  EXPECT_TRUE(v.is_bottom());
+  EXPECT_EQ(v.kind(), ValueKind::kBottom);
+  EXPECT_EQ(v, Value::Bottom());
+}
+
+TEST(ValueTest, AtomAccessors) {
+  EXPECT_EQ(Value::Bool(true).AsBool(), true);
+  EXPECT_EQ(Value::Int(-7).AsInt(), -7);
+  EXPECT_DOUBLE_EQ(Value::Real(2.5).AsReal(), 2.5);
+  EXPECT_EQ(Value::String("hi").AsString(), "hi");
+  EXPECT_EQ(Value::Ref(42).AsRef(), 42u);
+}
+
+TEST(ValueTest, RecordFieldsAreSortedByName) {
+  Value v = Value::RecordOf({{"z", Value::Int(1)},
+                             {"a", Value::Int(2)},
+                             {"m", Value::Int(3)}});
+  ASSERT_EQ(v.fields().size(), 3u);
+  EXPECT_EQ(v.fields()[0].name, "a");
+  EXPECT_EQ(v.fields()[1].name, "m");
+  EXPECT_EQ(v.fields()[2].name, "z");
+}
+
+TEST(ValueTest, DuplicateFieldNamesRejected) {
+  Result<Value> r =
+      Value::Record({{"x", Value::Int(1)}, {"x", Value::Int(2)}});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValueTest, FieldOrderDoesNotAffectEquality) {
+  Value a = Value::RecordOf({{"x", Value::Int(1)}, {"y", Value::Int(2)}});
+  Value b = Value::RecordOf({{"y", Value::Int(2)}, {"x", Value::Int(1)}});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(ValueTest, SetsDeduplicateAndNormalize) {
+  Value a = Value::Set({Value::Int(3), Value::Int(1), Value::Int(3)});
+  Value b = Value::Set({Value::Int(1), Value::Int(3)});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.elements().size(), 2u);
+}
+
+TEST(ValueTest, ListsPreserveOrderAndDuplicates) {
+  Value a = Value::List({Value::Int(3), Value::Int(1), Value::Int(3)});
+  EXPECT_EQ(a.elements().size(), 3u);
+  Value b = Value::List({Value::Int(1), Value::Int(3), Value::Int(3)});
+  EXPECT_NE(a, b);
+}
+
+TEST(ValueTest, SetAndListAreDistinct) {
+  Value s = Value::Set({Value::Int(1)});
+  Value l = Value::List({Value::Int(1)});
+  EXPECT_NE(s, l);
+}
+
+TEST(ValueTest, FindField) {
+  Value v = Value::RecordOf(
+      {{"Name", Value::String("J Doe")}, {"Age", Value::Int(40)}});
+  ASSERT_NE(v.FindField("Name"), nullptr);
+  EXPECT_EQ(v.FindField("Name")->AsString(), "J Doe");
+  EXPECT_EQ(v.FindField("Missing"), nullptr);
+  EXPECT_EQ(Value::Int(1).FindField("x"), nullptr);
+}
+
+TEST(ValueTest, WithFieldReplacesAndAdds) {
+  Value v = Value::RecordOf({{"x", Value::Int(1)}});
+  Value w = v.WithField("x", Value::Int(2));
+  EXPECT_EQ(w.FindField("x")->AsInt(), 2);
+  Value u = v.WithField("y", Value::Int(3));
+  EXPECT_EQ(u.FindField("x")->AsInt(), 1);
+  EXPECT_EQ(u.FindField("y")->AsInt(), 3);
+  // Original unchanged (values are immutable).
+  EXPECT_EQ(v.FindField("x")->AsInt(), 1);
+  EXPECT_EQ(v.FindField("y"), nullptr);
+}
+
+TEST(ValueTest, ProjectKeepsOnlyNamedFields) {
+  Value v = Value::RecordOf({{"a", Value::Int(1)},
+                             {"b", Value::Int(2)},
+                             {"c", Value::Int(3)}});
+  Value p = v.Project({"a", "c", "zz"});
+  EXPECT_EQ(p, Value::RecordOf({{"a", Value::Int(1)}, {"c", Value::Int(3)}}));
+}
+
+TEST(ValueTest, NestedRecordEquality) {
+  Value a = Value::RecordOf(
+      {{"Addr", Value::RecordOf({{"City", Value::String("Austin")}})}});
+  Value b = Value::RecordOf(
+      {{"Addr", Value::RecordOf({{"City", Value::String("Austin")}})}});
+  EXPECT_EQ(a, b);
+  Value c = Value::RecordOf(
+      {{"Addr", Value::RecordOf({{"City", Value::String("Moose")}})}});
+  EXPECT_NE(a, c);
+}
+
+TEST(ValueTest, ToStringUsesPaperNotation) {
+  Value o1 = Value::RecordOf(
+      {{"Name", Value::String("J Doe")},
+       {"Addr", Value::RecordOf({{"City", Value::String("Austin")}})}});
+  EXPECT_EQ(o1.ToString(), "{Addr = {City = \"Austin\"}, Name = \"J Doe\"}");
+  EXPECT_EQ(Value::Bottom().ToString(), "_|_");
+  EXPECT_EQ(Value::Set({Value::Int(1)}).ToString(), "{|1|}");
+  EXPECT_EQ(Value::List({Value::Int(1)}).ToString(), "[1]");
+  EXPECT_EQ(Value::Ref(9).ToString(), "@9");
+}
+
+TEST(ValueTest, CompareIsATotalOrderOnCorpus) {
+  auto corpus = dbpl::testing::Corpus(1234, 60, 2);
+  for (const auto& a : corpus) {
+    EXPECT_EQ(Compare(a, a), 0);
+    for (const auto& b : corpus) {
+      int ab = Compare(a, b);
+      int ba = Compare(b, a);
+      EXPECT_EQ(ab == 0, ba == 0);
+      if (ab != 0) EXPECT_EQ(ab > 0, ba < 0);
+      if (ab == 0) {
+        EXPECT_EQ(a, b);
+        EXPECT_EQ(a.Hash(), b.Hash());
+      }
+      for (const auto& c : corpus) {
+        if (Compare(a, b) <= 0 && Compare(b, c) <= 0) {
+          EXPECT_LE(Compare(a, c), 0);
+        }
+      }
+    }
+  }
+}
+
+TEST(ValueTest, HashDistributesAcrossCorpus) {
+  auto corpus = dbpl::testing::Corpus(99, 200, 2);
+  std::unordered_set<size_t> hashes;
+  size_t distinct_values = 0;
+  std::unordered_set<Value, ValueHash> seen;
+  for (const auto& v : corpus) {
+    if (seen.insert(v).second) {
+      ++distinct_values;
+      hashes.insert(v.Hash());
+    }
+  }
+  // Collisions allowed, but hashing must not collapse the corpus.
+  EXPECT_GE(hashes.size() * 2, distinct_values);
+}
+
+TEST(ValueTest, ValueUsableInUnorderedSet) {
+  std::unordered_set<Value, ValueHash> s;
+  s.insert(Value::Int(1));
+  s.insert(Value::Int(1));
+  s.insert(Value::Int(2));
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.contains(Value::Int(2)));
+  EXPECT_FALSE(s.contains(Value::Int(3)));
+}
+
+TEST(ValueTest, EmptyRecordAndEmptySetAreDistinctAndNotBottom) {
+  Value er = Value::RecordOf({});
+  Value es = Value::Set({});
+  EXPECT_NE(er, es);
+  EXPECT_FALSE(er.is_bottom());
+  EXPECT_FALSE(es.is_bottom());
+  EXPECT_NE(er, Value::Bottom());
+}
+
+}  // namespace
+}  // namespace dbpl::core
