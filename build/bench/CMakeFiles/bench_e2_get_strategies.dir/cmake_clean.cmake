@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_get_strategies.dir/bench_e2_get_strategies.cc.o"
+  "CMakeFiles/bench_e2_get_strategies.dir/bench_e2_get_strategies.cc.o.d"
+  "bench_e2_get_strategies"
+  "bench_e2_get_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_get_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

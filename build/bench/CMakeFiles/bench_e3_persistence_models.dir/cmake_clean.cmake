@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_persistence_models.dir/bench_e3_persistence_models.cc.o"
+  "CMakeFiles/bench_e3_persistence_models.dir/bench_e3_persistence_models.cc.o.d"
+  "bench_e3_persistence_models"
+  "bench_e3_persistence_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_persistence_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_bom_memoization.dir/bench_e4_bom_memoization.cc.o"
+  "CMakeFiles/bench_e4_bom_memoization.dir/bench_e4_bom_memoization.cc.o.d"
+  "bench_e4_bom_memoization"
+  "bench_e4_bom_memoization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_bom_memoization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_subtype_check.dir/bench_e5_subtype_check.cc.o"
+  "CMakeFiles/bench_e5_subtype_check.dir/bench_e5_subtype_check.cc.o.d"
+  "bench_e5_subtype_check"
+  "bench_e5_subtype_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_subtype_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_self_describing_io.dir/bench_e6_self_describing_io.cc.o"
+  "CMakeFiles/bench_e6_self_describing_io.dir/bench_e6_self_describing_io.cc.o.d"
+  "bench_e6_self_describing_io"
+  "bench_e6_self_describing_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_self_describing_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_e6_self_describing_io.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_subsumption_insert.dir/bench_e7_subsumption_insert.cc.o"
+  "CMakeFiles/bench_e7_subsumption_insert.dir/bench_e7_subsumption_insert.cc.o.d"
+  "bench_e7_subsumption_insert"
+  "bench_e7_subsumption_insert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_subsumption_insert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

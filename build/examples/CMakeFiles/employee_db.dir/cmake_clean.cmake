@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/employee_db.dir/employee_db.cpp.o"
+  "CMakeFiles/employee_db.dir/employee_db.cpp.o.d"
+  "employee_db"
+  "employee_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/employee_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miniamber.dir/miniamber.cpp.o"
+  "CMakeFiles/miniamber.dir/miniamber.cpp.o.d"
+  "miniamber"
+  "miniamber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miniamber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for miniamber.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_toolkit.dir/relational_toolkit.cpp.o"
+  "CMakeFiles/relational_toolkit.dir/relational_toolkit.cpp.o.d"
+  "relational_toolkit"
+  "relational_toolkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_toolkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbpl_classes.dir/classes/class_system.cc.o"
+  "CMakeFiles/dbpl_classes.dir/classes/class_system.cc.o.d"
+  "libdbpl_classes.a"
+  "libdbpl_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbpl_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbpl_common.dir/common/bytes.cc.o"
+  "CMakeFiles/dbpl_common.dir/common/bytes.cc.o.d"
+  "CMakeFiles/dbpl_common.dir/common/crc32c.cc.o"
+  "CMakeFiles/dbpl_common.dir/common/crc32c.cc.o.d"
+  "CMakeFiles/dbpl_common.dir/common/status.cc.o"
+  "CMakeFiles/dbpl_common.dir/common/status.cc.o.d"
+  "libdbpl_common.a"
+  "libdbpl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbpl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/fd.cc" "src/CMakeFiles/dbpl_core.dir/core/fd.cc.o" "gcc" "src/CMakeFiles/dbpl_core.dir/core/fd.cc.o.d"
+  "/root/repo/src/core/grelation.cc" "src/CMakeFiles/dbpl_core.dir/core/grelation.cc.o" "gcc" "src/CMakeFiles/dbpl_core.dir/core/grelation.cc.o.d"
+  "/root/repo/src/core/heap.cc" "src/CMakeFiles/dbpl_core.dir/core/heap.cc.o" "gcc" "src/CMakeFiles/dbpl_core.dir/core/heap.cc.o.d"
+  "/root/repo/src/core/keyed_grelation.cc" "src/CMakeFiles/dbpl_core.dir/core/keyed_grelation.cc.o" "gcc" "src/CMakeFiles/dbpl_core.dir/core/keyed_grelation.cc.o.d"
+  "/root/repo/src/core/order.cc" "src/CMakeFiles/dbpl_core.dir/core/order.cc.o" "gcc" "src/CMakeFiles/dbpl_core.dir/core/order.cc.o.d"
+  "/root/repo/src/core/value.cc" "src/CMakeFiles/dbpl_core.dir/core/value.cc.o" "gcc" "src/CMakeFiles/dbpl_core.dir/core/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbpl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

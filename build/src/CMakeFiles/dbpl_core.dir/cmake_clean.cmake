@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbpl_core.dir/core/fd.cc.o"
+  "CMakeFiles/dbpl_core.dir/core/fd.cc.o.d"
+  "CMakeFiles/dbpl_core.dir/core/grelation.cc.o"
+  "CMakeFiles/dbpl_core.dir/core/grelation.cc.o.d"
+  "CMakeFiles/dbpl_core.dir/core/heap.cc.o"
+  "CMakeFiles/dbpl_core.dir/core/heap.cc.o.d"
+  "CMakeFiles/dbpl_core.dir/core/keyed_grelation.cc.o"
+  "CMakeFiles/dbpl_core.dir/core/keyed_grelation.cc.o.d"
+  "CMakeFiles/dbpl_core.dir/core/order.cc.o"
+  "CMakeFiles/dbpl_core.dir/core/order.cc.o.d"
+  "CMakeFiles/dbpl_core.dir/core/value.cc.o"
+  "CMakeFiles/dbpl_core.dir/core/value.cc.o.d"
+  "libdbpl_core.a"
+  "libdbpl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbpl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

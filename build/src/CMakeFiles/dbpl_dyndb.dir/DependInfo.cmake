@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dyndb/database.cc" "src/CMakeFiles/dbpl_dyndb.dir/dyndb/database.cc.o" "gcc" "src/CMakeFiles/dbpl_dyndb.dir/dyndb/database.cc.o.d"
+  "/root/repo/src/dyndb/dynamic.cc" "src/CMakeFiles/dbpl_dyndb.dir/dyndb/dynamic.cc.o" "gcc" "src/CMakeFiles/dbpl_dyndb.dir/dyndb/dynamic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbpl_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbpl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbpl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

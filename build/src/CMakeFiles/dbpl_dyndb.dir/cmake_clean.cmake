@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbpl_dyndb.dir/dyndb/database.cc.o"
+  "CMakeFiles/dbpl_dyndb.dir/dyndb/database.cc.o.d"
+  "CMakeFiles/dbpl_dyndb.dir/dyndb/dynamic.cc.o"
+  "CMakeFiles/dbpl_dyndb.dir/dyndb/dynamic.cc.o.d"
+  "libdbpl_dyndb.a"
+  "libdbpl_dyndb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbpl_dyndb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lang/eval.cc" "src/CMakeFiles/dbpl_lang.dir/lang/eval.cc.o" "gcc" "src/CMakeFiles/dbpl_lang.dir/lang/eval.cc.o.d"
+  "/root/repo/src/lang/interp.cc" "src/CMakeFiles/dbpl_lang.dir/lang/interp.cc.o" "gcc" "src/CMakeFiles/dbpl_lang.dir/lang/interp.cc.o.d"
+  "/root/repo/src/lang/lexer.cc" "src/CMakeFiles/dbpl_lang.dir/lang/lexer.cc.o" "gcc" "src/CMakeFiles/dbpl_lang.dir/lang/lexer.cc.o.d"
+  "/root/repo/src/lang/parser.cc" "src/CMakeFiles/dbpl_lang.dir/lang/parser.cc.o" "gcc" "src/CMakeFiles/dbpl_lang.dir/lang/parser.cc.o.d"
+  "/root/repo/src/lang/rt_value.cc" "src/CMakeFiles/dbpl_lang.dir/lang/rt_value.cc.o" "gcc" "src/CMakeFiles/dbpl_lang.dir/lang/rt_value.cc.o.d"
+  "/root/repo/src/lang/typecheck.cc" "src/CMakeFiles/dbpl_lang.dir/lang/typecheck.cc.o" "gcc" "src/CMakeFiles/dbpl_lang.dir/lang/typecheck.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbpl_dyndb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbpl_persist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbpl_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbpl_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbpl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbpl_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbpl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

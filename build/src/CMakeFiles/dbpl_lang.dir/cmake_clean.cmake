@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbpl_lang.dir/lang/eval.cc.o"
+  "CMakeFiles/dbpl_lang.dir/lang/eval.cc.o.d"
+  "CMakeFiles/dbpl_lang.dir/lang/interp.cc.o"
+  "CMakeFiles/dbpl_lang.dir/lang/interp.cc.o.d"
+  "CMakeFiles/dbpl_lang.dir/lang/lexer.cc.o"
+  "CMakeFiles/dbpl_lang.dir/lang/lexer.cc.o.d"
+  "CMakeFiles/dbpl_lang.dir/lang/parser.cc.o"
+  "CMakeFiles/dbpl_lang.dir/lang/parser.cc.o.d"
+  "CMakeFiles/dbpl_lang.dir/lang/rt_value.cc.o"
+  "CMakeFiles/dbpl_lang.dir/lang/rt_value.cc.o.d"
+  "CMakeFiles/dbpl_lang.dir/lang/typecheck.cc.o"
+  "CMakeFiles/dbpl_lang.dir/lang/typecheck.cc.o.d"
+  "libdbpl_lang.a"
+  "libdbpl_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbpl_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

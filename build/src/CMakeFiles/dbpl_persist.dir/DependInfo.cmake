@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/persist/database_io.cc" "src/CMakeFiles/dbpl_persist.dir/persist/database_io.cc.o" "gcc" "src/CMakeFiles/dbpl_persist.dir/persist/database_io.cc.o.d"
+  "/root/repo/src/persist/file_util.cc" "src/CMakeFiles/dbpl_persist.dir/persist/file_util.cc.o" "gcc" "src/CMakeFiles/dbpl_persist.dir/persist/file_util.cc.o.d"
+  "/root/repo/src/persist/intrinsic_store.cc" "src/CMakeFiles/dbpl_persist.dir/persist/intrinsic_store.cc.o" "gcc" "src/CMakeFiles/dbpl_persist.dir/persist/intrinsic_store.cc.o.d"
+  "/root/repo/src/persist/replicating_store.cc" "src/CMakeFiles/dbpl_persist.dir/persist/replicating_store.cc.o" "gcc" "src/CMakeFiles/dbpl_persist.dir/persist/replicating_store.cc.o.d"
+  "/root/repo/src/persist/schema_compat.cc" "src/CMakeFiles/dbpl_persist.dir/persist/schema_compat.cc.o" "gcc" "src/CMakeFiles/dbpl_persist.dir/persist/schema_compat.cc.o.d"
+  "/root/repo/src/persist/snapshot_store.cc" "src/CMakeFiles/dbpl_persist.dir/persist/snapshot_store.cc.o" "gcc" "src/CMakeFiles/dbpl_persist.dir/persist/snapshot_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbpl_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbpl_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbpl_dyndb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbpl_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbpl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbpl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbpl_persist.dir/persist/database_io.cc.o"
+  "CMakeFiles/dbpl_persist.dir/persist/database_io.cc.o.d"
+  "CMakeFiles/dbpl_persist.dir/persist/file_util.cc.o"
+  "CMakeFiles/dbpl_persist.dir/persist/file_util.cc.o.d"
+  "CMakeFiles/dbpl_persist.dir/persist/intrinsic_store.cc.o"
+  "CMakeFiles/dbpl_persist.dir/persist/intrinsic_store.cc.o.d"
+  "CMakeFiles/dbpl_persist.dir/persist/replicating_store.cc.o"
+  "CMakeFiles/dbpl_persist.dir/persist/replicating_store.cc.o.d"
+  "CMakeFiles/dbpl_persist.dir/persist/schema_compat.cc.o"
+  "CMakeFiles/dbpl_persist.dir/persist/schema_compat.cc.o.d"
+  "CMakeFiles/dbpl_persist.dir/persist/snapshot_store.cc.o"
+  "CMakeFiles/dbpl_persist.dir/persist/snapshot_store.cc.o.d"
+  "libdbpl_persist.a"
+  "libdbpl_persist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbpl_persist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

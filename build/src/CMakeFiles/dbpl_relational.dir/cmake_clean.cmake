@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbpl_relational.dir/relational/ops.cc.o"
+  "CMakeFiles/dbpl_relational.dir/relational/ops.cc.o.d"
+  "CMakeFiles/dbpl_relational.dir/relational/relation.cc.o"
+  "CMakeFiles/dbpl_relational.dir/relational/relation.cc.o.d"
+  "CMakeFiles/dbpl_relational.dir/relational/schema.cc.o"
+  "CMakeFiles/dbpl_relational.dir/relational/schema.cc.o.d"
+  "libdbpl_relational.a"
+  "libdbpl_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbpl_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdbpl_relational.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serial/decoder.cc" "src/CMakeFiles/dbpl_serial.dir/serial/decoder.cc.o" "gcc" "src/CMakeFiles/dbpl_serial.dir/serial/decoder.cc.o.d"
+  "/root/repo/src/serial/encoder.cc" "src/CMakeFiles/dbpl_serial.dir/serial/encoder.cc.o" "gcc" "src/CMakeFiles/dbpl_serial.dir/serial/encoder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbpl_dyndb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbpl_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbpl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbpl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbpl_serial.dir/serial/decoder.cc.o"
+  "CMakeFiles/dbpl_serial.dir/serial/decoder.cc.o.d"
+  "CMakeFiles/dbpl_serial.dir/serial/encoder.cc.o"
+  "CMakeFiles/dbpl_serial.dir/serial/encoder.cc.o.d"
+  "libdbpl_serial.a"
+  "libdbpl_serial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbpl_serial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

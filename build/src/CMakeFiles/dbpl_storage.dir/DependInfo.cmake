@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/dbpl_storage.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/dbpl_storage.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/kv_store.cc" "src/CMakeFiles/dbpl_storage.dir/storage/kv_store.cc.o" "gcc" "src/CMakeFiles/dbpl_storage.dir/storage/kv_store.cc.o.d"
+  "/root/repo/src/storage/log.cc" "src/CMakeFiles/dbpl_storage.dir/storage/log.cc.o" "gcc" "src/CMakeFiles/dbpl_storage.dir/storage/log.cc.o.d"
+  "/root/repo/src/storage/paged_store.cc" "src/CMakeFiles/dbpl_storage.dir/storage/paged_store.cc.o" "gcc" "src/CMakeFiles/dbpl_storage.dir/storage/paged_store.cc.o.d"
+  "/root/repo/src/storage/pager.cc" "src/CMakeFiles/dbpl_storage.dir/storage/pager.cc.o" "gcc" "src/CMakeFiles/dbpl_storage.dir/storage/pager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbpl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

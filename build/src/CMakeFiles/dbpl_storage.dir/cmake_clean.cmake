@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbpl_storage.dir/storage/buffer_pool.cc.o"
+  "CMakeFiles/dbpl_storage.dir/storage/buffer_pool.cc.o.d"
+  "CMakeFiles/dbpl_storage.dir/storage/kv_store.cc.o"
+  "CMakeFiles/dbpl_storage.dir/storage/kv_store.cc.o.d"
+  "CMakeFiles/dbpl_storage.dir/storage/log.cc.o"
+  "CMakeFiles/dbpl_storage.dir/storage/log.cc.o.d"
+  "CMakeFiles/dbpl_storage.dir/storage/paged_store.cc.o"
+  "CMakeFiles/dbpl_storage.dir/storage/paged_store.cc.o.d"
+  "CMakeFiles/dbpl_storage.dir/storage/pager.cc.o"
+  "CMakeFiles/dbpl_storage.dir/storage/pager.cc.o.d"
+  "libdbpl_storage.a"
+  "libdbpl_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbpl_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

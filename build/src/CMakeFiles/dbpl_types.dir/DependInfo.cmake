@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/types/lattice.cc" "src/CMakeFiles/dbpl_types.dir/types/lattice.cc.o" "gcc" "src/CMakeFiles/dbpl_types.dir/types/lattice.cc.o.d"
+  "/root/repo/src/types/parse.cc" "src/CMakeFiles/dbpl_types.dir/types/parse.cc.o" "gcc" "src/CMakeFiles/dbpl_types.dir/types/parse.cc.o.d"
+  "/root/repo/src/types/print.cc" "src/CMakeFiles/dbpl_types.dir/types/print.cc.o" "gcc" "src/CMakeFiles/dbpl_types.dir/types/print.cc.o.d"
+  "/root/repo/src/types/subtype.cc" "src/CMakeFiles/dbpl_types.dir/types/subtype.cc.o" "gcc" "src/CMakeFiles/dbpl_types.dir/types/subtype.cc.o.d"
+  "/root/repo/src/types/type.cc" "src/CMakeFiles/dbpl_types.dir/types/type.cc.o" "gcc" "src/CMakeFiles/dbpl_types.dir/types/type.cc.o.d"
+  "/root/repo/src/types/type_of.cc" "src/CMakeFiles/dbpl_types.dir/types/type_of.cc.o" "gcc" "src/CMakeFiles/dbpl_types.dir/types/type_of.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbpl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbpl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

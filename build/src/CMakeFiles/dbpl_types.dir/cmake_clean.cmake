@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbpl_types.dir/types/lattice.cc.o"
+  "CMakeFiles/dbpl_types.dir/types/lattice.cc.o.d"
+  "CMakeFiles/dbpl_types.dir/types/parse.cc.o"
+  "CMakeFiles/dbpl_types.dir/types/parse.cc.o.d"
+  "CMakeFiles/dbpl_types.dir/types/print.cc.o"
+  "CMakeFiles/dbpl_types.dir/types/print.cc.o.d"
+  "CMakeFiles/dbpl_types.dir/types/subtype.cc.o"
+  "CMakeFiles/dbpl_types.dir/types/subtype.cc.o.d"
+  "CMakeFiles/dbpl_types.dir/types/type.cc.o"
+  "CMakeFiles/dbpl_types.dir/types/type.cc.o.d"
+  "CMakeFiles/dbpl_types.dir/types/type_of.cc.o"
+  "CMakeFiles/dbpl_types.dir/types/type_of.cc.o.d"
+  "libdbpl_types.a"
+  "libdbpl_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbpl_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

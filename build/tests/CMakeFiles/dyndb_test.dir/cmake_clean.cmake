@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyndb_test.dir/dyndb_test.cc.o"
+  "CMakeFiles/dyndb_test.dir/dyndb_test.cc.o.d"
+  "dyndb_test"
+  "dyndb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyndb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grelation_test.dir/grelation_test.cc.o"
+  "CMakeFiles/grelation_test.dir/grelation_test.cc.o.d"
+  "grelation_test"
+  "grelation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grelation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

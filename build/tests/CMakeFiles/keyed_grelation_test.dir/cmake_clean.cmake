@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keyed_grelation_test.dir/keyed_grelation_test.cc.o"
+  "CMakeFiles/keyed_grelation_test.dir/keyed_grelation_test.cc.o.d"
+  "keyed_grelation_test"
+  "keyed_grelation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keyed_grelation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

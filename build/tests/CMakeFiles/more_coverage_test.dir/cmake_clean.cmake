@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/more_coverage_test.dir/more_coverage_test.cc.o"
+  "CMakeFiles/more_coverage_test.dir/more_coverage_test.cc.o.d"
+  "more_coverage_test"
+  "more_coverage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/more_coverage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/persist_test.cc" "tests/CMakeFiles/persist_test.dir/persist_test.cc.o" "gcc" "tests/CMakeFiles/persist_test.dir/persist_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbpl_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbpl_classes.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbpl_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbpl_persist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbpl_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbpl_dyndb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbpl_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbpl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbpl_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbpl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

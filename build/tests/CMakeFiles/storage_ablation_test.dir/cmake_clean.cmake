@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_ablation_test.dir/storage_ablation_test.cc.o"
+  "CMakeFiles/storage_ablation_test.dir/storage_ablation_test.cc.o.d"
+  "storage_ablation_test"
+  "storage_ablation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_ablation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

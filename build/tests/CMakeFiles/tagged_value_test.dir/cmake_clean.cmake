@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagged_value_test.dir/tagged_value_test.cc.o"
+  "CMakeFiles/tagged_value_test.dir/tagged_value_test.cc.o.d"
+  "tagged_value_test"
+  "tagged_value_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagged_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/type_of_test.dir/type_of_test.cc.o"
+  "CMakeFiles/type_of_test.dir/type_of_test.cc.o.d"
+  "type_of_test"
+  "type_of_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/type_of_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

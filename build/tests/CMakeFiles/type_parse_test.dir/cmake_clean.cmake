@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/type_parse_test.dir/type_parse_test.cc.o"
+  "CMakeFiles/type_parse_test.dir/type_parse_test.cc.o.d"
+  "type_parse_test"
+  "type_parse_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/type_parse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
