@@ -6,7 +6,8 @@
 
 namespace dbpl::persist {
 
-Status SaveDatabase(const std::string& path, const dyndb::Database& db) {
+Status SaveDatabase(storage::Vfs* vfs, const std::string& path,
+                    const dyndb::Database& db) {
   ByteBuffer out;
   serial::EncodeHeader(&out);
   out.PutVarint(db.size());
@@ -14,11 +15,12 @@ Status SaveDatabase(const std::string& path, const dyndb::Database& db) {
     serial::EncodeType(d.type, &out);
     serial::EncodeValue(d.value, &out);
   }
-  return WriteFileAtomic(path, out);
+  return WriteFileAtomic(vfs, path, out);
 }
 
-Result<dyndb::Database> LoadDatabase(const std::string& path) {
-  DBPL_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFileBytes(path));
+Result<dyndb::Database> LoadDatabase(storage::Vfs* vfs,
+                                     const std::string& path) {
+  DBPL_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFileBytes(vfs, path));
   ByteReader in(bytes.data(), bytes.size());
   DBPL_RETURN_IF_ERROR(serial::DecodeHeader(&in));
   DBPL_ASSIGN_OR_RETURN(uint64_t count, in.ReadVarint());

@@ -5,6 +5,7 @@
 
 #include "common/result.h"
 #include "dyndb/database.h"
+#include "storage/vfs.h"
 
 namespace dbpl::persist {
 
@@ -13,11 +14,19 @@ namespace dbpl::persist {
 /// file, atomically. Registered extents are not stored: they are
 /// *derived* state and are rebuilt by re-registering after load, which
 /// is the paper's point about extents being separable from persistence.
-Status SaveDatabase(const std::string& path, const dyndb::Database& db);
+Status SaveDatabase(storage::Vfs* vfs, const std::string& path,
+                    const dyndb::Database& db);
+inline Status SaveDatabase(const std::string& path, const dyndb::Database& db) {
+  return SaveDatabase(storage::Vfs::Default(), path, db);
+}
 
 /// Loads a database written by `SaveDatabase`. Entry ids are assigned
 /// afresh in the stored order.
-Result<dyndb::Database> LoadDatabase(const std::string& path);
+Result<dyndb::Database> LoadDatabase(storage::Vfs* vfs,
+                                     const std::string& path);
+inline Result<dyndb::Database> LoadDatabase(const std::string& path) {
+  return LoadDatabase(storage::Vfs::Default(), path);
+}
 
 }  // namespace dbpl::persist
 

@@ -1,70 +1,23 @@
 #include "persist/file_util.h"
 
-#include <fcntl.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstdio>
-#include <cstring>
-
 namespace dbpl::persist {
-namespace {
 
-Status Errno(const std::string& what) {
-  return Status::IoError(what + ": " + std::strerror(errno));
+Result<std::vector<uint8_t>> ReadFileBytes(storage::Vfs* vfs,
+                                           const std::string& path) {
+  return vfs->ReadFileBytes(path);
 }
 
-}  // namespace
-
-Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
-  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
-  if (fd < 0) {
-    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
-    return Errno("open " + path);
-  }
-  off_t size = ::lseek(fd, 0, SEEK_END);
-  if (size < 0) {
-    ::close(fd);
-    return Errno("lseek " + path);
-  }
-  std::vector<uint8_t> out(static_cast<size_t>(size));
-  ssize_t n = ::pread(fd, out.data(), out.size(), 0);
-  ::close(fd);
-  if (n < 0) return Errno("pread " + path);
-  if (static_cast<size_t>(n) != out.size()) {
-    return Status::IoError("short read of " + path);
-  }
-  return out;
+Status WriteFileAtomic(storage::Vfs* vfs, const std::string& path,
+                       const ByteBuffer& data) {
+  return vfs->WriteFileAtomic(path, data);
 }
 
-Status WriteFileAtomic(const std::string& path, const ByteBuffer& data) {
-  const std::string tmp = path + ".tmp";
-  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
-  if (fd < 0) return Errno("open " + tmp);
-  ssize_t n = ::write(fd, data.data(), data.size());
-  if (n < 0 || static_cast<size_t>(n) != data.size()) {
-    ::close(fd);
-    return Errno("write " + tmp);
-  }
-  if (::fsync(fd) != 0) {
-    ::close(fd);
-    return Errno("fsync " + tmp);
-  }
-  ::close(fd);
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return Errno("rename " + tmp + " -> " + path);
-  }
-  return Status::OK();
+void RemoveFileIfExists(storage::Vfs* vfs, const std::string& path) {
+  (void)vfs->Remove(path);
 }
 
-void RemoveFileIfExists(const std::string& path) {
-  std::remove(path.c_str());
-}
-
-bool FileExists(const std::string& path) {
-  struct stat st;
-  return ::stat(path.c_str(), &st) == 0;
+bool FileExists(storage::Vfs* vfs, const std::string& path) {
+  return vfs->Exists(path);
 }
 
 }  // namespace dbpl::persist

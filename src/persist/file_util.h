@@ -6,20 +6,35 @@
 
 #include "common/bytes.h"
 #include "common/result.h"
+#include "storage/vfs.h"
 
 namespace dbpl::persist {
 
-/// Reads an entire file into memory.
-Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path);
+/// Reads an entire file into memory through `vfs`.
+Result<std::vector<uint8_t>> ReadFileBytes(storage::Vfs* vfs,
+                                           const std::string& path);
+inline Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
+  return ReadFileBytes(storage::Vfs::Default(), path);
+}
 
 /// Writes a buffer to `path` atomically: write to `path.tmp`, fsync,
 /// rename. A crash mid-save leaves any previous file intact.
-Status WriteFileAtomic(const std::string& path, const ByteBuffer& data);
+Status WriteFileAtomic(storage::Vfs* vfs, const std::string& path,
+                       const ByteBuffer& data);
+inline Status WriteFileAtomic(const std::string& path, const ByteBuffer& data) {
+  return WriteFileAtomic(storage::Vfs::Default(), path, data);
+}
 
 /// Removes a file if it exists (no error when absent).
-void RemoveFileIfExists(const std::string& path);
+void RemoveFileIfExists(storage::Vfs* vfs, const std::string& path);
+inline void RemoveFileIfExists(const std::string& path) {
+  RemoveFileIfExists(storage::Vfs::Default(), path);
+}
 
-bool FileExists(const std::string& path);
+bool FileExists(storage::Vfs* vfs, const std::string& path);
+inline bool FileExists(const std::string& path) {
+  return FileExists(storage::Vfs::Default(), path);
+}
 
 }  // namespace dbpl::persist
 

@@ -55,9 +55,9 @@ Result<std::pair<core::Oid, types::Type>> DecodeRoot(
 }  // namespace
 
 Result<std::unique_ptr<IntrinsicStore>> IntrinsicStore::Open(
-    const std::string& path) {
+    storage::Vfs* vfs, const std::string& path) {
   DBPL_ASSIGN_OR_RETURN(std::unique_ptr<storage::KvStore> kv,
-                        storage::KvStore::Open(path));
+                        storage::KvStore::Open(vfs, path));
   std::unique_ptr<IntrinsicStore> store(new IntrinsicStore(std::move(kv)));
   DBPL_RETURN_IF_ERROR(store->LoadCommitted());
   return store;

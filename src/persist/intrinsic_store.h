@@ -36,8 +36,15 @@ namespace dbpl::persist {
 class IntrinsicStore {
  public:
   /// Opens (creating) a store backed by the log file at `path`,
-  /// loading the committed heap and roots.
-  static Result<std::unique_ptr<IntrinsicStore>> Open(const std::string& path);
+  /// loading the committed heap and roots. All I/O goes through `vfs`
+  /// (which must outlive the store).
+  static Result<std::unique_ptr<IntrinsicStore>> Open(storage::Vfs* vfs,
+                                                      const std::string& path);
+  /// As above, on the production VFS.
+  static Result<std::unique_ptr<IntrinsicStore>> Open(
+      const std::string& path) {
+    return Open(storage::Vfs::Default(), path);
+  }
 
   /// The program-visible heap. Mutations are transient until `Commit`.
   core::Heap& heap() { return heap_; }

@@ -1,12 +1,6 @@
 #include "persist/replicating_store.h"
 
-#include <dirent.h>
-
 #include <algorithm>
-#include <sys/stat.h>
-
-#include <cerrno>
-#include <cstring>
 #include <map>
 
 #include "persist/file_util.h"
@@ -69,12 +63,10 @@ bool HasRefs(const core::Value& v) {
 }  // namespace
 
 Result<std::unique_ptr<ReplicatingStore>> ReplicatingStore::Open(
-    const std::string& directory) {
-  if (::mkdir(directory.c_str(), 0755) != 0 && errno != EEXIST) {
-    return Status::IoError("mkdir " + directory + ": " +
-                           std::strerror(errno));
-  }
-  return std::unique_ptr<ReplicatingStore>(new ReplicatingStore(directory));
+    storage::Vfs* vfs, const std::string& directory) {
+  DBPL_RETURN_IF_ERROR(vfs->CreateDir(directory));
+  return std::unique_ptr<ReplicatingStore>(
+      new ReplicatingStore(vfs, directory));
 }
 
 std::string ReplicatingStore::FilePath(const std::string& handle) const {
@@ -115,12 +107,12 @@ Status ReplicatingStore::Extern(const std::string& handle,
     serial::EncodeType(types::TypeOf(*obj), &out);
     serial::EncodeValue(local_obj, &out);
   }
-  return WriteFileAtomic(FilePath(handle), out);
+  return WriteFileAtomic(vfs_, FilePath(handle), out);
 }
 
 Result<dyndb::Dynamic> ReplicatingStore::Intern(const std::string& handle,
                                                 core::Heap* into) {
-  Result<std::vector<uint8_t>> bytes = ReadFileBytes(FilePath(handle));
+  Result<std::vector<uint8_t>> bytes = ReadFileBytes(vfs_, FilePath(handle));
   if (!bytes.ok()) {
     if (bytes.status().code() == StatusCode::kNotFound) {
       return Status::NotFound("no such handle: " + handle);
@@ -177,30 +169,28 @@ Result<core::Value> ReplicatingStore::InternAs(const std::string& handle,
 }
 
 bool ReplicatingStore::HasHandle(const std::string& handle) const {
-  return FileExists(FilePath(handle));
+  return FileExists(vfs_, FilePath(handle));
 }
 
 Status ReplicatingStore::Drop(const std::string& handle) {
   if (!HasHandle(handle)) {
     return Status::NotFound("no such handle: " + handle);
   }
-  RemoveFileIfExists(FilePath(handle));
+  RemoveFileIfExists(vfs_, FilePath(handle));
   return Status::OK();
 }
 
 std::vector<std::string> ReplicatingStore::Handles() const {
   std::vector<std::string> out;
-  DIR* dir = ::opendir(directory_.c_str());
-  if (dir == nullptr) return out;
-  while (struct dirent* entry = ::readdir(dir)) {
-    std::string name = entry->d_name;
+  Result<std::vector<std::string>> names = vfs_->ListDir(directory_);
+  if (!names.ok()) return out;
+  for (const std::string& name : *names) {
     const size_t suffix_len = sizeof(kSuffix) - 1;
     if (name.size() > suffix_len &&
         name.compare(name.size() - suffix_len, suffix_len, kSuffix) == 0) {
       out.push_back(name.substr(0, name.size() - suffix_len));
     }
   }
-  ::closedir(dir);
   std::sort(out.begin(), out.end());
   return out;
 }

@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "core/heap.h"
 #include "dyndb/dynamic.h"
+#include "storage/vfs.h"
 #include "types/type.h"
 
 namespace dbpl::persist {
@@ -30,10 +31,16 @@ namespace dbpl::persist {
 /// survive the round trip.
 class ReplicatingStore {
  public:
-  /// Opens (creating) a store rooted at directory `directory`. Each
-  /// handle is one self-describing file `<directory>/<handle>.dbpl`.
+  /// Opens (creating) a store rooted at directory `directory`, with all
+  /// I/O through `vfs` (which must outlive the store). Each handle is
+  /// one self-describing file `<directory>/<handle>.dbpl`.
   static Result<std::unique_ptr<ReplicatingStore>> Open(
-      const std::string& directory);
+      storage::Vfs* vfs, const std::string& directory);
+  /// As above, on the production VFS.
+  static Result<std::unique_ptr<ReplicatingStore>> Open(
+      const std::string& directory) {
+    return Open(storage::Vfs::Default(), directory);
+  }
 
   /// Amber's `extern 'handle' (dynamic d)`. When `heap` is non-null,
   /// every object reachable from d through Ref values is replicated
@@ -61,11 +68,12 @@ class ReplicatingStore {
   const std::string& directory() const { return directory_; }
 
  private:
-  explicit ReplicatingStore(std::string directory)
-      : directory_(std::move(directory)) {}
+  ReplicatingStore(storage::Vfs* vfs, std::string directory)
+      : vfs_(vfs), directory_(std::move(directory)) {}
 
   std::string FilePath(const std::string& handle) const;
 
+  storage::Vfs* vfs_;
   std::string directory_;
 };
 

@@ -7,7 +7,8 @@
 
 namespace dbpl::persist {
 
-Status SnapshotStore::Save(const std::string& path, const core::Heap& heap,
+Status SnapshotStore::Save(storage::Vfs* vfs, const std::string& path,
+                           const core::Heap& heap,
                            const std::map<std::string, core::Oid>& roots) {
   ByteBuffer out;
   serial::EncodeHeader(&out);
@@ -27,11 +28,12 @@ Status SnapshotStore::Save(const std::string& path, const core::Heap& heap,
     serial::EncodeType(types::TypeOf(*v), &out);
     serial::EncodeValue(*v, &out);
   }
-  return WriteFileAtomic(path, out);
+  return WriteFileAtomic(vfs, path, out);
 }
 
-Result<SnapshotStore::Image> SnapshotStore::Load(const std::string& path) {
-  DBPL_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFileBytes(path));
+Result<SnapshotStore::Image> SnapshotStore::Load(storage::Vfs* vfs,
+                                                 const std::string& path) {
+  DBPL_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFileBytes(vfs, path));
   ByteReader in(bytes.data(), bytes.size());
   DBPL_RETURN_IF_ERROR(serial::DecodeHeader(&in));
   Image image;
@@ -59,15 +61,16 @@ Result<SnapshotStore::Image> SnapshotStore::Load(const std::string& path) {
   return image;
 }
 
-Status SnapshotStore::SaveValue(const std::string& path,
+Status SnapshotStore::SaveValue(storage::Vfs* vfs, const std::string& path,
                                 const dyndb::Dynamic& d) {
   ByteBuffer out;
   serial::EncodeDynamic(d, &out);
-  return WriteFileAtomic(path, out);
+  return WriteFileAtomic(vfs, path, out);
 }
 
-Result<dyndb::Dynamic> SnapshotStore::LoadValue(const std::string& path) {
-  DBPL_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFileBytes(path));
+Result<dyndb::Dynamic> SnapshotStore::LoadValue(storage::Vfs* vfs,
+                                                const std::string& path) {
+  DBPL_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFileBytes(vfs, path));
   ByteReader in(bytes.data(), bytes.size());
   DBPL_ASSIGN_OR_RETURN(dyndb::Dynamic d, serial::DecodeDynamic(&in));
   if (!in.AtEnd()) return Status::Corruption("trailing bytes in value file");

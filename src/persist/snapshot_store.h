@@ -7,6 +7,7 @@
 #include "common/result.h"
 #include "core/heap.h"
 #include "dyndb/dynamic.h"
+#include "storage/vfs.h"
 
 namespace dbpl::persist {
 
@@ -30,16 +31,32 @@ class SnapshotStore {
     std::map<std::string, core::Oid> roots;
   };
 
-  /// Serializes the whole image to `path` (atomically).
-  static Status Save(const std::string& path, const core::Heap& heap,
+  /// Serializes the whole image to `path` (atomically), through `vfs`.
+  static Status Save(storage::Vfs* vfs, const std::string& path,
+                     const core::Heap& heap,
                      const std::map<std::string, core::Oid>& roots);
+  static Status Save(const std::string& path, const core::Heap& heap,
+                     const std::map<std::string, core::Oid>& roots) {
+    return Save(storage::Vfs::Default(), path, heap, roots);
+  }
 
   /// Reads a whole image back.
-  static Result<Image> Load(const std::string& path);
+  static Result<Image> Load(storage::Vfs* vfs, const std::string& path);
+  static Result<Image> Load(const std::string& path) {
+    return Load(storage::Vfs::Default(), path);
+  }
 
   /// Convenience for single self-describing values (no heap).
-  static Status SaveValue(const std::string& path, const dyndb::Dynamic& d);
-  static Result<dyndb::Dynamic> LoadValue(const std::string& path);
+  static Status SaveValue(storage::Vfs* vfs, const std::string& path,
+                          const dyndb::Dynamic& d);
+  static Status SaveValue(const std::string& path, const dyndb::Dynamic& d) {
+    return SaveValue(storage::Vfs::Default(), path, d);
+  }
+  static Result<dyndb::Dynamic> LoadValue(storage::Vfs* vfs,
+                                          const std::string& path);
+  static Result<dyndb::Dynamic> LoadValue(const std::string& path) {
+    return LoadValue(storage::Vfs::Default(), path);
+  }
 };
 
 }  // namespace dbpl::persist

@@ -1,0 +1,268 @@
+#include "storage/fault_vfs.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace dbpl::storage {
+namespace {
+
+/// Copies `n` bytes into `buf` at `offset`, zero-extending the buffer
+/// first if the write starts or ends past its current size.
+void ApplyWriteTo(std::vector<uint8_t>* buf, uint64_t offset,
+                  const uint8_t* data, size_t n) {
+  if (n == 0) return;
+  size_t end = static_cast<size_t>(offset) + n;
+  if (buf->size() < end) buf->resize(end, 0);
+  std::memcpy(buf->data() + offset, data, n);
+}
+
+Status Stale() {
+  return Status::IoError("stale file handle: file opened before power loss");
+}
+
+Status Crashed() {
+  return Status::IoError("injected fault: I/O after crash point");
+}
+
+}  // namespace
+
+/// A handle into one FaultVfs inode. Handles opened before a PowerLoss
+/// are stale (the epoch moved on) and fail every operation.
+class FaultVfsFile : public VfsFile {
+ public:
+  FaultVfsFile(FaultVfs* vfs, std::shared_ptr<FaultVfs::FileState> state,
+               uint64_t epoch, bool writable)
+      : vfs_(vfs), state_(std::move(state)), epoch_(epoch),
+        writable_(writable) {}
+
+  Result<size_t> ReadAt(uint64_t offset, void* out, size_t n) override {
+    if (epoch_ != vfs_->epoch_) return Stale();
+    if (vfs_->crashed_) return Crashed();
+    const std::vector<uint8_t>& bytes = state_->current;
+    if (offset >= bytes.size()) return size_t{0};
+    size_t got = std::min(n, bytes.size() - static_cast<size_t>(offset));
+    std::memcpy(out, bytes.data() + offset, got);
+    return got;
+  }
+
+  Status WriteAt(uint64_t offset, const void* data, size_t n) override {
+    if (epoch_ != vfs_->epoch_) return Stale();
+    if (!writable_) return Status::IoError("file not open for writing");
+    size_t torn = 0;
+    Status gate = vfs_->CountMutation(n, &torn);
+    const auto* src = static_cast<const uint8_t*>(data);
+    size_t apply = gate.ok() ? n : torn;
+    if (apply > 0) {
+      ApplyWriteTo(&state_->current, offset, src, apply);
+      state_->pending.push_back(
+          {offset, std::vector<uint8_t>(src, src + apply)});
+    }
+    return gate;
+  }
+
+  Status Append(const void* data, size_t n) override {
+    if (epoch_ != vfs_->epoch_) return Stale();
+    return WriteAt(state_->current.size(), data, n);
+  }
+
+  Result<uint64_t> Size() const override {
+    if (epoch_ != vfs_->epoch_) return Stale();
+    if (vfs_->crashed_) return Crashed();
+    return static_cast<uint64_t>(state_->current.size());
+  }
+
+  Status Sync() override {
+    if (epoch_ != vfs_->epoch_) return Stale();
+    DBPL_RETURN_IF_ERROR(vfs_->CountMutation(0, nullptr));
+    if (vfs_->drop_syncs_) return Status::OK();  // the lying fsync
+    state_->durable = state_->current;
+    state_->pending.clear();
+    return Status::OK();
+  }
+
+ private:
+  FaultVfs* vfs_;
+  std::shared_ptr<FaultVfs::FileState> state_;
+  uint64_t epoch_;
+  bool writable_;
+};
+
+FaultVfs::FaultVfs(uint64_t seed)
+    : rng_state_(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
+
+FaultVfs::~FaultVfs() = default;
+
+uint64_t FaultVfs::NextRandom() {
+  rng_state_ ^= rng_state_ << 13;
+  rng_state_ ^= rng_state_ >> 7;
+  rng_state_ ^= rng_state_ << 17;
+  return rng_state_;
+}
+
+Status FaultVfs::CountMutation(size_t n, size_t* torn_prefix) {
+  if (torn_prefix != nullptr) *torn_prefix = 0;
+  if (crashed_) return Crashed();
+  ++op_count_;
+  if (crash_at_op_ != 0 && op_count_ >= crash_at_op_) {
+    crashed_ = true;
+    // A crashing write applies a seeded-RNG prefix of its bytes first:
+    // the short / torn write.
+    if (torn_prefix != nullptr && n > 0) {
+      *torn_prefix = static_cast<size_t>(NextRandom() % (n + 1));
+    }
+    return Status::IoError("injected fault: crash at mutating op " +
+                           std::to_string(op_count_));
+  }
+  return Status::OK();
+}
+
+void FaultVfs::CrashAtMutatingOp(uint64_t k) {
+  crash_at_op_ = k == 0 ? 0 : op_count_ + k;
+}
+
+void FaultVfs::ClearCrash() {
+  crashed_ = false;
+  crash_at_op_ = 0;
+}
+
+void FaultVfs::PowerLoss(UnsyncedFate fate) {
+  for (auto& [path, state] : files_) {
+    switch (fate) {
+      case UnsyncedFate::kLost:
+        state->current = state->durable;
+        break;
+      case UnsyncedFate::kSurvives:
+        state->durable = state->current;
+        break;
+      case UnsyncedFate::kTornPrefix: {
+        // A seeded-RNG prefix of the unsynced writes reaches stable
+        // storage, in write order; the first lost write may itself be
+        // torn mid-record.
+        std::vector<uint8_t> image = state->durable;
+        uint64_t keep = NextRandom() % (state->pending.size() + 1);
+        for (uint64_t i = 0; i < keep; ++i) {
+          const PendingWrite& w = state->pending[i];
+          ApplyWriteTo(&image, w.offset, w.bytes.data(), w.bytes.size());
+        }
+        if (keep < state->pending.size()) {
+          const PendingWrite& w = state->pending[keep];
+          size_t part = static_cast<size_t>(NextRandom() % (w.bytes.size() + 1));
+          ApplyWriteTo(&image, w.offset, w.bytes.data(), part);
+        }
+        state->durable = image;
+        state->current = std::move(image);
+        break;
+      }
+    }
+    state->pending.clear();
+  }
+  ++epoch_;  // every open handle is now stale
+  ClearCrash();
+}
+
+Result<std::unique_ptr<VfsFile>> FaultVfs::Open(const std::string& path,
+                                                OpenMode mode) {
+  if (crashed_) return Crashed();
+  auto it = files_.find(path);
+  bool writable = mode != OpenMode::kRead;
+  if (mode == OpenMode::kRead) {
+    if (it == files_.end()) return Status::NotFound("no such file: " + path);
+    return std::unique_ptr<VfsFile>(
+        new FaultVfsFile(this, it->second, epoch_, writable));
+  }
+  // Creation and truncation are namespace/metadata mutations: counted
+  // as ops and, when they succeed, immediately durable (the journaled-
+  // metadata simplification — data writes are the fault surface).
+  if (it == files_.end()) {
+    DBPL_RETURN_IF_ERROR(CountMutation(0, nullptr));
+    it = files_.emplace(path, std::make_shared<FileState>()).first;
+  } else if (mode == OpenMode::kTruncate) {
+    DBPL_RETURN_IF_ERROR(CountMutation(0, nullptr));
+    it->second->current.clear();
+    it->second->durable.clear();
+    it->second->pending.clear();
+  }
+  return std::unique_ptr<VfsFile>(
+      new FaultVfsFile(this, it->second, epoch_, writable));
+}
+
+bool FaultVfs::Exists(const std::string& path) const {
+  return files_.contains(path) || dirs_.contains(path);
+}
+
+Status FaultVfs::Remove(const std::string& path) {
+  DBPL_RETURN_IF_ERROR(CountMutation(0, nullptr));
+  if (files_.erase(path) == 0) {
+    return Status::NotFound("no such file: " + path);
+  }
+  return Status::OK();
+}
+
+Status FaultVfs::Rename(const std::string& from, const std::string& to) {
+  DBPL_RETURN_IF_ERROR(CountMutation(0, nullptr));
+  auto it = files_.find(from);
+  if (it == files_.end()) return Status::NotFound("no such file: " + from);
+  files_[to] = it->second;
+  files_.erase(it);
+  return Status::OK();
+}
+
+Status FaultVfs::CreateDir(const std::string& path) {
+  if (dirs_.contains(path)) return Status::OK();
+  DBPL_RETURN_IF_ERROR(CountMutation(0, nullptr));
+  dirs_.insert(path);
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> FaultVfs::ListDir(
+    const std::string& path) const {
+  std::vector<std::string> out;
+  const std::string prefix = path + "/";
+  for (const auto& [p, _] : files_) {
+    if (p.size() <= prefix.size() ||
+        p.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    std::string name = p.substr(prefix.size());
+    if (name.find('/') != std::string::npos) continue;  // nested deeper
+    out.push_back(std::move(name));
+  }
+  return out;  // map iteration order is already sorted
+}
+
+Status FaultVfs::FlipBit(const std::string& path, uint64_t bit_index) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  size_t byte = static_cast<size_t>(bit_index / 8);
+  uint8_t mask = static_cast<uint8_t>(1u << (bit_index % 8));
+  if (byte >= it->second->current.size()) {
+    return Status::InvalidArgument("bit index past end of file");
+  }
+  it->second->current[byte] ^= mask;
+  if (byte < it->second->durable.size()) it->second->durable[byte] ^= mask;
+  return Status::OK();
+}
+
+void FaultVfs::SetFileBytes(const std::string& path,
+                            std::vector<uint8_t> bytes) {
+  auto state = std::make_shared<FileState>();
+  state->durable = bytes;
+  state->current = std::move(bytes);
+  files_[path] = std::move(state);
+}
+
+Result<std::vector<uint8_t>> FaultVfs::GetFileBytes(
+    const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  return it->second->current;
+}
+
+std::vector<std::string> FaultVfs::Paths() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [p, _] : files_) out.push_back(p);
+  return out;
+}
+
+}  // namespace dbpl::storage

@@ -1,0 +1,134 @@
+#ifndef DBPL_STORAGE_FAULT_VFS_H_
+#define DBPL_STORAGE_FAULT_VFS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "storage/vfs.h"
+
+namespace dbpl::storage {
+
+/// A deterministic, in-memory, fault-injecting VFS for crash-recovery
+/// tests. No disk is touched; every "file" is a pair of byte images:
+///
+///  * `durable`  — what stable storage holds (survives power loss);
+///  * `current`  — durable plus unsynced writes, in write order.
+///
+/// `VfsFile::Sync` promotes current to durable. `PowerLoss(fate)`
+/// simulates pulling the plug: unsynced writes are discarded
+/// (`kLost`), kept (`kSurvives`), or applied as a seeded-RNG prefix in
+/// write order with the last surviving write possibly torn mid-record
+/// (`kTornPrefix` — the classic torn tail).
+///
+/// Crash injection: `CrashAtMutatingOp(k)` makes the k-th subsequent
+/// mutating operation (write, append, sync, rename, remove, truncating
+/// open) fail with IoError — a failing write first applies an
+/// RNG-chosen prefix of its bytes, modelling a short write — and every
+/// operation after it fail too, until `PowerLoss` or `ClearCrash`.
+/// `set_drop_syncs(true)` makes Sync report success without promoting
+/// anything (a lying fsync). `FlipBit` corrupts stored bytes directly.
+///
+/// All randomness comes from the constructor seed, so every failure
+/// reproduces exactly.
+class FaultVfs : public Vfs {
+ public:
+  /// What happens to unsynced writes at power loss.
+  enum class UnsyncedFate { kLost, kTornPrefix, kSurvives };
+
+  explicit FaultVfs(uint64_t seed);
+  ~FaultVfs() override;
+
+  // ---- Vfs interface.
+  Result<std::unique_ptr<VfsFile>> Open(const std::string& path,
+                                        OpenMode mode) override;
+  bool Exists(const std::string& path) const override;
+  Status Remove(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status CreateDir(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(
+      const std::string& path) const override;
+
+  // ---- Fault controls.
+
+  /// Arms a crash at the k-th (1-based) mutating operation counted from
+  /// now. Passing 0 disarms.
+  void CrashAtMutatingOp(uint64_t k);
+
+  /// True once the armed crash has fired (all I/O is failing).
+  bool crashed() const { return crashed_; }
+
+  /// Un-fails I/O without simulating power loss (unsynced data kept).
+  void ClearCrash();
+
+  /// Mutating operations counted since construction (or the last
+  /// `ResetOpCount`). Run a workload once fault-free to learn the total,
+  /// then iterate crash points 1..total.
+  uint64_t mutating_ops() const { return op_count_; }
+  void ResetOpCount() { op_count_ = 0; }
+
+  /// Simulates power loss: applies `fate` to every file's unsynced
+  /// writes, invalidates all open handles (their operations fail until
+  /// files are reopened), and clears any armed or fired crash.
+  void PowerLoss(UnsyncedFate fate);
+
+  /// When true, Sync returns OK without making anything durable.
+  void set_drop_syncs(bool drop) { drop_syncs_ = drop; }
+
+  // ---- Direct state access for tests.
+
+  /// Flips one bit of the file's current *and* durable content.
+  Status FlipBit(const std::string& path, uint64_t bit_index);
+
+  /// Creates/overwrites a file with fully durable contents.
+  void SetFileBytes(const std::string& path, std::vector<uint8_t> bytes);
+
+  /// The current (possibly unsynced) contents of a file.
+  Result<std::vector<uint8_t>> GetFileBytes(const std::string& path) const;
+
+  /// All file paths, sorted.
+  std::vector<std::string> Paths() const;
+
+ private:
+  friend class FaultVfsFile;
+
+  struct PendingWrite {
+    uint64_t offset;
+    std::vector<uint8_t> bytes;
+  };
+
+  /// One "inode". Open handles share it, so a file removed or renamed
+  /// while open keeps working through existing handles.
+  struct FileState {
+    std::vector<uint8_t> current;
+    std::vector<uint8_t> durable;
+    /// Unsynced writes in order, for torn-prefix power loss.
+    std::vector<PendingWrite> pending;
+  };
+
+  /// Counts one mutating operation. Returns OK when the op may proceed
+  /// in full; IoError when it must fail. For byte-carrying ops,
+  /// `*torn_prefix` is the number of leading bytes (of `n`) that still
+  /// reach the file when the op fails — the short-write model.
+  Status CountMutation(size_t n, size_t* torn_prefix);
+
+  uint64_t NextRandom();
+
+  std::map<std::string, std::shared_ptr<FileState>> files_;
+  std::set<std::string> dirs_;
+  uint64_t rng_state_;
+  uint64_t op_count_ = 0;
+  /// Absolute op index at which to crash; 0 = disarmed.
+  uint64_t crash_at_op_ = 0;
+  bool crashed_ = false;
+  bool drop_syncs_ = false;
+  /// Bumped at PowerLoss; handles from an older epoch are stale.
+  uint64_t epoch_ = 0;
+};
+
+}  // namespace dbpl::storage
+
+#endif  // DBPL_STORAGE_FAULT_VFS_H_

@@ -4,22 +4,23 @@
 
 namespace dbpl::storage {
 
-Result<std::unique_ptr<KvStore>> KvStore::Open(const std::string& path) {
-  std::unique_ptr<KvStore> store(new KvStore(path));
+Result<std::unique_ptr<KvStore>> KvStore::Open(Vfs* vfs,
+                                               const std::string& path) {
+  std::unique_ptr<KvStore> store(new KvStore(vfs, path));
   // Touch the file so replay and the writer agree it exists.
   {
     DBPL_ASSIGN_OR_RETURN(std::unique_ptr<LogWriter> writer,
-                          LogWriter::Open(path));
+                          LogWriter::Open(vfs, path));
     (void)writer;
   }
   DBPL_RETURN_IF_ERROR(store->Replay());
-  DBPL_ASSIGN_OR_RETURN(store->writer_, LogWriter::Open(path));
+  DBPL_ASSIGN_OR_RETURN(store->writer_, LogWriter::Open(vfs, path));
   return store;
 }
 
 Status KvStore::Replay() {
   DBPL_ASSIGN_OR_RETURN(std::unique_ptr<LogReader> reader,
-                        LogReader::Open(path_));
+                        LogReader::Open(vfs_, path_));
   std::vector<LogRecord> pending;
   LogRecord record;
   while (true) {
@@ -94,10 +95,10 @@ std::vector<std::string> KvStore::KeysWithPrefix(
 
 Status KvStore::Compact() {
   const std::string tmp = path_ + ".compact";
-  std::remove(tmp.c_str());
+  if (vfs_->Exists(tmp)) DBPL_RETURN_IF_ERROR(vfs_->Remove(tmp));
   {
     DBPL_ASSIGN_OR_RETURN(std::unique_ptr<LogWriter> writer,
-                          LogWriter::Open(tmp));
+                          LogWriter::Open(vfs_, tmp));
     for (const auto& [k, v] : index_) {
       DBPL_RETURN_IF_ERROR(
           writer->Append(LogRecord{LogRecordType::kPut, k, v}));
@@ -107,10 +108,8 @@ Status KvStore::Compact() {
     DBPL_RETURN_IF_ERROR(writer->Sync());
   }
   writer_.reset();  // close the old log before replacing it
-  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
-    return Status::IoError("rename compacted log failed");
-  }
-  DBPL_ASSIGN_OR_RETURN(writer_, LogWriter::Open(path_));
+  DBPL_RETURN_IF_ERROR(vfs_->Rename(tmp, path_));
+  DBPL_ASSIGN_OR_RETURN(writer_, LogWriter::Open(vfs_, path_));
   return Status::OK();
 }
 

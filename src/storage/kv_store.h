@@ -50,8 +50,14 @@ class KvStore {
     bool corrupt_tail = false;
   };
 
-  /// Opens (creating if necessary) the store whose log is at `path`.
-  static Result<std::unique_ptr<KvStore>> Open(const std::string& path);
+  /// Opens (creating if necessary) the store whose log is at `path`,
+  /// with all I/O through `vfs` (which must outlive the store).
+  static Result<std::unique_ptr<KvStore>> Open(Vfs* vfs,
+                                               const std::string& path);
+  /// As above, on the production VFS.
+  static Result<std::unique_ptr<KvStore>> Open(const std::string& path) {
+    return Open(Vfs::Default(), path);
+  }
 
   KvStore(const KvStore&) = delete;
   KvStore& operator=(const KvStore&) = delete;
@@ -76,10 +82,11 @@ class KvStore {
   const std::string& path() const { return path_; }
 
  private:
-  KvStore(std::string path) : path_(std::move(path)) {}
+  KvStore(Vfs* vfs, std::string path) : vfs_(vfs), path_(std::move(path)) {}
 
   Status Replay();
 
+  Vfs* vfs_;
   std::string path_;
   std::map<std::string, std::string, std::less<>> index_;
   std::unique_ptr<LogWriter> writer_;

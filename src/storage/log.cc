@@ -1,8 +1,5 @@
 #include "storage/log.h"
 
-#include <unistd.h>
-
-#include <cerrno>
 #include <cstring>
 #include <vector>
 
@@ -10,32 +7,13 @@
 #include "common/crc32c.h"
 
 namespace dbpl::storage {
-namespace {
 
-Status Errno(const std::string& what) {
-  return Status::IoError(what + ": " + std::strerror(errno));
-}
-
-}  // namespace
-
-Result<std::unique_ptr<LogWriter>> LogWriter::Open(const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "ab");
-  if (file == nullptr) return Errno("fopen " + path);
-  if (std::fseek(file, 0, SEEK_END) != 0) {
-    std::fclose(file);
-    return Errno("fseek " + path);
-  }
-  long pos = std::ftell(file);
-  if (pos < 0) {
-    std::fclose(file);
-    return Errno("ftell " + path);
-  }
-  return std::unique_ptr<LogWriter>(
-      new LogWriter(file, static_cast<uint64_t>(pos)));
-}
-
-LogWriter::~LogWriter() {
-  if (file_ != nullptr) std::fclose(file_);
+Result<std::unique_ptr<LogWriter>> LogWriter::Open(Vfs* vfs,
+                                                   const std::string& path) {
+  DBPL_ASSIGN_OR_RETURN(std::unique_ptr<VfsFile> file,
+                        vfs->Open(path, OpenMode::kAppend));
+  DBPL_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  return std::unique_ptr<LogWriter>(new LogWriter(std::move(file), size));
 }
 
 Status LogWriter::Append(const LogRecord& record) {
@@ -49,34 +27,26 @@ Status LogWriter::Append(const LogRecord& record) {
   frame.PutU32(static_cast<uint32_t>(body.size()));
   frame.PutRaw(body.data(), body.size());
 
-  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
-    return Errno("fwrite log record");
-  }
+  DBPL_RETURN_IF_ERROR(file_->Append(frame.data(), frame.size()));
   bytes_written_ += frame.size();
   return Status::OK();
 }
 
-Status LogWriter::Sync() {
-  if (std::fflush(file_) != 0) return Errno("fflush log");
-  if (::fsync(::fileno(file_)) != 0) return Errno("fsync log");
-  return Status::OK();
-}
+Status LogWriter::Sync() { return file_->Sync(); }
 
-Result<std::unique_ptr<LogReader>> LogReader::Open(const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "rb");
-  if (file == nullptr) return Errno("fopen " + path);
-  return std::unique_ptr<LogReader>(new LogReader(file));
-}
-
-LogReader::~LogReader() {
-  if (file_ != nullptr) std::fclose(file_);
+Result<std::unique_ptr<LogReader>> LogReader::Open(Vfs* vfs,
+                                                   const std::string& path) {
+  DBPL_ASSIGN_OR_RETURN(std::unique_ptr<VfsFile> file,
+                        vfs->Open(path, OpenMode::kRead));
+  return std::unique_ptr<LogReader>(new LogReader(std::move(file)));
 }
 
 Result<bool> LogReader::Next(LogRecord* out) {
   if (done_) return false;
   uint8_t header[8];
-  size_t n = std::fread(header, 1, sizeof(header), file_);
-  if (n == 0 && std::feof(file_)) {
+  DBPL_ASSIGN_OR_RETURN(size_t n,
+                        file_->ReadAt(offset_, header, sizeof(header)));
+  if (n == 0) {
     done_ = true;
     return false;
   }
@@ -95,7 +65,10 @@ Result<bool> LogReader::Next(LogRecord* out) {
     return false;
   }
   std::vector<uint8_t> body(len);
-  if (std::fread(body.data(), 1, len, file_) != len) {
+  DBPL_ASSIGN_OR_RETURN(size_t body_read,
+                        file_->ReadAt(offset_ + sizeof(header), body.data(),
+                                      len));
+  if (body_read != len) {
     done_ = true;
     saw_corrupt_tail_ = true;
     return false;
@@ -118,6 +91,7 @@ Result<bool> LogReader::Next(LogRecord* out) {
     saw_corrupt_tail_ = true;
     return false;
   }
+  offset_ += sizeof(header) + len;
   out->type = static_cast<LogRecordType>(*type);
   out->key = std::move(key).value();
   out->value = std::move(value).value();

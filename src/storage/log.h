@@ -2,12 +2,12 @@
 #define DBPL_STORAGE_LOG_H_
 
 #include <cstdint>
-#include <cstdio>
 #include <memory>
 #include <string>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "storage/vfs.h"
 
 namespace dbpl::storage {
 
@@ -38,24 +38,29 @@ struct LogRecord {
 /// recovery, together with any uncommitted records before it.
 class LogWriter {
  public:
-  /// Opens `path` for appending, creating it if absent.
-  static Result<std::unique_ptr<LogWriter>> Open(const std::string& path);
+  /// Opens `path` for appending through `vfs`, creating it if absent.
+  /// `vfs` must outlive the writer.
+  static Result<std::unique_ptr<LogWriter>> Open(Vfs* vfs,
+                                                 const std::string& path);
+  /// As above, on the production VFS.
+  static Result<std::unique_ptr<LogWriter>> Open(const std::string& path) {
+    return Open(Vfs::Default(), path);
+  }
 
-  ~LogWriter();
   LogWriter(const LogWriter&) = delete;
   LogWriter& operator=(const LogWriter&) = delete;
 
   Status Append(const LogRecord& record);
-  /// Flushes to the OS and fsyncs.
+  /// Flushes to stable storage.
   Status Sync();
 
   uint64_t bytes_written() const { return bytes_written_; }
 
  private:
-  LogWriter(std::FILE* file, uint64_t existing_bytes)
-      : file_(file), bytes_written_(existing_bytes) {}
+  LogWriter(std::unique_ptr<VfsFile> file, uint64_t existing_bytes)
+      : file_(std::move(file)), bytes_written_(existing_bytes) {}
 
-  std::FILE* file_;
+  std::unique_ptr<VfsFile> file_;
   uint64_t bytes_written_;
 };
 
@@ -63,9 +68,14 @@ class LogWriter {
 /// corrupt or truncated record (the "tail").
 class LogReader {
  public:
-  static Result<std::unique_ptr<LogReader>> Open(const std::string& path);
+  /// Opens `path` for reading through `vfs` (which must outlive the
+  /// reader).
+  static Result<std::unique_ptr<LogReader>> Open(Vfs* vfs,
+                                                 const std::string& path);
+  static Result<std::unique_ptr<LogReader>> Open(const std::string& path) {
+    return Open(Vfs::Default(), path);
+  }
 
-  ~LogReader();
   LogReader(const LogReader&) = delete;
   LogReader& operator=(const LogReader&) = delete;
 
@@ -78,9 +88,10 @@ class LogReader {
   bool saw_corrupt_tail() const { return saw_corrupt_tail_; }
 
  private:
-  explicit LogReader(std::FILE* file) : file_(file) {}
+  explicit LogReader(std::unique_ptr<VfsFile> file) : file_(std::move(file)) {}
 
-  std::FILE* file_;
+  std::unique_ptr<VfsFile> file_;
+  uint64_t offset_ = 0;
   bool saw_corrupt_tail_ = false;
   bool done_ = false;
 };

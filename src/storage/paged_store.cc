@@ -4,11 +4,12 @@
 
 namespace dbpl::storage {
 
-Result<std::unique_ptr<PagedStore>> PagedStore::Open(const std::string& path,
+Result<std::unique_ptr<PagedStore>> PagedStore::Open(Vfs* vfs,
+                                                     const std::string& path,
                                                      size_t page_size,
                                                      size_t cache_pages) {
   DBPL_ASSIGN_OR_RETURN(std::unique_ptr<Pager> pager,
-                        Pager::Open(path, page_size));
+                        Pager::Open(vfs, path, page_size));
   std::unique_ptr<PagedStore> store(
       new PagedStore(std::move(pager), cache_pages));
   DBPL_RETURN_IF_ERROR(store->LoadDirectory());

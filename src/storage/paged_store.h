@@ -31,9 +31,16 @@ namespace dbpl::storage {
 /// and bench E9 (`bench_e9_storage_ablation`) compares throughput.
 class PagedStore {
  public:
+  /// Opens the store through `vfs` (which must outlive it).
+  static Result<std::unique_ptr<PagedStore>> Open(
+      Vfs* vfs, const std::string& path, size_t page_size = kDefaultPageSize,
+      size_t cache_pages = 64);
+  /// As above, on the production VFS.
   static Result<std::unique_ptr<PagedStore>> Open(
       const std::string& path, size_t page_size = kDefaultPageSize,
-      size_t cache_pages = 64);
+      size_t cache_pages = 64) {
+    return Open(Vfs::Default(), path, page_size, cache_pages);
+  }
 
   PagedStore(const PagedStore&) = delete;
   PagedStore& operator=(const PagedStore&) = delete;

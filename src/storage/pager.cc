@@ -1,46 +1,26 @@
 #include "storage/pager.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <cstring>
 
 #include "common/crc32c.h"
 
 namespace dbpl::storage {
-namespace {
 
-Status Errno(const std::string& what) {
-  return Status::IoError(what + ": " + std::strerror(errno));
-}
-
-}  // namespace
-
-Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path,
+Result<std::unique_ptr<Pager>> Pager::Open(Vfs* vfs, const std::string& path,
                                            size_t page_size) {
   if (page_size < 64 || page_size % 8 != 0) {
     return Status::InvalidArgument("page size must be >=64 and 8-aligned");
   }
-  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
-  if (fd < 0) return Errno("open " + path);
-  off_t size = ::lseek(fd, 0, SEEK_END);
-  if (size < 0) {
-    ::close(fd);
-    return Errno("lseek " + path);
-  }
-  if (static_cast<size_t>(size) % page_size != 0) {
-    ::close(fd);
+  DBPL_ASSIGN_OR_RETURN(std::unique_ptr<VfsFile> file,
+                        vfs->Open(path, OpenMode::kReadWrite));
+  DBPL_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  if (size % page_size != 0) {
     return Status::Corruption("file size " + std::to_string(size) +
                               " is not a multiple of page size");
   }
-  uint64_t page_count = static_cast<uint64_t>(size) / page_size;
+  uint64_t page_count = size / page_size;
   return std::unique_ptr<Pager>(
-      new Pager(fd, path, page_size, page_count));
-}
-
-Pager::~Pager() {
-  if (fd_ >= 0) ::close(fd_);
+      new Pager(std::move(file), path, page_size, page_count));
 }
 
 Result<PageId> Pager::Allocate() {
@@ -60,10 +40,10 @@ Result<std::vector<uint8_t>> Pager::Read(PageId id) const {
     return Status::InvalidArgument("page out of range: " + std::to_string(id));
   }
   std::vector<uint8_t> page(page_size_);
-  ssize_t n = ::pread(fd_, page.data(), page_size_,
-                      static_cast<off_t>(id * page_size_));
-  if (n < 0) return Errno("pread");
-  if (static_cast<size_t>(n) != page_size_) {
+  DBPL_ASSIGN_OR_RETURN(size_t n,
+                        file_->ReadAt(id * page_size_, page.data(),
+                                      page_size_));
+  if (n != page_size_) {
     return Status::Corruption("short page read");
   }
   uint32_t stored_crc = 0, len = 0;
@@ -93,18 +73,9 @@ Status Pager::Write(PageId id, const std::vector<uint8_t>& payload) {
   std::memcpy(page.data(), &crc, 4);
   std::memcpy(page.data() + 4, &len, 4);
   std::memcpy(page.data() + 8, payload.data(), payload.size());
-  ssize_t n = ::pwrite(fd_, page.data(), page_size_,
-                       static_cast<off_t>(id * page_size_));
-  if (n < 0) return Errno("pwrite");
-  if (static_cast<size_t>(n) != page_size_) {
-    return Status::IoError("short page write");
-  }
-  return Status::OK();
+  return file_->WriteAt(id * page_size_, page.data(), page_size_);
 }
 
-Status Pager::Sync() {
-  if (::fsync(fd_) != 0) return Errno("fsync");
-  return Status::OK();
-}
+Status Pager::Sync() { return file_->Sync(); }
 
 }  // namespace dbpl::storage

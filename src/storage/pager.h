@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "storage/vfs.h"
 
 namespace dbpl::storage {
 
@@ -24,12 +25,17 @@ inline constexpr size_t kDefaultPageSize = 4096;
 /// The usable payload per page is `page_size() - 8`.
 class Pager {
  public:
-  /// Opens (creating if necessary) the paged file at `path`. An existing
-  /// file must have a size that is a multiple of `page_size`.
+  /// Opens (creating if necessary) the paged file at `path` through
+  /// `vfs` (which must outlive the pager). An existing file must have a
+  /// size that is a multiple of `page_size`.
   static Result<std::unique_ptr<Pager>> Open(
-      const std::string& path, size_t page_size = kDefaultPageSize);
+      Vfs* vfs, const std::string& path, size_t page_size = kDefaultPageSize);
+  /// As above, on the production VFS.
+  static Result<std::unique_ptr<Pager>> Open(
+      const std::string& path, size_t page_size = kDefaultPageSize) {
+    return Open(Vfs::Default(), path, page_size);
+  }
 
-  ~Pager();
   Pager(const Pager&) = delete;
   Pager& operator=(const Pager&) = delete;
 
@@ -53,13 +59,14 @@ class Pager {
   Status Sync();
 
  private:
-  Pager(int fd, std::string path, size_t page_size, uint64_t page_count)
-      : fd_(fd),
+  Pager(std::unique_ptr<VfsFile> file, std::string path, size_t page_size,
+        uint64_t page_count)
+      : file_(std::move(file)),
         path_(std::move(path)),
         page_size_(page_size),
         page_count_(page_count) {}
 
-  int fd_;
+  std::unique_ptr<VfsFile> file_;
   std::string path_;
   size_t page_size_;
   uint64_t page_count_;

@@ -1,0 +1,191 @@
+#include "storage/vfs.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace dbpl::storage {
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+class PosixVfsFile : public VfsFile {
+ public:
+  PosixVfsFile(int fd, bool append_only) : fd_(fd), append_only_(append_only) {}
+  ~PosixVfsFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Result<size_t> ReadAt(uint64_t offset, void* out, size_t n) override {
+    size_t total = 0;
+    auto* dst = static_cast<uint8_t*>(out);
+    while (total < n) {
+      ssize_t got = ::pread(fd_, dst + total, n - total,
+                            static_cast<off_t>(offset + total));
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        return Errno("pread");
+      }
+      if (got == 0) break;  // end of file
+      total += static_cast<size_t>(got);
+    }
+    return total;
+  }
+
+  Status WriteAt(uint64_t offset, const void* data, size_t n) override {
+    size_t total = 0;
+    const auto* src = static_cast<const uint8_t*>(data);
+    while (total < n) {
+      ssize_t put = ::pwrite(fd_, src + total, n - total,
+                             static_cast<off_t>(offset + total));
+      if (put < 0) {
+        if (errno == EINTR) continue;
+        return Errno("pwrite");
+      }
+      total += static_cast<size_t>(put);
+    }
+    return Status::OK();
+  }
+
+  Status Append(const void* data, size_t n) override {
+    // O_APPEND files write at the end regardless of offset; others
+    // append at the current size.
+    if (append_only_) {
+      size_t total = 0;
+      const auto* src = static_cast<const uint8_t*>(data);
+      while (total < n) {
+        ssize_t put = ::write(fd_, src + total, n - total);
+        if (put < 0) {
+          if (errno == EINTR) continue;
+          return Errno("write");
+        }
+        total += static_cast<size_t>(put);
+      }
+      return Status::OK();
+    }
+    DBPL_ASSIGN_OR_RETURN(uint64_t size, Size());
+    return WriteAt(size, data, n);
+  }
+
+  Result<uint64_t> Size() const override {
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) return Errno("fstat");
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) return Errno("fsync");
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  bool append_only_;
+};
+
+}  // namespace
+
+Result<std::vector<uint8_t>> Vfs::ReadFileBytes(const std::string& path) {
+  DBPL_ASSIGN_OR_RETURN(std::unique_ptr<VfsFile> file,
+                        Open(path, OpenMode::kRead));
+  DBPL_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  std::vector<uint8_t> out(static_cast<size_t>(size));
+  DBPL_ASSIGN_OR_RETURN(size_t n, file->ReadAt(0, out.data(), out.size()));
+  if (n != out.size()) return Status::IoError("short read of " + path);
+  return out;
+}
+
+Status Vfs::WriteFileAtomic(const std::string& path, const void* data,
+                            size_t n) {
+  const std::string tmp = path + ".tmp";
+  {
+    DBPL_ASSIGN_OR_RETURN(std::unique_ptr<VfsFile> file,
+                          Open(tmp, OpenMode::kTruncate));
+    DBPL_RETURN_IF_ERROR(file->Append(data, n));
+    DBPL_RETURN_IF_ERROR(file->Sync());
+  }
+  return Rename(tmp, path);
+}
+
+Vfs* Vfs::Default() {
+  static PosixVfs* vfs = new PosixVfs();
+  return vfs;
+}
+
+Result<std::unique_ptr<VfsFile>> PosixVfs::Open(const std::string& path,
+                                                OpenMode mode) {
+  int flags = O_CLOEXEC;
+  switch (mode) {
+    case OpenMode::kRead:
+      flags |= O_RDONLY;
+      break;
+    case OpenMode::kReadWrite:
+      flags |= O_RDWR | O_CREAT;
+      break;
+    case OpenMode::kAppend:
+      flags |= O_WRONLY | O_CREAT | O_APPEND;
+      break;
+    case OpenMode::kTruncate:
+      flags |= O_RDWR | O_CREAT | O_TRUNC;
+      break;
+  }
+  int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return Errno("open " + path);
+  }
+  return std::unique_ptr<VfsFile>(
+      new PosixVfsFile(fd, mode == OpenMode::kAppend));
+}
+
+bool PosixVfs::Exists(const std::string& path) const {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status PosixVfs::Remove(const std::string& path) {
+  if (::unlink(path.c_str()) != 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return Errno("unlink " + path);
+  }
+  return Status::OK();
+}
+
+Status PosixVfs::Rename(const std::string& from, const std::string& to) {
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    return Errno("rename " + from + " -> " + to);
+  }
+  return Status::OK();
+}
+
+Status PosixVfs::CreateDir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Errno("mkdir " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> PosixVfs::ListDir(
+    const std::string& path) const {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) return Errno("opendir " + path);
+  std::vector<std::string> out;
+  while (struct dirent* entry = ::readdir(dir)) {
+    std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    out.push_back(std::move(name));
+  }
+  ::closedir(dir);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace dbpl::storage

@@ -1,0 +1,652 @@
+// Crash-matrix recovery harness over the fault-injecting VFS.
+//
+// For every store flavour, a scripted workload runs with a crash
+// injected at every mutating I/O operation k = 1..N, followed by a
+// simulated power loss under each unsynced-data fate (lost, torn
+// prefix, survives). The store is then reopened and its recovered
+// state must equal the last committed prefix of the workload —
+// atomicity — and every corruption case must surface as a clean
+// `Status`, never UB. All randomness is seeded, so failures reproduce.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "persist/intrinsic_store.h"
+#include "persist/replicating_store.h"
+#include "persist/schema_compat.h"
+#include "persist/snapshot_store.h"
+#include "storage/fault_vfs.h"
+#include "storage/kv_store.h"
+#include "storage/paged_store.h"
+#include "storage/pager.h"
+#include "types/parse.h"
+
+namespace dbpl {
+namespace {
+
+using core::Oid;
+using core::Value;
+using persist::IntrinsicStore;
+using persist::ReplicatingStore;
+using persist::SnapshotStore;
+using storage::FaultVfs;
+using storage::KvStore;
+using storage::LogRecordType;
+using storage::PagedStore;
+using storage::Pager;
+using storage::WriteBatch;
+
+using Fate = FaultVfs::UnsyncedFate;
+
+constexpr Fate kAllFates[] = {Fate::kLost, Fate::kTornPrefix,
+                              Fate::kSurvives};
+
+const char* FateName(Fate f) {
+  switch (f) {
+    case Fate::kLost:
+      return "lost";
+    case Fate::kTornPrefix:
+      return "torn-prefix";
+    case Fate::kSurvives:
+      return "survives";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------
+// KvStore: atomic batch commits over the write-ahead log.
+// ---------------------------------------------------------------------
+
+using KvState = std::map<std::string, std::string>;
+
+KvState Dump(const KvStore& store) {
+  KvState out;
+  for (const std::string& key : store.Keys()) {
+    out[key] = *store.Get(key);
+  }
+  return out;
+}
+
+/// The scripted workload: `batches[i]` applied to `models[i]` gives
+/// `models[i + 1]`; `models[0]` is the empty store.
+struct KvWorkload {
+  std::vector<WriteBatch> batches;
+  std::vector<KvState> models;
+};
+
+KvWorkload MakeKvWorkload() {
+  KvWorkload w;
+  w.models.push_back({});
+  auto add = [&w](const std::vector<std::pair<std::string, std::string>>& puts,
+                  const std::vector<std::string>& deletes) {
+    WriteBatch batch;
+    KvState model = w.models.back();
+    for (const auto& [k, v] : puts) {
+      batch.Put(k, v);
+      model[k] = v;
+    }
+    for (const std::string& k : deletes) {
+      batch.Delete(k);
+      model.erase(k);
+    }
+    w.batches.push_back(std::move(batch));
+    w.models.push_back(std::move(model));
+  };
+  add({{"alpha", "1"}, {"beta", "2"}}, {});
+  add({{"gamma", "3"}}, {"alpha"});
+  add({{"beta", "20"}, {"delta", std::string(600, 'd')}, {"eps", "5"}}, {});
+  add({{"zeta", "6"}}, {"beta", "eps"});
+  add({{"alpha", "back"}, {"eta", std::string(100, 'e')}}, {"gamma"});
+  return w;
+}
+
+TEST(CrashMatrixTest, KvStoreRecoversCommittedPrefixAtEveryCrashPoint) {
+  const std::string path = "crash/kv.log";
+  KvWorkload w = MakeKvWorkload();
+  const size_t n_batches = w.batches.size();
+
+  // Fault-free pass to learn the total number of mutating ops.
+  uint64_t total_ops = 0;
+  {
+    FaultVfs vfs(0x5EED);
+    auto store = KvStore::Open(&vfs, path);
+    ASSERT_TRUE(store.ok()) << store.status();
+    for (const WriteBatch& b : w.batches) {
+      ASSERT_TRUE((*store)->Apply(b).ok());
+    }
+    total_ops = vfs.mutating_ops();
+    EXPECT_EQ(Dump(**store), w.models[n_batches]);
+  }
+  ASSERT_GT(total_ops, n_batches);  // appends + one sync per batch
+
+  for (uint64_t k = 1; k <= total_ops; ++k) {
+    for (Fate fate : kAllFates) {
+      SCOPED_TRACE("crash at op " + std::to_string(k) + ", unsynced data " +
+                   FateName(fate));
+      FaultVfs vfs(0xC0FFEE + k * 2654435761ULL +
+                   static_cast<uint64_t>(fate));
+      vfs.CrashAtMutatingOp(k);
+      size_t committed = 0;
+      bool injected = false;
+      {
+        auto store = KvStore::Open(&vfs, path);
+        if (!store.ok()) {
+          injected = true;
+        } else {
+          for (const WriteBatch& b : w.batches) {
+            if (!(*store)->Apply(b).ok()) {
+              injected = true;
+              break;
+            }
+            ++committed;
+          }
+        }
+      }
+      ASSERT_TRUE(injected);  // k <= total_ops, so the crash always fires
+      ASSERT_TRUE(vfs.crashed());
+      ASSERT_LT(committed, n_batches);
+
+      vfs.PowerLoss(fate);
+      auto reopened = KvStore::Open(&vfs, path);
+      ASSERT_TRUE(reopened.ok()) << reopened.status();
+      KvState got = Dump(**reopened);
+      if (fate == Fate::kLost) {
+        // Everything unsynced vanished: exactly the committed prefix.
+        EXPECT_EQ(got, w.models[committed]);
+      } else {
+        // The in-flight batch may have fully reached the log (commit
+        // marker included) before the plug was pulled; anything less
+        // fails its CRC and is dropped. Never a half-applied batch.
+        EXPECT_TRUE(got == w.models[committed] ||
+                    got == w.models[committed + 1])
+            << "recovered state is not a committed prefix";
+      }
+
+      // The recovered store must be fully usable.
+      WriteBatch after;
+      after.Put("post-recovery", "ok");
+      ASSERT_TRUE((*reopened)->Apply(after).ok());
+      EXPECT_EQ(*(*reopened)->Get("post-recovery"), "ok");
+    }
+  }
+}
+
+TEST(CrashMatrixTest, KvStoreSurvivesLyingFsync) {
+  // With fsync dropped (reported OK, nothing made durable), committed
+  // batches can vanish at power loss — but recovery must still land on
+  // *some* committed prefix, never a torn state.
+  const std::string path = "crash/kv_liar.log";
+  KvWorkload w = MakeKvWorkload();
+  for (Fate fate : kAllFates) {
+    SCOPED_TRACE(FateName(fate));
+    FaultVfs vfs(0xD0D0 + static_cast<uint64_t>(fate));
+    vfs.set_drop_syncs(true);
+    {
+      auto store = KvStore::Open(&vfs, path);
+      ASSERT_TRUE(store.ok());
+      for (const WriteBatch& b : w.batches) {
+        ASSERT_TRUE((*store)->Apply(b).ok());  // the fsyncs lie
+      }
+    }
+    vfs.PowerLoss(fate);
+    vfs.set_drop_syncs(false);
+    auto reopened = KvStore::Open(&vfs, path);
+    ASSERT_TRUE(reopened.ok()) << reopened.status();
+    KvState got = Dump(**reopened);
+    bool is_prefix = false;
+    for (const KvState& model : w.models) {
+      if (got == model) {
+        is_prefix = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(is_prefix) << "recovered state is not a committed prefix";
+  }
+}
+
+// ---------------------------------------------------------------------
+// Pager: torn page writes and bit flips are detected, not decoded.
+// ---------------------------------------------------------------------
+
+TEST(CrashMatrixTest, PagerTornPageWriteIsDetectedOrAtomic) {
+  const std::string path = "crash/pages.db";
+  const std::vector<uint8_t> old_payload(40, 0xAA);
+  const std::vector<uint8_t> new_payload(40, 0xBB);
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    FaultVfs vfs(seed);
+    {
+      auto pager = Pager::Open(&vfs, path, 64);
+      ASSERT_TRUE(pager.ok());
+      for (int i = 0; i < 4; ++i) {
+        auto id = (*pager)->Allocate();
+        ASSERT_TRUE(id.ok());
+        ASSERT_TRUE((*pager)->Write(*id, old_payload).ok());
+      }
+      ASSERT_TRUE((*pager)->Sync().ok());
+      // Crash inside the very next page write: it tears.
+      vfs.CrashAtMutatingOp(1);
+      EXPECT_FALSE((*pager)->Write(2, new_payload).ok());
+    }
+    vfs.PowerLoss(Fate::kTornPrefix);
+    auto pager = Pager::Open(&vfs, path, 64);
+    ASSERT_TRUE(pager.ok()) << pager.status();
+    for (storage::PageId id = 0; id < 4; ++id) {
+      auto read = (*pager)->Read(id);
+      if (id != 2) {
+        ASSERT_TRUE(read.ok()) << read.status();
+        EXPECT_EQ(*read, old_payload);
+        continue;
+      }
+      // The torn page either kept its old image, got the new one in
+      // full, or fails its checksum — never a silently mixed payload.
+      if (read.ok()) {
+        EXPECT_TRUE(*read == old_payload || *read == new_payload);
+      } else {
+        EXPECT_EQ(read.status().code(), StatusCode::kCorruption);
+      }
+    }
+  }
+}
+
+TEST(CrashMatrixTest, PagerBitFlipSurfacesAsCorruption) {
+  const std::string path = "crash/pages_flip.db";
+  FaultVfs vfs(0xF11B);
+  {
+    auto pager = Pager::Open(&vfs, path, 64);
+    ASSERT_TRUE(pager.ok());
+    auto id = (*pager)->Allocate();
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE((*pager)->Write(*id, std::vector<uint8_t>(30, 0x5A)).ok());
+    ASSERT_TRUE((*pager)->Sync().ok());
+  }
+  // Flip every bit of the page in turn; each flip must surface as a
+  // checksum error (header bytes may also report a length error).
+  for (uint64_t bit = 0; bit < 64 * 8; ++bit) {
+    ASSERT_TRUE(vfs.FlipBit(path, bit).ok());
+    auto pager = Pager::Open(&vfs, path, 64);
+    ASSERT_TRUE(pager.ok());
+    auto read = (*pager)->Read(0);
+    if (bit < 30 * 8 + 64) {  // flips inside crc, length, or payload
+      ASSERT_FALSE(read.ok()) << "bit " << bit;
+      EXPECT_EQ(read.status().code(), StatusCode::kCorruption);
+    }
+    // Flips in the zero padding beyond the payload are don't-cares.
+    ASSERT_TRUE(vfs.FlipBit(path, bit).ok());  // restore
+  }
+}
+
+// ---------------------------------------------------------------------
+// PagedStore: the no-WAL ablation. No cross-page atomicity is promised,
+// but recovery must be *clean*: every surviving record is one the
+// workload actually wrote, and torn pages surface as Corruption.
+// ---------------------------------------------------------------------
+
+TEST(CrashMatrixTest, PagedStoreCrashIsDetectedOrCleanlyReadable) {
+  const std::string path = "crash/paged.db";
+  const std::vector<std::string> keys = {"k0", "k1", "k2", "k3"};
+  // Every value each key ever held, plus "absent".
+  std::map<std::string, std::set<std::string>> history;
+
+  auto run_round = [&keys](PagedStore* store, int round) -> Status {
+    for (size_t i = 0; i < keys.size(); ++i) {
+      std::string value = "v" + std::to_string(round) + "-" +
+                          std::string(20 + 10 * i, 'x');
+      DBPL_RETURN_IF_ERROR(store->Put(keys[i], value));
+    }
+    return store->Flush();
+  };
+  for (size_t i = 0; i < keys.size(); ++i) {
+    for (int round = 0; round < 3; ++round) {
+      history[keys[i]].insert("v" + std::to_string(round) + "-" +
+                              std::string(20 + 10 * i, 'x'));
+    }
+  }
+
+  uint64_t total_ops = 0;
+  {
+    FaultVfs vfs(0xAB1E);
+    auto store = PagedStore::Open(&vfs, path, 128);
+    ASSERT_TRUE(store.ok());
+    for (int round = 0; round < 3; ++round) {
+      ASSERT_TRUE(run_round(store->get(), round).ok());
+    }
+    total_ops = vfs.mutating_ops();
+  }
+
+  for (uint64_t k = 1; k <= total_ops; ++k) {
+    for (Fate fate : kAllFates) {
+      SCOPED_TRACE("crash at op " + std::to_string(k) + ", unsynced data " +
+                   FateName(fate));
+      FaultVfs vfs(0xBEAD + k * 0x9E3779B9ULL + static_cast<uint64_t>(fate));
+      vfs.CrashAtMutatingOp(k);
+      {
+        auto store = PagedStore::Open(&vfs, path, 128);
+        if (store.ok()) {
+          for (int round = 0; round < 3; ++round) {
+            if (!run_round(store->get(), round).ok()) break;
+          }
+        }
+      }
+      vfs.PowerLoss(fate);
+      auto reopened = PagedStore::Open(&vfs, path, 128);
+      if (!reopened.ok()) {
+        // A torn page tripped a checksum during directory load: the
+        // ablation's documented failure mode, surfaced cleanly.
+        EXPECT_EQ(reopened.status().code(), StatusCode::kCorruption);
+        continue;
+      }
+      for (const std::string& key : (*reopened)->Keys()) {
+        auto value = (*reopened)->Get(key);
+        if (!value.ok()) {
+          EXPECT_EQ(value.status().code(), StatusCode::kCorruption);
+          continue;
+        }
+        ASSERT_TRUE(history.contains(key)) << key;
+        EXPECT_TRUE(history[key].contains(*value))
+            << "recovered a value never written for " << key;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// SnapshotStore: whole-image saves behind an atomic rename.
+// ---------------------------------------------------------------------
+
+struct SnapshotModel {
+  std::map<std::string, std::string> objects;  // oid string -> value string
+  std::map<std::string, Oid> roots;
+
+  bool operator==(const SnapshotModel& other) const = default;
+};
+
+SnapshotModel DumpImage(const SnapshotStore::Image& image) {
+  SnapshotModel out;
+  for (Oid oid : image.heap.Oids()) {
+    out.objects[std::to_string(oid)] = (*image.heap.Get(oid)).ToString();
+  }
+  out.roots = image.roots;
+  return out;
+}
+
+TEST(CrashMatrixTest, SnapshotStoreLoadsLastSavedImageAtEveryCrashPoint) {
+  const std::string path = "crash/image.dbpl";
+  // Three generations of an image, each a different heap + roots.
+  auto make_generation = [](int gen) {
+    auto heap = std::make_unique<core::Heap>();
+    std::map<std::string, Oid> roots;
+    for (int i = 0; i <= gen; ++i) {
+      Oid oid = heap->Allocate(Value::RecordOf(
+          {{"gen", Value::Int(gen)},
+           {"name", Value::String("obj" + std::to_string(i))}}));
+      roots["root" + std::to_string(i)] = oid;
+    }
+    return std::make_pair(std::move(heap), std::move(roots));
+  };
+  std::vector<SnapshotModel> models;
+
+  uint64_t total_ops = 0;
+  {
+    FaultVfs vfs(0x51AF);
+    for (int gen = 0; gen < 3; ++gen) {
+      auto [heap, roots] = make_generation(gen);
+      ASSERT_TRUE(SnapshotStore::Save(&vfs, path, *heap, roots).ok());
+      auto image = SnapshotStore::Load(&vfs, path);
+      ASSERT_TRUE(image.ok());
+      models.push_back(DumpImage(*image));
+    }
+    total_ops = vfs.mutating_ops();
+  }
+
+  for (uint64_t k = 1; k <= total_ops; ++k) {
+    for (Fate fate : kAllFates) {
+      SCOPED_TRACE("crash at op " + std::to_string(k) + ", unsynced data " +
+                   FateName(fate));
+      FaultVfs vfs(0x10AD + k * 0x2545F491ULL + static_cast<uint64_t>(fate));
+      vfs.CrashAtMutatingOp(k);
+      size_t saved = 0;
+      for (int gen = 0; gen < 3; ++gen) {
+        auto [heap, roots] = make_generation(gen);
+        if (!SnapshotStore::Save(&vfs, path, *heap, roots).ok()) break;
+        ++saved;
+      }
+      ASSERT_TRUE(vfs.crashed());
+      ASSERT_LT(saved, 3u);
+      vfs.PowerLoss(fate);
+      auto image = SnapshotStore::Load(&vfs, path);
+      if (saved == 0) {
+        // No save completed its rename: there is no image, and a torn
+        // temp file must never be mistaken for one.
+        EXPECT_EQ(image.status().code(), StatusCode::kNotFound);
+      } else {
+        // The tmp file is synced before the rename, so the image the
+        // name points at is always complete — all-or-nothing.
+        ASSERT_TRUE(image.ok()) << image.status();
+        EXPECT_EQ(DumpImage(*image), models[saved - 1]);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// ReplicatingStore: extern/intern handles behind atomic renames.
+// ---------------------------------------------------------------------
+
+TEST(CrashMatrixTest, ReplicatingStoreInternSeesOldOrNewGraph) {
+  const std::string dir = "crash/rep";
+  dyndb::Dynamic v1{Value::Int(41), types::Type::Int()};
+  dyndb::Dynamic v2{Value::RecordOf({{"x", Value::Int(42)}}),
+                    *types::ParseType("{x: Int}")};
+
+  uint64_t total_ops = 0;
+  {
+    FaultVfs vfs(0x4E7);
+    auto store = ReplicatingStore::Open(&vfs, dir);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Extern("h", v1).ok());
+    ASSERT_TRUE((*store)->Extern("h", v2).ok());
+    total_ops = vfs.mutating_ops();
+  }
+
+  for (uint64_t k = 1; k <= total_ops; ++k) {
+    for (Fate fate : kAllFates) {
+      SCOPED_TRACE("crash at op " + std::to_string(k) + ", unsynced data " +
+                   FateName(fate));
+      FaultVfs vfs(0xE117 + k * 0x100000001B3ULL +
+                   static_cast<uint64_t>(fate));
+      vfs.CrashAtMutatingOp(k);
+      size_t externed = 0;
+      {
+        auto store = ReplicatingStore::Open(&vfs, dir);
+        if (store.ok()) {
+          if ((*store)->Extern("h", v1).ok()) ++externed;
+          if (externed == 1 && (*store)->Extern("h", v2).ok()) ++externed;
+        }
+      }
+      vfs.PowerLoss(fate);
+      auto store = ReplicatingStore::Open(&vfs, dir);
+      ASSERT_TRUE(store.ok()) << store.status();
+      auto interned = (*store)->Intern("h");
+      if (externed == 0) {
+        EXPECT_EQ(interned.status().code(), StatusCode::kNotFound);
+      } else {
+        ASSERT_TRUE(interned.ok()) << interned.status();
+        const Value& expect = externed == 1 ? v1.value : v2.value;
+        EXPECT_EQ(interned->value, expect);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// IntrinsicStore: commits of heap deltas through the KV log.
+// ---------------------------------------------------------------------
+
+struct IntrinsicModel {
+  std::map<std::string, std::string> objects;  // oid -> value string
+  std::map<std::string, Oid> roots;
+  std::map<std::string, std::string> root_types;  // name -> type string
+
+  bool operator==(const IntrinsicModel&) const = default;
+};
+
+IntrinsicModel DumpIntrinsic(const IntrinsicStore& store) {
+  IntrinsicModel out;
+  for (Oid oid : store.heap().Oids()) {
+    out.objects[std::to_string(oid)] = (*store.heap().Get(oid)).ToString();
+  }
+  for (const std::string& name : store.RootNames()) {
+    out.roots[name] = *store.GetRoot(name);
+    out.root_types[name] = (*store.RootType(name)).ToString();
+  }
+  return out;
+}
+
+/// Applies commit step `step` (0-based) to the store. Returns the
+/// commit's status; earlier heap mutations are infallible.
+Status RunIntrinsicStep(IntrinsicStore* store, int step) {
+  core::Heap& heap = store->heap();
+  switch (step) {
+    case 0: {
+      Oid emp = heap.Allocate(Value::RecordOf(
+          {{"Name", Value::String("Ada")}, {"Age", Value::Int(36)}}));
+      DBPL_RETURN_IF_ERROR(store->SetRootTyped(
+          "emp", emp, *types::ParseType("{Name: String, Age: Int}")));
+      break;
+    }
+    case 1: {
+      Oid emp = *store->GetRoot("emp");
+      DBPL_RETURN_IF_ERROR(heap.Put(
+          emp, Value::RecordOf({{"Name", Value::String("Grace")},
+                                {"Age", Value::Int(37)}})));
+      Oid note = heap.Allocate(Value::String("promoted"));
+      DBPL_RETURN_IF_ERROR(store->SetRoot("note", note));
+      break;
+    }
+    case 2: {
+      DBPL_RETURN_IF_ERROR(store->RemoveRoot("note"));
+      store->CollectGarbage();
+      break;
+    }
+    default:
+      return Status::Internal("no such step");
+  }
+  return store->Commit();
+}
+
+TEST(CrashMatrixTest, IntrinsicStoreRecoversCommittedPrefixAtEveryCrashPoint) {
+  const std::string path = "crash/intr.log";
+  constexpr int kSteps = 3;
+  std::vector<IntrinsicModel> models;  // models[i] = state after i commits
+
+  uint64_t total_ops = 0;
+  {
+    FaultVfs vfs(0x1A7E);
+    auto store = IntrinsicStore::Open(&vfs, path);
+    ASSERT_TRUE(store.ok());
+    models.push_back(DumpIntrinsic(**store));
+    for (int step = 0; step < kSteps; ++step) {
+      ASSERT_TRUE(RunIntrinsicStep(store->get(), step).ok());
+      models.push_back(DumpIntrinsic(**store));
+    }
+    total_ops = vfs.mutating_ops();
+  }
+
+  for (uint64_t k = 1; k <= total_ops; ++k) {
+    for (Fate fate : kAllFates) {
+      SCOPED_TRACE("crash at op " + std::to_string(k) + ", unsynced data " +
+                   FateName(fate));
+      FaultVfs vfs(0x717E + k * 0xFF51AFD7ULL + static_cast<uint64_t>(fate));
+      vfs.CrashAtMutatingOp(k);
+      size_t committed = 0;
+      {
+        auto store = IntrinsicStore::Open(&vfs, path);
+        if (store.ok()) {
+          for (int step = 0; step < kSteps; ++step) {
+            if (!RunIntrinsicStep(store->get(), step).ok()) break;
+            ++committed;
+          }
+        }
+      }
+      ASSERT_TRUE(vfs.crashed());
+      ASSERT_LT(committed, static_cast<size_t>(kSteps));
+      vfs.PowerLoss(fate);
+      auto reopened = IntrinsicStore::Open(&vfs, path);
+      ASSERT_TRUE(reopened.ok()) << reopened.status();
+      IntrinsicModel got = DumpIntrinsic(**reopened);
+      if (fate == Fate::kLost) {
+        EXPECT_TRUE(got == models[committed]);
+      } else {
+        EXPECT_TRUE(got == models[committed] || got == models[committed + 1])
+            << "recovered state is not a committed prefix";
+      }
+      EXPECT_FALSE((*reopened)->HasUncommittedChanges());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Schema compatibility across an injected crash (principle P2: type
+// descriptors persist with their values).
+// ---------------------------------------------------------------------
+
+TEST(CrashMatrixTest, SchemaEvolutionLostInCrashedCommitThenReapplied) {
+  const std::string path = "crash/schema.log";
+  FaultVfs vfs(0x5C8E);
+  types::Type v1 = *types::ParseType("{Name: String}");
+  types::Type v2 = *types::ParseType("{Name: String, Age: Int}");
+  types::Type view = *types::ParseType("{}");
+  types::Type bad = *types::ParseType("{Name: Int}");
+
+  {
+    auto store = IntrinsicStore::Open(&vfs, path);
+    ASSERT_TRUE(store.ok());
+    Oid o = (*store)->heap().Allocate(
+        Value::RecordOf({{"Name", Value::String("Ada")}}));
+    ASSERT_TRUE((*store)->SetRootTyped("DB", o, v1).ok());
+    ASSERT_TRUE((*store)->Commit().ok());
+
+    // Enrich the schema to v2 — but the commit crashes.
+    ASSERT_TRUE((*store)->OpenRootChecked("DB", v2).ok());
+    EXPECT_EQ(*(*store)->RootType("DB"), v2);  // evolved in memory
+    vfs.CrashAtMutatingOp(1);
+    EXPECT_FALSE((*store)->Commit().ok());
+  }
+  vfs.PowerLoss(Fate::kLost);
+
+  {
+    // The enrichment never committed: the stored descriptor is still v1.
+    auto store = IntrinsicStore::Open(&vfs, path);
+    ASSERT_TRUE(store.ok()) << store.status();
+    EXPECT_EQ(*(*store)->RootType("DB"), v1);
+
+    // Recompilation rules against the recovered store:
+    EXPECT_TRUE((*store)->OpenRootChecked("DB", v1).ok());  // identical
+    EXPECT_EQ(*(*store)->RootType("DB"), v1);
+    EXPECT_TRUE((*store)->OpenRootChecked("DB", view).ok());  // view
+    EXPECT_EQ(*(*store)->RootType("DB"), v1);  // nothing lost
+    EXPECT_EQ((*store)->OpenRootChecked("DB", bad).status().code(),
+              StatusCode::kInconsistent);  // rejection
+
+    // Enrichment, this time committed for real.
+    ASSERT_TRUE((*store)->OpenRootChecked("DB", v2).ok());
+    ASSERT_TRUE((*store)->Commit().ok());
+  }
+  vfs.PowerLoss(Fate::kLost);  // nothing unsynced should remain
+
+  {
+    auto store = IntrinsicStore::Open(&vfs, path);
+    ASSERT_TRUE(store.ok()) << store.status();
+    EXPECT_EQ(*(*store)->RootType("DB"), v2);  // P2: the type survived
+    EXPECT_EQ((*store)->OpenRootChecked("DB", bad).status().code(),
+              StatusCode::kInconsistent);
+  }
+}
+
+}  // namespace
+}  // namespace dbpl
