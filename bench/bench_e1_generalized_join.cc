@@ -7,18 +7,41 @@
 // p of partial records (missing A or C), which no 1NF relation can
 // even represent.
 //
-// Expected shape (recorded in EXPERIMENTS.md): the classical hash join
-// is O(n) and the generalized join is O(n^2) pairwise-consistency
-// checking — generality is paid for in asymptotics, which is exactly
-// why the paper keeps the flat relational algebra as the optimizable
-// special case.
+// Variants:
+//  * BM_GeneralizedJoin        — the signature-partitioned engine
+//    (core::PartitionedPairJoins via GRelation::Join): objects are
+//    bucketed by a hash of their ground values on the overlap
+//    attributes, so only possibly-consistent pairs are tested.
+//  * BM_GeneralizedJoinThreads — the same engine sharded over a small
+//    thread pool (JoinOptions{threads}).
+//  * BM_GeneralizedJoinNaive   — the all-pairs O(n^2) reference join
+//    (GRelation::JoinNaive), kept for differential testing; capped at
+//    n = 1024 because it is quadratic.
+//  * BM_ClassicalNaturalJoin   — the flat relational hash join on the
+//    same data with total records only.
+//
+// Expected shape (recorded in EXPERIMENTS.md): the naive generalized
+// join is O(n^2); partitioning recovers hash-join-like behaviour on
+// the ground part of each object, degenerating to a classical hash
+// join when all records are flat and total.
+//
+// This binary has its own main: besides the usual console output it
+// writes BENCH_E1.json (override the path with the DBPL_BENCH_E1_JSON
+// environment variable) with one record per run — name, variant, n,
+// partial_pct, threads, ns_per_op, out_tuples — so EXPERIMENTS.md
+// tables can be regenerated mechanically.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
 #include <vector>
 
 #include "core/grelation.h"
+#include "core/join_engine.h"
 #include "core/value.h"
 #include "relational/ops.h"
 #include "relational/relation.h"
@@ -26,6 +49,7 @@
 namespace {
 
 using dbpl::core::GRelation;
+using dbpl::core::JoinOptions;
 using dbpl::core::Value;
 
 /// Deterministic xorshift generator.
@@ -70,16 +94,49 @@ std::vector<Value> MakeRight(int64_t n, int64_t partial_pct, uint64_t seed) {
   return out;
 }
 
-void BM_GeneralizedJoin(benchmark::State& state) {
+void RunGeneralized(benchmark::State& state, const JoinOptions& opts) {
   int64_t n = state.range(0);
   int64_t partial_pct = state.range(1);
   GRelation r1 = GRelation::FromObjects(MakeLeft(n, partial_pct, 42));
   GRelation r2 = GRelation::FromObjects(MakeRight(n, partial_pct, 1042));
   size_t out_size = 0;
   for (auto _ : state) {
-    GRelation joined = GRelation::Join(r1, r2);
-    out_size = joined.size();
-    benchmark::DoNotOptimize(joined);
+    auto joined = GRelation::Join(r1, r2, opts);
+    if (!joined.ok()) {
+      state.SkipWithError(joined.status().message().c_str());
+      return;
+    }
+    out_size = joined->size();
+    benchmark::DoNotOptimize(*joined);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["partial_pct"] = static_cast<double>(partial_pct);
+  state.counters["threads"] = static_cast<double>(opts.threads);
+  state.counters["out_tuples"] = static_cast<double>(out_size);
+}
+
+void BM_GeneralizedJoin(benchmark::State& state) {
+  RunGeneralized(state, JoinOptions{});
+}
+
+void BM_GeneralizedJoinThreads(benchmark::State& state) {
+  RunGeneralized(state, JoinOptions{.threads = 4});
+}
+
+void BM_GeneralizedJoinNaive(benchmark::State& state) {
+  int64_t n = state.range(0);
+  int64_t partial_pct = state.range(1);
+  GRelation r1 = GRelation::FromObjects(MakeLeft(n, partial_pct, 42));
+  GRelation r2 = GRelation::FromObjects(MakeRight(n, partial_pct, 1042));
+  size_t out_size = 0;
+  for (auto _ : state) {
+    auto joined = GRelation::JoinNaive(r1, r2);
+    if (!joined.ok()) {
+      state.SkipWithError(joined.status().message().c_str());
+      return;
+    }
+    out_size = joined->size();
+    benchmark::DoNotOptimize(*joined);
   }
   state.counters["n"] = static_cast<double>(n);
   state.counters["partial_pct"] = static_cast<double>(partial_pct);
@@ -110,10 +167,80 @@ void BM_ClassicalNaturalJoin(benchmark::State& state) {
   state.counters["out_tuples"] = static_cast<double>(out_size);
 }
 
+/// Console reporter that also collects every per-iteration run and
+/// dumps them as a JSON array when the binary exits.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      Record rec;
+      rec.name = run.benchmark_name();
+      rec.ns_per_op =
+          run.iterations > 0
+              ? run.real_accumulated_time / static_cast<double>(run.iterations) *
+                    1e9
+              : 0.0;
+      rec.n = Counter(run, "n");
+      rec.partial_pct = Counter(run, "partial_pct");
+      rec.threads = CounterOr(run, "threads", 1.0);
+      rec.out_tuples = Counter(run, "out_tuples");
+      records_.push_back(std::move(rec));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  void WriteJson(const std::string& path) const {
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+      std::cerr << "bench_e1: cannot open " << path << " for writing\n";
+      return;
+    }
+    out << "[\n";
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      std::string variant = r.name.substr(0, r.name.find('/'));
+      out << "  {\"name\": \"" << r.name << "\", \"variant\": \"" << variant
+          << "\", \"n\": " << static_cast<int64_t>(r.n)
+          << ", \"partial_pct\": " << static_cast<int64_t>(r.partial_pct)
+          << ", \"threads\": " << static_cast<int64_t>(r.threads)
+          << ", \"ns_per_op\": " << r.ns_per_op
+          << ", \"out_tuples\": " << static_cast<int64_t>(r.out_tuples) << "}"
+          << (i + 1 < records_.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+  }
+
+ private:
+  struct Record {
+    std::string name;
+    double n = 0, partial_pct = 0, threads = 1, out_tuples = 0;
+    double ns_per_op = 0;
+  };
+
+  static double Counter(const Run& run, const char* key) {
+    return CounterOr(run, key, 0.0);
+  }
+  static double CounterOr(const Run& run, const char* key, double fallback) {
+    auto it = run.counters.find(key);
+    return it == run.counters.end() ? fallback
+                                    : static_cast<double>(it->second.value);
+  }
+
+  std::vector<Record> records_;
+};
+
 }  // namespace
 
 BENCHMARK(BM_GeneralizedJoin)
-    ->ArgsProduct({{64, 128, 256, 512, 1024}, {0, 25, 50}})
+    ->ArgsProduct({{64, 256, 1024, 4096, 16384}, {0, 25, 50}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GeneralizedJoinThreads)
+    ->ArgsProduct({{1024, 4096, 16384}, {0, 50}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_GeneralizedJoinNaive)
+    ->ArgsProduct({{64, 256, 1024}, {0, 50}})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ClassicalNaturalJoin)
     ->Arg(64)
@@ -122,3 +249,13 @@ BENCHMARK(BM_ClassicalNaturalJoin)
     ->Arg(4096)
     ->Arg(16384)
     ->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonTeeReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  const char* path = std::getenv("DBPL_BENCH_E1_JSON");
+  reporter.WriteJson(path != nullptr ? path : "BENCH_E1.json");
+  return 0;
+}

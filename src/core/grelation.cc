@@ -14,10 +14,23 @@ bool CanonicalLess(const Value& a, const Value& b) {
 
 }  // namespace
 
-GRelation GRelation::FromObjects(std::vector<Value> objects) {
+GRelation GRelation::FromAntichain(std::vector<Value> maxima) {
   GRelation r;
-  for (Value& v : objects) r.Insert(std::move(v));
+  std::sort(maxima.begin(), maxima.end(), CanonicalLess);
+  r.objects_ = std::move(maxima);
+  r.index_built_ = false;  // built on first Insert/Covers
   return r;
+}
+
+void GRelation::EnsureIndex() const {
+  if (index_built_) return;
+  index_.Clear();
+  for (const Value& v : objects_) index_.Add(v);
+  index_built_ = true;
+}
+
+GRelation GRelation::FromObjects(std::vector<Value> objects) {
+  return FromAntichain(MaximalAntichain(std::move(objects)));
 }
 
 Result<GRelation> GRelation::FromValue(const Value& v) {
@@ -29,23 +42,30 @@ Result<GRelation> GRelation::FromValue(const Value& v) {
 }
 
 GRelation::InsertOutcome GRelation::Insert(Value object) {
-  for (const Value& o : objects_) {
-    if (dbpl::core::LessEq(object, o)) return InsertOutcome::kAbsorbed;
-  }
-  bool subsumed_any = false;
-  auto dominated = [&](const Value& o) {
-    if (dbpl::core::LessEq(o, object)) {
-      subsumed_any = true;
-      return true;
+  EnsureIndex();
+  if (Covers(object)) return InsertOutcome::kAbsorbed;
+  // Subsumption: remove every member the new object dominates. The index
+  // narrows the scan to members sharing a ground attribute (plus the
+  // unindexed ones); candidates can repeat across posting lists, hence
+  // the dedup against `doomed`.
+  std::vector<Value> doomed;
+  for (const Value* c : index_.LowerCandidates(object)) {
+    if (dbpl::core::LessEq(*c, object) &&
+        std::find(doomed.begin(), doomed.end(), *c) == doomed.end()) {
+      doomed.push_back(*c);
     }
-    return false;
-  };
-  objects_.erase(std::remove_if(objects_.begin(), objects_.end(), dominated),
-                 objects_.end());
+  }
+  for (const Value& d : doomed) {
+    auto it = std::lower_bound(objects_.begin(), objects_.end(), d,
+                               CanonicalLess);
+    objects_.erase(it);
+    index_.Remove(d);
+  }
+  index_.Add(object);
   auto it = std::lower_bound(objects_.begin(), objects_.end(), object,
                              CanonicalLess);
   objects_.insert(it, std::move(object));
-  return subsumed_any ? InsertOutcome::kSubsumed : InsertOutcome::kInserted;
+  return doomed.empty() ? InsertOutcome::kInserted : InsertOutcome::kSubsumed;
 }
 
 bool GRelation::Contains(const Value& object) const {
@@ -54,18 +74,50 @@ bool GRelation::Contains(const Value& object) const {
 }
 
 bool GRelation::Covers(const Value& object) const {
+  EnsureIndex();
+  std::optional<std::vector<const Value*>> upper =
+      index_.UpperCandidates(object);
+  if (upper.has_value()) {
+    for (const Value* c : *upper) {
+      if (dbpl::core::LessEq(object, *c)) return true;
+    }
+    return false;
+  }
   for (const Value& o : objects_) {
     if (dbpl::core::LessEq(object, o)) return true;
   }
   return false;
 }
 
-GRelation GRelation::Join(const GRelation& r1, const GRelation& r2) {
+Result<GRelation> GRelation::Join(const GRelation& r1, const GRelation& r2,
+                                  const JoinOptions& opts) {
+  DBPL_ASSIGN_OR_RETURN(
+      std::vector<Value> pairs,
+      PartitionedPairJoins(r1.objects_, r2.objects_, opts));
+  return FromAntichain(MaximalAntichain(std::move(pairs)));
+}
+
+Result<GRelation> GRelation::JoinNaive(const GRelation& r1,
+                                       const GRelation& r2) {
+  return JoinNaiveWith(r1, r2, [](const Value& x, const Value& y) {
+    return dbpl::core::Join(x, y);
+  });
+}
+
+Result<GRelation> GRelation::JoinNaiveWith(const GRelation& r1,
+                                           const GRelation& r2,
+                                           const Joiner& joiner) {
   GRelation out;
   for (const Value& x : r1.objects_) {
     for (const Value& y : r2.objects_) {
-      Result<Value> j = dbpl::core::Join(x, y);
-      if (j.ok()) out.Insert(std::move(j).value());
+      Result<Value> j = joiner(x, y);
+      if (j.ok()) {
+        out.Insert(std::move(j).value());
+      } else if (j.status().code() != StatusCode::kInconsistent) {
+        // A clash is the expected no-match case; anything else is a bug
+        // in the value lattice and must not be silently dropped.
+        return j.status();
+      }
     }
   }
   return out;
@@ -77,12 +129,16 @@ GRelation GRelation::Merge(const GRelation& r1, const GRelation& r2) {
   return out;
 }
 
-GRelation GRelation::Project(const std::vector<std::string>& attrs) const {
+Result<GRelation> GRelation::Project(
+    const std::vector<std::string>& attrs) const {
   GRelation out;
   for (const Value& o : objects_) {
-    if (o.kind() == ValueKind::kRecord) {
-      out.Insert(o.Project(attrs));
+    if (o.kind() != ValueKind::kRecord) {
+      return Status::InvalidArgument(
+          "cannot project a non-record member of a generalized relation: " +
+          o.ToString());
     }
+    out.Insert(o.Project(attrs));
   }
   return out;
 }

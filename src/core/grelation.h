@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/join_engine.h"
+#include "core/subsumption_index.h"
 #include "core/value.h"
 
 namespace dbpl::core {
@@ -21,6 +23,14 @@ namespace dbpl::core {
 /// inserting an object that is *less* informative than an existing one is
 /// absorbed; inserting one that is *more* informative subsumes (replaces)
 /// the objects it dominates — the paper's admission rule, verbatim.
+///
+/// Both the admission rule and the generalized join are index-accelerated:
+/// a `SubsumptionIndex` of per-attribute posting lists narrows the
+/// dominance scans of `Insert`/`Covers` to candidates sharing a ground
+/// attribute, and `Join` partitions the two cochains by ground-attribute
+/// signature so only hash-matched pairs are tested for consistency
+/// (degenerating to a classical hash join on flat, total records). The
+/// naive quadratic join survives as `JoinNaive` for differential testing.
 class GRelation {
  public:
   /// What `Insert` did with the object.
@@ -61,17 +71,38 @@ class GRelation {
 
   /// The generalized natural join of the paper's Figure 1: every
   /// consistent pairwise join, reduced to maxima. Restricted to flat,
-  /// total records over equal schemas this is the classical natural join.
-  static GRelation Join(const GRelation& r1, const GRelation& r2);
+  /// total records over equal schemas this is the classical natural join
+  /// — and, via the signature partitioning, it also *runs* as one.
+  ///
+  /// A clash between a pair of objects (an `Inconsistent` value join) is
+  /// the expected no-match case and simply produces nothing; any other
+  /// pairwise failure indicates a bug in the value lattice and is
+  /// propagated instead of being swallowed.
+  static Result<GRelation> Join(const GRelation& r1, const GRelation& r2,
+                                const JoinOptions& opts = {});
+
+  /// The pre-partitioning O(|r1|·|r2|) join, kept as the differential-
+  /// testing oracle. Result and error behaviour are identical to `Join`.
+  static Result<GRelation> JoinNaive(const GRelation& r1, const GRelation& r2);
+
+  /// A pairwise value joiner, `core::Join` by default.
+  using Joiner = std::function<Result<Value>(const Value&, const Value&)>;
+
+  /// `JoinNaive` with an injectable pairwise joiner, so tests can force
+  /// non-`Inconsistent` failures and verify they propagate.
+  static Result<GRelation> JoinNaiveWith(const GRelation& r1,
+                                         const GRelation& r2,
+                                         const Joiner& joiner);
 
   /// The union in the information ordering (the meet of relations):
   /// maxima of the set union.
   static GRelation Merge(const GRelation& r1, const GRelation& r2);
 
   /// Projection: each object restricted to `attrs`, reduced to maxima.
-  /// Non-record objects project to `⊥` and are dropped unless the
-  /// relation would become empty of records entirely.
-  GRelation Project(const std::vector<std::string>& attrs) const;
+  /// Every member must be a record; a mixed cochain fails with
+  /// InvalidArgument naming the offending member (rows must not vanish
+  /// silently).
+  Result<GRelation> Project(const std::vector<std::string>& attrs) const;
 
   /// Selection by arbitrary predicate.
   GRelation Select(const std::function<bool(const Value&)>& pred) const;
@@ -99,9 +130,23 @@ class GRelation {
   std::string ToString() const;
 
  private:
+  /// Adopts an already-reduced antichain wholesale: sorts it once and
+  /// leaves the index to be built lazily, instead of paying a sorted
+  /// insert per member.
+  static GRelation FromAntichain(std::vector<Value> maxima);
+
+  /// Builds the subsumption index from `objects_` if it is stale.
+  void EnsureIndex() const;
+
   /// Members, kept canonically sorted (by the total order) and mutually
   /// incomparable (by the information order).
   std::vector<Value> objects_;
+  /// Accelerates the dominance scans of Insert/Covers; built on first
+  /// use after a bulk construction (`index_built_`), in sync with
+  /// `objects_` afterwards. Not part of the value (ignored by
+  /// operator==); mutable so const queries can populate it.
+  mutable SubsumptionIndex index_;
+  mutable bool index_built_ = true;
 };
 
 }  // namespace dbpl::core

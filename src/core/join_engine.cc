@@ -1,0 +1,361 @@
+#include "core/join_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include <unordered_set>
+
+#include "core/order.h"
+#include "core/subsumption_index.h"
+
+namespace dbpl::core {
+namespace {
+
+/// Detects the classical-relational special case: every element is a
+/// record grounding exactly the same attribute set with atoms. Two
+/// *distinct* such records always disagree at some ground attribute, so
+/// they are incomparable under `⊑` and the minimal AND maximal antichain
+/// is simply the set of distinct elements. Returns nullopt when the
+/// input is heterogeneous (partial/nested/non-record members present).
+std::optional<std::vector<Value>> HomogeneousGroundDedup(
+    std::vector<Value>& vs) {
+  if (vs.empty()) return std::vector<Value>{};
+  const Value& first = vs.front();
+  if (first.kind() != ValueKind::kRecord) return std::nullopt;
+  for (const Value& v : vs) {
+    if (v.kind() != ValueKind::kRecord ||
+        v.fields().size() != first.fields().size()) {
+      return std::nullopt;
+    }
+    const auto& fs = v.fields();
+    const auto& gs = first.fields();
+    for (size_t i = 0; i < fs.size(); ++i) {
+      // Fields are name-sorted inside a record, so positional comparison
+      // suffices for "same attribute set".
+      if (fs[i].name != gs[i].name) return std::nullopt;
+      switch (fs[i].value.kind()) {
+        case ValueKind::kBool:
+        case ValueKind::kInt:
+        case ValueKind::kReal:
+        case ValueKind::kString:
+        case ValueKind::kRef:
+          break;
+        default:
+          return std::nullopt;  // ⊥ or nested: not ground
+      }
+    }
+  }
+  std::vector<Value> out;
+  out.reserve(vs.size());
+  std::unordered_set<Value, ValueHash> seen;
+  seen.reserve(vs.size());
+  for (Value& v : vs) {
+    if (seen.insert(v).second) out.push_back(std::move(v));
+  }
+  return out;
+}
+
+bool IsAtomKind(ValueKind k) {
+  switch (k) {
+    case ValueKind::kBool:
+    case ValueKind::kInt:
+    case ValueKind::kReal:
+    case ValueKind::kString:
+    case ValueKind::kRef:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Attribute names bound by at least one record on `side`.
+std::set<std::string> BoundNames(const std::vector<Value>& side) {
+  std::set<std::string> names;
+  for (const Value& v : side) {
+    if (v.kind() != ValueKind::kRecord) continue;
+    for (const auto& f : v.fields()) names.insert(f.name);
+  }
+  return names;
+}
+
+/// One side of the join, split into signature groups. A group holds the
+/// objects whose *ground signature* — the set of overlapping attributes
+/// they bind to an atom — is exactly `mask`. `residual` holds objects the
+/// partitioner cannot place: non-records and records grounding none of
+/// the overlapping attributes.
+struct Partition {
+  /// Ordered so task construction (and thus output order) is
+  /// deterministic regardless of hashing.
+  std::map<uint64_t, std::vector<const Value*>> groups;
+  std::vector<const Value*> residual;
+};
+
+Partition MakePartition(
+    const std::vector<Value>& side,
+    const std::unordered_map<std::string, int>& overlap_ids) {
+  Partition p;
+  for (const Value& v : side) {
+    uint64_t mask = 0;
+    if (v.kind() == ValueKind::kRecord) {
+      for (const auto& f : v.fields()) {
+        if (!IsAtomKind(f.value.kind())) continue;
+        auto it = overlap_ids.find(f.name);
+        if (it != overlap_ids.end()) mask |= uint64_t{1} << it->second;
+      }
+    }
+    if (mask == 0) {
+      p.residual.push_back(&v);
+    } else {
+      p.groups[mask].push_back(&v);
+    }
+  }
+  return p;
+}
+
+uint64_t HashSlice(const Value& v, uint64_t mask,
+                   const std::vector<std::string>& overlap_names) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (uint64_t rest = mask; rest != 0; rest &= rest - 1) {
+    int id = __builtin_ctzll(rest);
+    const Value* f = v.FindField(overlap_names[static_cast<size_t>(id)]);
+    h ^= f->Hash() + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+bool SliceEq(const Value& a, const Value& b, uint64_t mask,
+             const std::vector<std::string>& overlap_names) {
+  for (uint64_t rest = mask; rest != 0; rest &= rest - 1) {
+    int id = __builtin_ctzll(rest);
+    const std::string& name = overlap_names[static_cast<size_t>(id)];
+    if (!(*a.FindField(name) == *b.FindField(name))) return false;
+  }
+  return true;
+}
+
+/// Attempts one pairwise join. Inconsistency means "no output for this
+/// pair"; any other failure is a lattice bug and aborts the whole join.
+Status TryJoin(const Value& x, const Value& y, std::vector<Value>* out) {
+  Result<Value> j = Join(x, y);
+  if (j.ok()) {
+    out->push_back(std::move(j).value());
+    return Status::OK();
+  }
+  if (j.status().code() == StatusCode::kInconsistent) return Status::OK();
+  return j.status();
+}
+
+/// A unit of independent work: either a hash join of two signature
+/// groups on their common ground attributes, or a pairwise sweep when no
+/// common ground attribute exists to hash on.
+struct Task {
+  const std::vector<const Value*>* left;
+  const std::vector<const Value*>* right;
+  uint64_t common_mask;  // 0 = pairwise sweep
+};
+
+Status RunTask(const Task& task, const std::vector<std::string>& overlap_names,
+               std::vector<Value>* out) {
+  if (task.common_mask == 0) {
+    for (const Value* x : *task.left) {
+      for (const Value* y : *task.right) {
+        DBPL_RETURN_IF_ERROR(TryJoin(*x, *y, out));
+      }
+    }
+    return Status::OK();
+  }
+  // Hash join on the common ground attributes: build over the smaller
+  // group, probe with the larger. Only slice-equal pairs can possibly be
+  // consistent (atoms are flat), so everything else is skipped unseen.
+  const bool left_builds = task.left->size() <= task.right->size();
+  const std::vector<const Value*>& build = left_builds ? *task.left
+                                                       : *task.right;
+  const std::vector<const Value*>& probe = left_builds ? *task.right
+                                                       : *task.left;
+  std::unordered_map<uint64_t, std::vector<const Value*>> table;
+  table.reserve(build.size());
+  for (const Value* b : build) {
+    table[HashSlice(*b, task.common_mask, overlap_names)].push_back(b);
+  }
+  for (const Value* p : probe) {
+    auto it = table.find(HashSlice(*p, task.common_mask, overlap_names));
+    if (it == table.end()) continue;
+    for (const Value* b : it->second) {
+      if (!SliceEq(*b, *p, task.common_mask, overlap_names)) continue;
+      const Value& x = left_builds ? *b : *p;
+      const Value& y = left_builds ? *p : *b;
+      DBPL_RETURN_IF_ERROR(TryJoin(x, y, out));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<Value>> PartitionedPairJoins(const std::vector<Value>& left,
+                                                const std::vector<Value>& right,
+                                                const JoinOptions& opts) {
+  std::vector<Value> out;
+  if (left.empty() || right.empty()) return out;
+
+  // Overlapping attributes: bound by some record on each side. Only the
+  // first 64 (alphabetically) participate in signatures; objects
+  // grounding none of them degrade to the pairwise sweep.
+  std::set<std::string> left_names = BoundNames(left);
+  std::set<std::string> right_names = BoundNames(right);
+  std::vector<std::string> overlap_names;
+  std::unordered_map<std::string, int> overlap_ids;
+  for (const std::string& n : left_names) {
+    if (overlap_names.size() >= 64) break;
+    if (right_names.count(n)) {
+      overlap_ids.emplace(n, static_cast<int>(overlap_names.size()));
+      overlap_names.push_back(n);
+    }
+  }
+
+  Partition lp = MakePartition(left, overlap_ids);
+  Partition rp = MakePartition(right, overlap_ids);
+
+  // Every (x, y) pair is covered by exactly one task:
+  //   residual(L) × all(R)   ∪   group(L) × residual(R)
+  //   ∪   group(L) × group(R).
+  std::vector<const Value*> whole_right;
+  std::vector<Task> tasks;
+  if (!lp.residual.empty()) {
+    whole_right.reserve(right.size());
+    for (const Value& v : right) whole_right.push_back(&v);
+    tasks.push_back({&lp.residual, &whole_right, 0});
+  }
+  for (const auto& [lmask, lgroup] : lp.groups) {
+    if (!rp.residual.empty()) tasks.push_back({&lgroup, &rp.residual, 0});
+    for (const auto& [rmask, rgroup] : rp.groups) {
+      tasks.push_back({&lgroup, &rgroup, lmask & rmask});
+    }
+  }
+
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  int nthreads = std::clamp(opts.threads, 1, std::max(hw, 1));
+  std::vector<std::vector<Value>> results(tasks.size());
+  std::vector<Status> statuses(tasks.size());
+
+  if (nthreads <= 1 || tasks.size() <= 1) {
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      statuses[i] = RunTask(tasks[i], overlap_names, &results[i]);
+    }
+  } else {
+    std::atomic<size_t> next{0};
+    auto worker = [&] {
+      for (size_t i = next.fetch_add(1); i < tasks.size();
+           i = next.fetch_add(1)) {
+        statuses[i] = RunTask(tasks[i], overlap_names, &results[i]);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(nthreads));
+    for (int t = 0; t < nthreads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  size_t total = 0;
+  for (const auto& r : results) total += r.size();
+  out.reserve(total);
+  for (auto& r : results) {
+    std::move(r.begin(), r.end(), std::back_inserter(out));
+  }
+  return out;
+}
+
+std::vector<Value> MinimalAntichain(std::vector<Value> vs) {
+  if (std::optional<std::vector<Value>> flat = HomogeneousGroundDedup(vs)) {
+    return *std::move(flat);
+  }
+  SubsumptionIndex index;
+  std::vector<Value> members;
+  for (Value& v : vs) {
+    bool dominated = false;
+    for (const Value* c : index.LowerCandidates(v)) {
+      if (LessEq(*c, v)) {  // equal counts: a duplicate adds nothing
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) continue;
+    std::vector<Value> doomed;
+    auto collect = [&](const Value& c) {
+      if (LessEq(v, c) &&
+          std::find(doomed.begin(), doomed.end(), c) == doomed.end()) {
+        doomed.push_back(c);
+      }
+    };
+    std::optional<std::vector<const Value*>> upper = index.UpperCandidates(v);
+    if (upper.has_value()) {
+      for (const Value* c : *upper) collect(*c);
+    } else {
+      for (const Value& m : members) collect(m);
+    }
+    for (const Value& d : doomed) {
+      members.erase(std::find(members.begin(), members.end(), d));
+      index.Remove(d);
+    }
+    members.push_back(std::move(v));
+    index.Add(members.back());
+  }
+  return members;
+}
+
+std::vector<Value> MaximalAntichain(std::vector<Value> vs) {
+  if (std::optional<std::vector<Value>> flat = HomogeneousGroundDedup(vs)) {
+    return *std::move(flat);
+  }
+  SubsumptionIndex index;
+  std::vector<Value> members;
+  for (Value& v : vs) {
+    // Absorbed: some member already carries at least v's information.
+    bool absorbed = false;
+    auto covers = [&](const Value& c) { return LessEq(v, c); };
+    std::optional<std::vector<const Value*>> upper = index.UpperCandidates(v);
+    if (upper.has_value()) {
+      for (const Value* c : *upper) {
+        if (covers(*c)) {
+          absorbed = true;
+          break;
+        }
+      }
+    } else {
+      for (const Value& m : members) {
+        if (covers(m)) {
+          absorbed = true;
+          break;
+        }
+      }
+    }
+    if (absorbed) continue;
+    // Subsumption: v replaces every member it dominates.
+    std::vector<Value> doomed;
+    for (const Value* c : index.LowerCandidates(v)) {
+      if (LessEq(*c, v) &&
+          std::find(doomed.begin(), doomed.end(), *c) == doomed.end()) {
+        doomed.push_back(*c);
+      }
+    }
+    for (const Value& d : doomed) {
+      members.erase(std::find(members.begin(), members.end(), d));
+      index.Remove(d);
+    }
+    members.push_back(std::move(v));
+    index.Add(members.back());
+  }
+  return members;
+}
+
+}  // namespace dbpl::core

@@ -1,0 +1,56 @@
+#ifndef DBPL_CORE_JOIN_ENGINE_H_
+#define DBPL_CORE_JOIN_ENGINE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/value.h"
+
+namespace dbpl::core {
+
+/// Tuning knobs for the signature-partitioned generalized join.
+struct JoinOptions {
+  /// Number of worker threads to shard partition pairs across. 1 (the
+  /// default) runs inline on the calling thread; values are clamped to
+  /// the hardware concurrency. Partitions are independent, so threading
+  /// changes only wall-clock time, never the result.
+  int threads = 1;
+};
+
+/// All consistent pairwise joins `x ⊔ y` for `x ∈ left`, `y ∈ right`,
+/// unreduced — the raw material of the paper's Figure 1 join, which the
+/// callers reduce to maxima (GRelation) or minima (the value-level set
+/// join).
+///
+/// Instead of testing every pair, objects are partitioned by the
+/// *signature* of their ground attributes: the subset of the schemas'
+/// overlapping attribute names at which the object binds an atom. Two
+/// records can only be consistent if they agree exactly on the atoms of
+/// their common ground attributes, so within a signature-pair the join
+/// degenerates to a hash join on those attributes — on flat, total
+/// records over equal schemas this is *exactly* the classical hash join.
+/// Objects that cannot be partitioned (non-records; records grounding no
+/// overlapping attribute) fall back to pairwise testing against the
+/// whole other side, preserving the naive semantics bit-for-bit.
+///
+/// An `Inconsistent` pairwise join is expected (the pair simply produces
+/// nothing); any *other* failure is a bug in the value lattice and is
+/// propagated.
+Result<std::vector<Value>> PartitionedPairJoins(const std::vector<Value>& left,
+                                                const std::vector<Value>& right,
+                                                const JoinOptions& opts = {});
+
+/// Reduces `vs` to its minimal elements under `⊑`, deduplicated — the
+/// canonical representative of a relation under the Smyth ordering.
+/// Index-accelerated equivalent of the quadratic min-reduction.
+std::vector<Value> MinimalAntichain(std::vector<Value> vs);
+
+/// Reduces `vs` to its maximal elements under `⊑`, deduplicated — the
+/// paper's subsumption rule applied wholesale. Equivalent to inserting
+/// every element into a GRelation, but without maintaining the sorted
+/// member vector incrementally (which is quadratic in the output size).
+std::vector<Value> MaximalAntichain(std::vector<Value> vs);
+
+}  // namespace dbpl::core
+
+#endif  // DBPL_CORE_JOIN_ENGINE_H_

@@ -2,33 +2,18 @@
 
 #include <vector>
 
+#include "core/join_engine.h"
+
+// Under the Smyth-style relation ordering the paper uses (`R ⊑ R'` iff
+// every object of R' refines some object of R), the canonical
+// representative of a relation's order-equivalence class is its set of
+// *minimal* elements, and the least upper bound of two antichains is the
+// min-reduction of their pairwise joins — both computed here with the
+// index-accelerated engine of join_engine.h. (The *operational*
+// relations in grelation.h instead keep maximal elements, the paper's
+// subsumption rule; see the discussion there.)
+
 namespace dbpl::core {
-namespace {
-
-/// Reduces to the minimal antichain: drops any element strictly above
-/// another. Under the Smyth-style relation ordering the paper uses
-/// (`R ⊑ R'` iff every object of R' refines some object of R), the
-/// canonical representative of a relation's order-equivalence class is
-/// its set of *minimal* elements, and the least upper bound of two
-/// antichains is the min-reduction of their pairwise joins. (The
-/// *operational* relations in grelation.h instead keep maximal elements,
-/// the paper's subsumption rule; see the discussion there.)
-std::vector<Value> MinReduce(std::vector<Value> vs) {
-  std::vector<Value> out;
-  for (const Value& v : vs) {
-    bool dominated = false;
-    for (const Value& w : vs) {
-      if (!(v == w) && LessEq(w, v)) {
-        dominated = true;
-        break;
-      }
-    }
-    if (!dominated) out.push_back(v);
-  }
-  return out;
-}
-
-}  // namespace
 
 bool LessEq(const Value& a, const Value& b) {
   if (a.is_bottom()) return true;
@@ -146,16 +131,14 @@ Result<Value> Join(const Value& a, const Value& b) {
     case ValueKind::kSet: {
       // Generalized relational join: all consistent pairwise joins,
       // reduced to the minimal antichain (the least upper bound under
-      // the Smyth-style ordering). Never fails: if every pair is
-      // contradictory, the join is the empty (top) relation.
-      std::vector<Value> out;
-      for (const auto& x : a.elements()) {
-        for (const auto& y : b.elements()) {
-          Result<Value> j = Join(x, y);
-          if (j.ok()) out.push_back(std::move(j).value());
-        }
-      }
-      return Value::Set(MinReduce(std::move(out)));
+      // the Smyth-style ordering). Contradictory pairs simply produce
+      // nothing (if every pair clashes, the join is the empty, top
+      // relation); a non-Inconsistent pairwise failure is a lattice bug
+      // and propagates.
+      DBPL_ASSIGN_OR_RETURN(
+          std::vector<Value> pairs,
+          PartitionedPairJoins(a.elements(), b.elements()));
+      return Value::Set(MinimalAntichain(std::move(pairs)));
     }
   }
   return Status::Internal("unreachable join case");
@@ -205,7 +188,7 @@ Value Meet(const Value& a, const Value& b) {
       std::vector<Value> all = a.elements();
       const auto& eb = b.elements();
       all.insert(all.end(), eb.begin(), eb.end());
-      return Value::Set(MinReduce(std::move(all)));
+      return Value::Set(MinimalAntichain(std::move(all)));
     }
   }
   return Value::Bottom();

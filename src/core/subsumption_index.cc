@@ -1,0 +1,134 @@
+#include "core/subsumption_index.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace dbpl::core {
+namespace {
+
+bool IsAtomKind(ValueKind k) {
+  switch (k) {
+    case ValueKind::kBool:
+    case ValueKind::kInt:
+    case ValueKind::kReal:
+    case ValueKind::kString:
+    case ValueKind::kRef:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Calls `fn(field_name, atom_value)` for each atom-valued field of `v`
+/// (none if `v` is not a record).
+template <typename Fn>
+void ForEachAtomField(const Value& v, Fn&& fn) {
+  if (v.kind() != ValueKind::kRecord) return;
+  for (const auto& f : v.fields()) {
+    if (IsAtomKind(f.value.kind())) fn(f.name, f.value);
+  }
+}
+
+bool HasAtomField(const Value& v) {
+  bool found = false;
+  ForEachAtomField(v, [&](const std::string&, const Value&) { found = true; });
+  return found;
+}
+
+}  // namespace
+
+uint64_t SubsumptionIndex::PostingKey(const std::string& field,
+                                      const Value& atom) {
+  uint64_t h = std::hash<std::string>()(field);
+  h ^= atom.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+void SubsumptionIndex::Add(const Value& v) {
+  if (!HasAtomField(v)) {
+    unindexed_.push_back(v);
+    return;
+  }
+  ForEachAtomField(v, [&](const std::string& name, const Value& atom) {
+    postings_[PostingKey(name, atom)].push_back(v);
+  });
+}
+
+void SubsumptionIndex::Remove(const Value& v) {
+  if (!HasAtomField(v)) {
+    auto it = std::find(unindexed_.begin(), unindexed_.end(), v);
+    if (it != unindexed_.end()) unindexed_.erase(it);
+    return;
+  }
+  ForEachAtomField(v, [&](const std::string& name, const Value& atom) {
+    auto list = postings_.find(PostingKey(name, atom));
+    if (list == postings_.end()) return;
+    auto it = std::find(list->second.begin(), list->second.end(), v);
+    if (it != list->second.end()) list->second.erase(it);
+    if (list->second.empty()) postings_.erase(list);
+  });
+}
+
+void SubsumptionIndex::Clear() {
+  postings_.clear();
+  unindexed_.clear();
+}
+
+namespace {
+
+std::vector<const Value*> PointersInto(const std::vector<Value>& vs) {
+  std::vector<const Value*> out;
+  out.reserve(vs.size());
+  for (const Value& v : vs) out.push_back(&v);
+  return out;
+}
+
+}  // namespace
+
+std::optional<std::vector<const Value*>> SubsumptionIndex::UpperCandidates(
+    const Value& v) const {
+  if (v.is_bottom()) return std::nullopt;  // everything is above ⊥
+  if (v.kind() != ValueKind::kRecord) {
+    // Atoms/lists/sets/tagged values are only comparable with members of
+    // the same kind, all of which are unindexed.
+    return PointersInto(unindexed_);
+  }
+  // A member above `v` must ground every atom field of `v` identically,
+  // so it lies in each of `v`'s posting lists; search the shortest.
+  const std::vector<Value>* best = nullptr;
+  bool any_atom = false;
+  bool missing_list = false;
+  ForEachAtomField(v, [&](const std::string& name, const Value& atom) {
+    any_atom = true;
+    auto it = postings_.find(PostingKey(name, atom));
+    if (it == postings_.end()) {
+      missing_list = true;
+      return;
+    }
+    if (best == nullptr || it->second.size() < best->size()) {
+      best = &it->second;
+    }
+  });
+  if (!any_atom) return std::nullopt;  // nested-only record: cannot narrow
+  if (missing_list) {
+    return std::vector<const Value*>{};  // no member grounds it
+  }
+  return PointersInto(*best);
+}
+
+std::vector<const Value*> SubsumptionIndex::LowerCandidates(
+    const Value& v) const {
+  // Members below `v` ground a subset of `v`'s atom fields (union of its
+  // posting lists) or ground nothing at all (unindexed).
+  std::vector<const Value*> out = PointersInto(unindexed_);
+  ForEachAtomField(v, [&](const std::string& name, const Value& atom) {
+    auto it = postings_.find(PostingKey(name, atom));
+    if (it == postings_.end()) return;
+    for (const Value& c : it->second) out.push_back(&c);
+  });
+  return out;
+}
+
+}  // namespace dbpl::core

@@ -1,0 +1,68 @@
+#ifndef DBPL_CORE_SUBSUMPTION_INDEX_H_
+#define DBPL_CORE_SUBSUMPTION_INDEX_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/value.h"
+
+namespace dbpl::core {
+
+/// An index over the members of a cochain that answers the two questions
+/// the admission rule asks on every insert — "is some member above this
+/// object?" (absorption) and "which members are below it?" (subsumption)
+/// — without scanning the whole relation.
+///
+/// The index exploits the flatness of atoms under `⊑`: if a record `a`
+/// has an atom at field `f`, then any record above *or* below `a` that
+/// also binds `f` must bind it to the *same* atom. Each member record is
+/// therefore posted under every `(field, atom-value)` pair it grounds:
+///
+///  * candidates above `v` must ground every atom field of `v`, so they
+///    all sit in the *shortest* of `v`'s posting lists;
+///  * candidates below `v` ground a subset of `v`'s atom fields, so they
+///    all sit in the *union* of `v`'s posting lists — except members with
+///    no atom fields at all (non-records, `⊥`, records of nested values),
+///    which are kept in a small side list.
+///
+/// Posting keys are hashes; collisions only enlarge a candidate list, and
+/// every candidate is re-checked with the real `LessEq` by the caller, so
+/// the index is purely an accelerator and never changes semantics.
+class SubsumptionIndex {
+ public:
+  /// Adds a member. The caller guarantees `v` is not already present.
+  void Add(const Value& v);
+
+  /// Removes a member previously added (matched by structural equality).
+  void Remove(const Value& v);
+
+  void Clear();
+
+  /// Members that could be `⊒ v` (i.e. could absorb `v`). `nullopt`
+  /// means the index cannot narrow the search (v is `⊥` or a record
+  /// without atom fields) and the caller must scan all members. The
+  /// pointers are into index storage and are invalidated by the next
+  /// `Add`/`Remove`/`Clear`.
+  std::optional<std::vector<const Value*>> UpperCandidates(
+      const Value& v) const;
+
+  /// Members that could be `⊑ v` (i.e. could be subsumed by `v`). Never
+  /// needs a full scan; may contain duplicates when a member shares
+  /// several atom fields with `v`. Same pointer-validity caveat as
+  /// `UpperCandidates`.
+  std::vector<const Value*> LowerCandidates(const Value& v) const;
+
+ private:
+  static uint64_t PostingKey(const std::string& field, const Value& atom);
+
+  /// (field, atom value) hash -> members grounding that pair.
+  std::unordered_map<uint64_t, std::vector<Value>> postings_;
+  /// Members with no atom fields: non-records, `⊥`, nested-only records.
+  std::vector<Value> unindexed_;
+};
+
+}  // namespace dbpl::core
+
+#endif  // DBPL_CORE_SUBSUMPTION_INDEX_H_

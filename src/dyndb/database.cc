@@ -54,6 +54,17 @@ std::vector<core::Value> Database::GetViaIndex(const types::Type& t) const {
   return out;
 }
 
+core::GRelation Database::GetRelation(const types::Type& t) const {
+  return core::GRelation::FromObjects(GetViaIndex(t));
+}
+
+Result<core::GRelation> Database::JoinExtents(const types::Type& t1,
+                                              const types::Type& t2,
+                                              const core::JoinOptions& opts)
+    const {
+  return core::GRelation::Join(GetRelation(t1), GetRelation(t2), opts);
+}
+
 std::vector<Dynamic> Database::GetPackages(const types::Type& t) const {
   std::vector<Dynamic> out;
   for (const Dynamic& d : entries_) {

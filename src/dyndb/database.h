@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/grelation.h"
 #include "dyndb/dynamic.h"
 #include "types/type.h"
 
@@ -67,6 +68,19 @@ class Database {
   /// Like GetScan, but returns existential packages of type
   /// `∃t' ≤ t. t'` — the precise result type of the paper's Get.
   std::vector<Dynamic> GetPackages(const types::Type& t) const;
+
+  /// The extent of `t` as a generalized relation: the values `GetViaIndex`
+  /// yields, admitted under the subsumption rule (so a value refining
+  /// another collapses onto it). This is the bridge from the paper's
+  /// derived extents to its Figure 1 algebra.
+  core::GRelation GetRelation(const types::Type& t) const;
+
+  /// The generalized natural join of two derived extents,
+  /// `Get(t1) ⋈ Get(t2)`, computed with the signature-partitioned fast
+  /// path of core::GRelation::Join.
+  Result<core::GRelation> JoinExtents(const types::Type& t1,
+                                      const types::Type& t2,
+                                      const core::JoinOptions& opts = {}) const;
 
   /// Declares a maintained extent for `t`; existing entries are indexed
   /// immediately, later inserts incrementally.

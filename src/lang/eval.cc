@@ -203,6 +203,12 @@ Result<RtValue> Evaluator::Eval(const ExprPtr& eptr, const EnvPtr& env) {
       }
       Result<Value> joined = core::Join(*c1, *c2);
       if (!joined.ok()) {
+        // A clash keeps its Inconsistent code (user-level failure, with
+        // source position attached); anything else is an engine bug and
+        // must propagate unrelabelled.
+        if (joined.status().code() != StatusCode::kInconsistent) {
+          return joined.status();
+        }
         return Status::Inconsistent("line " + std::to_string(e.line) + ": " +
                                     joined.status().message());
       }

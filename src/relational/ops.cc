@@ -99,6 +99,15 @@ Result<Relation> NaturalJoin(const Relation& r1, const Relation& r2) {
   return out;
 }
 
+Result<Relation> GeneralizedNaturalJoin(const Relation& r1, const Relation& r2,
+                                        const core::JoinOptions& opts) {
+  DBPL_ASSIGN_OR_RETURN(Schema joined, r1.schema().JoinWith(r2.schema()));
+  DBPL_ASSIGN_OR_RETURN(
+      core::GRelation g,
+      core::GRelation::Join(r1.ToGRelation(), r2.ToGRelation(), opts));
+  return Relation::FromGRelation(joined, g);
+}
+
 Result<Relation> Union(const Relation& r1, const Relation& r2) {
   if (!(r1.schema() == r2.schema())) {
     return Status::InvalidArgument("union requires identical schemas");

@@ -25,6 +25,15 @@ Result<Relation> Project(const Relation& r,
 /// product when none are shared).
 Result<Relation> NaturalJoin(const Relation& r1, const Relation& r2);
 
+/// ⋈ computed by the *generalized* engine: the relations are lifted to
+/// cochains, joined with the signature-partitioned generalized join of
+/// core/grelation.h (which on flat total records degenerates to a hash
+/// join on the shared attributes), and lowered back to 1NF. Must equal
+/// `NaturalJoin` on every input (property-tested) — the executable form
+/// of the paper's claim that ⋈ generalizes the relational join.
+Result<Relation> GeneralizedNaturalJoin(const Relation& r1, const Relation& r2,
+                                        const core::JoinOptions& opts = {});
+
 /// ∪ (schemas must match).
 Result<Relation> Union(const Relation& r1, const Relation& r2);
 

@@ -204,6 +204,35 @@ TEST(DatabaseTest, EntryLookup) {
   EXPECT_EQ(db.Get(999).status().code(), StatusCode::kNotFound);
 }
 
+TEST(DatabaseTest, GetRelationAdmitsUnderSubsumption) {
+  Database db;
+  db.InsertValue(Person("J Doe"));
+  db.InsertValue(Employee("J Doe", 7));  // refines the bare Person
+  db.InsertValue(Person("A Roe"));
+  core::GRelation r = db.GetRelation(PersonT());
+  // The Employee record subsumes the bare {Name: "J Doe"}.
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.Covers(Person("J Doe")));
+  EXPECT_TRUE(r.Contains(Employee("J Doe", 7)));
+  ASSERT_TRUE(r.CheckInvariant().ok());
+}
+
+TEST(DatabaseTest, JoinExtentsIsGeneralizedJoinOfDerivedExtents) {
+  Database db;
+  db.InsertValue(Employee("J Doe", 7));
+  db.InsertValue(Student("J Doe", 42));
+  db.InsertValue(Student("A Roe", 43));
+  // Get(Employee) ⋈ Get(Student): working students.
+  Result<core::GRelation> joined =
+      db.JoinExtents(EmployeeT(), StudentT());
+  ASSERT_TRUE(joined.ok()) << joined.status().message();
+  EXPECT_EQ(joined->size(), 1u);
+  EXPECT_TRUE(joined->Contains(
+      Value::RecordOf({{"Name", Value::String("J Doe")},
+                       {"Empno", Value::Int(7)},
+                       {"StudentId", Value::Int(42)}})));
+}
+
 TEST(DatabaseTest, MonotonicityOfGetAcrossHierarchy) {
   // T ≤ U ⟹ Get(T) ⊆ Get(U), for every pair in a chain.
   Database db = MakeMixedDb();

@@ -59,7 +59,7 @@ GRelation FigureJoin() {
 }
 
 TEST(GRelationTest, FigureOneExact) {
-  GRelation joined = GRelation::Join(FigureR1(), FigureR2());
+  GRelation joined = *GRelation::Join(FigureR1(), FigureR2());
   EXPECT_EQ(joined, FigureJoin()) << "got:\n"
                                   << joined.ToString() << "\nwant:\n"
                                   << FigureJoin().ToString();
@@ -70,7 +70,7 @@ TEST(GRelationTest, FigureOneExact) {
 TEST(GRelationTest, FigureOneJoinIsAboveBothInputs) {
   GRelation r1 = FigureR1();
   GRelation r2 = FigureR2();
-  GRelation j = GRelation::Join(r1, r2);
+  GRelation j = *GRelation::Join(r1, r2);
   EXPECT_TRUE(GRelation::LessEq(r1, j));
   EXPECT_TRUE(GRelation::LessEq(r2, j));
 }
@@ -147,7 +147,7 @@ TEST(GRelationTest, ToValueRoundTrip) {
 
 TEST(GRelationTest, ProjectReducesToCochain) {
   GRelation r = FigureJoin();
-  GRelation p = r.Project({"Dept"});
+  GRelation p = *r.Project({"Dept"});
   EXPECT_TRUE(p.CheckInvariant().ok());
   // Four objects project onto three distinct departments.
   EXPECT_EQ(p.size(), 3u);
@@ -183,7 +183,7 @@ TEST(GRelationTest, EmptyRelationIsTopAndJoinAbsorbs) {
   EXPECT_FALSE(GRelation::LessEq(empty, r));
   // Joining with the empty relation yields the empty relation: there is
   // nothing consistent to pair with.
-  EXPECT_EQ(GRelation::Join(r, empty).size(), 0u);
+  EXPECT_EQ(GRelation::Join(r, empty)->size(), 0u);
 }
 
 // Classical-equivalence: on flat, total records over the same attribute
@@ -204,7 +204,7 @@ TEST(GRelationTest, GeneralizedJoinGeneralizesNaturalJoin) {
   }
   GRelation r1 = GRelation::FromObjects(t1);
   GRelation r2 = GRelation::FromObjects(t2);
-  GRelation gen = GRelation::Join(r1, r2);
+  GRelation gen = *GRelation::Join(r1, r2);
 
   // Naive classical natural join on the deduplicated inputs.
   GRelation classic;
@@ -233,12 +233,13 @@ TEST_P(GRelationPropertyTest, InvariantHoldsUnderRandomOperations) {
   }
   GRelation other;
   for (int i = 0; i < 10; ++i) other.Insert(dbpl::testing::RandomRecord(rng));
-  GRelation j = GRelation::Join(r, other);
+  GRelation j = *GRelation::Join(r, other);
   EXPECT_TRUE(j.CheckInvariant().ok());
   GRelation m = GRelation::Merge(r, other);
   EXPECT_TRUE(m.CheckInvariant().ok());
-  GRelation p = r.Project({"Name", "Dept"});
-  EXPECT_TRUE(p.CheckInvariant().ok());
+  Result<GRelation> p = r.Project({"Name", "Dept"});
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_TRUE(p->CheckInvariant().ok());
 }
 
 TEST_P(GRelationPropertyTest, InsertIsOrderInsensitive) {
@@ -313,8 +314,8 @@ TEST_P(GRelationPropertyTest, ProjectionAndMergeMonotoneUnderHoare) {
     refined.Insert(dbpl::testing::RandomRecord(rng));
     ASSERT_TRUE(GRelation::LessEqHoare(r, refined));
 
-    EXPECT_TRUE(GRelation::LessEqHoare(r.Project({"Name", "Dept"}),
-                                       refined.Project({"Name", "Dept"})));
+    EXPECT_TRUE(GRelation::LessEqHoare(*r.Project({"Name", "Dept"}),
+                                       *refined.Project({"Name", "Dept"})));
     GRelation other;
     for (int i = 0; i < 4; ++i) other.Insert(dbpl::testing::RandomRecord(rng));
     EXPECT_TRUE(GRelation::LessEqHoare(GRelation::Merge(r, other),

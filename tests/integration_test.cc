@@ -158,7 +158,7 @@ TEST(IntegrationTest, FigureOneAcrossLayers) {
   };
 
   // Layer 1: operational generalized relations.
-  core::GRelation joined = core::GRelation::Join(
+  core::GRelation joined = *core::GRelation::Join(
       core::GRelation::FromObjects(r1), core::GRelation::FromObjects(r2));
   EXPECT_EQ(joined.size(), 4u);
 
@@ -208,8 +208,8 @@ TEST(IntegrationTest, RelationalAndGeneralizedAgreeOnAQuery) {
                                        {"Name", "City"});
   ASSERT_TRUE(classical.ok());
   core::GRelation generalized =
-      core::GRelation::Join(emp.ToGRelation(), dept.ToGRelation())
-          .Project({"Name", "City"});
+      *core::GRelation::Join(emp.ToGRelation(), dept.ToGRelation())
+           ->Project({"Name", "City"});
   EXPECT_EQ(generalized, classical->ToGRelation());
 }
 

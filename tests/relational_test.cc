@@ -265,8 +265,12 @@ TEST(BridgeTest, GeneralizedJoinEqualsClassicalOnFlatData) {
   auto classical = NaturalJoin(r1, r2);
   ASSERT_TRUE(classical.ok());
   core::GRelation generalized =
-      core::GRelation::Join(r1.ToGRelation(), r2.ToGRelation());
+      *core::GRelation::Join(r1.ToGRelation(), r2.ToGRelation());
   EXPECT_EQ(generalized, classical->ToGRelation());
+  // The same query through the relational-level bridge.
+  auto bridged = GeneralizedNaturalJoin(r1, r2);
+  ASSERT_TRUE(bridged.ok()) << bridged.status();
+  EXPECT_EQ(bridged->ToGRelation(), generalized);
 }
 
 TEST(BridgeTest, RoundTripThroughGRelation) {
