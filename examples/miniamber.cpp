@@ -75,6 +75,9 @@ int RunRepl() {
       if (!out.ok()) {
         std::cout << "error: " << out.status() << "\n";
       } else {
+        for (const std::string& warning : out->warnings) {
+          std::cout << warning;
+        }
         for (size_t i = 0; i < out->values.size(); ++i) {
           std::cout << out->values[i] << " : " << out->types[i] << "\n";
         }
@@ -112,6 +115,9 @@ int main(int argc, char** argv) {
   if (!out.ok()) {
     std::cerr << "error: " << out.status() << "\n";
     return 1;
+  }
+  for (const std::string& warning : out->warnings) {
+    std::cerr << warning;
   }
   for (size_t i = 0; i < out->values.size(); ++i) {
     std::cout << out->values[i] << " : " << out->types[i] << "\n";

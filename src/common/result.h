@@ -15,7 +15,7 @@ namespace dbpl {
 /// A `Result` constructed from an OK status is a programming error and is
 /// converted to an `Internal` error so it is still observable.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a successful result holding `value`.
   Result(T value) : repr_(std::move(value)) {}  // NOLINT: implicit by design
@@ -26,10 +26,10 @@ class Result {
     }
   }
 
-  bool ok() const { return std::holds_alternative<T>(repr_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(repr_); }
 
   /// Status of the operation; OK when a value is present.
-  Status status() const {
+  [[nodiscard]] Status status() const {
     if (ok()) return Status::OK();
     return std::get<Status>(repr_);
   }
@@ -49,7 +49,7 @@ class Result {
   }
 
   /// The contained value, or `fallback` on error.
-  T value_or(T fallback) const {
+  [[nodiscard]] T value_or(T fallback) const {
     if (ok()) return value();
     return fallback;
   }

@@ -1,0 +1,167 @@
+#include "lang/analysis/diagnostic.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace dbpl::lang {
+
+std::string_view SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// The `index`-th (1-based) line of `source`, without its newline.
+std::string_view SourceLine(std::string_view source, int index) {
+  int line = 1;
+  size_t start = 0;
+  while (line < index) {
+    size_t nl = source.find('\n', start);
+    if (nl == std::string_view::npos) return {};
+    start = nl + 1;
+    ++line;
+  }
+  size_t end = source.find('\n', start);
+  if (end == std::string_view::npos) end = source.size();
+  return source.substr(start, end - start);
+}
+
+}  // namespace
+
+std::string RenderText(const Diagnostic& diag, std::string_view source,
+                       std::string_view filename) {
+  std::ostringstream os;
+  os << filename << ":" << diag.span.line << ":" << diag.span.column << ": "
+     << SeverityName(diag.severity) << ": " << diag.message;
+  if (!diag.code.empty()) os << " [" << diag.code << "]";
+  os << "\n";
+  std::string_view excerpt = SourceLine(source, diag.span.line);
+  if (!excerpt.empty() && diag.span.column >= 1 &&
+      diag.span.column <= static_cast<int>(excerpt.size())) {
+    os << "  " << excerpt << "\n";
+    // Caret under the span start; tildes to the span end (clamped to
+    // this line — multi-line spans underline their first line only).
+    int caret_end = diag.span.end_column;
+    if (diag.span.end_line != diag.span.line || caret_end <= diag.span.column) {
+      caret_end = static_cast<int>(excerpt.size()) + 1;
+    }
+    caret_end = std::min(caret_end, static_cast<int>(excerpt.size()) + 1);
+    os << "  ";
+    for (int i = 1; i < diag.span.column; ++i) {
+      os << (excerpt[i - 1] == '\t' ? '\t' : ' ');
+    }
+    os << '^';
+    for (int i = diag.span.column + 1; i < caret_end; ++i) os << '~';
+    os << "\n";
+  }
+  return std::move(os).str();
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string RenderJson(const std::vector<Diagnostic>& diags,
+                       std::string_view filename) {
+  size_t errors = 0;
+  size_t warnings = 0;
+  std::ostringstream os;
+  os << "{\"file\": \"" << JsonEscape(filename) << "\", \"diagnostics\": [";
+  for (size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    if (d.severity == Severity::kError) ++errors;
+    if (d.severity == Severity::kWarning) ++warnings;
+    if (i > 0) os << ", ";
+    os << "{\"severity\": \"" << SeverityName(d.severity) << "\", "
+       << "\"code\": \"" << JsonEscape(d.code) << "\", "
+       << "\"line\": " << d.span.line << ", "
+       << "\"column\": " << d.span.column << ", "
+       << "\"endLine\": " << d.span.end_line << ", "
+       << "\"endColumn\": " << d.span.end_column << ", "
+       << "\"message\": \"" << JsonEscape(d.message) << "\"}";
+  }
+  os << "], \"errors\": " << errors << ", \"warnings\": " << warnings << "}\n";
+  return std::move(os).str();
+}
+
+Diagnostic DiagnosticFromStatus(const Status& status) {
+  Diagnostic d;
+  d.severity = Severity::kError;
+  d.code = "DL000";
+  d.span = Span::Point(1, 1);
+  d.message = status.message();
+  // The front ends prefix positions as "line L:C: ..." or embed
+  // "... at line L:C: ...". Recover the span and strip the prefix.
+  const std::string& msg = status.message();
+  size_t at = msg.find("line ");
+  if (at != std::string::npos) {
+    size_t p = at + 5;
+    int line = 0;
+    while (p < msg.size() && std::isdigit(static_cast<unsigned char>(msg[p]))) {
+      line = line * 10 + (msg[p] - '0');
+      ++p;
+    }
+    int column = 1;
+    if (p < msg.size() && msg[p] == ':') {
+      ++p;
+      int col = 0;
+      while (p < msg.size() &&
+             std::isdigit(static_cast<unsigned char>(msg[p]))) {
+        col = col * 10 + (msg[p] - '0');
+        ++p;
+      }
+      if (col > 0) column = col;
+    }
+    if (line > 0) {
+      d.span = Span::Point(line, column);
+      // Strip "[lex|parse error at ]line L:C: " when it leads.
+      if (p < msg.size() && msg[p] == ':' && p + 1 < msg.size()) {
+        size_t rest = msg.find_first_not_of(' ', p + 1);
+        if (rest != std::string::npos && at <= msg.find_first_not_of(' ')) {
+          d.message = msg.substr(rest);
+        }
+      }
+    }
+  }
+  return d;
+}
+
+}  // namespace dbpl::lang

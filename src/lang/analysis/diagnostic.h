@@ -1,0 +1,87 @@
+#ifndef DBPL_LANG_ANALYSIS_DIAGNOSTIC_H_
+#define DBPL_LANG_ANALYSIS_DIAGNOSTIC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "lang/span.h"
+
+namespace dbpl::lang {
+
+/// How serious a diagnostic is. Errors stop the program from running
+/// (front-end failures: lex, parse, type); warnings flag programs that
+/// are well-typed yet statically doomed or suspicious; notes attach
+/// extra context to another diagnostic.
+enum class Severity : uint8_t {
+  kNote = 0,
+  kWarning,
+  kError,
+};
+
+std::string_view SeverityName(Severity severity);
+
+/// One finding: a severity, a source region, a stable machine-readable
+/// code (e.g. "DL001"), and a human-readable message.
+///
+/// Diagnostic codes (see DESIGN.md §7 for the full table):
+///   DL000  front-end error (lex/parse/type), relayed with its span
+///   DL001  refutable coercion: `coerce e to T` can never succeed
+///   DL002  vacuous get: `get T from db` matches nothing ever inserted
+///   DL003  statically inconsistent join: every pairwise ⊔ is ⊥
+///   DL004  unused binding
+///   DL005  shadowed binding
+///   DL006  constant condition / dead branch
+struct Diagnostic {
+  Severity severity = Severity::kWarning;
+  Span span;
+  std::string code;
+  std::string message;
+
+  /// Orders by position, then severity (errors first), then code — the
+  /// order diagnostics are presented in.
+  bool operator<(const Diagnostic& other) const {
+    if (span != other.span) return span < other.span;
+    if (severity != other.severity) return severity > other.severity;
+    return code < other.code;
+  }
+};
+
+/// Renders one diagnostic the way compilers do — location, severity,
+/// message and code, then the offending source line with a caret run
+/// underlining the span:
+///
+///   prog.mam:3:9: warning: coercion can never succeed ... [DL001]
+///     let i = coerce d to String;
+///             ^~~~~~~~~~~~~~~~~~
+///
+/// `source` is the full program text the span indexes into; pass the
+/// text the diagnostic was produced from. Spans that fall outside the
+/// source render without an excerpt.
+std::string RenderText(const Diagnostic& diag, std::string_view source,
+                       std::string_view filename = "<input>");
+
+/// Renders a whole batch as one JSON document (the `--json` output of
+/// dbpl_lint). Schema (stable; see EXPERIMENTS.md tooling appendix):
+///
+///   {"file": "...",
+///    "diagnostics": [{"severity": "warning", "code": "DL001",
+///                     "line": 3, "column": 9, "endLine": 3,
+///                     "endColumn": 27, "message": "..."}],
+///    "errors": 0, "warnings": 1}
+std::string RenderJson(const std::vector<Diagnostic>& diags,
+                       std::string_view filename);
+
+/// Converts a front-end failure `Status` (from Lex/Parse/TypeCheck) to
+/// an error diagnostic, recovering the "line L:C:" position prefix the
+/// front end embeds in its messages. Unknown positions map to 1:1.
+Diagnostic DiagnosticFromStatus(const Status& status);
+
+/// JSON string escaping (shared with the bench emitters' idiom).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace dbpl::lang
+
+#endif  // DBPL_LANG_ANALYSIS_DIAGNOSTIC_H_

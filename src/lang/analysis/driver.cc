@@ -1,0 +1,45 @@
+#include "lang/analysis/driver.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "lang/parser.h"
+#include "lang/typecheck.h"
+
+namespace dbpl::lang {
+
+AnalysisDriver::AnalysisDriver() : passes_(DefaultPasses()) {}
+
+AnalysisDriver::AnalysisDriver(std::vector<std::unique_ptr<Pass>> passes)
+    : passes_(std::move(passes)) {}
+
+AnalysisDriver::~AnalysisDriver() = default;
+
+AnalysisResult AnalysisDriver::Analyze(std::string_view source) {
+  AnalysisResult result;
+  Result<Program> program = Parse(source);
+  if (!program.ok()) {
+    result.diagnostics.push_back(DiagnosticFromStatus(program.status()));
+    return result;
+  }
+  Result<std::vector<DeclType>> decl_types = TypeCheck(*program);
+  if (!decl_types.ok()) {
+    result.diagnostics.push_back(DiagnosticFromStatus(decl_types.status()));
+    return result;
+  }
+  result.front_end_ok = true;
+  AnalysisContext ctx{*program, *decl_types, source};
+  result.diagnostics = RunPasses(ctx);
+  return result;
+}
+
+std::vector<Diagnostic> AnalysisDriver::RunPasses(const AnalysisContext& ctx) {
+  std::vector<Diagnostic> diagnostics;
+  for (const std::unique_ptr<Pass>& pass : passes_) {
+    pass->Run(ctx, &diagnostics);
+  }
+  std::sort(diagnostics.begin(), diagnostics.end());
+  return diagnostics;
+}
+
+}  // namespace dbpl::lang

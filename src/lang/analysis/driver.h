@@ -1,0 +1,58 @@
+#ifndef DBPL_LANG_ANALYSIS_DRIVER_H_
+#define DBPL_LANG_ANALYSIS_DRIVER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lang/analysis/pass.h"
+#include "lang/analysis/passes.h"
+
+namespace dbpl::lang {
+
+/// The result of analysing one program.
+struct AnalysisResult {
+  /// All diagnostics, sorted by position (then severity, then code).
+  std::vector<Diagnostic> diagnostics;
+  /// False when the front end (lex/parse/typecheck) rejected the
+  /// program; the single rejection is relayed as a DL000 error and no
+  /// passes run.
+  bool front_end_ok = false;
+
+  bool HasErrors() const {
+    for (const Diagnostic& d : diagnostics) {
+      if (d.severity == Severity::kError) return true;
+    }
+    return false;
+  }
+};
+
+/// Runs the static-analysis pipeline: lex → parse → type-check (which
+/// annotates every node with its static type), then every registered
+/// pass over the checked AST. Front-end failures become one DL000
+/// error diagnostic instead of a Status, so tooling has a single
+/// uniform stream to render.
+class AnalysisDriver {
+ public:
+  /// A driver with the stock lattice-aware passes (DefaultPasses).
+  AnalysisDriver();
+  explicit AnalysisDriver(std::vector<std::unique_ptr<Pass>> passes);
+  ~AnalysisDriver();
+
+  /// Analyses a whole program from source.
+  AnalysisResult Analyze(std::string_view source);
+
+  /// Runs just the passes over an already-checked program (used by
+  /// Interp, whose front end has already run). Diagnostics are sorted.
+  std::vector<Diagnostic> RunPasses(const AnalysisContext& ctx);
+
+  const std::vector<std::unique_ptr<Pass>>& passes() const { return passes_; }
+
+ private:
+  std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+}  // namespace dbpl::lang
+
+#endif  // DBPL_LANG_ANALYSIS_DRIVER_H_

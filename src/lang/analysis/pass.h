@@ -1,0 +1,75 @@
+#ifndef DBPL_LANG_ANALYSIS_PASS_H_
+#define DBPL_LANG_ANALYSIS_PASS_H_
+
+#include <string_view>
+#include <vector>
+
+#include "lang/analysis/diagnostic.h"
+#include "lang/ast.h"
+#include "lang/typecheck.h"
+
+namespace dbpl::lang {
+
+/// Everything a pass may look at. The program has already been parsed
+/// *and type-checked*: every reachable Expr carries `static_type` (and
+/// the checker's carried-type annotations on dynamic/insert/extern), so
+/// passes ask the subtype lattice about any node without re-running
+/// inference.
+struct AnalysisContext {
+  const Program& program;
+  /// Per-declaration static types, aligned with program.decls.
+  const std::vector<DeclType>& decl_types;
+  /// The source text (for excerpt rendering; passes rarely need it).
+  std::string_view source;
+};
+
+/// One static-analysis pass over a checked program. Passes are
+/// stateless between runs; diagnostics are appended to `out` in any
+/// order (the driver sorts).
+class Pass {
+ public:
+  virtual ~Pass() = default;
+
+  /// Stable human-readable pass name, e.g. "refutable-coercion".
+  virtual std::string_view name() const = 0;
+
+  virtual void Run(const AnalysisContext& ctx,
+                   std::vector<Diagnostic>* out) = 0;
+};
+
+/// Applies `fn` to each direct child expression of `e` (in source
+/// order). The shared walk used by every structural pass.
+template <typename Fn>
+void ForEachChild(const Expr& e, Fn&& fn) {
+  if (e.a) fn(*e.a);
+  if (e.b) fn(*e.b);
+  if (e.c) fn(*e.c);
+  for (const auto& [name, sub] : e.fields) {
+    if (sub) fn(*sub);
+  }
+  for (const auto& sub : e.elems) {
+    if (sub) fn(*sub);
+  }
+  for (const auto& arm : e.arms) {
+    if (arm.body) fn(*arm.body);
+  }
+}
+
+/// Depth-first pre-order walk of a whole expression tree.
+template <typename Fn>
+void Walk(const Expr& e, Fn&& fn) {
+  fn(e);
+  ForEachChild(e, [&](const Expr& child) { Walk(child, fn); });
+}
+
+/// Walks every expression of every declaration of a program.
+template <typename Fn>
+void WalkProgram(const Program& program, Fn&& fn) {
+  for (const Decl& decl : program.decls) {
+    if (decl.expr) Walk(*decl.expr, fn);
+  }
+}
+
+}  // namespace dbpl::lang
+
+#endif  // DBPL_LANG_ANALYSIS_PASS_H_

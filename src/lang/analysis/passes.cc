@@ -1,0 +1,561 @@
+#include "lang/analysis/passes.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "types/lattice.h"
+#include "types/type.h"
+
+namespace dbpl::lang {
+namespace {
+
+using types::Type;
+
+bool IsExempt(const std::string& name) {
+  return name.empty() || name[0] == '_';
+}
+
+Span BestSpan(const Span& preferred, const Span& fallback) {
+  return preferred.valid() ? preferred : fallback;
+}
+
+// ---------------------------------------------------------------------------
+// DL001: refutable coercion.
+// ---------------------------------------------------------------------------
+
+/// The set of static types a Dynamic-typed expression can carry, when
+/// the pass can prove it. `known == false` means "could carry anything"
+/// (intern, call results, parameters, ...), which suppresses DL001.
+struct Carried {
+  bool known = false;
+  std::vector<Type> candidates;
+};
+
+void AddCandidate(Carried* c, const Type& t) {
+  for (const Type& existing : c->candidates) {
+    if (types::Compare(existing, t) == 0) return;
+  }
+  c->candidates.push_back(t);
+}
+
+Carried MergeCarried(const Carried& a, const Carried& b) {
+  Carried out;
+  out.known = a.known && b.known;
+  if (out.known) {
+    for (const Type& t : a.candidates) AddCandidate(&out, t);
+    for (const Type& t : b.candidates) AddCandidate(&out, t);
+  }
+  return out;
+}
+
+class RefutableCoercionPass : public Pass {
+ public:
+  std::string_view name() const override { return "refutable-coercion"; }
+
+  void Run(const AnalysisContext& ctx, std::vector<Diagnostic>* out) override {
+    std::map<std::string, Carried> env;
+    for (const Decl& decl : ctx.program.decls) {
+      if (!decl.expr) continue;
+      Carried c = Scan(*decl.expr, env, out);
+      if (decl.kind == Decl::Kind::kLet) {
+        env[decl.name] = std::move(c);
+      } else if (decl.kind == Decl::Kind::kLetRec) {
+        env.erase(decl.name);
+      }
+    }
+  }
+
+ private:
+  /// Walks `e`, reporting refutable coercions, and returns what `e`
+  /// carries if it evaluates to a Dynamic.
+  Carried Scan(const Expr& e, std::map<std::string, Carried>& env,
+               std::vector<Diagnostic>* out) {
+    switch (e.kind) {
+      case ExprKind::kDynamic: {
+        if (e.a) Scan(*e.a, env, out);
+        Carried c;
+        if (e.has_type) {
+          c.known = true;
+          c.candidates = {e.type};
+        }
+        return c;
+      }
+      case ExprKind::kVar: {
+        auto it = env.find(e.str);
+        return it != env.end() ? it->second : Carried{};
+      }
+      case ExprKind::kLet: {
+        Carried bound = Scan(*e.a, env, out);
+        auto saved = Rebind(env, e.str, std::move(bound));
+        Carried body = Scan(*e.b, env, out);
+        Restore(env, e.str, std::move(saved));
+        return body;
+      }
+      case ExprKind::kIf: {
+        Scan(*e.a, env, out);
+        Carried then_c = Scan(*e.b, env, out);
+        Carried else_c = Scan(*e.c, env, out);
+        return MergeCarried(then_c, else_c);
+      }
+      case ExprKind::kCoerce: {
+        Carried c = Scan(*e.a, env, out);
+        if (c.known && !c.candidates.empty()) {
+          bool all_inconsistent = std::all_of(
+              c.candidates.begin(), c.candidates.end(), [&](const Type& s) {
+                return !types::Glb(s, e.type).ok();
+              });
+          if (all_inconsistent) {
+            std::string carries;
+            for (size_t i = 0; i < c.candidates.size(); ++i) {
+              if (i > 0) carries += " or ";
+              carries += c.candidates[i].ToString();
+            }
+            out->push_back(Diagnostic{
+                Severity::kWarning, e.span, "DL001",
+                "coercion can never succeed: the dynamic carries " + carries +
+                    ", which has no common subtype with " +
+                    e.type.ToString()});
+          }
+        }
+        return {};
+      }
+      case ExprKind::kLambda: {
+        std::vector<std::pair<std::string, std::optional<Carried>>> saved;
+        for (const Param& p : e.params) {
+          saved.emplace_back(p.name, Rebind(env, p.name, Carried{}));
+        }
+        Scan(*e.b, env, out);
+        for (auto it = saved.rbegin(); it != saved.rend(); ++it) {
+          Restore(env, it->first, std::move(it->second));
+        }
+        return {};
+      }
+      case ExprKind::kCase: {
+        Scan(*e.a, env, out);
+        for (const CaseArm& arm : e.arms) {
+          auto saved = Rebind(env, arm.binder, Carried{});
+          if (arm.body) Scan(*arm.body, env, out);
+          Restore(env, arm.binder, std::move(saved));
+        }
+        return {};
+      }
+      default: {
+        ForEachChild(e, [&](const Expr& child) { Scan(child, env, out); });
+        return {};
+      }
+    }
+  }
+
+  static std::optional<Carried> Rebind(std::map<std::string, Carried>& env,
+                                       const std::string& name, Carried c) {
+    std::optional<Carried> saved;
+    auto it = env.find(name);
+    if (it != env.end()) saved = std::move(it->second);
+    env[name] = std::move(c);
+    return saved;
+  }
+
+  static void Restore(std::map<std::string, Carried>& env,
+                      const std::string& name, std::optional<Carried> saved) {
+    if (saved.has_value()) {
+      env[name] = std::move(*saved);
+    } else {
+      env.erase(name);
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// DL002: vacuous get.
+// ---------------------------------------------------------------------------
+
+class VacuousGetPass : public Pass {
+ public:
+  std::string_view name() const override { return "vacuous-get"; }
+
+  void Run(const AnalysisContext& ctx, std::vector<Diagnostic>* out) override {
+    // A "root" is a top-level `let db = database;`. Anything that makes
+    // the database reachable some other way (aliasing, shadowing,
+    // redefinition, dynamically-typed inserts) marks it escaped, which
+    // only ever *suppresses* warnings.
+    roots_.clear();
+    for (const Decl& decl : ctx.program.decls) {
+      if (decl.kind == Decl::Kind::kTypeAlias) continue;
+      auto it = roots_.find(decl.name);
+      if (it != roots_.end()) it->second.escaped = true;  // redefinition
+      if (decl.kind == Decl::Kind::kLet && decl.expr &&
+          decl.expr->kind == ExprKind::kNewDb) {
+        roots_[decl.name];  // (re)registers; escaped flag kept if set
+      }
+    }
+    for (const Decl& decl : ctx.program.decls) {
+      if (decl.expr) Scan(*decl.expr, decl.kind == Decl::Kind::kExpr);
+    }
+    for (auto& [name, root] : roots_) {
+      if (root.escaped) continue;
+      for (const Expr* get : root.gets) {
+        if (root.schema.empty()) {
+          out->push_back(Diagnostic{
+              Severity::kWarning, get->span, "DL002",
+              "'get " + get->type.ToString() + " from " + name +
+                  "' is always empty: nothing is ever inserted into '" +
+                  name + "'"});
+          continue;
+        }
+        bool any_consistent = std::any_of(
+            root.schema.begin(), root.schema.end(), [&](const Type& s) {
+              return types::Glb(s, get->type).ok();
+            });
+        if (!any_consistent) {
+          std::string held;
+          for (size_t i = 0; i < root.schema.size(); ++i) {
+            if (i > 0) held += ", ";
+            held += root.schema[i].ToString();
+          }
+          out->push_back(Diagnostic{
+              Severity::kWarning, get->span, "DL002",
+              "'get " + get->type.ToString() + " from " + name +
+                  "' is always empty: '" + name + "' only ever holds " +
+                  held + ", none of which has a common subtype with " +
+                  get->type.ToString()});
+        }
+      }
+    }
+  }
+
+ private:
+  struct DbRoot {
+    std::vector<Type> schema;  // statically-known inserted (carried) types
+    std::vector<const Expr*> gets;
+    bool escaped = false;
+  };
+
+  DbRoot* Root(const std::string& name) {
+    auto it = roots_.find(name);
+    return it != roots_.end() ? &it->second : nullptr;
+  }
+
+  /// Follows `insert v into (insert w into ... db)` chains down to the
+  /// database operand; returns the root name if it is a tracked root.
+  DbRoot* ChainTarget(const Expr& insert) {
+    const Expr* cur = &insert;
+    while (cur->kind == ExprKind::kInsert && cur->b) cur = cur->b.get();
+    if (cur->kind != ExprKind::kVar) return nullptr;
+    return Root(cur->str);
+  }
+
+  void Scan(const Expr& e, bool is_stmt_root) {
+    switch (e.kind) {
+      case ExprKind::kVar: {
+        // Any use other than the insert/get positions handled below
+        // lets the database escape our tracking.
+        if (DbRoot* r = Root(e.str)) r->escaped = true;
+        return;
+      }
+      case ExprKind::kInsert: {
+        if (DbRoot* r = ChainTarget(e)) {
+          // The insert's *value* is the database, so unless the chain
+          // is a whole top-level statement it aliases the root.
+          if (!is_stmt_root) r->escaped = true;
+          const Expr* cur = &e;
+          while (cur->kind == ExprKind::kInsert) {
+            if (cur->has_type) {
+              r->schema.push_back(cur->type);
+            } else {
+              r->escaped = true;  // dynamic of unknown carried type
+            }
+            if (cur->a) Scan(*cur->a, false);
+            cur = cur->b.get();
+          }
+          return;
+        }
+        break;
+      }
+      case ExprKind::kGet: {
+        if (e.b && e.b->kind == ExprKind::kVar) {
+          if (DbRoot* r = Root(e.b->str)) {
+            r->gets.push_back(&e);
+            return;
+          }
+        }
+        break;
+      }
+      case ExprKind::kLet: {
+        // A local binder reusing the root's name would make later uses
+        // ambiguous to this (deliberately simple) pass.
+        if (DbRoot* r = Root(e.str)) r->escaped = true;
+        break;
+      }
+      case ExprKind::kLambda: {
+        for (const Param& p : e.params) {
+          if (DbRoot* r = Root(p.name)) r->escaped = true;
+        }
+        break;
+      }
+      case ExprKind::kCase: {
+        for (const CaseArm& arm : e.arms) {
+          if (DbRoot* r = Root(arm.binder)) r->escaped = true;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    ForEachChild(e, [&](const Expr& child) { Scan(child, false); });
+  }
+
+  std::map<std::string, DbRoot> roots_;
+};
+
+// ---------------------------------------------------------------------------
+// DL003: statically-inconsistent set join.
+// ---------------------------------------------------------------------------
+
+class InconsistentJoinPass : public Pass {
+ public:
+  std::string_view name() const override { return "inconsistent-join"; }
+
+  void Run(const AnalysisContext& ctx, std::vector<Diagnostic>* out) override {
+    WalkProgram(ctx.program, [&](const Expr& e) {
+      if (e.kind != ExprKind::kJoinE) return;
+      if (!e.a || !e.b || !e.a->has_static_type || !e.b->has_static_type) {
+        return;
+      }
+      const Type& ta = e.a->static_type;
+      const Type& tb = e.b->static_type;
+      if (ta.kind() != types::TypeKind::kSet ||
+          tb.kind() != types::TypeKind::kSet) {
+        return;
+      }
+      Result<Type> meet = types::Glb(ta.element(), tb.element());
+      if (!meet.ok()) {
+        out->push_back(Diagnostic{
+            Severity::kWarning, e.span, "DL003",
+            "'join' of " + ta.ToString() + " and " + tb.ToString() +
+                " is always the empty set: the element types have no "
+                "common subtype"});
+      }
+    });
+  }
+};
+
+// ---------------------------------------------------------------------------
+// DL004 + DL005: binding hygiene.
+// ---------------------------------------------------------------------------
+
+/// True when `name` occurs free in `e`.
+bool UsesName(const Expr& e, const std::string& name) {
+  switch (e.kind) {
+    case ExprKind::kVar:
+      return e.str == name;
+    case ExprKind::kLet: {
+      if (e.a && UsesName(*e.a, name)) return true;
+      if (e.str == name) return false;  // shadowed in the body
+      return e.b && UsesName(*e.b, name);
+    }
+    case ExprKind::kLambda: {
+      for (const Param& p : e.params) {
+        if (p.name == name) return false;
+      }
+      return e.b && UsesName(*e.b, name);
+    }
+    case ExprKind::kCase: {
+      if (e.a && UsesName(*e.a, name)) return true;
+      for (const CaseArm& arm : e.arms) {
+        if (arm.binder == name) continue;  // shadowed in this arm
+        if (arm.body && UsesName(*arm.body, name)) return true;
+      }
+      return false;
+    }
+    default: {
+      bool found = false;
+      ForEachChild(e, [&](const Expr& child) {
+        found = found || UsesName(child, name);
+      });
+      return found;
+    }
+  }
+}
+
+class BindingHygienePass : public Pass {
+ public:
+  std::string_view name() const override { return "binding-hygiene"; }
+
+  void Run(const AnalysisContext& ctx, std::vector<Diagnostic>* out) override {
+    for (const Decl& decl : ctx.program.decls) {
+      std::vector<std::string> locals;
+      if (decl.expr) Scan(*decl.expr, locals, out);
+    }
+  }
+
+ private:
+  static bool InScope(const std::vector<std::string>& locals,
+                      const std::string& name) {
+    return std::find(locals.begin(), locals.end(), name) != locals.end();
+  }
+
+  void ReportShadow(const std::string& name, const Span& span,
+                    std::vector<Diagnostic>* out) {
+    out->push_back(Diagnostic{
+        Severity::kWarning, span, "DL005",
+        "binding of '" + name + "' shadows an earlier local binding"});
+  }
+
+  void Scan(const Expr& e, std::vector<std::string>& locals,
+            std::vector<Diagnostic>* out) {
+    switch (e.kind) {
+      case ExprKind::kLet: {
+        if (e.a) Scan(*e.a, locals, out);
+        Span at = BestSpan(e.name_span, e.span);
+        if (!IsExempt(e.str)) {
+          if (InScope(locals, e.str)) ReportShadow(e.str, at, out);
+          if (e.b && !UsesName(*e.b, e.str)) {
+            out->push_back(Diagnostic{
+                Severity::kWarning, at, "DL004",
+                "'" + e.str + "' is bound but never used"});
+          }
+        }
+        locals.push_back(e.str);
+        if (e.b) Scan(*e.b, locals, out);
+        locals.pop_back();
+        return;
+      }
+      case ExprKind::kLambda: {
+        for (const Param& p : e.params) {
+          if (!IsExempt(p.name) && InScope(locals, p.name)) {
+            ReportShadow(p.name, BestSpan(p.span, e.span), out);
+          }
+          locals.push_back(p.name);
+        }
+        if (e.b) Scan(*e.b, locals, out);
+        locals.resize(locals.size() - e.params.size());
+        return;
+      }
+      case ExprKind::kCase: {
+        if (e.a) Scan(*e.a, locals, out);
+        for (const CaseArm& arm : e.arms) {
+          if (!IsExempt(arm.binder) && InScope(locals, arm.binder)) {
+            ReportShadow(arm.binder, BestSpan(arm.binder_span, e.span), out);
+          }
+          locals.push_back(arm.binder);
+          if (arm.body) Scan(*arm.body, locals, out);
+          locals.pop_back();
+        }
+        return;
+      }
+      default:
+        ForEachChild(e, [&](const Expr& child) { Scan(child, locals, out); });
+        return;
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// DL006: constant condition / dead branch.
+// ---------------------------------------------------------------------------
+
+enum class ConstBool : uint8_t { kUnknown, kTrue, kFalse };
+
+ConstBool FoldBool(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kBoolLit:
+      return e.bool_val ? ConstBool::kTrue : ConstBool::kFalse;
+    case ExprKind::kUnary: {
+      if (e.un_op != UnaryOp::kNot || !e.a) return ConstBool::kUnknown;
+      ConstBool v = FoldBool(*e.a);
+      if (v == ConstBool::kTrue) return ConstBool::kFalse;
+      if (v == ConstBool::kFalse) return ConstBool::kTrue;
+      return ConstBool::kUnknown;
+    }
+    case ExprKind::kBinary: {
+      if (!e.a || !e.b) return ConstBool::kUnknown;
+      if (e.bin_op == BinaryOp::kAnd) {
+        ConstBool l = FoldBool(*e.a);
+        ConstBool r = FoldBool(*e.b);
+        if (l == ConstBool::kFalse || r == ConstBool::kFalse) {
+          return ConstBool::kFalse;
+        }
+        if (l == ConstBool::kTrue && r == ConstBool::kTrue) {
+          return ConstBool::kTrue;
+        }
+        return ConstBool::kUnknown;
+      }
+      if (e.bin_op == BinaryOp::kOr) {
+        ConstBool l = FoldBool(*e.a);
+        ConstBool r = FoldBool(*e.b);
+        if (l == ConstBool::kTrue || r == ConstBool::kTrue) {
+          return ConstBool::kTrue;
+        }
+        if (l == ConstBool::kFalse && r == ConstBool::kFalse) {
+          return ConstBool::kFalse;
+        }
+        return ConstBool::kUnknown;
+      }
+      return ConstBool::kUnknown;
+    }
+    default:
+      return ConstBool::kUnknown;
+  }
+}
+
+class ConstantConditionPass : public Pass {
+ public:
+  std::string_view name() const override { return "constant-condition"; }
+
+  void Run(const AnalysisContext& ctx, std::vector<Diagnostic>* out) override {
+    WalkProgram(ctx.program, [&](const Expr& e) {
+      if (e.kind != ExprKind::kIf || !e.a || !e.b || !e.c) return;
+      ConstBool cond = FoldBool(*e.a);
+      if (cond == ConstBool::kTrue) {
+        out->push_back(Diagnostic{
+            Severity::kWarning, e.c->span, "DL006",
+            "condition of 'if' is always true; the 'else' branch is "
+            "never taken"});
+      } else if (cond == ConstBool::kFalse) {
+        out->push_back(Diagnostic{
+            Severity::kWarning, e.b->span, "DL006",
+            "condition of 'if' is always false; the 'then' branch is "
+            "never taken"});
+      }
+    });
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> MakeRefutableCoercionPass() {
+  return std::make_unique<RefutableCoercionPass>();
+}
+
+std::unique_ptr<Pass> MakeVacuousGetPass() {
+  return std::make_unique<VacuousGetPass>();
+}
+
+std::unique_ptr<Pass> MakeInconsistentJoinPass() {
+  return std::make_unique<InconsistentJoinPass>();
+}
+
+std::unique_ptr<Pass> MakeBindingHygienePass() {
+  return std::make_unique<BindingHygienePass>();
+}
+
+std::unique_ptr<Pass> MakeConstantConditionPass() {
+  return std::make_unique<ConstantConditionPass>();
+}
+
+std::vector<std::unique_ptr<Pass>> DefaultPasses() {
+  std::vector<std::unique_ptr<Pass>> passes;
+  passes.push_back(MakeRefutableCoercionPass());
+  passes.push_back(MakeVacuousGetPass());
+  passes.push_back(MakeInconsistentJoinPass());
+  passes.push_back(MakeBindingHygienePass());
+  passes.push_back(MakeConstantConditionPass());
+  return passes;
+}
+
+}  // namespace dbpl::lang

@@ -1,0 +1,46 @@
+#ifndef DBPL_LANG_ANALYSIS_PASSES_H_
+#define DBPL_LANG_ANALYSIS_PASSES_H_
+
+#include <memory>
+#include <vector>
+
+#include "lang/analysis/pass.h"
+
+namespace dbpl::lang {
+
+/// DL001: `coerce e to T` where every carried type the dynamic can hold
+/// has meet ⊥ with `T` — the coercion is *refutable at compile time*:
+/// no run can succeed. Tracks carried types through `dynamic e`
+/// annotations, let bindings and if-merges; unknown sources (intern,
+/// calls, parameters) suppress the warning.
+std::unique_ptr<Pass> MakeRefutableCoercionPass();
+
+/// DL002: `get T from db` where `T` is statically incompatible (meet ⊥)
+/// with every type ever inserted into `db` — the P2-style check of a
+/// program against the database's type descriptions, run before the
+/// program does. Databases that escape (aliased, passed, shadowed, or
+/// receive dynamics of unknown carried type) are not judged.
+std::unique_ptr<Pass> MakeVacuousGetPass();
+
+/// DL003: `s1 join s2` on sets whose element types have meet ⊥ — every
+/// pairwise object join is Inconsistent, so the result is always the
+/// empty set. (The record analogue is a hard type error.)
+std::unique_ptr<Pass> MakeInconsistentJoinPass();
+
+/// DL004 (unused `let`-in binding) and DL005 (local binding shadowing
+/// another local binding). Parameters, case binders and top-level
+/// declarations are deliberately exempt from DL004, and shadowing of
+/// *globals* is deliberately exempt from DL005, to keep the signal
+/// high. Names starting with '_' are never reported.
+std::unique_ptr<Pass> MakeBindingHygienePass();
+
+/// DL006: `if` whose condition is a boolean constant (after folding
+/// not/and/or over literals) — flags the dead branch.
+std::unique_ptr<Pass> MakeConstantConditionPass();
+
+/// All of the above, in diagnostic-code order.
+std::vector<std::unique_ptr<Pass>> DefaultPasses();
+
+}  // namespace dbpl::lang
+
+#endif  // DBPL_LANG_ANALYSIS_PASSES_H_

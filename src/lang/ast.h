@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "lang/span.h"
 #include "types/type.h"
 
 namespace dbpl::lang {
@@ -67,6 +68,8 @@ enum class UnaryOp : uint8_t {
 struct Param {
   std::string name;
   types::Type type;
+  /// Region of the parameter name.
+  Span span;
 };
 
 /// One arm of a case expression: `tag(binder) => body`.
@@ -74,14 +77,18 @@ struct CaseArm {
   std::string tag;
   std::string binder;
   ExprPtr body;
+  /// Region of the binder name.
+  Span binder_span;
 };
 
 /// One AST node. A single struct with optional payloads keeps the tree
 /// simple to build and walk; `kind` dictates which fields are live.
 struct Expr {
   ExprKind kind;
-  int line = 0;
-  int column = 0;
+  /// Source region of the whole expression (first to last token).
+  Span span;
+  /// Region of the binder name for kLet (diagnostics point here).
+  Span name_span;
 
   // Literals and names.
   bool bool_val = false;
@@ -105,6 +112,13 @@ struct Expr {
   /// Coerce target, Get type, lambda return / let annotation.
   types::Type type;
   bool has_type = false;
+
+  /// The static type the checker synthesized for this expression.
+  /// Filled in by TypeCheck; consumed by the analysis passes
+  /// (lang/analysis/) so they can ask lattice questions without
+  /// re-running inference.
+  types::Type static_type;
+  bool has_static_type = false;
 };
 
 /// A top-level declaration.
@@ -117,7 +131,10 @@ struct Decl {
   };
 
   Kind kind;
-  int line = 0;
+  /// Source region of the whole declaration (through the ';').
+  Span span;
+  /// Region of the declared name (alias / binder).
+  Span name_span;
   std::string name;       // alias / binder name
   types::Type type;       // alias target or let annotation
   bool has_type = false;

@@ -84,7 +84,7 @@ Result<RtValue> Evaluator::Eval(const ExprPtr& eptr, const EnvPtr& env) {
       }
       auto it = globals_.find(e.str);
       if (it != globals_.end()) return it->second;
-      return Err(e.line, "unbound variable '" + e.str + "'");
+      return Err(e.span.line, "unbound variable '" + e.str + "'");
     }
     case ExprKind::kRecordLit: {
       std::vector<core::RecordField> fields;
@@ -92,7 +92,7 @@ Result<RtValue> Evaluator::Eval(const ExprPtr& eptr, const EnvPtr& env) {
         DBPL_ASSIGN_OR_RETURN(RtValue v, Eval(sub, env));
         Result<Value> cv = v.ToCore();
         if (!cv.ok()) {
-          return Err(e.line, "record fields must be first-order data");
+          return Err(e.span.line, "record fields must be first-order data");
         }
         fields.push_back({name, std::move(cv).value()});
       }
@@ -114,7 +114,7 @@ Result<RtValue> Evaluator::Eval(const ExprPtr& eptr, const EnvPtr& env) {
         DBPL_ASSIGN_OR_RETURN(RtValue v, Eval(sub, env));
         Result<Value> cv = v.ToCore();
         if (!cv.ok()) {
-          return Err(e.line, "set elements must be first-order data");
+          return Err(e.span.line, "set elements must be first-order data");
         }
         elems.push_back(std::move(cv).value());
       }
@@ -123,12 +123,12 @@ Result<RtValue> Evaluator::Eval(const ExprPtr& eptr, const EnvPtr& env) {
     case ExprKind::kField: {
       DBPL_ASSIGN_OR_RETURN(RtValue v, Eval(e.a, env));
       if (!v.is_data() || v.data().kind() != core::ValueKind::kRecord) {
-        return Err(e.line, "field selection on a non-record value " +
+        return Err(e.span.line, "field selection on a non-record value " +
                                v.ToString());
       }
       const Value* f = v.data().FindField(e.str);
       if (f == nullptr) {
-        return Err(e.line, "value has no field '" + e.str + "': " +
+        return Err(e.span.line, "value has no field '" + e.str + "': " +
                                v.data().ToString());
       }
       return RtValue::Data(*f);
@@ -168,7 +168,7 @@ Result<RtValue> Evaluator::Eval(const ExprPtr& eptr, const EnvPtr& env) {
     case ExprKind::kDynamic: {
       DBPL_ASSIGN_OR_RETURN(RtValue v, Eval(e.a, env));
       Result<Value> cv = v.ToCore();
-      if (!cv.ok()) return Err(e.line, cv.status().message());
+      if (!cv.ok()) return Err(e.span.line, cv.status().message());
       // Carry the static type recorded by the checker (Amber pairs the
       // value with its static type); fall back to the principal type.
       types::Type carried =
@@ -180,7 +180,7 @@ Result<RtValue> Evaluator::Eval(const ExprPtr& eptr, const EnvPtr& env) {
     case ExprKind::kCoerce: {
       DBPL_ASSIGN_OR_RETURN(RtValue v, Eval(e.a, env));
       if (v.kind() != RtValue::Kind::kDynamic) {
-        return Err(e.line, "'coerce' needs a dynamic value");
+        return Err(e.span.line, "'coerce' needs a dynamic value");
       }
       Result<Value> out = dyndb::Coerce(v.dyn(), e.type);
       if (!out.ok()) return out.status();
@@ -189,7 +189,7 @@ Result<RtValue> Evaluator::Eval(const ExprPtr& eptr, const EnvPtr& env) {
     case ExprKind::kTypeofE: {
       DBPL_ASSIGN_OR_RETURN(RtValue v, Eval(e.a, env));
       if (v.kind() != RtValue::Kind::kDynamic) {
-        return Err(e.line, "'typeof' needs a dynamic value");
+        return Err(e.span.line, "'typeof' needs a dynamic value");
       }
       return RtValue::Data(Value::String(v.dyn().type.ToString()));
     }
@@ -199,7 +199,7 @@ Result<RtValue> Evaluator::Eval(const ExprPtr& eptr, const EnvPtr& env) {
       Result<Value> c1 = v1.ToCore();
       Result<Value> c2 = v2.ToCore();
       if (!c1.ok() || !c2.ok()) {
-        return Err(e.line, "'join' needs first-order data");
+        return Err(e.span.line, "'join' needs first-order data");
       }
       Result<Value> joined = core::Join(*c1, *c2);
       if (!joined.ok()) {
@@ -209,7 +209,7 @@ Result<RtValue> Evaluator::Eval(const ExprPtr& eptr, const EnvPtr& env) {
         if (joined.status().code() != StatusCode::kInconsistent) {
           return joined.status();
         }
-        return Status::Inconsistent("line " + std::to_string(e.line) + ": " +
+        return Status::Inconsistent("line " + std::to_string(e.span.line) + ": " +
                                     joined.status().message());
       }
       return RtValue::Data(std::move(joined).value());
@@ -224,7 +224,7 @@ Result<RtValue> Evaluator::Eval(const ExprPtr& eptr, const EnvPtr& env) {
         d = v.dyn();
       } else {
         Result<Value> cv = v.ToCore();
-        if (!cv.ok()) return Err(e.line, cv.status().message());
+        if (!cv.ok()) return Err(e.span.line, cv.status().message());
         types::Type carried = e.has_type ? e.type : types::TypeOf(*cv);
         Result<dyndb::Dynamic> made = dyndb::MakeDynamicAs(*cv, carried);
         if (!made.ok()) return made.status();
@@ -236,7 +236,7 @@ Result<RtValue> Evaluator::Eval(const ExprPtr& eptr, const EnvPtr& env) {
       }
       // An immutable list of dynamics: insertion builds a new list.
       DBPL_ASSIGN_OR_RETURN(std::vector<RtValue> elems,
-                            Elements(db, e.line, false));
+                            Elements(db, e.span.line, false));
       elems.push_back(RtValue::Dyn(std::move(d)));
       return RtValue::GenList(std::move(elems));
     }
@@ -247,10 +247,10 @@ Result<RtValue> Evaluator::Eval(const ExprPtr& eptr, const EnvPtr& env) {
         dynamics = *db.database();
       } else {
         DBPL_ASSIGN_OR_RETURN(std::vector<RtValue> elems,
-                              Elements(db, e.line, false));
+                              Elements(db, e.span.line, false));
         for (const auto& el : elems) {
           if (el.kind() != RtValue::Kind::kDynamic) {
-            return Err(e.line, "'get' source must hold dynamic values");
+            return Err(e.span.line, "'get' source must hold dynamic values");
           }
           dynamics.push_back(el.dyn());
         }
@@ -273,7 +273,7 @@ Result<RtValue> Evaluator::Eval(const ExprPtr& eptr, const EnvPtr& env) {
         d = v.dyn();
       } else {
         Result<Value> cv = v.ToCore();
-        if (!cv.ok()) return Err(e.line, cv.status().message());
+        if (!cv.ok()) return Err(e.span.line, cv.status().message());
         types::Type carried = e.has_type ? e.type : types::TypeOf(*cv);
         Result<dyndb::Dynamic> made = dyndb::MakeDynamicAs(*cv, carried);
         if (!made.ok()) return made.status();
@@ -293,13 +293,13 @@ Result<RtValue> Evaluator::Eval(const ExprPtr& eptr, const EnvPtr& env) {
     case ExprKind::kVariantLit: {
       DBPL_ASSIGN_OR_RETURN(RtValue v, Eval(e.a, env));
       Result<Value> cv = v.ToCore();
-      if (!cv.ok()) return Err(e.line, cv.status().message());
+      if (!cv.ok()) return Err(e.span.line, cv.status().message());
       return RtValue::Data(Value::Tagged(e.str, std::move(cv).value()));
     }
     case ExprKind::kCase: {
       DBPL_ASSIGN_OR_RETURN(RtValue v, Eval(e.a, env));
       if (!v.is_data() || v.data().kind() != core::ValueKind::kTagged) {
-        return Err(e.line, "'case' needs a variant value, got " +
+        return Err(e.span.line, "'case' needs a variant value, got " +
                                v.ToString());
       }
       for (const CaseArm& arm : e.arms) {
@@ -309,7 +309,7 @@ Result<RtValue> Evaluator::Eval(const ExprPtr& eptr, const EnvPtr& env) {
                                RtValue::Data(v.data().payload()));
         return Eval(arm.body, extended);
       }
-      return Err(e.line, "no case arm matches tag '" + v.data().tag() + "'");
+      return Err(e.span.line, "no case arm matches tag '" + v.data().tag() + "'");
     }
   }
   return Status::Internal("unreachable expression kind");
@@ -333,7 +333,7 @@ Result<RtValue> Evaluator::EvalCall(const Expr& e, const EnvPtr& env) {
     DBPL_ASSIGN_OR_RETURN(RtValue v, Eval(arg, env));
     args.push_back(std::move(v));
   }
-  return Apply(fn, std::move(args), e.line);
+  return Apply(fn, std::move(args), e.span.line);
 }
 
 Result<RtValue> Evaluator::Apply(const RtValue& fn, std::vector<RtValue> args,
@@ -389,41 +389,41 @@ Result<RtValue> Evaluator::EvalBuiltin(const Expr& e, const EnvPtr& env) {
     args.push_back(std::move(v));
   }
   if (name == "head") {
-    DBPL_ASSIGN_OR_RETURN(auto elems, Elements(args[0], e.line, false));
-    if (elems.empty()) return Err(e.line, "'head' of an empty list");
+    DBPL_ASSIGN_OR_RETURN(auto elems, Elements(args[0], e.span.line, false));
+    if (elems.empty()) return Err(e.span.line, "'head' of an empty list");
     return elems[0];
   }
   if (name == "tail") {
-    DBPL_ASSIGN_OR_RETURN(auto elems, Elements(args[0], e.line, false));
-    if (elems.empty()) return Err(e.line, "'tail' of an empty list");
+    DBPL_ASSIGN_OR_RETURN(auto elems, Elements(args[0], e.span.line, false));
+    if (elems.empty()) return Err(e.span.line, "'tail' of an empty list");
     elems.erase(elems.begin());
     return MakeListValue(std::move(elems));
   }
   if (name == "cons") {
-    DBPL_ASSIGN_OR_RETURN(auto elems, Elements(args[1], e.line, false));
+    DBPL_ASSIGN_OR_RETURN(auto elems, Elements(args[1], e.span.line, false));
     elems.insert(elems.begin(), args[0]);
     return MakeListValue(std::move(elems));
   }
   if (name == "length") {
-    DBPL_ASSIGN_OR_RETURN(auto elems, Elements(args[0], e.line, true));
+    DBPL_ASSIGN_OR_RETURN(auto elems, Elements(args[0], e.span.line, true));
     return RtValue::Data(Value::Int(static_cast<int64_t>(elems.size())));
   }
   if (name == "isempty") {
-    DBPL_ASSIGN_OR_RETURN(auto elems, Elements(args[0], e.line, true));
+    DBPL_ASSIGN_OR_RETURN(auto elems, Elements(args[0], e.span.line, true));
     return RtValue::Data(Value::Bool(elems.empty()));
   }
   if (name == "nth") {
-    DBPL_ASSIGN_OR_RETURN(auto elems, Elements(args[0], e.line, false));
+    DBPL_ASSIGN_OR_RETURN(auto elems, Elements(args[0], e.span.line, false));
     int64_t idx = args[1].data().AsInt();
     if (idx < 0 || static_cast<size_t>(idx) >= elems.size()) {
-      return Err(e.line, "'nth' index " + std::to_string(idx) +
+      return Err(e.span.line, "'nth' index " + std::to_string(idx) +
                              " out of range [0, " +
                              std::to_string(elems.size()) + ")");
     }
     return elems[static_cast<size_t>(idx)];
   }
   if (name == "sum") {
-    DBPL_ASSIGN_OR_RETURN(auto elems, Elements(args[0], e.line, true));
+    DBPL_ASSIGN_OR_RETURN(auto elems, Elements(args[0], e.span.line, true));
     bool real = false;
     for (const auto& el : elems) {
       if (el.is_data() && el.data().kind() == core::ValueKind::kReal) {
@@ -440,48 +440,48 @@ Result<RtValue> Evaluator::EvalBuiltin(const Expr& e, const EnvPtr& env) {
     return RtValue::Data(Value::Int(total));
   }
   if (name == "map") {
-    DBPL_ASSIGN_OR_RETURN(auto elems, Elements(args[1], e.line, false));
+    DBPL_ASSIGN_OR_RETURN(auto elems, Elements(args[1], e.span.line, false));
     std::vector<RtValue> out;
     out.reserve(elems.size());
     for (auto& el : elems) {
-      DBPL_ASSIGN_OR_RETURN(RtValue v, Apply(args[0], {el}, e.line));
+      DBPL_ASSIGN_OR_RETURN(RtValue v, Apply(args[0], {el}, e.span.line));
       out.push_back(std::move(v));
     }
     return MakeListValue(std::move(out));
   }
   if (name == "filter") {
-    DBPL_ASSIGN_OR_RETURN(auto elems, Elements(args[1], e.line, false));
+    DBPL_ASSIGN_OR_RETURN(auto elems, Elements(args[1], e.span.line, false));
     std::vector<RtValue> out;
     for (auto& el : elems) {
-      DBPL_ASSIGN_OR_RETURN(RtValue keep, Apply(args[0], {el}, e.line));
+      DBPL_ASSIGN_OR_RETURN(RtValue keep, Apply(args[0], {el}, e.span.line));
       if (keep.data().AsBool()) out.push_back(el);
     }
     return MakeListValue(std::move(out));
   }
   if (name == "fold") {
-    DBPL_ASSIGN_OR_RETURN(auto elems, Elements(args[2], e.line, false));
+    DBPL_ASSIGN_OR_RETURN(auto elems, Elements(args[2], e.span.line, false));
     RtValue acc = args[1];
     for (auto& el : elems) {
-      DBPL_ASSIGN_OR_RETURN(acc, Apply(args[0], {acc, el}, e.line));
+      DBPL_ASSIGN_OR_RETURN(acc, Apply(args[0], {acc, el}, e.span.line));
     }
     return acc;
   }
   if (name == "concat") {
-    DBPL_ASSIGN_OR_RETURN(auto e1, Elements(args[0], e.line, false));
-    DBPL_ASSIGN_OR_RETURN(auto e2, Elements(args[1], e.line, false));
+    DBPL_ASSIGN_OR_RETURN(auto e1, Elements(args[0], e.span.line, false));
+    DBPL_ASSIGN_OR_RETURN(auto e2, Elements(args[1], e.span.line, false));
     e1.insert(e1.end(), e2.begin(), e2.end());
     return MakeListValue(std::move(e1));
   }
   if (name == "elements") {
-    DBPL_ASSIGN_OR_RETURN(auto elems, Elements(args[0], e.line, true));
+    DBPL_ASSIGN_OR_RETURN(auto elems, Elements(args[0], e.span.line, true));
     return MakeListValue(std::move(elems));
   }
   if (name == "setof") {
-    DBPL_ASSIGN_OR_RETURN(auto elems, Elements(args[0], e.line, false));
+    DBPL_ASSIGN_OR_RETURN(auto elems, Elements(args[0], e.span.line, false));
     std::vector<Value> core_elems;
     for (const auto& el : elems) {
       Result<Value> cv = el.ToCore();
-      if (!cv.ok()) return Err(e.line, "set elements must be data");
+      if (!cv.ok()) return Err(e.span.line, "set elements must be data");
       core_elems.push_back(std::move(cv).value());
     }
     return RtValue::Data(Value::Set(std::move(core_elems)));
@@ -490,7 +490,7 @@ Result<RtValue> Evaluator::EvalBuiltin(const Expr& e, const EnvPtr& env) {
     Result<Value> a = args[0].ToCore();
     Result<Value> b = args[1].ToCore();
     if (!a.ok() || !b.ok()) {
-      return Err(e.line, "'" + name + "' needs first-order data");
+      return Err(e.span.line, "'" + name + "' needs first-order data");
     }
     if (name == "lesseq") {
       return RtValue::Data(Value::Bool(core::LessEq(*a, *b)));
@@ -500,7 +500,7 @@ Result<RtValue> Evaluator::EvalBuiltin(const Expr& e, const EnvPtr& env) {
     }
     return RtValue::Data(core::Meet(*a, *b));
   }
-  return Err(e.line, "unknown builtin '" + name + "'");
+  return Err(e.span.line, "unknown builtin '" + name + "'");
 }
 
 Result<RtValue> Evaluator::EvalBinary(const Expr& e, const EnvPtr& env) {
@@ -548,7 +548,7 @@ Result<RtValue> Evaluator::EvalBinary(const Expr& e, const EnvPtr& env) {
       return RtValue::Data(Value::Real(a.AsReal() * b.AsReal()));
     case BinaryOp::kDiv:
       if (a.kind() == core::ValueKind::kInt) {
-        if (b.AsInt() == 0) return Err(e.line, "division by zero");
+        if (b.AsInt() == 0) return Err(e.span.line, "division by zero");
         return RtValue::Data(Value::Int(a.AsInt() / b.AsInt()));
       }
       return RtValue::Data(Value::Real(a.AsReal() / b.AsReal()));
@@ -575,7 +575,7 @@ Result<RtValue> Evaluator::EvalBinary(const Expr& e, const EnvPtr& env) {
       return RtValue::Data(Value::Bool(out));
     }
     default:
-      return Err(e.line, "unreachable binary operator");
+      return Err(e.span.line, "unreachable binary operator");
   }
 }
 

@@ -1,5 +1,6 @@
 #include "lang/interp.h"
 
+#include "lang/analysis/driver.h"
 #include "lang/parser.h"
 #include "lang/typecheck.h"
 
@@ -29,6 +30,11 @@ Result<Interp::Output> Interp::RunIncremental(std::string_view source) {
   DBPL_ASSIGN_OR_RETURN(std::vector<DeclType> decl_types,
                         checker_->CheckProgram(program));
   Output output;
+  AnalysisDriver linter;
+  AnalysisContext ctx{program, decl_types, source};
+  for (const Diagnostic& diag : linter.RunPasses(ctx)) {
+    output.warnings.push_back(RenderText(diag, source));
+  }
   for (size_t i = 0; i < program.decls.size(); ++i) {
     const Decl& decl = program.decls[i];
     DBPL_ASSIGN_OR_RETURN(RtValue v, evaluator_->EvalDecl(decl));

@@ -46,6 +46,10 @@ class Interp {
     std::vector<std::string> values;
     /// Static type of each expression statement (same order).
     std::vector<std::string> types;
+    /// Rendered static-analysis warnings (lang/analysis/) for the
+    /// program, in source order. The program still ran: warnings flag
+    /// well-typed code that is statically doomed or suspicious.
+    std::vector<std::string> warnings;
   };
 
   /// An interpreter whose `extern`/`intern` use the replicating store

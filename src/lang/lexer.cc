@@ -170,6 +170,10 @@ Result<std::vector<Token>> Lex(std::string_view source) {
   size_t i = 0;
   int line = 1;
   int column = 1;
+  // Start position of the token being scanned; set at the top of each
+  // loop iteration so every token's span begins at its first character.
+  int tok_line = 1;
+  int tok_column = 1;
 
   auto advance = [&](size_t n) {
     for (size_t k = 0; k < n; ++k) {
@@ -182,8 +186,11 @@ Result<std::vector<Token>> Lex(std::string_view source) {
       ++i;
     }
   };
+  // Emits a token spanning [tok_line:tok_column, line:column): call
+  // *after* the token's characters have been consumed.
   auto make = [&](TokenKind kind, std::string text) {
-    out.push_back(Token{kind, std::move(text), line, column});
+    out.push_back(
+        Token{kind, std::move(text), Span{tok_line, tok_column, line, column}});
   };
   auto error = [&](const std::string& msg) {
     return Status::InvalidArgument("lex error at line " +
@@ -202,6 +209,8 @@ Result<std::vector<Token>> Lex(std::string_view source) {
       while (i < source.size() && source[i] != '\n') advance(1);
       continue;
     }
+    tok_line = line;
+    tok_column = column;
     if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
       size_t start = i;
       while (i < source.size() &&
@@ -243,6 +252,8 @@ Result<std::vector<Token>> Lex(std::string_view source) {
       advance(1);
       std::string text;
       bool closed = false;
+      // String literals may span lines; `advance` keeps line/column
+      // arithmetic right across the embedded newlines.
       while (i < source.size()) {
         char d = source[i];
         if (d == quote) {
@@ -274,7 +285,6 @@ Result<std::vector<Token>> Lex(std::string_view source) {
           }
           continue;
         }
-        if (d == '\n') return error("newline in string literal");
         text.push_back(d);
         advance(1);
       }
@@ -283,107 +293,85 @@ Result<std::vector<Token>> Lex(std::string_view source) {
       continue;
     }
     auto two = source.substr(i, 2);
-    if (two == "{|") {
-      make(TokenKind::kLBraceBar, "{|");
+    TokenKind two_kind = TokenKind::kEof;
+    if (two == "{|") two_kind = TokenKind::kLBraceBar;
+    else if (two == "|}") two_kind = TokenKind::kRBraceBar;
+    else if (two == "==") two_kind = TokenKind::kEq;
+    else if (two == "!=") two_kind = TokenKind::kNe;
+    else if (two == "<=") two_kind = TokenKind::kLe;
+    else if (two == ">=") two_kind = TokenKind::kGe;
+    else if (two == "->") two_kind = TokenKind::kArrow;
+    else if (two == "=>") two_kind = TokenKind::kFatArrow;
+    if (two_kind != TokenKind::kEof) {
       advance(2);
+      make(two_kind, std::string(two));
       continue;
     }
-    if (two == "|}") {
-      make(TokenKind::kRBraceBar, "|}");
-      advance(2);
-      continue;
-    }
-    if (two == "==") {
-      make(TokenKind::kEq, "==");
-      advance(2);
-      continue;
-    }
-    if (two == "!=") {
-      make(TokenKind::kNe, "!=");
-      advance(2);
-      continue;
-    }
-    if (two == "<=") {
-      make(TokenKind::kLe, "<=");
-      advance(2);
-      continue;
-    }
-    if (two == ">=") {
-      make(TokenKind::kGe, ">=");
-      advance(2);
-      continue;
-    }
-    if (two == "->") {
-      make(TokenKind::kArrow, "->");
-      advance(2);
-      continue;
-    }
-    if (two == "=>") {
-      make(TokenKind::kFatArrow, "=>");
-      advance(2);
-      continue;
-    }
+    TokenKind one_kind;
     switch (c) {
       case '(':
-        make(TokenKind::kLParen, "(");
+        one_kind = TokenKind::kLParen;
         break;
       case ')':
-        make(TokenKind::kRParen, ")");
+        one_kind = TokenKind::kRParen;
         break;
       case '{':
-        make(TokenKind::kLBrace, "{");
+        one_kind = TokenKind::kLBrace;
         break;
       case '}':
-        make(TokenKind::kRBrace, "}");
+        one_kind = TokenKind::kRBrace;
         break;
       case '[':
-        make(TokenKind::kLBracket, "[");
+        one_kind = TokenKind::kLBracket;
         break;
       case ']':
-        make(TokenKind::kRBracket, "]");
+        one_kind = TokenKind::kRBracket;
         break;
       case ',':
-        make(TokenKind::kComma, ",");
+        one_kind = TokenKind::kComma;
         break;
       case ';':
-        make(TokenKind::kSemicolon, ";");
+        one_kind = TokenKind::kSemicolon;
         break;
       case ':':
-        make(TokenKind::kColon, ":");
+        one_kind = TokenKind::kColon;
         break;
       case '.':
-        make(TokenKind::kDot, ".");
+        one_kind = TokenKind::kDot;
         break;
       case '=':
-        make(TokenKind::kAssign, "=");
+        one_kind = TokenKind::kAssign;
         break;
       case '<':
-        make(TokenKind::kLt, "<");
+        one_kind = TokenKind::kLt;
         break;
       case '>':
-        make(TokenKind::kGt, ">");
+        one_kind = TokenKind::kGt;
         break;
       case '+':
-        make(TokenKind::kPlus, "+");
+        one_kind = TokenKind::kPlus;
         break;
       case '-':
-        make(TokenKind::kMinus, "-");
+        one_kind = TokenKind::kMinus;
         break;
       case '*':
-        make(TokenKind::kStar, "*");
+        one_kind = TokenKind::kStar;
         break;
       case '/':
-        make(TokenKind::kSlash, "/");
+        one_kind = TokenKind::kSlash;
         break;
       case '|':
-        make(TokenKind::kBar, "|");
+        one_kind = TokenKind::kBar;
         break;
       default:
         return error(std::string("unexpected character '") + c + "'");
     }
     advance(1);
+    make(one_kind, std::string(1, c));
   }
-  out.push_back(Token{TokenKind::kEof, "", line, column});
+  tok_line = line;
+  tok_column = column;
+  out.push_back(Token{TokenKind::kEof, "", Span::Point(line, column)});
   return out;
 }
 

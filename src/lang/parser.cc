@@ -30,7 +30,11 @@ class Parser {
     return idx < tokens_.size() ? tokens_[idx] : tokens_.back();
   }
   bool At(TokenKind kind) const { return Peek().kind == kind; }
-  Token Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  Token Advance() {
+    const Token& t = tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_];
+    prev_span_ = t.span;
+    return t;
+  }
   bool Eat(TokenKind kind) {
     if (At(kind)) {
       Advance();
@@ -42,8 +46,8 @@ class Parser {
   Status Err(const std::string& msg) {
     const Token& t = Peek();
     return Status::InvalidArgument("parse error at line " +
-                                   std::to_string(t.line) + ":" +
-                                   std::to_string(t.column) + ": " + msg +
+                                   std::to_string(t.span.line) + ":" +
+                                   std::to_string(t.span.column) + ": " + msg +
                                    " (found " + t.Describe() + ")");
   }
 
@@ -55,9 +59,28 @@ class Parser {
   ExprPtr Node(ExprKind kind) {
     auto e = std::make_shared<Expr>();
     e->kind = kind;
-    e->line = Peek().line;
-    e->column = Peek().column;
+    e->span = Peek().span;
     return e;
+  }
+
+  /// Runs a sub-parser and, on success, stamps the produced node with
+  /// the span from the first token at entry through the last token
+  /// consumed. Every expression-level Parse* body is wrapped so each
+  /// returned node covers exactly its source region.
+  template <typename F>
+  Result<ExprPtr> Spanned(F&& body) {
+    Span start = Peek().span;
+    Result<ExprPtr> r = body();
+    if (r.ok() && *r != nullptr) {
+      (*r)->span = Span::Join(Span::Join(start, (*r)->span), prev_span_);
+    }
+    return r;
+  }
+
+  /// Completes an infix node: its span runs from its left operand's
+  /// first token through the last token consumed (the right operand).
+  void CloseInfix(const ExprPtr& node) {
+    node->span = Span::Join(node->a->span, prev_span_);
   }
 
   // ------------------------------------------------------------------
@@ -65,12 +88,14 @@ class Parser {
   // ------------------------------------------------------------------
 
   Result<Decl> ParseDecl() {
+    Span start = Peek().span;
     Decl decl;
-    decl.line = Peek().line;
+    decl.span = start;
     if (Eat(TokenKind::kType)) {
       decl.kind = Decl::Kind::kTypeAlias;
       if (!At(TokenKind::kIdent)) return Err("expected type alias name");
       decl.name = Advance().text;
+      decl.name_span = prev_span_;
       DBPL_RETURN_IF_ERROR(Expect(TokenKind::kAssign));
       DBPL_ASSIGN_OR_RETURN(decl.type, ParseType());
       decl.has_type = true;
@@ -79,15 +104,17 @@ class Parser {
         return Status::AlreadyExists("type alias redefined: " + decl.name);
       }
       aliases_[decl.name] = decl.type;
+      decl.span = Span::Join(start, prev_span_);
       return decl;
     }
     if (Eat(TokenKind::kLet)) {
       if (Eat(TokenKind::kRec)) {
-        return ParseLetRec();
+        return ParseLetRec(start);
       }
       decl.kind = Decl::Kind::kLet;
       if (!At(TokenKind::kIdent)) return Err("expected binder name");
       decl.name = Advance().text;
+      decl.name_span = prev_span_;
       if (Eat(TokenKind::kColon)) {
         DBPL_ASSIGN_OR_RETURN(decl.type, ParseType());
         decl.has_type = true;
@@ -98,29 +125,34 @@ class Parser {
         // This was a let-in *expression* statement, not a declaration.
         ExprPtr let_expr = Node(ExprKind::kLet);
         let_expr->str = decl.name;
+        let_expr->name_span = decl.name_span;
         let_expr->type = decl.type;
         let_expr->has_type = decl.has_type;
         let_expr->a = decl.expr;
         DBPL_ASSIGN_OR_RETURN(let_expr->b, ParseExpr());
+        let_expr->span = Span::Join(start, prev_span_);
         decl = Decl{};
         decl.kind = Decl::Kind::kExpr;
         decl.expr = std::move(let_expr);
       }
       DBPL_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon));
+      decl.span = Span::Join(start, prev_span_);
       return decl;
     }
     decl.kind = Decl::Kind::kExpr;
     DBPL_ASSIGN_OR_RETURN(decl.expr, ParseExpr());
     DBPL_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon));
+    decl.span = Span::Join(start, prev_span_);
     return decl;
   }
 
-  Result<Decl> ParseLetRec() {
+  Result<Decl> ParseLetRec(Span start) {
     Decl decl;
     decl.kind = Decl::Kind::kLetRec;
-    decl.line = Peek().line;
+    decl.span = start;
     if (!At(TokenKind::kIdent)) return Err("expected function name");
     decl.name = Advance().text;
+    decl.name_span = prev_span_;
     ExprPtr lambda = Node(ExprKind::kLambda);
     DBPL_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
     if (!Eat(TokenKind::kRParen)) {
@@ -128,6 +160,7 @@ class Parser {
         if (!At(TokenKind::kIdent)) return Err("expected parameter name");
         Param p;
         p.name = Advance().text;
+        p.span = prev_span_;
         DBPL_RETURN_IF_ERROR(Expect(TokenKind::kColon));
         DBPL_ASSIGN_OR_RETURN(p.type, ParseType());
         lambda->params.push_back(std::move(p));
@@ -141,7 +174,9 @@ class Parser {
     DBPL_RETURN_IF_ERROR(Expect(TokenKind::kAssign));
     DBPL_ASSIGN_OR_RETURN(lambda->b, ParseExpr());
     DBPL_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon));
+    lambda->span = Span::Join(lambda->span, prev_span_);
     decl.expr = std::move(lambda);
+    decl.span = Span::Join(start, prev_span_);
     return decl;
   }
 
@@ -264,6 +299,7 @@ class Parser {
       node->bin_op = BinaryOp::kOr;
       node->a = lhs;
       DBPL_ASSIGN_OR_RETURN(node->b, ParseAnd());
+      CloseInfix(node);
       lhs = node;
     }
     return lhs;
@@ -277,6 +313,7 @@ class Parser {
       node->bin_op = BinaryOp::kAnd;
       node->a = lhs;
       DBPL_ASSIGN_OR_RETURN(node->b, ParseComparison());
+      CloseInfix(node);
       lhs = node;
     }
     return lhs;
@@ -309,6 +346,7 @@ class Parser {
       }
       node->a = lhs;
       DBPL_ASSIGN_OR_RETURN(node->b, ParseJoin());
+      CloseInfix(node);
       lhs = node;
     }
     return lhs;
@@ -321,6 +359,7 @@ class Parser {
       Advance();
       node->a = lhs;
       DBPL_ASSIGN_OR_RETURN(node->b, ParseAdditive());
+      CloseInfix(node);
       lhs = node;
     }
     return lhs;
@@ -334,6 +373,7 @@ class Parser {
           Advance().kind == TokenKind::kPlus ? BinaryOp::kAdd : BinaryOp::kSub;
       node->a = lhs;
       DBPL_ASSIGN_OR_RETURN(node->b, ParseMultiplicative());
+      CloseInfix(node);
       lhs = node;
     }
     return lhs;
@@ -347,6 +387,7 @@ class Parser {
           Advance().kind == TokenKind::kStar ? BinaryOp::kMul : BinaryOp::kDiv;
       node->a = lhs;
       DBPL_ASSIGN_OR_RETURN(node->b, ParseUnary());
+      CloseInfix(node);
       lhs = node;
     }
     return lhs;
@@ -358,6 +399,7 @@ class Parser {
       Advance();
       node->un_op = UnaryOp::kNot;
       DBPL_ASSIGN_OR_RETURN(node->a, ParseUnary());
+      node->span = Span::Join(node->span, prev_span_);
       return node;
     }
     if (At(TokenKind::kMinus)) {
@@ -365,6 +407,7 @@ class Parser {
       Advance();
       node->un_op = UnaryOp::kNeg;
       DBPL_ASSIGN_OR_RETURN(node->a, ParseUnary());
+      node->span = Span::Join(node->span, prev_span_);
       return node;
     }
     return ParsePostfix();
@@ -379,6 +422,7 @@ class Parser {
         if (!At(TokenKind::kIdent)) return Err("expected field name");
         node->str = Advance().text;
         node->a = expr;
+        CloseInfix(node);
         expr = node;
         continue;
       }
@@ -394,6 +438,7 @@ class Parser {
             DBPL_RETURN_IF_ERROR(Expect(TokenKind::kComma));
           }
         }
+        CloseInfix(node);
         expr = node;
         continue;
       }
@@ -403,6 +448,10 @@ class Parser {
   }
 
   Result<ExprPtr> ParsePrimary() {
+    return Spanned([&] { return ParsePrimaryImpl(); });
+  }
+
+  Result<ExprPtr> ParsePrimaryImpl() {
     switch (Peek().kind) {
       case TokenKind::kIntLit: {
         ExprPtr node = Node(ExprKind::kIntLit);
@@ -505,6 +554,7 @@ class Parser {
           DBPL_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
           if (!At(TokenKind::kIdent)) return Err("expected arm binder");
           arm.binder = Advance().text;
+          arm.binder_span = prev_span_;
           DBPL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
           DBPL_RETURN_IF_ERROR(Expect(TokenKind::kFatArrow));
           DBPL_ASSIGN_OR_RETURN(arm.body, ParseExpr());
@@ -534,6 +584,7 @@ class Parser {
             if (!At(TokenKind::kIdent)) return Err("expected parameter name");
             Param p;
             p.name = Advance().text;
+            p.span = prev_span_;
             DBPL_RETURN_IF_ERROR(Expect(TokenKind::kColon));
             DBPL_ASSIGN_OR_RETURN(p.type, ParseType());
             node->params.push_back(std::move(p));
@@ -555,6 +606,7 @@ class Parser {
         Advance();
         if (!At(TokenKind::kIdent)) return Err("expected binder name");
         node->str = Advance().text;
+        node->name_span = prev_span_;
         if (Eat(TokenKind::kColon)) {
           DBPL_ASSIGN_OR_RETURN(node->type, ParseType());
           node->has_type = true;
@@ -631,6 +683,8 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  /// Span of the most recently consumed token (ends the current node).
+  Span prev_span_ = Span::Point(1, 1);
   std::map<std::string, Type>& aliases_;
   /// Type variables bound by enclosing Mu binders.
   std::set<std::string> type_vars_;

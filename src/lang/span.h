@@ -1,0 +1,55 @@
+#ifndef DBPL_LANG_SPAN_H_
+#define DBPL_LANG_SPAN_H_
+
+#include <string>
+
+namespace dbpl::lang {
+
+/// A half-open source region: from (line, column) inclusive to
+/// (end_line, end_column) exclusive. Lines and columns are 1-based;
+/// columns count bytes from the start of the line. A default-constructed
+/// Span (all zeros) means "no position".
+struct Span {
+  int line = 0;
+  int column = 0;
+  int end_line = 0;
+  int end_column = 0;
+
+  bool valid() const { return line > 0; }
+
+  /// A zero-width span at the start position (used when only a point is
+  /// known).
+  static Span Point(int line, int column) {
+    return Span{line, column, line, column};
+  }
+
+  /// The region from the start of `a` to the end of `b`.
+  static Span Join(const Span& a, const Span& b) {
+    if (!a.valid()) return b;
+    if (!b.valid()) return a;
+    return Span{a.line, a.column, b.end_line, b.end_column};
+  }
+
+  /// "line:column" of the start (the conventional rendering).
+  std::string ToString() const {
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+
+  bool operator==(const Span& other) const {
+    return line == other.line && column == other.column &&
+           end_line == other.end_line && end_column == other.end_column;
+  }
+  bool operator!=(const Span& other) const { return !(*this == other); }
+
+  /// Lexicographic order by start then end; used to sort diagnostics.
+  bool operator<(const Span& other) const {
+    if (line != other.line) return line < other.line;
+    if (column != other.column) return column < other.column;
+    if (end_line != other.end_line) return end_line < other.end_line;
+    return end_column < other.end_column;
+  }
+};
+
+}  // namespace dbpl::lang
+
+#endif  // DBPL_LANG_SPAN_H_

@@ -5,6 +5,8 @@
 #include <string>
 #include <string_view>
 
+#include "lang/span.h"
+
 namespace dbpl::lang {
 
 /// Token kinds of MiniAmber, the library's small database programming
@@ -81,8 +83,8 @@ struct Token {
   /// Raw text (identifier name, keyword, literal spelling; string
   /// literals hold the *unescaped* contents).
   std::string text;
-  int line = 1;
-  int column = 1;
+  /// Source region of the token, including quotes for string literals.
+  Span span = Span::Point(1, 1);
 
   std::string Describe() const;
 };

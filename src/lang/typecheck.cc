@@ -66,7 +66,7 @@ class Checker {
           DBPL_ASSIGN_OR_RETURN(Type t, Synth(decl.expr));
           if (decl.has_type) {
             DBPL_RETURN_IF_ERROR(
-                Expect(t, decl.type, decl.line, "let binding"));
+                Expect(t, decl.type, decl.span, "let binding"));
             t = decl.type;
           }
           globals_[decl.name] = t;
@@ -80,7 +80,7 @@ class Checker {
           Type fn_type = Type::Func(param_types, lambda.type);
           globals_[decl.name] = fn_type;  // visible to its own body
           DBPL_ASSIGN_OR_RETURN(Type body_type, SynthLambdaBody(lambda));
-          DBPL_RETURN_IF_ERROR(Expect(body_type, lambda.type, decl.line,
+          DBPL_RETURN_IF_ERROR(Expect(body_type, lambda.type, decl.span,
                                       "recursive function body"));
           out.push_back({decl.name, fn_type});
           break;
@@ -96,14 +96,15 @@ class Checker {
   }
 
  private:
-  Status Err(int line, const std::string& msg) {
-    return Status::TypeError("line " + std::to_string(line) + ": " + msg);
+  Status Err(const Span& span, const std::string& msg) {
+    return Status::TypeError("line " + std::to_string(span.line) + ":" +
+                             std::to_string(span.column) + ": " + msg);
   }
 
-  Status Expect(const Type& actual, const Type& expected, int line,
+  Status Expect(const Type& actual, const Type& expected, const Span& span,
                 const std::string& what) {
     if (!types::IsSubtype(actual, expected)) {
-      return Err(line, what + " has type " + actual.ToString() +
+      return Err(span, what + " has type " + actual.ToString() +
                            ", expected a subtype of " + expected.ToString());
     }
     return Status::OK();
@@ -136,7 +137,19 @@ class Checker {
     return body;
   }
 
+  /// Synthesizes and *annotates*: every expression node records its
+  /// static type so later analysis passes (lang/analysis/) can ask
+  /// lattice questions about arbitrary subexpressions.
   Result<Type> Synth(const ExprPtr& eptr) {
+    Result<Type> r = SynthImpl(eptr);
+    if (r.ok()) {
+      eptr->static_type = r.value();
+      eptr->has_static_type = true;
+    }
+    return r;
+  }
+
+  Result<Type> SynthImpl(const ExprPtr& eptr) {
     Expr& e = *eptr;
     switch (e.kind) {
       case ExprKind::kBoolLit:
@@ -151,10 +164,10 @@ class Checker {
         auto it = globals_.find(e.str);
         if (it != globals_.end()) return it->second;
         if (IsBuiltinName(e.str)) {
-          return Err(e.line, "builtin '" + e.str +
+          return Err(e.span, "builtin '" + e.str +
                                  "' is not first-class; apply it directly");
         }
-        return Err(e.line, "unbound variable '" + e.str + "'");
+        return Err(e.span, "unbound variable '" + e.str + "'");
       }
       case ExprKind::kRecordLit: {
         std::vector<std::pair<std::string, Type>> fields;
@@ -163,7 +176,7 @@ class Checker {
           fields.emplace_back(name, std::move(t));
         }
         Result<Type> made = Type::Record(std::move(fields));
-        if (!made.ok()) return Err(e.line, made.status().message());
+        if (!made.ok()) return Err(e.span, made.status().message());
         return made;
       }
       case ExprKind::kListLit:
@@ -174,7 +187,7 @@ class Checker {
           elem = types::Lub(elem, t);
         }
         if (e.kind == ExprKind::kSetLit && !IsDataType(elem)) {
-          return Err(e.line, "sets may only contain first-order data");
+          return Err(e.span, "sets may only contain first-order data");
         }
         return e.kind == ExprKind::kListLit ? Type::List(std::move(elem))
                                             : Type::Set(std::move(elem));
@@ -183,16 +196,16 @@ class Checker {
         DBPL_ASSIGN_OR_RETURN(Type t, Synth(e.a));
         Type resolved = ResolveForAccess(t);
         if (resolved.kind() == TypeKind::kDynamic) {
-          return Err(e.line,
+          return Err(e.span,
                      "cannot select from a Dynamic; coerce it first");
         }
         if (resolved.kind() != TypeKind::kRecord) {
-          return Err(e.line, "field selection on non-record type " +
+          return Err(e.span, "field selection on non-record type " +
                                  t.ToString());
         }
         const Type* f = resolved.FindField(e.str);
         if (f == nullptr) {
-          return Err(e.line, "type " + resolved.ToString() +
+          return Err(e.span, "type " + resolved.ToString() +
                                  " has no field '" + e.str + "'");
         }
         return *f;
@@ -202,15 +215,15 @@ class Checker {
       case ExprKind::kUnary: {
         DBPL_ASSIGN_OR_RETURN(Type t, Synth(e.a));
         if (e.un_op == UnaryOp::kNot) {
-          DBPL_RETURN_IF_ERROR(Expect(t, Type::Bool(), e.line, "'not'"));
+          DBPL_RETURN_IF_ERROR(Expect(t, Type::Bool(), e.span, "'not'"));
           return Type::Bool();
         }
         if (t == Type::Int() || t == Type::Real()) return t;
-        return Err(e.line, "negation needs Int or Real, got " + t.ToString());
+        return Err(e.span, "negation needs Int or Real, got " + t.ToString());
       }
       case ExprKind::kIf: {
         DBPL_ASSIGN_OR_RETURN(Type c, Synth(e.a));
-        DBPL_RETURN_IF_ERROR(Expect(c, Type::Bool(), e.line, "condition"));
+        DBPL_RETURN_IF_ERROR(Expect(c, Type::Bool(), e.span, "condition"));
         DBPL_ASSIGN_OR_RETURN(Type t1, Synth(e.b));
         DBPL_ASSIGN_OR_RETURN(Type t2, Synth(e.c));
         return types::Lub(t1, t2);
@@ -219,7 +232,7 @@ class Checker {
         DBPL_ASSIGN_OR_RETURN(Type body, SynthLambdaBody(e));
         Type result = body;
         if (e.has_type) {
-          DBPL_RETURN_IF_ERROR(Expect(body, e.type, e.line, "function body"));
+          DBPL_RETURN_IF_ERROR(Expect(body, e.type, e.span, "function body"));
           result = e.type;
         }
         std::vector<Type> params;
@@ -231,7 +244,7 @@ class Checker {
       case ExprKind::kLet: {
         DBPL_ASSIGN_OR_RETURN(Type bound, Synth(e.a));
         if (e.has_type) {
-          DBPL_RETURN_IF_ERROR(Expect(bound, e.type, e.line, "let binding"));
+          DBPL_RETURN_IF_ERROR(Expect(bound, e.type, e.span, "let binding"));
           bound = e.type;
         }
         auto saved = globals_;
@@ -243,7 +256,7 @@ class Checker {
       case ExprKind::kDynamic: {
         DBPL_ASSIGN_OR_RETURN(Type t, Synth(e.a));
         if (!IsDataType(t)) {
-          return Err(e.line,
+          return Err(e.span,
                      "'dynamic' needs first-order data, got " + t.ToString());
         }
         // Record the static type the dynamic will carry (Amber pairs
@@ -255,13 +268,13 @@ class Checker {
       case ExprKind::kCoerce: {
         DBPL_ASSIGN_OR_RETURN(Type t, Synth(e.a));
         DBPL_RETURN_IF_ERROR(
-            Expect(t, Type::Dynamic(), e.line, "'coerce' operand"));
+            Expect(t, Type::Dynamic(), e.span, "'coerce' operand"));
         return e.type;
       }
       case ExprKind::kTypeofE: {
         DBPL_ASSIGN_OR_RETURN(Type t, Synth(e.a));
         DBPL_RETURN_IF_ERROR(
-            Expect(t, Type::Dynamic(), e.line, "'typeof' operand"));
+            Expect(t, Type::Dynamic(), e.span, "'typeof' operand"));
         return Type::String();
       }
       case ExprKind::kJoinE: {
@@ -274,12 +287,20 @@ class Checker {
         bool sets =
             r1.kind() == TypeKind::kSet && r2.kind() == TypeKind::kSet;
         if (!records && !sets) {
-          return Err(e.line, "'join' needs two records or two sets, got " +
+          return Err(e.span, "'join' needs two records or two sets, got " +
                                  t1.ToString() + " and " + t2.ToString());
         }
         Result<Type> glb = types::Glb(r1, r2);
         if (!glb.ok()) {
-          return Err(e.line, "operands of 'join' have contradictory types: " +
+          if (sets) {
+            // A set join keeps only the *consistent* pairwise joins, so
+            // element types with meet ⊥ make the join statically empty —
+            // well-typed (the empty set inhabits Set[Bottom]) but almost
+            // certainly a mistake; the statically-inconsistent-join lint
+            // pass (DL003) warns about it.
+            return Type::Set(Type::Bottom());
+          }
+          return Err(e.span, "operands of 'join' have contradictory types: " +
                                  glb.status().message());
         }
         return glb;
@@ -289,24 +310,24 @@ class Checker {
       case ExprKind::kInsert: {
         DBPL_ASSIGN_OR_RETURN(Type vt, Synth(e.a));
         if (!IsDataType(vt) && vt.kind() != TypeKind::kDynamic) {
-          return Err(e.line, "cannot insert a value of type " + vt.ToString());
+          return Err(e.span, "cannot insert a value of type " + vt.ToString());
         }
         if (vt.kind() != TypeKind::kDynamic) {
           e.type = vt;  // the type the inserted dynamic will carry
           e.has_type = true;
         }
         DBPL_ASSIGN_OR_RETURN(Type dbt, Synth(e.b));
-        DBPL_RETURN_IF_ERROR(Expect(dbt, Type::List(Type::Dynamic()), e.line,
+        DBPL_RETURN_IF_ERROR(Expect(dbt, Type::List(Type::Dynamic()), e.span,
                                     "'insert' target"));
         return Type::List(Type::Dynamic());
       }
       case ExprKind::kGet: {
         if (!IsDataType(e.type)) {
-          return Err(e.line, "'get' needs a data type, got " +
+          return Err(e.span, "'get' needs a data type, got " +
                                  e.type.ToString());
         }
         DBPL_ASSIGN_OR_RETURN(Type dbt, Synth(e.b));
-        DBPL_RETURN_IF_ERROR(Expect(dbt, Type::List(Type::Dynamic()), e.line,
+        DBPL_RETURN_IF_ERROR(Expect(dbt, Type::List(Type::Dynamic()), e.span,
                                     "'get' source"));
         // The paper's result type: List[∃t ≤ T. t].
         return Type::List(Type::Exists("t", e.type, Type::Var("t")));
@@ -314,7 +335,7 @@ class Checker {
       case ExprKind::kExtern: {
         DBPL_ASSIGN_OR_RETURN(Type t, Synth(e.a));
         if (!IsDataType(t) && t.kind() != TypeKind::kDynamic) {
-          return Err(e.line,
+          return Err(e.span,
                      "cannot extern a value of type " + t.ToString());
         }
         if (t.kind() != TypeKind::kDynamic) {
@@ -328,7 +349,7 @@ class Checker {
       case ExprKind::kVariantLit: {
         DBPL_ASSIGN_OR_RETURN(Type t, Synth(e.a));
         if (!IsDataType(t)) {
-          return Err(e.line, "variant payload must be first-order data");
+          return Err(e.span, "variant payload must be first-order data");
         }
         return Type::VariantOf({{e.str, std::move(t)}});
       }
@@ -336,7 +357,7 @@ class Checker {
         DBPL_ASSIGN_OR_RETURN(Type t, Synth(e.a));
         Type scrutinee = ResolveForAccess(t);
         if (scrutinee.kind() != TypeKind::kVariant) {
-          return Err(e.line, "'case' scrutinee must be a variant, got " +
+          return Err(e.span, "'case' scrutinee must be a variant, got " +
                                  t.ToString());
         }
         // Every arm's tag must exist; every variant tag must be
@@ -346,12 +367,12 @@ class Checker {
         for (const CaseArm& arm : e.arms) {
           const Type* payload = scrutinee.FindField(arm.tag);
           if (payload == nullptr) {
-            return Err(e.line, "case arm '" + arm.tag +
+            return Err(e.span, "case arm '" + arm.tag +
                                    "' is not a tag of " +
                                    scrutinee.ToString());
           }
           if (!covered.insert(arm.tag).second) {
-            return Err(e.line, "duplicate case arm '" + arm.tag + "'");
+            return Err(e.span, "duplicate case arm '" + arm.tag + "'");
           }
           auto saved = globals_;
           globals_[arm.binder] = *payload;
@@ -362,13 +383,13 @@ class Checker {
         }
         for (const auto& tag : scrutinee.fields()) {
           if (!covered.contains(tag.name)) {
-            return Err(e.line, "case does not cover tag '" + tag.name + "'");
+            return Err(e.span, "case does not cover tag '" + tag.name + "'");
           }
         }
         return result;
       }
     }
-    return Err(e.line, "unreachable expression kind");
+    return Err(e.span, "unreachable expression kind");
   }
 
   Result<Type> SynthBinary(Expr& e) {
@@ -377,8 +398,8 @@ class Checker {
     switch (e.bin_op) {
       case BinaryOp::kAnd:
       case BinaryOp::kOr:
-        DBPL_RETURN_IF_ERROR(Expect(t1, Type::Bool(), e.line, "operand"));
-        DBPL_RETURN_IF_ERROR(Expect(t2, Type::Bool(), e.line, "operand"));
+        DBPL_RETURN_IF_ERROR(Expect(t1, Type::Bool(), e.span, "operand"));
+        DBPL_RETURN_IF_ERROR(Expect(t2, Type::Bool(), e.span, "operand"));
         return Type::Bool();
       case BinaryOp::kAdd:
         if (t1 == Type::String() && t2 == Type::String()) {
@@ -390,7 +411,7 @@ class Checker {
       case BinaryOp::kDiv:
         if (t1 == Type::Int() && t2 == Type::Int()) return Type::Int();
         if (t1 == Type::Real() && t2 == Type::Real()) return Type::Real();
-        return Err(e.line, "arithmetic needs matching Int or Real operands, "
+        return Err(e.span, "arithmetic needs matching Int or Real operands, "
                            "got " +
                                t1.ToString() + " and " + t2.ToString());
       case BinaryOp::kLt:
@@ -402,7 +423,7 @@ class Checker {
             (t1 == Type::String() && t2 == Type::String())) {
           return Type::Bool();
         }
-        return Err(e.line, "comparison needs matching Int, Real or String "
+        return Err(e.span, "comparison needs matching Int, Real or String "
                            "operands, got " +
                                t1.ToString() + " and " + t2.ToString());
       case BinaryOp::kEq:
@@ -410,10 +431,10 @@ class Checker {
         if (types::IsSubtype(t1, t2) || types::IsSubtype(t2, t1)) {
           return Type::Bool();
         }
-        return Err(e.line, "equality between unrelated types " +
+        return Err(e.span, "equality between unrelated types " +
                                t1.ToString() + " and " + t2.ToString());
     }
-    return Err(e.line, "unreachable binary op");
+    return Err(e.span, "unreachable binary op");
   }
 
   Result<Type> SynthCall(Expr& e) {
@@ -424,16 +445,16 @@ class Checker {
     }
     DBPL_ASSIGN_OR_RETURN(Type fn, Synth(e.a));
     if (fn.kind() != TypeKind::kFunc) {
-      return Err(e.line, "calling a non-function of type " + fn.ToString());
+      return Err(e.span, "calling a non-function of type " + fn.ToString());
     }
     if (fn.params().size() != e.elems.size()) {
-      return Err(e.line, "expected " + std::to_string(fn.params().size()) +
+      return Err(e.span, "expected " + std::to_string(fn.params().size()) +
                              " arguments, got " +
                              std::to_string(e.elems.size()));
     }
     for (size_t i = 0; i < e.elems.size(); ++i) {
       DBPL_ASSIGN_OR_RETURN(Type arg, Synth(e.elems[i]));
-      DBPL_RETURN_IF_ERROR(Expect(arg, fn.params()[i], e.line,
+      DBPL_RETURN_IF_ERROR(Expect(arg, fn.params()[i], e.span,
                                   "argument " + std::to_string(i + 1)));
     }
     return fn.result();
@@ -441,13 +462,13 @@ class Checker {
 
   /// Requires the type to be a List (or Set for the set-friendly
   /// builtins), after unpacking.
-  Result<Type> ExpectCollection(const Type& t, int line, bool allow_set) {
+  Result<Type> ExpectCollection(const Type& t, const Span& span, bool allow_set) {
     Type r = ResolveForAccess(t);
     if (r.kind() == TypeKind::kList ||
         (allow_set && r.kind() == TypeKind::kSet)) {
       return r;
     }
-    return Err(line, "expected a List" + std::string(allow_set ? " or Set" : "") +
+    return Err(span, "expected a List" + std::string(allow_set ? " or Set" : "") +
                          ", got " + t.ToString());
   }
 
@@ -455,7 +476,7 @@ class Checker {
     const std::string& name = e.a->str;
     auto arity = [&](size_t n) -> Status {
       if (e.elems.size() != n) {
-        return Err(e.line, "'" + name + "' expects " + std::to_string(n) +
+        return Err(e.span, "'" + name + "' expects " + std::to_string(n) +
                                " argument(s), got " +
                                std::to_string(e.elems.size()));
       }
@@ -464,67 +485,67 @@ class Checker {
     if (name == "head") {
       DBPL_RETURN_IF_ERROR(arity(1));
       DBPL_ASSIGN_OR_RETURN(Type t, Synth(e.elems[0]));
-      DBPL_ASSIGN_OR_RETURN(Type l, ExpectCollection(t, e.line, false));
+      DBPL_ASSIGN_OR_RETURN(Type l, ExpectCollection(t, e.span, false));
       return l.element();
     }
     if (name == "tail") {
       DBPL_RETURN_IF_ERROR(arity(1));
       DBPL_ASSIGN_OR_RETURN(Type t, Synth(e.elems[0]));
-      DBPL_ASSIGN_OR_RETURN(Type l, ExpectCollection(t, e.line, false));
+      DBPL_ASSIGN_OR_RETURN(Type l, ExpectCollection(t, e.span, false));
       return l;
     }
     if (name == "cons") {
       DBPL_RETURN_IF_ERROR(arity(2));
       DBPL_ASSIGN_OR_RETURN(Type head, Synth(e.elems[0]));
       DBPL_ASSIGN_OR_RETURN(Type t, Synth(e.elems[1]));
-      DBPL_ASSIGN_OR_RETURN(Type l, ExpectCollection(t, e.line, false));
+      DBPL_ASSIGN_OR_RETURN(Type l, ExpectCollection(t, e.span, false));
       return Type::List(types::Lub(head, l.element()));
     }
     if (name == "length") {
       DBPL_RETURN_IF_ERROR(arity(1));
       DBPL_ASSIGN_OR_RETURN(Type t, Synth(e.elems[0]));
-      DBPL_RETURN_IF_ERROR(ExpectCollection(t, e.line, true).status());
+      DBPL_RETURN_IF_ERROR(ExpectCollection(t, e.span, true).status());
       return Type::Int();
     }
     if (name == "isempty") {
       DBPL_RETURN_IF_ERROR(arity(1));
       DBPL_ASSIGN_OR_RETURN(Type t, Synth(e.elems[0]));
-      DBPL_RETURN_IF_ERROR(ExpectCollection(t, e.line, true).status());
+      DBPL_RETURN_IF_ERROR(ExpectCollection(t, e.span, true).status());
       return Type::Bool();
     }
     if (name == "nth") {
       DBPL_RETURN_IF_ERROR(arity(2));
       DBPL_ASSIGN_OR_RETURN(Type t, Synth(e.elems[0]));
-      DBPL_ASSIGN_OR_RETURN(Type l, ExpectCollection(t, e.line, false));
+      DBPL_ASSIGN_OR_RETURN(Type l, ExpectCollection(t, e.span, false));
       DBPL_ASSIGN_OR_RETURN(Type i, Synth(e.elems[1]));
-      DBPL_RETURN_IF_ERROR(Expect(i, Type::Int(), e.line, "index"));
+      DBPL_RETURN_IF_ERROR(Expect(i, Type::Int(), e.span, "index"));
       return l.element();
     }
     if (name == "sum") {
       DBPL_RETURN_IF_ERROR(arity(1));
       DBPL_ASSIGN_OR_RETURN(Type t, Synth(e.elems[0]));
-      DBPL_ASSIGN_OR_RETURN(Type l, ExpectCollection(t, e.line, true));
+      DBPL_ASSIGN_OR_RETURN(Type l, ExpectCollection(t, e.span, true));
       if (l.element() == Type::Int() ||
           l.element() == Type::Bottom()) {
         return Type::Int();
       }
       if (l.element() == Type::Real()) return Type::Real();
-      return Err(e.line, "'sum' needs Int or Real elements, got " +
+      return Err(e.span, "'sum' needs Int or Real elements, got " +
                              l.element().ToString());
     }
     if (name == "map" || name == "filter") {
       DBPL_RETURN_IF_ERROR(arity(2));
       DBPL_ASSIGN_OR_RETURN(Type fn, Synth(e.elems[0]));
       DBPL_ASSIGN_OR_RETURN(Type t, Synth(e.elems[1]));
-      DBPL_ASSIGN_OR_RETURN(Type l, ExpectCollection(t, e.line, false));
+      DBPL_ASSIGN_OR_RETURN(Type l, ExpectCollection(t, e.span, false));
       if (fn.kind() != TypeKind::kFunc || fn.params().size() != 1) {
-        return Err(e.line, "'" + name + "' needs a one-argument function");
+        return Err(e.span, "'" + name + "' needs a one-argument function");
       }
       DBPL_RETURN_IF_ERROR(
-          Expect(l.element(), fn.params()[0], e.line, "element type"));
+          Expect(l.element(), fn.params()[0], e.span, "element type"));
       if (name == "filter") {
         DBPL_RETURN_IF_ERROR(
-            Expect(fn.result(), Type::Bool(), e.line, "filter predicate"));
+            Expect(fn.result(), Type::Bool(), e.span, "filter predicate"));
         return l;
       }
       return Type::List(fn.result());
@@ -534,24 +555,24 @@ class Checker {
       DBPL_ASSIGN_OR_RETURN(Type fn, Synth(e.elems[0]));
       DBPL_ASSIGN_OR_RETURN(Type init, Synth(e.elems[1]));
       DBPL_ASSIGN_OR_RETURN(Type t, Synth(e.elems[2]));
-      DBPL_ASSIGN_OR_RETURN(Type l, ExpectCollection(t, e.line, false));
+      DBPL_ASSIGN_OR_RETURN(Type l, ExpectCollection(t, e.span, false));
       if (fn.kind() != TypeKind::kFunc || fn.params().size() != 2) {
-        return Err(e.line, "'fold' needs a two-argument function");
+        return Err(e.span, "'fold' needs a two-argument function");
       }
-      DBPL_RETURN_IF_ERROR(Expect(init, fn.params()[0], e.line,
+      DBPL_RETURN_IF_ERROR(Expect(init, fn.params()[0], e.span,
                                   "fold initial value"));
-      DBPL_RETURN_IF_ERROR(Expect(fn.result(), fn.params()[0], e.line,
+      DBPL_RETURN_IF_ERROR(Expect(fn.result(), fn.params()[0], e.span,
                                   "fold accumulator"));
       DBPL_RETURN_IF_ERROR(
-          Expect(l.element(), fn.params()[1], e.line, "fold element type"));
+          Expect(l.element(), fn.params()[1], e.span, "fold element type"));
       return fn.result();
     }
     if (name == "concat") {
       DBPL_RETURN_IF_ERROR(arity(2));
       DBPL_ASSIGN_OR_RETURN(Type t1, Synth(e.elems[0]));
       DBPL_ASSIGN_OR_RETURN(Type t2, Synth(e.elems[1]));
-      DBPL_ASSIGN_OR_RETURN(Type l1, ExpectCollection(t1, e.line, false));
-      DBPL_ASSIGN_OR_RETURN(Type l2, ExpectCollection(t2, e.line, false));
+      DBPL_ASSIGN_OR_RETURN(Type l1, ExpectCollection(t1, e.span, false));
+      DBPL_ASSIGN_OR_RETURN(Type l2, ExpectCollection(t2, e.span, false));
       return Type::List(types::Lub(l1.element(), l2.element()));
     }
     if (name == "elements") {
@@ -559,16 +580,16 @@ class Checker {
       DBPL_ASSIGN_OR_RETURN(Type t, Synth(e.elems[0]));
       Type r = ResolveForAccess(t);
       if (r.kind() != TypeKind::kSet) {
-        return Err(e.line, "'elements' needs a Set, got " + t.ToString());
+        return Err(e.span, "'elements' needs a Set, got " + t.ToString());
       }
       return Type::List(r.element());
     }
     if (name == "setof") {
       DBPL_RETURN_IF_ERROR(arity(1));
       DBPL_ASSIGN_OR_RETURN(Type t, Synth(e.elems[0]));
-      DBPL_ASSIGN_OR_RETURN(Type l, ExpectCollection(t, e.line, false));
+      DBPL_ASSIGN_OR_RETURN(Type l, ExpectCollection(t, e.span, false));
       if (!IsDataType(l.element())) {
-        return Err(e.line, "sets may only contain first-order data");
+        return Err(e.span, "sets may only contain first-order data");
       }
       return Type::Set(l.element());
     }
@@ -580,12 +601,12 @@ class Checker {
       DBPL_ASSIGN_OR_RETURN(Type t1, Synth(e.elems[0]));
       DBPL_ASSIGN_OR_RETURN(Type t2, Synth(e.elems[1]));
       if (!IsDataType(t1) || !IsDataType(t2)) {
-        return Err(e.line, "'" + name + "' needs first-order data");
+        return Err(e.span, "'" + name + "' needs first-order data");
       }
       if (name == "meet") return types::Lub(t1, t2);  // less info, higher type
       return Type::Bool();
     }
-    return Err(e.line, "unknown builtin '" + name + "'");
+    return Err(e.span, "unknown builtin '" + name + "'");
   }
 
   std::map<std::string, Type>& globals_;

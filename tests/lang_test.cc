@@ -66,8 +66,8 @@ TEST(LexerTest, StringsAndEscapes) {
 TEST(LexerTest, TracksLineNumbers) {
   auto tokens = Lex("let\nx");
   ASSERT_TRUE(tokens.ok());
-  EXPECT_EQ((*tokens)[0].line, 1);
-  EXPECT_EQ((*tokens)[1].line, 2);
+  EXPECT_EQ((*tokens)[0].span.line, 1);
+  EXPECT_EQ((*tokens)[1].span.line, 2);
 }
 
 TEST(ParserTest, RejectsMalformedPrograms) {
@@ -383,6 +383,15 @@ TEST(LangTest, SetsDeduplicateAndConvert) {
   ExpectOutputs("setof([1, 1, 2]);", {"{|1, 2|}"});
   ExpectOutputs("{| {Name = \"a\"} |} join {| {Dept = \"d\"} |};",
                 {"{|{Dept = \"d\", Name = \"a\"}|}"});
+}
+
+TEST(LangTest, InconsistentSetJoinIsStaticallyEmptyNotAnError) {
+  // A set join over element types with meet ⊥ is still well-typed
+  // (the result, always {| |}, inhabits Set[Bottom]); the lint pass
+  // DL003 warns about it instead of the checker rejecting it. Record
+  // joins with contradictory types remain hard type errors.
+  ExpectOutputs("{| 1, 2 |} join {| \"a\" |};", {"{||}"});
+  ExpectStaticError("{Name = \"x\"} join {Name = 1};", StatusCode::kTypeError);
 }
 
 TEST(LangTest, BuiltinsAreNotFirstClass) {

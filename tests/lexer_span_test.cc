@@ -1,0 +1,161 @@
+// Regression tests for source spans: the lexer's line *and* column
+// tracking (token.h used to record lines only, and positions at the
+// END of multi-character tokens), multi-line string literals, and the
+// spans the parser derives for expressions and declarations.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lang/lexer.h"
+#include "lang/parser.h"
+#include "lang/span.h"
+
+namespace dbpl::lang {
+namespace {
+
+std::vector<Token> MustLex(std::string_view source) {
+  Result<std::vector<Token>> tokens = Lex(source);
+  EXPECT_TRUE(tokens.ok()) << tokens.status();
+  return tokens.ok() ? std::move(tokens).value() : std::vector<Token>{};
+}
+
+TEST(SpanTest, PointAndJoinArithmetic) {
+  // Point spans are zero-width markers at a position.
+  Span point = Span::Point(3, 7);
+  EXPECT_EQ(point.line, 3);
+  EXPECT_EQ(point.column, 7);
+  EXPECT_EQ(point.end_line, 3);
+  EXPECT_EQ(point.end_column, 7);
+  EXPECT_TRUE(point.valid());
+  EXPECT_EQ(point.ToString(), "3:7");
+
+  Span joined = Span::Join(Span{1, 5, 1, 9}, Span{2, 1, 2, 4});
+  EXPECT_EQ(joined, (Span{1, 5, 2, 4}));
+
+  // Joining with an invalid span keeps the valid side.
+  EXPECT_EQ(Span::Join(Span{}, point), point);
+  EXPECT_EQ(Span::Join(point, Span{}), point);
+  EXPECT_FALSE(Span{}.valid());
+
+  // Ordering is lexicographic on (line, column) — the diagnostic order.
+  EXPECT_LT((Span{1, 9, 1, 10}), (Span{2, 1, 2, 2}));
+  EXPECT_LT((Span{2, 1, 2, 2}), (Span{2, 3, 2, 4}));
+}
+
+TEST(LexerSpanTest, TokensRecordStartLineAndColumn) {
+  std::vector<Token> tokens = MustLex("let answer = 42;\nanswer < 7;\n");
+  // let answer = 42 ;
+  ASSERT_GE(tokens.size(), 9u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kLet);
+  EXPECT_EQ(tokens[0].span, (Span{1, 1, 1, 4}));
+  EXPECT_EQ(tokens[1].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[1].span, (Span{1, 5, 1, 11}));
+  EXPECT_EQ(tokens[2].kind, TokenKind::kAssign);
+  EXPECT_EQ(tokens[2].span, (Span{1, 12, 1, 13}));
+  EXPECT_EQ(tokens[3].kind, TokenKind::kIntLit);
+  EXPECT_EQ(tokens[3].span, (Span{1, 14, 1, 16}));
+  EXPECT_EQ(tokens[4].kind, TokenKind::kSemicolon);
+  EXPECT_EQ(tokens[4].span, (Span{1, 16, 1, 17}));
+  // Second line restarts the column counter.
+  EXPECT_EQ(tokens[5].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[5].span, (Span{2, 1, 2, 7}));
+  EXPECT_EQ(tokens[6].kind, TokenKind::kLt);
+  EXPECT_EQ(tokens[6].span, (Span{2, 8, 2, 9}));
+}
+
+TEST(LexerSpanTest, TwoCharOperatorsSpanBothChars) {
+  std::vector<Token> tokens = MustLex("{| == => |}");
+  ASSERT_GE(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kLBraceBar);
+  EXPECT_EQ(tokens[0].span, (Span{1, 1, 1, 3}));
+  EXPECT_EQ(tokens[1].kind, TokenKind::kEq);
+  EXPECT_EQ(tokens[1].span, (Span{1, 4, 1, 6}));
+  EXPECT_EQ(tokens[2].kind, TokenKind::kFatArrow);
+  EXPECT_EQ(tokens[2].span, (Span{1, 7, 1, 9}));
+  EXPECT_EQ(tokens[3].kind, TokenKind::kRBraceBar);
+  EXPECT_EQ(tokens[3].span, (Span{1, 10, 1, 12}));
+}
+
+TEST(LexerSpanTest, StringLiteralSpansIncludeQuotes) {
+  std::vector<Token> tokens = MustLex("  \"abc\" x");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kStringLit);
+  EXPECT_EQ(tokens[0].text, "abc");
+  EXPECT_EQ(tokens[0].span, (Span{1, 3, 1, 8}));
+  EXPECT_EQ(tokens[1].span, (Span{1, 9, 1, 10}));
+}
+
+TEST(LexerSpanTest, MultiLineStringLiteralsLexAndTrackLines) {
+  // A literal newline inside a string used to be a lex error; it is
+  // now legal and the token's span covers both lines.
+  std::vector<Token> tokens = MustLex("\"two\nlines\" next");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kStringLit);
+  EXPECT_EQ(tokens[0].text, "two\nlines");
+  EXPECT_EQ(tokens[0].span, (Span{1, 1, 2, 7}));
+  // The next token starts on line 2 with a correct column.
+  EXPECT_EQ(tokens[1].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[1].text, "next");
+  EXPECT_EQ(tokens[1].span, (Span{2, 8, 2, 12}));
+}
+
+TEST(LexerSpanTest, CommentsAndBlankLinesAdvancePositions) {
+  std::vector<Token> tokens = MustLex("-- comment\n\n  x");
+  ASSERT_GE(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[0].span, (Span{3, 3, 3, 4}));
+}
+
+TEST(LexerSpanTest, EofTokenSitsAtTheEnd) {
+  std::vector<Token> tokens = MustLex("a\nbc");
+  ASSERT_FALSE(tokens.empty());
+  const Token& eof = tokens.back();
+  EXPECT_EQ(eof.kind, TokenKind::kEof);
+  EXPECT_EQ(eof.span.line, 2);
+  EXPECT_EQ(eof.span.column, 3);
+}
+
+TEST(ParserSpanTest, ExpressionSpansCoverTheirExtent) {
+  Result<Program> program = Parse("let x = 1 + 2 * 3;\n");
+  ASSERT_TRUE(program.ok()) << program.status();
+  ASSERT_EQ(program->decls.size(), 1u);
+  const Decl& decl = program->decls[0];
+  // The declaration spans "let ... ;" inclusive.
+  EXPECT_EQ(decl.span, (Span{1, 1, 1, 19}));
+  EXPECT_EQ(decl.name_span, (Span{1, 5, 1, 6}));
+  // The bound expression spans "1 + 2 * 3".
+  ASSERT_NE(decl.expr, nullptr);
+  EXPECT_EQ(decl.expr->span, (Span{1, 9, 1, 18}));
+  // Its right operand spans "2 * 3".
+  ASSERT_NE(decl.expr->b, nullptr);
+  EXPECT_EQ(decl.expr->b->span, (Span{1, 13, 1, 18}));
+}
+
+TEST(ParserSpanTest, MultiLineExpressionsJoinAcrossLines) {
+  Result<Program> program = Parse("{Name = \"J\",\n Age = 30};\n");
+  ASSERT_TRUE(program.ok()) << program.status();
+  ASSERT_EQ(program->decls.size(), 1u);
+  const Decl& decl = program->decls[0];
+  ASSERT_NE(decl.expr, nullptr);
+  EXPECT_EQ(decl.expr->span.line, 1);
+  EXPECT_EQ(decl.expr->span.column, 1);
+  EXPECT_EQ(decl.expr->span.end_line, 2);
+  // Declaration runs through the ';' on line 2.
+  EXPECT_EQ(decl.span.end_line, 2);
+  EXPECT_GT(decl.span.end_column, decl.expr->span.end_column - 1);
+}
+
+TEST(ParserSpanTest, LetInBinderNameSpanIsTheName) {
+  Result<Program> program = Parse("let total = 1 in total + 1;\n");
+  ASSERT_TRUE(program.ok()) << program.status();
+  ASSERT_EQ(program->decls.size(), 1u);
+  const ExprPtr& let_in = program->decls[0].expr;
+  ASSERT_NE(let_in, nullptr);
+  ASSERT_EQ(let_in->kind, ExprKind::kLet);
+  EXPECT_EQ(let_in->name_span, (Span{1, 5, 1, 10}));
+}
+
+}  // namespace
+}  // namespace dbpl::lang

@@ -1,0 +1,277 @@
+// Tests for the static-analysis framework (lang/analysis/): the
+// seeded-defect corpus under tests/lint_corpus/, span accuracy, text
+// rendering, and the --json schema round-trip.
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lang/analysis/driver.h"
+#include "lang/interp.h"
+
+namespace dbpl::lang {
+namespace {
+
+namespace fs = std::filesystem;
+
+#ifndef DBPL_LINT_CORPUS_DIR
+#error "DBPL_LINT_CORPUS_DIR must be defined by the build"
+#endif
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream file(path);
+  EXPECT_TRUE(file.is_open()) << path;
+  std::ostringstream buf;
+  buf << file.rdbuf();
+  return buf.str();
+}
+
+/// One `-- expect: CODE @ L:C` line from a corpus file.
+struct Expectation {
+  std::string code;
+  int line = 0;
+  int column = 0;
+
+  bool operator<(const Expectation& other) const {
+    return std::tie(line, column, code) <
+           std::tie(other.line, other.column, other.code);
+  }
+  bool operator==(const Expectation& other) const {
+    return code == other.code && line == other.line && column == other.column;
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const Expectation& e) {
+  return os << e.code << " @ " << e.line << ":" << e.column;
+}
+
+/// Parses the expectation comments out of a corpus file. Sets
+/// `expect_none` when the file declares itself clean.
+std::vector<Expectation> ParseExpectations(const std::string& source,
+                                           bool* expect_none) {
+  std::vector<Expectation> expectations;
+  *expect_none = false;
+  std::istringstream lines(source);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.find("-- expect-none") != std::string::npos) {
+      *expect_none = true;
+      continue;
+    }
+    size_t at = line.find("-- expect: ");
+    if (at == std::string::npos) continue;
+    std::istringstream spec(line.substr(at + 11));
+    Expectation e;
+    char sep = 0;
+    std::string marker;
+    spec >> e.code >> marker >> e.line >> sep >> e.column;
+    EXPECT_TRUE(spec && marker == "@" && sep == ':')
+        << "malformed expectation: " << line;
+    expectations.push_back(e);
+  }
+  return expectations;
+}
+
+/// Every corpus file must produce exactly its expected findings — same
+/// codes, same line:column spans, nothing extra (zero false positives).
+TEST(LintCorpus, EveryFileMatchesItsExpectations) {
+  AnalysisDriver driver;
+  int files = 0;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(DBPL_LINT_CORPUS_DIR)) {
+    if (entry.path().extension() != ".mam") continue;
+    ++files;
+    SCOPED_TRACE(entry.path().filename().string());
+    std::string source = ReadFile(entry.path());
+    bool expect_none = false;
+    std::vector<Expectation> expected = ParseExpectations(source, &expect_none);
+    EXPECT_TRUE(expect_none || !expected.empty())
+        << "corpus file declares no expectations";
+    if (expect_none) EXPECT_TRUE(expected.empty());
+
+    AnalysisResult result = driver.Analyze(source);
+    std::vector<Expectation> actual;
+    for (const Diagnostic& d : result.diagnostics) {
+      actual.push_back({d.code, d.span.line, d.span.column});
+    }
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(actual, expected);
+  }
+  // The corpus must actually exist (guards against a bad path macro).
+  EXPECT_GE(files, 10);
+}
+
+TEST(LintDriver, FrontEndErrorBecomesDl000) {
+  AnalysisDriver driver;
+  AnalysisResult result = driver.Analyze("let x = ;");
+  EXPECT_FALSE(result.front_end_ok);
+  EXPECT_TRUE(result.HasErrors());
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(result.diagnostics[0].code, "DL000");
+  EXPECT_EQ(result.diagnostics[0].severity, Severity::kError);
+}
+
+TEST(LintDriver, DiagnosticsAreSortedByPosition) {
+  AnalysisDriver driver;
+  AnalysisResult result = driver.Analyze(
+      "let db = database;\n"
+      "get Int from db;\n"
+      "let d = dynamic 1;\n"
+      "let s = coerce d to String;\n"
+      "s;\n");
+  ASSERT_EQ(result.diagnostics.size(), 2u);
+  EXPECT_EQ(result.diagnostics[0].code, "DL002");
+  EXPECT_EQ(result.diagnostics[1].code, "DL001");
+  EXPECT_LT(result.diagnostics[0].span, result.diagnostics[1].span);
+}
+
+TEST(LintRender, TextShowsCaretUnderTheSpan) {
+  Diagnostic d;
+  d.severity = Severity::kWarning;
+  d.code = "DL004";
+  d.message = "'x' is bound but never used";
+  d.span = Span{1, 5, 1, 6};
+  std::string text = RenderText(d, "let x = 1 in 2;\n", "prog.mam");
+  EXPECT_NE(text.find("prog.mam:1:5: warning:"), std::string::npos) << text;
+  EXPECT_NE(text.find("[DL004]"), std::string::npos) << text;
+  EXPECT_NE(text.find("  let x = 1 in 2;\n"), std::string::npos) << text;
+  // Caret in column 5 (after the two-space gutter).
+  EXPECT_NE(text.find("\n      ^"), std::string::npos) << text;
+}
+
+// ---------------------------------------------------------------------------
+// --json schema round-trip, via a minimal reader just strong enough
+// for the linter's output (flat objects, one array, JsonEscape's
+// escapes, non-negative integers).
+// ---------------------------------------------------------------------------
+
+/// Value of scalar key `key` inside `object` (raw text; keys are
+/// unique per object in this schema). Strings come back unescaped of
+/// their quotes but with escape sequences intact.
+std::string RawField(std::string_view object, std::string_view key) {
+  std::string needle = "\"" + std::string(key) + "\": ";
+  size_t at = object.find(needle);
+  if (at == std::string_view::npos) return "";
+  size_t start = at + needle.size();
+  size_t end = start;
+  if (object[start] == '"') {
+    ++end;
+    while (end < object.size() &&
+           (object[end] != '"' || object[end - 1] == '\\')) {
+      ++end;
+    }
+    return std::string(object.substr(start + 1, end - start - 1));
+  }
+  while (end < object.size() &&
+         std::isdigit(static_cast<unsigned char>(object[end])) != 0) {
+    ++end;
+  }
+  return std::string(object.substr(start, end - start));
+}
+
+/// Splits the "diagnostics" array into its top-level objects.
+std::vector<std::string> DiagnosticObjects(std::string_view text) {
+  std::vector<std::string> objects;
+  size_t array = text.find("\"diagnostics\": [");
+  if (array == std::string_view::npos) return objects;
+  int depth = 0;
+  size_t start = 0;
+  bool in_string = false;
+  for (size_t i = array + 16; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      if (depth == 0) start = i;
+      ++depth;
+    } else if (c == '}') {
+      --depth;
+      if (depth == 0) objects.emplace_back(text.substr(start, i - start + 1));
+    } else if (c == ']' && depth == 0) {
+      break;
+    }
+  }
+  return objects;
+}
+
+TEST(LintJson, RoundTripsThroughTheDocumentedSchema) {
+  AnalysisDriver driver;
+  const std::string source =
+      "let d = dynamic \"s\";\n"
+      "let f = fun (u: Int) : Int => coerce d to Int;\n"
+      "let x = 1 in 2;\n";
+  AnalysisResult result = driver.Analyze(source);
+  ASSERT_EQ(result.diagnostics.size(), 2u);
+
+  std::string json = RenderJson(result.diagnostics, "prog.mam");
+  EXPECT_EQ(RawField(json, "file"), "prog.mam");
+  EXPECT_EQ(RawField(json, "errors"), "0");
+  EXPECT_EQ(RawField(json, "warnings"), "2");
+
+  std::vector<std::string> objects = DiagnosticObjects(json);
+  ASSERT_EQ(objects.size(), result.diagnostics.size());
+  for (size_t i = 0; i < objects.size(); ++i) {
+    const Diagnostic& d = result.diagnostics[i];
+    EXPECT_EQ(RawField(objects[i], "severity"),
+              std::string(SeverityName(d.severity)));
+    EXPECT_EQ(RawField(objects[i], "code"), d.code);
+    EXPECT_EQ(RawField(objects[i], "line"), std::to_string(d.span.line));
+    EXPECT_EQ(RawField(objects[i], "column"), std::to_string(d.span.column));
+    EXPECT_EQ(RawField(objects[i], "endLine"),
+              std::to_string(d.span.end_line));
+    EXPECT_EQ(RawField(objects[i], "endColumn"),
+              std::to_string(d.span.end_column));
+    EXPECT_FALSE(RawField(objects[i], "message").empty());
+  }
+}
+
+TEST(LintJson, EscapesMessages) {
+  std::vector<Diagnostic> diags(1);
+  diags[0].code = "DL000";
+  diags[0].severity = Severity::kError;
+  diags[0].message = "a \"quoted\"\nmessage\twith\\escapes";
+  std::string json = RenderJson(diags, "a\"b.mam");
+  EXPECT_NE(json.find("a \\\"quoted\\\"\\nmessage\\twith\\\\escapes"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"file\": \"a\\\"b.mam\""), std::string::npos) << json;
+  EXPECT_EQ(RawField(json, "errors"), "1");
+}
+
+/// Interp surfaces the findings as rendered warnings while still
+/// running the (well-typed) program.
+TEST(LintInterp, WarningsFlowThroughInterpOutput) {
+  Interp interp;
+  // The refuted coercion sits in a function body that is never called,
+  // so the program runs fine while the lint still sees it.
+  auto out = interp.Run(
+      "let d = dynamic 3;\n"
+      "let f = fun (u: Int) : {Name: String} => coerce d to {Name: String};\n"
+      "let x = 1 in 2;\n");
+  ASSERT_TRUE(out.ok()) << out.status();
+  ASSERT_EQ(out->warnings.size(), 2u);
+  EXPECT_NE(out->warnings[0].find("[DL001]"), std::string::npos)
+      << out->warnings[0];
+  EXPECT_NE(out->warnings[1].find("[DL004]"), std::string::npos)
+      << out->warnings[1];
+  ASSERT_EQ(out->values.size(), 1u);
+  EXPECT_EQ(out->values[0], "2");
+}
+
+}  // namespace
+}  // namespace dbpl::lang

@@ -1,0 +1,197 @@
+// dbpl_lint: the MiniAmber static analyser, as a command-line tool.
+//
+// Usage:
+//   dbpl_lint [options] <file.mam>... | -
+//
+// Options:
+//   --json         emit machine-readable JSON (one document per file;
+//                  schema documented in lang/analysis/diagnostic.h and
+//                  the EXPERIMENTS.md tooling appendix)
+//   --Werror       treat warnings as errors (exit 1 on any finding)
+//   --extract-cpp  treat inputs as C++ sources; lint every raw string
+//                  literal (R"( ... )") that parses as a MiniAmber
+//                  program, remapping spans to the C++ file's lines
+//
+// Exit status: 0 clean, 1 findings (errors; warnings too under
+// --Werror), 2 usage or I/O error.
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lang/analysis/driver.h"
+
+namespace {
+
+using dbpl::lang::AnalysisDriver;
+using dbpl::lang::AnalysisResult;
+using dbpl::lang::Diagnostic;
+using dbpl::lang::RenderJson;
+using dbpl::lang::RenderText;
+using dbpl::lang::Severity;
+
+struct Options {
+  bool json = false;
+  bool werror = false;
+  bool extract_cpp = false;
+  std::vector<std::string> files;
+};
+
+int Usage() {
+  std::cerr << "usage: dbpl_lint [--json] [--Werror] [--extract-cpp] "
+               "<file.mam>... | -\n";
+  return 2;
+}
+
+bool ReadAll(const std::string& path, std::string* out) {
+  if (path == "-") {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    *out = buf.str();
+    return true;
+  }
+  std::ifstream file(path);
+  if (!file) return false;
+  std::ostringstream buf;
+  buf << file.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+/// One raw string literal found in a C++ file: its contents plus the
+/// 1-based line and column (in the C++ file) where the contents begin.
+struct Fragment {
+  std::string text;
+  int line = 1;
+  int column = 1;
+};
+
+/// Extracts the contents of every `R"delim( ... )delim"` literal.
+std::vector<Fragment> ExtractRawStrings(std::string_view source) {
+  std::vector<Fragment> fragments;
+  int line = 1;
+  int column = 1;
+  for (size_t i = 0; i < source.size(); ++i) {
+    char c = source[i];
+    if (c == 'R' && i + 1 < source.size() && source[i + 1] == '"') {
+      size_t open = source.find('(', i + 2);
+      if (open == std::string::npos) break;
+      std::string delim(source.substr(i + 2, open - (i + 2)));
+      std::string closer = ")" + delim + "\"";
+      size_t close = source.find(closer, open + 1);
+      if (close == std::string::npos) break;
+      Fragment frag;
+      frag.text = std::string(source.substr(open + 1, close - (open + 1)));
+      // Position of the first content character.
+      frag.line = line;
+      frag.column = column + static_cast<int>(open + 1 - i);
+      fragments.push_back(std::move(frag));
+      // Advance the cursor past the literal.
+      for (size_t j = i; j < close + closer.size(); ++j) {
+        if (source[j] == '\n') {
+          ++line;
+          column = 1;
+        } else {
+          ++column;
+        }
+      }
+      i = close + closer.size() - 1;
+      continue;
+    }
+    if (c == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+  }
+  return fragments;
+}
+
+/// Shifts a fragment-relative span to the enclosing C++ file.
+void Remap(Diagnostic* d, const Fragment& frag) {
+  auto shift = [&](int* ln, int* col) {
+    if (*ln == 1) *col += frag.column - 1;
+    *ln += frag.line - 1;
+  };
+  shift(&d->span.line, &d->span.column);
+  shift(&d->span.end_line, &d->span.end_column);
+}
+
+/// Lints one input; returns its diagnostics (remapped for C++ inputs).
+std::vector<Diagnostic> LintFile(AnalysisDriver& driver,
+                                 const std::string& source,
+                                 const Options& opts) {
+  if (!opts.extract_cpp) {
+    return driver.Analyze(source).diagnostics;
+  }
+  std::vector<Diagnostic> all;
+  for (const Fragment& frag : ExtractRawStrings(source)) {
+    AnalysisResult result = driver.Analyze(frag.text);
+    // Raw strings that the front end rejects are (almost always) not
+    // MiniAmber programs at all — skip them rather than relay DL000.
+    if (!result.front_end_ok) continue;
+    for (Diagnostic d : result.diagnostics) {
+      Remap(&d, frag);
+      all.push_back(std::move(d));
+    }
+  }
+  return all;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--json") {
+      opts.json = true;
+    } else if (arg == "--Werror") {
+      opts.werror = true;
+    } else if (arg == "--extract-cpp") {
+      opts.extract_cpp = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (arg.size() > 1 && arg[0] == '-' && arg != "-") {
+      std::cerr << "unknown option: " << arg << "\n";
+      return Usage();
+    } else {
+      opts.files.emplace_back(arg);
+    }
+  }
+  if (opts.files.empty()) return Usage();
+
+  AnalysisDriver driver;
+  bool any_error = false;
+  bool any_finding = false;
+  for (const std::string& path : opts.files) {
+    std::string source;
+    if (!ReadAll(path, &source)) {
+      std::cerr << "cannot open " << path << "\n";
+      return 2;
+    }
+    std::vector<Diagnostic> diags = LintFile(driver, source, opts);
+    const std::string filename = path == "-" ? "<stdin>" : path;
+    if (opts.json) {
+      std::cout << RenderJson(diags, filename);
+    } else {
+      for (const Diagnostic& d : diags) {
+        // In extract mode spans index the C++ file, so excerpts come
+        // from the file we actually read either way.
+        std::cout << RenderText(d, source, filename);
+      }
+    }
+    for (const Diagnostic& d : diags) {
+      any_finding = true;
+      if (d.severity == Severity::kError) any_error = true;
+    }
+  }
+  if (any_error || (opts.werror && any_finding)) return 1;
+  return 0;
+}

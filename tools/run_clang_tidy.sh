@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over the C++
+# sources, using the compile database of the given build directory.
+#
+# Usage: tools/run_clang_tidy.sh [build_dir]
+#
+# Exit status: 0 clean, 1 findings, 77 clang-tidy unavailable (the
+# ctest SKIP_RETURN_CODE, so `ctest -L lint` reports a skip, not a
+# failure, on machines without clang-tidy).
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "clang-tidy not found; skipping" >&2
+  exit 77
+fi
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "no compile_commands.json in $build_dir;" \
+       "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 77
+fi
+
+files=$(find "$repo_root/src" "$repo_root/tools" -name '*.cc' | sort)
+
+status=0
+for f in $files; do
+  clang-tidy -p "$build_dir" --quiet "$f" || status=1
+done
+exit $status
