@@ -14,19 +14,56 @@ bool CanonicalLess(const Value& a, const Value& b) {
 
 }  // namespace
 
+GRelation::GRelation(const GRelation& other) : objects_(other.objects_) {
+  index_built_.store(objects_.empty(), std::memory_order_relaxed);
+}
+
+GRelation::GRelation(GRelation&& other) noexcept
+    : objects_(std::move(other.objects_)) {
+  index_built_.store(objects_.empty(), std::memory_order_relaxed);
+  other.objects_.clear();
+  other.index_.Clear();
+  other.index_built_.store(true, std::memory_order_relaxed);
+}
+
+GRelation& GRelation::operator=(const GRelation& other) {
+  if (this != &other) {
+    objects_ = other.objects_;
+    index_.Clear();
+    index_built_.store(objects_.empty(), std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+GRelation& GRelation::operator=(GRelation&& other) noexcept {
+  if (this != &other) {
+    objects_ = std::move(other.objects_);
+    index_.Clear();
+    index_built_.store(objects_.empty(), std::memory_order_relaxed);
+    other.objects_.clear();
+    other.index_.Clear();
+    other.index_built_.store(true, std::memory_order_relaxed);
+  }
+  return *this;
+}
+
 GRelation GRelation::FromAntichain(std::vector<Value> maxima) {
   GRelation r;
   std::sort(maxima.begin(), maxima.end(), CanonicalLess);
   r.objects_ = std::move(maxima);
-  r.index_built_ = false;  // built on first Insert/Covers
+  // Built on first Insert/Covers (possibly from several reader threads
+  // at once — EnsureIndex double-checks under its mutex).
+  r.index_built_.store(r.objects_.empty(), std::memory_order_relaxed);
   return r;
 }
 
 void GRelation::EnsureIndex() const {
-  if (index_built_) return;
+  if (index_built_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(index_mu_);
+  if (index_built_.load(std::memory_order_relaxed)) return;
   index_.Clear();
   for (const Value& v : objects_) index_.Add(v);
-  index_built_ = true;
+  index_built_.store(true, std::memory_order_release);
 }
 
 GRelation GRelation::FromObjects(std::vector<Value> objects) {

@@ -1,7 +1,9 @@
 #ifndef DBPL_CORE_GRELATION_H_
 #define DBPL_CORE_GRELATION_H_
 
+#include <atomic>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -47,6 +49,14 @@ class GRelation {
   /// The empty relation. NOTE: in the paper's relation ordering the empty
   /// relation is the *top* element (it refines everything).
   GRelation() = default;
+
+  /// Copies/moves transfer the member cochain only; the accelerator
+  /// index is rebuilt lazily in the destination (the index guard is not
+  /// transferable). A moved-from relation is empty.
+  GRelation(const GRelation& other);
+  GRelation(GRelation&& other) noexcept;
+  GRelation& operator=(const GRelation& other);
+  GRelation& operator=(GRelation&& other) noexcept;
 
   /// Builds a relation from arbitrary objects, reducing to maxima.
   static GRelation FromObjects(std::vector<Value> objects);
@@ -136,6 +146,9 @@ class GRelation {
   static GRelation FromAntichain(std::vector<Value> maxima);
 
   /// Builds the subsumption index from `objects_` if it is stale.
+  /// Safe to race from concurrent const queries: the build is
+  /// double-checked under `index_mu_` and published with a
+  /// release-store of `index_built_`.
   void EnsureIndex() const;
 
   /// Members, kept canonically sorted (by the total order) and mutually
@@ -145,8 +158,15 @@ class GRelation {
   /// use after a bulk construction (`index_built_`), in sync with
   /// `objects_` afterwards. Not part of the value (ignored by
   /// operator==); mutable so const queries can populate it.
+  ///
+  /// Thread safety: const queries (Contains/Covers/Join/...) may run
+  /// concurrently on a shared relation — the lazy build is guarded —
+  /// but `Insert` and the assignment operators require exclusive
+  /// access, like any other mutation.
   mutable SubsumptionIndex index_;
-  mutable bool index_built_ = true;
+  mutable std::atomic<bool> index_built_{true};
+  /// Serializes the lazy index build (only; queries never hold it).
+  mutable std::mutex index_mu_;
 };
 
 }  // namespace dbpl::core

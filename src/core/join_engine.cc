@@ -1,18 +1,17 @@
 #include "core/join_engine.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cstdint>
 #include <map>
 #include <set>
 #include <string>
-#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include <unordered_set>
 
 #include "core/order.h"
+#include "core/parallel.h"
 #include "core/subsumption_index.h"
 
 namespace dbpl::core {
@@ -240,32 +239,12 @@ Result<std::vector<Value>> PartitionedPairJoins(const std::vector<Value>& left,
     }
   }
 
-  int hw = static_cast<int>(std::thread::hardware_concurrency());
-  int nthreads = std::clamp(opts.threads, 1, std::max(hw, 1));
   std::vector<std::vector<Value>> results(tasks.size());
-  std::vector<Status> statuses(tasks.size());
+  DBPL_RETURN_IF_ERROR(
+      ParallelFor(tasks.size(), opts.threads, [&](size_t i) {
+        return RunTask(tasks[i], overlap_names, &results[i]);
+      }));
 
-  if (nthreads <= 1 || tasks.size() <= 1) {
-    for (size_t i = 0; i < tasks.size(); ++i) {
-      statuses[i] = RunTask(tasks[i], overlap_names, &results[i]);
-    }
-  } else {
-    std::atomic<size_t> next{0};
-    auto worker = [&] {
-      for (size_t i = next.fetch_add(1); i < tasks.size();
-           i = next.fetch_add(1)) {
-        statuses[i] = RunTask(tasks[i], overlap_names, &results[i]);
-      }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<size_t>(nthreads));
-    for (int t = 0; t < nthreads; ++t) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
-  }
-
-  for (const Status& s : statuses) {
-    if (!s.ok()) return s;
-  }
   size_t total = 0;
   for (const auto& r : results) total += r.size();
   out.reserve(total);

@@ -10,10 +10,12 @@ namespace dbpl::core {
 
 /// Tuning knobs for the signature-partitioned generalized join.
 struct JoinOptions {
-  /// Number of worker threads to shard partition pairs across. 1 (the
-  /// default) runs inline on the calling thread; values are clamped to
-  /// the hardware concurrency. Partitions are independent, so threading
-  /// changes only wall-clock time, never the result.
+  /// Number of worker threads to shard partition pairs across (via
+  /// core::ParallelFor — the same machinery behind dyndb's parallel
+  /// Get). 1 (the default) runs inline on the calling thread; values
+  /// are clamped to the hardware concurrency. Partitions are
+  /// independent, so threading changes only wall-clock time, never the
+  /// result.
   int threads = 1;
 };
 

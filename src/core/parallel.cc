@@ -1,0 +1,44 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace dbpl::core {
+
+int ClampThreads(int requested) { return std::clamp(requested, 1, 64); }
+
+Status ParallelFor(size_t n, int threads,
+                   const std::function<Status(size_t)>& fn) {
+  if (n == 0) return Status::OK();
+  int nthreads = ClampThreads(threads);
+  if (nthreads <= 1 || n <= 1) {
+    Status first = Status::OK();
+    for (size_t i = 0; i < n; ++i) {
+      Status s = fn(i);
+      if (!s.ok() && first.ok()) first = s;
+    }
+    return first;
+  }
+
+  std::vector<Status> statuses(n);
+  std::atomic<size_t> next{0};
+  auto worker = [&] {
+    for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+      statuses[i] = fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(nthreads) - 1);
+  for (int t = 1; t < nthreads; ++t) pool.emplace_back(worker);
+  worker();  // the calling thread is worker 0
+  for (std::thread& t : pool) t.join();
+
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+}  // namespace dbpl::core

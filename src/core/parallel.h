@@ -1,0 +1,39 @@
+#ifndef DBPL_CORE_PARALLEL_H_
+#define DBPL_CORE_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "common/status.h"
+
+namespace dbpl::core {
+
+/// Clamps a requested worker count to [1, 64]. The shared policy of
+/// every `threads` knob in the library (JoinOptions, dyndb::GetOptions).
+/// The request is honoured even above the hardware concurrency: a
+/// caller asking for 4 workers gets 4 OS threads on any machine, so
+/// sharded paths behave (and race) identically on a laptop and a
+/// many-core server — oversubscription only costs scheduling, and the
+/// race-sensitive tests rely on the threads being real.
+int ClampThreads(int requested);
+
+/// Runs `fn(0) ... fn(n - 1)` — independent units of work — sharded
+/// across `threads` workers (clamped via `ClampThreads`). With one
+/// worker, or one task, everything runs inline on the calling thread;
+/// otherwise tasks are handed out through an atomic cursor so uneven
+/// task costs balance dynamically.
+///
+/// All `n` tasks run to completion even when some fail (a task cannot
+/// be cancelled mid-flight without a barrier anyway); the returned
+/// status is OK iff every task succeeded, and otherwise the failure
+/// with the *lowest index*, so the error a caller observes does not
+/// depend on thread scheduling.
+///
+/// `fn` is called concurrently from multiple threads and must only
+/// touch disjoint state per index (e.g. `results[i]`).
+Status ParallelFor(size_t n, int threads,
+                   const std::function<Status(size_t)>& fn);
+
+}  // namespace dbpl::core
+
+#endif  // DBPL_CORE_PARALLEL_H_

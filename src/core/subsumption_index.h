@@ -30,6 +30,13 @@ namespace dbpl::core {
 /// Posting keys are hashes; collisions only enlarge a candidate list, and
 /// every candidate is re-checked with the real `LessEq` by the caller, so
 /// the index is purely an accelerator and never changes semantics.
+///
+/// Thread safety: the query methods (`UpperCandidates`,
+/// `LowerCandidates`) are const and touch no hidden mutable state, so
+/// any number of threads may query a fully-built index concurrently —
+/// this is the read path under dyndb's snapshot-isolated parallel Get.
+/// `Add`/`Remove`/`Clear` require exclusive access, like any other
+/// mutation.
 class SubsumptionIndex {
  public:
   /// Adds a member. The caller guarantees `v` is not already present.

@@ -1,73 +1,244 @@
 #include "dyndb/database.h"
 
+#include <algorithm>
+
+#include "core/parallel.h"
 #include "types/subtype.h"
 
 namespace dbpl::dyndb {
+namespace {
 
-Database::EntryId Database::Insert(Dynamic d) {
-  EntryId id = entries_.size();
-  by_type_[d.type].push_back(id);
-  for (auto& [name, extent] : extents_) {
-    if (types::IsSubtype(d.type, extent.type)) {
-      extent.members.push_back(id);
+/// Entries are stored in fixed-capacity chunks so slot addresses stay
+/// stable while the tail chunk fills: a published snapshot's entries
+/// are never moved by later inserts, only ever *followed* by new slots
+/// the snapshot does not index. The chunk spine (the vector of chunk
+/// pointers) is copied on growth — once per kChunkCap inserts.
+constexpr size_t kChunkCap = 1024;
+
+}  // namespace
+
+/// A view of an append-only id list: `ids` has stable capacity (the
+/// writer clones it on growth), and this state sees the first `count`
+/// elements. Older states share the same vector with a smaller count.
+struct IdListView {
+  std::shared_ptr<std::vector<Database::EntryId>> ids;
+  size_t count = 0;
+};
+
+/// One immutable published state of the database. Copying a State
+/// (the writer's copy-on-write step) copies the two index maps — a few
+/// pointers per distinct principal type / extent — and shares the
+/// append-only entry chunks and id vectors.
+struct Database::Snapshot::State {
+  using Chunk = std::vector<Dynamic>;
+  using Spine = std::vector<std::shared_ptr<Chunk>>;
+
+  struct Extent {
+    types::Type type;
+    IdListView members;
+  };
+
+  uint64_t epoch = 0;
+  /// Entries visible in this state: global ids [0, count).
+  size_t count = 0;
+  std::shared_ptr<const Spine> chunks = std::make_shared<Spine>();
+  /// Principal type -> entries with exactly that carried type.
+  std::map<types::Type, IdListView, types::TypeLess> by_type;
+  /// Named maintained extents.
+  std::map<std::string, Extent> extents;
+  /// Equivalence-normalizing lookup, fast path: the syntactic type an
+  /// extent was registered under -> its name. A query type that is
+  /// semantically equivalent but syntactically different falls back to
+  /// a TypeEquiv scan over `extents`.
+  std::map<types::Type, std::string, types::TypeLess> extent_by_type;
+
+  const Dynamic& Entry(EntryId id) const {
+    return (*(*chunks)[id / kChunkCap]).data()[id % kChunkCap];
+  }
+};
+
+struct Database::Core {
+  /// Serializes writers. Held across the whole read-copy-update of a
+  /// State; never held by readers.
+  std::mutex writer_mu;
+  /// Guards only the `state` pointer itself. Readers hold it for one
+  /// shared_ptr copy; writers for one pointer swap. All the expensive
+  /// work — building the next State, destroying retired ones — happens
+  /// outside this lock. (A std::atomic<std::shared_ptr> would make the
+  /// copy lock-free, but libstdc++'s implementation guards its raw
+  /// pointer with an internal spinlock whose unlock is relaxed, so it
+  /// is not data-race-free under TSan; a real mutex is, and the
+  /// critical section is two refcount operations long.)
+  mutable std::mutex state_mu;
+  std::shared_ptr<const Snapshot::State> state;
+
+  std::shared_ptr<const Snapshot::State> Acquire() const {
+    std::lock_guard<std::mutex> lock(state_mu);
+    return state;
+  }
+
+  /// Publishes `next` and retires the previous state. The retired
+  /// state's destruction (which may cascade through chunks and id
+  /// lists no snapshot pins any more) runs after the lock is released.
+  void Publish(std::shared_ptr<const Snapshot::State> next) {
+    std::shared_ptr<const Snapshot::State> retired;
+    {
+      std::lock_guard<std::mutex> lock(state_mu);
+      retired = std::move(state);
+      state = std::move(next);
     }
   }
-  entries_.push_back(std::move(d));
-  return id;
+};
+
+namespace {
+
+using State = Database::Snapshot::State;
+
+/// Appends to an id-list view, cloning the vector when capacity is
+/// exhausted (so vectors shared with published snapshots never
+/// reallocate under a reader).
+void AppendId(IdListView* view, Database::EntryId id) {
+  if (!view->ids || view->ids->size() == view->ids->capacity()) {
+    auto grown = std::make_shared<std::vector<Database::EntryId>>();
+    grown->reserve(view->ids ? view->ids->capacity() * 2 : 8);
+    if (view->ids) grown->insert(grown->end(), view->ids->begin(),
+                                 view->ids->end());
+    view->ids = std::move(grown);
+  }
+  view->ids->push_back(id);
+  view->count = view->ids->size();
 }
 
-Result<Dynamic> Database::Get(EntryId id) const {
-  if (id >= entries_.size()) {
+/// The extent matching `t` up to type equivalence, or nullptr.
+const State::Extent* FindExtent(const State& s, const types::Type& t) {
+  auto exact = s.extent_by_type.find(t);
+  if (exact != s.extent_by_type.end()) return &s.extents.at(exact->second);
+  for (const auto& [name, extent] : s.extents) {
+    if (types::TypeEquiv(extent.type, t)) return &extent;
+  }
+  return nullptr;
+}
+
+std::vector<core::Value> ValuesOf(const State& s, const IdListView& view) {
+  std::vector<core::Value> out;
+  out.reserve(view.count);
+  const Database::EntryId* ids = view.ids ? view.ids->data() : nullptr;
+  for (size_t i = 0; i < view.count; ++i) out.push_back(s.Entry(ids[i]).value);
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Snapshot: queries over one frozen state.
+// ---------------------------------------------------------------------
+
+size_t Database::Snapshot::size() const { return state_->count; }
+
+uint64_t Database::Snapshot::epoch() const { return state_->epoch; }
+
+Result<Dynamic> Database::Snapshot::Get(EntryId id) const {
+  if (id >= state_->count) {
     return Status::NotFound("no entry with id " + std::to_string(id));
   }
-  return entries_[id];
+  return state_->Entry(id);
 }
 
-std::vector<core::Value> Database::GetScan(const types::Type& t) const {
-  std::vector<core::Value> out;
-  for (const Dynamic& d : entries_) {
-    if (types::IsSubtype(d.type, t)) out.push_back(d.value);
-  }
-  return out;
-}
-
-Result<std::vector<core::Value>> Database::GetViaExtent(
-    const types::Type& t) const {
-  for (const auto& [name, extent] : extents_) {
-    if (types::TypeEquiv(extent.type, t)) {
-      std::vector<core::Value> out;
-      out.reserve(extent.members.size());
-      for (EntryId id : extent.members) out.push_back(entries_[id].value);
-      return out;
-    }
-  }
-  return Status::NotFound("no registered extent for type " + t.ToString());
-}
-
-std::vector<core::Value> Database::GetViaIndex(const types::Type& t) const {
-  std::vector<core::Value> out;
-  for (const auto& [type, ids] : by_type_) {
-    if (types::IsSubtype(type, t)) {
-      for (EntryId id : ids) out.push_back(entries_[id].value);
-    }
-  }
-  return out;
-}
-
-core::GRelation Database::GetRelation(const types::Type& t) const {
-  return core::GRelation::FromObjects(GetViaIndex(t));
-}
-
-Result<core::GRelation> Database::JoinExtents(const types::Type& t1,
-                                              const types::Type& t2,
-                                              const core::JoinOptions& opts)
-    const {
-  return core::GRelation::Join(GetRelation(t1), GetRelation(t2), opts);
-}
-
-std::vector<Dynamic> Database::GetPackages(const types::Type& t) const {
+std::vector<Dynamic> Database::Snapshot::Entries() const {
   std::vector<Dynamic> out;
-  for (const Dynamic& d : entries_) {
+  out.reserve(state_->count);
+  for (EntryId id = 0; id < state_->count; ++id) {
+    out.push_back(state_->Entry(id));
+  }
+  return out;
+}
+
+std::vector<core::Value> Database::Snapshot::GetScan(
+    const types::Type& t, const GetOptions& opts) const {
+  const State& s = *state_;
+  int shards = core::ClampThreads(opts.threads);
+  if (shards <= 1 || s.count < 2) {
+    std::vector<core::Value> out;
+    for (EntryId id = 0; id < s.count; ++id) {
+      const Dynamic& d = s.Entry(id);
+      if (types::IsSubtype(d.type, t)) out.push_back(d.value);
+    }
+    return out;
+  }
+  // Contiguous shards, concatenated in shard order: identical output to
+  // the sequential scan.
+  std::vector<std::vector<core::Value>> parts(static_cast<size_t>(shards));
+  size_t per = (s.count + static_cast<size_t>(shards) - 1) /
+               static_cast<size_t>(shards);
+  (void)core::ParallelFor(parts.size(), shards, [&](size_t p) {
+    EntryId begin = static_cast<EntryId>(p * per);
+    EntryId end = static_cast<EntryId>(std::min(s.count, (p + 1) * per));
+    for (EntryId id = begin; id < end; ++id) {
+      const Dynamic& d = s.Entry(id);
+      if (types::IsSubtype(d.type, t)) parts[p].push_back(d.value);
+    }
+    return Status::OK();
+  });
+  std::vector<core::Value> out;
+  size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  out.reserve(total);
+  for (auto& part : parts) {
+    std::move(part.begin(), part.end(), std::back_inserter(out));
+  }
+  return out;
+}
+
+Result<std::vector<core::Value>> Database::Snapshot::GetViaExtent(
+    const types::Type& t) const {
+  const State::Extent* extent = FindExtent(*state_, t);
+  if (extent == nullptr) {
+    return Status::NotFound("no registered extent for type " + t.ToString());
+  }
+  return ValuesOf(*state_, extent->members);
+}
+
+std::vector<core::Value> Database::Snapshot::GetViaIndex(
+    const types::Type& t, const GetOptions& opts) const {
+  const State& s = *state_;
+  int shards = core::ClampThreads(opts.threads);
+  if (shards <= 1 || s.by_type.size() < 2) {
+    std::vector<core::Value> out;
+    for (const auto& [type, ids] : s.by_type) {
+      if (types::IsSubtype(type, t)) {
+        const EntryId* p = ids.ids ? ids.ids->data() : nullptr;
+        for (size_t i = 0; i < ids.count; ++i) out.push_back(s.Entry(p[i]).value);
+      }
+    }
+    return out;
+  }
+  // One task per distinct principal type; concatenation in map order
+  // matches the sequential result exactly.
+  std::vector<std::pair<const types::Type*, const IdListView*>> groups;
+  groups.reserve(s.by_type.size());
+  for (const auto& [type, ids] : s.by_type) groups.emplace_back(&type, &ids);
+  std::vector<std::vector<core::Value>> parts(groups.size());
+  (void)core::ParallelFor(groups.size(), shards, [&](size_t g) {
+    if (types::IsSubtype(*groups[g].first, t)) {
+      parts[g] = ValuesOf(s, *groups[g].second);
+    }
+    return Status::OK();
+  });
+  std::vector<core::Value> out;
+  size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  out.reserve(total);
+  for (auto& part : parts) {
+    std::move(part.begin(), part.end(), std::back_inserter(out));
+  }
+  return out;
+}
+
+std::vector<Dynamic> Database::Snapshot::GetPackages(
+    const types::Type& t) const {
+  std::vector<Dynamic> out;
+  for (EntryId id = 0; id < state_->count; ++id) {
+    const Dynamic& d = state_->Entry(id);
     if (types::IsSubtype(d.type, t)) {
       Result<Dynamic> sealed = Seal(d, t);
       if (sealed.ok()) out.push_back(std::move(sealed).value());
@@ -76,26 +247,97 @@ std::vector<Dynamic> Database::GetPackages(const types::Type& t) const {
   return out;
 }
 
-Status Database::RegisterExtent(const std::string& name, types::Type t) {
-  if (extents_.contains(name)) {
-    return Status::AlreadyExists("extent already registered: " + name);
-  }
-  Extent extent;
-  extent.type = std::move(t);
-  for (EntryId id = 0; id < entries_.size(); ++id) {
-    if (types::IsSubtype(entries_[id].type, extent.type)) {
-      extent.members.push_back(id);
-    }
-  }
-  extents_.emplace(name, std::move(extent));
-  return Status::OK();
+core::GRelation Database::Snapshot::GetRelation(const types::Type& t) const {
+  return core::GRelation::FromObjects(GetViaIndex(t));
 }
 
-std::vector<std::string> Database::ExtentNames() const {
+Result<core::GRelation> Database::Snapshot::JoinExtents(
+    const types::Type& t1, const types::Type& t2,
+    const core::JoinOptions& opts) const {
+  return core::GRelation::Join(GetRelation(t1), GetRelation(t2), opts);
+}
+
+std::vector<std::string> Database::Snapshot::ExtentNames() const {
   std::vector<std::string> out;
-  out.reserve(extents_.size());
-  for (const auto& [name, _] : extents_) out.push_back(name);
+  out.reserve(state_->extents.size());
+  for (const auto& [name, _] : state_->extents) out.push_back(name);
   return out;
+}
+
+size_t Database::Snapshot::DistinctTypeCount() const {
+  return state_->by_type.size();
+}
+
+// ---------------------------------------------------------------------
+// Database: the writer path.
+// ---------------------------------------------------------------------
+
+Database::Database() : core_(std::make_shared<Core>()) {
+  core_->state = std::make_shared<const Snapshot::State>();
+}
+
+Database::Snapshot Database::GetSnapshot() const {
+  return Snapshot(core_->Acquire());
+}
+
+Database::EntryId Database::Insert(Dynamic d) {
+  std::lock_guard<std::mutex> lock(core_->writer_mu);
+  // Only writers replace `state`, and they serialize on writer_mu, so
+  // this read needs no state_mu: no Publish can run concurrently, and
+  // readers only copy the pointer.
+  std::shared_ptr<const Snapshot::State> cur = core_->state;
+  auto next = std::make_shared<Snapshot::State>(*cur);
+  EntryId id = cur->count;
+
+  // Append the entry. The tail chunk is shared with published
+  // snapshots, but they never index past their own count, and Publish's
+  // mutex release orders this write before any acquisition that can
+  // see the new count.
+  if (id % kChunkCap == 0) {
+    auto chunk = std::make_shared<Snapshot::State::Chunk>();
+    chunk->reserve(kChunkCap);
+    auto spine =
+        std::make_shared<Snapshot::State::Spine>(*cur->chunks);
+    spine->push_back(std::move(chunk));
+    next->chunks = std::move(spine);
+  }
+  next->chunks->back()->push_back(d);  // capacity reserved: no realloc
+  next->count = id + 1;
+
+  AppendId(&next->by_type[d.type], id);
+  for (auto& [name, extent] : next->extents) {
+    if (types::IsSubtype(d.type, extent.type)) {
+      AppendId(&extent.members, id);
+    }
+  }
+
+  next->epoch = cur->epoch + 1;
+  core_->Publish(std::move(next));
+  return id;
+}
+
+Status Database::RegisterExtent(const std::string& name, types::Type t) {
+  std::lock_guard<std::mutex> lock(core_->writer_mu);
+  std::shared_ptr<const Snapshot::State> cur = core_->state;
+  if (cur->extents.contains(name)) {
+    return Status::AlreadyExists("extent already registered: " + name);
+  }
+  auto next = std::make_shared<Snapshot::State>(*cur);
+  Snapshot::State::Extent extent;
+  extent.type = std::move(t);
+  for (EntryId id = 0; id < cur->count; ++id) {
+    if (types::IsSubtype(cur->Entry(id).type, extent.type)) {
+      AppendId(&extent.members, id);
+    }
+  }
+  // First registration of a syntactic type wins the exact-match slot;
+  // equivalent spellings registered later are still found by the
+  // TypeEquiv fallback in FindExtent.
+  next->extent_by_type.emplace(extent.type, name);
+  next->extents.emplace(name, std::move(extent));
+  next->epoch = cur->epoch + 1;
+  core_->Publish(std::move(next));
+  return Status::OK();
 }
 
 }  // namespace dbpl::dyndb

@@ -1,8 +1,11 @@
 #ifndef DBPL_DYNDB_DATABASE_H_
 #define DBPL_DYNDB_DATABASE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -12,6 +15,16 @@
 #include "types/type.h"
 
 namespace dbpl::dyndb {
+
+/// Tuning knobs for the Get strategies.
+struct GetOptions {
+  /// Number of worker threads to shard the scan across (via
+  /// core::ParallelFor — the same machinery as core::JoinOptions).
+  /// 1 (the default) runs inline on the calling thread. Shards are
+  /// independent and results are concatenated in shard order, so
+  /// threading changes only wall-clock time, never the result.
+  int threads = 1;
+};
 
 /// A heterogeneous database: "a list of dynamic values", as the paper
 /// constructs in Amber. Anything can be inserted — the database is
@@ -34,75 +47,199 @@ namespace dbpl::dyndb {
 ///  * `GetViaIndex` — a middle road this library adds: values are
 ///    grouped by their *principal* type, so a Get performs one subtype
 ///    check per distinct principal type instead of one per value.
+///
+/// ## Concurrency model (snapshot isolation)
+///
+/// The database is safe under any number of concurrent readers and
+/// writers. Writers serialize on a writer mutex and publish each change
+/// as a new immutable `State` (a copy-on-write of the index spines over
+/// shared append-only storage), swapped in with one pointer swap under
+/// a tiny publication mutex. Readers call `GetSnapshot()` — a
+/// constant-time shared_ptr copy under that same tiny mutex, never
+/// blocking on any writer's actual work — and then query a frozen,
+/// prefix-consistent image of the database entirely lock-free: no torn
+/// values, no half-registered extents, and `T ≤ U ⇒ Get(T) ⊆ Get(U)`
+/// holds exactly within one snapshot.
+///
+/// Reclamation is epoch-style via reference counts: every snapshot pins
+/// the `State` (and, transitively, the entry storage) it was taken
+/// from, so a long-running scan keeps its epoch alive while newer
+/// epochs supersede it; memory is reclaimed when the last snapshot of
+/// an epoch is dropped. Each published state carries a monotonically
+/// increasing `epoch()` for observability.
+///
+/// The convenience query methods on `Database` itself acquire a fresh
+/// snapshot per call; a multi-step read (e.g. a scan followed by a
+/// join, or a save to disk) should hold one `Snapshot` across the
+/// steps.
 class Database {
  public:
   /// Identifier of an inserted value (insertion order, starting at 0).
   using EntryId = uint64_t;
 
-  Database() = default;
+  /// A frozen, prefix-consistent image of the database: the first
+  /// `size()` entries ever inserted, the extents registered at
+  /// acquisition time, and the principal-type index — all immutable.
+  /// Cheap to copy (one shared pointer); safe to share across threads;
+  /// pins its storage for as long as it lives.
+  class Snapshot {
+   public:
+    /// The immutable published state a snapshot pins. Opaque (defined
+    /// in database.cc); public only so implementation helpers can name
+    /// it.
+    struct State;
 
-  /// Inserts a dynamic value. Updates every registered extent.
+    /// Number of entries visible in this snapshot.
+    size_t size() const;
+    /// The publication epoch this snapshot pinned (0 = empty database;
+    /// each insert / extent registration increments it).
+    uint64_t epoch() const;
+
+    /// Entry by id (ids below `size()` always resolve).
+    Result<Dynamic> Get(EntryId id) const;
+
+    /// All visible entries, in insertion order.
+    std::vector<Dynamic> Entries() const;
+
+    /// Strategy 1: full scan with a subtype check per value.
+    std::vector<core::Value> GetScan(const types::Type& t,
+                                     const GetOptions& opts = {}) const;
+
+    /// Strategy 2: read a maintained extent. Fails with NotFound unless
+    /// an extent was registered (before this snapshot was taken) for a
+    /// type *equivalent* to `t` — lookup is equivalence-normalizing: an
+    /// exact syntactic hit is O(log #extents), and otherwise every
+    /// extent is compared with `types::TypeEquiv`, so alpha-variants
+    /// and μ-unfoldings of a registered type are found regardless of
+    /// registration order.
+    Result<std::vector<core::Value>> GetViaExtent(const types::Type& t) const;
+
+    /// Strategy 3: principal-type index; one subtype check per distinct
+    /// principal type present in the database.
+    std::vector<core::Value> GetViaIndex(const types::Type& t,
+                                         const GetOptions& opts = {}) const;
+
+    /// Like GetScan, but returns existential packages of type
+    /// `∃t' ≤ t. t'` — the precise result type of the paper's Get.
+    std::vector<Dynamic> GetPackages(const types::Type& t) const;
+
+    /// The extent of `t` as a generalized relation (see
+    /// Database::GetRelation).
+    core::GRelation GetRelation(const types::Type& t) const;
+
+    /// `Get(t1) ⋈ Get(t2)` — both extents derived from this one
+    /// consistent image.
+    Result<core::GRelation> JoinExtents(const types::Type& t1,
+                                        const types::Type& t2,
+                                        const core::JoinOptions& opts = {})
+        const;
+
+    /// Names of extents registered when the snapshot was taken.
+    std::vector<std::string> ExtentNames() const;
+
+    /// Number of distinct principal types indexed in this snapshot.
+    size_t DistinctTypeCount() const;
+
+   private:
+    friend class Database;
+    explicit Snapshot(std::shared_ptr<const State> state)
+        : state_(std::move(state)) {}
+    std::shared_ptr<const State> state_;
+  };
+
+  Database();
+
+  /// Movable but not copyable (writers own the publication mutex). A
+  /// moved-from database must not be used again.
+  Database(Database&&) noexcept = default;
+  Database& operator=(Database&&) noexcept = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Acquires the current snapshot: one shared_ptr copy under the
+  /// publication mutex (two refcount operations). Never waits for a
+  /// writer's copy-on-write work, never observes a partial insert.
+  Snapshot GetSnapshot() const;
+
+  /// Inserts a dynamic value and updates every registered extent,
+  /// atomically: no snapshot ever sees the entry without its index and
+  /// extent postings. Writers serialize on an internal mutex.
   EntryId Insert(Dynamic d);
 
   /// Convenience: wraps and inserts a plain value.
   EntryId InsertValue(core::Value v) { return Insert(MakeDynamic(std::move(v))); }
 
-  size_t size() const { return entries_.size(); }
-  const std::vector<Dynamic>& entries() const { return entries_; }
+  /// Declares a maintained extent for `t`; entries visible at
+  /// registration are indexed immediately (one scan), later inserts
+  /// incrementally. Fails with AlreadyExists when `name` is taken.
+  Status RegisterExtent(const std::string& name, types::Type t);
+
+  // -------------------------------------------------------------------
+  // Convenience queries: each acquires a fresh snapshot per call. All
+  // are safe to call concurrently with Insert/RegisterExtent.
+  // -------------------------------------------------------------------
+
+  size_t size() const { return GetSnapshot().size(); }
+
+  /// All entries, in insertion order (a point-in-time copy).
+  std::vector<Dynamic> entries() const { return GetSnapshot().Entries(); }
 
   /// Entry by id.
-  Result<Dynamic> Get(EntryId id) const;
+  Result<Dynamic> Get(EntryId id) const { return GetSnapshot().Get(id); }
 
   /// Strategy 1: full scan with a subtype check per value.
-  std::vector<core::Value> GetScan(const types::Type& t) const;
+  std::vector<core::Value> GetScan(const types::Type& t,
+                                   const GetOptions& opts = {}) const {
+    return GetSnapshot().GetScan(t, opts);
+  }
 
-  /// Strategy 2: read a maintained extent. Fails with NotFound unless
-  /// `RegisterExtent` was called for a type equivalent to `t` before the
-  /// relevant inserts (extents register retroactively, scanning once).
-  Result<std::vector<core::Value>> GetViaExtent(const types::Type& t) const;
+  /// Strategy 2: read a maintained extent (see Snapshot::GetViaExtent).
+  Result<std::vector<core::Value>> GetViaExtent(const types::Type& t) const {
+    return GetSnapshot().GetViaExtent(t);
+  }
 
-  /// Strategy 3: principal-type index; one subtype check per distinct
-  /// principal type present in the database.
-  std::vector<core::Value> GetViaIndex(const types::Type& t) const;
+  /// Strategy 3: principal-type index.
+  std::vector<core::Value> GetViaIndex(const types::Type& t,
+                                       const GetOptions& opts = {}) const {
+    return GetSnapshot().GetViaIndex(t, opts);
+  }
 
-  /// Like GetScan, but returns existential packages of type
-  /// `∃t' ≤ t. t'` — the precise result type of the paper's Get.
-  std::vector<Dynamic> GetPackages(const types::Type& t) const;
+  /// Existential packages of type `∃t' ≤ t. t'` (the paper's Get).
+  std::vector<Dynamic> GetPackages(const types::Type& t) const {
+    return GetSnapshot().GetPackages(t);
+  }
 
   /// The extent of `t` as a generalized relation: the values `GetViaIndex`
   /// yields, admitted under the subsumption rule (so a value refining
   /// another collapses onto it). This is the bridge from the paper's
   /// derived extents to its Figure 1 algebra.
-  core::GRelation GetRelation(const types::Type& t) const;
+  core::GRelation GetRelation(const types::Type& t) const {
+    return GetSnapshot().GetRelation(t);
+  }
 
   /// The generalized natural join of two derived extents,
   /// `Get(t1) ⋈ Get(t2)`, computed with the signature-partitioned fast
-  /// path of core::GRelation::Join.
+  /// path of core::GRelation::Join — both extents taken from one
+  /// snapshot, so the join is over a single consistent image.
   Result<core::GRelation> JoinExtents(const types::Type& t1,
                                       const types::Type& t2,
-                                      const core::JoinOptions& opts = {}) const;
-
-  /// Declares a maintained extent for `t`; existing entries are indexed
-  /// immediately, later inserts incrementally.
-  Status RegisterExtent(const std::string& name, types::Type t);
+                                      const core::JoinOptions& opts = {}) const {
+    return GetSnapshot().JoinExtents(t1, t2, opts);
+  }
 
   /// Names of registered extents.
-  std::vector<std::string> ExtentNames() const;
+  std::vector<std::string> ExtentNames() const {
+    return GetSnapshot().ExtentNames();
+  }
 
   /// Number of distinct principal types currently indexed.
-  size_t DistinctTypeCount() const { return by_type_.size(); }
+  size_t DistinctTypeCount() const { return GetSnapshot().DistinctTypeCount(); }
 
  private:
-  struct Extent {
-    types::Type type;
-    std::vector<EntryId> members;
-  };
-
-  std::vector<Dynamic> entries_;
-  /// Principal type -> entries with exactly that carried type.
-  std::map<types::Type, std::vector<EntryId>, types::TypeLess> by_type_;
-  /// Named maintained extents.
-  std::map<std::string, Extent> extents_;
+  /// Writer-side shared core, held by pointer so Database stays movable
+  /// (mutexes and atomics are not).
+  struct Core;
+  std::shared_ptr<Core> core_;
 };
 
 }  // namespace dbpl::dyndb

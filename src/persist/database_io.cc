@@ -6,12 +6,13 @@
 
 namespace dbpl::persist {
 
-Status SaveDatabase(storage::Vfs* vfs, const std::string& path,
-                    const dyndb::Database& db) {
+Status SaveSnapshot(storage::Vfs* vfs, const std::string& path,
+                    const dyndb::Database::Snapshot& snap) {
   ByteBuffer out;
   serial::EncodeHeader(&out);
-  out.PutVarint(db.size());
-  for (const dyndb::Dynamic& d : db.entries()) {
+  out.PutVarint(snap.size());
+  for (dyndb::Database::EntryId id = 0; id < snap.size(); ++id) {
+    const dyndb::Dynamic d = *snap.Get(id);
     serial::EncodeType(d.type, &out);
     serial::EncodeValue(d.value, &out);
   }

@@ -9,19 +9,35 @@
 
 namespace dbpl::persist {
 
-/// Persists a whole heterogeneous database — every entry written
-/// self-describingly (value + carried type, principle P2) — to one
-/// file, atomically. Registered extents are not stored: they are
+/// Persists one snapshot of a heterogeneous database — every entry
+/// written self-describingly (value + carried type, principle P2) — to
+/// one file, atomically. Registered extents are not stored: they are
 /// *derived* state and are rebuilt by re-registering after load, which
 /// is the paper's point about extents being separable from persistence.
-Status SaveDatabase(storage::Vfs* vfs, const std::string& path,
-                    const dyndb::Database& db);
+///
+/// Because the argument is an immutable snapshot, the save is a
+/// consistent point-in-time image even while other threads keep
+/// inserting into the database the snapshot came from: the file always
+/// holds an insertion-order prefix of the database, never a torn
+/// mid-insert state.
+Status SaveSnapshot(storage::Vfs* vfs, const std::string& path,
+                    const dyndb::Database::Snapshot& snap);
+inline Status SaveSnapshot(const std::string& path,
+                           const dyndb::Database::Snapshot& snap) {
+  return SaveSnapshot(storage::Vfs::Default(), path, snap);
+}
+
+/// Convenience: acquires a snapshot of `db` and saves it.
+inline Status SaveDatabase(storage::Vfs* vfs, const std::string& path,
+                           const dyndb::Database& db) {
+  return SaveSnapshot(vfs, path, db.GetSnapshot());
+}
 inline Status SaveDatabase(const std::string& path, const dyndb::Database& db) {
   return SaveDatabase(storage::Vfs::Default(), path, db);
 }
 
-/// Loads a database written by `SaveDatabase`. Entry ids are assigned
-/// afresh in the stored order.
+/// Loads a database written by `SaveSnapshot`/`SaveDatabase`. Entry ids
+/// are assigned afresh in the stored order.
 Result<dyndb::Database> LoadDatabase(storage::Vfs* vfs,
                                      const std::string& path);
 inline Result<dyndb::Database> LoadDatabase(const std::string& path) {

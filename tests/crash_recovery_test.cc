@@ -13,8 +13,12 @@
 #include <map>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "dyndb/database.h"
+#include "dyndb/dynamic.h"
+#include "persist/database_io.h"
 #include "persist/intrinsic_store.h"
 #include "persist/replicating_store.h"
 #include "persist/schema_compat.h"
@@ -588,6 +592,76 @@ TEST(CrashMatrixTest, IntrinsicStoreRecoversCommittedPrefixAtEveryCrashPoint) {
       EXPECT_FALSE((*reopened)->HasUncommittedChanges());
     }
   }
+}
+
+// ---------------------------------------------------------------------
+// Database snapshot saves racing live inserts. The save thread persists
+// whatever snapshot it acquires while a writer keeps inserting; a crash
+// is injected into the save's I/O. Recovery must land on NotFound (no
+// complete image ever reached its rename) or on *some* consistent
+// snapshot: an insertion-order prefix with untorn, correctly-typed
+// entries — never a mix of two saves and never a torn entry.
+// ---------------------------------------------------------------------
+
+TEST(CrashMatrixTest, ConcurrentSnapshotSaveRacingInsertsRecovers) {
+  const std::string path = "crash/dyndb.img";
+  constexpr int kInserts = 192;
+
+  dyndb::Database db;
+  std::thread writer([&db] {
+    for (int i = 0; i < kInserts; ++i) {
+      db.InsertValue(Value::RecordOf(
+          {{"seq", Value::Int(i)}, {"tag", Value::String("r")}}));
+    }
+  });
+
+  // One VFS across all crash points: each completed save supersedes the
+  // previous image via the atomic rename, exactly like a long-lived
+  // checkpoint file.
+  FaultVfs vfs(0xDB5E);
+  for (uint64_t k = 1; k <= 24; ++k) {
+    Fate fate = kAllFates[k % 3];
+    SCOPED_TRACE("crash at op +" + std::to_string(k) + ", unsynced data " +
+                 FateName(fate));
+    vfs.CrashAtMutatingOp(k);
+    // Keep saving fresh snapshots (racing the writer) until the
+    // injected crash fires; it always does, since every save mutates.
+    while (persist::SaveDatabase(&vfs, path, db).ok()) {
+    }
+    ASSERT_TRUE(vfs.crashed());
+    vfs.PowerLoss(fate);
+
+    auto loaded = persist::LoadDatabase(&vfs, path);
+    if (!loaded.ok()) {
+      EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound)
+          << loaded.status();
+      continue;
+    }
+    // A recovered image is a consistent snapshot: entry i is the
+    // untorn i-th insert, carrying its type (P2), and every Get
+    // strategy agrees on it.
+    dyndb::Database::Snapshot snap = loaded->GetSnapshot();
+    ASSERT_LE(snap.size(), static_cast<size_t>(kInserts));
+    for (size_t i = 0; i < snap.size(); ++i) {
+      Result<dyndb::Dynamic> d = snap.Get(i);
+      ASSERT_TRUE(d.ok());
+      EXPECT_EQ(d->value,
+                Value::RecordOf({{"seq", Value::Int(static_cast<int64_t>(i))},
+                                 {"tag", Value::String("r")}}));
+      EXPECT_EQ(d->type, dyndb::MakeDynamic(d->value).type);
+    }
+    types::Type t = *types::ParseType("{seq: Int}");
+    EXPECT_EQ(snap.GetScan(t).size(), snap.size());
+    EXPECT_EQ(snap.GetScan(t), snap.GetViaIndex(t));
+  }
+  writer.join();
+
+  // Fault-free final save of the quiesced database round-trips exactly.
+  ASSERT_TRUE(persist::SaveDatabase(&vfs, path, db).ok());
+  auto final_loaded = persist::LoadDatabase(&vfs, path);
+  ASSERT_TRUE(final_loaded.ok()) << final_loaded.status();
+  EXPECT_EQ(final_loaded->size(), static_cast<size_t>(kInserts));
+  EXPECT_EQ(final_loaded->entries(), db.entries());
 }
 
 // ---------------------------------------------------------------------

@@ -248,5 +248,83 @@ TEST(DatabaseTest, MonotonicityOfGetAcrossHierarchy) {
   }
 }
 
+// ---------------------------------------------------------------------
+// Regression: GetViaExtent must find an extent registered under any
+// *equivalent* spelling of the query type, not only the exact syntax it
+// was registered with. (The original lookup was purely syntactic, so a
+// μ-type queried via its unfolding — or an alpha-variant — answered
+// NotFound even though the extent existed.)
+// ---------------------------------------------------------------------
+
+Type MuListT() {
+  return Type::Mu("x",
+                  Type::RecordOf({{"next", Type::Var("x")},
+                                  {"val", Type::Int()}}));
+}
+
+/// One unfolding of MuListT: {next: μx.{next: x, val: Int}, val: Int}.
+Type MuListUnfoldedT() {
+  return Type::RecordOf({{"next", MuListT()}, {"val", Type::Int()}});
+}
+
+/// An alpha-variant of MuListT (bound variable renamed).
+Type MuListAlphaT() {
+  return Type::Mu("y",
+                  Type::RecordOf({{"next", Type::Var("y")},
+                                  {"val", Type::Int()}}));
+}
+
+TEST(DatabaseTest, GetViaExtentFindsEquivalentSpellings) {
+  ASSERT_TRUE(types::TypeEquiv(MuListT(), MuListUnfoldedT()));
+  ASSERT_TRUE(types::TypeEquiv(MuListT(), MuListAlphaT()));
+
+  Database db = MakeMixedDb();
+  ASSERT_TRUE(db.RegisterExtent("mulist", MuListT()).ok());
+  // Equivalent-but-different spellings all resolve to the registered
+  // extent — empty is fine, NotFound is the bug.
+  for (const Type& q : {MuListT(), MuListUnfoldedT(), MuListAlphaT()}) {
+    Result<std::vector<Value>> got = db.GetViaExtent(q);
+    ASSERT_TRUE(got.ok()) << q.ToString() << ": " << got.status().message();
+    EXPECT_TRUE(got->empty());
+  }
+  // An inequivalent type is still NotFound.
+  EXPECT_EQ(db.GetViaExtent(EmployeeT()).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, GetViaExtentEquivalenceBothRegistrationOrders) {
+  // Register under the *unfolded* spelling, query via the folded μ and
+  // the alpha-variant — the direction the syntactic fast path cannot
+  // serve — and agreement with the other strategies holds throughout.
+  Database db;
+  ASSERT_TRUE(db.RegisterExtent("unfolded", MuListUnfoldedT()).ok());
+  db.InsertValue(Person("p1"));
+  db.InsertValue(Value::Int(3));
+  for (const Type& q : {MuListT(), MuListAlphaT(), MuListUnfoldedT()}) {
+    Result<std::vector<Value>> got = db.GetViaExtent(q);
+    ASSERT_TRUE(got.ok()) << q.ToString();
+    EXPECT_EQ(*got, db.GetScan(q)) << q.ToString();
+    EXPECT_EQ(*got, db.GetViaIndex(q)) << q.ToString();
+  }
+  // Registering the equivalent folded spelling under another name is
+  // allowed (names, not types, are the registry key).
+  EXPECT_TRUE(db.RegisterExtent("folded", MuListT()).ok());
+  EXPECT_TRUE(db.GetViaExtent(MuListAlphaT()).ok());
+}
+
+TEST(DatabaseTest, GetViaExtentExactSpellingStillFastPathCorrect) {
+  // Sanity for the exact-match fast path next to the fallback: the
+  // extent registered under PersonT answers PersonT queries with the
+  // right members after interleaved inserts.
+  Database db;
+  ASSERT_TRUE(db.RegisterExtent("persons", PersonT()).ok());
+  db.InsertValue(Person("p1"));
+  db.InsertValue(Value::String("noise"));
+  db.InsertValue(Employee("e1", 1));
+  Result<std::vector<Value>> got = db.GetViaExtent(PersonT());
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->size(), 2u);
+}
+
 }  // namespace
 }  // namespace dbpl::dyndb

@@ -23,48 +23,8 @@ namespace {
 
 using dbpl::testing::Corpus;
 using dbpl::testing::MinReduceForTest;
+using dbpl::testing::RecordCorpus;
 using dbpl::testing::Rng;
-
-/// A random partial record over attribute pool {A, B, C, D}, each
-/// attribute present with probability 1/2. A present attribute's value
-/// is ⊥ with probability `bottom_pct`/100, a nested record with
-/// probability 1/4 (when `nested`), and a small-domain atom otherwise —
-/// small domains keep pairs frequently consistent, so the join paths
-/// are all exercised.
-Value RandomPartialRecord(Rng& rng, int bottom_pct, bool nested) {
-  static const char* kNames[] = {"A", "B", "C", "D"};
-  std::vector<Value::RecordField> fields;
-  for (const char* name : kNames) {
-    if (!rng.Coin()) continue;
-    Value v;
-    if (rng.Below(100) < static_cast<uint64_t>(bottom_pct)) {
-      v = Value::Bottom();
-    } else if (nested && rng.Below(4) == 0) {
-      std::vector<Value::RecordField> inner;
-      if (rng.Coin()) {
-        inner.push_back({"x", Value::Int(static_cast<int64_t>(rng.Below(2)))});
-      }
-      if (rng.Coin()) {
-        inner.push_back({"y", Value::String(rng.Coin() ? "p" : "q")});
-      }
-      v = Value::RecordOf(std::move(inner));
-    } else {
-      v = Value::Int(static_cast<int64_t>(rng.Below(3)));
-    }
-    fields.push_back({name, std::move(v)});
-  }
-  return Value::RecordOf(std::move(fields));
-}
-
-std::vector<Value> RecordCorpus(Rng& rng, size_t n, int bottom_pct,
-                                bool nested) {
-  std::vector<Value> out;
-  out.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    out.push_back(RandomPartialRecord(rng, bottom_pct, nested));
-  }
-  return out;
-}
 
 /// Asserts the two relations are equal and both satisfy the cochain
 /// invariant.

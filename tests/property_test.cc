@@ -1,0 +1,339 @@
+// Seeded randomized property tests for the two lattices at the heart of
+// the paper — the information order on values (§ "Relations as
+// cochains") and the subtype order on types — plus the differential law
+// tying the three Get strategies of dyndb::Database together:
+//
+//   GetScan ≡ GetViaExtent ≡ GetViaIndex ≡ their parallel variants
+//
+// on any database and any query type. The generators live in
+// tests/test_util.h and are shared with partitioned_join_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/order.h"
+#include "core/value.h"
+#include "dyndb/database.h"
+#include "dyndb/dynamic.h"
+#include "test_util.h"
+#include "types/lattice.h"
+#include "types/subtype.h"
+#include "types/type.h"
+
+namespace dbpl {
+namespace {
+
+using core::Compare;
+using core::LessEq;
+using core::Value;
+using testing::Corpus;
+using testing::RandomPartialRecord;
+using testing::RandomType;
+using testing::RandomValue;
+using testing::Rng;
+using testing::TypeCorpus;
+using types::Type;
+
+// ---------------------------------------------------------------------
+// Value lattice: ⊑ is a partial order.
+// ---------------------------------------------------------------------
+
+TEST(ValueOrderLaws, Reflexive) {
+  for (const Value& v : Corpus(0xA1, 60, 3)) {
+    EXPECT_TRUE(LessEq(v, v)) << v.ToString();
+  }
+}
+
+TEST(ValueOrderLaws, Antisymmetric) {
+  std::vector<Value> vs = Corpus(0xA2, 40, 2);
+  for (const Value& a : vs) {
+    for (const Value& b : vs) {
+      if (LessEq(a, b) && LessEq(b, a)) {
+        EXPECT_EQ(a, b) << a.ToString() << " vs " << b.ToString();
+      }
+    }
+  }
+}
+
+TEST(ValueOrderLaws, Transitive) {
+  std::vector<Value> vs = Corpus(0xA3, 24, 2);
+  for (const Value& a : vs) {
+    for (const Value& b : vs) {
+      if (!LessEq(a, b)) continue;
+      for (const Value& c : vs) {
+        if (LessEq(b, c)) {
+          EXPECT_TRUE(LessEq(a, c))
+              << a.ToString() << " ⊑ " << b.ToString() << " ⊑ " << c.ToString();
+        }
+      }
+    }
+  }
+}
+
+TEST(ValueOrderLaws, BottomIsLeast) {
+  for (const Value& v : Corpus(0xA4, 60, 3)) {
+    EXPECT_TRUE(LessEq(Value::Bottom(), v));
+  }
+}
+
+// ---------------------------------------------------------------------
+// Value join ⊔ (partial: fails with Inconsistent when no upper bound).
+// ---------------------------------------------------------------------
+
+TEST(ValueJoinLaws, Idempotent) {
+  for (const Value& v : Corpus(0xB1, 60, 3)) {
+    Result<Value> j = core::Join(v, v);
+    ASSERT_TRUE(j.ok()) << v.ToString();
+    EXPECT_EQ(*j, v);
+  }
+}
+
+TEST(ValueJoinLaws, Commutative) {
+  std::vector<Value> vs = Corpus(0xB2, 30, 2);
+  for (const Value& a : vs) {
+    for (const Value& b : vs) {
+      Result<Value> ab = core::Join(a, b);
+      Result<Value> ba = core::Join(b, a);
+      ASSERT_EQ(ab.ok(), ba.ok()) << a.ToString() << " ⊔ " << b.ToString();
+      if (ab.ok()) EXPECT_EQ(*ab, *ba);
+    }
+  }
+}
+
+TEST(ValueJoinLaws, Associative) {
+  // When both groupings are defined they agree. (One grouping may fail
+  // while the other succeeds only through an intermediate inconsistency,
+  // so definedness itself is compared only when all pairwise joins
+  // exist.)
+  std::vector<Value> vs = Corpus(0xB3, 14, 2);
+  for (const Value& a : vs) {
+    for (const Value& b : vs) {
+      for (const Value& c : vs) {
+        Result<Value> ab = core::Join(a, b);
+        Result<Value> bc = core::Join(b, c);
+        if (!ab.ok() || !bc.ok()) continue;
+        Result<Value> left = core::Join(*ab, c);
+        Result<Value> right = core::Join(a, *bc);
+        ASSERT_EQ(left.ok(), right.ok())
+            << a.ToString() << ", " << b.ToString() << ", " << c.ToString();
+        if (left.ok()) EXPECT_EQ(*left, *right);
+      }
+    }
+  }
+}
+
+TEST(ValueJoinLaws, JoinIsLeastUpperBound) {
+  std::vector<Value> vs = Corpus(0xB4, 22, 2);
+  for (const Value& a : vs) {
+    for (const Value& b : vs) {
+      Result<Value> j = core::Join(a, b);
+      if (!j.ok()) continue;
+      EXPECT_TRUE(LessEq(a, *j));
+      EXPECT_TRUE(LessEq(b, *j));
+      // Least: any upper bound in the corpus dominates the join.
+      for (const Value& c : vs) {
+        if (LessEq(a, c) && LessEq(b, c)) {
+          EXPECT_TRUE(LessEq(*j, c))
+              << a.ToString() << " ⊔ " << b.ToString() << " vs " << c.ToString();
+        }
+      }
+    }
+  }
+}
+
+TEST(ValueJoinLaws, UpperBoundImpliesJoinExists) {
+  // The adjoint direction: if some c bounds both a and b then a ⊔ b is
+  // defined (and ⊑ c, checked above).
+  std::vector<Value> vs = Corpus(0xB5, 22, 2);
+  for (const Value& a : vs) {
+    for (const Value& b : vs) {
+      for (const Value& c : vs) {
+        if (LessEq(a, c) && LessEq(b, c)) {
+          EXPECT_TRUE(core::Join(a, b).ok())
+              << a.ToString() << " ⊔ " << b.ToString() << " under "
+              << c.ToString();
+          break;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Value meet ⊓ (total) and the meet/join adjointness.
+// ---------------------------------------------------------------------
+
+TEST(ValueMeetLaws, MeetIsGreatestLowerBound) {
+  std::vector<Value> vs = Corpus(0xC1, 22, 2);
+  for (const Value& a : vs) {
+    for (const Value& b : vs) {
+      Value m = core::Meet(a, b);
+      EXPECT_TRUE(LessEq(m, a)) << m.ToString() << " vs " << a.ToString();
+      EXPECT_TRUE(LessEq(m, b)) << m.ToString() << " vs " << b.ToString();
+      // Adjointness: c ⊑ a ∧ c ⊑ b  ⟺  c ⊑ a ⊓ b.
+      for (const Value& c : vs) {
+        EXPECT_EQ(LessEq(c, a) && LessEq(c, b), LessEq(c, m))
+            << c.ToString() << " under " << a.ToString() << " ⊓ "
+            << b.ToString();
+      }
+    }
+  }
+}
+
+TEST(ValueMeetLaws, IdempotentAndCommutative) {
+  std::vector<Value> vs = Corpus(0xC2, 30, 2);
+  for (const Value& a : vs) {
+    EXPECT_EQ(core::Meet(a, a), a);
+    for (const Value& b : vs) {
+      EXPECT_EQ(core::Meet(a, b), core::Meet(b, a));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Type lattice: ≤ is a preorder whose kernel is TypeEquiv; Lub/Glb are
+// bounds.
+// ---------------------------------------------------------------------
+
+TEST(TypeOrderLaws, ReflexiveAndKernelIsEquiv) {
+  std::vector<Type> ts = TypeCorpus(0xD1, 40, 2);
+  for (const Type& t : ts) {
+    EXPECT_TRUE(types::IsSubtype(t, t)) << t.ToString();
+  }
+  for (const Type& a : ts) {
+    for (const Type& b : ts) {
+      EXPECT_EQ(types::IsSubtype(a, b) && types::IsSubtype(b, a),
+                types::TypeEquiv(a, b))
+          << a.ToString() << " vs " << b.ToString();
+    }
+  }
+}
+
+TEST(TypeOrderLaws, Transitive) {
+  std::vector<Type> ts = TypeCorpus(0xD2, 20, 2);
+  for (const Type& a : ts) {
+    for (const Type& b : ts) {
+      if (!types::IsSubtype(a, b)) continue;
+      for (const Type& c : ts) {
+        if (types::IsSubtype(b, c)) {
+          EXPECT_TRUE(types::IsSubtype(a, c))
+              << a.ToString() << " ≤ " << b.ToString() << " ≤ " << c.ToString();
+        }
+      }
+    }
+  }
+}
+
+TEST(TypeOrderLaws, TopAndBottomBound) {
+  for (const Type& t : TypeCorpus(0xD3, 40, 2)) {
+    EXPECT_TRUE(types::IsSubtype(t, Type::Top())) << t.ToString();
+    EXPECT_TRUE(types::IsSubtype(Type::Bottom(), t)) << t.ToString();
+  }
+}
+
+TEST(TypeLatticeLaws, LubIsUpperBoundAndCommutes) {
+  std::vector<Type> ts = TypeCorpus(0xD4, 18, 2);
+  for (const Type& a : ts) {
+    for (const Type& b : ts) {
+      Type lub = types::Lub(a, b);
+      EXPECT_TRUE(types::IsSubtype(a, lub))
+          << a.ToString() << " vs lub " << lub.ToString();
+      EXPECT_TRUE(types::IsSubtype(b, lub))
+          << b.ToString() << " vs lub " << lub.ToString();
+      EXPECT_TRUE(types::TypeEquiv(lub, types::Lub(b, a)));
+    }
+  }
+}
+
+TEST(TypeLatticeLaws, GlbIsLowerBoundAndAgreesWithConsistency) {
+  std::vector<Type> ts = TypeCorpus(0xD5, 18, 2);
+  for (const Type& a : ts) {
+    for (const Type& b : ts) {
+      Result<Type> glb = types::Glb(a, b);
+      EXPECT_EQ(glb.ok(), types::ConsistentTypes(a, b))
+          << a.ToString() << " ⊓ " << b.ToString();
+      if (glb.ok()) {
+        EXPECT_TRUE(types::IsSubtype(*glb, a));
+        EXPECT_TRUE(types::IsSubtype(*glb, b));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Differential law over the database: every Get strategy computes the
+// same multiset, sequentially and sharded.
+// ---------------------------------------------------------------------
+
+std::vector<Value> Sorted(std::vector<Value> vs) {
+  std::sort(vs.begin(), vs.end(),
+            [](const Value& a, const Value& b) { return Compare(a, b) < 0; });
+  return vs;
+}
+
+TEST(GetDifferential, AllStrategiesAgreeOnRandomDatabases) {
+  Rng rng(0xF1);
+  for (int trial = 0; trial < 8; ++trial) {
+    dyndb::Database db;
+    // Query types: a few random ones plus Top (matches everything) and
+    // a record type the partial-record generator frequently inhabits.
+    std::vector<Type> queries = TypeCorpus(0x100 + trial, 4, 1);
+    queries.push_back(Type::Top());
+    queries.push_back(Type::RecordOf({{"A", Type::Int()}}));
+    for (size_t q = 0; q < queries.size(); ++q) {
+      ASSERT_TRUE(
+          db.RegisterExtent("q" + std::to_string(q), queries[q]).ok());
+    }
+    // Mixed population: generic random values and partial records.
+    for (int i = 0; i < 64; ++i) {
+      db.InsertValue(rng.Coin() ? RandomValue(rng, 2)
+                                : RandomPartialRecord(rng, 25, true));
+    }
+
+    dyndb::Database::Snapshot snap = db.GetSnapshot();
+    for (size_t q = 0; q < queries.size(); ++q) {
+      const Type& t = queries[q];
+      std::vector<Value> scan = Sorted(snap.GetScan(t));
+      Result<std::vector<Value>> extent = snap.GetViaExtent(t);
+      ASSERT_TRUE(extent.ok()) << t.ToString();
+      EXPECT_EQ(scan, Sorted(*extent)) << t.ToString();
+      EXPECT_EQ(scan, Sorted(snap.GetViaIndex(t))) << t.ToString();
+      // Parallel variants must be *identical* (not just equal as
+      // multisets) to their sequential counterparts — sharding is
+      // order-preserving.
+      for (int threads : {2, 4}) {
+        dyndb::GetOptions opts{.threads = threads};
+        EXPECT_EQ(snap.GetScan(t), snap.GetScan(t, opts)) << t.ToString();
+        EXPECT_EQ(snap.GetViaIndex(t), snap.GetViaIndex(t, opts))
+            << t.ToString();
+      }
+    }
+  }
+}
+
+TEST(GetDifferential, SubtypeImpliesExtentContainment) {
+  // The paper's central claim, on random data: T ≤ U ⇒ Get(T) ⊆ Get(U)
+  // within one snapshot (as multisets).
+  Rng rng(0xF2);
+  dyndb::Database db;
+  for (int i = 0; i < 96; ++i) db.InsertValue(RandomValue(rng, 2));
+  std::vector<Type> ts = TypeCorpus(0xF3, 12, 2);
+  dyndb::Database::Snapshot snap = db.GetSnapshot();
+  for (const Type& t : ts) {
+    for (const Type& u : ts) {
+      if (!types::IsSubtype(t, u)) continue;
+      std::vector<Value> sub = Sorted(snap.GetScan(t));
+      std::vector<Value> sup = Sorted(snap.GetScan(u));
+      EXPECT_TRUE(std::includes(
+          sup.begin(), sup.end(), sub.begin(), sub.end(),
+          [](const Value& a, const Value& b) { return Compare(a, b) < 0; }))
+          << t.ToString() << " ≤ " << u.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dbpl

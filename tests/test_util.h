@@ -135,6 +135,48 @@ inline core::Value RandomRecord(Rng& rng) {
   return core::Value::RecordOf(std::move(fields));
 }
 
+/// A random partial record over attribute pool {A, B, C, D}, each
+/// attribute present with probability 1/2. A present attribute's value
+/// is ⊥ with probability `bottom_pct`/100, a nested record with
+/// probability 1/4 (when `nested`), and a small-domain atom otherwise —
+/// small domains keep pairs frequently consistent, so join paths are
+/// all exercised.
+inline core::Value RandomPartialRecord(Rng& rng, int bottom_pct, bool nested) {
+  static const char* kNames[] = {"A", "B", "C", "D"};
+  std::vector<core::Value::RecordField> fields;
+  for (const char* name : kNames) {
+    if (!rng.Coin()) continue;
+    core::Value v;
+    if (rng.Below(100) < static_cast<uint64_t>(bottom_pct)) {
+      v = core::Value::Bottom();
+    } else if (nested && rng.Below(4) == 0) {
+      std::vector<core::Value::RecordField> inner;
+      if (rng.Coin()) {
+        inner.push_back(
+            {"x", core::Value::Int(static_cast<int64_t>(rng.Below(2)))});
+      }
+      if (rng.Coin()) {
+        inner.push_back({"y", core::Value::String(rng.Coin() ? "p" : "q")});
+      }
+      v = core::Value::RecordOf(std::move(inner));
+    } else {
+      v = core::Value::Int(static_cast<int64_t>(rng.Below(3)));
+    }
+    fields.push_back({name, std::move(v)});
+  }
+  return core::Value::RecordOf(std::move(fields));
+}
+
+inline std::vector<core::Value> RecordCorpus(Rng& rng, size_t n, int bottom_pct,
+                                             bool nested) {
+  std::vector<core::Value> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(RandomPartialRecord(rng, bottom_pct, nested));
+  }
+  return out;
+}
+
 /// Generates a pseudo-random structural type with nesting `depth`.
 /// Quantifiers are excluded (their kernel subtyping rules make the
 /// algebraic property tests subtler than the corpus warrants); Mu

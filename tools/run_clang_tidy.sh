@@ -23,7 +23,10 @@ if [ ! -f "$build_dir/compile_commands.json" ]; then
   exit 77
 fi
 
-files=$(find "$repo_root/src" "$repo_root/tools" -name '*.cc' | sort)
+# src/ covers every library (including src/dyndb and src/core/parallel);
+# bench/ is included so the benchmark harnesses stay lint-clean too.
+files=$(find "$repo_root/src" "$repo_root/tools" "$repo_root/bench" \
+             -name '*.cc' | sort)
 
 status=0
 for f in $files; do
