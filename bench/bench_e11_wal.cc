@@ -1,0 +1,278 @@
+// E11 — write-ahead durability (DESIGN.md §9, EXPERIMENTS.md §E11).
+//
+// The claim under test: with persist::WalDatabase the cost of making
+// one insert durable is O(1) — append a redo record + commit marker and
+// fsync — independent of how large the database already is, whereas the
+// snapshot model (persist::SaveDatabase) rewrites the whole image, so
+// its per-insert durability cost grows with n.
+//
+//  * BM_WalInsertCommit        — insert + synced commit per iteration,
+//    against a database pre-seeded with n entries. Flat in n.
+//  * BM_WalInsertGroupCommit   — the same with CommitPolicy{every_n},
+//    amortizing the marker + fsync over a batch (every_n 1/16/128).
+//  * BM_SnapshotSaveAfterInsert — the baseline: insert, then persist by
+//    rewriting the whole snapshot. Linear in n.
+//  * BM_WalCheckpoint          — the cost WalDatabase pays *once per
+//    checkpoint* (not per insert) to bound log growth: save the
+//    snapshot and rotate the log.
+//
+// All I/O goes through the production VFS into a fresh temp directory
+// per run. This binary has its own main: besides the console output it
+// writes BENCH_E11.json (override with DBPL_BENCH_E11_JSON) with one
+// record per run — name, n, every_n, ns_per_op — so the EXPERIMENTS.md
+// §E11 table can be regenerated mechanically.
+
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/value.h"
+#include "dyndb/database.h"
+#include "persist/database_io.h"
+#include "persist/wal_database.h"
+
+namespace {
+
+using dbpl::core::Value;
+using dbpl::dyndb::Database;
+using dbpl::persist::CommitPolicy;
+using dbpl::persist::WalDatabase;
+
+Value MakeRec(int64_t i) {
+  return Value::RecordOf({{"seq", Value::Int(i)},
+                          {"name", Value::String("r" + std::to_string(i % 97))},
+                          {"flag", Value::Bool((i & 1) != 0)}});
+}
+
+std::string FreshDir() {
+  static int counter = 0;
+  std::string dir = std::filesystem::temp_directory_path() /
+                    ("dbpl_bench_e11_" + std::to_string(::getpid()) + "_" +
+                     std::to_string(counter++));
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// Per-run context: a WAL database pre-seeded with n entries and then
+/// checkpointed, so the measured loop starts from an empty log.
+struct Ctx {
+  std::string dir;
+  std::unique_ptr<WalDatabase> wdb;
+  Database db;  // for the snapshot-save baseline
+  int64_t next = 0;
+};
+
+Ctx* g_ctx = nullptr;
+
+void SetupWal(const benchmark::State& state, CommitPolicy policy) {
+  g_ctx = new Ctx;
+  g_ctx->dir = FreshDir();
+  auto wdb = WalDatabase::Open(g_ctx->dir, policy);
+  if (!wdb.ok()) {
+    std::cerr << "bench_e11: open failed: " << wdb.status() << "\n";
+    std::abort();
+  }
+  g_ctx->wdb = std::move(*wdb);
+  const int64_t n = state.range(0);
+  for (int64_t i = 0; i < n; ++i) {
+    (void)g_ctx->wdb->InsertValue(MakeRec(i));
+  }
+  if (!g_ctx->wdb->Checkpoint().ok()) std::abort();
+  g_ctx->next = n;
+}
+
+void SetupWalSynced(const benchmark::State& state) {
+  SetupWal(state, CommitPolicy{1, true});
+}
+
+void SetupWalGrouped(const benchmark::State& state) {
+  SetupWal(state, CommitPolicy{static_cast<uint64_t>(state.range(1)), true});
+}
+
+void SetupSnapshotBaseline(const benchmark::State& state) {
+  g_ctx = new Ctx;
+  g_ctx->dir = FreshDir();
+  std::filesystem::create_directories(g_ctx->dir);
+  const int64_t n = state.range(0);
+  for (int64_t i = 0; i < n; ++i) g_ctx->db.InsertValue(MakeRec(i));
+  g_ctx->next = n;
+}
+
+void Teardown(const benchmark::State&) {
+  g_ctx->wdb.reset();
+  std::filesystem::remove_all(g_ctx->dir);
+  delete g_ctx;
+  g_ctx = nullptr;
+}
+
+void BM_WalInsertCommit(benchmark::State& state) {
+  for (auto _ : state) {
+    auto id = g_ctx->wdb->InsertValue(MakeRec(g_ctx->next++));
+    if (!id.ok()) {
+      state.SkipWithError("insert failed");
+      return;
+    }
+  }
+  state.counters["n"] = static_cast<double>(state.range(0));
+  state.counters["every_n"] = 1;
+  state.counters["commits_per_sec"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+
+void BM_WalInsertGroupCommit(benchmark::State& state) {
+  for (auto _ : state) {
+    auto id = g_ctx->wdb->InsertValue(MakeRec(g_ctx->next++));
+    if (!id.ok()) {
+      state.SkipWithError("insert failed");
+      return;
+    }
+  }
+  // Close the open batch so every measured insert is eventually durable.
+  if (!g_ctx->wdb->Commit().ok()) state.SkipWithError("final commit failed");
+  state.counters["n"] = static_cast<double>(state.range(0));
+  state.counters["every_n"] = static_cast<double>(state.range(1));
+  state.counters["commits_per_sec"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+
+void BM_SnapshotSaveAfterInsert(benchmark::State& state) {
+  const std::string path = g_ctx->dir + "/image.dbpl";
+  for (auto _ : state) {
+    g_ctx->db.InsertValue(MakeRec(g_ctx->next++));
+    if (!dbpl::persist::SaveDatabase(path, g_ctx->db).ok()) {
+      state.SkipWithError("save failed");
+      return;
+    }
+  }
+  state.counters["n"] = static_cast<double>(state.range(0));
+  state.counters["every_n"] = 1;
+  state.counters["commits_per_sec"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+
+void BM_WalCheckpoint(benchmark::State& state) {
+  for (auto _ : state) {
+    // Each iteration logs one insert and then pays the full checkpoint:
+    // snapshot save + log rotation at size ~n.
+    (void)g_ctx->wdb->InsertValue(MakeRec(g_ctx->next++));
+    if (!g_ctx->wdb->Checkpoint().ok()) {
+      state.SkipWithError("checkpoint failed");
+      return;
+    }
+  }
+  state.counters["n"] = static_cast<double>(state.range(0));
+  state.counters["every_n"] = 1;
+}
+
+/// Console reporter that also collects every run and dumps them as a
+/// JSON array when the binary exits (same scheme as bench_e10).
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      Record rec;
+      rec.name = run.benchmark_name();
+      rec.ns_per_op =
+          run.iterations > 0
+              ? run.real_accumulated_time / static_cast<double>(run.iterations) *
+                    1e9
+              : 0.0;
+      rec.n = Counter(run, "n");
+      rec.every_n = CounterOr(run, "every_n", 1.0);
+      rec.commits_per_sec = Counter(run, "commits_per_sec");
+      records_.push_back(std::move(rec));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  void WriteJson(const std::string& path) const {
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+      std::cerr << "bench_e11: cannot open " << path << " for writing\n";
+      return;
+    }
+    out << "[\n";
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      std::string variant = r.name.substr(0, r.name.find('/'));
+      out << "  {\"name\": \"" << r.name << "\", \"variant\": \"" << variant
+          << "\", \"n\": " << static_cast<int64_t>(r.n)
+          << ", \"every_n\": " << static_cast<int64_t>(r.every_n)
+          << ", \"ns_per_op\": " << r.ns_per_op
+          << ", \"commits_per_sec\": " << r.commits_per_sec << "}"
+          << (i + 1 < records_.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+  }
+
+ private:
+  struct Record {
+    std::string name;
+    double n = 0, every_n = 1, ns_per_op = 0, commits_per_sec = 0;
+  };
+
+  static double Counter(const Run& run, const char* key) {
+    return CounterOr(run, key, 0.0);
+  }
+  static double CounterOr(const Run& run, const char* key, double fallback) {
+    auto it = run.counters.find(key);
+    return it == run.counters.end() ? fallback
+                                    : static_cast<double>(it->second.value);
+  }
+
+  std::vector<Record> records_;
+};
+
+}  // namespace
+
+BENCHMARK(BM_WalInsertCommit)
+    ->Arg(256)
+    ->Arg(4096)
+    ->Arg(32768)
+    ->UseRealTime()
+    ->Setup(SetupWalSynced)
+    ->Teardown(Teardown);
+BENCHMARK(BM_WalInsertGroupCommit)
+    ->ArgsProduct({{4096}, {1, 16, 128}})
+    ->UseRealTime()
+    ->Setup(SetupWalGrouped)
+    ->Teardown(Teardown);
+BENCHMARK(BM_SnapshotSaveAfterInsert)
+    ->Arg(256)
+    ->Arg(4096)
+    ->Arg(32768)
+    ->UseRealTime()
+    ->Setup(SetupSnapshotBaseline)
+    ->Teardown(Teardown)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_WalCheckpoint)
+    ->Arg(256)
+    ->Arg(4096)
+    ->Arg(32768)
+    ->UseRealTime()
+    ->Setup(SetupWalSynced)
+    ->Teardown(Teardown)
+    ->Unit(benchmark::kMicrosecond);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonTeeReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  const char* path = std::getenv("DBPL_BENCH_E11_JSON");
+  reporter.WriteJson(path != nullptr ? path : "BENCH_E11.json");
+  return 0;
+}

@@ -32,6 +32,9 @@ enum class StatusCode {
   kIoError,
   /// The operation is not supported for this value/type/store.
   kUnsupported,
+  /// The object is in a state where this operation can never succeed
+  /// (e.g. a log writer poisoned by a torn append); recreate it first.
+  kFailedPrecondition,
   /// An internal invariant was violated (a bug in this library).
   kInternal,
 };
@@ -75,6 +78,9 @@ class [[nodiscard]] Status {
   }
   static Status Unsupported(std::string msg) {
     return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -72,6 +72,10 @@ struct Database::Core {
   mutable std::mutex state_mu;
   std::shared_ptr<const Snapshot::State> state;
 
+  /// Invoked under writer_mu, before Publish (see SetWriteObserver).
+  /// Only touched with writer_mu held, so writers never race on it.
+  WriteObserver observer;
+
   std::shared_ptr<const Snapshot::State> Acquire() const {
     std::lock_guard<std::mutex> lock(state_mu);
     return state;
@@ -264,6 +268,16 @@ std::vector<std::string> Database::Snapshot::ExtentNames() const {
   return out;
 }
 
+std::vector<std::pair<std::string, types::Type>> Database::Snapshot::Extents()
+    const {
+  std::vector<std::pair<std::string, types::Type>> out;
+  out.reserve(state_->extents.size());
+  for (const auto& [name, extent] : state_->extents) {
+    out.emplace_back(name, extent.type);
+  }
+  return out;
+}
+
 size_t Database::Snapshot::DistinctTypeCount() const {
   return state_->by_type.size();
 }
@@ -312,6 +326,14 @@ Database::EntryId Database::Insert(Dynamic d) {
   }
 
   next->epoch = cur->epoch + 1;
+  if (core_->observer) {
+    WriteEvent ev;
+    ev.kind = WriteEvent::Kind::kInsert;
+    ev.epoch = next->epoch;
+    ev.id = id;
+    ev.entry = &next->chunks->back()->back();
+    core_->observer(ev);
+  }
   core_->Publish(std::move(next));
   return id;
 }
@@ -334,10 +356,23 @@ Status Database::RegisterExtent(const std::string& name, types::Type t) {
   // equivalent spellings registered later are still found by the
   // TypeEquiv fallback in FindExtent.
   next->extent_by_type.emplace(extent.type, name);
-  next->extents.emplace(name, std::move(extent));
+  auto inserted = next->extents.emplace(name, std::move(extent));
   next->epoch = cur->epoch + 1;
+  if (core_->observer) {
+    WriteEvent ev;
+    ev.kind = WriteEvent::Kind::kRegisterExtent;
+    ev.epoch = next->epoch;
+    ev.extent_name = &inserted.first->first;
+    ev.extent_type = &inserted.first->second.type;
+    core_->observer(ev);
+  }
   core_->Publish(std::move(next));
   return Status::OK();
+}
+
+void Database::SetWriteObserver(WriteObserver observer) {
+  std::lock_guard<std::mutex> lock(core_->writer_mu);
+  core_->observer = std::move(observer);
 }
 
 }  // namespace dbpl::dyndb

@@ -3,10 +3,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -137,6 +139,13 @@ class Database {
     /// Names of extents registered when the snapshot was taken.
     std::vector<std::string> ExtentNames() const;
 
+    /// Registered extents visible in this snapshot as (name, declared
+    /// type) pairs, sorted by name. Membership is *derived* state and
+    /// deliberately not included: re-registering the same (name, type)
+    /// pairs on another database reproduces it (the checkpoint
+    /// plumbing in persist/database_io relies on this).
+    std::vector<std::pair<std::string, types::Type>> Extents() const;
+
     /// Number of distinct principal types indexed in this snapshot.
     size_t DistinctTypeCount() const;
 
@@ -173,6 +182,33 @@ class Database {
   /// registration are indexed immediately (one scan), later inserts
   /// incrementally. Fails with AlreadyExists when `name` is taken.
   Status RegisterExtent(const std::string& name, types::Type t);
+
+  /// One mutation on the writer path, delivered to the write observer.
+  /// The pointers alias writer-owned storage and are valid only for
+  /// the duration of the callback — copy what must outlive it.
+  struct WriteEvent {
+    enum class Kind : uint8_t { kInsert, kRegisterExtent };
+    Kind kind = Kind::kInsert;
+    /// The epoch this mutation publishes.
+    uint64_t epoch = 0;
+    /// kInsert: the new entry's id and its self-describing value.
+    EntryId id = 0;
+    const Dynamic* entry = nullptr;
+    /// kRegisterExtent: the extent's name and declared type.
+    const std::string* extent_name = nullptr;
+    const types::Type* extent_type = nullptr;
+  };
+  using WriteObserver = std::function<void(const WriteEvent&)>;
+
+  /// Installs (or, with nullptr, clears) the single write observer.
+  /// The observer is invoked on the writer thread, under the writer
+  /// mutex, *before* the mutation is published to readers — so
+  /// observers see mutations in exactly the serialization order, and a
+  /// write-ahead log that appends in the callback is never behind the
+  /// published state (see persist::WalDatabase). The observer must not
+  /// call back into this database's write path (deadlock) and should
+  /// be fast: every writer pays its cost. Readers are unaffected.
+  void SetWriteObserver(WriteObserver observer);
 
   // -------------------------------------------------------------------
   // Convenience queries: each acquires a fresh snapshot per call. All

@@ -35,4 +35,45 @@ Result<dyndb::Database> LoadDatabase(storage::Vfs* vfs,
   return db;
 }
 
+Status SaveCheckpoint(storage::Vfs* vfs, const std::string& path,
+                      const dyndb::Database::Snapshot& snap) {
+  ByteBuffer out;
+  serial::EncodeHeader(&out);
+  const auto extents = snap.Extents();
+  out.PutVarint(extents.size());
+  for (const auto& [name, type] : extents) {
+    out.PutString(name);
+    serial::EncodeType(type, &out);
+  }
+  out.PutVarint(snap.size());
+  for (dyndb::Database::EntryId id = 0; id < snap.size(); ++id) {
+    const dyndb::Dynamic d = *snap.Get(id);
+    serial::EncodeType(d.type, &out);
+    serial::EncodeValue(d.value, &out);
+  }
+  return WriteFileAtomic(vfs, path, out);
+}
+
+Result<dyndb::Database> LoadCheckpoint(storage::Vfs* vfs,
+                                       const std::string& path) {
+  DBPL_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFileBytes(vfs, path));
+  ByteReader in(bytes.data(), bytes.size());
+  DBPL_RETURN_IF_ERROR(serial::DecodeHeader(&in));
+  dyndb::Database db;
+  DBPL_ASSIGN_OR_RETURN(uint64_t n_extents, in.ReadVarint());
+  for (uint64_t i = 0; i < n_extents; ++i) {
+    DBPL_ASSIGN_OR_RETURN(std::string name, in.ReadString());
+    DBPL_ASSIGN_OR_RETURN(types::Type type, serial::DecodeType(&in));
+    DBPL_RETURN_IF_ERROR(db.RegisterExtent(name, std::move(type)));
+  }
+  DBPL_ASSIGN_OR_RETURN(uint64_t count, in.ReadVarint());
+  for (uint64_t i = 0; i < count; ++i) {
+    DBPL_ASSIGN_OR_RETURN(types::Type type, serial::DecodeType(&in));
+    DBPL_ASSIGN_OR_RETURN(core::Value value, serial::DecodeValue(&in));
+    db.Insert(dyndb::Dynamic{std::move(value), std::move(type)});
+  }
+  if (!in.AtEnd()) return Status::Corruption("trailing bytes in checkpoint");
+  return db;
+}
+
 }  // namespace dbpl::persist

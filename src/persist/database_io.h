@@ -44,6 +44,23 @@ inline Result<dyndb::Database> LoadDatabase(const std::string& path) {
   return LoadDatabase(storage::Vfs::Default(), path);
 }
 
+/// Persists a snapshot *plus its registered-extent table* — the
+/// checkpoint format of the write-ahead durability layer
+/// (persist::WalDatabase). Unlike `SaveSnapshot`, the extent
+/// declarations are stored (as (name, type) pairs, not their derived
+/// membership) so recovery restores them without replaying the whole
+/// registration history. Written atomically via the tmp/sync/rename
+/// protocol; a crash mid-checkpoint leaves any previous one intact.
+Status SaveCheckpoint(storage::Vfs* vfs, const std::string& path,
+                      const dyndb::Database::Snapshot& snap);
+
+/// Loads a checkpoint written by `SaveCheckpoint`: extents are
+/// re-registered first (cheap, the database is still empty), then the
+/// entries are re-inserted in stored order, rebuilding every extent's
+/// membership incrementally.
+Result<dyndb::Database> LoadCheckpoint(storage::Vfs* vfs,
+                                       const std::string& path);
+
 }  // namespace dbpl::persist
 
 #endif  // DBPL_PERSIST_DATABASE_IO_H_

@@ -1,0 +1,61 @@
+#include "persist/wal.h"
+
+#include <utility>
+
+#include "common/bytes.h"
+#include "serial/decoder.h"
+#include "serial/encoder.h"
+
+namespace dbpl::persist {
+
+storage::LogRecord EncodeWalRecord(const WalRecord& record) {
+  ByteBuffer body;
+  body.PutU8(static_cast<uint8_t>(record.op));
+  switch (record.op) {
+    case WalOp::kInsert:
+      body.PutVarint(record.id);
+      serial::EncodeDynamic(record.entry, &body);
+      break;
+    case WalOp::kRegisterExtent:
+      body.PutString(record.extent_name);
+      serial::EncodeHeader(&body);
+      serial::EncodeType(record.extent_type, &body);
+      break;
+  }
+  storage::LogRecord out;
+  out.type = storage::LogRecordType::kPut;
+  out.value.assign(reinterpret_cast<const char*>(body.data()), body.size());
+  return out;
+}
+
+Result<WalRecord> DecodeWalRecord(const storage::LogRecord& record) {
+  if (record.type != storage::LogRecordType::kPut || !record.key.empty()) {
+    return Status::Corruption("log frame is not a WAL redo record");
+  }
+  ByteReader in(record.value);
+  DBPL_ASSIGN_OR_RETURN(uint8_t op, in.ReadU8());
+  WalRecord out;
+  switch (static_cast<WalOp>(op)) {
+    case WalOp::kInsert: {
+      out.op = WalOp::kInsert;
+      DBPL_ASSIGN_OR_RETURN(out.id, in.ReadVarint());
+      DBPL_ASSIGN_OR_RETURN(out.entry, serial::DecodeDynamic(&in));
+      break;
+    }
+    case WalOp::kRegisterExtent: {
+      out.op = WalOp::kRegisterExtent;
+      DBPL_ASSIGN_OR_RETURN(out.extent_name, in.ReadString());
+      DBPL_RETURN_IF_ERROR(serial::DecodeHeader(&in));
+      DBPL_ASSIGN_OR_RETURN(out.extent_type, serial::DecodeType(&in));
+      break;
+    }
+    default:
+      return Status::Corruption("unknown WAL op " + std::to_string(op));
+  }
+  if (!in.AtEnd()) {
+    return Status::Corruption("trailing bytes in WAL redo record");
+  }
+  return out;
+}
+
+}  // namespace dbpl::persist

@@ -1,0 +1,51 @@
+#ifndef DBPL_PERSIST_WAL_H_
+#define DBPL_PERSIST_WAL_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "dyndb/database.h"
+#include "dyndb/dynamic.h"
+#include "storage/log.h"
+#include "types/type.h"
+
+namespace dbpl::persist {
+
+/// What a redo record re-does at recovery.
+enum class WalOp : uint8_t {
+  /// Re-insert one entry (value + carried type, principle P2).
+  kInsert = 1,
+  /// Re-register one maintained extent (name + declared type).
+  kRegisterExtent = 2,
+};
+
+/// One redo record of the database write-ahead log. Insert records are
+/// *self-describing*: the entry is encoded with serial::EncodeDynamic
+/// (format header, type, value), so the type description persists with
+/// the value and recovery can never replay bytes under the wrong type.
+struct WalRecord {
+  WalOp op = WalOp::kInsert;
+  /// kInsert: the id the entry held when written. Recovery uses it to
+  /// skip records already covered by a checkpoint (id < checkpoint
+  /// size) and to detect gaps.
+  dyndb::Database::EntryId id = 0;
+  /// kInsert: the entry itself.
+  dyndb::Dynamic entry;
+  /// kRegisterExtent: the extent's name and declared type.
+  std::string extent_name;
+  types::Type extent_type;
+};
+
+/// Packs a redo record into a storage::LogRecord (always a kPut frame;
+/// the WAL's own commit markers are plain kCommit frames). The CRC
+/// framing, torn-tail detection and commit semantics all come from the
+/// underlying storage::Log{Writer,Reader}.
+storage::LogRecord EncodeWalRecord(const WalRecord& record);
+
+/// Unpacks a redo record; Corruption on anything EncodeWalRecord could
+/// not have produced (wrong frame type, unknown op, bad payload).
+Result<WalRecord> DecodeWalRecord(const storage::LogRecord& record);
+
+}  // namespace dbpl::persist
+
+#endif  // DBPL_PERSIST_WAL_H_

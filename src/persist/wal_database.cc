@@ -1,0 +1,252 @@
+#include "persist/wal_database.h"
+
+#include <utility>
+#include <vector>
+
+#include "persist/database_io.h"
+#include "persist/wal.h"
+
+namespace dbpl::persist {
+
+using dyndb::Database;
+using storage::LogReader;
+using storage::LogRecord;
+using storage::LogRecordType;
+using storage::LogWriter;
+using storage::OpenMode;
+using storage::VfsFile;
+
+Result<std::unique_ptr<WalDatabase>> WalDatabase::Open(storage::Vfs* vfs,
+                                                       const std::string& dir,
+                                                       CommitPolicy policy) {
+  if (policy.every_n == 0) {
+    return Status::InvalidArgument("CommitPolicy::every_n must be >= 1");
+  }
+  DBPL_RETURN_IF_ERROR(vfs->CreateDir(dir));
+  std::unique_ptr<WalDatabase> wdb(new WalDatabase(vfs, dir, policy));
+  DBPL_RETURN_IF_ERROR(wdb->Recover());
+  DBPL_ASSIGN_OR_RETURN(wdb->writer_, LogWriter::Open(vfs, wdb->wal_path_));
+  if (wdb->recovery_.corrupt_tail || wdb->recovery_.uncommitted_dropped > 0) {
+    // The log ends in bytes recovery ignored. Appending behind them
+    // would be disastrous: records after a torn frame are unreachable
+    // to the reader, and a future commit marker would retroactively
+    // commit the dropped uncommitted records. Repair by checkpointing
+    // the recovered state and rotating to a fresh, clean log.
+    DBPL_RETURN_IF_ERROR(wdb->Checkpoint());
+  }
+  // Installed only after recovery: replayed inserts must not re-log
+  // themselves (the records are already in the log they came from).
+  wdb->db_.SetWriteObserver(
+      [w = wdb.get()](const Database::WriteEvent& ev) { w->OnWrite(ev); });
+  return wdb;
+}
+
+WalDatabase::~WalDatabase() {
+  (void)Commit();  // best effort: make the tail batch durable
+  db_.SetWriteObserver(nullptr);
+}
+
+namespace {
+
+/// Applies one committed group to the database in log order.
+Status ApplyBatch(Database* db, std::vector<WalRecord>* batch,
+                  WalRecoveryStats* stats) {
+  for (WalRecord& rec : *batch) {
+    switch (rec.op) {
+      case WalOp::kInsert: {
+        if (rec.id < db->size()) {
+          // Already covered by the checkpoint (or by the overlap a
+          // crash between checkpoint and rotation leaves behind).
+          ++stats->skipped_records;
+          break;
+        }
+        if (rec.id > db->size()) {
+          return Status::Corruption(
+              "gap in WAL: expected entry id " + std::to_string(db->size()) +
+              ", found " + std::to_string(rec.id));
+        }
+        db->Insert(std::move(rec.entry));
+        ++stats->replayed_inserts;
+        break;
+      }
+      case WalOp::kRegisterExtent: {
+        Status s = db->RegisterExtent(rec.extent_name,
+                                      std::move(rec.extent_type));
+        if (s.ok()) {
+          ++stats->replayed_extents;
+        } else if (s.code() == StatusCode::kAlreadyExists) {
+          ++stats->skipped_records;  // checkpoint had it
+        } else {
+          return s;
+        }
+        break;
+      }
+    }
+  }
+  batch->clear();
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WalDatabase::Recover() {
+  if (vfs_->Exists(checkpoint_path_)) {
+    DBPL_ASSIGN_OR_RETURN(db_, LoadCheckpoint(vfs_, checkpoint_path_));
+    recovery_.had_checkpoint = true;
+    recovery_.checkpoint_entries = db_.size();
+  }
+  if (!vfs_->Exists(wal_path_)) return Status::OK();
+
+  DBPL_ASSIGN_OR_RETURN(std::unique_ptr<LogReader> reader,
+                        LogReader::Open(vfs_, wal_path_));
+  std::vector<WalRecord> batch;
+  LogRecord rec;
+  while (true) {
+    DBPL_ASSIGN_OR_RETURN(bool has, reader->Next(&rec));
+    if (!has) break;
+    if (rec.type == LogRecordType::kCommit) {
+      DBPL_RETURN_IF_ERROR(ApplyBatch(&db_, &batch, &recovery_));
+      continue;
+    }
+    DBPL_ASSIGN_OR_RETURN(WalRecord redo, DecodeWalRecord(rec));
+    batch.push_back(std::move(redo));
+  }
+  recovery_.uncommitted_dropped = batch.size();
+  recovery_.corrupt_tail = reader->saw_corrupt_tail();
+  return Status::OK();
+}
+
+void WalDatabase::OnWrite(const Database::WriteEvent& event) {
+  WalRecord redo;
+  switch (event.kind) {
+    case Database::WriteEvent::Kind::kInsert:
+      redo.op = WalOp::kInsert;
+      redo.id = event.id;
+      redo.entry = *event.entry;
+      break;
+    case Database::WriteEvent::Kind::kRegisterExtent:
+      redo.op = WalOp::kRegisterExtent;
+      redo.extent_name = *event.extent_name;
+      redo.extent_type = *event.extent_type;
+      break;
+  }
+  LogRecord framed = EncodeWalRecord(redo);
+
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  // After a failure the writer is poisoned anyway; don't bury the
+  // first error under FailedPrecondition noise. (writer_ can only be
+  // null when a failed rotation already set wal_status_.)
+  if (!wal_status_.ok() || writer_ == nullptr) return;
+  Status appended = writer_->Append(framed);
+  if (!appended.ok()) {
+    wal_status_ = std::move(appended);
+    return;
+  }
+  ++pending_;
+  if (pending_ >= policy_.every_n) {
+    Status committed = CommitLocked();
+    if (!committed.ok()) wal_status_ = std::move(committed);
+  }
+}
+
+Status WalDatabase::CommitLocked() {
+  DBPL_RETURN_IF_ERROR(
+      writer_->Append(LogRecord{LogRecordType::kCommit, "", ""}));
+  pending_ = 0;
+  if (policy_.sync) return writer_->Sync();
+  unsynced_commits_ = true;
+  return Status::OK();
+}
+
+Result<Database::EntryId> WalDatabase::Insert(dyndb::Dynamic d) {
+  Database::EntryId id = db_.Insert(std::move(d));
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  DBPL_RETURN_IF_ERROR(wal_status_);
+  return id;
+}
+
+Status WalDatabase::RegisterExtent(const std::string& name, types::Type t) {
+  DBPL_RETURN_IF_ERROR(db_.RegisterExtent(name, std::move(t)));
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  return wal_status_;
+}
+
+Status WalDatabase::Commit() {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  DBPL_RETURN_IF_ERROR(wal_status_);
+  if (pending_ > 0) {
+    DBPL_RETURN_IF_ERROR(
+        writer_->Append(LogRecord{LogRecordType::kCommit, "", ""}));
+    pending_ = 0;
+  } else if (!unsynced_commits_) {
+    return Status::OK();  // nothing to make durable
+  }
+  Status synced = writer_->Sync();
+  if (synced.ok()) unsynced_commits_ = false;
+  return synced;
+}
+
+Status WalDatabase::Checkpoint() {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  // Holding wal_mu_ keeps the snapshot and the rotation atomic with
+  // respect to appends: an in-flight writer is queued in the observer
+  // *before publishing*, so either its record is already in the old
+  // log (and its entry is in the snapshot), or both land after the
+  // rotation. Readers never block — the snapshot is immutable.
+  Database::Snapshot snap = db_.GetSnapshot();
+  DBPL_RETURN_IF_ERROR(SaveCheckpoint(vfs_, checkpoint_path_, snap));
+
+  // The image is durable under its final name; now rotate the log.
+  // A crash from here on is still safe: the stale log only holds
+  // records the checkpoint covers, and recovery skips them by id.
+  writer_.reset();
+  Status rotated = [&]() -> Status {
+    DBPL_ASSIGN_OR_RETURN(std::unique_ptr<VfsFile> truncated,
+                          vfs_->Open(wal_path_, OpenMode::kTruncate));
+    truncated.reset();
+    DBPL_ASSIGN_OR_RETURN(writer_, LogWriter::Open(vfs_, wal_path_));
+    return Status::OK();
+  }();
+  if (!rotated.ok()) {
+    // Refuse appends until the next successful Checkpoint() (which
+    // re-runs rotation) or a reopen. wal_status_ is set before the
+    // best-effort writer reopen, so `writer_ == nullptr` implies a
+    // non-OK wal_status_ and the observer never dereferences null.
+    wal_status_ = rotated;
+    if (writer_ == nullptr) {
+      Result<std::unique_ptr<LogWriter>> reopened =
+          LogWriter::Open(vfs_, wal_path_);
+      if (reopened.ok()) writer_ = std::move(reopened).value();
+    }
+    return rotated;
+  }
+  // Everything in memory is now durable in the checkpoint: a log-append
+  // failure recorded earlier is healed, and the batch counter restarts.
+  pending_ = 0;
+  unsynced_commits_ = false;
+  wal_status_ = Status::OK();
+  ++checkpoints_;
+  return Status::OK();
+}
+
+Status WalDatabase::wal_status() const {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  return wal_status_;
+}
+
+uint64_t WalDatabase::wal_bytes() const {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  return writer_ != nullptr ? writer_->bytes_written() : 0;
+}
+
+uint64_t WalDatabase::pending_in_batch() const {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  return pending_;
+}
+
+uint64_t WalDatabase::checkpoints_taken() const {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  return checkpoints_;
+}
+
+}  // namespace dbpl::persist

@@ -1,0 +1,212 @@
+#ifndef DBPL_PERSIST_WAL_DATABASE_H_
+#define DBPL_PERSIST_WAL_DATABASE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "dyndb/database.h"
+#include "dyndb/dynamic.h"
+#include "storage/log.h"
+#include "storage/vfs.h"
+
+namespace dbpl::persist {
+
+/// When redo records become durable.
+struct CommitPolicy {
+  /// Append a commit marker after every n observed mutations (group
+  /// commit: all n records become durable under one marker and, with
+  /// `sync`, one fsync). 1 = commit every mutation. Must be >= 1.
+  uint64_t every_n = 1;
+  /// Fsync the log at each commit marker. Turning this off trades the
+  /// durability of the last few commits at power loss for throughput —
+  /// recovery still never yields a torn or uncommitted state, exactly
+  /// like a `commitlog_sync: periodic` setting.
+  bool sync = true;
+};
+
+/// What `WalDatabase::Open` found while recovering.
+struct WalRecoveryStats {
+  /// A checkpoint file existed and was loaded.
+  bool had_checkpoint = false;
+  /// Entries restored from the checkpoint (before any replay).
+  uint64_t checkpoint_entries = 0;
+  /// Committed redo records re-applied from the log.
+  uint64_t replayed_inserts = 0;
+  uint64_t replayed_extents = 0;
+  /// Committed records skipped because the checkpoint already covered
+  /// them (a crash between checkpoint save and log rotation leaves
+  /// such records behind; id-carrying records make the overlap safe).
+  uint64_t skipped_records = 0;
+  /// Records after the last commit marker, discarded at recovery.
+  uint64_t uncommitted_dropped = 0;
+  /// True when the log ended in a damaged/incomplete frame (a torn
+  /// append) rather than a clean end of file — surfaced from
+  /// storage::LogReader so callers can distinguish "clean shutdown"
+  /// from "crashed mid-append" (both recover to a committed prefix).
+  bool corrupt_tail = false;
+};
+
+/// Write-ahead-log durability for dyndb::Database: persistence as an
+/// *incremental* property of the values written, not an O(database)
+/// snapshot rewrite per save (persist::SaveDatabase).
+///
+/// A WalDatabase owns a dyndb::Database and a storage::LogWriter. It
+/// installs the database's write observer, so every Insert /
+/// RegisterExtent — whether made through the convenience methods here
+/// or directly on `db()` — appends one self-describing redo record
+/// (serial::EncodeDynamic: the P2 type description travels with the
+/// value) before the mutation is published to readers. Commit markers
+/// follow the CommitPolicy; everything between two markers is one
+/// atomic group at recovery.
+///
+/// ## Files
+///
+///   <dir>/wal.log         — CRC-framed redo log (storage::Log format)
+///   <dir>/checkpoint.dbpl — last checkpoint (SaveCheckpoint format)
+///
+/// ## Checkpointing
+///
+/// `Checkpoint()` pins the current snapshot, saves it (entries +
+/// extent table) atomically through the VFS, then truncates the log
+/// and resets the writer. Readers stay lock-free throughout — the
+/// snapshot is an immutable copy-on-write state; writers block only
+/// for the duration of the save (they queue on the WAL mutex inside
+/// the observer, before publishing). A crash anywhere in the protocol
+/// is safe: the checkpoint replaces its predecessor atomically, and a
+/// log that outlives its checkpoint only holds records whose ids the
+/// checkpoint already covers — recovery skips them.
+///
+/// ## Recovery
+///
+/// `Open` = load the last good checkpoint (if any), replay the
+/// committed suffix of the log onto it in order, drop everything after
+/// the last commit marker (including a torn tail, which LogReader
+/// detects by CRC). The result is always a prefix of the committed
+/// history — never a torn entry, never a reordered one. When the log
+/// ended in dropped bytes (a torn tail or uncommitted records), Open
+/// takes an immediate checkpoint and rotates to a clean log, so new
+/// records are never appended behind bytes the reader cannot pass.
+///
+/// ## Failure handling
+///
+/// The observer cannot fail the in-memory insert, so a log I/O error
+/// is recorded as a sticky `wal_status()` (and the underlying writer
+/// poisons itself so no append can land beyond a torn frame). The
+/// convenience mutators surface it; in-memory state keeps working but
+/// is no longer gaining durability. A successful `Checkpoint()` —
+/// which persists the *entire* in-memory state — clears the condition.
+///
+/// Thread-safety: all methods are safe under any number of concurrent
+/// readers and writers; log appends serialize on an internal mutex in
+/// database writer order. Reads go through `db()` and are lock-free
+/// after snapshot acquisition, exactly as without a WAL.
+class WalDatabase {
+ public:
+  /// Opens (creating if necessary) the WAL-backed database in `dir`,
+  /// running recovery. `vfs` must outlive the returned object.
+  static Result<std::unique_ptr<WalDatabase>> Open(storage::Vfs* vfs,
+                                                   const std::string& dir,
+                                                   CommitPolicy policy = {});
+  /// As above, on the production VFS.
+  static Result<std::unique_ptr<WalDatabase>> Open(const std::string& dir,
+                                                   CommitPolicy policy = {}) {
+    return Open(storage::Vfs::Default(), dir, policy);
+  }
+
+  WalDatabase(const WalDatabase&) = delete;
+  WalDatabase& operator=(const WalDatabase&) = delete;
+
+  /// Flushes the tail batch (best effort) and detaches from the
+  /// database observer.
+  ~WalDatabase();
+
+  /// The underlying database. Mutations made directly on it are
+  /// logged through the write observer, same as the convenience
+  /// methods below — only the error reporting differs (direct writes
+  /// surface log failures at the next Commit()/wal_status() check).
+  dyndb::Database& db() { return db_; }
+  const dyndb::Database& db() const { return db_; }
+
+  /// Inserts and logs one entry. The insert itself always succeeds;
+  /// a non-OK result reports that the redo record (or its group's
+  /// commit) failed to reach the log — the value is in memory but not
+  /// yet durable.
+  Result<dyndb::Database::EntryId> Insert(dyndb::Dynamic d);
+  Result<dyndb::Database::EntryId> InsertValue(core::Value v) {
+    return Insert(dyndb::MakeDynamic(std::move(v)));
+  }
+
+  /// Registers and logs a maintained extent.
+  Status RegisterExtent(const std::string& name, types::Type t);
+
+  /// Makes everything observed so far durable: appends a commit marker
+  /// for any open batch and fsyncs (regardless of CommitPolicy::sync).
+  /// No-op when nothing is pending.
+  Status Commit();
+
+  /// Saves a checkpoint of the current state and rotates the log; see
+  /// the class comment for the protocol. On success the WAL shrinks to
+  /// empty and `wal_status()` is reset to OK.
+  Status Checkpoint();
+
+  /// The sticky status of the logging path: OK, or the first append /
+  /// commit failure since the last successful Checkpoint().
+  Status wal_status() const;
+
+  /// Bytes in the current log generation (redo records + markers).
+  uint64_t wal_bytes() const;
+
+  /// Mutations observed since the last commit marker.
+  uint64_t pending_in_batch() const;
+
+  /// Checkpoints and rotations completed in this process.
+  uint64_t checkpoints_taken() const;
+
+  /// What recovery found when this object was opened.
+  const WalRecoveryStats& recovery_stats() const { return recovery_; }
+
+  const std::string& wal_path() const { return wal_path_; }
+  const std::string& checkpoint_path() const { return checkpoint_path_; }
+
+ private:
+  WalDatabase(storage::Vfs* vfs, const std::string& dir, CommitPolicy policy)
+      : vfs_(vfs),
+        policy_(policy),
+        wal_path_(dir + "/wal.log"),
+        checkpoint_path_(dir + "/checkpoint.dbpl") {}
+
+  /// Load checkpoint + replay the committed log suffix into db_.
+  Status Recover();
+  /// The write-observer body: encode, append, maybe commit the group.
+  void OnWrite(const dyndb::Database::WriteEvent& event);
+  /// Appends a commit marker and applies the sync policy. wal_mu_ held.
+  Status CommitLocked();
+
+  storage::Vfs* vfs_;
+  const CommitPolicy policy_;
+  const std::string wal_path_;
+  const std::string checkpoint_path_;
+
+  dyndb::Database db_;
+  WalRecoveryStats recovery_;
+
+  /// Serializes every touch of the log (observer appends, commits,
+  /// checkpoint/rotate) and the fields below. Writers enter it from
+  /// the observer while holding the database writer mutex; Checkpoint
+  /// takes it alone — never the writer mutex — so the lock order is
+  /// acyclic.
+  mutable std::mutex wal_mu_;
+  std::unique_ptr<storage::LogWriter> writer_;
+  Status wal_status_;
+  uint64_t pending_ = 0;
+  /// Commit markers appended but not yet fsynced (sync=false policy).
+  bool unsynced_commits_ = false;
+  uint64_t checkpoints_ = 0;
+};
+
+}  // namespace dbpl::persist
+
+#endif  // DBPL_PERSIST_WAL_DATABASE_H_

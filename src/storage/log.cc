@@ -7,6 +7,19 @@
 #include "common/crc32c.h"
 
 namespace dbpl::storage {
+namespace {
+
+/// Bytes PutVarint uses for `v` (LEB128: 7 payload bits per byte).
+uint64_t VarintLen(uint64_t v) {
+  uint64_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace
 
 Result<std::unique_ptr<LogWriter>> LogWriter::Open(Vfs* vfs,
                                                    const std::string& path) {
@@ -17,6 +30,22 @@ Result<std::unique_ptr<LogWriter>> LogWriter::Open(Vfs* vfs,
 }
 
 Status LogWriter::Append(const LogRecord& record) {
+  if (poisoned_) {
+    return Status::FailedPrecondition(
+        "log writer poisoned by an earlier I/O failure: a torn frame may "
+        "sit mid-log, so further appends would be unreachable at recovery");
+  }
+  // Size check before any allocation or I/O: a record the reader's
+  // sanity bound would classify as corruption must never be written.
+  uint64_t body_size = 1 + VarintLen(record.key.size()) + record.key.size() +
+                       VarintLen(record.value.size()) + record.value.size();
+  if (body_size > kMaxLogRecordBody) {
+    return Status::InvalidArgument(
+        "log record body of " + std::to_string(body_size) +
+        " bytes exceeds the " + std::to_string(kMaxLogRecordBody) +
+        "-byte bound the reader accepts");
+  }
+
   ByteBuffer body;
   body.PutU8(static_cast<uint8_t>(record.type));
   body.PutString(record.key);
@@ -27,12 +56,24 @@ Status LogWriter::Append(const LogRecord& record) {
   frame.PutU32(static_cast<uint32_t>(body.size()));
   frame.PutRaw(body.data(), body.size());
 
-  DBPL_RETURN_IF_ERROR(file_->Append(frame.data(), frame.size()));
+  Status appended = file_->Append(frame.data(), frame.size());
+  if (!appended.ok()) {
+    poisoned_ = true;
+    return appended;
+  }
   bytes_written_ += frame.size();
   return Status::OK();
 }
 
-Status LogWriter::Sync() { return file_->Sync(); }
+Status LogWriter::Sync() {
+  if (poisoned_) {
+    return Status::FailedPrecondition(
+        "log writer poisoned by an earlier I/O failure");
+  }
+  Status synced = file_->Sync();
+  if (!synced.ok()) poisoned_ = true;
+  return synced;
+}
 
 Result<std::unique_ptr<LogReader>> LogReader::Open(Vfs* vfs,
                                                    const std::string& path) {
@@ -58,8 +99,8 @@ Result<bool> LogReader::Next(LogRecord* out) {
   uint32_t stored_crc = 0, len = 0;
   std::memcpy(&stored_crc, header, 4);
   std::memcpy(&len, header + 4, 4);
-  // Sanity bound: a single record larger than 1 GiB is corruption.
-  if (len < 1 || len > (1u << 30)) {
+  // Sanity bound: a length the writer would never produce is corruption.
+  if (len < 1 || len > kMaxLogRecordBody) {
     done_ = true;
     saw_corrupt_tail_ = true;
     return false;

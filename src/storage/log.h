@@ -30,6 +30,13 @@ struct LogRecord {
   bool operator==(const LogRecord& other) const = default;
 };
 
+/// Largest record body (type byte + framed key + framed value) either
+/// side of the log accepts. The reader treats a length field above this
+/// as a corrupt tail, so the writer must reject such records at append
+/// time — otherwise a record could be written that recovery can never
+/// read back.
+inline constexpr uint64_t kMaxLogRecordBody = 1ull << 30;
+
 /// Appends CRC-framed records to a log file.
 ///
 /// Framing: `[u32 masked crc of body][u32 body length][body]`, where the
@@ -50,11 +57,22 @@ class LogWriter {
   LogWriter(const LogWriter&) = delete;
   LogWriter& operator=(const LogWriter&) = delete;
 
+  /// Appends one record. Records whose body would exceed
+  /// `kMaxLogRecordBody` are rejected with InvalidArgument *before*
+  /// anything reaches the file (the reader would treat them as a
+  /// corrupt tail). An I/O failure may leave a torn frame mid-log, so
+  /// it poisons the writer: every later Append/Sync fails with
+  /// FailedPrecondition, because bytes appended after a torn frame are
+  /// unreachable to the reader. Recover by reopening the log.
   Status Append(const LogRecord& record);
-  /// Flushes to stable storage.
+  /// Flushes to stable storage. A failed sync leaves durability
+  /// unknown, so it poisons the writer too.
   Status Sync();
 
   uint64_t bytes_written() const { return bytes_written_; }
+
+  /// True once an I/O failure has made further appends unsafe.
+  bool poisoned() const { return poisoned_; }
 
  private:
   LogWriter(std::unique_ptr<VfsFile> file, uint64_t existing_bytes)
@@ -62,6 +80,7 @@ class LogWriter {
 
   std::unique_ptr<VfsFile> file_;
   uint64_t bytes_written_;
+  bool poisoned_ = false;
 };
 
 /// Streams records back from a log file, stopping cleanly at the first

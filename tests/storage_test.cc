@@ -7,6 +7,7 @@
 #include <string>
 
 #include "storage/buffer_pool.h"
+#include "storage/fault_vfs.h"
 #include "storage/kv_store.h"
 #include "storage/log.h"
 #include "storage/pager.h"
@@ -281,6 +282,85 @@ TEST(LogTest, AppendsAcrossReopen) {
   LogRecord r;
   while (*(*reader)->Next(&r)) ++count;
   EXPECT_EQ(count, 3);
+}
+
+TEST(LogTest, OversizedRecordRejectedBeforeAnyBytesReachTheFile) {
+  ScopedFile file(TempPath("log_oversize"));
+  auto writer = LogWriter::Open(file.path());
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append({LogRecordType::kPut, "k1", "v1"}).ok());
+  const uint64_t bytes_before = (*writer)->bytes_written();
+
+  // A record whose body exceeds the reader's sanity bound must never be
+  // written: the reader would treat its length field as a corrupt tail,
+  // silently hiding the record and everything appended after it.
+  LogRecord oversized{LogRecordType::kPut, "k",
+                      std::string(kMaxLogRecordBody, 'x')};
+  Status rejected = (*writer)->Append(oversized);
+  oversized.value.clear();
+  oversized.value.shrink_to_fit();
+  EXPECT_EQ(rejected.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ((*writer)->bytes_written(), bytes_before);
+  // A caller error, not I/O damage: the log has no torn frame and the
+  // writer stays usable.
+  EXPECT_FALSE((*writer)->poisoned());
+
+  // Write/read symmetry: everything the writer accepted, the reader
+  // returns, with a clean (not corrupt) end of log.
+  ASSERT_TRUE((*writer)->Append({LogRecordType::kPut, "k2", "v2"}).ok());
+  ASSERT_TRUE((*writer)->Sync().ok());
+  auto reader = LogReader::Open(file.path());
+  ASSERT_TRUE(reader.ok());
+  LogRecord r;
+  ASSERT_TRUE(*(*reader)->Next(&r));
+  EXPECT_EQ(r, (LogRecord{LogRecordType::kPut, "k1", "v1"}));
+  ASSERT_TRUE(*(*reader)->Next(&r));
+  EXPECT_EQ(r, (LogRecord{LogRecordType::kPut, "k2", "v2"}));
+  EXPECT_FALSE(*(*reader)->Next(&r));
+  EXPECT_FALSE((*reader)->saw_corrupt_tail());
+}
+
+TEST(LogTest, WriterPoisonedAfterTornAppend) {
+  FaultVfs vfs(0x9015);
+  const std::string path = "poison.log";
+  auto writer = LogWriter::Open(&vfs, path);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append({LogRecordType::kPut, "a", "1"}).ok());
+  ASSERT_TRUE((*writer)->Sync().ok());
+  const uint64_t synced_size = (*vfs.GetFileBytes(path)).size();
+
+  vfs.CrashAtMutatingOp(1);
+  Status torn = (*writer)->Append({LogRecordType::kPut, "b", "2"});
+  EXPECT_EQ(torn.code(), StatusCode::kIoError);
+  EXPECT_TRUE((*writer)->poisoned());
+  vfs.ClearCrash();  // I/O works again, but the torn frame remains
+
+  // The poisoned writer must not strand records behind the torn frame
+  // where recovery can never see them: append and sync fail fast.
+  EXPECT_EQ((*writer)->Append({LogRecordType::kPut, "c", "3"}).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ((*writer)->Sync().code(), StatusCode::kFailedPrecondition);
+
+  // The failing write applied an RNG-chosen prefix of its bytes (which
+  // may be none, some, or all of the frame). Whatever happened, the
+  // reader must recover a clean prefix of the appended records: "a"
+  // always, "b" only if its frame landed in full, and a corrupt tail
+  // reported exactly when partial frame bytes are left behind.
+  const uint64_t size_after = (*vfs.GetFileBytes(path)).size();
+  auto reader = LogReader::Open(&vfs, path);
+  ASSERT_TRUE(reader.ok());
+  std::vector<LogRecord> recovered;
+  LogRecord r;
+  while (*(*reader)->Next(&r)) recovered.push_back(r);
+  ASSERT_GE(recovered.size(), 1u);
+  ASSERT_LE(recovered.size(), 2u);
+  EXPECT_EQ(recovered[0], (LogRecord{LogRecordType::kPut, "a", "1"}));
+  if (recovered.size() == 2) {
+    EXPECT_EQ(recovered[1], (LogRecord{LogRecordType::kPut, "b", "2"}));
+    EXPECT_FALSE((*reader)->saw_corrupt_tail());
+  } else {
+    EXPECT_EQ((*reader)->saw_corrupt_tail(), size_after > synced_size);
+  }
 }
 
 // ---------------------------------------------------------------------
