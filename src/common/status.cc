@@ -24,6 +24,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Unsupported";
     case StatusCode::kFailedPrecondition:
       return "FailedPrecondition";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
     case StatusCode::kInternal:
       return "Internal";
   }

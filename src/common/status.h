@@ -35,6 +35,9 @@ enum class StatusCode {
   /// The object is in a state where this operation can never succeed
   /// (e.g. a log writer poisoned by a torn append); recreate it first.
   kFailedPrecondition,
+  /// A deadline expired before the operation could complete (e.g. a
+  /// replica read barrier waiting for an epoch that never arrived).
+  kDeadlineExceeded,
   /// An internal invariant was violated (a bug in this library).
   kInternal,
 };
@@ -81,6 +84,9 @@ class [[nodiscard]] Status {
   }
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -217,6 +217,14 @@ class Database {
 
   size_t size() const { return GetSnapshot().size(); }
 
+  /// The current publication epoch: 0 for an empty database, +1 per
+  /// insert or extent registration. Two databases that applied the same
+  /// mutations (in any serialization) are at the same epoch, which is
+  /// what makes the epoch the staleness measure of WAL shipping: a
+  /// replica at epoch e has applied exactly as many mutations as its
+  /// primary had published at epoch e (see persist::Replica).
+  uint64_t epoch() const { return GetSnapshot().epoch(); }
+
   /// All entries, in insertion order (a point-in-time copy).
   std::vector<Dynamic> entries() const { return GetSnapshot().Entries(); }
 

@@ -54,25 +54,40 @@ Status SaveCheckpoint(storage::Vfs* vfs, const std::string& path,
   return WriteFileAtomic(vfs, path, out);
 }
 
-Result<dyndb::Database> LoadCheckpoint(storage::Vfs* vfs,
+Result<CheckpointImage> ReadCheckpoint(storage::Vfs* vfs,
                                        const std::string& path) {
   DBPL_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFileBytes(vfs, path));
   ByteReader in(bytes.data(), bytes.size());
   DBPL_RETURN_IF_ERROR(serial::DecodeHeader(&in));
-  dyndb::Database db;
+  CheckpointImage image;
   DBPL_ASSIGN_OR_RETURN(uint64_t n_extents, in.ReadVarint());
+  image.extents.reserve(n_extents);
   for (uint64_t i = 0; i < n_extents; ++i) {
     DBPL_ASSIGN_OR_RETURN(std::string name, in.ReadString());
     DBPL_ASSIGN_OR_RETURN(types::Type type, serial::DecodeType(&in));
-    DBPL_RETURN_IF_ERROR(db.RegisterExtent(name, std::move(type)));
+    image.extents.emplace_back(std::move(name), std::move(type));
   }
   DBPL_ASSIGN_OR_RETURN(uint64_t count, in.ReadVarint());
+  image.entries.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
     DBPL_ASSIGN_OR_RETURN(types::Type type, serial::DecodeType(&in));
     DBPL_ASSIGN_OR_RETURN(core::Value value, serial::DecodeValue(&in));
-    db.Insert(dyndb::Dynamic{std::move(value), std::move(type)});
+    image.entries.push_back(dyndb::Dynamic{std::move(value), std::move(type)});
   }
   if (!in.AtEnd()) return Status::Corruption("trailing bytes in checkpoint");
+  return image;
+}
+
+Result<dyndb::Database> LoadCheckpoint(storage::Vfs* vfs,
+                                       const std::string& path) {
+  DBPL_ASSIGN_OR_RETURN(CheckpointImage image, ReadCheckpoint(vfs, path));
+  dyndb::Database db;
+  for (auto& [name, type] : image.extents) {
+    DBPL_RETURN_IF_ERROR(db.RegisterExtent(name, std::move(type)));
+  }
+  for (dyndb::Dynamic& d : image.entries) {
+    db.Insert(std::move(d));
+  }
   return db;
 }
 

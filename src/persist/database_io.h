@@ -2,6 +2,8 @@
 #define DBPL_PERSIST_DATABASE_IO_H_
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/result.h"
 #include "dyndb/database.h"
@@ -59,6 +61,23 @@ Status SaveCheckpoint(storage::Vfs* vfs, const std::string& path,
 /// entries are re-inserted in stored order, rebuilding every extent's
 /// membership incrementally.
 Result<dyndb::Database> LoadCheckpoint(storage::Vfs* vfs,
+                                       const std::string& path);
+
+/// A decoded checkpoint, before any database is built from it. Used by
+/// persist::Replica for *incremental* bootstrap: a follower that
+/// already holds a prefix of the primary's history applies only the
+/// checkpoint's suffix (entries from its own size onward, extents it
+/// has not registered yet) instead of rebuilding from scratch.
+struct CheckpointImage {
+  /// Registered extents as (name, declared type), in stored order.
+  std::vector<std::pair<std::string, types::Type>> extents;
+  /// Entries in insertion order; index == the entry id it held.
+  std::vector<dyndb::Dynamic> entries;
+};
+
+/// Decodes a checkpoint file into its image (`LoadCheckpoint` is this
+/// plus re-registering/re-inserting into a fresh database).
+Result<CheckpointImage> ReadCheckpoint(storage::Vfs* vfs,
                                        const std::string& path);
 
 }  // namespace dbpl::persist

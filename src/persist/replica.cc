@@ -1,0 +1,251 @@
+#include "persist/replica.h"
+
+#include <utility>
+#include <vector>
+
+#include "persist/database_io.h"
+#include "persist/wal.h"
+
+namespace dbpl::persist {
+
+using storage::LogReader;
+using storage::LogRecord;
+using storage::LogRecordType;
+using storage::OpenMode;
+using storage::VfsFile;
+
+Status Replica::Attach(WalShipper* shipper, FollowOptions opts) {
+  if (shipper == nullptr) {
+    return Status::InvalidArgument("Attach requires a shipper");
+  }
+  Detach();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shipper_ = shipper;
+    opts_ = opts;
+    bootstrapped_ = false;
+    reader_.reset();
+    // Synchronous catch-up: after Attach returns OK the follower is at
+    // the durable bounds the primary had when we sampled them.
+    Status caught_up = PollLocked();
+    if (!caught_up.ok()) {
+      shipper_ = nullptr;
+      reader_.reset();
+      return caught_up;
+    }
+    if (opts_.poll_interval.count() > 0) {
+      stop_ = false;
+      thread_ = std::thread([this] { Run(); });
+    }
+  }
+  cv_.notify_all();
+  return Status::OK();
+}
+
+void Replica::Detach() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    to_join = std::move(thread_);
+  }
+  cv_.notify_all();
+  if (to_join.joinable()) to_join.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  stop_ = false;
+  shipper_ = nullptr;
+  reader_.reset();
+  bootstrapped_ = false;
+}
+
+bool Replica::attached() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shipper_ != nullptr;
+}
+
+void Replica::Run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    // Errors here are either transient (a stale handle across a
+    // primary crash — the next round's re-bootstrap heals it) or
+    // permanent (divergence); keep polling either way and let the
+    // counters tell the story. A streaming follower must stay up.
+    (void)PollLocked();
+    lock.unlock();
+    cv_.notify_all();  // wake WaitForEpoch after every round
+    lock.lock();
+    cv_.wait_for(lock, opts_.poll_interval, [this] { return stop_; });
+  }
+}
+
+Status Replica::Poll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status polled = PollLocked();
+  cv_.notify_all();
+  return polled;
+}
+
+Status Replica::BootstrapLocked(const WalShipper::Bounds& bounds) {
+  ++bootstraps_;
+  reader_.reset();
+  storage::Vfs* vfs = shipper_->vfs();
+  if (vfs->Exists(shipper_->checkpoint_path())) {
+    DBPL_ASSIGN_OR_RETURN(CheckpointImage image,
+                          ReadCheckpoint(vfs, shipper_->checkpoint_path()));
+    // Incremental apply. Any complete checkpoint from this primary is
+    // an insertion-order prefix of the shared history, so the
+    // follower either already covers it (nothing to do) or extends
+    // itself with the checkpoint's suffix. Ids align by construction.
+    for (auto& [name, type] : image.extents) {
+      Status registered = db_.RegisterExtent(name, std::move(type));
+      if (registered.ok()) {
+        ++applied_.replayed_extents;
+      } else if (registered.code() == StatusCode::kAlreadyExists) {
+        ++applied_.skipped_records;
+      } else {
+        return registered;
+      }
+    }
+    for (uint64_t id = db_.size(); id < image.entries.size(); ++id) {
+      db_.Insert(std::move(image.entries[id]));
+      ++applied_.replayed_inserts;
+    }
+  }
+  // Restart the cursor at the top of the (possibly rotated) log. The
+  // log may legitimately not exist yet on a freshly created primary.
+  if (vfs->Exists(shipper_->wal_path())) {
+    DBPL_ASSIGN_OR_RETURN(reader_, LogReader::Open(vfs, shipper_->wal_path()));
+  }
+  generation_ = bounds.generation;
+  bootstrapped_ = true;
+  return Status::OK();
+}
+
+Status Replica::PollLocked() {
+  if (shipper_ == nullptr) {
+    return Status::FailedPrecondition("replica is not attached");
+  }
+  ++polls_;
+  const WalShipper::Bounds bounds = shipper_->ship_bounds();
+  if (!bootstrapped_ || bounds.generation != generation_) {
+    DBPL_RETURN_IF_ERROR(BootstrapLocked(bounds));
+  }
+  if (reader_ == nullptr || reader_->offset() >= bounds.durable_bytes) {
+    return Status::OK();  // caught up within this generation
+  }
+
+  // Tail the log up to exactly the durable bound, buffering decoded
+  // batches: nothing is applied until the generation re-check below
+  // proves the bytes were read from the generation the bound governs.
+  std::vector<std::vector<WalRecord>> ready;
+  std::vector<WalRecord> open;
+  bool clean = true;
+  LogRecord rec;
+  while (reader_->offset() < bounds.durable_bytes) {
+    Result<bool> has = reader_->Next(&rec);
+    if (!has.ok() || !*has) {
+      // An I/O error (stale handle across a primary crash), a torn
+      // tail, or EOF short of the durable bound. Within a live
+      // generation durable bytes are synced and immutable, so any of
+      // these means the world changed under us — resync.
+      clean = false;
+      break;
+    }
+    if (rec.type == LogRecordType::kCommit) {
+      ready.push_back(std::move(open));
+      open.clear();
+      continue;
+    }
+    Result<WalRecord> redo = DecodeWalRecord(rec);
+    if (!redo.ok()) {
+      clean = false;
+      break;
+    }
+    open.push_back(std::move(redo).value());
+  }
+  // The durable bound is commit-aligned, so a clean read lands the
+  // cursor exactly on it with no open batch. Overshoot or a dangling
+  // batch means misaligned frames (a rotation raced the read).
+  if (clean && (reader_->offset() != bounds.durable_bytes || !open.empty())) {
+    clean = false;
+  }
+  const WalShipper::Bounds after = shipper_->ship_bounds();
+  if (!clean || after.generation != generation_) {
+    // Discard everything unapplied and start over from the checkpoint
+    // next round. The follower stays a committed prefix throughout.
+    ++resyncs_;
+    bootstrapped_ = false;
+    reader_.reset();
+    return Status::OK();
+  }
+  for (std::vector<WalRecord>& batch : ready) {
+    DBPL_RETURN_IF_ERROR(ApplyWalBatch(&db_, &batch, &applied_));
+    ++batches_;
+  }
+  return Status::OK();
+}
+
+Status Replica::WaitForEpoch(uint64_t epoch,
+                             std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (shipper_ == nullptr && db_.epoch() < epoch) {
+    return Status::FailedPrecondition("replica is not attached");
+  }
+  const bool streaming = thread_.joinable();
+  while (db_.epoch() < epoch) {
+    if (streaming) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+          db_.epoch() < epoch) {
+        return Status::DeadlineExceeded(
+            "epoch " + std::to_string(epoch) + " not reached (at " +
+            std::to_string(db_.epoch()) + ")");
+      }
+    } else {
+      // Manual mode: drive the shipping rounds ourselves.
+      DBPL_RETURN_IF_ERROR(PollLocked());
+      if (db_.epoch() >= epoch) break;
+      if (std::chrono::steady_clock::now() >= deadline) {
+        return Status::DeadlineExceeded(
+            "epoch " + std::to_string(epoch) + " not reached (at " +
+            std::to_string(db_.epoch()) + ")");
+      }
+      lock.unlock();
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      lock.lock();
+    }
+  }
+  return Status::OK();
+}
+
+ReplicaStats Replica::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ReplicaStats out;
+  out.bootstraps = bootstraps_;
+  out.polls = polls_;
+  out.batches_applied = batches_;
+  out.records_applied = applied_.replayed_inserts + applied_.replayed_extents;
+  out.records_skipped = applied_.skipped_records;
+  out.resyncs = resyncs_;
+  return out;
+}
+
+Result<std::unique_ptr<WalDatabase>> Replica::PromoteToPrimary(
+    storage::Vfs* vfs, const std::string& dir, CommitPolicy policy) {
+  Detach();
+  DBPL_RETURN_IF_ERROR(vfs->CreateDir(dir));
+  // The follower's replicated prefix becomes the durable seed: save it
+  // as the checkpoint WalDatabase::Open recovers from, and clear any
+  // log left over in the directory (its records belong to a history
+  // this promotion supersedes).
+  DBPL_RETURN_IF_ERROR(
+      SaveCheckpoint(vfs, dir + "/checkpoint.dbpl", db_.GetSnapshot()));
+  if (vfs->Exists(dir + "/wal.log")) {
+    DBPL_ASSIGN_OR_RETURN(std::unique_ptr<VfsFile> truncated,
+                          vfs->Open(dir + "/wal.log", OpenMode::kTruncate));
+    truncated.reset();
+  }
+  return WalDatabase::Open(vfs, dir, policy);
+}
+
+}  // namespace dbpl::persist

@@ -1,0 +1,192 @@
+#ifndef DBPL_PERSIST_REPLICA_H_
+#define DBPL_PERSIST_REPLICA_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "dyndb/database.h"
+#include "persist/wal_database.h"
+#include "storage/log.h"
+#include "storage/vfs.h"
+
+namespace dbpl::persist {
+
+/// How a Replica follows its primary.
+struct FollowOptions {
+  /// Interval between shipping rounds. Zero (the default) disables the
+  /// background thread: the owner drives shipping by calling `Poll()`,
+  /// which is what deterministic tests (and the crash matrix, whose
+  /// FaultVfs is single-threaded) want. Non-zero starts a streaming
+  /// thread that polls at this cadence and wakes `WaitForEpoch`
+  /// waiters as batches land.
+  std::chrono::milliseconds poll_interval{0};
+};
+
+/// Shipping-progress counters (monotone since construction).
+struct ReplicaStats {
+  /// Bootstraps performed: the initial one, plus one per observed
+  /// generation change (primary checkpoint rotation or re-Attach).
+  uint64_t bootstraps = 0;
+  /// Shipping rounds driven (Poll calls / background wakeups).
+  uint64_t polls = 0;
+  /// Committed batches applied from the shipped log.
+  uint64_t batches_applied = 0;
+  /// Records applied / skipped-as-duplicate (skips are the expected
+  /// overlap between a checkpoint and the log records it covers).
+  uint64_t records_applied = 0;
+  uint64_t records_skipped = 0;
+  /// Tail anomalies survived by re-bootstrapping: a rotation observed
+  /// mid-read, a stale file handle after a primary crash, a short log.
+  uint64_t resyncs = 0;
+};
+
+/// A read-only follower of a WAL primary: WAL shipping in-process.
+///
+/// The paper makes persistence a property of *values* (a database is a
+/// persistent list of dynamics); the WAL layer made that property
+/// incremental; a Replica lifts it across databases: the same redo
+/// records that make the primary durable, replayed through the same
+/// idempotent `ApplyWalBatch` path recovery uses, reproduce the
+/// primary's state in another dyndb::Database — so every Get strategy,
+/// extent, and join works on the follower unchanged.
+///
+/// ## Protocol
+///
+/// Each shipping round (`Poll`):
+///
+///  1. Sample the primary's `WalShipper::Bounds` — (generation,
+///     durable bytes, epoch).
+///  2. If not yet bootstrapped, or the generation changed (the primary
+///     rotated its log): re-bootstrap — apply the checkpoint file
+///     *incrementally* (only entries beyond the follower's size,
+///     only extents it lacks) and restart the log cursor at offset 0.
+///     A checkpoint is always safe to apply, even against stale
+///     bounds: it is an atomically-renamed, durable prefix of the
+///     primary's history.
+///  3. Tail the log from the cursor up to — exactly — the sampled
+///     durable byte bound, *buffering* decoded batches.
+///  4. Re-sample the bounds. If the generation moved while reading,
+///     the buffered bytes may belong to the rotated log: discard them
+///     and re-bootstrap on the next round. Otherwise apply the
+///     batches in order.
+///
+/// Only *durable* (synced-committed) bytes are ever read, so a
+/// follower's state is at all times a committed prefix of anything a
+/// crashed-and-recovered primary can come back with — a follower never
+/// observes an uncommitted, torn, or divergent record. Convergence:
+/// once the primary quiesces and the follower polls, their states are
+/// equal (same entries, same extents, same epoch).
+///
+/// ## Staleness
+///
+/// `Epoch()` is the follower's position on the primary's mutation
+/// timeline (dyndb epochs count mutations, so equal content ⇔ equal
+/// epoch); primary epoch minus follower epoch is the replication lag.
+/// `WaitForEpoch(e, timeout)` is the read barrier: it returns OK once
+/// `Epoch() >= e`, or kDeadlineExceeded. Reads between polls see a
+/// frozen, prefix-consistent snapshot — lag never exposes partial
+/// batches.
+///
+/// ## Failover
+///
+/// `PromoteToPrimary(vfs, dir)` detaches, checkpoints the follower's
+/// state into `dir` and opens a fresh WalDatabase over it: the
+/// follower's replicated prefix becomes the new durable history, and
+/// subsequent writes gain WAL durability immediately.
+///
+/// Thread-safety: all methods are safe to call concurrently; reads on
+/// `db()` are lock-free snapshots exactly as on the primary. The
+/// FaultVfs used by crash tests is *not* thread-safe — drive such
+/// followers with manual `Poll()` (poll_interval zero), never a
+/// streaming thread.
+class Replica {
+ public:
+  Replica() = default;
+  Replica(const Replica&) = delete;
+  Replica& operator=(const Replica&) = delete;
+  ~Replica() { Detach(); }
+
+  /// Connects to a primary and synchronously bootstraps + catches up
+  /// to its current durable bounds. Re-attaching (e.g. to the
+  /// recovered incarnation of a crashed primary) keeps the follower's
+  /// state and resumes incrementally. The shipper must outlive the
+  /// attachment.
+  Status Attach(WalShipper* shipper, FollowOptions opts = {});
+
+  /// One manual shipping round (see the protocol above). Returns OK
+  /// for a healthy round — including one that detected a rotation or
+  /// a stale handle and scheduled a re-bootstrap (`stats().resyncs`)
+  /// — and an error only for real trouble: not attached, an unreadable
+  /// checkpoint, or a history gap (divergence, kCorruption).
+  Status Poll();
+
+  /// Disconnects (stopping the streaming thread, if any). The
+  /// follower's database and stats remain readable.
+  void Detach();
+
+  bool attached() const;
+
+  /// The follower's position on the primary's mutation timeline.
+  uint64_t Epoch() const { return db_.epoch(); }
+
+  /// Read barrier: blocks until `Epoch() >= epoch` or the timeout
+  /// expires (kDeadlineExceeded). With a streaming thread, waits on
+  /// its progress signal; in manual mode, drives `Poll()` itself.
+  Status WaitForEpoch(uint64_t epoch, std::chrono::milliseconds timeout);
+
+  /// The replicated database: read-only by convention — mutating it
+  /// would diverge from the primary and poison replay with id gaps.
+  const dyndb::Database& db() const { return db_; }
+
+  ReplicaStats stats() const;
+
+  /// Failover: detach, persist this follower's state as the durable
+  /// seed of `dir`, and open a WalDatabase there. The returned primary
+  /// starts at exactly the follower's replicated prefix; writes to it
+  /// are WAL-durable from the first insert. The Replica itself is
+  /// inert afterwards (its in-memory copy stays readable).
+  Result<std::unique_ptr<WalDatabase>> PromoteToPrimary(
+      storage::Vfs* vfs, const std::string& dir, CommitPolicy policy = {});
+
+ private:
+  /// One shipping round; mu_ held.
+  Status PollLocked();
+  /// Incremental checkpoint apply + cursor restart; mu_ held.
+  Status BootstrapLocked(const WalShipper::Bounds& bounds);
+  /// Streaming-thread body.
+  void Run();
+
+  /// The replicated state. Internally thread-safe; only the polling
+  /// path (under mu_) mutates it.
+  dyndb::Database db_;
+
+  /// Guards everything below, and serializes shipping rounds.
+  mutable std::mutex mu_;
+  /// Signaled on progress and on stop; WaitForEpoch waits here.
+  std::condition_variable cv_;
+  WalShipper* shipper_ = nullptr;
+  FollowOptions opts_;
+  std::unique_ptr<storage::LogReader> reader_;
+  /// The primary generation reader_ is tailing; valid iff bootstrapped_.
+  uint64_t generation_ = 0;
+  bool bootstrapped_ = false;
+  bool stop_ = false;
+  std::thread thread_;
+  /// Raw apply counters (shared shape with recovery).
+  WalRecoveryStats applied_;
+  uint64_t bootstraps_ = 0;
+  uint64_t polls_ = 0;
+  uint64_t batches_ = 0;
+  uint64_t resyncs_ = 0;
+};
+
+}  // namespace dbpl::persist
+
+#endif  // DBPL_PERSIST_REPLICA_H_

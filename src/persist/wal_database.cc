@@ -1,5 +1,6 @@
 #include "persist/wal_database.h"
 
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -25,6 +26,13 @@ Result<std::unique_ptr<WalDatabase>> WalDatabase::Open(storage::Vfs* vfs,
   DBPL_RETURN_IF_ERROR(vfs->CreateDir(dir));
   std::unique_ptr<WalDatabase> wdb(new WalDatabase(vfs, dir, policy));
   DBPL_RETURN_IF_ERROR(wdb->Recover());
+  // Everything recovery kept is on disk by construction, so the whole
+  // recovered state is shippable from the start. (Recover set
+  // committed_bytes_ to the end of the replayed prefix.)
+  wdb->appended_epoch_ = wdb->db_.epoch();
+  wdb->committed_epoch_ = wdb->appended_epoch_;
+  wdb->durable_epoch_ = wdb->appended_epoch_;
+  wdb->durable_bytes_ = wdb->committed_bytes_;
   DBPL_ASSIGN_OR_RETURN(wdb->writer_, LogWriter::Open(vfs, wdb->wal_path_));
   if (wdb->recovery_.corrupt_tail || wdb->recovery_.uncommitted_dropped > 0) {
     // The log ends in bytes recovery ignored. Appending behind them
@@ -46,11 +54,8 @@ WalDatabase::~WalDatabase() {
   db_.SetWriteObserver(nullptr);
 }
 
-namespace {
-
-/// Applies one committed group to the database in log order.
-Status ApplyBatch(Database* db, std::vector<WalRecord>* batch,
-                  WalRecoveryStats* stats) {
+Status ApplyWalBatch(Database* db, std::vector<WalRecord>* batch,
+                     WalRecoveryStats* stats) {
   for (WalRecord& rec : *batch) {
     switch (rec.op) {
       case WalOp::kInsert: {
@@ -87,8 +92,6 @@ Status ApplyBatch(Database* db, std::vector<WalRecord>* batch,
   return Status::OK();
 }
 
-}  // namespace
-
 Status WalDatabase::Recover() {
   if (vfs_->Exists(checkpoint_path_)) {
     DBPL_ASSIGN_OR_RETURN(db_, LoadCheckpoint(vfs_, checkpoint_path_));
@@ -105,7 +108,11 @@ Status WalDatabase::Recover() {
     DBPL_ASSIGN_OR_RETURN(bool has, reader->Next(&rec));
     if (!has) break;
     if (rec.type == LogRecordType::kCommit) {
-      DBPL_RETURN_IF_ERROR(ApplyBatch(&db_, &batch, &recovery_));
+      DBPL_RETURN_IF_ERROR(ApplyWalBatch(&db_, &batch, &recovery_));
+      // The cursor sits just past the marker frame: the end of the
+      // committed prefix so far. (Dropped uncommitted/torn bytes
+      // follow the *last* marker, so this lands on the final value.)
+      committed_bytes_ = reader->offset();
       continue;
     }
     DBPL_ASSIGN_OR_RETURN(WalRecord redo, DecodeWalRecord(rec));
@@ -142,6 +149,7 @@ void WalDatabase::OnWrite(const Database::WriteEvent& event) {
     wal_status_ = std::move(appended);
     return;
   }
+  appended_epoch_ = event.epoch;
   ++pending_;
   if (pending_ >= policy_.every_n) {
     Status committed = CommitLocked();
@@ -153,7 +161,14 @@ Status WalDatabase::CommitLocked() {
   DBPL_RETURN_IF_ERROR(
       writer_->Append(LogRecord{LogRecordType::kCommit, "", ""}));
   pending_ = 0;
-  if (policy_.sync) return writer_->Sync();
+  committed_bytes_ = writer_->bytes_written();
+  committed_epoch_ = appended_epoch_;
+  if (policy_.sync) {
+    DBPL_RETURN_IF_ERROR(writer_->Sync());
+    durable_bytes_ = committed_bytes_;
+    durable_epoch_ = committed_epoch_;
+    return Status::OK();
+  }
   unsynced_commits_ = true;
   return Status::OK();
 }
@@ -178,23 +193,50 @@ Status WalDatabase::Commit() {
     DBPL_RETURN_IF_ERROR(
         writer_->Append(LogRecord{LogRecordType::kCommit, "", ""}));
     pending_ = 0;
+    committed_bytes_ = writer_->bytes_written();
+    committed_epoch_ = appended_epoch_;
   } else if (!unsynced_commits_) {
     return Status::OK();  // nothing to make durable
   }
   Status synced = writer_->Sync();
-  if (synced.ok()) unsynced_commits_ = false;
+  if (synced.ok()) {
+    unsynced_commits_ = false;
+    durable_bytes_ = committed_bytes_;
+    durable_epoch_ = committed_epoch_;
+  }
   return synced;
 }
 
 Status WalDatabase::Checkpoint() {
   std::lock_guard<std::mutex> lock(wal_mu_);
   // Holding wal_mu_ keeps the snapshot and the rotation atomic with
-  // respect to appends: an in-flight writer is queued in the observer
-  // *before publishing*, so either its record is already in the old
-  // log (and its entry is in the snapshot), or both land after the
-  // rotation. Readers never block — the snapshot is immutable.
+  // respect to appends: a writer still inside the observer is queued
+  // on wal_mu_ before its record lands, so its record and entry both
+  // land after the rotation. A writer that already *left* the
+  // observer may not have published yet — its record is in the old
+  // log but its entry could still be missing from a snapshot taken
+  // right now, and rotating on such a snapshot would lose the record
+  // without checkpointing the entry. Wait for publication to catch up
+  // with the log (the window is a few instructions; publication takes
+  // only the tiny publish mutex, never wal_mu_, so this cannot
+  // deadlock). Readers never block — the snapshot is immutable.
   Database::Snapshot snap = db_.GetSnapshot();
+  while (snap.epoch() < appended_epoch_) {
+    std::this_thread::yield();
+    snap = db_.GetSnapshot();
+  }
   DBPL_RETURN_IF_ERROR(SaveCheckpoint(vfs_, checkpoint_path_, snap));
+  // The image is durable under its final name: everything the snapshot
+  // holds is now recoverable without the old log, so the shipping
+  // state moves to "checkpoint + empty suffix" *before* the rotation
+  // is attempted — even if rotation fails below, followers must not
+  // trust old-generation byte offsets against a log in an uncertain
+  // state.
+  ++generation_;
+  committed_bytes_ = 0;
+  durable_bytes_ = 0;
+  committed_epoch_ = snap.epoch();
+  durable_epoch_ = snap.epoch();
 
   // The image is durable under its final name; now rotate the log.
   // A crash from here on is still safe: the stale log only holds
@@ -247,6 +289,11 @@ uint64_t WalDatabase::pending_in_batch() const {
 uint64_t WalDatabase::checkpoints_taken() const {
   std::lock_guard<std::mutex> lock(wal_mu_);
   return checkpoints_;
+}
+
+WalShipper::Bounds WalDatabase::ship_bounds() const {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  return Bounds{generation_, durable_bytes_, durable_epoch_};
 }
 
 }  // namespace dbpl::persist

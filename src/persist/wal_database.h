@@ -5,10 +5,12 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "dyndb/database.h"
 #include "dyndb/dynamic.h"
+#include "persist/wal.h"
 #include "storage/log.h"
 #include "storage/vfs.h"
 
@@ -48,6 +50,61 @@ struct WalRecoveryStats {
   /// from "crashed mid-append" (both recover to a committed prefix).
   bool corrupt_tail = false;
 };
+
+/// The shipping seam between a WAL primary and its replicas: the
+/// minimal, read-only contract a follower needs to tail the primary's
+/// log safely (persist::Replica is the in-process consumer; a network
+/// front-end can proxy the same interface across machines).
+///
+/// The seam deliberately exposes *files plus bounds*, not records: the
+/// follower reads the checkpoint and the log through the VFS itself,
+/// and the primary only tells it how far those bytes may be trusted.
+/// `Bounds` is a consistent triple taken under the primary's WAL mutex:
+///
+///  * `generation` — bumped at every log rotation. A follower that
+///    observes a new generation must re-bootstrap (checkpoint + log
+///    from offset 0); byte offsets from an older generation are
+///    meaningless in the rotated log.
+///  * `durable_bytes` — the log prefix covered by a *synced* commit
+///    marker. Everything at or below this offset is committed,
+///    frame-aligned, immutable and crash-durable; bytes beyond it may
+///    be uncommitted, torn, or vanish at power loss, so a follower
+///    that replicated them could diverge from a recovered primary.
+///  * `epoch` — the database epoch the durable prefix reproduces: a
+///    follower that has applied exactly that prefix reports this epoch
+///    (dyndb::Database::epoch), which is how replication lag is
+///    measured and bounded.
+///
+/// Thread-safe; values are monotone within a generation.
+class WalShipper {
+ public:
+  struct Bounds {
+    uint64_t generation = 0;
+    uint64_t durable_bytes = 0;
+    uint64_t epoch = 0;
+  };
+
+  virtual ~WalShipper() = default;
+
+  /// A consistent snapshot of the shippable state.
+  virtual Bounds ship_bounds() const = 0;
+
+  /// Where the log and checkpoint live. Stable for the lifetime of the
+  /// shipper; the Vfs must outlive every follower.
+  virtual storage::Vfs* vfs() const = 0;
+  virtual const std::string& wal_path() const = 0;
+  virtual const std::string& checkpoint_path() const = 0;
+};
+
+/// Applies one committed WAL batch to `db` in log order, idempotently:
+/// insert records whose id `db` already covers are skipped (`stats
+/// ->skipped_records`), an id beyond the next expected one is a
+/// Corruption (a gap in the shipped history), and re-registering an
+/// existing extent is a skip. Shared by WalDatabase recovery and
+/// Replica replay, so a follower converges through exactly the code
+/// path recovery is tested under. Clears `*batch` on success.
+Status ApplyWalBatch(dyndb::Database* db, std::vector<WalRecord>* batch,
+                     WalRecoveryStats* stats);
 
 /// Write-ahead-log durability for dyndb::Database: persistence as an
 /// *incremental* property of the values written, not an O(database)
@@ -99,11 +156,18 @@ struct WalRecoveryStats {
 /// is no longer gaining durability. A successful `Checkpoint()` —
 /// which persists the *entire* in-memory state — clears the condition.
 ///
+/// ## Shipping
+///
+/// A WalDatabase is itself a WalShipper: `ship_bounds()` publishes the
+/// (generation, durable-bytes, epoch) triple that lets a
+/// persist::Replica tail the log without ever reading past what a
+/// crash could take back. Attach followers with `shipper()`.
+///
 /// Thread-safety: all methods are safe under any number of concurrent
 /// readers and writers; log appends serialize on an internal mutex in
 /// database writer order. Reads go through `db()` and are lock-free
 /// after snapshot acquisition, exactly as without a WAL.
-class WalDatabase {
+class WalDatabase : public WalShipper {
  public:
   /// Opens (creating if necessary) the WAL-backed database in `dir`,
   /// running recovery. `vfs` must outlive the returned object.
@@ -168,8 +232,17 @@ class WalDatabase {
   /// What recovery found when this object was opened.
   const WalRecoveryStats& recovery_stats() const { return recovery_; }
 
-  const std::string& wal_path() const { return wal_path_; }
-  const std::string& checkpoint_path() const { return checkpoint_path_; }
+  /// This database as a shipping source for persist::Replica. Valid
+  /// for the WalDatabase's lifetime.
+  WalShipper* shipper() { return this; }
+
+  // WalShipper:
+  WalShipper::Bounds ship_bounds() const override;
+  storage::Vfs* vfs() const override { return vfs_; }
+  const std::string& wal_path() const override { return wal_path_; }
+  const std::string& checkpoint_path() const override {
+    return checkpoint_path_;
+  }
 
  private:
   WalDatabase(storage::Vfs* vfs, const std::string& dir, CommitPolicy policy)
@@ -205,6 +278,27 @@ class WalDatabase {
   /// Commit markers appended but not yet fsynced (sync=false policy).
   bool unsynced_commits_ = false;
   uint64_t checkpoints_ = 0;
+
+  // --- shipping bookkeeping (wal_mu_ held) -------------------------
+  /// Epoch of the last mutation whose redo record reached the log.
+  /// Checkpoint() waits for the published state to catch up to this
+  /// before snapshotting, closing the append-before-publish window in
+  /// which a record could sit in the old log while its entry is still
+  /// missing from the snapshot (and would be lost at rotation).
+  uint64_t appended_epoch_ = 0;
+  /// Log prefix covered by a commit marker, and the epoch it encodes.
+  uint64_t committed_bytes_ = 0;
+  uint64_t committed_epoch_ = 0;
+  /// The synced ("shippable") portion of the committed prefix. Equal
+  /// to committed_* under CommitPolicy::sync; lags it otherwise until
+  /// the next explicit Commit().
+  uint64_t durable_bytes_ = 0;
+  uint64_t durable_epoch_ = 0;
+  /// Bumped when a checkpoint lands (the log is about to rotate, so
+  /// byte offsets from before are void — even if the rotation itself
+  /// then fails, the generation bump forces followers back to the
+  /// durable checkpoint instead of a log in an uncertain state).
+  uint64_t generation_ = 0;
 };
 
 }  // namespace dbpl::persist

@@ -77,9 +77,17 @@ Status LogWriter::Sync() {
 
 Result<std::unique_ptr<LogReader>> LogReader::Open(Vfs* vfs,
                                                    const std::string& path) {
+  return OpenAt(vfs, path, 0);
+}
+
+Result<std::unique_ptr<LogReader>> LogReader::OpenAt(Vfs* vfs,
+                                                     const std::string& path,
+                                                     uint64_t offset) {
   DBPL_ASSIGN_OR_RETURN(std::unique_ptr<VfsFile> file,
                         vfs->Open(path, OpenMode::kRead));
-  return std::unique_ptr<LogReader>(new LogReader(std::move(file)));
+  std::unique_ptr<LogReader> reader(new LogReader(std::move(file)));
+  reader->offset_ = offset;
+  return reader;
 }
 
 Result<bool> LogReader::Next(LogRecord* out) {

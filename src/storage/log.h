@@ -85,6 +85,18 @@ class LogWriter {
 
 /// Streams records back from a log file, stopping cleanly at the first
 /// corrupt or truncated record (the "tail").
+///
+/// The reader doubles as a *tail-following cursor* for log shipping
+/// (persist::Replica): `offset()` is always frame-aligned (it advances
+/// only past records returned to the caller, never into a damaged
+/// tail), `OpenAt` resumes a cursor at such an offset, and `Resume()`
+/// clears the end-of-log latch so `Next` re-probes a file that may have
+/// grown since — whether the previous probe ended cleanly (no more
+/// bytes) or on an incomplete frame (an append that was still in
+/// flight, which later bytes may complete). The clean-end / torn-end
+/// distinction therefore means "at the moment of the probe": only the
+/// writer's side (a poisoned LogWriter, or a durable bound from
+/// persist::WalDatabase) can say whether a torn tail is permanent.
 class LogReader {
  public:
   /// Opens `path` for reading through `vfs` (which must outlive the
@@ -94,6 +106,14 @@ class LogReader {
   static Result<std::unique_ptr<LogReader>> Open(const std::string& path) {
     return Open(Vfs::Default(), path);
   }
+
+  /// Opens a cursor positioned at `offset`, which must be a
+  /// frame-aligned byte offset previously obtained from `offset()`
+  /// (0 is the start of the log). An arbitrary offset is detected by
+  /// the CRC framing as a corrupt tail, not undefined behaviour.
+  static Result<std::unique_ptr<LogReader>> OpenAt(Vfs* vfs,
+                                                   const std::string& path,
+                                                   uint64_t offset);
 
   LogReader(const LogReader&) = delete;
   LogReader& operator=(const LogReader&) = delete;
@@ -105,6 +125,22 @@ class LogReader {
   /// True when reading stopped because of a damaged/incomplete tail
   /// rather than a clean end of file.
   bool saw_corrupt_tail() const { return saw_corrupt_tail_; }
+
+  /// Byte offset of the next unread record: the frame-aligned position
+  /// just past the last record `Next` returned. Unchanged by a probe
+  /// that hit the (clean or corrupt) end of the log.
+  uint64_t offset() const { return offset_; }
+
+  /// Re-arms the cursor after `Next` returned false: clears the
+  /// end-of-log latch (and the corrupt-tail flag) so the next `Next`
+  /// re-reads from `offset()`. Bytes appended since — including the
+  /// completion of a frame that was mid-append at the last probe — then
+  /// become visible. A genuinely damaged tail simply reports
+  /// `saw_corrupt_tail` again.
+  void Resume() {
+    done_ = false;
+    saw_corrupt_tail_ = false;
+  }
 
  private:
   explicit LogReader(std::unique_ptr<VfsFile> file) : file_(std::move(file)) {}

@@ -363,6 +363,134 @@ TEST(LogTest, WriterPoisonedAfterTornAppend) {
   }
 }
 
+// Tail-following cursor (persist::Replica's access pattern): a reader
+// that drained the log can Resume() after more appends, OpenAt()
+// restarts a cursor at a frame boundary, and a cursor pointed at a
+// rotated (truncated) log fails cleanly instead of yielding frames.
+
+TEST(LogTest, ResumeTailFollowsAfterCleanEnd) {
+  FaultVfs vfs(0x7A11);
+  const std::string path = "tail.log";
+  auto writer = LogWriter::Open(&vfs, path);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append({LogRecordType::kPut, "a", "1"}).ok());
+  ASSERT_TRUE((*writer)->Sync().ok());
+
+  auto reader = LogReader::Open(&vfs, path);
+  ASSERT_TRUE(reader.ok());
+  LogRecord r;
+  ASSERT_TRUE(*(*reader)->Next(&r));
+  EXPECT_FALSE(*(*reader)->Next(&r));  // clean end: done
+  EXPECT_FALSE((*reader)->saw_corrupt_tail());
+  const uint64_t boundary = (*reader)->offset();
+  EXPECT_EQ(boundary, (*writer)->bytes_written());
+
+  // The log grows; the same cursor resumes from where it stopped.
+  ASSERT_TRUE((*writer)->Append({LogRecordType::kPut, "b", "2"}).ok());
+  ASSERT_TRUE((*writer)->Sync().ok());
+  EXPECT_FALSE(*(*reader)->Next(&r));  // still latched done...
+  (*reader)->Resume();                 // ...until told to look again
+  ASSERT_TRUE(*(*reader)->Next(&r));
+  EXPECT_EQ(r, (LogRecord{LogRecordType::kPut, "b", "2"}));
+  EXPECT_EQ((*reader)->offset(), (*writer)->bytes_written());
+}
+
+TEST(LogTest, OpenAtRestartsCursorAtFrameBoundary) {
+  FaultVfs vfs(0x7A12);
+  const std::string path = "openat.log";
+  auto writer = LogWriter::Open(&vfs, path);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append({LogRecordType::kPut, "a", "1"}).ok());
+  const uint64_t after_first = (*writer)->bytes_written();
+  ASSERT_TRUE((*writer)->Append({LogRecordType::kPut, "b", "2"}).ok());
+  ASSERT_TRUE((*writer)->Append({LogRecordType::kCommit, "", ""}).ok());
+  ASSERT_TRUE((*writer)->Sync().ok());
+
+  // A fresh cursor at a recorded boundary sees exactly the suffix.
+  auto reader = LogReader::OpenAt(&vfs, path, after_first);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->offset(), after_first);
+  LogRecord r;
+  ASSERT_TRUE(*(*reader)->Next(&r));
+  EXPECT_EQ(r, (LogRecord{LogRecordType::kPut, "b", "2"}));
+  ASSERT_TRUE(*(*reader)->Next(&r));
+  EXPECT_EQ(r.type, LogRecordType::kCommit);
+  EXPECT_FALSE(*(*reader)->Next(&r));
+  EXPECT_FALSE((*reader)->saw_corrupt_tail());
+}
+
+TEST(LogTest, StaleCursorAtRotationBoundaryFailsCleanly) {
+  FaultVfs vfs(0x7A13);
+  const std::string path = "rotate.log";
+  {
+    auto writer = LogWriter::Open(&vfs, path);
+    ASSERT_TRUE(writer.ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(
+          (*writer)->Append({LogRecordType::kPut, "k", "vvvvvvvv"}).ok());
+    }
+    ASSERT_TRUE((*writer)->Sync().ok());
+  }
+  auto reader = LogReader::Open(&vfs, path);
+  ASSERT_TRUE(reader.ok());
+  LogRecord r;
+  ASSERT_TRUE(*(*reader)->Next(&r));
+  ASSERT_TRUE(*(*reader)->Next(&r));
+  const uint64_t stale = (*reader)->offset();
+
+  // The log rotates: truncate-and-rewrite, shorter than the cursor.
+  {
+    auto truncated = vfs.Open(path, OpenMode::kTruncate);
+    ASSERT_TRUE(truncated.ok());
+  }
+  {
+    auto writer = LogWriter::Open(&vfs, path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append({LogRecordType::kPut, "n", "1"}).ok());
+    ASSERT_TRUE((*writer)->Sync().ok());
+    ASSERT_LT((*writer)->bytes_written(), stale);
+  }
+  // The stale cursor points past the rotated log's end: it must report
+  // end-of-log (a clean or torn tail), never a decoded frame.
+  (*reader)->Resume();
+  EXPECT_FALSE(*(*reader)->Next(&r));
+
+  // And a restarted cursor reads the new generation normally.
+  auto fresh = LogReader::OpenAt(&vfs, path, 0);
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_TRUE(*(*fresh)->Next(&r));
+  EXPECT_EQ(r, (LogRecord{LogRecordType::kPut, "n", "1"}));
+}
+
+TEST(LogTest, CursorPastPoisonedWriterTailStopsAtLastGoodFrame) {
+  // A torn append leaves a partial frame mid-file; a tailing cursor
+  // must stop *at the last good frame boundary* so a later OpenAt at
+  // its offset() re-reads nothing and skips nothing.
+  FaultVfs vfs(0x7A14);
+  const std::string path = "torntail.log";
+  auto writer = LogWriter::Open(&vfs, path);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append({LogRecordType::kPut, "a", "1"}).ok());
+  ASSERT_TRUE((*writer)->Sync().ok());
+  const uint64_t good = (*writer)->bytes_written();
+
+  vfs.CrashAtMutatingOp(1);
+  EXPECT_FALSE((*writer)->Append({LogRecordType::kPut, "b", "2"}).ok());
+  EXPECT_TRUE((*writer)->poisoned());
+  vfs.ClearCrash();
+
+  auto reader = LogReader::Open(&vfs, path);
+  ASSERT_TRUE(reader.ok());
+  LogRecord r;
+  ASSERT_TRUE(*(*reader)->Next(&r));
+  const bool more = *(*reader)->Next(&r);
+  if (!more && (*reader)->saw_corrupt_tail()) {
+    // Partial frame bytes landed: the cursor must sit on the last
+    // good boundary, not somewhere inside the torn frame.
+    EXPECT_EQ((*reader)->offset(), good);
+  }
+}
+
 // ---------------------------------------------------------------------
 // KvStore
 // ---------------------------------------------------------------------
