@@ -102,7 +102,7 @@ Ctx* g_ctx = nullptr;
 void SetupPinnedScan(const benchmark::State& state) {
   g_ctx = new Ctx;
   const int64_t n = state.range(0);
-  for (int64_t i = 0; i < n; ++i) g_ctx->db.InsertValue(MakeRec(i));
+  for (int64_t i = 0; i < n; ++i) g_ctx->db.MustInsertValue(MakeRec(i));
   g_ctx->snap = g_ctx->db.GetSnapshot();
 }
 
@@ -111,7 +111,7 @@ void SetupScanWithWriter(const benchmark::State& state) {
   g_ctx->writer = std::thread([ctx = g_ctx] {
     int64_t j = 1 << 24;
     while (!ctx->stop.load(std::memory_order_relaxed)) {
-      ctx->db.InsertValue(MakeRec(j++));
+      ctx->db.MustInsertValue(MakeRec(j++));
       std::this_thread::yield();  // writer pressure, not writer monopoly
     }
   });

@@ -103,7 +103,7 @@ void SetupSnapshotBaseline(const benchmark::State& state) {
   g_ctx->dir = FreshDir();
   std::filesystem::create_directories(g_ctx->dir);
   const int64_t n = state.range(0);
-  for (int64_t i = 0; i < n; ++i) g_ctx->db.InsertValue(MakeRec(i));
+  for (int64_t i = 0; i < n; ++i) g_ctx->db.MustInsertValue(MakeRec(i));
   g_ctx->next = n;
 }
 
@@ -149,7 +149,7 @@ void BM_WalInsertGroupCommit(benchmark::State& state) {
 void BM_SnapshotSaveAfterInsert(benchmark::State& state) {
   const std::string path = g_ctx->dir + "/image.dbpl";
   for (auto _ : state) {
-    g_ctx->db.InsertValue(MakeRec(g_ctx->next++));
+    g_ctx->db.MustInsertValue(MakeRec(g_ctx->next++));
     if (!dbpl::persist::SaveDatabase(path, g_ctx->db).ok()) {
       state.SkipWithError("save failed");
       return;

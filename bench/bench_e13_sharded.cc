@@ -1,0 +1,265 @@
+// E13 — sharded multi-writer entry log (DESIGN.md §8/§9,
+// EXPERIMENTS.md §E13).
+//
+// The claim under test: partitioning the append-only entry log into K
+// hash-routed shards — each with its own writer mutex, chunk spine and
+// WAL segment — removes the single writer lock from the insert path,
+// so concurrent writers stop serializing on one mutex. On a
+// many-core machine that buys parallel insert scaling; on one core it
+// still shows up as lower lock-handoff overhead. Readers are
+// unaffected either way (snapshots stay lock-free).
+//
+//  * BM_ShardedInsert/K/threads:T       — in-memory dyndb inserts, K
+//    shards, T concurrent writer threads. The K=1/T>1 rows are the
+//    single-mutex baseline the sharded rows are read against.
+//  * BM_ShardedWalInsert/K/threads:T    — the same through
+//    persist::WalDatabase with group commit (sync, every_n=8): lane
+//    appends happen under per-shard mutexes and one leader batches
+//    the fsyncs for everyone.
+//  * BM_ShardedCheckpoint/K/n           — the once-per-checkpoint cost
+//    at size n: snapshot save + rotating all K lane segments.
+//
+// WAL I/O goes through the production VFS into a fresh temp directory
+// per run. This binary has its own main: besides the console output it
+// writes BENCH_E13.json (override with DBPL_BENCH_E13_JSON) with one
+// record per run — name, shards, threads, n, ns_per_op,
+// inserts_per_sec — so the EXPERIMENTS.md §E13 table can be
+// regenerated mechanically.
+
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/value.h"
+#include "dyndb/database.h"
+#include "persist/wal_database.h"
+#include "storage/vfs.h"
+
+namespace {
+
+using dbpl::core::Value;
+using dbpl::dyndb::Database;
+using dbpl::dyndb::DatabaseOptions;
+using dbpl::persist::CommitPolicy;
+using dbpl::persist::WalDatabase;
+using dbpl::persist::WalOptions;
+
+Value MakeRec(int64_t i) {
+  return Value::RecordOf({{"seq", Value::Int(i)},
+                          {"name", Value::String("r" + std::to_string(i % 97))},
+                          {"flag", Value::Bool((i & 1) != 0)}});
+}
+
+std::string FreshDir() {
+  static int counter = 0;
+  std::string dir = std::filesystem::temp_directory_path() /
+                    ("dbpl_bench_e13_" + std::to_string(::getpid()) + "_" +
+                     std::to_string(counter++));
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+struct Ctx {
+  std::string dir;
+  std::unique_ptr<Database> db;
+  std::unique_ptr<WalDatabase> wdb;
+};
+
+Ctx* g_ctx = nullptr;
+
+void SetupMemory(const benchmark::State& state) {
+  g_ctx = new Ctx;
+  g_ctx->db = std::make_unique<Database>(
+      DatabaseOptions{static_cast<int>(state.range(0))});
+}
+
+void SetupWal(const benchmark::State& state) {
+  g_ctx = new Ctx;
+  g_ctx->dir = FreshDir();
+  auto wdb = WalDatabase::Open(
+      dbpl::storage::Vfs::Default(), g_ctx->dir,
+      WalOptions{CommitPolicy{8, true}, static_cast<int>(state.range(0))});
+  if (!wdb.ok()) {
+    std::cerr << "bench_e13: open failed: " << wdb.status() << "\n";
+    std::abort();
+  }
+  g_ctx->wdb = std::move(*wdb);
+}
+
+void SetupCheckpoint(const benchmark::State& state) {
+  g_ctx = new Ctx;
+  g_ctx->dir = FreshDir();
+  auto wdb = WalDatabase::Open(
+      dbpl::storage::Vfs::Default(), g_ctx->dir,
+      WalOptions{CommitPolicy{64, true}, static_cast<int>(state.range(0))});
+  if (!wdb.ok()) std::abort();
+  g_ctx->wdb = std::move(*wdb);
+  const int64_t n = state.range(1);
+  for (int64_t i = 0; i < n; ++i) {
+    (void)g_ctx->wdb->InsertValue(MakeRec(i));
+  }
+}
+
+void Teardown(const benchmark::State&) {
+  g_ctx->wdb.reset();
+  if (!g_ctx->dir.empty()) std::filesystem::remove_all(g_ctx->dir);
+  delete g_ctx;
+  g_ctx = nullptr;
+}
+
+void AddWriterCounters(benchmark::State& state, int64_t shards) {
+  // Config counters must not be summed across threads (the default
+  // aggregation); the throughput counter must be (total inserts / s).
+  state.counters["shards"] = benchmark::Counter(
+      static_cast<double>(shards), benchmark::Counter::kAvgThreads);
+  state.counters["threads"] = benchmark::Counter(
+      static_cast<double>(state.threads()), benchmark::Counter::kAvgThreads);
+  state.counters["inserts_per_sec"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+
+void BM_ShardedInsert(benchmark::State& state) {
+  // Distinct value streams per thread so the hash routing spreads work
+  // the same way a real multi-writer workload would.
+  int64_t i = static_cast<int64_t>(state.thread_index()) << 32;
+  for (auto _ : state) {
+    g_ctx->db->MustInsertValue(MakeRec(i++));
+  }
+  AddWriterCounters(state, state.range(0));
+}
+
+void BM_ShardedWalInsert(benchmark::State& state) {
+  int64_t i = static_cast<int64_t>(state.thread_index()) << 32;
+  for (auto _ : state) {
+    auto id = g_ctx->wdb->InsertValue(MakeRec(i++));
+    if (!id.ok()) {
+      state.SkipWithError("insert failed");
+      return;
+    }
+  }
+  AddWriterCounters(state, state.range(0));
+}
+
+void BM_ShardedCheckpoint(benchmark::State& state) {
+  int64_t i = state.range(1);
+  for (auto _ : state) {
+    (void)g_ctx->wdb->InsertValue(MakeRec(i++));
+    if (!g_ctx->wdb->Checkpoint().ok()) {
+      state.SkipWithError("checkpoint failed");
+      return;
+    }
+  }
+  state.counters["shards"] = static_cast<double>(state.range(0));
+  state.counters["threads"] = 1;
+  state.counters["n"] = static_cast<double>(state.range(1));
+}
+
+/// Console reporter that also collects every run and dumps them as a
+/// JSON array when the binary exits (same scheme as bench_e11).
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      Record rec;
+      rec.name = run.benchmark_name();
+      rec.ns_per_op =
+          run.iterations > 0
+              ? run.real_accumulated_time / static_cast<double>(run.iterations) *
+                    1e9
+              : 0.0;
+      rec.shards = Counter(run, "shards");
+      rec.threads = CounterOr(run, "threads", 1.0);
+      rec.n = Counter(run, "n");
+      rec.inserts_per_sec = Counter(run, "inserts_per_sec");
+      records_.push_back(std::move(rec));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  void WriteJson(const std::string& path) const {
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+      std::cerr << "bench_e13: cannot open " << path << " for writing\n";
+      return;
+    }
+    out << "[\n";
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      std::string variant = r.name.substr(0, r.name.find('/'));
+      out << "  {\"name\": \"" << r.name << "\", \"variant\": \"" << variant
+          << "\", \"shards\": " << static_cast<int64_t>(r.shards)
+          << ", \"threads\": " << static_cast<int64_t>(r.threads)
+          << ", \"n\": " << static_cast<int64_t>(r.n)
+          << ", \"ns_per_op\": " << r.ns_per_op
+          << ", \"inserts_per_sec\": " << r.inserts_per_sec << "}"
+          << (i + 1 < records_.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+  }
+
+ private:
+  struct Record {
+    std::string name;
+    double shards = 1, threads = 1, n = 0, ns_per_op = 0, inserts_per_sec = 0;
+  };
+
+  static double Counter(const Run& run, const char* key) {
+    return CounterOr(run, key, 0.0);
+  }
+  static double CounterOr(const Run& run, const char* key, double fallback) {
+    auto it = run.counters.find(key);
+    return it == run.counters.end() ? fallback
+                                    : static_cast<double>(it->second.value);
+  }
+
+  std::vector<Record> records_;
+};
+
+}  // namespace
+
+BENCHMARK(BM_ShardedInsert)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->UseRealTime()
+    ->Setup(SetupMemory)
+    ->Teardown(Teardown);
+BENCHMARK(BM_ShardedWalInsert)
+    ->Arg(1)
+    ->Arg(4)
+    ->Threads(1)
+    ->Threads(4)
+    ->UseRealTime()
+    ->Setup(SetupWal)
+    ->Teardown(Teardown);
+BENCHMARK(BM_ShardedCheckpoint)
+    ->Args({1, 4096})
+    ->Args({4, 4096})
+    ->UseRealTime()
+    ->Setup(SetupCheckpoint)
+    ->Teardown(Teardown)
+    ->Unit(benchmark::kMicrosecond);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonTeeReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  const char* path = std::getenv("DBPL_BENCH_E13_JSON");
+  reporter.WriteJson(path != nullptr ? path : "BENCH_E13.json");
+  return 0;
+}

@@ -47,14 +47,14 @@ Database MakeDb(int64_t n, int64_t sel_pct, int64_t hier) {
   };
   for (int64_t i = 0; i < n; ++i) {
     if (next() % 100 < static_cast<uint64_t>(sel_pct)) {
-      db.InsertValue(Value::RecordOf(
+      db.MustInsertValue(Value::RecordOf(
           {{"Name", Value::String("e" + std::to_string(i))},
            {"Empno", Value::Int(i)},
            {"Dept", Value::String("Sales")}}));
     } else {
       // One of `hier` sibling shapes, none a subtype of Employee.
       int64_t shape = static_cast<int64_t>(next() % static_cast<uint64_t>(hier));
-      db.InsertValue(Value::RecordOf(
+      db.MustInsertValue(Value::RecordOf(
           {{"Name", Value::String("p" + std::to_string(i))},
            {"Extra" + std::to_string(shape), Value::Int(i)}}));
     }
@@ -117,7 +117,7 @@ void BM_InsertWithExtents(benchmark::State& state) {
     }
     state.ResumeTiming();
     for (int64_t i = 0; i < 1024; ++i) {
-      db.InsertValue(Value::RecordOf(
+      db.MustInsertValue(Value::RecordOf(
           {{"Name", Value::String("e")},
            {"Empno", Value::Int(i)},
            {"Dept", Value::String("Sales")}}));

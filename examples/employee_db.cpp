@@ -77,10 +77,10 @@ int main() {
   // Part 2: no classes — the extents fall out of the type hierarchy.
   // -------------------------------------------------------------------
   dbpl::dyndb::Database db;
-  db.InsertValue(Person("P Plain"));
-  db.InsertValue(Employee("E Vance", 1, "Sales"));
-  db.InsertValue(Employee("J Doe", 1234, "Sales"));
-  db.InsertValue(Value::String("stray value — the db is unconstrained"));
+  db.MustInsertValue(Person("P Plain"));
+  db.MustInsertValue(Employee("E Vance", 1, "Sales"));
+  db.MustInsertValue(Employee("J Doe", 1234, "Sales"));
+  db.MustInsertValue(Value::String("stray value — the db is unconstrained"));
 
   std::cout << "\nderived extents via Get (no class construct):\n";
   for (const char* type_text :

@@ -57,10 +57,10 @@ int main() {
   // 3. The heterogeneous database and the generic Get.
   // -------------------------------------------------------------------
   dbpl::dyndb::Database db;
-  db.InsertValue(Value::RecordOf({{"Name", Value::String("p1")}}));
-  db.InsertValue(Value::RecordOf(
+  db.MustInsertValue(Value::RecordOf({{"Name", Value::String("p1")}}));
+  db.MustInsertValue(Value::RecordOf(
       {{"Name", Value::String("e1")}, {"Empno", Value::Int(1)}}));
-  db.InsertValue(Value::Int(42));  // anything goes: it is a list of dynamics
+  db.MustInsertValue(Value::Int(42));  // anything goes: it is a list of dynamics
 
   std::cout << "Get[Person]   -> " << db.GetScan(person).size()
             << " values\n";

@@ -1,6 +1,8 @@
 #include "dyndb/database.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <set>
 
 #include "core/parallel.h"
 #include "types/subtype.h"
@@ -25,10 +27,12 @@ struct IdListView {
   size_t count = 0;
 };
 
-/// One immutable published state of the database. Copying a State
-/// (the writer's copy-on-write step) copies the two index maps — a few
+/// One immutable published state of one shard. Copying a State (the
+/// writer's copy-on-write step) copies the two index maps — a few
 /// pointers per distinct principal type / extent — and shares the
-/// append-only entry chunks and id vectors.
+/// append-only entry chunks and id vectors. Member id lists hold
+/// *global* ids (`seq*K + shard`); the chunk log is indexed by the
+/// shard-local sequence.
 struct Database::Snapshot::State {
   using Chunk = std::vector<Dynamic>;
   using Spine = std::vector<std::shared_ptr<Chunk>>;
@@ -38,13 +42,17 @@ struct Database::Snapshot::State {
     IdListView members;
   };
 
+  /// Mutations applied to this shard (inserts + registrations).
   uint64_t epoch = 0;
-  /// Entries visible in this state: global ids [0, count).
+  /// Entries visible in this shard: local sequences [0, count).
   size_t count = 0;
   std::shared_ptr<const Spine> chunks = std::make_shared<Spine>();
-  /// Principal type -> entries with exactly that carried type.
+  /// Principal type -> entries (global ids) with exactly that type.
   std::map<types::Type, IdListView, types::TypeLess> by_type;
-  /// Named maintained extents.
+  /// Named maintained extents. The registration table (names + types)
+  /// is identical across all shard states of one snapshot (the
+  /// registration seqlock guarantees it); the member lists are this
+  /// shard's contribution.
   std::map<std::string, Extent> extents;
   /// Equivalence-normalizing lookup, fast path: the syntactic type an
   /// extent was registered under -> its name. A query type that is
@@ -52,46 +60,66 @@ struct Database::Snapshot::State {
   /// a TypeEquiv scan over `extents`.
   std::map<types::Type, std::string, types::TypeLess> extent_by_type;
 
-  const Dynamic& Entry(EntryId id) const {
-    return (*(*chunks)[id / kChunkCap]).data()[id % kChunkCap];
+  /// Entry by shard-local sequence.
+  const Dynamic& EntryAt(size_t seq) const {
+    return (*(*chunks)[seq / kChunkCap]).data()[seq % kChunkCap];
   }
 };
 
 struct Database::Core {
-  /// Serializes writers. Held across the whole read-copy-update of a
-  /// State; never held by readers.
-  std::mutex writer_mu;
-  /// Guards only the `state` pointer itself. Readers hold it for one
-  /// shared_ptr copy; writers for one pointer swap. All the expensive
-  /// work — building the next State, destroying retired ones — happens
-  /// outside this lock. (A std::atomic<std::shared_ptr> would make the
-  /// copy lock-free, but libstdc++'s implementation guards its raw
-  /// pointer with an internal spinlock whose unlock is relaxed, so it
-  /// is not data-race-free under TSan; a real mutex is, and the
-  /// critical section is two refcount operations long.)
-  mutable std::mutex state_mu;
-  std::shared_ptr<const Snapshot::State> state;
+  /// One writer lane per shard. Heap-allocated so addresses are stable
+  /// while Core's vector is built (and because mutexes are immovable).
+  struct ShardCore {
+    /// Serializes this shard's writers. Held across the whole
+    /// read-copy-update of a State; never held by readers.
+    std::mutex writer_mu;
+    /// Guards only the `state` pointer itself. Readers hold it for one
+    /// shared_ptr copy; writers for one pointer swap. All the
+    /// expensive work — building the next State, destroying retired
+    /// ones — happens outside this lock. (A std::atomic<shared_ptr>
+    /// would make the copy lock-free, but libstdc++'s implementation
+    /// guards its raw pointer with an internal spinlock whose unlock
+    /// is relaxed, so it is not data-race-free under TSan; a real
+    /// mutex is, and the critical section is two refcount operations
+    /// long.)
+    mutable std::mutex state_mu;
+    std::shared_ptr<const Snapshot::State> state;
 
-  /// Invoked under writer_mu, before Publish (see SetWriteObserver).
-  /// Only touched with writer_mu held, so writers never race on it.
-  WriteObserver observer;
-
-  std::shared_ptr<const Snapshot::State> Acquire() const {
-    std::lock_guard<std::mutex> lock(state_mu);
-    return state;
-  }
-
-  /// Publishes `next` and retires the previous state. The retired
-  /// state's destruction (which may cascade through chunks and id
-  /// lists no snapshot pins any more) runs after the lock is released.
-  void Publish(std::shared_ptr<const Snapshot::State> next) {
-    std::shared_ptr<const Snapshot::State> retired;
-    {
+    std::shared_ptr<const Snapshot::State> Acquire() const {
       std::lock_guard<std::mutex> lock(state_mu);
-      retired = std::move(state);
-      state = std::move(next);
+      return state;
     }
-  }
+
+    /// Publishes `next` and retires the previous state. The retired
+    /// state's destruction (which may cascade through chunks and id
+    /// lists no snapshot pins any more) runs after the lock is
+    /// released.
+    void Publish(std::shared_ptr<const Snapshot::State> next) {
+      std::shared_ptr<const Snapshot::State> retired;
+      {
+        std::lock_guard<std::mutex> lock(state_mu);
+        retired = std::move(state);
+        state = std::move(next);
+      }
+    }
+  };
+
+  int shards = 1;
+  std::vector<std::unique_ptr<ShardCore>> lanes;
+
+  /// Registration seqlock: odd while RegisterExtent is publishing its
+  /// K per-shard states, bumped to even when all are out. Multi-shard
+  /// snapshot acquisition retries while odd / across a change, so a
+  /// composite snapshot never sees an extent on some shards but not
+  /// others. Inserts never touch it; with one shard it is never
+  /// consulted.
+  std::atomic<uint64_t> extent_seq{0};
+
+  /// Invoked under the mutated shard's writer_mu, before the mutation
+  /// is applied (see SetWriteObserver). Written only with *all* writer
+  /// mutexes held, read with at least one — so writers never race on
+  /// it.
+  WriteObserver observer;
 };
 
 namespace {
@@ -123,70 +151,156 @@ const State::Extent* FindExtent(const State& s, const types::Type& t) {
   return nullptr;
 }
 
-std::vector<core::Value> ValuesOf(const State& s, const IdListView& view) {
+std::vector<core::Value> ValuesOf(const State& s, const IdListView& view,
+                                  int shards) {
   std::vector<core::Value> out;
   out.reserve(view.count);
   const Database::EntryId* ids = view.ids ? view.ids->data() : nullptr;
-  for (size_t i = 0; i < view.count; ++i) out.push_back(s.Entry(ids[i]).value);
+  for (size_t i = 0; i < view.count; ++i) {
+    out.push_back(
+        s.EntryAt(Database::SeqOfId(ids[i], shards)).value);
+  }
   return out;
 }
 
 }  // namespace
 
 // ---------------------------------------------------------------------
-// Snapshot: queries over one frozen state.
+// Snapshot: queries over one frozen composite state.
 // ---------------------------------------------------------------------
 
-size_t Database::Snapshot::size() const { return state_->count; }
+const State& Database::Snapshot::shard(int s) const {
+  return single_ ? *single_ : *multi_[static_cast<size_t>(s)];
+}
 
-uint64_t Database::Snapshot::epoch() const { return state_->epoch; }
+int Database::Snapshot::shards() const {
+  return single_ ? 1 : static_cast<int>(multi_.size());
+}
+
+size_t Database::Snapshot::size() const {
+  if (single_) return single_->count;
+  size_t total = 0;
+  for (const auto& s : multi_) total += s->count;
+  return total;
+}
+
+uint64_t Database::Snapshot::epoch() const {
+  if (single_) return single_->epoch;
+  uint64_t total = 0;
+  for (const auto& s : multi_) total += s->epoch;
+  return total;
+}
+
+size_t Database::Snapshot::shard_size(int s) const { return shard(s).count; }
+
+uint64_t Database::Snapshot::shard_epoch(int s) const {
+  return shard(s).epoch;
+}
 
 Result<Dynamic> Database::Snapshot::Get(EntryId id) const {
-  if (id >= state_->count) {
+  const int k = shards();
+  const int s = ShardOfId(id, k);
+  const size_t seq = SeqOfId(id, k);
+  if (seq >= shard(s).count) {
     return Status::NotFound("no entry with id " + std::to_string(id));
   }
-  return state_->Entry(id);
+  return shard(s).EntryAt(seq);
+}
+
+void Database::Snapshot::ForEachEntry(
+    const std::function<void(EntryId, const Dynamic&)>& fn) const {
+  if (single_) {
+    for (size_t seq = 0; seq < single_->count; ++seq) {
+      fn(static_cast<EntryId>(seq), single_->EntryAt(seq));
+    }
+    return;
+  }
+  // Id order is (seq, shard) lexicographic: ids are seq*K + s.
+  const int k = shards();
+  size_t max_count = 0;
+  for (const auto& st : multi_) max_count = std::max(max_count, st->count);
+  for (size_t seq = 0; seq < max_count; ++seq) {
+    for (int s = 0; s < k; ++s) {
+      const State& st = shard(s);
+      if (seq < st.count) {
+        fn(static_cast<EntryId>(seq) * static_cast<EntryId>(k) +
+               static_cast<EntryId>(s),
+           st.EntryAt(seq));
+      }
+    }
+  }
 }
 
 std::vector<Dynamic> Database::Snapshot::Entries() const {
   std::vector<Dynamic> out;
-  out.reserve(state_->count);
-  for (EntryId id = 0; id < state_->count; ++id) {
-    out.push_back(state_->Entry(id));
-  }
+  out.reserve(size());
+  ForEachEntry([&](EntryId, const Dynamic& d) { out.push_back(d); });
   return out;
 }
 
 std::vector<core::Value> Database::Snapshot::GetScan(
     const types::Type& t, const GetOptions& opts) const {
-  const State& s = *state_;
-  int shards = core::ClampThreads(opts.threads);
-  if (shards <= 1 || s.count < 2) {
+  const int workers = core::ClampThreads(opts.threads);
+  const size_t total = size();
+  if (workers <= 1 || total < 2) {
     std::vector<core::Value> out;
-    for (EntryId id = 0; id < s.count; ++id) {
-      const Dynamic& d = s.Entry(id);
+    ForEachEntry([&](EntryId, const Dynamic& d) {
       if (types::IsSubtype(d.type, t)) out.push_back(d.value);
+    });
+    return out;
+  }
+  if (single_) {
+    // Contiguous sequence ranges, concatenated in range order:
+    // identical output to the sequential scan.
+    const State& s = *single_;
+    std::vector<std::vector<core::Value>> parts(
+        static_cast<size_t>(workers));
+    size_t per = (s.count + static_cast<size_t>(workers) - 1) /
+                 static_cast<size_t>(workers);
+    (void)core::ParallelFor(parts.size(), workers, [&](size_t p) {
+      size_t begin = p * per;
+      size_t end = std::min(s.count, (p + 1) * per);
+      for (size_t seq = begin; seq < end; ++seq) {
+        const Dynamic& d = s.EntryAt(seq);
+        if (types::IsSubtype(d.type, t)) parts[p].push_back(d.value);
+      }
+      return Status::OK();
+    });
+    std::vector<core::Value> out;
+    size_t n = 0;
+    for (const auto& part : parts) n += part.size();
+    out.reserve(n);
+    for (auto& part : parts) {
+      std::move(part.begin(), part.end(), std::back_inserter(out));
     }
     return out;
   }
-  // Contiguous shards, concatenated in shard order: identical output to
-  // the sequential scan.
-  std::vector<std::vector<core::Value>> parts(static_cast<size_t>(shards));
-  size_t per = (s.count + static_cast<size_t>(shards) - 1) /
-               static_cast<size_t>(shards);
-  (void)core::ParallelFor(parts.size(), shards, [&](size_t p) {
-    EntryId begin = static_cast<EntryId>(p * per);
-    EntryId end = static_cast<EntryId>(std::min(s.count, (p + 1) * per));
-    for (EntryId id = begin; id < end; ++id) {
-      const Dynamic& d = s.Entry(id);
-      if (types::IsSubtype(d.type, t)) parts[p].push_back(d.value);
+  // Composite: each worker takes a contiguous *sequence* range across
+  // all shards and walks it in id order; concatenation in range order
+  // reproduces the sequential id-order scan exactly.
+  const int k = shards();
+  size_t max_count = 0;
+  for (const auto& st : multi_) max_count = std::max(max_count, st->count);
+  std::vector<std::vector<core::Value>> parts(static_cast<size_t>(workers));
+  size_t per = (max_count + static_cast<size_t>(workers) - 1) /
+               static_cast<size_t>(workers);
+  (void)core::ParallelFor(parts.size(), workers, [&](size_t p) {
+    size_t begin = p * per;
+    size_t end = std::min(max_count, (p + 1) * per);
+    for (size_t seq = begin; seq < end; ++seq) {
+      for (int s = 0; s < k; ++s) {
+        const State& st = shard(s);
+        if (seq >= st.count) continue;
+        const Dynamic& d = st.EntryAt(seq);
+        if (types::IsSubtype(d.type, t)) parts[p].push_back(d.value);
+      }
     }
     return Status::OK();
   });
   std::vector<core::Value> out;
-  size_t total = 0;
-  for (const auto& part : parts) total += part.size();
-  out.reserve(total);
+  size_t n = 0;
+  for (const auto& part : parts) n += part.size();
+  out.reserve(n);
   for (auto& part : parts) {
     std::move(part.begin(), part.end(), std::back_inserter(out));
   }
@@ -195,59 +309,146 @@ std::vector<core::Value> Database::Snapshot::GetScan(
 
 Result<std::vector<core::Value>> Database::Snapshot::GetViaExtent(
     const types::Type& t) const {
-  const State::Extent* extent = FindExtent(*state_, t);
-  if (extent == nullptr) {
+  if (single_) {
+    const State::Extent* extent = FindExtent(*single_, t);
+    if (extent == nullptr) {
+      return Status::NotFound("no registered extent for type " + t.ToString());
+    }
+    return ValuesOf(*single_, extent->members, 1);
+  }
+  // The registration table is identical across shards (seqlock), so
+  // shard 0 answers the lookup; the members are the id-order merge of
+  // the per-shard lists (each ascending — per-shard inserts append
+  // increasing ids).
+  const State::Extent* probe = FindExtent(shard(0), t);
+  if (probe == nullptr) {
     return Status::NotFound("no registered extent for type " + t.ToString());
   }
-  return ValuesOf(*state_, extent->members);
+  const int k = shards();
+  const std::string* name = nullptr;
+  for (const auto& [n, e] : shard(0).extents) {
+    if (&e == probe) {
+      name = &n;
+      break;
+    }
+  }
+  std::vector<std::pair<const State*, const State::Extent*>> per_shard;
+  per_shard.reserve(static_cast<size_t>(k));
+  size_t total = 0;
+  for (int s = 0; s < k; ++s) {
+    auto it = shard(s).extents.find(*name);
+    const State::Extent* e = it == shard(s).extents.end() ? nullptr : &it->second;
+    per_shard.emplace_back(&shard(s), e);
+    if (e != nullptr) total += e->members.count;
+  }
+  std::vector<std::pair<EntryId, core::Value>> tagged;
+  tagged.reserve(total);
+  for (auto& [st, e] : per_shard) {
+    if (e == nullptr) continue;
+    const EntryId* ids = e->members.ids ? e->members.ids->data() : nullptr;
+    for (size_t i = 0; i < e->members.count; ++i) {
+      tagged.emplace_back(ids[i], st->EntryAt(SeqOfId(ids[i], k)).value);
+    }
+  }
+  std::sort(tagged.begin(), tagged.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<core::Value> out;
+  out.reserve(tagged.size());
+  for (auto& [id, v] : tagged) out.push_back(std::move(v));
+  return out;
 }
 
 std::vector<core::Value> Database::Snapshot::GetViaIndex(
     const types::Type& t, const GetOptions& opts) const {
-  const State& s = *state_;
-  int shards = core::ClampThreads(opts.threads);
-  if (shards <= 1 || s.by_type.size() < 2) {
-    std::vector<core::Value> out;
-    for (const auto& [type, ids] : s.by_type) {
-      if (types::IsSubtype(type, t)) {
-        const EntryId* p = ids.ids ? ids.ids->data() : nullptr;
-        for (size_t i = 0; i < ids.count; ++i) out.push_back(s.Entry(p[i]).value);
+  const int workers = core::ClampThreads(opts.threads);
+  if (single_) {
+    const State& s = *single_;
+    if (workers <= 1 || s.by_type.size() < 2) {
+      std::vector<core::Value> out;
+      for (const auto& [type, ids] : s.by_type) {
+        if (types::IsSubtype(type, t)) {
+          const EntryId* p = ids.ids ? ids.ids->data() : nullptr;
+          for (size_t i = 0; i < ids.count; ++i) {
+            out.push_back(s.EntryAt(p[i]).value);
+          }
+        }
       }
+      return out;
+    }
+    // One task per distinct principal type; concatenation in map order
+    // matches the sequential result exactly.
+    std::vector<std::pair<const types::Type*, const IdListView*>> groups;
+    groups.reserve(s.by_type.size());
+    for (const auto& [type, ids] : s.by_type) groups.emplace_back(&type, &ids);
+    std::vector<std::vector<core::Value>> parts(groups.size());
+    (void)core::ParallelFor(groups.size(), workers, [&](size_t g) {
+      if (types::IsSubtype(*groups[g].first, t)) {
+        parts[g] = ValuesOf(s, *groups[g].second, 1);
+      }
+      return Status::OK();
+    });
+    std::vector<core::Value> out;
+    size_t total = 0;
+    for (const auto& part : parts) total += part.size();
+    out.reserve(total);
+    for (auto& part : parts) {
+      std::move(part.begin(), part.end(), std::back_inserter(out));
     }
     return out;
   }
-  // One task per distinct principal type; concatenation in map order
-  // matches the sequential result exactly.
-  std::vector<std::pair<const types::Type*, const IdListView*>> groups;
-  groups.reserve(s.by_type.size());
-  for (const auto& [type, ids] : s.by_type) groups.emplace_back(&type, &ids);
-  std::vector<std::vector<core::Value>> parts(groups.size());
-  (void)core::ParallelFor(groups.size(), shards, [&](size_t g) {
-    if (types::IsSubtype(*groups[g].first, t)) {
-      parts[g] = ValuesOf(s, *groups[g].second);
+  // Composite: one task per (shard, principal type) group; the tagged
+  // results are merged into id order so the output is deterministic
+  // and strategy-independent (it equals the composite GetScan).
+  const int k = shards();
+  struct Group {
+    const State* st;
+    const types::Type* type;
+    const IdListView* ids;
+  };
+  std::vector<Group> groups;
+  for (int s = 0; s < k; ++s) {
+    for (const auto& [type, ids] : shard(s).by_type) {
+      groups.push_back(Group{&shard(s), &type, &ids});
+    }
+  }
+  std::vector<std::vector<std::pair<EntryId, core::Value>>> parts(
+      groups.size());
+  (void)core::ParallelFor(groups.size(), workers, [&](size_t g) {
+    if (types::IsSubtype(*groups[g].type, t)) {
+      const IdListView& view = *groups[g].ids;
+      const EntryId* p = view.ids ? view.ids->data() : nullptr;
+      parts[g].reserve(view.count);
+      for (size_t i = 0; i < view.count; ++i) {
+        parts[g].emplace_back(
+            p[i], groups[g].st->EntryAt(SeqOfId(p[i], k)).value);
+      }
     }
     return Status::OK();
   });
-  std::vector<core::Value> out;
+  std::vector<std::pair<EntryId, core::Value>> tagged;
   size_t total = 0;
   for (const auto& part : parts) total += part.size();
-  out.reserve(total);
+  tagged.reserve(total);
   for (auto& part : parts) {
-    std::move(part.begin(), part.end(), std::back_inserter(out));
+    std::move(part.begin(), part.end(), std::back_inserter(tagged));
   }
+  std::sort(tagged.begin(), tagged.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<core::Value> out;
+  out.reserve(tagged.size());
+  for (auto& [id, v] : tagged) out.push_back(std::move(v));
   return out;
 }
 
 std::vector<Dynamic> Database::Snapshot::GetPackages(
     const types::Type& t) const {
   std::vector<Dynamic> out;
-  for (EntryId id = 0; id < state_->count; ++id) {
-    const Dynamic& d = state_->Entry(id);
+  ForEachEntry([&](EntryId, const Dynamic& d) {
     if (types::IsSubtype(d.type, t)) {
       Result<Dynamic> sealed = Seal(d, t);
       if (sealed.ok()) out.push_back(std::move(sealed).value());
     }
-  }
+  });
   return out;
 }
 
@@ -262,116 +463,229 @@ Result<core::GRelation> Database::Snapshot::JoinExtents(
 }
 
 std::vector<std::string> Database::Snapshot::ExtentNames() const {
+  const State& s = shard(0);
   std::vector<std::string> out;
-  out.reserve(state_->extents.size());
-  for (const auto& [name, _] : state_->extents) out.push_back(name);
+  out.reserve(s.extents.size());
+  for (const auto& [name, _] : s.extents) out.push_back(name);
   return out;
 }
 
 std::vector<std::pair<std::string, types::Type>> Database::Snapshot::Extents()
     const {
+  const State& s = shard(0);
   std::vector<std::pair<std::string, types::Type>> out;
-  out.reserve(state_->extents.size());
-  for (const auto& [name, extent] : state_->extents) {
+  out.reserve(s.extents.size());
+  for (const auto& [name, extent] : s.extents) {
     out.emplace_back(name, extent.type);
   }
   return out;
 }
 
 size_t Database::Snapshot::DistinctTypeCount() const {
-  return state_->by_type.size();
+  if (single_) return single_->by_type.size();
+  std::set<types::Type, types::TypeLess> distinct;
+  for (const auto& st : multi_) {
+    for (const auto& [type, _] : st->by_type) distinct.insert(type);
+  }
+  return distinct.size();
 }
 
 // ---------------------------------------------------------------------
 // Database: the writer path.
 // ---------------------------------------------------------------------
 
-Database::Database() : core_(std::make_shared<Core>()) {
-  core_->state = std::make_shared<const Snapshot::State>();
+Database::Database() : Database(DatabaseOptions{}) {}
+
+Database::Database(const DatabaseOptions& opts)
+    : core_(std::make_shared<Core>()) {
+  if (opts.shards < 1 || opts.shards > kMaxShards) {
+    std::abort();  // static misconfiguration, not a runtime condition
+  }
+  core_->shards = opts.shards;
+  core_->lanes.reserve(static_cast<size_t>(opts.shards));
+  for (int s = 0; s < opts.shards; ++s) {
+    auto lane = std::make_unique<Core::ShardCore>();
+    lane->state = std::make_shared<const Snapshot::State>();
+    core_->lanes.push_back(std::move(lane));
+  }
 }
+
+int Database::shards() const { return core_->shards; }
 
 Database::Snapshot Database::GetSnapshot() const {
-  return Snapshot(core_->Acquire());
+  if (core_->shards == 1) {
+    return Snapshot(core_->lanes[0]->Acquire(), {});
+  }
+  // Composite acquisition under the registration seqlock: if a
+  // RegisterExtent published some (but not yet all) shard states while
+  // we pinned them, retry — so the extent table is identical across
+  // the pinned states. Inserts never bump the seqlock; retries happen
+  // only during the rare registration window.
+  std::vector<std::shared_ptr<const Snapshot::State>> pinned(
+      core_->lanes.size());
+  while (true) {
+    uint64_t before = core_->extent_seq.load(std::memory_order_acquire);
+    if (before % 2 != 0) continue;  // registration mid-publish
+    for (size_t s = 0; s < core_->lanes.size(); ++s) {
+      pinned[s] = core_->lanes[s]->Acquire();
+    }
+    uint64_t after = core_->extent_seq.load(std::memory_order_acquire);
+    if (after == before) break;
+  }
+  return Snapshot(nullptr, std::move(pinned));
 }
 
-Database::EntryId Database::Insert(Dynamic d) {
-  std::lock_guard<std::mutex> lock(core_->writer_mu);
-  // Only writers replace `state`, and they serialize on writer_mu, so
-  // this read needs no state_mu: no Publish can run concurrently, and
-  // readers only copy the pointer.
-  std::shared_ptr<const Snapshot::State> cur = core_->state;
-  auto next = std::make_shared<Snapshot::State>(*cur);
-  EntryId id = cur->count;
+Result<Database::EntryId> Database::InsertIntoShard(int shard, Dynamic d,
+                                                    const EntryId* at) {
+  Core::ShardCore& lane = *core_->lanes[static_cast<size_t>(shard)];
+  const int k = core_->shards;
+  std::lock_guard<std::mutex> lock(lane.writer_mu);
+  // Only this shard's writers replace `state`, and they serialize on
+  // writer_mu, so this read needs no state_mu: no Publish can run
+  // concurrently, and readers only copy the pointer.
+  std::shared_ptr<const Snapshot::State> cur = lane.state;
+  const size_t seq = cur->count;
+  const EntryId id = static_cast<EntryId>(seq) * static_cast<EntryId>(k) +
+                     static_cast<EntryId>(shard);
+  if (at != nullptr && *at != id) {
+    return Status::FailedPrecondition(
+        "InsertAt id " + std::to_string(*at) + " is not the next slot of " +
+        "shard " + std::to_string(shard) + " (expected " +
+        std::to_string(id) + ")");
+  }
 
+  // The observer fires *before* anything is mutated: a veto (e.g. a
+  // WAL append failure) rolls the insert back by simply not performing
+  // it, so memory can never diverge from the log.
+  if (core_->observer) {
+    WriteEvent ev;
+    ev.kind = WriteEvent::Kind::kInsert;
+    ev.shard = shard;
+    ev.epoch = cur->epoch + 1;
+    ev.id = id;
+    ev.entry = &d;
+    DBPL_RETURN_IF_ERROR(core_->observer(ev));
+  }
+
+  auto next = std::make_shared<Snapshot::State>(*cur);
   // Append the entry. The tail chunk is shared with published
   // snapshots, but they never index past their own count, and Publish's
   // mutex release orders this write before any acquisition that can
   // see the new count.
-  if (id % kChunkCap == 0) {
+  if (seq % kChunkCap == 0) {
     auto chunk = std::make_shared<Snapshot::State::Chunk>();
     chunk->reserve(kChunkCap);
-    auto spine =
-        std::make_shared<Snapshot::State::Spine>(*cur->chunks);
+    auto spine = std::make_shared<Snapshot::State::Spine>(*cur->chunks);
     spine->push_back(std::move(chunk));
     next->chunks = std::move(spine);
   }
-  next->chunks->back()->push_back(d);  // capacity reserved: no realloc
-  next->count = id + 1;
+  next->chunks->back()->push_back(std::move(d));  // capacity reserved
+  next->count = seq + 1;
 
-  AppendId(&next->by_type[d.type], id);
+  const Dynamic& stored = next->chunks->back()->back();
+  AppendId(&next->by_type[stored.type], id);
   for (auto& [name, extent] : next->extents) {
-    if (types::IsSubtype(d.type, extent.type)) {
+    if (types::IsSubtype(stored.type, extent.type)) {
       AppendId(&extent.members, id);
     }
   }
 
   next->epoch = cur->epoch + 1;
-  if (core_->observer) {
-    WriteEvent ev;
-    ev.kind = WriteEvent::Kind::kInsert;
-    ev.epoch = next->epoch;
-    ev.id = id;
-    ev.entry = &next->chunks->back()->back();
-    core_->observer(ev);
-  }
-  core_->Publish(std::move(next));
+  lane.Publish(std::move(next));
   return id;
 }
 
+Result<Database::EntryId> Database::Insert(Dynamic d) {
+  const int k = core_->shards;
+  // Route by the value-content hash — the same hash family the
+  // signature-partitioned join engine buckets records by — so equal
+  // values land in equal shards deterministically. One shard skips
+  // the hash entirely.
+  const int shard =
+      k == 1 ? 0 : static_cast<int>(d.value.Hash() % static_cast<size_t>(k));
+  return InsertIntoShard(shard, std::move(d), nullptr);
+}
+
+Database::EntryId Database::MustInsert(Dynamic d) {
+  Result<EntryId> id = Insert(std::move(d));
+  if (!id.ok()) std::abort();  // only a fallible observer can veto
+  return *id;
+}
+
+Status Database::InsertAt(EntryId id, Dynamic d) {
+  const int shard = ShardOfId(id, core_->shards);
+  return InsertIntoShard(shard, std::move(d), &id).status();
+}
+
 Status Database::RegisterExtent(const std::string& name, types::Type t) {
-  std::lock_guard<std::mutex> lock(core_->writer_mu);
-  std::shared_ptr<const Snapshot::State> cur = core_->state;
-  if (cur->extents.contains(name)) {
+  // A registration mutates every shard: take all writer mutexes (in
+  // index order — the only multi-mutex acquisition in the database, so
+  // the order is trivially acyclic) and publish the K new states under
+  // the registration seqlock.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(core_->lanes.size());
+  for (auto& lane : core_->lanes) {
+    locks.emplace_back(lane->writer_mu);
+  }
+  if (core_->lanes[0]->state->extents.contains(name)) {
     return Status::AlreadyExists("extent already registered: " + name);
   }
-  auto next = std::make_shared<Snapshot::State>(*cur);
-  Snapshot::State::Extent extent;
-  extent.type = std::move(t);
-  for (EntryId id = 0; id < cur->count; ++id) {
-    if (types::IsSubtype(cur->Entry(id).type, extent.type)) {
-      AppendId(&extent.members, id);
-    }
-  }
-  // First registration of a syntactic type wins the exact-match slot;
-  // equivalent spellings registered later are still found by the
-  // TypeEquiv fallback in FindExtent.
-  next->extent_by_type.emplace(extent.type, name);
-  auto inserted = next->extents.emplace(name, std::move(extent));
-  next->epoch = cur->epoch + 1;
+
+  // Veto point: the redo record is attributed to shard 0 (one record,
+  // one log — see persist::WalDatabase). On failure nothing has been
+  // mutated anywhere.
   if (core_->observer) {
     WriteEvent ev;
     ev.kind = WriteEvent::Kind::kRegisterExtent;
-    ev.epoch = next->epoch;
-    ev.extent_name = &inserted.first->first;
-    ev.extent_type = &inserted.first->second.type;
-    core_->observer(ev);
+    ev.shard = 0;
+    ev.epoch = core_->lanes[0]->state->epoch + 1;
+    ev.extent_name = &name;
+    ev.extent_type = &t;
+    DBPL_RETURN_IF_ERROR(core_->observer(ev));
   }
-  core_->Publish(std::move(next));
+
+  const int k = core_->shards;
+  std::vector<std::shared_ptr<Snapshot::State>> nexts;
+  nexts.reserve(core_->lanes.size());
+  for (int s = 0; s < k; ++s) {
+    const std::shared_ptr<const Snapshot::State>& cur = core_->lanes[s]->state;
+    auto next = std::make_shared<Snapshot::State>(*cur);
+    Snapshot::State::Extent extent;
+    extent.type = t;
+    for (size_t seq = 0; seq < cur->count; ++seq) {
+      if (types::IsSubtype(cur->EntryAt(seq).type, extent.type)) {
+        AppendId(&extent.members,
+                 static_cast<EntryId>(seq) * static_cast<EntryId>(k) +
+                     static_cast<EntryId>(s));
+      }
+    }
+    // First registration of a syntactic type wins the exact-match
+    // slot; equivalent spellings registered later are still found by
+    // the TypeEquiv fallback in FindExtent.
+    next->extent_by_type.emplace(extent.type, name);
+    next->extents.emplace(name, std::move(extent));
+    next->epoch = cur->epoch + 1;
+    nexts.push_back(std::move(next));
+  }
+
+  if (k > 1) {
+    core_->extent_seq.fetch_add(1, std::memory_order_acq_rel);  // odd
+  }
+  for (int s = 0; s < k; ++s) {
+    core_->lanes[s]->Publish(std::move(nexts[s]));
+  }
+  if (k > 1) {
+    core_->extent_seq.fetch_add(1, std::memory_order_acq_rel);  // even
+  }
   return Status::OK();
 }
 
 void Database::SetWriteObserver(WriteObserver observer) {
-  std::lock_guard<std::mutex> lock(core_->writer_mu);
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(core_->lanes.size());
+  for (auto& lane : core_->lanes) {
+    locks.emplace_back(lane->writer_mu);
+  }
   core_->observer = std::move(observer);
 }
 

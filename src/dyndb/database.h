@@ -28,6 +28,20 @@ struct GetOptions {
   int threads = 1;
 };
 
+/// Construction-time knobs for a Database.
+struct DatabaseOptions {
+  /// Number of writer shards the entry log is partitioned into.
+  /// 1 (the default) reproduces the single-writer database exactly:
+  /// one writer mutex, dense entry ids 0,1,2,…. With K > 1 writers
+  /// hash-route to K independent shards — each with its own writer
+  /// mutex, chunked entry log and epoch — and inserts to different
+  /// shards proceed in parallel. Every read API is shard-oblivious:
+  /// a Snapshot is a composite of per-shard pins and Get*/joins see
+  /// one consistent image regardless of K. Must be in
+  /// [1, Database::kMaxShards]; fixed for the database's lifetime.
+  int shards = 1;
+};
+
 /// A heterogeneous database: "a list of dynamic values", as the paper
 /// constructs in Amber. Anything can be inserted — the database is
 /// deliberately unconstrained — and extents are *derived* from the type
@@ -50,25 +64,42 @@ struct GetOptions {
 ///    grouped by their *principal* type, so a Get performs one subtype
 ///    check per distinct principal type instead of one per value.
 ///
-/// ## Concurrency model (snapshot isolation)
+/// ## Concurrency model (sharded snapshot isolation)
 ///
 /// The database is safe under any number of concurrent readers and
-/// writers. Writers serialize on a writer mutex and publish each change
-/// as a new immutable `State` (a copy-on-write of the index spines over
-/// shared append-only storage), swapped in with one pointer swap under
-/// a tiny publication mutex. Readers call `GetSnapshot()` — a
-/// constant-time shared_ptr copy under that same tiny mutex, never
-/// blocking on any writer's actual work — and then query a frozen,
-/// prefix-consistent image of the database entirely lock-free: no torn
-/// values, no half-registered extents, and `T ≤ U ⇒ Get(T) ⊆ Get(U)`
-/// holds exactly within one snapshot.
+/// writers. The entry log is partitioned into `DatabaseOptions::shards`
+/// independent shards (default 1). Writers hash-route on the inserted
+/// value — the same value-content hash the signature-partitioned join
+/// engine buckets by — serialize per shard on that shard's writer
+/// mutex, and publish each change as a new immutable per-shard state
+/// swapped in with one pointer swap under a tiny per-shard publication
+/// mutex. Writers to different shards never contend.
+///
+/// Readers call `GetSnapshot()` — one shared_ptr copy per shard under
+/// those same tiny mutexes, never blocking on any writer's actual
+/// work — and then query a frozen, prefix-consistent composite image
+/// entirely lock-free: no torn values, no half-registered extents, and
+/// `T ≤ U ⇒ Get(T) ⊆ Get(U)` holds exactly within one snapshot.
+/// Per-shard prefix consistency is exact: each pinned shard state is a
+/// prefix of that shard's insertion history. Cross-shard, extent
+/// registrations are made atomic by a registration seqlock: a snapshot
+/// never observes an extent on some shards but not others.
+///
+/// ## Entry ids
+///
+/// With K shards, entry ids encode their shard: an entry is the
+/// `seq`-th insert into shard `s` and has id `seq*K + s` (so for K = 1
+/// ids are the dense insertion sequence 0,1,2,… exactly as before).
+/// Ids are stable, unique, and strictly increasing per shard; `Get(id)`
+/// is O(1) either way. Cross-shard insertion interleaving is not
+/// recorded — enumeration order (`Entries`, `GetScan`, …) is id order,
+/// which is insertion order per shard.
 ///
 /// Reclamation is epoch-style via reference counts: every snapshot pins
-/// the `State` (and, transitively, the entry storage) it was taken
-/// from, so a long-running scan keeps its epoch alive while newer
-/// epochs supersede it; memory is reclaimed when the last snapshot of
-/// an epoch is dropped. Each published state carries a monotonically
-/// increasing `epoch()` for observability.
+/// the per-shard states (and, transitively, the entry storage) it was
+/// taken from; memory is reclaimed when the last snapshot of an epoch
+/// is dropped. Each shard state carries a monotonically increasing
+/// mutation count; `epoch()` is their sum.
 ///
 /// The convenience query methods on `Database` itself acquire a fresh
 /// snapshot per call; a multi-step read (e.g. a scan followed by a
@@ -76,32 +107,61 @@ struct GetOptions {
 /// steps.
 class Database {
  public:
-  /// Identifier of an inserted value (insertion order, starting at 0).
+  /// Identifier of an inserted value: `seq*shards + shard` (for the
+  /// default single shard: insertion order, starting at 0).
   using EntryId = uint64_t;
 
-  /// A frozen, prefix-consistent image of the database: the first
-  /// `size()` entries ever inserted, the extents registered at
-  /// acquisition time, and the principal-type index — all immutable.
-  /// Cheap to copy (one shared pointer); safe to share across threads;
-  /// pins its storage for as long as it lives.
+  /// Upper bound on DatabaseOptions::shards.
+  static constexpr int kMaxShards = 64;
+
+  /// The shard an id belongs to / its insertion sequence within it.
+  static int ShardOfId(EntryId id, int shards) {
+    return static_cast<int>(id % static_cast<EntryId>(shards));
+  }
+  static EntryId SeqOfId(EntryId id, int shards) {
+    return id / static_cast<EntryId>(shards);
+  }
+
+  /// A frozen, prefix-consistent image of the database: for each shard,
+  /// the first `shard_size(s)` entries ever inserted into it, the
+  /// extents registered at acquisition time, and the principal-type
+  /// index — all immutable. Cheap to copy (one shared pointer per
+  /// shard); safe to share across threads; pins its storage for as long
+  /// as it lives.
   class Snapshot {
    public:
-    /// The immutable published state a snapshot pins. Opaque (defined
-    /// in database.cc); public only so implementation helpers can name
-    /// it.
+    /// The immutable published state of one shard. Opaque (defined in
+    /// database.cc); public only so implementation helpers can name it.
     struct State;
 
-    /// Number of entries visible in this snapshot.
+    /// Number of entries visible in this snapshot (all shards).
     size_t size() const;
-    /// The publication epoch this snapshot pinned (0 = empty database;
-    /// each insert / extent registration increments it).
+    /// Total mutation count this snapshot pinned: the sum of the
+    /// per-shard epochs (0 = empty database). Each insert increments
+    /// one shard's epoch; each extent registration increments every
+    /// shard's. Monotone across snapshots of one database.
     uint64_t epoch() const;
 
-    /// Entry by id (ids below `size()` always resolve).
+    /// Shard geometry of the database this snapshot came from.
+    int shards() const;
+    /// Entries visible in shard `s` (ids `seq*shards + s`, seq below
+    /// this).
+    size_t shard_size(int shard) const;
+    /// Mutations applied to shard `s` when this snapshot was taken.
+    uint64_t shard_epoch(int shard) const;
+
+    /// Entry by id (ids whose shard sequence is below that shard's
+    /// `shard_size` always resolve).
     Result<Dynamic> Get(EntryId id) const;
 
-    /// All visible entries, in insertion order.
+    /// All visible entries, in id order (insertion order per shard).
     std::vector<Dynamic> Entries() const;
+
+    /// Visits every visible entry in id order without materializing a
+    /// copy — the iteration primitive persistence and checkpointing
+    /// build on.
+    void ForEachEntry(
+        const std::function<void(EntryId, const Dynamic&)>& fn) const;
 
     /// Strategy 1: full scan with a subtype check per value.
     std::vector<core::Value> GetScan(const types::Type& t,
@@ -151,36 +211,77 @@ class Database {
 
    private:
     friend class Database;
-    explicit Snapshot(std::shared_ptr<const State> state)
-        : state_(std::move(state)) {}
-    std::shared_ptr<const State> state_;
+    Snapshot(std::shared_ptr<const State> single,
+             std::vector<std::shared_ptr<const State>> multi)
+        : single_(std::move(single)), multi_(std::move(multi)) {}
+    /// K == 1 keeps the snapshot a single pointer (no heap allocation
+    /// on the hot GetSnapshot path); K > 1 pins one state per shard.
+    std::shared_ptr<const State> single_;
+    std::vector<std::shared_ptr<const State>> multi_;
+
+    const State& shard(int s) const;
   };
 
   Database();
+  /// A database with `opts.shards` writer shards. Aborts on an
+  /// out-of-range shard count (it is a static configuration error, not
+  /// a runtime condition).
+  explicit Database(const DatabaseOptions& opts);
 
-  /// Movable but not copyable (writers own the publication mutex). A
+  /// Movable but not copyable (writers own the publication mutexes). A
   /// moved-from database must not be used again.
   Database(Database&&) noexcept = default;
   Database& operator=(Database&&) noexcept = default;
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
-  /// Acquires the current snapshot: one shared_ptr copy under the
-  /// publication mutex (two refcount operations). Never waits for a
-  /// writer's copy-on-write work, never observes a partial insert.
+  /// Number of writer shards (fixed at construction).
+  int shards() const;
+
+  /// Acquires the current snapshot: one shared_ptr copy per shard under
+  /// the publication mutexes. Never waits for a writer's copy-on-write
+  /// work, never observes a partial insert or a half-registered extent.
   Snapshot GetSnapshot() const;
 
   /// Inserts a dynamic value and updates every registered extent,
   /// atomically: no snapshot ever sees the entry without its index and
-  /// extent postings. Writers serialize on an internal mutex.
-  EntryId Insert(Dynamic d);
+  /// extent postings. The entry is hash-routed to a shard; writers to
+  /// the same shard serialize on that shard's mutex.
+  ///
+  /// Fails only when a write observer rejects the mutation (e.g. the
+  /// write-ahead log could not append the redo record) — the insert is
+  /// then *rolled back*: nothing is published, no id is consumed, and
+  /// the error is the observer's. Without an observer, Insert cannot
+  /// fail.
+  Result<EntryId> Insert(Dynamic d);
 
   /// Convenience: wraps and inserts a plain value.
-  EntryId InsertValue(core::Value v) { return Insert(MakeDynamic(std::move(v))); }
+  Result<EntryId> InsertValue(core::Value v) {
+    return Insert(MakeDynamic(std::move(v)));
+  }
 
-  /// Declares a maintained extent for `t`; entries visible at
-  /// registration are indexed immediately (one scan), later inserts
-  /// incrementally. Fails with AlreadyExists when `name` is taken.
+  /// Infallible inserts for databases without a fallible observer
+  /// (aborts if the observer rejects — use the Result-returning
+  /// variants on observed databases).
+  EntryId MustInsert(Dynamic d);
+  EntryId MustInsertValue(core::Value v) {
+    return MustInsert(MakeDynamic(std::move(v)));
+  }
+
+  /// Replay-path insert: places the entry at exactly `id`, which must
+  /// be the next sequence of its encoded shard (kFailedPrecondition
+  /// otherwise). This is how WAL recovery and replica bootstrap
+  /// reproduce a logged history id-for-id without depending on the
+  /// router: the id, not the hash, picks the shard. Fails like Insert
+  /// when an observer rejects.
+  Status InsertAt(EntryId id, Dynamic d);
+
+  /// Declares a maintained extent for `t` on every shard; entries
+  /// visible at registration are indexed immediately (one scan), later
+  /// inserts incrementally. Takes all shard writer mutexes — snapshots
+  /// never observe a partially registered extent. Fails with
+  /// AlreadyExists when `name` is taken, or with the observer's error
+  /// (nothing registered) when the observer rejects.
   Status RegisterExtent(const std::string& name, types::Type t);
 
   /// One mutation on the writer path, delivered to the write observer.
@@ -189,7 +290,11 @@ class Database {
   struct WriteEvent {
     enum class Kind : uint8_t { kInsert, kRegisterExtent };
     Kind kind = Kind::kInsert;
-    /// The epoch this mutation publishes.
+    /// The shard this mutation lands in (kRegisterExtent mutates every
+    /// shard but is *attributed* to shard 0, where its redo record is
+    /// logged).
+    int shard = 0;
+    /// The epoch of `shard` this mutation publishes.
     uint64_t epoch = 0;
     /// kInsert: the new entry's id and its self-describing value.
     EntryId id = 0;
@@ -198,16 +303,20 @@ class Database {
     const std::string* extent_name = nullptr;
     const types::Type* extent_type = nullptr;
   };
-  using WriteObserver = std::function<void(const WriteEvent&)>;
+  using WriteObserver = std::function<Status(const WriteEvent&)>;
 
   /// Installs (or, with nullptr, clears) the single write observer.
-  /// The observer is invoked on the writer thread, under the writer
-  /// mutex, *before* the mutation is published to readers — so
-  /// observers see mutations in exactly the serialization order, and a
-  /// write-ahead log that appends in the callback is never behind the
-  /// published state (see persist::WalDatabase). The observer must not
-  /// call back into this database's write path (deadlock) and should
-  /// be fast: every writer pays its cost. Readers are unaffected.
+  /// The observer is invoked on the writer thread, under the mutated
+  /// shard's writer mutex, *before* the mutation is applied or
+  /// published — so observers see each shard's mutations in exactly
+  /// that shard's serialization order, and a write-ahead log that
+  /// appends in the callback is never behind the published state (see
+  /// persist::WalDatabase). A non-OK return vetoes the mutation: the
+  /// writer rolls back (nothing is published, memory never diverges
+  /// from the log) and the error surfaces to the caller. The observer
+  /// must not call back into this database's write path (deadlock) and
+  /// should be fast: every writer to that shard pays its cost. Readers
+  /// are unaffected.
   void SetWriteObserver(WriteObserver observer);
 
   // -------------------------------------------------------------------
@@ -217,15 +326,16 @@ class Database {
 
   size_t size() const { return GetSnapshot().size(); }
 
-  /// The current publication epoch: 0 for an empty database, +1 per
-  /// insert or extent registration. Two databases that applied the same
-  /// mutations (in any serialization) are at the same epoch, which is
-  /// what makes the epoch the staleness measure of WAL shipping: a
-  /// replica at epoch e has applied exactly as many mutations as its
-  /// primary had published at epoch e (see persist::Replica).
+  /// The current total mutation count: 0 for an empty database, +1 per
+  /// insert, +shards() per extent registration (one per shard it
+  /// mutates). Two databases with the same shard count that applied
+  /// the same mutations (in any serialization) are at the same epoch,
+  /// which is what makes the epoch the staleness measure of WAL
+  /// shipping: a replica at epoch e has applied exactly the mutations
+  /// its primary had published at epoch e (see persist::Replica).
   uint64_t epoch() const { return GetSnapshot().epoch(); }
 
-  /// All entries, in insertion order (a point-in-time copy).
+  /// All entries, in id order (a point-in-time copy).
   std::vector<Dynamic> entries() const { return GetSnapshot().Entries(); }
 
   /// Entry by id.
@@ -283,6 +393,10 @@ class Database {
   /// Writer-side shared core, held by pointer so Database stays movable
   /// (mutexes and atomics are not).
   struct Core;
+
+  /// The guts of Insert/InsertAt: `shard` chosen by router or id.
+  Result<EntryId> InsertIntoShard(int shard, Dynamic d, const EntryId* at);
+
   std::shared_ptr<Core> core_;
 };
 

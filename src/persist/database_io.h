@@ -66,13 +66,28 @@ Result<dyndb::Database> LoadCheckpoint(storage::Vfs* vfs,
 /// A decoded checkpoint, before any database is built from it. Used by
 /// persist::Replica for *incremental* bootstrap: a follower that
 /// already holds a prefix of the primary's history applies only the
-/// checkpoint's suffix (entries from its own size onward, extents it
-/// has not registered yet) instead of rebuilding from scratch.
+/// checkpoint's suffix (per shard, entries from its own shard size
+/// onward; extents it has not registered yet) instead of rebuilding
+/// from scratch.
+///
+/// Checkpoints of a single-shard database use the original (v1) wire
+/// format unchanged; a sharded database writes a v2 image that records
+/// the shard count and each shard's entry sequence, so ids
+/// (`seq*shards + shard`) are reproduced exactly at recovery.
 struct CheckpointImage {
   /// Registered extents as (name, declared type), in stored order.
   std::vector<std::pair<std::string, types::Type>> extents;
-  /// Entries in insertion order; index == the entry id it held.
-  std::vector<dyndb::Dynamic> entries;
+  /// Shard count of the database that wrote the checkpoint.
+  int shards = 1;
+  /// Per-shard entries in insertion order: `entries[s][seq]` held id
+  /// `seq*shards + s`. For v1 images this is one dense list.
+  std::vector<std::vector<dyndb::Dynamic>> entries;
+
+  size_t entry_count() const {
+    size_t n = 0;
+    for (const auto& shard : entries) n += shard.size();
+    return n;
+  }
 };
 
 /// Decodes a checkpoint file into its image (`LoadCheckpoint` is this

@@ -1,5 +1,6 @@
 #include "persist/replica.h"
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -7,7 +8,15 @@
 #include "persist/wal.h"
 
 namespace dbpl::persist {
+namespace {
 
+/// How long manual-mode WaitForEpoch sleeps between shipping rounds
+/// (always clamped to the caller's deadline).
+constexpr std::chrono::microseconds kManualPollQuantum{200};
+
+}  // namespace
+
+using dyndb::Database;
 using storage::LogReader;
 using storage::LogRecord;
 using storage::LogRecordType;
@@ -24,13 +33,15 @@ Status Replica::Attach(WalShipper* shipper, FollowOptions opts) {
     shipper_ = shipper;
     opts_ = opts;
     bootstrapped_ = false;
-    reader_.reset();
+    readers_.clear();
+    same_gen_resyncs_ = 0;
+    stale_gen_reported_ = false;
     // Synchronous catch-up: after Attach returns OK the follower is at
     // the durable bounds the primary had when we sampled them.
     Status caught_up = PollLocked();
     if (!caught_up.ok()) {
       shipper_ = nullptr;
-      reader_.reset();
+      readers_.clear();
       return caught_up;
     }
     if (opts_.poll_interval.count() > 0) {
@@ -54,7 +65,7 @@ void Replica::Detach() {
   std::lock_guard<std::mutex> lock(mu_);
   stop_ = false;
   shipper_ = nullptr;
-  reader_.reset();
+  readers_.clear();
   bootstrapped_ = false;
 }
 
@@ -85,17 +96,34 @@ Status Replica::Poll() {
   return polled;
 }
 
-Status Replica::BootstrapLocked(const WalShipper::Bounds& bounds) {
+Status Replica::BootstrapLocked(const WalShipper::ShipState& state) {
   ++bootstraps_;
-  reader_.reset();
+  readers_.clear();
   storage::Vfs* vfs = shipper_->vfs();
+  const int k = shipper_->shard_count();
+  if (db_.shards() != k) {
+    if (db_.epoch() != 0) {
+      return Status::FailedPrecondition(
+          "follower with replicated state has " +
+          std::to_string(db_.shards()) + " shards; primary has " +
+          std::to_string(k));
+    }
+    // An untouched follower adopts the primary's shard geometry.
+    db_ = Database(dyndb::DatabaseOptions{k});
+  }
   if (vfs->Exists(shipper_->checkpoint_path())) {
     DBPL_ASSIGN_OR_RETURN(CheckpointImage image,
                           ReadCheckpoint(vfs, shipper_->checkpoint_path()));
-    // Incremental apply. Any complete checkpoint from this primary is
-    // an insertion-order prefix of the shared history, so the
-    // follower either already covers it (nothing to do) or extends
-    // itself with the checkpoint's suffix. Ids align by construction.
+    if (image.shards != k) {
+      return Status::FailedPrecondition(
+          "checkpoint has " + std::to_string(image.shards) +
+          " shards; shipper has " + std::to_string(k));
+    }
+    // Incremental apply. Any complete checkpoint from this primary is,
+    // per shard, an insertion-order prefix of the shared history, so
+    // the follower either already covers a shard (nothing to do) or
+    // extends it with the checkpoint's suffix. Ids align by
+    // construction.
     for (auto& [name, type] : image.extents) {
       Status registered = db_.RegisterExtent(name, std::move(type));
       if (registered.ok()) {
@@ -106,17 +134,28 @@ Status Replica::BootstrapLocked(const WalShipper::Bounds& bounds) {
         return registered;
       }
     }
-    for (uint64_t id = db_.size(); id < image.entries.size(); ++id) {
-      db_.Insert(std::move(image.entries[id]));
-      ++applied_.replayed_inserts;
+    const Database::Snapshot snap = db_.GetSnapshot();
+    for (int s = 0; s < k; ++s) {
+      auto& entries = image.entries[static_cast<size_t>(s)];
+      for (uint64_t seq = snap.shard_size(s); seq < entries.size(); ++seq) {
+        DBPL_RETURN_IF_ERROR(
+            db_.InsertAt(seq * static_cast<uint64_t>(k) +
+                             static_cast<uint64_t>(s),
+                         std::move(entries[static_cast<size_t>(seq)])));
+        ++applied_.replayed_inserts;
+      }
     }
   }
-  // Restart the cursor at the top of the (possibly rotated) log. The
-  // log may legitimately not exist yet on a freshly created primary.
-  if (vfs->Exists(shipper_->wal_path())) {
-    DBPL_ASSIGN_OR_RETURN(reader_, LogReader::Open(vfs, shipper_->wal_path()));
+  // Restart every cursor at the top of its (possibly rotated) segment.
+  // A segment may legitimately not exist yet on a fresh primary.
+  readers_.resize(static_cast<size_t>(k));
+  for (int s = 0; s < k; ++s) {
+    if (vfs->Exists(shipper_->wal_path(s))) {
+      DBPL_ASSIGN_OR_RETURN(readers_[static_cast<size_t>(s)],
+                            LogReader::Open(vfs, shipper_->wal_path(s)));
+    }
   }
-  generation_ = bounds.generation;
+  generation_ = state.generation;
   bootstrapped_ = true;
   return Status::OK();
 }
@@ -126,61 +165,100 @@ Status Replica::PollLocked() {
     return Status::FailedPrecondition("replica is not attached");
   }
   ++polls_;
-  const WalShipper::Bounds bounds = shipper_->ship_bounds();
+  const WalShipper::ShipState bounds = shipper_->ship_bounds();
   if (!bootstrapped_ || bounds.generation != generation_) {
+    if (bootstrapped_ && bounds.generation != generation_) {
+      // A rotation explains whatever went wrong before; the stale
+      // tracking starts over with the new generation.
+      same_gen_resyncs_ = 0;
+      stale_gen_reported_ = false;
+    }
     DBPL_RETURN_IF_ERROR(BootstrapLocked(bounds));
   }
-  if (reader_ == nullptr || reader_->offset() >= bounds.durable_bytes) {
-    return Status::OK();  // caught up within this generation
-  }
 
-  // Tail the log up to exactly the durable bound, buffering decoded
-  // batches: nothing is applied until the generation re-check below
-  // proves the bytes were read from the generation the bound governs.
-  std::vector<std::vector<WalRecord>> ready;
-  std::vector<WalRecord> open;
-  bool clean = true;
-  LogRecord rec;
-  while (reader_->offset() < bounds.durable_bytes) {
-    Result<bool> has = reader_->Next(&rec);
-    if (!has.ok() || !*has) {
-      // An I/O error (stale handle across a primary crash), a torn
-      // tail, or EOF short of the durable bound. Within a live
-      // generation durable bytes are synced and immutable, so any of
-      // these means the world changed under us — resync.
-      clean = false;
-      break;
-    }
-    if (rec.type == LogRecordType::kCommit) {
-      ready.push_back(std::move(open));
-      open.clear();
+  // Tail each segment up to exactly its durable bound, buffering
+  // decoded batches: nothing is applied until the generation re-check
+  // below proves the bytes were read from the generation the bounds
+  // govern.
+  const size_t k = bounds.shards.size();
+  std::vector<std::vector<std::vector<WalRecord>>> ready(k);
+  bool clean = readers_.size() == k;
+  for (size_t s = 0; clean && s < k; ++s) {
+    LogReader* reader = readers_[s].get();
+    const uint64_t durable = bounds.shards[s].durable_bytes;
+    if (reader == nullptr) {
+      // No segment existed at bootstrap; durable bytes in it now mean
+      // the world changed under us.
+      if (durable > 0) clean = false;
       continue;
     }
-    Result<WalRecord> redo = DecodeWalRecord(rec);
-    if (!redo.ok()) {
-      clean = false;
-      break;
+    if (reader->offset() >= durable) continue;  // caught up on this shard
+    std::vector<WalRecord> open;
+    LogRecord rec;
+    while (reader->offset() < durable) {
+      Result<bool> has = reader->Next(&rec);
+      if (!has.ok() || !*has) {
+        // An I/O error (stale handle across a primary crash), a torn
+        // tail, or EOF short of the durable bound. Within a live
+        // generation durable bytes are synced and immutable, so any of
+        // these means the world changed under us — resync.
+        clean = false;
+        break;
+      }
+      if (rec.type == LogRecordType::kCommit) {
+        ready[s].push_back(std::move(open));
+        open.clear();
+        continue;
+      }
+      Result<WalRecord> redo = DecodeWalRecord(rec);
+      if (!redo.ok()) {
+        clean = false;
+        break;
+      }
+      open.push_back(std::move(redo).value());
     }
-    open.push_back(std::move(redo).value());
+    // The durable bound is commit-aligned, so a clean read lands the
+    // cursor exactly on it with no open batch. Overshoot or a dangling
+    // batch means misaligned frames (a rotation raced the read).
+    if (clean && (reader->offset() != durable || !open.empty())) {
+      clean = false;
+    }
   }
-  // The durable bound is commit-aligned, so a clean read lands the
-  // cursor exactly on it with no open batch. Overshoot or a dangling
-  // batch means misaligned frames (a rotation raced the read).
-  if (clean && (reader_->offset() != bounds.durable_bytes || !open.empty())) {
-    clean = false;
-  }
-  const WalShipper::Bounds after = shipper_->ship_bounds();
+  const WalShipper::ShipState after = shipper_->ship_bounds();
   if (!clean || after.generation != generation_) {
     // Discard everything unapplied and start over from the checkpoint
     // next round. The follower stays a committed prefix throughout.
     ++resyncs_;
     bootstrapped_ = false;
-    reader_.reset();
+    readers_.clear();
+    if (!clean && after.generation == generation_) {
+      // The bound was unreadable and no rotation explains it. Once is
+      // forgivable (we may have raced a local anomaly); persisting
+      // across the fresh bootstrap the previous round scheduled means
+      // the shipper's advertised bounds and its segments disagree —
+      // say so once rather than resyncing silently forever.
+      ++same_gen_resyncs_;
+      if (same_gen_resyncs_ >= 2 && !stale_gen_reported_) {
+        stale_gen_reported_ = true;
+        return Status::FailedPrecondition(
+            "shipper bounds unreachable in its segments at unchanged "
+            "generation " +
+            std::to_string(generation_) +
+            " after re-bootstrap (stale or inconsistent shipping state)");
+      }
+    } else {
+      same_gen_resyncs_ = 0;
+      stale_gen_reported_ = false;
+    }
     return Status::OK();
   }
-  for (std::vector<WalRecord>& batch : ready) {
-    DBPL_RETURN_IF_ERROR(ApplyWalBatch(&db_, &batch, &applied_));
-    ++batches_;
+  same_gen_resyncs_ = 0;
+  stale_gen_reported_ = false;
+  for (size_t s = 0; s < k; ++s) {
+    for (std::vector<WalRecord>& batch : ready[s]) {
+      DBPL_RETURN_IF_ERROR(ApplyWalBatch(&db_, &batch, &applied_));
+      ++batches_;
+    }
   }
   return Status::OK();
 }
@@ -202,17 +280,19 @@ Status Replica::WaitForEpoch(uint64_t epoch,
             std::to_string(db_.epoch()) + ")");
       }
     } else {
-      // Manual mode: drive the shipping rounds ourselves.
+      // Manual mode: drive the shipping rounds ourselves, sleeping on
+      // cv_ between rounds with the deadline clamped in — so the wait
+      // can never overshoot the deadline by a poll quantum, and an
+      // external Poll()'s progress signal ends the sleep early.
       DBPL_RETURN_IF_ERROR(PollLocked());
       if (db_.epoch() >= epoch) break;
-      if (std::chrono::steady_clock::now() >= deadline) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) {
         return Status::DeadlineExceeded(
             "epoch " + std::to_string(epoch) + " not reached (at " +
             std::to_string(db_.epoch()) + ")");
       }
-      lock.unlock();
-      std::this_thread::sleep_for(std::chrono::microseconds(200));
-      lock.lock();
+      cv_.wait_until(lock, std::min(deadline, now + kManualPollQuantum));
     }
   }
   return Status::OK();
@@ -236,16 +316,24 @@ Result<std::unique_ptr<WalDatabase>> Replica::PromoteToPrimary(
   DBPL_RETURN_IF_ERROR(vfs->CreateDir(dir));
   // The follower's replicated prefix becomes the durable seed: save it
   // as the checkpoint WalDatabase::Open recovers from, and clear any
-  // log left over in the directory (its records belong to a history
+  // logs left over in the directory (their records belong to a history
   // this promotion supersedes).
   DBPL_RETURN_IF_ERROR(
       SaveCheckpoint(vfs, dir + "/checkpoint.dbpl", db_.GetSnapshot()));
-  if (vfs->Exists(dir + "/wal.log")) {
+  std::vector<std::string> stale;
+  stale.push_back(dir + "/wal.log");
+  for (int s = 0; s < Database::kMaxShards; ++s) {
+    std::string path = dir + "/wal." + std::to_string(s) + ".log";
+    if (!vfs->Exists(path)) break;
+    stale.push_back(std::move(path));
+  }
+  for (const std::string& path : stale) {
+    if (!vfs->Exists(path)) continue;
     DBPL_ASSIGN_OR_RETURN(std::unique_ptr<VfsFile> truncated,
-                          vfs->Open(dir + "/wal.log", OpenMode::kTruncate));
+                          vfs->Open(path, OpenMode::kTruncate));
     truncated.reset();
   }
-  return WalDatabase::Open(vfs, dir, policy);
+  return WalDatabase::Open(vfs, dir, WalOptions{policy, db_.shards()});
 }
 
 }  // namespace dbpl::persist

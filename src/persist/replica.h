@@ -61,28 +61,42 @@ struct ReplicaStats {
 ///
 /// Each shipping round (`Poll`):
 ///
-///  1. Sample the primary's `WalShipper::Bounds` — (generation,
-///     durable bytes, epoch).
+///  1. Sample the primary's `WalShipper::ShipState` — the generation
+///     plus one (durable bytes, epoch) bound per shard segment.
 ///  2. If not yet bootstrapped, or the generation changed (the primary
-///     rotated its log): re-bootstrap — apply the checkpoint file
-///     *incrementally* (only entries beyond the follower's size,
-///     only extents it lacks) and restart the log cursor at offset 0.
-///     A checkpoint is always safe to apply, even against stale
-///     bounds: it is an atomically-renamed, durable prefix of the
-///     primary's history.
-///  3. Tail the log from the cursor up to — exactly — the sampled
-///     durable byte bound, *buffering* decoded batches.
-///  4. Re-sample the bounds. If the generation moved while reading,
-///     the buffered bytes may belong to the rotated log: discard them
+///     rotated its segments): re-bootstrap — apply the checkpoint file
+///     *incrementally* (per shard, only entries beyond the follower's
+///     shard size; only extents it lacks) and restart every segment
+///     cursor at offset 0. A checkpoint is always safe to apply, even
+///     against stale bounds: it is an atomically-renamed, durable
+///     prefix of the primary's per-shard histories. A follower whose
+///     database is still empty adopts the primary's shard geometry
+///     here; a non-empty follower of a different geometry is refused
+///     (kFailedPrecondition).
+///  3. Tail each segment from its cursor up to — exactly — that
+///     shard's sampled durable bound, *buffering* decoded batches.
+///  4. Re-sample the state. If the generation moved while reading,
+///     the buffered bytes may belong to rotated segments: discard them
 ///     and re-bootstrap on the next round. Otherwise apply the
-///     batches in order.
+///     batches (shard by shard; shard histories are independent, so
+///     cross-shard order cannot change the result).
 ///
 /// Only *durable* (synced-committed) bytes are ever read, so a
-/// follower's state is at all times a committed prefix of anything a
-/// crashed-and-recovered primary can come back with — a follower never
-/// observes an uncommitted, torn, or divergent record. Convergence:
-/// once the primary quiesces and the follower polls, their states are
-/// equal (same entries, same extents, same epoch).
+/// follower's state is at all times a committed per-shard prefix of
+/// anything a crashed-and-recovered primary can come back with — a
+/// follower never observes an uncommitted, torn, or divergent record.
+/// Convergence: once the primary quiesces, runs one durability barrier
+/// (Commit/Checkpoint) and the follower polls, their states are equal
+/// (same entries at the same ids, same extents, same epoch).
+///
+/// A resync (step 4's discard) is normally silent self-healing: the
+/// next round's bootstrap explains what happened. But when the
+/// anomaly *persists across a fresh bootstrap within one unchanged
+/// generation* — the shipper advertises durable bytes its segments
+/// cannot deliver, e.g. a reader caching stale shipping state across a
+/// failed checkpoint rotation — the follower surfaces
+/// kFailedPrecondition once instead of looping silently, then keeps
+/// retrying quietly until the generation moves.
 ///
 /// ## Staleness
 ///
@@ -138,7 +152,11 @@ class Replica {
 
   /// Read barrier: blocks until `Epoch() >= epoch` or the timeout
   /// expires (kDeadlineExceeded). With a streaming thread, waits on
-  /// its progress signal; in manual mode, drives `Poll()` itself.
+  /// its progress signal; in manual mode, drives `Poll()` itself,
+  /// sleeping between rounds on the progress signal with the deadline
+  /// clamped in — so an external `Poll()`'s progress wakes it
+  /// immediately and the deadline can never drift past by a poll
+  /// quantum.
   Status WaitForEpoch(uint64_t epoch, std::chrono::milliseconds timeout);
 
   /// The replicated database: read-only by convention — mutating it
@@ -158,8 +176,8 @@ class Replica {
  private:
   /// One shipping round; mu_ held.
   Status PollLocked();
-  /// Incremental checkpoint apply + cursor restart; mu_ held.
-  Status BootstrapLocked(const WalShipper::Bounds& bounds);
+  /// Incremental checkpoint apply + cursor restarts; mu_ held.
+  Status BootstrapLocked(const WalShipper::ShipState& state);
   /// Streaming-thread body.
   void Run();
 
@@ -173,10 +191,15 @@ class Replica {
   std::condition_variable cv_;
   WalShipper* shipper_ = nullptr;
   FollowOptions opts_;
-  std::unique_ptr<storage::LogReader> reader_;
-  /// The primary generation reader_ is tailing; valid iff bootstrapped_.
+  /// One cursor per primary shard segment (resized at bootstrap).
+  std::vector<std::unique_ptr<storage::LogReader>> readers_;
+  /// The primary generation the cursors tail; valid iff bootstrapped_.
   uint64_t generation_ = 0;
   bool bootstrapped_ = false;
+  /// Consecutive resyncs within one unchanged generation, and whether
+  /// the persistent-anomaly error was already surfaced for it.
+  uint64_t same_gen_resyncs_ = 0;
+  bool stale_gen_reported_ = false;
   bool stop_ = false;
   std::thread thread_;
   /// Raw apply counters (shared shape with recovery).

@@ -25,9 +25,14 @@ enum class WalOp : uint8_t {
 /// the value and recovery can never replay bytes under the wrong type.
 struct WalRecord {
   WalOp op = WalOp::kInsert;
-  /// kInsert: the id the entry held when written. Recovery uses it to
-  /// skip records already covered by a checkpoint (id < checkpoint
-  /// size) and to detect gaps.
+  /// kInsert: the id the entry held when written. On a sharded
+  /// database the id encodes its shard (`seq*shards + shard`), which
+  /// is also the segment the record lives in. Recovery uses it to skip
+  /// records a checkpoint already covers (sequence below the shard's
+  /// checkpointed size), to detect gaps, and to reproduce the entry at
+  /// exactly its original id regardless of hash routing.
+  /// kRegisterExtent records carry no id; they are logged exactly once,
+  /// in shard 0's segment, and re-apply idempotently.
   dyndb::Database::EntryId id = 0;
   /// kInsert: the entry itself.
   dyndb::Dynamic entry;

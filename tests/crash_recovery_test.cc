@@ -615,7 +615,7 @@ TEST(CrashMatrixTest, ConcurrentSnapshotSaveRacingInsertsRecovers) {
   dyndb::Database db;
   std::thread writer([&db] {
     for (int i = 0; i < kInserts; ++i) {
-      db.InsertValue(Value::RecordOf(
+      db.MustInsertValue(Value::RecordOf(
           {{"seq", Value::Int(i)}, {"tag", Value::String("r")}}));
     }
   });
@@ -953,8 +953,8 @@ TEST(WalCrashMatrixTest, CheckpointPlusReplayEqualsReplayFromEmpty) {
     FaultVfs vfs(seed);
     dbpl::testing::Rng rng(seed * 0xABCD);
     {
-      auto ckpt = persist::WalDatabase::Open(&vfs, "a", {3, true});
-      auto replay = persist::WalDatabase::Open(&vfs, "b", {3, true});
+      auto ckpt = persist::WalDatabase::Open(&vfs, "a", persist::CommitPolicy{3, true});
+      auto replay = persist::WalDatabase::Open(&vfs, "b", persist::CommitPolicy{3, true});
       ASSERT_TRUE(ckpt.ok() && replay.ok());
       int extents = 0;
       for (int i = 0; i < 60; ++i) {
@@ -979,8 +979,8 @@ TEST(WalCrashMatrixTest, CheckpointPlusReplayEqualsReplayFromEmpty) {
       // Clean close: destructors flush the open batches.
     }
 
-    auto ckpt = persist::WalDatabase::Open(&vfs, "a", {3, true});
-    auto replay = persist::WalDatabase::Open(&vfs, "b", {3, true});
+    auto ckpt = persist::WalDatabase::Open(&vfs, "a", persist::CommitPolicy{3, true});
+    auto replay = persist::WalDatabase::Open(&vfs, "b", persist::CommitPolicy{3, true});
     ASSERT_TRUE(ckpt.ok() && replay.ok());
     EXPECT_TRUE((*ckpt)->recovery_stats().had_checkpoint);
     EXPECT_FALSE((*replay)->recovery_stats().had_checkpoint);
@@ -1130,6 +1130,173 @@ TEST_P(WalCrashMatrixTest, FollowersConvergeAtEveryCrashPoint) {
       ASSERT_TRUE((*reopened)->Commit().ok());
       ASSERT_TRUE(eager.Poll().ok());
       ExpectConverged(db, eager.db());
+      ASSERT_EQ(eager.db().size(), recovered + 1);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Sharded WAL crash matrix: the same discipline against a K=3 primary
+// (per-shard segments, group commit, sharded checkpoint rotation),
+// with an eagerly-polling follower attached throughout. Entry ids are
+// shard-encoded, so the invariants are stated over the *set* of
+// recovered values (each scripted value exactly once, no torn or alien
+// entry) rather than dense id prefixes. The policy is sync-every-1, so
+// the oracle is simply the count of inserts that returned OK: recovery
+// must land on exactly that set, plus at most the one write the crash
+// interrupted (whose record may have durably reached its lane).
+// ---------------------------------------------------------------------
+
+/// Follower ≡ primary under shard-encoded ids: same (id, value)
+/// pairs, same extents, same epoch. (`ExpectConverged` above walks
+/// dense K=1 ids and cannot be used here.)
+void ExpectShardedConverged(const dyndb::Database& primary,
+                            const dyndb::Database& follower) {
+  ASSERT_EQ(primary.size(), follower.size());
+  EXPECT_EQ(primary.epoch(), follower.epoch());
+  std::map<dyndb::Database::EntryId, Value> entries;
+  primary.GetSnapshot().ForEachEntry(
+      [&](dyndb::Database::EntryId id, const dyndb::Dynamic& d) {
+        entries.emplace(id, d.value);
+      });
+  follower.GetSnapshot().ForEachEntry(
+      [&](dyndb::Database::EntryId id, const dyndb::Dynamic& d) {
+        auto it = entries.find(id);
+        ASSERT_NE(it, entries.end()) << "follower-only id " << id;
+        EXPECT_EQ(it->second, d.value) << "divergent value at id " << id;
+      });
+  EXPECT_EQ(primary.ExtentNames(), follower.ExtentNames());
+}
+
+/// The database holds exactly {WalVal(0) .. WalVal(size-1)}, each
+/// once, and extent membership (when registered) matches a full scan.
+void ExpectShardedWalSet(const dyndb::Database& db) {
+  std::set<int64_t> seen;
+  db.GetSnapshot().ForEachEntry(
+      [&](dyndb::Database::EntryId, const dyndb::Dynamic& d) {
+        const Value* seq = d.value.FindField("Seq");
+        ASSERT_NE(seq, nullptr);
+        EXPECT_EQ(d.value, WalVal(static_cast<size_t>(seq->AsInt())));
+        EXPECT_TRUE(seen.insert(seq->AsInt()).second)
+            << "duplicate Seq " << seq->AsInt();
+      });
+  ASSERT_EQ(seen.size(), db.size());
+  for (size_t i = 0; i < db.size(); ++i) {
+    EXPECT_EQ(seen.count(static_cast<int64_t>(i)), 1u)
+        << "recovered set is not the scripted prefix: missing " << i;
+  }
+  auto via_extent = db.GetViaExtent(WalRecT());
+  if (via_extent.ok()) {
+    EXPECT_EQ(via_extent->size(),
+              db.GetSnapshot().GetScan(WalRecT()).size());
+  }
+}
+
+TEST(WalCrashMatrixTest, ShardedPrimaryRecoversAtEveryCrashPoint) {
+  const persist::WalOptions options{{1, true}, 3};
+  const std::string dir = "crash/waldb_sharded";
+
+  // The scripted workload: inserts with a registration and two
+  // checkpoints interleaved (so crash points land in lane appends,
+  // group syncs, the checkpoint save and every lane's rotation).
+  // Returns the number of inserts that returned OK.
+  auto run = [](persist::WalDatabase* wdb,
+                const std::function<void()>& after_step) -> size_t {
+    size_t applied = 0;
+    for (int step = 0; step < 12; ++step) {
+      switch (step) {
+        case 2:
+          if (!wdb->RegisterExtent("recs", WalRecT()).ok()) return applied;
+          break;
+        case 5:
+        case 9:
+          if (!wdb->Checkpoint().ok()) return applied;
+          break;
+        default:
+          if (!wdb->InsertValue(WalVal(applied)).ok()) return applied;
+          ++applied;
+          break;
+      }
+      if (after_step) after_step();
+    }
+    return applied;
+  };
+
+  // Fault-free pass: learn the op count and the insert total.
+  uint64_t total_ops = 0;
+  size_t total_inserts = 0;
+  {
+    FaultVfs vfs(0x5A4D);
+    auto wdb = persist::WalDatabase::Open(&vfs, dir, options);
+    ASSERT_TRUE(wdb.ok()) << wdb.status();
+    persist::Replica follower;
+    ASSERT_TRUE(follower.Attach((*wdb)->shipper()).ok());
+    total_inserts = run(wdb->get(),
+                        [&] { ASSERT_TRUE(follower.Poll().ok()); });
+    ASSERT_EQ(total_inserts, 9u);
+    total_ops = vfs.mutating_ops();
+    ExpectShardedWalSet((*wdb)->db());
+    ExpectShardedConverged((*wdb)->db(), follower.db());
+  }
+
+  for (uint64_t k = 1; k <= total_ops; ++k) {
+    for (Fate fate : kAllFates) {
+      SCOPED_TRACE("crash at op " + std::to_string(k) + ", unsynced data " +
+                   FateName(fate));
+      FaultVfs vfs(0xD157 + k * 0x9E3779B97F4A7C15ULL +
+                   static_cast<uint64_t>(fate));
+      vfs.CrashAtMutatingOp(k);
+      persist::Replica eager;
+      size_t applied = 0;
+      size_t eager_floor = 0;
+      {
+        auto wdb = persist::WalDatabase::Open(&vfs, dir, options);
+        if (wdb.ok()) {
+          ASSERT_TRUE(eager.Attach((*wdb)->shipper()).ok());
+          applied = run(wdb->get(), [&] {
+            // The follower may fail to poll once the VFS has crashed;
+            // it must stop advancing, never regress or tear.
+            (void)eager.Poll();
+            const size_t size = eager.db().size();
+            ASSERT_GE(size, eager_floor);
+            eager_floor = size;
+            ExpectShardedWalSet(eager.db());
+          });
+        }
+        ASSERT_TRUE(vfs.crashed());
+        (void)eager.Poll();
+        ExpectShardedWalSet(eager.db());
+      }
+
+      vfs.PowerLoss(fate);
+      auto reopened = persist::WalDatabase::Open(&vfs, dir, options);
+      ASSERT_TRUE(reopened.ok()) << reopened.status();
+      const dyndb::Database& db = (*reopened)->db();
+      ASSERT_EQ(db.shards(), 3);
+
+      // Sync-every-1: everything that returned OK is durable. Under
+      // kLost the in-flight write's unsynced bytes vanish; under the
+      // surviving fates its record (+ marker) may have reached a lane
+      // and then replays — but never anything torn or beyond it.
+      if (fate == Fate::kLost) {
+        ASSERT_EQ(db.size(), applied);
+      } else {
+        ASSERT_GE(db.size(), applied);
+        ASSERT_LE(db.size(), applied + 1);
+      }
+      ExpectShardedWalSet(db);
+
+      // The follower is a prefix of the recovered primary and
+      // re-converges to it, then keeps shipping fresh writes.
+      ASSERT_LE(eager.db().size(), db.size());
+      ASSERT_TRUE(eager.Attach((*reopened)->shipper()).ok());
+      ExpectShardedConverged(db, eager.db());
+
+      const size_t recovered = db.size();
+      ASSERT_TRUE((*reopened)->InsertValue(WalVal(recovered)).ok());
+      ASSERT_TRUE((*reopened)->Commit().ok());
+      ASSERT_TRUE(eager.Poll().ok());
+      ExpectShardedConverged(db, eager.db());
       ASSERT_EQ(eager.db().size(), recovered + 1);
     }
   }

@@ -116,7 +116,7 @@ TEST(DyndbConcurrency, WritersAndReadersStress) {
   for (int w = 0; w < kWriters; ++w) {
     threads.emplace_back([&db, w] {
       for (int i = 0; i < kPerWriter; ++i) {
-        db.InsertValue(WriterRecord(w, i));
+        db.MustInsertValue(WriterRecord(w, i));
       }
     });
   }
@@ -176,13 +176,13 @@ TEST(DyndbConcurrency, WritersAndReadersStress) {
 
 TEST(DyndbConcurrency, SnapshotPinsItsEpochAcrossLaterWrites) {
   Database db;
-  for (int i = 0; i < 8; ++i) db.InsertValue(WriterRecord(0, i));
+  for (int i = 0; i < 8; ++i) db.MustInsertValue(WriterRecord(0, i));
   Database::Snapshot pinned = db.GetSnapshot();
   const uint64_t epoch = pinned.epoch();
   const std::vector<Dynamic> before = pinned.Entries();
 
   std::thread writer([&db] {
-    for (int i = 8; i < kPerWriter; ++i) db.InsertValue(WriterRecord(1, i));
+    for (int i = 8; i < kPerWriter; ++i) db.MustInsertValue(WriterRecord(1, i));
   });
   // The pinned snapshot never changes while the writer runs.
   for (int probe = 0; probe < 50; ++probe) {
@@ -198,10 +198,10 @@ TEST(DyndbConcurrency, SnapshotPinsItsEpochAcrossLaterWrites) {
 TEST(DyndbConcurrency, ConcurrentRegistrationsAndJoins) {
   Database db;
   for (int w = 0; w < 2; ++w) {
-    for (int i = 0; i < 40; ++i) db.InsertValue(WriterRecord(w, i));
+    for (int i = 0; i < 40; ++i) db.MustInsertValue(WriterRecord(w, i));
   }
   std::thread writer([&db] {
-    for (int i = 0; i < 200; ++i) db.InsertValue(WriterRecord(3, i));
+    for (int i = 0; i < 200; ++i) db.MustInsertValue(WriterRecord(3, i));
   });
   std::thread registrar([&db] {
     for (int i = 0; i < 20; ++i) {

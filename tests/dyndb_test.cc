@@ -96,14 +96,14 @@ TEST(DynamicTest, SealProducesExistentialPackage) {
 
 Database MakeMixedDb() {
   Database db;
-  db.InsertValue(Person("p1"));
-  db.InsertValue(Person("p2"));
-  db.InsertValue(Employee("e1", 1));
-  db.InsertValue(Employee("e2", 2));
-  db.InsertValue(Employee("e3", 3));
-  db.InsertValue(Student("s1", 100));
-  db.InsertValue(Value::Int(42));  // the db is deliberately unconstrained
-  db.InsertValue(Value::String("noise"));
+  db.MustInsertValue(Person("p1"));
+  db.MustInsertValue(Person("p2"));
+  db.MustInsertValue(Employee("e1", 1));
+  db.MustInsertValue(Employee("e2", 2));
+  db.MustInsertValue(Employee("e3", 3));
+  db.MustInsertValue(Student("s1", 100));
+  db.MustInsertValue(Value::Int(42));  // the db is deliberately unconstrained
+  db.MustInsertValue(Value::String("noise"));
   return db;
 }
 
@@ -133,11 +133,11 @@ TEST(DatabaseTest, AllStrategiesAgree) {
   Database db;
   ASSERT_TRUE(db.RegisterExtent("persons", PersonT()).ok());
   ASSERT_TRUE(db.RegisterExtent("employees", EmployeeT()).ok());
-  db.InsertValue(Person("p1"));
-  db.InsertValue(Employee("e1", 1));
-  db.InsertValue(Employee("e2", 2));
-  db.InsertValue(Student("s1", 7));
-  db.InsertValue(Value::Int(5));
+  db.MustInsertValue(Person("p1"));
+  db.MustInsertValue(Employee("e1", 1));
+  db.MustInsertValue(Employee("e2", 2));
+  db.MustInsertValue(Student("s1", 7));
+  db.MustInsertValue(Value::Int(5));
 
   for (const Type& t : {PersonT(), EmployeeT()}) {
     auto scan = db.GetScan(t);
@@ -164,7 +164,7 @@ TEST(DatabaseTest, RetroactiveExtentRegistration) {
   ASSERT_TRUE(ext.ok());
   EXPECT_EQ(ext->size(), 3u);
   // New inserts are indexed incrementally.
-  db.InsertValue(Employee("e4", 4));
+  db.MustInsertValue(Employee("e4", 4));
   EXPECT_EQ(db.GetViaExtent(EmployeeT())->size(), 4u);
 }
 
@@ -197,7 +197,7 @@ TEST(DatabaseTest, IndexGroupsByPrincipalType) {
 
 TEST(DatabaseTest, EntryLookup) {
   Database db;
-  auto id = db.InsertValue(Value::Int(7));
+  auto id = db.MustInsertValue(Value::Int(7));
   Result<Dynamic> d = db.Get(id);
   ASSERT_TRUE(d.ok());
   EXPECT_EQ(d->value, Value::Int(7));
@@ -206,9 +206,9 @@ TEST(DatabaseTest, EntryLookup) {
 
 TEST(DatabaseTest, GetRelationAdmitsUnderSubsumption) {
   Database db;
-  db.InsertValue(Person("J Doe"));
-  db.InsertValue(Employee("J Doe", 7));  // refines the bare Person
-  db.InsertValue(Person("A Roe"));
+  db.MustInsertValue(Person("J Doe"));
+  db.MustInsertValue(Employee("J Doe", 7));  // refines the bare Person
+  db.MustInsertValue(Person("A Roe"));
   core::GRelation r = db.GetRelation(PersonT());
   // The Employee record subsumes the bare {Name: "J Doe"}.
   EXPECT_EQ(r.size(), 2u);
@@ -219,9 +219,9 @@ TEST(DatabaseTest, GetRelationAdmitsUnderSubsumption) {
 
 TEST(DatabaseTest, JoinExtentsIsGeneralizedJoinOfDerivedExtents) {
   Database db;
-  db.InsertValue(Employee("J Doe", 7));
-  db.InsertValue(Student("J Doe", 42));
-  db.InsertValue(Student("A Roe", 43));
+  db.MustInsertValue(Employee("J Doe", 7));
+  db.MustInsertValue(Student("J Doe", 42));
+  db.MustInsertValue(Student("A Roe", 43));
   // Get(Employee) ⋈ Get(Student): working students.
   Result<core::GRelation> joined =
       db.JoinExtents(EmployeeT(), StudentT());
@@ -298,8 +298,8 @@ TEST(DatabaseTest, GetViaExtentEquivalenceBothRegistrationOrders) {
   // serve — and agreement with the other strategies holds throughout.
   Database db;
   ASSERT_TRUE(db.RegisterExtent("unfolded", MuListUnfoldedT()).ok());
-  db.InsertValue(Person("p1"));
-  db.InsertValue(Value::Int(3));
+  db.MustInsertValue(Person("p1"));
+  db.MustInsertValue(Value::Int(3));
   for (const Type& q : {MuListT(), MuListAlphaT(), MuListUnfoldedT()}) {
     Result<std::vector<Value>> got = db.GetViaExtent(q);
     ASSERT_TRUE(got.ok()) << q.ToString();
@@ -318,9 +318,9 @@ TEST(DatabaseTest, GetViaExtentExactSpellingStillFastPathCorrect) {
   // right members after interleaved inserts.
   Database db;
   ASSERT_TRUE(db.RegisterExtent("persons", PersonT()).ok());
-  db.InsertValue(Person("p1"));
-  db.InsertValue(Value::String("noise"));
-  db.InsertValue(Employee("e1", 1));
+  db.MustInsertValue(Person("p1"));
+  db.MustInsertValue(Value::String("noise"));
+  db.MustInsertValue(Employee("e1", 1));
   Result<std::vector<Value>> got = db.GetViaExtent(PersonT());
   ASSERT_TRUE(got.ok());
   EXPECT_EQ(got->size(), 2u);

@@ -79,7 +79,7 @@ TEST(IntegrationTest, ClassExtentsSurviveIntrinsicPersistence) {
     // type hierarchy rederives the extents.
     dyndb::Database db;
     for (const Value& ref : extent.elements()) {
-      db.InsertValue(*(*store)->heap().Get(ref.AsRef()));
+      db.MustInsertValue(*(*store)->heap().Get(ref.AsRef()));
     }
     EXPECT_EQ(db.GetScan(*ParseType("{Name: String}")).size(), 5u);
     EXPECT_EQ(db.GetScan(*ParseType("{Name: String, Empno: Int}")).size(),
@@ -217,9 +217,9 @@ TEST(IntegrationTest, RelationalAndGeneralizedAgreeOnAQuery) {
 // principal type.
 TEST(IntegrationTest, RoundTrippedValuesKeepTheirType) {
   dyndb::Database db;
-  db.InsertValue(Value::RecordOf({{"Name", Value::String("x")}}));
-  db.InsertValue(Value::Int(1));
-  db.InsertValue(Value::Set({Value::Int(1), Value::Int(2)}));
+  db.MustInsertValue(Value::RecordOf({{"Name", Value::String("x")}}));
+  db.MustInsertValue(Value::Int(1));
+  db.MustInsertValue(Value::Set({Value::Int(1), Value::Int(2)}));
   for (const auto& d : db.entries()) {
     ByteBuffer buf;
     serial::EncodeDynamic(d, &buf);

@@ -93,7 +93,7 @@ TEST_P(OrderOpsPropertyTest, EveryGetPackageCoercesToItsBound) {
   dbpl::testing::Rng rng(GetParam() * 13);
   dyndb::Database db;
   for (int i = 0; i < 60; ++i) {
-    db.InsertValue(dbpl::testing::RandomRecord(rng));
+    db.MustInsertValue(dbpl::testing::RandomRecord(rng));
   }
   Type bound = *ParseType("{Name: String}");
   for (const auto& pkg : db.GetPackages(bound)) {
@@ -110,10 +110,10 @@ TEST(DatabaseEdgeTest, DeclaredTypesGovernGet) {
   dyndb::Database db;
   Value emp = Value::RecordOf(
       {{"Name", Value::String("e")}, {"Empno", Value::Int(1)}});
-  db.InsertValue(emp);
+  db.MustInsertValue(emp);
   auto declared = dyndb::MakeDynamicAs(emp, *ParseType("{Name: String}"));
   ASSERT_TRUE(declared.ok());
-  db.Insert(*declared);
+  db.MustInsert(*declared);
   EXPECT_EQ(db.GetScan(*ParseType("{Name: String}")).size(), 2u);
   EXPECT_EQ(db.GetScan(*ParseType("{Name: String, Empno: Int}")).size(), 1u);
 }

@@ -475,10 +475,10 @@ TEST(DatabaseIoTest, DatabaseRoundTripsAndExtentsAreDerived) {
   Type person_t = *ParseType("{Name: String}");
   Type employee_t = *ParseType("{Name: String, Empno: Int}");
   dyndb::Database db;
-  db.InsertValue(Person("p1"));
-  db.InsertValue(Value::RecordOf(
+  db.MustInsertValue(Person("p1"));
+  db.MustInsertValue(Value::RecordOf(
       {{"Name", Value::String("e1")}, {"Empno", Value::Int(1)}}));
-  db.InsertValue(Value::Int(42));
+  db.MustInsertValue(Value::Int(42));
   ASSERT_TRUE(persist::SaveDatabase(file.path, db).ok());
 
   auto loaded = persist::LoadDatabase(file.path);
@@ -500,7 +500,7 @@ TEST(DatabaseIoTest, DatabaseRoundTripsAndExtentsAreDerived) {
 TEST(DatabaseIoTest, CorruptDatabaseFileRejected) {
   ScopedPath file(TempPath("dbio_bad"));
   dyndb::Database db;
-  db.InsertValue(Value::Int(1));
+  db.MustInsertValue(Value::Int(1));
   ASSERT_TRUE(persist::SaveDatabase(file.path, db).ok());
   CorruptByte(file.path, 9);
   EXPECT_FALSE(persist::LoadDatabase(file.path).ok());

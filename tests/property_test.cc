@@ -289,7 +289,7 @@ TEST(GetDifferential, AllStrategiesAgreeOnRandomDatabases) {
     }
     // Mixed population: generic random values and partial records.
     for (int i = 0; i < 64; ++i) {
-      db.InsertValue(rng.Coin() ? RandomValue(rng, 2)
+      db.MustInsertValue(rng.Coin() ? RandomValue(rng, 2)
                                 : RandomPartialRecord(rng, 25, true));
     }
 
@@ -319,7 +319,7 @@ TEST(GetDifferential, SubtypeImpliesExtentContainment) {
   // within one snapshot (as multisets).
   Rng rng(0xF2);
   dyndb::Database db;
-  for (int i = 0; i < 96; ++i) db.InsertValue(RandomValue(rng, 2));
+  for (int i = 0; i < 96; ++i) db.MustInsertValue(RandomValue(rng, 2));
   std::vector<Type> ts = TypeCorpus(0xF3, 12, 2);
   dyndb::Database::Snapshot snap = db.GetSnapshot();
   for (const Type& t : ts) {

@@ -490,5 +490,143 @@ TEST(ReplicaTest, StressWritersCheckpointsAndFollowers) {
   for (int count : seen) EXPECT_EQ(count, 1);
 }
 
+// ---------------------------------------------------------------------
+// Regressions
+// ---------------------------------------------------------------------
+
+TEST(ReplicaTest, WaitForEpochManualModeHonorsTheDeadline) {
+  FaultVfs vfs(20);
+  auto wdb = WalDatabase::Open(&vfs, "db");
+  ASSERT_TRUE(wdb.ok()) << wdb.status();
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE((*wdb)->InsertValue(Rec(i)).ok());
+  Replica follower;
+  ASSERT_TRUE(follower.Attach((*wdb)->shipper()).ok());
+
+  // An epoch the primary never reaches: the barrier must come back
+  // close to the deadline — not quantum-walk past it on fixed sleeps —
+  // while still driving shipping rounds in the meantime.
+  const uint64_t polls_before = follower.stats().polls;
+  const auto t0 = std::chrono::steady_clock::now();
+  Status late = follower.WaitForEpoch(1000, std::chrono::milliseconds(60));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_EQ(late.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(elapsed.count(), 60);
+  EXPECT_LT(elapsed.count(), 2000);  // generous scheduler slack, not a hang
+  EXPECT_GT(follower.stats().polls, polls_before);
+
+  // Zero timeout with the epoch already reached returns OK at once.
+  EXPECT_TRUE(
+      follower.WaitForEpoch(follower.Epoch(), std::chrono::milliseconds(0))
+          .ok());
+}
+
+/// A shipper that lies: real segments, but per-shard durable bounds
+/// inflated past what the segments can deliver — the observable shape
+/// of a reader caching stale shipping state (e.g. across a failed
+/// checkpoint rotation on a different transport).
+class StaleBoundsShipper : public WalShipper {
+ public:
+  explicit StaleBoundsShipper(WalShipper* real) : real_(real) {}
+  void set_extra_bytes(uint64_t n) { extra_ = n; }
+
+  ShipState ship_bounds() const override {
+    ShipState state = real_->ship_bounds();
+    for (Bounds& b : state.shards) b.durable_bytes += extra_;
+    return state;
+  }
+  int shard_count() const override { return real_->shard_count(); }
+  storage::Vfs* vfs() const override { return real_->vfs(); }
+  const std::string& wal_path(int shard) const override {
+    return real_->wal_path(shard);
+  }
+  const std::string& checkpoint_path() const override {
+    return real_->checkpoint_path();
+  }
+
+ private:
+  WalShipper* real_;
+  uint64_t extra_ = 0;
+};
+
+TEST(ReplicaTest, PersistentlyStaleBoundsSurfaceOnceThenRetryQuietly) {
+  FaultVfs vfs(21);
+  auto wdb = WalDatabase::Open(&vfs, "db");
+  ASSERT_TRUE(wdb.ok()) << wdb.status();
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE((*wdb)->InsertValue(Rec(i)).ok());
+  StaleBoundsShipper shipper((*wdb)->shipper());
+  Replica follower;
+  ASSERT_TRUE(follower.Attach(&shipper).ok());
+  ASSERT_EQ(follower.db().size(), 4u);
+
+  // The shipper starts advertising bytes its segment cannot deliver,
+  // at an unchanged generation.
+  shipper.set_extra_bytes(64);
+  // First anomalous round: forgivable, a silent resync.
+  EXPECT_TRUE(follower.Poll().ok());
+  EXPECT_EQ(follower.stats().resyncs, 1u);
+  // The second round re-bootstrapped and STILL cannot reach the
+  // bounds: the anomaly is persistent — surfaced exactly once.
+  Status stale = follower.Poll();
+  EXPECT_EQ(stale.code(), StatusCode::kFailedPrecondition);
+  // Later rounds retry quietly (no error spam)...
+  EXPECT_TRUE(follower.Poll().ok());
+  EXPECT_TRUE(follower.Poll().ok());
+  // ...and the follower never regressed or applied a torn read.
+  EXPECT_EQ(follower.db().size(), 4u);
+
+  // The shipper recovers: the next round converges and the stale
+  // tracking resets.
+  shipper.set_extra_bytes(0);
+  ASSERT_TRUE((*wdb)->InsertValue(Rec(4)).ok());
+  EXPECT_TRUE(follower.Poll().ok());
+  ExpectSameState((*wdb)->db(), follower.db());
+  // A relapse is reported afresh (proof the reset really happened).
+  shipper.set_extra_bytes(64);
+  EXPECT_TRUE(follower.Poll().ok());
+  EXPECT_EQ(follower.Poll().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ReplicaTest, FollowerSurvivesAFailedCheckpointRotation) {
+  // Fail the primary's checkpoint at every possible crash point. The
+  // generation is bumped before the rotation precisely so a follower
+  // can never mistake stale segments for live ones: whatever step the
+  // failure hit, every follower round stays quiet, the state never
+  // regresses, and replication converges once the primary heals.
+  bool saw_failure = false;
+  for (uint64_t k = 1; k < 40; ++k) {
+    FaultVfs vfs(22);
+    auto wdb = WalDatabase::Open(&vfs, "db");
+    ASSERT_TRUE(wdb.ok()) << wdb.status();
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE((*wdb)->InsertValue(Rec(i)).ok());
+    }
+    Replica follower;
+    ASSERT_TRUE(follower.Attach((*wdb)->shipper()).ok());
+
+    vfs.CrashAtMutatingOp(k);
+    Status ck = (*wdb)->Checkpoint();
+    vfs.ClearCrash();
+    if (ck.ok()) break;  // k beyond the checkpoint's op count: done
+    saw_failure = true;
+
+    for (int r = 0; r < 3; ++r) {
+      Status polled = follower.Poll();
+      EXPECT_TRUE(polled.ok()) << "k=" << k << ": " << polled;
+    }
+    EXPECT_EQ(follower.db().size(), 5u) << "k=" << k;
+
+    // The primary heals (a later checkpoint un-poisons the WAL) and
+    // replication resumes to convergence.
+    Status heal = (*wdb)->Checkpoint();
+    ASSERT_TRUE(heal.ok()) << "k=" << k << ": " << heal;
+    ASSERT_TRUE((*wdb)->InsertValue(Rec(99)).ok());
+    ASSERT_TRUE((*wdb)->Commit().ok());
+    ASSERT_TRUE(follower.Poll().ok());
+    ExpectSameState((*wdb)->db(), follower.db());
+  }
+  EXPECT_TRUE(saw_failure);
+}
+
 }  // namespace
 }  // namespace dbpl::persist

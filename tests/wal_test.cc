@@ -143,9 +143,9 @@ TEST(WalDatabaseTest, DirectDatabaseWritesAreLoggedToo) {
     ASSERT_TRUE(wdb.ok());
     // Mutations through the raw database — bypassing the convenience
     // wrappers — must still reach the log via the write observer.
-    (*wdb)->db().InsertValue(Value::Int(7));
+    (*wdb)->db().MustInsertValue(Value::Int(7));
     ASSERT_TRUE((*wdb)->db().RegisterExtent("ints", *ParseType("Int")).ok());
-    (*wdb)->db().InsertValue(Value::Int(8));
+    (*wdb)->db().MustInsertValue(Value::Int(8));
     ASSERT_TRUE((*wdb)->wal_status().ok());
   }
   vfs.PowerLoss(FaultVfs::UnsyncedFate::kLost);
@@ -272,29 +272,33 @@ TEST(WalDatabaseTest, CheckpointHealsAPoisonedWal) {
   ASSERT_TRUE(wdb.ok());
   ASSERT_TRUE((*wdb)->InsertValue(Rec(0)).ok());
 
-  // Fail the next log append. The in-memory insert still happens (the
-  // observer cannot veto it), but the convenience mutator surfaces the
-  // sticky failure, and so does every later write.
+  // Fail the next log append. The observer vetoes the mutation: the
+  // in-memory insert is *rolled back* — memory never runs ahead of the
+  // log — and the WAL is poisoned, so every later write is vetoed too.
   vfs.CrashAtMutatingOp(1);
   EXPECT_FALSE((*wdb)->InsertValue(Rec(1)).ok());
   vfs.ClearCrash();
-  EXPECT_EQ((*wdb)->db().size(), 2u);
+  EXPECT_EQ((*wdb)->db().size(), 1u);
   EXPECT_FALSE((*wdb)->wal_status().ok());
-  EXPECT_FALSE((*wdb)->InsertValue(Rec(2)).ok());
-  EXPECT_EQ((*wdb)->db().size(), 3u);
+  EXPECT_FALSE((*wdb)->InsertValue(Rec(1)).ok());
+  EXPECT_EQ((*wdb)->db().size(), 1u);
+  // A direct database write is vetoed the same way (same observer).
+  EXPECT_FALSE((*wdb)->db().InsertValue(Rec(1)).ok());
+  EXPECT_EQ((*wdb)->db().size(), 1u);
 
-  // Checkpoint persists the *entire* in-memory state — including the
-  // entries whose redo records never made it — so it heals the WAL.
+  // Checkpoint persists the entire in-memory state and rotates to a
+  // clean log, healing the poison; writes flow again.
   ASSERT_TRUE((*wdb)->Checkpoint().ok());
   EXPECT_TRUE((*wdb)->wal_status().ok());
-  ASSERT_TRUE((*wdb)->InsertValue(Rec(3)).ok());
+  ASSERT_TRUE((*wdb)->InsertValue(Rec(1)).ok());
+  ASSERT_TRUE((*wdb)->InsertValue(Rec(2)).ok());
 
   wdb->reset();
   vfs.PowerLoss(FaultVfs::UnsyncedFate::kLost);
   auto reopened = WalDatabase::Open(&vfs, "db");
   ASSERT_TRUE(reopened.ok()) << reopened.status();
-  ASSERT_EQ((*reopened)->db().size(), 4u);
-  for (int i = 0; i < 4; ++i) {
+  ASSERT_EQ((*reopened)->db().size(), 3u);
+  for (int i = 0; i < 3; ++i) {
     EXPECT_EQ((*reopened)->db().Get(i)->value, Rec(i));
   }
 }
@@ -422,6 +426,47 @@ TEST(WalDatabaseTest, DestructorFlushesTheOpenBatch) {
   auto wdb = WalDatabase::Open(&vfs, "db");
   ASSERT_TRUE(wdb.ok()) << wdb.status();
   EXPECT_EQ((*wdb)->db().size(), 3u);
+}
+
+TEST(WalDatabaseTest, AFailedAppendVetoesTheWriteBeforePublication) {
+  FaultVfs vfs(12);
+  auto wdb = WalDatabase::Open(&vfs, "db", CommitPolicy{1, true});
+  ASSERT_TRUE(wdb.ok()) << wdb.status();
+  ASSERT_TRUE((*wdb)->InsertValue(Rec(0)).ok());
+  const uint64_t epoch_before = (*wdb)->db().epoch();
+
+  // Fail the very next mutating op: the WAL append of the insert
+  // below. The write observer runs BEFORE the in-memory mutation, so
+  // the failed append must veto the insert entirely — memory may never
+  // silently run ahead of a log that did not record the write.
+  vfs.CrashAtMutatingOp(1);
+  auto vetoed = (*wdb)->InsertValue(Rec(1));
+  EXPECT_FALSE(vetoed.ok());
+  // Registrations ride the same observer and are vetoed the same way.
+  EXPECT_FALSE((*wdb)->RegisterExtent("recs", RecT()).ok());
+  vfs.ClearCrash();
+
+  // Clean rollback: no entry, no extent, no epoch tick — and the WAL
+  // is sticky-poisoned so later writes cannot quietly diverge either.
+  EXPECT_EQ((*wdb)->db().size(), 1u);
+  EXPECT_EQ((*wdb)->db().epoch(), epoch_before);
+  EXPECT_TRUE((*wdb)->db().ExtentNames().empty());
+  EXPECT_FALSE((*wdb)->wal_status().ok());
+  EXPECT_FALSE((*wdb)->InsertValue(Rec(2)).ok());
+
+  // A checkpoint rebuilds the log from the (consistent) in-memory
+  // state and heals the poison; writes resume.
+  ASSERT_TRUE((*wdb)->Checkpoint().ok());
+  ASSERT_TRUE((*wdb)->wal_status().ok());
+  ASSERT_TRUE((*wdb)->InsertValue(Rec(2)).ok());
+
+  // Recovery agrees with memory exactly: the vetoed write is in
+  // neither, the post-heal write is in both.
+  vfs.PowerLoss(FaultVfs::UnsyncedFate::kLost);
+  auto reopened = WalDatabase::Open(&vfs, "db", CommitPolicy{1, true});
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ((*reopened)->db().size(), 2u);
+  EXPECT_TRUE((*reopened)->db().ExtentNames().empty());
 }
 
 }  // namespace

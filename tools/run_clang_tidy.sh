@@ -23,9 +23,11 @@ if [ ! -f "$build_dir/compile_commands.json" ]; then
   exit 77
 fi
 
-# src/ covers every library (including src/dyndb, src/core/parallel,
-# and the WAL + replication layer src/persist/{wal,replica}*); bench/
-# is included so the benchmark harnesses stay lint-clean too.
+# src/ covers every library (including the sharded multi-writer core
+# src/dyndb/database.cc, src/core/parallel, and the WAL + replication
+# layer src/persist/{wal,replica}* with its per-shard segment and
+# group-commit paths); bench/ is included so the benchmark harnesses
+# (through bench_e13_sharded) stay lint-clean too.
 files=$(find "$repo_root/src" "$repo_root/tools" "$repo_root/bench" \
              -name '*.cc' | sort)
 
