@@ -41,6 +41,8 @@
 #include "dyndb/database.h"
 #include "types/type.h"
 
+#include "provenance.h"
+
 namespace {
 
 using dbpl::core::Value;
@@ -218,7 +220,8 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
       std::cerr << "bench_e10: cannot open " << path << " for writing\n";
       return;
     }
-    out << "[\n";
+    out << "{\"provenance\": " << dbpl::bench::ProvenanceJson()
+        << ",\n \"results\": [\n";
     for (size_t i = 0; i < records_.size(); ++i) {
       const Record& r = records_[i];
       std::string variant = r.name.substr(0, r.name.find('/'));
@@ -230,7 +233,7 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
           << ", \"scan_items_per_sec\": " << r.items_per_sec << "}"
           << (i + 1 < records_.size() ? "," : "") << "\n";
     }
-    out << "]\n";
+    out << "]}\n";
   }
 
  private:
@@ -294,6 +297,8 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   JsonTeeReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once from main before
+  // any worker thread exists.
   const char* path = std::getenv("DBPL_BENCH_E10_JSON");
   reporter.WriteJson(path != nullptr ? path : "BENCH_E10.json");
   return 0;

@@ -40,6 +40,8 @@
 #include "persist/database_io.h"
 #include "persist/wal_database.h"
 
+#include "provenance.h"
+
 namespace {
 
 using dbpl::core::Value;
@@ -204,7 +206,8 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
       std::cerr << "bench_e11: cannot open " << path << " for writing\n";
       return;
     }
-    out << "[\n";
+    out << "{\"provenance\": " << dbpl::bench::ProvenanceJson()
+        << ",\n \"results\": [\n";
     for (size_t i = 0; i < records_.size(); ++i) {
       const Record& r = records_[i];
       std::string variant = r.name.substr(0, r.name.find('/'));
@@ -215,7 +218,7 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
           << ", \"commits_per_sec\": " << r.commits_per_sec << "}"
           << (i + 1 < records_.size() ? "," : "") << "\n";
     }
-    out << "]\n";
+    out << "]}\n";
   }
 
  private:
@@ -272,6 +275,8 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   JsonTeeReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once from main before
+  // any worker thread exists.
   const char* path = std::getenv("DBPL_BENCH_E11_JSON");
   reporter.WriteJson(path != nullptr ? path : "BENCH_E11.json");
   return 0;

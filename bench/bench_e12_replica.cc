@@ -45,6 +45,8 @@
 #include "persist/replica.h"
 #include "persist/wal_database.h"
 
+#include "provenance.h"
+
 namespace {
 
 using dbpl::core::Value;
@@ -264,7 +266,8 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
       std::cerr << "bench_e12: cannot open " << path << " for writing\n";
       return;
     }
-    out << "[\n";
+    out << "{\"provenance\": " << dbpl::bench::ProvenanceJson()
+        << ",\n \"results\": [\n";
     for (size_t i = 0; i < records_.size(); ++i) {
       const Record& r = records_[i];
       std::string variant = r.name.substr(0, r.name.find('/'));
@@ -279,7 +282,7 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
           << ", \"lag_p99\": " << r.lag_p99 << "}"
           << (i + 1 < records_.size() ? "," : "") << "\n";
     }
-    out << "]\n";
+    out << "]}\n";
   }
 
  private:
@@ -330,6 +333,8 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   JsonTeeReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once from main before
+  // any worker thread exists.
   const char* path = std::getenv("DBPL_BENCH_E12_JSON");
   reporter.WriteJson(path != nullptr ? path : "BENCH_E12.json");
   return 0;

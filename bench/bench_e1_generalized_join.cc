@@ -46,6 +46,8 @@
 #include "relational/ops.h"
 #include "relational/relation.h"
 
+#include "provenance.h"
+
 namespace {
 
 using dbpl::core::GRelation;
@@ -196,7 +198,8 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
       std::cerr << "bench_e1: cannot open " << path << " for writing\n";
       return;
     }
-    out << "[\n";
+    out << "{\"provenance\": " << dbpl::bench::ProvenanceJson()
+        << ",\n \"results\": [\n";
     for (size_t i = 0; i < records_.size(); ++i) {
       const Record& r = records_[i];
       std::string variant = r.name.substr(0, r.name.find('/'));
@@ -208,7 +211,7 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
           << ", \"out_tuples\": " << static_cast<int64_t>(r.out_tuples) << "}"
           << (i + 1 < records_.size() ? "," : "") << "\n";
     }
-    out << "]\n";
+    out << "]}\n";
   }
 
  private:
@@ -255,6 +258,8 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   JsonTeeReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once from main before
+  // any worker thread exists.
   const char* path = std::getenv("DBPL_BENCH_E1_JSON");
   reporter.WriteJson(path != nullptr ? path : "BENCH_E1.json");
   return 0;

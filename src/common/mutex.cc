@@ -1,0 +1,89 @@
+#include "common/mutex.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dbpl {
+
+#if DBPL_LOCK_RANK_CHECKS
+
+namespace internal {
+namespace {
+
+/// Deepest legal nesting: replica poll -> checkpoint meta -> K shard
+/// writers -> seqlock -> state still fits with every shard clustered.
+constexpr int kMaxHeldLocks = 80;
+
+struct HeldLock {
+  int rank;
+  const char* name;
+};
+
+// Per-thread stack of held ranked locks. Plain thread_local state —
+// no synchronization, so the checker itself is invisible to TSan and
+// adds no cross-thread ordering that could mask a real race.
+thread_local HeldLock g_held[kMaxHeldLocks];
+thread_local int g_depth = 0;
+
+[[noreturn]] void RankAbort(LockRank rank, const char* name, int max_rank,
+                            const char* max_name) {
+  std::fprintf(stderr,
+               "lock-rank violation: acquiring '%s' (rank %d) while holding "
+               "'%s' (rank %d); held stack (acquisition order):\n",
+               name, static_cast<int>(rank), max_name, max_rank);
+  for (int i = 0; i < g_depth; ++i) {
+    std::fprintf(stderr, "  #%d '%s' (rank %d)\n", i, g_held[i].name,
+                 g_held[i].rank);
+  }
+  std::fprintf(stderr,
+               "the fix is to acquire in rank order (DESIGN.md §10): "
+               "shard writer < group-commit < wal lane < state\n");
+  std::abort();
+}
+
+}  // namespace
+
+void RankCheckAcquire(LockRank rank, const char* name) {
+  const int r = static_cast<int>(rank);
+  int max_rank = -1;
+  const char* max_name = "";
+  for (int i = 0; i < g_depth; ++i) {
+    if (g_held[i].rank > max_rank) {
+      max_rank = g_held[i].rank;
+      max_name = g_held[i].name;
+    }
+  }
+  if (max_rank > r || (max_rank == r && !LockRankClusters(rank))) {
+    RankAbort(rank, name, max_rank, max_name);
+  }
+  if (g_depth >= kMaxHeldLocks) {
+    std::fprintf(stderr, "lock-rank checker: more than %d locks held\n",
+                 kMaxHeldLocks);
+    std::abort();
+  }
+  g_held[g_depth++] = HeldLock{r, name};
+}
+
+void RankCheckRelease(LockRank rank) {
+  const int r = static_cast<int>(rank);
+  // Releases need not be LIFO (a checkpoint unfreezes lanes in index
+  // order): drop the most recent entry of this rank.
+  for (int i = g_depth - 1; i >= 0; --i) {
+    if (g_held[i].rank == r) {
+      for (int j = i; j < g_depth - 1; ++j) g_held[j] = g_held[j + 1];
+      --g_depth;
+      return;
+    }
+  }
+  std::fprintf(stderr,
+               "lock-rank checker: releasing rank %d that this thread does "
+               "not hold\n",
+               r);
+  std::abort();
+}
+
+}  // namespace internal
+
+#endif  // DBPL_LOCK_RANK_CHECKS
+
+}  // namespace dbpl

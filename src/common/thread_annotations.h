@@ -1,0 +1,96 @@
+#ifndef DBPL_COMMON_THREAD_ANNOTATIONS_H_
+#define DBPL_COMMON_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety (capability) annotations, in the ABSL style.
+//
+// These macros let a declaration state, in a form the compiler checks,
+// which lock protects which field and which locks a function requires,
+// acquires, releases or must be called without:
+//
+//   dbpl::Mutex mu;
+//   int balance DBPL_GUARDED_BY(mu);          // only read/written under mu
+//   void Deposit(int v) DBPL_EXCLUDES(mu);    // takes mu itself
+//   void DepositLocked(int v) DBPL_REQUIRES(mu);  // caller holds mu
+//
+// Under Clang, building with `-Wthread-safety -Wthread-safety-beta`
+// (the `analyze` CMake preset) turns any violation — an unlocked read
+// of a guarded field, a REQUIRES function called without the lock, a
+// lock leaked out of scope — into a compile error (`-Werror`). Under
+// other compilers (GCC builds of the repo's tier-1 matrix) every macro
+// expands to nothing, so the annotations are free documentation.
+//
+// The annotations express the *static* half of the locking discipline.
+// What they cannot express — the acquisition *order* between distinct
+// locks, and dynamic lock sets like "all K shard writer mutexes" — is
+// enforced at runtime by the lock-rank checker in common/mutex.h.
+// DESIGN.md §10 documents both halves and the full rank table.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define DBPL_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+
+#ifndef DBPL_THREAD_ANNOTATION_
+#define DBPL_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+/// Marks a type as a capability ("mutex", "seqlock", ...). The name
+/// appears in diagnostics: "reading variable 'x' requires holding
+/// mutex 'mu'".
+#define DBPL_CAPABILITY(name) DBPL_THREAD_ANNOTATION_(capability(name))
+
+/// Marks an RAII type whose constructor acquires and destructor
+/// releases a capability (see dbpl::MutexLock).
+#define DBPL_SCOPED_CAPABILITY DBPL_THREAD_ANNOTATION_(scoped_lockable)
+
+/// The field is protected by the given capability: it may only be
+/// accessed while that capability is held.
+#define DBPL_GUARDED_BY(x) DBPL_THREAD_ANNOTATION_(guarded_by(x))
+
+/// The *pointee* of this pointer/smart-pointer field is protected by
+/// the given capability (the pointer itself is not).
+#define DBPL_PT_GUARDED_BY(x) DBPL_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// The function may only be called while holding the capability
+/// exclusively; it does not acquire or release it.
+#define DBPL_REQUIRES(...) \
+  DBPL_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Shared (reader) form of DBPL_REQUIRES.
+#define DBPL_REQUIRES_SHARED(...) \
+  DBPL_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability and holds it on return.
+#define DBPL_ACQUIRE(...) \
+  DBPL_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// The function releases a capability the caller held.
+#define DBPL_RELEASE(...) \
+  DBPL_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// The function must be called *without* the capability held (it will
+/// acquire it itself, or calling with it held would deadlock). This is
+/// the LOCKS_EXCLUDED contract every public API of the concurrent core
+/// carries.
+#define DBPL_EXCLUDES(...) \
+  DBPL_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// The function returns a reference to the given capability (used by
+/// accessors that expose a member mutex).
+#define DBPL_RETURN_CAPABILITY(x) DBPL_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: the function manipulates locks in a way the analysis
+/// cannot follow (dynamic lock vectors, conditional acquisition).
+/// Every use in this codebase carries a comment saying what invariant
+/// holds instead and which runtime check (lock ranks, TSan preset)
+/// covers it.
+#define DBPL_NO_THREAD_SAFETY_ANALYSIS \
+  DBPL_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+/// Compile-time assertion that the capability is held (re-anchors the
+/// analysis inside NO_THREAD_SAFETY_ANALYSIS regions).
+#define DBPL_ASSERT_CAPABILITY(x) \
+  DBPL_THREAD_ANNOTATION_(assert_capability(x))
+
+#endif  // DBPL_COMMON_THREAD_ANNOTATIONS_H_

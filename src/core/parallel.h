@@ -31,6 +31,12 @@ int ClampThreads(int requested);
 ///
 /// `fn` is called concurrently from multiple threads and must only
 /// touch disjoint state per index (e.g. `results[i]`).
+///
+/// Thread safety: the scheduler itself is lock-free (an atomic task
+/// cursor plus per-index result slots), so it holds no dbpl::Mutex
+/// while `fn` runs — `fn` may acquire any rank it likes. Each worker
+/// thread starts with an empty held-lock stack, so the lock-rank
+/// checker (common/mutex.h) applies to `fn` unchanged.
 Status ParallelFor(size_t n, int threads,
                    const std::function<Status(size_t)>& fn);
 

@@ -85,6 +85,14 @@ struct DatabaseOptions {
 /// registrations are made atomic by a registration seqlock: a snapshot
 /// never observes an extent on some shards but not others.
 ///
+/// The locking discipline (which mutex guards what, and the global
+/// acquisition order) is stated in Clang capability annotations on the
+/// implementation (database.cc) and enforced two ways: statically by
+/// the `analyze` preset's -Wthread-safety build, and dynamically by
+/// the lock-rank checker in common/mutex.h. DESIGN.md §10 is the
+/// reference; the short form of the order is
+/// shard writer < registration seqlock < state publication.
+///
 /// ## Entry ids
 ///
 /// With K shards, entry ids encode their shard: an entry is the

@@ -34,6 +34,7 @@ std::string_view SeverityName(Severity severity);
 ///   DL004  unused binding
 ///   DL005  shadowed binding
 ///   DL006  constant condition / dead branch
+///   DL007  irrefutable coercion: `coerce e to T` can never fail
 struct Diagnostic {
   Severity severity = Severity::kWarning;
   Span span;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "types/lattice.h"
+#include "types/subtype.h"
 #include "types/type.h"
 
 namespace dbpl::lang {
@@ -53,10 +54,14 @@ Carried MergeCarried(const Carried& a, const Carried& b) {
   return out;
 }
 
-class RefutableCoercionPass : public Pass {
+/// Shared abstract interpretation for the coercion passes: walks the
+/// program tracking what each Dynamic-typed expression can carry, and
+/// hands every `coerce` site (with its carried set) to a subclass.
+/// DL001 fires when the coercion can *never* succeed; DL007 when it
+/// can never *fail* — the two useless extremes of the paper's runtime
+/// `coerce` check.
+class CoercionAnalysisPass : public Pass {
  public:
-  std::string_view name() const override { return "refutable-coercion"; }
-
   void Run(const AnalysisContext& ctx, std::vector<Diagnostic>* out) override {
     std::map<std::string, Carried> env;
     for (const Decl& decl : ctx.program.decls) {
@@ -70,8 +75,14 @@ class RefutableCoercionPass : public Pass {
     }
   }
 
+ protected:
+  /// Judges one `coerce e to T` site given what `e` is proven to carry
+  /// (`carried.known` is true and the candidate set is nonempty).
+  virtual void AtCoerce(const Expr& e, const Carried& carried,
+                        std::vector<Diagnostic>* out) = 0;
+
  private:
-  /// Walks `e`, reporting refutable coercions, and returns what `e`
+  /// Walks `e`, judging coercion sites, and returns what `e`
   /// carries if it evaluates to a Dynamic.
   Carried Scan(const Expr& e, std::map<std::string, Carried>& env,
                std::vector<Diagnostic>* out) {
@@ -104,24 +115,7 @@ class RefutableCoercionPass : public Pass {
       }
       case ExprKind::kCoerce: {
         Carried c = Scan(*e.a, env, out);
-        if (c.known && !c.candidates.empty()) {
-          bool all_inconsistent = std::all_of(
-              c.candidates.begin(), c.candidates.end(), [&](const Type& s) {
-                return !types::Glb(s, e.type).ok();
-              });
-          if (all_inconsistent) {
-            std::string carries;
-            for (size_t i = 0; i < c.candidates.size(); ++i) {
-              if (i > 0) carries += " or ";
-              carries += c.candidates[i].ToString();
-            }
-            out->push_back(Diagnostic{
-                Severity::kWarning, e.span, "DL001",
-                "coercion can never succeed: the dynamic carries " + carries +
-                    ", which has no common subtype with " +
-                    e.type.ToString()});
-          }
-        }
+        if (c.known && !c.candidates.empty()) AtCoerce(e, c, out);
         return {};
       }
       case ExprKind::kLambda: {
@@ -166,6 +160,68 @@ class RefutableCoercionPass : public Pass {
       env[name] = std::move(*saved);
     } else {
       env.erase(name);
+    }
+  }
+};
+
+std::string DescribeCandidates(const Carried& c) {
+  std::string carries;
+  for (size_t i = 0; i < c.candidates.size(); ++i) {
+    if (i > 0) carries += " or ";
+    carries += c.candidates[i].ToString();
+  }
+  return carries;
+}
+
+class RefutableCoercionPass : public CoercionAnalysisPass {
+ public:
+  std::string_view name() const override { return "refutable-coercion"; }
+
+ protected:
+  void AtCoerce(const Expr& e, const Carried& c,
+                std::vector<Diagnostic>* out) override {
+    bool all_inconsistent = std::all_of(
+        c.candidates.begin(), c.candidates.end(),
+        [&](const Type& s) { return !types::Glb(s, e.type).ok(); });
+    if (all_inconsistent) {
+      out->push_back(Diagnostic{
+          Severity::kWarning, e.span, "DL001",
+          "coercion can never succeed: the dynamic carries " +
+              DescribeCandidates(c) + ", which has no common subtype with " +
+              e.type.ToString()});
+    }
+  }
+};
+
+class IrrefutableCoercionPass : public CoercionAnalysisPass {
+ public:
+  std::string_view name() const override { return "irrefutable-coercion"; }
+
+ protected:
+  void AtCoerce(const Expr& e, const Carried& c,
+                std::vector<Diagnostic>* out) override {
+    // Fire only on *strict* subsumption: every carried type is a
+    // subtype of the target, and at least one is a proper one. The
+    // runtime check `IsSubtype(carried, target)` then always passes,
+    // so the coerce is dead weight — the expression already has (more
+    // than) the target's interface. An *exact*-type coerce (target
+    // equal to the one carried type) stays silent: that is the paper's
+    // idiomatic way to move Dynamic back into static typing, and the
+    // "coercion" is doing real work as a type ascription.
+    bool all_subsume = std::all_of(
+        c.candidates.begin(), c.candidates.end(),
+        [&](const Type& s) { return types::IsSubtype(s, e.type); });
+    bool some_proper = std::any_of(
+        c.candidates.begin(), c.candidates.end(),
+        [&](const Type& s) { return !types::IsSubtype(e.type, s); });
+    if (all_subsume && some_proper) {
+      out->push_back(Diagnostic{
+          Severity::kWarning, e.span, "DL007",
+          "coercion always succeeds: the dynamic carries " +
+              DescribeCandidates(c) + ", every case a subtype of " +
+              e.type.ToString() +
+              " — the runtime check is irrefutable and the coerce can be "
+              "dropped"});
     }
   }
 };
@@ -548,6 +604,10 @@ std::unique_ptr<Pass> MakeConstantConditionPass() {
   return std::make_unique<ConstantConditionPass>();
 }
 
+std::unique_ptr<Pass> MakeIrrefutableCoercionPass() {
+  return std::make_unique<IrrefutableCoercionPass>();
+}
+
 std::vector<std::unique_ptr<Pass>> DefaultPasses() {
   std::vector<std::unique_ptr<Pass>> passes;
   passes.push_back(MakeRefutableCoercionPass());
@@ -555,6 +615,7 @@ std::vector<std::unique_ptr<Pass>> DefaultPasses() {
   passes.push_back(MakeInconsistentJoinPass());
   passes.push_back(MakeBindingHygienePass());
   passes.push_back(MakeConstantConditionPass());
+  passes.push_back(MakeIrrefutableCoercionPass());
   return passes;
 }
 

@@ -38,6 +38,16 @@ std::unique_ptr<Pass> MakeBindingHygienePass();
 /// not/and/or over literals) — flags the dead branch.
 std::unique_ptr<Pass> MakeConstantConditionPass();
 
+/// DL007: `coerce e to T` that can never *fail* — the dual of DL001.
+/// Fires when every type the dynamic can carry is a subtype of `T`
+/// and at least one is a *proper* subtype: the runtime check is
+/// irrefutable and the coerce is dead weight. Exact-type coercions
+/// (target equal to the single carried type) are deliberately silent —
+/// that is the idiomatic bridge from Dynamic back into static typing.
+/// Shares DL001's carried-type abstract interpretation, so unknown
+/// sources (intern, calls, parameters) suppress it too.
+std::unique_ptr<Pass> MakeIrrefutableCoercionPass();
+
 /// All of the above, in diagnostic-code order.
 std::vector<std::unique_ptr<Pass>> DefaultPasses();
 

@@ -29,7 +29,7 @@ Status Replica::Attach(WalShipper* shipper, FollowOptions opts) {
   }
   Detach();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    dbpl::MutexLock lock(&mu_);
     shipper_ = shipper;
     opts_ = opts;
     bootstrapped_ = false;
@@ -49,20 +49,20 @@ Status Replica::Attach(WalShipper* shipper, FollowOptions opts) {
       thread_ = std::thread([this] { Run(); });
     }
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   return Status::OK();
 }
 
 void Replica::Detach() {
   std::thread to_join;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    dbpl::MutexLock lock(&mu_);
     stop_ = true;
     to_join = std::move(thread_);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (to_join.joinable()) to_join.join();
-  std::lock_guard<std::mutex> lock(mu_);
+  dbpl::MutexLock lock(&mu_);
   stop_ = false;
   shipper_ = nullptr;
   readers_.clear();
@@ -70,29 +70,35 @@ void Replica::Detach() {
 }
 
 bool Replica::attached() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  dbpl::MutexLock lock(&mu_);
   return shipper_ != nullptr;
 }
 
 void Replica::Run() {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   while (!stop_) {
     // Errors here are either transient (a stale handle across a
     // primary crash — the next round's re-bootstrap heals it) or
     // permanent (divergence); keep polling either way and let the
     // counters tell the story. A streaming follower must stay up.
     (void)PollLocked();
-    lock.unlock();
-    cv_.notify_all();  // wake WaitForEpoch after every round
-    lock.lock();
-    cv_.wait_for(lock, opts_.poll_interval, [this] { return stop_; });
+    mu_.Unlock();
+    cv_.NotifyAll();  // wake WaitForEpoch after every round
+    mu_.Lock();
+    // Sleep out the poll interval, ending early on stop.
+    const auto deadline =
+        std::chrono::steady_clock::now() + opts_.poll_interval;
+    while (!stop_) {
+      if (cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) break;
+    }
   }
+  mu_.Unlock();
 }
 
 Status Replica::Poll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  dbpl::MutexLock lock(&mu_);
   Status polled = PollLocked();
-  cv_.notify_all();
+  cv_.NotifyAll();
   return polled;
 }
 
@@ -266,14 +272,14 @@ Status Replica::PollLocked() {
 Status Replica::WaitForEpoch(uint64_t epoch,
                              std::chrono::milliseconds timeout) {
   const auto deadline = std::chrono::steady_clock::now() + timeout;
-  std::unique_lock<std::mutex> lock(mu_);
+  dbpl::MutexLock lock(&mu_);
   if (shipper_ == nullptr && db_.epoch() < epoch) {
     return Status::FailedPrecondition("replica is not attached");
   }
   const bool streaming = thread_.joinable();
   while (db_.epoch() < epoch) {
     if (streaming) {
-      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+      if (cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout &&
           db_.epoch() < epoch) {
         return Status::DeadlineExceeded(
             "epoch " + std::to_string(epoch) + " not reached (at " +
@@ -292,14 +298,14 @@ Status Replica::WaitForEpoch(uint64_t epoch,
             "epoch " + std::to_string(epoch) + " not reached (at " +
             std::to_string(db_.epoch()) + ")");
       }
-      cv_.wait_until(lock, std::min(deadline, now + kManualPollQuantum));
+      cv_.WaitUntil(mu_, std::min(deadline, now + kManualPollQuantum));
     }
   }
   return Status::OK();
 }
 
 ReplicaStats Replica::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  dbpl::MutexLock lock(&mu_);
   ReplicaStats out;
   out.bootstraps = bootstraps_;
   out.polls = polls_;

@@ -2,14 +2,13 @@
 #define DBPL_PERSIST_REPLICA_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "dyndb/database.h"
 #include "persist/wal_database.h"
@@ -132,20 +131,21 @@ class Replica {
   /// recovered incarnation of a crashed primary) keeps the follower's
   /// state and resumes incrementally. The shipper must outlive the
   /// attachment.
-  Status Attach(WalShipper* shipper, FollowOptions opts = {});
+  Status Attach(WalShipper* shipper, FollowOptions opts = {})
+      DBPL_EXCLUDES(mu_);
 
   /// One manual shipping round (see the protocol above). Returns OK
   /// for a healthy round — including one that detected a rotation or
   /// a stale handle and scheduled a re-bootstrap (`stats().resyncs`)
   /// — and an error only for real trouble: not attached, an unreadable
   /// checkpoint, or a history gap (divergence, kCorruption).
-  Status Poll();
+  Status Poll() DBPL_EXCLUDES(mu_);
 
   /// Disconnects (stopping the streaming thread, if any). The
   /// follower's database and stats remain readable.
-  void Detach();
+  void Detach() DBPL_EXCLUDES(mu_);
 
-  bool attached() const;
+  bool attached() const DBPL_EXCLUDES(mu_);
 
   /// The follower's position on the primary's mutation timeline.
   uint64_t Epoch() const { return db_.epoch(); }
@@ -157,13 +157,14 @@ class Replica {
   /// clamped in — so an external `Poll()`'s progress wakes it
   /// immediately and the deadline can never drift past by a poll
   /// quantum.
-  Status WaitForEpoch(uint64_t epoch, std::chrono::milliseconds timeout);
+  Status WaitForEpoch(uint64_t epoch, std::chrono::milliseconds timeout)
+      DBPL_EXCLUDES(mu_);
 
   /// The replicated database: read-only by convention — mutating it
   /// would diverge from the primary and poison replay with id gaps.
   const dyndb::Database& db() const { return db_; }
 
-  ReplicaStats stats() const;
+  ReplicaStats stats() const DBPL_EXCLUDES(mu_);
 
   /// Failover: detach, persist this follower's state as the durable
   /// seed of `dir`, and open a WalDatabase there. The returned primary
@@ -171,43 +172,50 @@ class Replica {
   /// are WAL-durable from the first insert. The Replica itself is
   /// inert afterwards (its in-memory copy stays readable).
   Result<std::unique_ptr<WalDatabase>> PromoteToPrimary(
-      storage::Vfs* vfs, const std::string& dir, CommitPolicy policy = {});
+      storage::Vfs* vfs, const std::string& dir, CommitPolicy policy = {})
+      DBPL_EXCLUDES(mu_);
 
  private:
-  /// One shipping round; mu_ held.
-  Status PollLocked();
+  /// One shipping round; mu_ held. Re-enters the primary's bounds
+  /// sampling and the follower's write path, both of which rank above
+  /// mu_ (kReplica is the lowest rank in the table).
+  Status PollLocked() DBPL_REQUIRES(mu_);
   /// Incremental checkpoint apply + cursor restarts; mu_ held.
-  Status BootstrapLocked(const WalShipper::ShipState& state);
+  Status BootstrapLocked(const WalShipper::ShipState& state)
+      DBPL_REQUIRES(mu_);
   /// Streaming-thread body.
-  void Run();
+  void Run() DBPL_EXCLUDES(mu_);
 
-  /// The replicated state. Internally thread-safe; only the polling
-  /// path (under mu_) mutates it.
+  /// The replicated state. Internally thread-safe (its own capability
+  /// discipline lives in dyndb/database.cc), so it is deliberately not
+  /// GUARDED_BY(mu_): readers go through db() lock-free; only the
+  /// polling path (under mu_) mutates it.
   dyndb::Database db_;
 
   /// Guards everything below, and serializes shipping rounds.
-  mutable std::mutex mu_;
+  mutable dbpl::Mutex mu_{dbpl::LockRank::kReplica, "replica.mu_"};
   /// Signaled on progress and on stop; WaitForEpoch waits here.
-  std::condition_variable cv_;
-  WalShipper* shipper_ = nullptr;
-  FollowOptions opts_;
+  dbpl::CondVar cv_;
+  WalShipper* shipper_ DBPL_GUARDED_BY(mu_) = nullptr;
+  FollowOptions opts_ DBPL_GUARDED_BY(mu_);
   /// One cursor per primary shard segment (resized at bootstrap).
-  std::vector<std::unique_ptr<storage::LogReader>> readers_;
+  std::vector<std::unique_ptr<storage::LogReader>> readers_
+      DBPL_GUARDED_BY(mu_);
   /// The primary generation the cursors tail; valid iff bootstrapped_.
-  uint64_t generation_ = 0;
-  bool bootstrapped_ = false;
+  uint64_t generation_ DBPL_GUARDED_BY(mu_) = 0;
+  bool bootstrapped_ DBPL_GUARDED_BY(mu_) = false;
   /// Consecutive resyncs within one unchanged generation, and whether
   /// the persistent-anomaly error was already surfaced for it.
-  uint64_t same_gen_resyncs_ = 0;
-  bool stale_gen_reported_ = false;
-  bool stop_ = false;
-  std::thread thread_;
+  uint64_t same_gen_resyncs_ DBPL_GUARDED_BY(mu_) = 0;
+  bool stale_gen_reported_ DBPL_GUARDED_BY(mu_) = false;
+  bool stop_ DBPL_GUARDED_BY(mu_) = false;
+  std::thread thread_ DBPL_GUARDED_BY(mu_);
   /// Raw apply counters (shared shape with recovery).
-  WalRecoveryStats applied_;
-  uint64_t bootstraps_ = 0;
-  uint64_t polls_ = 0;
-  uint64_t batches_ = 0;
-  uint64_t resyncs_ = 0;
+  WalRecoveryStats applied_ DBPL_GUARDED_BY(mu_);
+  uint64_t bootstraps_ DBPL_GUARDED_BY(mu_) = 0;
+  uint64_t polls_ DBPL_GUARDED_BY(mu_) = 0;
+  uint64_t batches_ DBPL_GUARDED_BY(mu_) = 0;
+  uint64_t resyncs_ DBPL_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dbpl::persist

@@ -45,6 +45,12 @@ struct WalRecord {
 /// the WAL's own commit markers are plain kCommit frames). The CRC
 /// framing, torn-tail detection and commit semantics all come from the
 /// underlying storage::Log{Writer,Reader}.
+///
+/// Thread safety: the codec is stateless (pure functions of their
+/// arguments), so it needs no capability annotations. Concurrency on
+/// the append path lives entirely in persist::WalDatabase, where the
+/// lane mutex guards the LogWriter these records are fed to
+/// (DESIGN.md §10).
 storage::LogRecord EncodeWalRecord(const WalRecord& record);
 
 /// Unpacks a redo record; Corruption on anything EncodeWalRecord could

@@ -2,13 +2,12 @@
 #define DBPL_PERSIST_WAL_DATABASE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "dyndb/database.h"
 #include "dyndb/dynamic.h"
@@ -277,17 +276,17 @@ class WalDatabase : public WalShipper {
   /// for any open batch (on every shard) and runs one fsync barrier
   /// over all dirty segments (regardless of CommitPolicy::sync).
   /// No-op when nothing is pending.
-  Status Commit();
+  Status Commit() DBPL_EXCLUDES(sync_mu_, status_mu_);
 
   /// Saves a checkpoint of the current state and rotates every
   /// segment; see the class comment for the protocol. On success the
   /// WAL shrinks to empty and `wal_status()` is reset to OK.
-  Status Checkpoint();
+  Status Checkpoint() DBPL_EXCLUDES(meta_mu_, status_mu_);
 
   /// The sticky status of the logging path: OK, or the first append /
   /// commit failure since the last successful Checkpoint(). While
   /// non-OK, every write through the observer is vetoed.
-  Status wal_status() const;
+  Status wal_status() const DBPL_EXCLUDES(status_mu_);
 
   /// Bytes in the current log generation, summed over all segments.
   uint64_t wal_bytes() const;
@@ -297,7 +296,7 @@ class WalDatabase : public WalShipper {
   uint64_t pending_in_batch() const;
 
   /// Checkpoints and rotations completed in this process.
-  uint64_t checkpoints_taken() const;
+  uint64_t checkpoints_taken() const DBPL_EXCLUDES(meta_mu_);
 
   /// What recovery found when this object was opened.
   const WalRecoveryStats& recovery_stats() const { return recovery_; }
@@ -307,7 +306,8 @@ class WalDatabase : public WalShipper {
   WalShipper* shipper() { return this; }
 
   // WalShipper:
-  WalShipper::ShipState ship_bounds() const override;
+  WalShipper::ShipState ship_bounds() const override
+      DBPL_EXCLUDES(meta_mu_);
   int shard_count() const override { return static_cast<int>(lanes_.size()); }
   storage::Vfs* vfs() const override { return vfs_; }
   const std::string& wal_path(int shard) const override {
@@ -325,27 +325,31 @@ class WalDatabase : public WalShipper {
     /// markers, sync, rotation) and the fields below. Writers enter it
     /// from the observer while holding the database shard's writer
     /// mutex; Checkpoint takes all lanes — never any writer mutex — so
-    /// the lock order is acyclic.
-    mutable std::mutex mu;
+    /// the lock order is acyclic (rank kWalLane, clustered).
+    mutable dbpl::Mutex mu{dbpl::LockRank::kWalLane, "wal.lane.mu"};
+    /// Segment path; set once during Recover (before the object is
+    /// shared) and immutable after, so reads need no lock.
     std::string path;
-    std::unique_ptr<storage::LogWriter> writer;
-    uint64_t pending = 0;
+    std::unique_ptr<storage::LogWriter> writer DBPL_GUARDED_BY(mu);
+    uint64_t pending DBPL_GUARDED_BY(mu) = 0;
     /// Markers appended but not yet covered by a sync barrier.
-    bool unsynced_commits = false;
+    bool unsynced_commits DBPL_GUARDED_BY(mu) = false;
     /// Shard epoch of the last mutation whose redo record reached this
     /// segment. Checkpoint() waits for the published state to catch up
     /// to it before snapshotting, closing the append-before-publish
     /// window in which a record could sit in the old segment while its
     /// entry is still missing from the snapshot (and would be lost at
     /// rotation).
-    uint64_t appended_epoch = 0;
+    uint64_t appended_epoch DBPL_GUARDED_BY(mu) = 0;
     /// Segment prefix covered by a commit marker, and the shard epoch
     /// it encodes.
-    uint64_t committed_bytes = 0;
-    uint64_t committed_epoch = 0;
-    /// The synced ("shippable") portion of the committed prefix.
-    uint64_t durable_bytes = 0;
-    uint64_t durable_epoch = 0;
+    uint64_t committed_bytes DBPL_GUARDED_BY(mu) = 0;
+    uint64_t committed_epoch DBPL_GUARDED_BY(mu) = 0;
+    /// The synced ("shippable") portion of the committed prefix —
+    /// together with committed_* and the writer's byte count, the
+    /// durable-bounds triple ship_bounds() samples.
+    uint64_t durable_bytes DBPL_GUARDED_BY(mu) = 0;
+    uint64_t durable_epoch DBPL_GUARDED_BY(mu) = 0;
   };
 
   WalDatabase(storage::Vfs* vfs, std::string dir, CommitPolicy policy)
@@ -364,17 +368,21 @@ class WalDatabase : public WalShipper {
   /// Replays one segment's committed suffix onto db_.
   Status ReplaySegment(int shard);
   /// The write-observer body: check poison, encode, append, maybe
-  /// append the shard's commit marker. Returns non-OK to veto.
+  /// append the shard's commit marker. Returns non-OK to veto. Runs
+  /// under the mutated shard's writer mutex; takes that shard's
+  /// lane.mu (rank order: shard writer < wal lane).
   Status OnWrite(const dyndb::Database::WriteEvent& event);
-  /// Appends a commit marker to `lane` (whose mu is held) and stamps
-  /// it with the next group-commit sequence.
-  Status AppendMarkerLocked(Lane& lane);
+  /// Appends a commit marker to `lane` and stamps it with the next
+  /// group-commit sequence.
+  Status AppendMarkerLocked(Lane& lane) DBPL_REQUIRES(lane.mu);
   /// Runs (or piggybacks on) a sync barrier covering at least marker
-  /// sequence `target`.
-  Status GroupSync(uint64_t target);
+  /// sequence `target`. Never called with any lock held: the barrier
+  /// takes sync_mu_, releases it across the fsync loop (which takes
+  /// each lane.mu in turn), and re-takes it to publish the result.
+  Status GroupSync(uint64_t target) DBPL_EXCLUDES(sync_mu_);
   /// Poison bookkeeping.
-  void Poison(const Status& status);
-  Status CheckPoisoned() const;
+  void Poison(const Status& status) DBPL_EXCLUDES(status_mu_);
+  Status CheckPoisoned() const DBPL_EXCLUDES(status_mu_);
 
   storage::Vfs* vfs_;
   const CommitPolicy policy_;
@@ -388,31 +396,36 @@ class WalDatabase : public WalShipper {
 
   /// Serializes checkpoint/rotation against bounds sampling; never
   /// held while a lane performs I/O other than during Checkpoint.
-  /// Order: meta_mu_ -> lane.mu. Guards generation_ and checkpoints_.
-  mutable std::mutex meta_mu_;
+  /// Order: meta_mu_ -> lane.mu (rank kWalMeta < kWalLane).
+  mutable dbpl::Mutex meta_mu_{dbpl::LockRank::kWalMeta, "wal.meta_mu_"};
   /// Bumped when a checkpoint lands (the segments are about to rotate,
   /// so byte offsets from before are void — even if the rotation
   /// itself then fails, the generation bump forces followers back to
   /// the durable checkpoint instead of segments in an uncertain
   /// state).
-  uint64_t generation_ = 0;
-  uint64_t checkpoints_ = 0;
+  uint64_t generation_ DBPL_GUARDED_BY(meta_mu_) = 0;
+  uint64_t checkpoints_ DBPL_GUARDED_BY(meta_mu_) = 0;
 
   /// Sticky failure of the logging path. The atomic flag is the
-  /// fast-path check; status_mu_ guards the Status itself.
-  mutable std::mutex status_mu_;
+  /// fast-path check; status_mu_ guards the Status itself (a leaf
+  /// rank: taken under lanes, the barrier, and meta alike, never the
+  /// other way round).
+  mutable dbpl::Mutex status_mu_{dbpl::LockRank::kWalStatus,
+                                 "wal.status_mu_"};
   std::atomic<bool> poisoned_{false};
-  Status wal_status_;
+  Status wal_status_ DBPL_GUARDED_BY(status_mu_);
 
   // --- group-commit coordinator ------------------------------------
   /// Monotone sequence stamped on every commit marker (any shard).
   std::atomic<uint64_t> commit_seq_{0};
-  /// Guards synced_seq_ / sync_inflight_; never held during I/O.
-  std::mutex sync_mu_;
-  std::condition_variable sync_cv_;
+  /// Guards synced_seq_ / sync_inflight_; never held during I/O (the
+  /// leader drops it across the fsync loop; rank kGroupCommit keeps
+  /// even a leader that didn't order-correct against the lanes).
+  dbpl::Mutex sync_mu_{dbpl::LockRank::kGroupCommit, "wal.sync_mu_"};
+  dbpl::CondVar sync_cv_;
   /// Every marker with sequence <= synced_seq_ is fsync-covered.
-  uint64_t synced_seq_ = 0;
-  bool sync_inflight_ = false;
+  uint64_t synced_seq_ DBPL_GUARDED_BY(sync_mu_) = 0;
+  bool sync_inflight_ DBPL_GUARDED_BY(sync_mu_) = false;
 };
 
 }  // namespace dbpl::persist

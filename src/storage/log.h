@@ -43,6 +43,13 @@ inline constexpr uint64_t kMaxLogRecordBody = 1ull << 30;
 /// body is `[u8 type][varint key length][key][varint value length][value]`.
 /// A torn final record (crash mid-append) fails its CRC and is dropped at
 /// recovery, together with any uncommitted records before it.
+///
+/// Thread safety: *externally synchronized*. A LogWriter carries no
+/// internal lock; exactly one thread may use it at a time. In
+/// persist::WalDatabase each writer is reached only through its lane's
+/// `Lane::writer` pointer, which is DBPL_PT_GUARDED_BY the lane mutex —
+/// so Clang's capability analysis proves every Append/Sync happens
+/// under that lock (DESIGN.md §10).
 class LogWriter {
  public:
   /// Opens `path` for appending through `vfs`, creating it if absent.
@@ -97,6 +104,10 @@ class LogWriter {
 /// distinction therefore means "at the moment of the probe": only the
 /// writer's side (a poisoned LogWriter, or a durable bound from
 /// persist::WalDatabase) can say whether a torn tail is permanent.
+///
+/// Thread safety: externally synchronized, like LogWriter. The
+/// shipping cursors in persist::Replica are touched only with the
+/// replica mutex held (DBPL_GUARDED_BY on `Replica::readers_`).
 class LogReader {
  public:
   /// Opens `path` for reading through `vfs` (which must outlive the

@@ -14,6 +14,9 @@ namespace dbpl::storage {
 namespace {
 
 Status Errno(const std::string& what) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): strerror's static buffer is
+  // benign here — glibc uses a thread-local one, and the string is
+  // copied into the Status before any other call could clobber it.
   return Status::IoError(what + ": " + std::strerror(errno));
 }
 

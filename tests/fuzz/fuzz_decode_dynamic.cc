@@ -1,0 +1,24 @@
+// Fuzz target: serial::DecodeDynamic, the self-describing payload
+// reader that recovery and WAL replay trust with on-disk bytes.
+//
+// The invariant under test is the decoder's contract: any byte string
+// either round-trips into a Dynamic or fails with a Status — never a
+// crash, overflow, or unbounded allocation. This is the P2 boundary
+// (PAPER.md): values re-enter the typed world through this decoder,
+// so it must be total on hostile input.
+//
+// See fuzz_miniamber.cc for the two build modes.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "serial/decoder.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  dbpl::ByteReader reader(data, size);
+  auto decoded = dbpl::serial::DecodeDynamic(&reader);
+  volatile bool sink = decoded.ok();
+  (void)sink;
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Fallback driver for the fuzz targets on toolchains without
+// -fsanitize=fuzzer (e.g. the GCC-only CI image): replays every file
+// in the directories (or single files) given as arguments through
+// LLVMFuzzerTestOneInput, turning the seed and crash-regression
+// corpora into a deterministic regression test. With libFuzzer
+// available this file is not linked — libFuzzer brings its own main.
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+namespace fs = std::filesystem;
+
+int RunFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "fuzz driver: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int files = 0;
+  int status = 0;
+  for (int i = 1; i < argc; ++i) {
+    fs::path arg(argv[i]);
+    std::error_code ec;
+    if (fs::is_directory(arg, ec)) {
+      for (const fs::directory_entry& entry : fs::directory_iterator(arg)) {
+        if (!entry.is_regular_file()) continue;
+        status |= RunFile(entry.path());
+        ++files;
+      }
+    } else if (fs::is_regular_file(arg, ec)) {
+      status |= RunFile(arg);
+      ++files;
+    } else {
+      std::fprintf(stderr, "fuzz driver: no such input %s\n", arg.c_str());
+      status = 1;
+    }
+  }
+  std::fprintf(stderr, "fuzz driver: replayed %d inputs\n", files);
+  // Zero inputs means the corpus paths are wrong — fail loudly rather
+  // than green-lighting a test that exercised nothing.
+  if (files == 0) status = 1;
+  return status;
+}

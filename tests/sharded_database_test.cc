@@ -8,7 +8,6 @@
 #include <unistd.h>
 
 #include <algorithm>
-#include <atomic>
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -453,12 +452,18 @@ TEST(ShardedConcurrencyTest, ParallelWritersKeepSnapshotsConsistent) {
 
 TEST(ShardedConcurrencyTest, RegistrationIsAtomicAcrossShards) {
   Database db(DatabaseOptions{4});
-  std::atomic<bool> stop{false};
+  // The writers must be bounded, not run-until-stopped: the checker
+  // below walks the full extent on every snapshot, so each O(n) walk
+  // buys an unbounded insert stream time to grow n — compounding over
+  // 200 iterations until the walker can never catch up on a loaded
+  // single-core TSan host. 2000 inserts per writer is still far more
+  // churn than the registration takes to race against.
+  constexpr int kPerWriter = 2000;
   std::vector<std::thread> writers;
   for (int w = 0; w < 2; ++w) {
-    writers.emplace_back([&db, &stop, w] {
+    writers.emplace_back([&db, w] {
       testing::Rng rng(300 + static_cast<uint64_t>(w));
-      while (!stop.load(std::memory_order_relaxed)) {
+      for (int i = 0; i < kPerWriter; ++i) {
         db.MustInsertValue(testing::RandomRecord(rng));
       }
     });
@@ -476,7 +481,6 @@ TEST(ShardedConcurrencyTest, RegistrationIsAtomicAcrossShards) {
     EXPECT_EQ(Sorted(*via_extent), Sorted(snap.GetViaIndex(NameT())));
   }
   registrar.join();
-  stop.store(true, std::memory_order_relaxed);
   for (std::thread& t : writers) t.join();
   const Database::Snapshot snap = db.GetSnapshot();
   auto via_extent = snap.GetViaExtent(NameT());

@@ -1,0 +1,51 @@
+// Deliberately violates the locking discipline. NEVER linked into any
+// target: tools/run_thread_safety.sh compiles this file with Clang's
+// -Wthread-safety promoted to errors and requires the compile to FAIL
+// — proving the analysis actually has teeth, not just that the
+// annotated tree happens to be quiet. If this file ever compiles
+// cleanly under the analyze flags, the gate itself is broken and the
+// script exits non-zero.
+
+#include "common/mutex.h"
+
+namespace dbpl {
+
+class Account {
+ public:
+  // Violation 1: touches a guarded field with no lock held.
+  void UnguardedDeposit(int amount) { balance_ += amount; }
+
+  // Violation 2: claims the caller holds mu_, then takes it again.
+  void DoubleAcquire() DBPL_REQUIRES(mu_) {
+    MutexLock lock(&mu_);
+    balance_ = 0;
+  }
+
+  // Violation 3: returns with the lock still held (unbalanced
+  // acquire on a non-scoped path).
+  void LeakLock() {
+    mu_.Lock();
+    balance_ = 0;
+    // missing mu_.Unlock()
+  }
+
+ private:
+  Mutex mu_{LockRank::kState, "account.mu_"};
+  int balance_ DBPL_GUARDED_BY(mu_) = 0;
+};
+
+// Violation 4: a seqlock write side that can return mid-publish,
+// leaving the sequence odd — a permanent reader livelock.
+class Registry {
+ public:
+  void Publish(bool bail) {
+    seq_.WriteBegin();
+    if (bail) return;  // escapes with the capability held
+    seq_.WriteEnd();
+  }
+
+ private:
+  SeqLock seq_;
+};
+
+}  // namespace dbpl

@@ -27,9 +27,11 @@ fi
 # src/dyndb/database.cc, src/core/parallel, and the WAL + replication
 # layer src/persist/{wal,replica}* with its per-shard segment and
 # group-commit paths); bench/ is included so the benchmark harnesses
-# (through bench_e13_sharded) stay lint-clean too.
+# (through bench_e13_sharded) stay lint-clean too; examples/ uses the
+# .cpp extension (the paper-walkthrough programs ship as examples).
 files=$(find "$repo_root/src" "$repo_root/tools" "$repo_root/bench" \
-             -name '*.cc' | sort)
+             "$repo_root/examples" \( -name '*.cc' -o -name '*.cpp' \) \
+             | sort)
 
 status=0
 for f in $files; do
