@@ -42,12 +42,18 @@ namespace dbpl {
 /// The global lock-acquisition order, smallest first: while holding a
 /// lock of rank R, a thread may only acquire locks of rank > R (or
 /// == R for the two "clustered" ranks below). The gaps leave room for
-/// future subsystems (dbpl-serve's acceptor/worker locks slot in
-/// below kReplica).
+/// future subsystems.
 enum class LockRank : int {
   /// Rank-check exempt: a Mutex constructed without a rank composes
   /// with any acquisition order (used outside the concurrent core).
   kUnranked = 0,
+  /// serve::Server::mu_ — session table, ready queue and stop flag of
+  /// the network front-end. The outermost rank: a worker that drained
+  /// a request goes on to execute it against the database (whose write
+  /// path re-enters the replica/WAL/shard stack), so the serve lock
+  /// must sit below everything — and by design it is never held across
+  /// request execution or any I/O at all.
+  kServe = 5,
   /// persist::Replica::mu_ — held across whole poll/bootstrap cycles,
   /// which re-enter the primary's WAL bounds and the follower's write
   /// path, so it must sit below everything they take.

@@ -40,6 +40,10 @@ enum class StatusCode {
   kDeadlineExceeded,
   /// An internal invariant was violated (a bug in this library).
   kInternal,
+  /// The service is temporarily over capacity; retrying later (or
+  /// against another endpoint) may succeed. Used by dbpl-serve's
+  /// admission control to shed load instead of queuing unboundedly.
+  kUnavailable,
 };
 
 /// Human-readable name of a status code (e.g. "TypeError").
@@ -90,6 +94,9 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

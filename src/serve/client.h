@@ -1,0 +1,105 @@
+#ifndef DBPL_SERVE_CLIENT_H_
+#define DBPL_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "core/value.h"
+#include "dyndb/database.h"
+#include "dyndb/dynamic.h"
+#include "serve/protocol.h"
+#include "serve/socket.h"
+#include "types/type.h"
+
+namespace dbpl::serve {
+
+/// A client for the dbpl-serve wire protocol, shared by the
+/// differential tests and the load generator.
+///
+/// Two usage levels:
+///
+///  * The typed conveniences (Insert, Get, GetScan, ...) — one
+///    request/response round trip each, with the server's typed error
+///    mapping surfaced as the call's own Status.
+///  * Send/Await for explicit pipelining: queue any number of requests
+///    on the socket, then collect the responses, which the server
+///    returns strictly in request order (Await verifies the ids
+///    actually match).
+///
+/// Transport failures (peer gone, CRC damage, protocol violations)
+/// surface as non-OK Results from Await itself; application-level
+/// errors arrive as OK transport results whose Response::status is
+/// non-OK. A client is bound to one session and is not thread-safe;
+/// concurrency is modeled as one Client per connection.
+class Client {
+ public:
+  /// Wraps an already-connected stream (e.g. a socketpair end).
+  explicit Client(Socket sock) : sock_(std::move(sock)) {}
+
+  static Result<Client> Connect(const std::string& host, uint16_t port);
+
+  Client(Client&&) noexcept = default;
+  Client& operator=(Client&&) noexcept = default;
+
+  bool valid() const { return sock_.valid(); }
+  Socket& socket() { return sock_; }
+
+  /// Assigns a request id, frames and sends `req`. Returns the id.
+  Result<uint64_t> Send(Request req);
+
+  /// Receives the next response. In-order delivery is checked: a
+  /// response whose id is not the oldest outstanding request's is a
+  /// Corruption (except server-initiated op-kNone errors, e.g. an
+  /// admission-control shed, which answer no request and are returned
+  /// as-is).
+  Result<Response> Await();
+
+  /// Send + Await. If the transport succeeds, the Response carries the
+  /// operation's own status.
+  Result<Response> Call(Request req);
+
+  // ------------------------------------------------------------------
+  // Typed conveniences: one round trip; Response::status is merged
+  // into the returned Status/Result.
+  // ------------------------------------------------------------------
+
+  Status Ping();
+  Result<dyndb::Database::EntryId> Insert(const dyndb::Dynamic& entry);
+  Result<dyndb::Database::EntryId> InsertValue(core::Value v) {
+    return Insert(dyndb::MakeDynamic(std::move(v)));
+  }
+  Result<dyndb::Dynamic> Get(dyndb::Database::EntryId id);
+  Result<std::vector<core::Value>> GetScan(const types::Type& t);
+  Result<std::vector<core::Value>> GetViaExtent(const types::Type& t);
+  Result<std::vector<core::Value>> GetViaIndex(const types::Type& t);
+  Result<std::vector<dyndb::Dynamic>> GetPackages(const types::Type& t);
+  Status RegisterExtent(const std::string& name, const types::Type& t);
+  Status Commit();
+
+  struct Info {
+    uint64_t size = 0;
+    uint64_t epoch = 0;
+    int shards = 1;
+  };
+  Result<Info> GetInfo();
+
+ private:
+  /// Strips the value out of each self-describing result entry.
+  static std::vector<core::Value> ValuesOf(std::vector<dyndb::Dynamic> ds);
+  /// Runs a Get-strategy round trip and unwraps the value list.
+  Result<std::vector<core::Value>> CallForValues(ReqOp op,
+                                                 const types::Type& t);
+
+  Socket sock_;
+  uint64_t next_id_ = 1;
+  /// Ids of sent-but-unanswered requests, oldest first.
+  std::deque<uint64_t> outstanding_;
+};
+
+}  // namespace dbpl::serve
+
+#endif  // DBPL_SERVE_CLIENT_H_

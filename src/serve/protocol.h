@@ -1,0 +1,154 @@
+#ifndef DBPL_SERVE_PROTOCOL_H_
+#define DBPL_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "dyndb/database.h"
+#include "dyndb/dynamic.h"
+#include "types/type.h"
+
+namespace dbpl::serve {
+
+// The dbpl-serve wire protocol: length-prefixed, CRC-framed binary
+// messages whose payloads reuse the serial layer's self-describing
+// encoding (serial::EncodeDynamic — value and type travel together,
+// the paper's P2 lifted onto the wire, so a client can never desync
+// from schema evolution).
+//
+// ## Frame layout
+//
+//   [u32 masked crc32c(body)] [u32 body length] [body bytes]
+//
+// Both header words are little-endian; the CRC is masked with the
+// LevelDB rotation (common/crc32c.h) so a frame storing its own CRC
+// has no fixed point. The body length is bounded by kMaxFrameBody: a
+// peer claiming more is a protocol violation, detected from the 8-byte
+// header alone — a hostile length can never drive an allocation.
+//
+// ## Message bodies
+//
+//   request  := [u8 version] [u8 op] [u64 request id] [payload]
+//   response := [u8 version] [u8 op] [u64 request id]
+//               [u8 status code] [string message] [payload if OK]
+//
+// Request ids are chosen by the client and echoed verbatim; a client
+// may pipeline any number of requests, and the server answers each
+// session's requests strictly in arrival order. Server-initiated
+// errors that answer no particular request (admission-control sheds,
+// unparseable requests) use op kNone and id 0.
+//
+// Status travels as an explicit one-byte code (WireCodeOf /
+// CodeFromWire) rather than the enum's integer value, so reordering
+// dbpl::StatusCode never silently changes the wire format.
+
+/// Protocol version; bumped on incompatible changes. A peer speaking
+/// an unknown version is answered with kUnsupported and disconnected.
+inline constexpr uint8_t kProtocolVersion = 1;
+
+/// Frame header: masked CRC + body length, both u32 little-endian.
+inline constexpr size_t kFrameHeaderBytes = 8;
+
+/// Upper bound on a frame body. Chosen to fit any plausible request
+/// (a single entry or a modest result set) while keeping a hostile
+/// length field from committing the peer to a giant read.
+inline constexpr uint64_t kMaxFrameBody = 1ull << 24;
+
+/// Request opcodes. Values are wire format — append, never renumber.
+enum class ReqOp : uint8_t {
+  /// No request: the op echoed on server-initiated error responses.
+  kNone = 0,
+  kPing = 1,
+  kInsert = 2,
+  kGet = 3,
+  kGetScan = 4,
+  kGetViaExtent = 5,
+  kGetViaIndex = 6,
+  kGetPackages = 7,
+  kRegisterExtent = 8,
+  kCommit = 9,
+  kInfo = 10,
+};
+
+/// Human-readable opcode name (for error messages and logs).
+std::string_view ReqOpName(ReqOp op);
+
+/// One decoded request. Which fields are meaningful depends on `op`:
+/// kInsert uses `entry`; kGet uses `entry_id`; the four Get-strategy
+/// ops use `type`; kRegisterExtent uses `extent_name` + `type`.
+struct Request {
+  uint64_t id = 0;
+  ReqOp op = ReqOp::kPing;
+  dyndb::Dynamic entry;
+  dyndb::Database::EntryId entry_id = 0;
+  types::Type type;
+  std::string extent_name;
+};
+
+/// One decoded response. `status` carries the operation's outcome;
+/// payload fields are meaningful only when it is OK: kInsert fills
+/// `entry_id`; kGet and the Get-strategy ops fill `entries` (each a
+/// self-describing dynamic); kInfo fills `size`/`epoch`/`shards`.
+struct Response {
+  uint64_t id = 0;
+  ReqOp op = ReqOp::kNone;
+  Status status;
+  dyndb::Database::EntryId entry_id = 0;
+  std::vector<dyndb::Dynamic> entries;
+  uint64_t size = 0;
+  uint64_t epoch = 0;
+  int shards = 1;
+};
+
+/// Appends the body encoding of a request/response (no frame header).
+void EncodeRequest(const Request& req, ByteBuffer* out);
+void EncodeResponse(const Response& resp, ByteBuffer* out);
+
+/// Decodes one message body (the bytes between frame headers). Total:
+/// any input yields a value or a non-OK status, never a crash — these
+/// are the surfaces tests/fuzz/fuzz_serve_frame.cc feeds hostile bytes.
+Result<Request> DecodeRequest(const uint8_t* body, size_t n);
+Result<Response> DecodeResponse(const uint8_t* body, size_t n);
+
+/// Wraps a message body in a frame: masked CRC, length, body.
+void EncodeFrame(const ByteBuffer& body, ByteBuffer* out);
+
+/// Outcome of inspecting a byte stream's head for one frame.
+enum class FrameStatus : uint8_t {
+  /// A whole, CRC-valid frame is present.
+  kFrame,
+  /// The buffer holds a frame prefix; read more bytes.
+  kNeedMore,
+  /// The header claims an oversized body or the CRC does not match —
+  /// the stream is unrecoverable (framing is lost for good).
+  kBad,
+};
+
+/// Inspects the start of `data` for one complete frame, without
+/// consuming anything.
+///
+///  * kFrame:    `*total` = the frame's full size (header + body); its
+///               body is `data + kFrameHeaderBytes .. data + *total`.
+///  * kNeedMore: `*total` = total bytes needed before re-inspecting
+///               (kFrameHeaderBytes until the header is complete).
+///  * kBad:      `*error` names the violation; `*total` is unchanged.
+///
+/// Never allocates and never trusts the length field beyond bounding
+/// it, so hostile headers cost O(1) to reject.
+FrameStatus InspectFrame(const uint8_t* data, size_t n, size_t* total,
+                         std::string* error);
+
+/// Status code <-> stable wire byte. Unknown wire bytes decode as
+/// kInternal (a peer newer than us reported something we cannot
+/// classify; treating it as a bug report is the conservative reading).
+uint8_t WireCodeOf(StatusCode code);
+StatusCode CodeFromWire(uint8_t wire);
+
+}  // namespace dbpl::serve
+
+#endif  // DBPL_SERVE_PROTOCOL_H_

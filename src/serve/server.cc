@@ -1,0 +1,427 @@
+#include "serve/server.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "dyndb/dynamic.h"
+
+namespace dbpl::serve {
+
+namespace {
+
+/// Cap on bytes drained from one session per service turn, so a
+/// fire-hosing pipeliner cannot starve other sessions of its worker.
+constexpr size_t kMaxReadPerTurn = 256 * 1024;
+constexpr size_t kReadChunk = 16 * 1024;
+
+Status SetFdNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IoError(std::string("fcntl: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Server>> Server::Start(persist::WalDatabase* wdb,
+                                              const ServeOptions& options) {
+  if (wdb == nullptr) {
+    return Status::InvalidArgument("Server::Start: null database");
+  }
+  if (options.workers < 1) {
+    return Status::InvalidArgument("Server::Start: need at least one worker");
+  }
+  if (options.max_sessions < 1) {
+    return Status::InvalidArgument("Server::Start: max_sessions must be >= 1");
+  }
+  std::unique_ptr<Server> server(new Server(wdb, options));
+  DBPL_RETURN_IF_ERROR(server->StartLocked());
+  return server;
+}
+
+Status Server::StartLocked() {
+  if (::pipe(wake_fd_) != 0) {
+    return Status::IoError(std::string("pipe: ") + std::strerror(errno));
+  }
+  DBPL_RETURN_IF_ERROR(SetFdNonBlocking(wake_fd_[0]));
+  DBPL_RETURN_IF_ERROR(SetFdNonBlocking(wake_fd_[1]));
+
+  if (options_.listen) {
+    DBPL_ASSIGN_OR_RETURN(
+        listener_,
+        Listener::Listen(options_.host, options_.port, options_.backlog));
+    DBPL_RETURN_IF_ERROR(SetFdNonBlocking(listener_.fd()));
+    port_ = listener_.port();
+  }
+
+  started_.store(true, std::memory_order_release);
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+  workers_.reserve(static_cast<size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+Server::~Server() { Stop(); }
+
+void Server::Stop() {
+  if (!started_.exchange(false, std::memory_order_acq_rel)) return;
+  {
+    MutexLock lock(&mu_);
+    stop_ = true;
+  }
+  ready_cv_.NotifyAll();
+  WakeDispatcher();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  listener_.Close();
+  {
+    MutexLock lock(&mu_);
+    sessions_.clear();  // RAII closes every socket; clients see EOF
+    ready_.clear();
+  }
+  for (int& fd : wake_fd_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+}
+
+Status Server::AdoptConnection(Socket sock) {
+  if (!sock.valid()) {
+    return Status::InvalidArgument("AdoptConnection: invalid socket");
+  }
+  return Admit(std::move(sock));
+}
+
+int Server::active_sessions() const {
+  MutexLock lock(&mu_);
+  return static_cast<int>(sessions_.size());
+}
+
+ServerStats Server::stats() const {
+  ServerStats out;
+  out.sessions_accepted = n_accepted_.load(std::memory_order_relaxed);
+  out.sessions_shed = n_shed_.load(std::memory_order_relaxed);
+  out.sessions_closed = n_closed_.load(std::memory_order_relaxed);
+  out.requests_ok = n_requests_ok_.load(std::memory_order_relaxed);
+  out.requests_error = n_requests_error_.load(std::memory_order_relaxed);
+  out.protocol_errors = n_protocol_errors_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void Server::WakeDispatcher() {
+  char byte = 1;
+  // A full pipe means a wakeup is already pending; either way the
+  // dispatcher will come around.
+  (void)!::write(wake_fd_[1], &byte, 1);
+}
+
+void Server::DispatcherLoop() {
+  std::vector<struct pollfd> pfds;
+  std::vector<uint64_t> ids;
+  while (true) {
+    pfds.clear();
+    ids.clear();
+    pfds.push_back({wake_fd_[0], POLLIN, 0});
+    const bool listening = listener_.valid();
+    if (listening) pfds.push_back({listener_.fd(), POLLIN, 0});
+    const size_t base = pfds.size();
+    {
+      MutexLock lock(&mu_);
+      if (stop_) return;
+      for (const auto& [id, session] : sessions_) {
+        if (session->state == SessionState::kIdle) {
+          pfds.push_back({session->sock.fd(), POLLIN, 0});
+          ids.push_back(id);
+        }
+      }
+    }
+
+    int rc = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 100);
+    if (rc < 0) {
+      if (errno != EINTR) return;  // unrecoverable; Stop will tear down
+      continue;
+    }
+
+    if ((pfds[0].revents & POLLIN) != 0) {
+      char buf[64];
+      while (::read(wake_fd_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+    if (listening &&
+        (pfds[1].revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+      AcceptReady();
+    }
+
+    bool queued = false;
+    {
+      MutexLock lock(&mu_);
+      if (stop_) return;
+      for (size_t i = base; i < pfds.size(); ++i) {
+        if ((pfds[i].revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
+        auto it = sessions_.find(ids[i - base]);
+        if (it == sessions_.end()) continue;
+        // Only the dispatcher moves a session out of kIdle, so the
+        // snapshot taken above cannot have gone stale.
+        it->second->state = SessionState::kReady;
+        ready_.push_back(it->first);
+        queued = true;
+      }
+    }
+    if (queued) ready_cv_.NotifyAll();
+  }
+}
+
+void Server::AcceptReady() {
+  // The listener is non-blocking: accept until it runs dry.
+  while (true) {
+    Result<Socket> sock = listener_.Accept();
+    if (!sock.ok()) return;  // EAGAIN (drained) or a transient error
+    (void)Admit(std::move(*sock));
+  }
+}
+
+Status Server::Admit(Socket sock) {
+  sock.SetNoDelay();
+  DBPL_RETURN_IF_ERROR(sock.SetNonBlocking(true));
+  bool admitted = false;
+  {
+    MutexLock lock(&mu_);
+    if (!stop_ &&
+        static_cast<int>(sessions_.size()) < options_.max_sessions) {
+      sessions_.emplace(next_session_id_++,
+                        std::make_unique<Session>(std::move(sock)));
+      admitted = true;
+    }
+  }
+  if (!admitted) {
+    n_shed_.fetch_add(1, std::memory_order_relaxed);
+    Shed(std::move(sock));
+    return Status::Unavailable("server at capacity");
+  }
+  n_accepted_.fetch_add(1, std::memory_order_relaxed);
+  WakeDispatcher();
+  return Status::OK();
+}
+
+void Server::Shed(Socket sock) {
+  Response resp;
+  resp.id = 0;
+  resp.op = ReqOp::kNone;
+  resp.status = Status::Unavailable("server at capacity");
+  ByteBuffer body;
+  EncodeResponse(resp, &body);
+  ByteBuffer frame;
+  EncodeFrame(body, &frame);
+  (void)sock.SendAll(frame.data(), frame.size());  // best effort, then close
+}
+
+void Server::WorkerLoop() {
+  while (true) {
+    uint64_t id = 0;
+    Session* session = nullptr;
+    {
+      MutexLock lock(&mu_);
+      while (!stop_ && ready_.empty()) ready_cv_.Wait(mu_);
+      if (stop_) return;
+      id = ready_.front();
+      ready_.pop_front();
+      auto it = sessions_.find(id);
+      if (it != sessions_.end()) {
+        session = it->second.get();
+        session->state = SessionState::kBusy;
+      }
+    }
+    if (session == nullptr) continue;
+
+    ProcessTurn(session);
+
+    bool close = false;
+    {
+      MutexLock lock(&mu_);
+      if (session->closing) {
+        sessions_.erase(id);
+        close = true;
+      } else {
+        session->state = SessionState::kIdle;
+      }
+    }
+    if (close) {
+      n_closed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      WakeDispatcher();  // poll the session again
+    }
+  }
+}
+
+void Server::ProcessTurn(Session* session) {
+  // 1. Drain the socket (bounded per turn for fairness).
+  size_t drained = 0;
+  while (drained < kMaxReadPerTurn) {
+    uint8_t chunk[kReadChunk];
+    Result<size_t> got = session->sock.Recv(chunk, sizeof(chunk));
+    if (!got.ok()) {
+      if (!Socket::IsWouldBlock(got.status())) session->closing = true;
+      break;
+    }
+    if (*got == 0) {
+      session->saw_eof = true;
+      break;
+    }
+    session->in.insert(session->in.end(), chunk, chunk + *got);
+    drained += *got;
+  }
+
+  // 2. Answer every complete buffered request, in arrival order.
+  ByteBuffer out;
+  size_t consumed = 0;
+  bool fatal = session->closing;
+  while (!fatal) {
+    size_t total = 0;
+    std::string error;
+    FrameStatus fs = InspectFrame(session->in.data() + consumed,
+                                  session->in.size() - consumed, &total,
+                                  &error);
+    if (fs == FrameStatus::kNeedMore) break;
+    if (fs == FrameStatus::kBad) {
+      // Framing is lost for good: answer once (op kNone, no id to
+      // echo) and drop the session.
+      n_protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      Response resp;
+      resp.status = Status::Corruption(error);
+      ByteBuffer body;
+      EncodeResponse(resp, &body);
+      EncodeFrame(body, &out);
+      fatal = true;
+      break;
+    }
+    if (!HandleFrame(session->in.data() + consumed + kFrameHeaderBytes,
+                     total - kFrameHeaderBytes, &out)) {
+      fatal = true;  // error response already appended
+    }
+    consumed += total;
+  }
+  if (consumed > 0) {
+    session->in.erase(session->in.begin(),
+                      session->in.begin() + static_cast<ptrdiff_t>(consumed));
+  }
+
+  // 3. Flush all responses with one send.
+  if (!out.empty()) {
+    Status sent = session->sock.SendAll(out.data(), out.size());
+    if (!sent.ok()) fatal = true;
+  }
+  if (fatal || session->saw_eof) session->closing = true;
+}
+
+bool Server::HandleFrame(const uint8_t* body, size_t n, ByteBuffer* out) {
+  Result<Request> req = DecodeRequest(body, n);
+  Response resp;
+  const bool well_formed = req.ok();
+  if (!well_formed) {
+    // CRC-valid frame, undecodable body: the peer speaks another
+    // protocol (or version) — answer and disconnect.
+    n_protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    resp.status = req.status();
+  } else {
+    resp = Execute(*req);
+    if (resp.status.ok()) {
+      n_requests_ok_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      n_requests_error_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  ByteBuffer resp_body;
+  EncodeResponse(resp, &resp_body);
+  EncodeFrame(resp_body, out);
+  return well_formed;
+}
+
+Response Server::Execute(const Request& req) {
+  Response resp;
+  resp.id = req.id;
+  resp.op = req.op;
+  switch (req.op) {
+    case ReqOp::kPing:
+      break;
+    case ReqOp::kInsert: {
+      Result<dyndb::Database::EntryId> id = wdb_->Insert(req.entry);
+      if (id.ok()) {
+        resp.entry_id = *id;
+      } else {
+        resp.status = id.status();
+      }
+      break;
+    }
+    case ReqOp::kGet: {
+      Result<dyndb::Dynamic> d = wdb_->db().Get(req.entry_id);
+      if (d.ok()) {
+        resp.entries.push_back(*std::move(d));
+      } else {
+        resp.status = d.status();
+      }
+      break;
+    }
+    case ReqOp::kGetScan: {
+      dyndb::Database::Snapshot snap = wdb_->db().GetSnapshot();
+      for (core::Value& v : snap.GetScan(req.type)) {
+        resp.entries.push_back(dyndb::MakeDynamic(std::move(v)));
+      }
+      break;
+    }
+    case ReqOp::kGetViaExtent: {
+      dyndb::Database::Snapshot snap = wdb_->db().GetSnapshot();
+      Result<std::vector<core::Value>> vs = snap.GetViaExtent(req.type);
+      if (vs.ok()) {
+        for (core::Value& v : *vs) {
+          resp.entries.push_back(dyndb::MakeDynamic(std::move(v)));
+        }
+      } else {
+        resp.status = vs.status();
+      }
+      break;
+    }
+    case ReqOp::kGetViaIndex: {
+      dyndb::Database::Snapshot snap = wdb_->db().GetSnapshot();
+      for (core::Value& v : snap.GetViaIndex(req.type)) {
+        resp.entries.push_back(dyndb::MakeDynamic(std::move(v)));
+      }
+      break;
+    }
+    case ReqOp::kGetPackages: {
+      dyndb::Database::Snapshot snap = wdb_->db().GetSnapshot();
+      resp.entries = snap.GetPackages(req.type);
+      break;
+    }
+    case ReqOp::kRegisterExtent:
+      resp.status = wdb_->RegisterExtent(req.extent_name, req.type);
+      break;
+    case ReqOp::kCommit:
+      resp.status = wdb_->Commit();
+      break;
+    case ReqOp::kInfo: {
+      dyndb::Database::Snapshot snap = wdb_->db().GetSnapshot();
+      resp.size = snap.size();
+      resp.epoch = snap.epoch();
+      resp.shards = snap.shards();
+      break;
+    }
+    default:
+      resp.status = Status::Internal("unhandled opcode");
+      break;
+  }
+  return resp;
+}
+
+}  // namespace dbpl::serve

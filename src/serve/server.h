@@ -1,0 +1,201 @@
+#ifndef DBPL_SERVE_SERVER_H_
+#define DBPL_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/result.h"
+#include "persist/wal_database.h"
+#include "serve/protocol.h"
+#include "serve/socket.h"
+
+namespace dbpl::serve {
+
+/// Construction-time knobs for a Server.
+struct ServeOptions {
+  /// Worker threads executing requests. Each session is owned by at
+  /// most one worker at a time, which is what makes pipelined
+  /// responses arrive in request order without any per-session lock.
+  int workers = 4;
+  /// Admission bound: the most sessions admitted at once. A connection
+  /// arriving beyond it is *shed* — answered with one kUnavailable
+  /// frame and closed — instead of queued, so saturation degrades into
+  /// explicit, retryable refusals rather than unbounded latency.
+  int max_sessions = 1024;
+  /// When true, bind a TCP listener on `host`:`port` (0 = ephemeral;
+  /// read the bound port back with Server::port()). When false the
+  /// server only serves connections handed to AdoptConnection — the
+  /// transport the in-process tests use.
+  bool listen = false;
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  int backlog = 128;
+};
+
+/// Monotonic counters, readable at any time without stopping traffic.
+struct ServerStats {
+  uint64_t sessions_accepted = 0;
+  uint64_t sessions_shed = 0;
+  uint64_t sessions_closed = 0;
+  uint64_t requests_ok = 0;
+  uint64_t requests_error = 0;
+  /// Sessions dropped for framing violations (bad CRC, oversized
+  /// length, undecodable request body).
+  uint64_t protocol_errors = 0;
+};
+
+/// The dbpl-serve front-end: an acceptor/dispatcher thread plus a
+/// worker pool, serving the wire protocol of serve/protocol.h on top
+/// of a persist::WalDatabase.
+///
+/// ## Architecture
+///
+///   acceptor ──admission──> session table ──readable──> ready queue
+///                                ^                          │
+///                                └────────── workers <──────┘
+///
+/// One dispatcher thread poll(2)s the listener (when listening), a
+/// self-pipe, and every *idle* session. A session that turns readable
+/// moves to the ready queue; a worker checks it out, drains and
+/// executes every complete pipelined request in arrival order (reads
+/// resolve against a lock-free dyndb snapshot; writes funnel through
+/// the WalDatabase's sharded group-commit path), sends the responses,
+/// and hands the session back. A session is polled by the dispatcher
+/// or owned by one worker, never both — the mutex only guards the
+/// handoff, so request execution runs entirely outside it.
+///
+/// ## Locking
+///
+/// A single mutex (rank kServe, below the whole database stack —
+/// DESIGN.md §10/§12) guards the session table, ready queue and stop
+/// flag. It is held only for queue/table manipulation, never across
+/// recv/send/execute.
+///
+/// ## Failure containment
+///
+/// Per-request errors (NotFound, TypeError, a vetoed write, ...) are
+/// answered in-band with the typed status mapping and the session
+/// lives on. Framing violations are unrecoverable for that stream:
+/// the session is answered with one final error frame (op kNone) and
+/// closed. A peer vanishing mid-request tears down only its session;
+/// buffered partial requests are discarded unexecuted.
+class Server {
+ public:
+  /// Starts the threads (and listener, when configured). `wdb` must
+  /// outlive the returned server.
+  static Result<std::unique_ptr<Server>> Start(persist::WalDatabase* wdb,
+                                               const ServeOptions& options);
+
+  /// Stops and joins all threads, closing every session.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Hands an already-connected byte stream (e.g. one end of a
+  /// socketpair) to the server, subject to the same admission bound as
+  /// accepted connections: over capacity the socket is answered with a
+  /// kUnavailable frame, closed, and kUnavailable is returned.
+  Status AdoptConnection(Socket sock) DBPL_EXCLUDES(mu_);
+
+  /// The bound TCP port (0 when not listening).
+  uint16_t port() const { return port_; }
+
+  /// Sessions currently admitted (idle, queued or being served).
+  int active_sessions() const DBPL_EXCLUDES(mu_);
+
+  ServerStats stats() const;
+
+  /// Idempotent shutdown: refuse new work, join threads, close
+  /// sessions. Called by the destructor.
+  void Stop() DBPL_EXCLUDES(mu_);
+
+ private:
+  /// Which component may currently touch a session's socket/buffers.
+  enum class SessionState : uint8_t { kIdle, kReady, kBusy };
+
+  struct Session {
+    explicit Session(Socket s) : sock(std::move(s)) {}
+    Socket sock;
+    /// Received-but-unparsed bytes (may end mid-frame).
+    std::vector<uint8_t> in;
+    SessionState state = SessionState::kIdle;
+    /// Set by the owning worker: close instead of re-registering.
+    bool closing = false;
+    /// Peer performed an orderly shutdown; close once the buffered
+    /// complete requests are answered.
+    bool saw_eof = false;
+  };
+
+  Server(persist::WalDatabase* wdb, const ServeOptions& options)
+      : wdb_(wdb), options_(options) {}
+
+  Status StartLocked();
+
+  /// The dispatcher thread: accept + admission + readiness polling.
+  void DispatcherLoop() DBPL_EXCLUDES(mu_);
+  void WorkerLoop() DBPL_EXCLUDES(mu_);
+
+  /// Accepts until EAGAIN, applying admission control.
+  void AcceptReady() DBPL_EXCLUDES(mu_);
+  /// Registers `sock` as a new idle session or sheds it. The returned
+  /// status is kUnavailable iff shed.
+  Status Admit(Socket sock) DBPL_EXCLUDES(mu_);
+  /// Best-effort "server at capacity" frame + close.
+  void Shed(Socket sock);
+
+  /// One service turn for a checked-out session: drain the socket,
+  /// answer every complete request, flush. Runs with no lock held.
+  void ProcessTurn(Session* session);
+  /// Decodes and executes one CRC-valid frame body, appending the
+  /// framed response to `out`. False = session must close (the body
+  /// was not a well-formed request).
+  bool HandleFrame(const uint8_t* body, size_t n, ByteBuffer* out);
+  /// Executes one decoded request against the database.
+  Response Execute(const Request& req);
+
+  void WakeDispatcher();
+
+  persist::WalDatabase* const wdb_;
+  const ServeOptions options_;
+
+  Listener listener_;
+  uint16_t port_ = 0;
+  /// Self-pipe waking the dispatcher out of poll(2): [0] read, [1]
+  /// write end.
+  int wake_fd_[2] = {-1, -1};
+
+  /// Guards the handoff state below; held only for table/queue
+  /// manipulation, never across I/O or request execution. Rank kServe:
+  /// the outermost lock of the process (DESIGN.md §12).
+  mutable dbpl::Mutex mu_{dbpl::LockRank::kServe, "serve.mu_"};
+  dbpl::CondVar ready_cv_;
+  std::unordered_map<uint64_t, std::unique_ptr<Session>> sessions_
+      DBPL_GUARDED_BY(mu_);
+  std::deque<uint64_t> ready_ DBPL_GUARDED_BY(mu_);
+  uint64_t next_session_id_ DBPL_GUARDED_BY(mu_) = 1;
+  bool stop_ DBPL_GUARDED_BY(mu_) = false;
+
+  std::thread dispatcher_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> started_{false};
+
+  // Stats are atomics so workers never take mu_ on the hot path.
+  std::atomic<uint64_t> n_accepted_{0};
+  std::atomic<uint64_t> n_shed_{0};
+  std::atomic<uint64_t> n_closed_{0};
+  std::atomic<uint64_t> n_requests_ok_{0};
+  std::atomic<uint64_t> n_requests_error_{0};
+  std::atomic<uint64_t> n_protocol_errors_{0};
+};
+
+}  // namespace dbpl::serve
+
+#endif  // DBPL_SERVE_SERVER_H_

@@ -1,0 +1,48 @@
+// Fuzz target: the dbpl-serve frame and request/response decoders —
+// the bytes a hostile network peer controls completely.
+//
+// The invariant is totality at the wire boundary: any byte string
+// either parses into frames/requests or is rejected with a Status (or
+// FrameStatus::kBad/kNeedMore) — never a crash, overflow, or
+// length-driven allocation. InspectFrame must reject hostile length
+// fields from the 8-byte header alone, before trusting them.
+//
+// See fuzz_miniamber.cc for the two build modes.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "serve/protocol.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  // 1. The server's own parse loop: treat the input as one session's
+  //    receive buffer and walk it frame by frame, decoding each
+  //    CRC-valid body both ways (a type-confused peer can send a
+  //    response where a request belongs and vice versa).
+  size_t consumed = 0;
+  while (consumed < size) {
+    size_t total = 0;
+    std::string error;
+    dbpl::serve::FrameStatus st = dbpl::serve::InspectFrame(
+        data + consumed, size - consumed, &total, &error);
+    if (st != dbpl::serve::FrameStatus::kFrame) break;
+    const uint8_t* body = data + consumed + dbpl::serve::kFrameHeaderBytes;
+    const size_t body_len = total - dbpl::serve::kFrameHeaderBytes;
+    auto req = dbpl::serve::DecodeRequest(body, body_len);
+    auto resp = dbpl::serve::DecodeResponse(body, body_len);
+    volatile bool sink = req.ok() || resp.ok();
+    (void)sink;
+    consumed += total;
+  }
+
+  // 2. The decoders on the raw input, skipping the CRC gate — the
+  //    fuzzer should not need to mint checksums to reach the body
+  //    parsing (and Client::Await re-validates bodies it already
+  //    CRC-checked, so this path is real).
+  auto req = dbpl::serve::DecodeRequest(data, size);
+  auto resp = dbpl::serve::DecodeResponse(data, size);
+  volatile bool sink = req.ok() || resp.ok();
+  (void)sink;
+  return 0;
+}

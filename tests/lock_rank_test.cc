@@ -29,8 +29,40 @@ TEST(LockRankTest, OrderedAcquisitionIsAllowed) {
   writer.Unlock();
 }
 
+TEST(LockRankTest, ServeIsTheOutermostRank) {
+  // serve.mu_ (5) sits below the entire database stack: a worker that
+  // pops the ready queue and then executes a request (which reaches
+  // shard writer, lane, status, ...) follows the table. Note the
+  // server never actually holds mu_ across execution — the rank only
+  // proves that even if the handoff and the first database lock
+  // overlapped, the order would still be sound.
+  Mutex serve(LockRank::kServe, "test.serve");
+  Mutex writer(LockRank::kShardWriter, "test.writer");
+  Mutex status(LockRank::kWalStatus, "test.status");
+  MutexLock l0(&serve);
+  MutexLock l1(&writer);
+  MutexLock l2(&status);
+}
+
+TEST(LockRankDeathTest, ServeUnderDatabaseLockAborts) {
+  if (!kRankChecksOn) GTEST_SKIP() << "built with DBPL_LOCK_RANKS=OFF";
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // The forbidden shape: calling back into the server's session table
+  // from inside the database write path (e.g. a write observer trying
+  // to broadcast to sessions) would take 5 under 30.
+  Mutex serve(LockRank::kServe, "test.serve");
+  Mutex writer(LockRank::kShardWriter, "test.writer");
+  EXPECT_DEATH(
+      {
+        MutexLock l0(&writer);
+        MutexLock l1(&serve);
+      },
+      "lock-rank violation.*test\\.serve.*rank 5.*test\\.writer.*rank 30");
+}
+
 TEST(LockRankTest, FullTableInOrderIsAllowed) {
   // Every rank in ascending order — the widest legal stack.
+  Mutex serve(LockRank::kServe, "test.serve");
   Mutex replica(LockRank::kReplica, "test.replica");
   Mutex meta(LockRank::kWalMeta, "test.meta");
   Mutex writer(LockRank::kShardWriter, "test.writer");
@@ -38,13 +70,14 @@ TEST(LockRankTest, FullTableInOrderIsAllowed) {
   Mutex lane(LockRank::kWalLane, "test.lane");
   Mutex state(LockRank::kState, "test.state");
   Mutex status(LockRank::kWalStatus, "test.status");
-  MutexLock l0(&replica);
-  MutexLock l1(&meta);
-  MutexLock l2(&writer);
-  MutexLock l3(&sync);
-  MutexLock l4(&lane);
-  MutexLock l5(&state);
-  MutexLock l6(&status);
+  MutexLock l0(&serve);
+  MutexLock l1(&replica);
+  MutexLock l2(&meta);
+  MutexLock l3(&writer);
+  MutexLock l4(&sync);
+  MutexLock l5(&lane);
+  MutexLock l6(&state);
+  MutexLock l7(&status);
 }
 
 TEST(LockRankTest, ClusteredRanksMayBeHeldTogether) {

@@ -44,6 +44,7 @@ core=(
   src/persist/wal_database.cc
   src/persist/replica.cc
   src/storage/log.cc
+  src/serve/server.cc
 )
 
 status=0
