@@ -44,6 +44,11 @@ enum class StatusCode {
   /// against another endpoint) may succeed. Used by dbpl-serve's
   /// admission control to shed load instead of queuing unboundedly.
   kUnavailable,
+  /// The operation's result exceeds a hard resource bound and was
+  /// refused rather than truncated (e.g. a dbpl-serve response whose
+  /// frame would exceed the protocol's body limit). Narrow the request
+  /// (a more selective type, a ranged read) and retry.
+  kResourceExhausted,
 };
 
 /// Human-readable name of a status code (e.g. "TypeError").
@@ -97,6 +102,9 @@ class [[nodiscard]] Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

@@ -25,7 +25,9 @@ Result<uint64_t> Client::Send(Request req) {
   ByteBuffer body;
   EncodeRequest(req, &body);
   ByteBuffer frame;
-  EncodeFrame(body, &frame);
+  // An unframeable (oversize) request surfaces here, before any bytes
+  // reach the wire — the session stays usable.
+  DBPL_RETURN_IF_ERROR(EncodeFrame(body, &frame));
   DBPL_RETURN_IF_ERROR(sock_.SendAll(frame.data(), frame.size()));
   outstanding_.push_back(req.id);
   return req.id;
@@ -170,6 +172,30 @@ Result<Client::Info> Client::GetInfo() {
   info.epoch = resp.epoch;
   info.shards = resp.shards;
   return info;
+}
+
+Result<persist::WalShipper::ShipState> Client::ShipBounds() {
+  Request req;
+  req.op = ReqOp::kShipBounds;
+  DBPL_ASSIGN_OR_RETURN(Response resp, Call(std::move(req)));
+  DBPL_RETURN_IF_ERROR(resp.status);
+  return std::move(resp.ship);
+}
+
+Result<Client::Chunk> Client::ReadChunk(ShipFile file, int shard,
+                                        uint64_t offset, uint64_t length) {
+  Request req;
+  req.op = ReqOp::kReadChunk;
+  req.file = file;
+  req.shard = shard;
+  req.offset = offset;
+  req.length = length;
+  DBPL_ASSIGN_OR_RETURN(Response resp, Call(std::move(req)));
+  DBPL_RETURN_IF_ERROR(resp.status);
+  Chunk chunk;
+  chunk.file_size = resp.file_size;
+  chunk.data = std::move(resp.chunk);
+  return chunk;
 }
 
 }  // namespace dbpl::serve

@@ -1,6 +1,7 @@
 #ifndef DBPL_SERVE_CLIENT_H_
 #define DBPL_SERVE_CLIENT_H_
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <string>
@@ -48,6 +49,16 @@ class Client {
   bool valid() const { return sock_.valid(); }
   Socket& socket() { return sock_; }
 
+  /// Bounds how long Await (and every typed convenience) may wait for
+  /// the server's next response bytes. Zero (the default) waits
+  /// forever; with a timeout, a server that stalls mid-frame surfaces
+  /// kDeadlineExceeded instead of hanging the caller. After a deadline
+  /// the stream may stop mid-frame, so the session should be
+  /// abandoned, not resumed.
+  void set_await_timeout(std::chrono::milliseconds timeout) {
+    sock_.set_recv_timeout(timeout);
+  }
+
   /// Assigns a request id, frames and sends `req`. Returns the id.
   Result<uint64_t> Send(Request req);
 
@@ -86,6 +97,26 @@ class Client {
     int shards = 1;
   };
   Result<Info> GetInfo();
+
+  // ------------------------------------------------------------------
+  // WAL shipping (DESIGN.md §9.3): the wire half of the WalShipper
+  // seam. serve::RemoteShipper composes these into a persist-side
+  // shipper; they are public so tests can probe the ops directly.
+  // ------------------------------------------------------------------
+
+  /// The primary's current shippable state.
+  Result<persist::WalShipper::ShipState> ShipBounds();
+
+  struct Chunk {
+    /// The file's size when the server served the read.
+    uint64_t file_size = 0;
+    /// The bytes available in the requested range (short at EOF).
+    std::string data;
+  };
+  /// A ranged read of the primary's checkpoint (`shard` ignored) or a
+  /// WAL segment. `length` must be ≤ kMaxReadChunk.
+  Result<Chunk> ReadChunk(ShipFile file, int shard, uint64_t offset,
+                          uint64_t length);
 
  private:
   /// Strips the value out of each self-describing result entry.

@@ -13,7 +13,7 @@ namespace {
 
 bool KnownOp(uint8_t raw) {
   return raw >= static_cast<uint8_t>(ReqOp::kPing) &&
-         raw <= static_cast<uint8_t>(ReqOp::kInfo);
+         raw <= static_cast<uint8_t>(ReqOp::kReadChunk);
 }
 
 /// True for the ops whose OK payload is a list of dynamics.
@@ -90,6 +90,10 @@ std::string_view ReqOpName(ReqOp op) {
       return "Commit";
     case ReqOp::kInfo:
       return "Info";
+    case ReqOp::kShipBounds:
+      return "ShipBounds";
+    case ReqOp::kReadChunk:
+      return "ReadChunk";
   }
   return "Unknown";
 }
@@ -115,8 +119,14 @@ void EncodeRequest(const Request& req, ByteBuffer* out) {
       out->PutString(req.extent_name);
       serial::EncodeType(req.type, out);
       break;
+    case ReqOp::kReadChunk:
+      out->PutU8(static_cast<uint8_t>(req.file));
+      out->PutVarint(static_cast<uint64_t>(req.shard));
+      out->PutVarint(req.offset);
+      out->PutVarint(req.length);
+      break;
     default:
-      break;  // kPing/kCommit/kInfo carry no payload.
+      break;  // kPing/kCommit/kInfo/kShipBounds carry no payload.
   }
 }
 
@@ -146,6 +156,29 @@ Result<Request> DecodeRequest(const uint8_t* body, size_t n) {
       DBPL_ASSIGN_OR_RETURN(req.type, serial::DecodeType(&in));
       break;
     }
+    case ReqOp::kReadChunk: {
+      DBPL_ASSIGN_OR_RETURN(uint8_t kind, in.ReadU8());
+      if (kind > static_cast<uint8_t>(ShipFile::kWalSegment)) {
+        return Status::InvalidArgument("unknown shipping file kind " +
+                                       std::to_string(kind));
+      }
+      req.file = static_cast<ShipFile>(kind);
+      DBPL_ASSIGN_OR_RETURN(uint64_t shard, in.ReadVarint());
+      if (shard >= static_cast<uint64_t>(dyndb::Database::kMaxShards)) {
+        return Status::InvalidArgument("shipping shard " +
+                                       std::to_string(shard) +
+                                       " out of range");
+      }
+      req.shard = static_cast<int>(shard);
+      DBPL_ASSIGN_OR_RETURN(req.offset, in.ReadVarint());
+      DBPL_ASSIGN_OR_RETURN(req.length, in.ReadVarint());
+      if (req.length > kMaxReadChunk) {
+        return Status::InvalidArgument(
+            "chunk length " + std::to_string(req.length) + " exceeds limit " +
+            std::to_string(kMaxReadChunk));
+      }
+      break;
+    }
     default:
       break;
   }
@@ -171,6 +204,16 @@ void EncodeResponse(const Response& resp, ByteBuffer* out) {
     out->PutVarint(resp.size);
     out->PutVarint(resp.epoch);
     out->PutVarint(static_cast<uint64_t>(resp.shards));
+  } else if (resp.op == ReqOp::kShipBounds) {
+    out->PutVarint(resp.ship.generation);
+    out->PutVarint(resp.ship.shards.size());
+    for (const persist::WalShipper::Bounds& b : resp.ship.shards) {
+      out->PutVarint(b.durable_bytes);
+      out->PutVarint(b.epoch);
+    }
+  } else if (resp.op == ReqOp::kReadChunk) {
+    out->PutVarint(resp.file_size);
+    out->PutString(resp.chunk);
   }
 }
 
@@ -210,15 +253,42 @@ Result<Response> DecodeResponse(const uint8_t* body, size_t n) {
                                 std::to_string(shards) + " out of range");
     }
     resp.shards = static_cast<int>(shards);
+  } else if (resp.op == ReqOp::kShipBounds) {
+    DBPL_ASSIGN_OR_RETURN(resp.ship.generation, in.ReadVarint());
+    DBPL_ASSIGN_OR_RETURN(uint64_t count, in.ReadVarint());
+    if (count > static_cast<uint64_t>(dyndb::Database::kMaxShards)) {
+      return Status::Corruption("ship-bounds shard count " +
+                                std::to_string(count) + " out of range");
+    }
+    resp.ship.shards.reserve(static_cast<size_t>(count));
+    for (uint64_t i = 0; i < count; ++i) {
+      persist::WalShipper::Bounds b;
+      DBPL_ASSIGN_OR_RETURN(b.durable_bytes, in.ReadVarint());
+      DBPL_ASSIGN_OR_RETURN(b.epoch, in.ReadVarint());
+      resp.ship.shards.push_back(b);
+    }
+  } else if (resp.op == ReqOp::kReadChunk) {
+    DBPL_ASSIGN_OR_RETURN(resp.file_size, in.ReadVarint());
+    DBPL_ASSIGN_OR_RETURN(resp.chunk, in.ReadString());
   }
   DBPL_RETURN_IF_ERROR(RequireDrained(in, "response"));
   return resp;
 }
 
-void EncodeFrame(const ByteBuffer& body, ByteBuffer* out) {
+Status EncodeFrame(const ByteBuffer& body, ByteBuffer* out) {
+  if (body.size() > kMaxFrameBody) {
+    // Refuse rather than emit: the peer would reject the frame as
+    // Corruption and lose framing for good — and past 4 GiB the u32
+    // length word would truncate into a CRC-valid lie.
+    return Status::ResourceExhausted(
+        "frame body of " + std::to_string(body.size()) +
+        " bytes exceeds the protocol limit of " +
+        std::to_string(kMaxFrameBody));
+  }
   out->PutU32(MaskCrc(Crc32c(body.data(), body.size())));
   out->PutU32(static_cast<uint32_t>(body.size()));
   out->PutRaw(body.data(), body.size());
+  return Status::OK();
 }
 
 FrameStatus InspectFrame(const uint8_t* data, size_t n, size_t* total,
@@ -278,6 +348,8 @@ uint8_t WireCodeOf(StatusCode code) {
       return 11;
     case StatusCode::kUnavailable:
       return 12;
+    case StatusCode::kResourceExhausted:
+      return 13;
   }
   return 11;  // out-of-enum input: report as Internal
 }
@@ -310,6 +382,8 @@ StatusCode CodeFromWire(uint8_t wire) {
       return StatusCode::kInternal;
     case 12:
       return StatusCode::kUnavailable;
+    case 13:
+      return StatusCode::kResourceExhausted;
     default:
       return StatusCode::kInternal;
   }

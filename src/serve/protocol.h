@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "dyndb/database.h"
 #include "dyndb/dynamic.h"
+#include "persist/wal_database.h"
 #include "types/type.h"
 
 namespace dbpl::serve {
@@ -59,6 +60,12 @@ inline constexpr size_t kFrameHeaderBytes = 8;
 /// length field from committing the peer to a giant read.
 inline constexpr uint64_t kMaxFrameBody = 1ull << 24;
 
+/// Largest chunk a kReadChunk request may ask for: the frame body
+/// limit minus generous slack for the response envelope (prefix,
+/// status, file size, chunk length prefix), so a maximal chunk can
+/// always be answered within one legal frame.
+inline constexpr uint64_t kMaxReadChunk = kMaxFrameBody - 64;
+
 /// Request opcodes. Values are wire format — append, never renumber.
 enum class ReqOp : uint8_t {
   /// No request: the op echoed on server-initiated error responses.
@@ -73,6 +80,25 @@ enum class ReqOp : uint8_t {
   kRegisterExtent = 8,
   kCommit = 9,
   kInfo = 10,
+  /// WAL shipping (DESIGN.md §9.3): the primary's current
+  /// WalShipper::ShipState — generation plus one (durable bytes,
+  /// epoch) bound per shard segment. No request payload.
+  kShipBounds = 11,
+  /// WAL shipping: a ranged read of ≤ kMaxReadChunk bytes from one of
+  /// the primary's shipping files, identified by (kind, shard) — never
+  /// by a path string, so a hostile client cannot name arbitrary
+  /// files. The response carries the file's current size plus the
+  /// bytes actually available at the offset (short or empty at EOF,
+  /// mirroring VfsFile::ReadAt).
+  kReadChunk = 12,
+};
+
+/// The files kReadChunk can address, scoped to the served database's
+/// directory by construction.
+enum class ShipFile : uint8_t {
+  kCheckpoint = 0,
+  /// The per-shard WAL segment named by Request::shard.
+  kWalSegment = 1,
 };
 
 /// Human-readable opcode name (for error messages and logs).
@@ -80,7 +106,8 @@ std::string_view ReqOpName(ReqOp op);
 
 /// One decoded request. Which fields are meaningful depends on `op`:
 /// kInsert uses `entry`; kGet uses `entry_id`; the four Get-strategy
-/// ops use `type`; kRegisterExtent uses `extent_name` + `type`.
+/// ops use `type`; kRegisterExtent uses `extent_name` + `type`;
+/// kReadChunk uses `file` + `shard` + `offset` + `length`.
 struct Request {
   uint64_t id = 0;
   ReqOp op = ReqOp::kPing;
@@ -88,6 +115,12 @@ struct Request {
   dyndb::Database::EntryId entry_id = 0;
   types::Type type;
   std::string extent_name;
+  /// kReadChunk: which shipping file, which shard (segments only),
+  /// and the byte range requested (length ≤ kMaxReadChunk).
+  ShipFile file = ShipFile::kCheckpoint;
+  int shard = 0;
+  uint64_t offset = 0;
+  uint64_t length = 0;
 };
 
 /// One decoded response. `status` carries the operation's outcome;
@@ -103,6 +136,12 @@ struct Response {
   uint64_t size = 0;
   uint64_t epoch = 0;
   int shards = 1;
+  /// kShipBounds: the primary's shippable state verbatim.
+  persist::WalShipper::ShipState ship;
+  /// kReadChunk: the file's size at read time, and the bytes available
+  /// in the requested range (short or empty at EOF).
+  uint64_t file_size = 0;
+  std::string chunk;
 };
 
 /// Appends the body encoding of a request/response (no frame header).
@@ -116,7 +155,13 @@ Result<Request> DecodeRequest(const uint8_t* body, size_t n);
 Result<Response> DecodeResponse(const uint8_t* body, size_t n);
 
 /// Wraps a message body in a frame: masked CRC, length, body.
-void EncodeFrame(const ByteBuffer& body, ByteBuffer* out);
+/// A body larger than kMaxFrameBody is refused with
+/// kResourceExhausted and `out` is left untouched — the peer's
+/// InspectFrame would reject such a frame as unrecoverable Corruption
+/// (and a ≥ 4 GiB body would silently truncate its u32 length word
+/// into a CRC-valid lie), so the oversize must be answered in-band
+/// instead of framed.
+Status EncodeFrame(const ByteBuffer& body, ByteBuffer* out);
 
 /// Outcome of inspecting a byte stream's head for one frame.
 enum class FrameStatus : uint8_t {

@@ -17,7 +17,7 @@ namespace {
 /// Cap on bytes drained from one session per service turn, so a
 /// fire-hosing pipeliner cannot starve other sessions of its worker.
 constexpr size_t kMaxReadPerTurn = 256 * 1024;
-constexpr size_t kReadChunk = 16 * 1024;
+constexpr size_t kRecvChunkBytes = 16 * 1024;
 
 Status SetFdNonBlocking(int fd) {
   int flags = ::fcntl(fd, F_GETFL, 0);
@@ -223,7 +223,8 @@ void Server::Shed(Socket sock) {
   ByteBuffer body;
   EncodeResponse(resp, &body);
   ByteBuffer frame;
-  EncodeFrame(body, &frame);
+  // A bare error response cannot exceed the frame limit.
+  if (!EncodeFrame(body, &frame).ok()) return;
   (void)sock.SendAll(frame.data(), frame.size());  // best effort, then close
 }
 
@@ -269,7 +270,7 @@ void Server::ProcessTurn(Session* session) {
   // 1. Drain the socket (bounded per turn for fairness).
   size_t drained = 0;
   while (drained < kMaxReadPerTurn) {
-    uint8_t chunk[kReadChunk];
+    uint8_t chunk[kRecvChunkBytes];
     Result<size_t> got = session->sock.Recv(chunk, sizeof(chunk));
     if (!got.ok()) {
       if (!Socket::IsWouldBlock(got.status())) session->closing = true;
@@ -302,7 +303,7 @@ void Server::ProcessTurn(Session* session) {
       resp.status = Status::Corruption(error);
       ByteBuffer body;
       EncodeResponse(resp, &body);
-      EncodeFrame(body, &out);
+      (void)EncodeFrame(body, &out);  // bare error: cannot be oversize
       fatal = true;
       break;
     }
@@ -336,15 +337,31 @@ bool Server::HandleFrame(const uint8_t* body, size_t n, ByteBuffer* out) {
     resp.status = req.status();
   } else {
     resp = Execute(*req);
+  }
+  ByteBuffer resp_body;
+  EncodeResponse(resp, &resp_body);
+  Status framed = EncodeFrame(resp_body, out);
+  if (!framed.ok()) {
+    // The response materialized larger than a legal frame (e.g. a
+    // GetScan over a huge extent). Answer the *same request* in-band
+    // with the refusal instead — the session keeps its framing and
+    // lives on; the client can narrow the query and retry.
+    Response refusal;
+    refusal.id = resp.id;
+    refusal.op = resp.op;
+    refusal.status = std::move(framed);
+    resp.status = refusal.status;
+    ByteBuffer refusal_body;
+    EncodeResponse(refusal, &refusal_body);
+    (void)EncodeFrame(refusal_body, out);  // bare error: always framable
+  }
+  if (well_formed) {
     if (resp.status.ok()) {
       n_requests_ok_.fetch_add(1, std::memory_order_relaxed);
     } else {
       n_requests_error_.fetch_add(1, std::memory_order_relaxed);
     }
   }
-  ByteBuffer resp_body;
-  EncodeResponse(resp, &resp_body);
-  EncodeFrame(resp_body, out);
   return well_formed;
 }
 
@@ -415,6 +432,50 @@ Response Server::Execute(const Request& req) {
       resp.size = snap.size();
       resp.epoch = snap.epoch();
       resp.shards = snap.shards();
+      break;
+    }
+    case ReqOp::kShipBounds:
+      resp.ship = wdb_->ship_bounds();
+      break;
+    case ReqOp::kReadChunk: {
+      // The (kind, shard) pair resolves to a path server-side; clients
+      // never name files, so there is nothing to traverse. Decode
+      // already bounded shard and length; geometry is checked here.
+      if (req.file == ShipFile::kWalSegment &&
+          req.shard >= wdb_->shard_count()) {
+        resp.status = Status::InvalidArgument(
+            "shard " + std::to_string(req.shard) + " out of range (primary has " +
+            std::to_string(wdb_->shard_count()) + ")");
+        break;
+      }
+      const std::string& path = req.file == ShipFile::kCheckpoint
+                                    ? wdb_->checkpoint_path()
+                                    : wdb_->wal_path(req.shard);
+      auto file = wdb_->vfs()->Open(path, storage::OpenMode::kRead);
+      if (!file.ok()) {
+        // A segment/checkpoint may legitimately not exist yet; map the
+        // VFS's NotFound (or crash-injected error) in-band.
+        resp.status = file.status();
+        break;
+      }
+      Result<uint64_t> size = (*file)->Size();
+      if (!size.ok()) {
+        resp.status = size.status();
+        break;
+      }
+      resp.file_size = *size;
+      resp.chunk.resize(static_cast<size_t>(req.length));
+      if (req.length > 0) {
+        Result<size_t> got =
+            (*file)->ReadAt(req.offset, resp.chunk.data(),
+                            static_cast<size_t>(req.length));
+        if (!got.ok()) {
+          resp.status = got.status();
+          resp.chunk.clear();
+          break;
+        }
+        resp.chunk.resize(*got);  // short at EOF, like ReadAt itself
+      }
       break;
     }
     default:

@@ -9,7 +9,9 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 namespace dbpl::serve {
@@ -29,6 +31,28 @@ Status PollFor(int fd, short events) {
     int rc = ::poll(&pfd, 1, -1);
     if (rc > 0) return Status::OK();
     if (rc < 0 && errno == EINTR) continue;
+    return ErrnoStatus("poll");
+  }
+}
+
+/// As PollFor, but gives up at `deadline` with kDeadlineExceeded.
+Status PollUntil(int fd, short events,
+                 std::chrono::steady_clock::time_point deadline) {
+  struct pollfd pfd = {fd, events, 0};
+  while (true) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      return Status::DeadlineExceeded("recv deadline expired");
+    }
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    // Wait at least 1ms so a sub-millisecond remainder cannot busy-spin.
+    const int wait_ms =
+        static_cast<int>(std::max<int64_t>(1, left.count()));
+    int rc = ::poll(&pfd, 1, wait_ms);
+    if (rc > 0) return Status::OK();
+    if (rc == 0) continue;  // timed out this round; deadline re-checked
+    if (errno == EINTR) continue;
     return ErrnoStatus("poll");
   }
 }
@@ -79,13 +103,21 @@ bool Socket::IsWouldBlock(const Status& s) {
 }
 
 Status Socket::RecvAll(void* out, size_t n) {
+  // The deadline covers the whole read: a peer trickling one byte per
+  // timeout interval cannot stretch the wait indefinitely.
+  const bool bounded = recv_timeout_.count() > 0;
+  const auto deadline = std::chrono::steady_clock::now() + recv_timeout_;
   char* p = static_cast<char*>(out);
   size_t left = n;
   while (left > 0) {
+    // Poll *before* reading: on a blocking socket recv(2) itself would
+    // park forever, so the deadline must gate entry into it. When data
+    // is already buffered the poll returns immediately.
+    if (bounded) DBPL_RETURN_IF_ERROR(PollUntil(fd_, POLLIN, deadline));
     Result<size_t> got = Recv(p, left);
     if (!got.ok()) {
       if (IsWouldBlock(got.status())) {
-        DBPL_RETURN_IF_ERROR(PollFor(fd_, POLLIN));
+        if (!bounded) DBPL_RETURN_IF_ERROR(PollFor(fd_, POLLIN));
         continue;
       }
       return got.status();

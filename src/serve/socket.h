@@ -1,6 +1,7 @@
 #ifndef DBPL_SERVE_SOCKET_H_
 #define DBPL_SERVE_SOCKET_H_
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -23,11 +24,15 @@ class Socket {
   explicit Socket(int fd) : fd_(fd) {}
   ~Socket() { Close(); }
 
-  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket(Socket&& other) noexcept
+      : fd_(other.fd_), recv_timeout_(other.recv_timeout_) {
+    other.fd_ = -1;
+  }
   Socket& operator=(Socket&& other) noexcept {
     if (this != &other) {
       Close();
       fd_ = other.fd_;
+      recv_timeout_ = other.recv_timeout_;
       other.fd_ = -1;
     }
     return *this;
@@ -61,8 +66,19 @@ class Socket {
   static bool IsWouldBlock(const Status& s);
 
   /// Reads exactly `n` bytes (blocking sockets; polls through EAGAIN).
-  /// IoError "connection closed" if the peer shuts down first.
+  /// IoError "connection closed" if the peer shuts down first. With a
+  /// receive timeout set, a peer that stalls mid-read for longer than
+  /// the timeout surfaces kDeadlineExceeded instead of blocking the
+  /// caller forever (the deadline spans the whole RecvAll, computed
+  /// once at entry).
   Status RecvAll(void* out, size_t n);
+
+  /// Bounds how long RecvAll may wait for the peer. Zero (the
+  /// default) preserves the historical wait-forever behavior.
+  void set_recv_timeout(std::chrono::milliseconds timeout) {
+    recv_timeout_ = timeout;
+  }
+  std::chrono::milliseconds recv_timeout() const { return recv_timeout_; }
 
   Status SetNonBlocking(bool enable);
 
@@ -75,6 +91,8 @@ class Socket {
 
  private:
   int fd_ = -1;
+  /// Zero = no deadline.
+  std::chrono::milliseconds recv_timeout_{0};
 };
 
 /// A listening TCP socket bound to 127.0.0.1 (or the given host).

@@ -26,6 +26,9 @@
 #include "persist/replicating_store.h"
 #include "persist/schema_compat.h"
 #include "persist/snapshot_store.h"
+#include "serve/remote_shipper.h"
+#include "serve/server.h"
+#include "serve/socket.h"
 #include "storage/fault_vfs.h"
 #include "storage/kv_store.h"
 #include "test_util.h"
@@ -1048,6 +1051,30 @@ void ExpectConverged(const dyndb::Database& primary,
   }
 }
 
+/// A wire attachment for the crash matrix: a workers=1 dbpl-serve
+/// server over the primary plus a RemoteShipper adopted from the other
+/// end of a socketpair. Every RPC is synchronous and the single worker
+/// serves it while the test thread blocks, so the (thread-compatible,
+/// not thread-safe) FaultVfs is only ever touched by one thread at a
+/// time; and shipping reads don't count as mutating ops, so the
+/// crash-point numbering is identical with or without the tap.
+struct WireTap {
+  std::unique_ptr<serve::Server> server;
+  std::unique_ptr<serve::RemoteShipper> shipper;
+};
+
+Result<WireTap> OpenWireTap(persist::WalDatabase* wdb) {
+  WireTap tap;
+  serve::ServeOptions opts;
+  opts.workers = 1;
+  DBPL_ASSIGN_OR_RETURN(tap.server, serve::Server::Start(wdb, opts));
+  DBPL_ASSIGN_OR_RETURN(auto pair, serve::Socket::Pair());
+  DBPL_RETURN_IF_ERROR(tap.server->AdoptConnection(std::move(pair.first)));
+  DBPL_ASSIGN_OR_RETURN(tap.shipper,
+                        serve::RemoteShipper::Adopt(std::move(pair.second)));
+  return tap;
+}
+
 TEST_P(WalCrashMatrixTest, FollowersConvergeAtEveryCrashPoint) {
   const uint64_t every_n = GetParam();
   const persist::CommitPolicy policy{every_n, true};
@@ -1062,12 +1089,21 @@ TEST_P(WalCrashMatrixTest, FollowersConvergeAtEveryCrashPoint) {
     ASSERT_TRUE(wdb.ok()) << wdb.status();
     persist::Replica follower;
     ASSERT_TRUE(follower.Attach((*wdb)->shipper()).ok());
+    auto tap = OpenWireTap(wdb->get());
+    ASSERT_TRUE(tap.ok()) << tap.status();
+    persist::Replica wire;
+    ASSERT_TRUE(wire.Attach(tap->shipper.get()).ok());
     WalOracle oracle;
     ASSERT_EQ(RunWalWorkload(wdb->get(), every_n, &oracle,
-                             [&] { ASSERT_TRUE(follower.Poll().ok()); }),
+                             [&] {
+                               ASSERT_TRUE(follower.Poll().ok());
+                               ASSERT_TRUE(wire.Poll().ok());
+                             }),
               12);
     total_ops = vfs.mutating_ops();
     ExpectConverged((*wdb)->db(), follower.db());
+    ExpectConverged((*wdb)->db(), wire.db());
+    tap->server->Stop();
   }
 
   for (uint64_t k = 1; k <= total_ops; ++k) {
@@ -1080,23 +1116,40 @@ TEST_P(WalCrashMatrixTest, FollowersConvergeAtEveryCrashPoint) {
       WalOracle oracle;
       persist::Replica eager;  // polls after every workload step
       persist::Replica lazy;   // never polls until after recovery
+      persist::Replica wire;   // eager, but across the socketpair
       size_t eager_floor = 0;  // follower sizes must be monotone
+      size_t wire_floor = 0;
       {
         auto wdb = persist::WalDatabase::Open(&vfs, dir, policy);
         if (wdb.ok()) {
           ASSERT_TRUE(eager.Attach((*wdb)->shipper()).ok());
           ASSERT_TRUE(lazy.Attach((*wdb)->shipper()).ok());
+          auto tap = OpenWireTap(wdb->get());
+          ASSERT_TRUE(tap.ok()) << tap.status();
+          ASSERT_TRUE(wire.Attach(tap->shipper.get()).ok());
           RunWalWorkload(wdb->get(), every_n, &oracle, [&] {
             // Invariant (1), live: polls may fail once the VFS has
-            // crashed — the follower must simply stop advancing, not
-            // regress or tear.
+            // crashed — the followers must simply stop advancing, not
+            // regress or tear. The wire follower sees the primary's
+            // read errors in-band and must absorb them identically.
             (void)eager.Poll();
             const size_t size = eager.db().size();
             ASSERT_GE(size, eager_floor);
             eager_floor = size;
             ExpectWalPrefix(eager.db(), size);
             ASSERT_LE(size, oracle.applied_inserts + 1);
+            (void)wire.Poll();
+            const size_t wsize = wire.db().size();
+            ASSERT_GE(wsize, wire_floor);
+            wire_floor = wsize;
+            ExpectWalPrefix(wire.db(), wsize);
+            ASSERT_LE(wsize, oracle.applied_inserts + 1);
           });
+          // Stop the tap before the primary dies; one more poll, now
+          // with a dead transport, must be absorbed cleanly too.
+          tap->server->Stop();
+          (void)wire.Poll();
+          ExpectWalPrefix(wire.db(), wire.db().size());
         }
         ASSERT_TRUE(vfs.crashed());
         // One more poll against the crashed VFS: reads hit stale
@@ -1110,20 +1163,26 @@ TEST_P(WalCrashMatrixTest, FollowersConvergeAtEveryCrashPoint) {
       ASSERT_TRUE(reopened.ok()) << reopened.status();
       const dyndb::Database& db = (*reopened)->db();
 
-      // Invariant (2): both followers are prefixes of the recovered
+      // Invariant (2): all followers are prefixes of the recovered
       // state — the fate of unsynced bytes cannot reach them.
-      for (persist::Replica* f : {&eager, &lazy}) {
+      for (persist::Replica* f : {&eager, &lazy, &wire}) {
         ASSERT_LE(f->db().size(), db.size());
         ExpectWalPrefix(f->db(), f->db().size());
         ASSERT_LE(f->Epoch(), db.epoch());
       }
 
       // Invariant (3): re-attach to the recovered incarnation and
-      // converge, then keep shipping fresh writes.
+      // converge, then keep shipping fresh writes. The wire follower
+      // re-attaches through a fresh tap — the "follower reconnects to
+      // the restarted primary" path.
+      auto tap2 = OpenWireTap(reopened->get());
+      ASSERT_TRUE(tap2.ok()) << tap2.status();
       ASSERT_TRUE(eager.Attach((*reopened)->shipper()).ok());
       ASSERT_TRUE(lazy.Attach((*reopened)->shipper()).ok());
+      ASSERT_TRUE(wire.Attach(tap2->shipper.get()).ok());
       ExpectConverged(db, eager.db());
       ExpectConverged(db, lazy.db());
+      ExpectConverged(db, wire.db());
 
       const size_t recovered = db.size();
       ASSERT_TRUE((*reopened)->InsertValue(WalVal(recovered)).ok());
@@ -1131,6 +1190,10 @@ TEST_P(WalCrashMatrixTest, FollowersConvergeAtEveryCrashPoint) {
       ASSERT_TRUE(eager.Poll().ok());
       ExpectConverged(db, eager.db());
       ASSERT_EQ(eager.db().size(), recovered + 1);
+      ASSERT_TRUE(wire.Poll().ok());
+      ExpectConverged(db, wire.db());
+      ASSERT_EQ(wire.db().size(), recovered + 1);
+      tap2->server->Stop();
     }
   }
 }

@@ -26,9 +26,11 @@
 #include "core/value.h"
 #include "dyndb/database.h"
 #include "dyndb/dynamic.h"
+#include "persist/replica.h"
 #include "persist/wal_database.h"
 #include "serve/client.h"
 #include "serve/protocol.h"
+#include "serve/remote_shipper.h"
 #include "serve/server.h"
 #include "serve/socket.h"
 #include "storage/fault_vfs.h"
@@ -139,6 +141,16 @@ TEST(ServeProtocolTest, RequestRoundTripsEveryOp) {
   r = {};
   r.op = ReqOp::kInfo;
   reqs.push_back(r);
+  r = {};
+  r.op = ReqOp::kShipBounds;
+  reqs.push_back(r);
+  r = {};
+  r.op = ReqOp::kReadChunk;
+  r.file = ShipFile::kWalSegment;
+  r.shard = 3;
+  r.offset = 123456789;
+  r.length = kMaxReadChunk;
+  reqs.push_back(r);
 
   uint64_t id = 1;
   for (Request& req : reqs) {
@@ -154,7 +166,69 @@ TEST(ServeProtocolTest, RequestRoundTripsEveryOp) {
     EXPECT_EQ(decoded->entry_id, req.entry_id);
     EXPECT_EQ(decoded->type, req.type);
     EXPECT_EQ(decoded->extent_name, req.extent_name);
+    EXPECT_EQ(decoded->file, req.file);
+    EXPECT_EQ(decoded->shard, req.shard);
+    EXPECT_EQ(decoded->offset, req.offset);
+    EXPECT_EQ(decoded->length, req.length);
   }
+}
+
+TEST(ServeProtocolTest, ShippingPayloadsRoundTrip) {
+  Response bounds;
+  bounds.id = 3;
+  bounds.op = ReqOp::kShipBounds;
+  bounds.ship.generation = 7;
+  bounds.ship.shards = {{100, 4}, {0, 0}, {65536, 12}};
+  ByteBuffer body;
+  EncodeResponse(bounds, &body);
+  auto decoded = DecodeResponse(body.data(), body.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->ship.generation, 7u);
+  ASSERT_EQ(decoded->ship.shards.size(), 3u);
+  for (size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(decoded->ship.shards[s].durable_bytes,
+              bounds.ship.shards[s].durable_bytes);
+    EXPECT_EQ(decoded->ship.shards[s].epoch, bounds.ship.shards[s].epoch);
+  }
+
+  Response chunk;
+  chunk.id = 4;
+  chunk.op = ReqOp::kReadChunk;
+  chunk.file_size = 1u << 30;
+  chunk.chunk = std::string("wal bytes\0with zeros", 20);
+  body.clear();
+  EncodeResponse(chunk, &body);
+  decoded = DecodeResponse(body.data(), body.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->file_size, chunk.file_size);
+  EXPECT_EQ(decoded->chunk, chunk.chunk);
+
+  // A kReadChunk request asking for more than one frame can carry is
+  // rejected at decode, before the server ever touches a file.
+  Request oversize;
+  oversize.op = ReqOp::kReadChunk;
+  oversize.id = 5;
+  oversize.length = kMaxReadChunk + 1;
+  body.clear();
+  EncodeRequest(oversize, &body);
+  auto bad = DecodeRequest(body.data(), body.size());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServeProtocolTest, EncodeFrameRefusesOversizeBody) {
+  const std::vector<uint8_t> big(kMaxFrameBody + 1, 0xAB);
+  ByteBuffer body;
+  body.PutRaw(big.data(), big.size());
+  ByteBuffer frame;
+  Status refused = EncodeFrame(body, &frame);
+  EXPECT_EQ(refused.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(frame.size(), 0u);  // nothing partial was emitted
+
+  // One byte less is exactly at the limit and frames fine.
+  body.clear();
+  body.PutRaw(big.data(), kMaxFrameBody);
+  ASSERT_TRUE(EncodeFrame(body, &frame).ok());
+  EXPECT_EQ(frame.size(), kFrameHeaderBytes + kMaxFrameBody);
 }
 
 TEST(ServeProtocolTest, ResponseRoundTripsPayloadsAndErrors) {
@@ -182,7 +256,7 @@ TEST(ServeProtocolTest, ResponseRoundTripsPayloadsAndErrors) {
   EXPECT_EQ(decoded->status.message(), "no entry 99");
 
   // Every status code survives the wire byte round trip.
-  for (int c = 0; c <= static_cast<int>(StatusCode::kUnavailable); ++c) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kResourceExhausted); ++c) {
     auto code = static_cast<StatusCode>(c);
     EXPECT_EQ(CodeFromWire(WireCodeOf(code)), code);
   }
@@ -196,7 +270,7 @@ TEST(ServeProtocolTest, FrameDetectsTruncationOversizeAndCorruption) {
   req.id = 1;
   EncodeRequest(req, &body);
   ByteBuffer frame;
-  EncodeFrame(body, &frame);
+  ASSERT_TRUE(EncodeFrame(body, &frame).ok());
 
   size_t total = 0;
   std::string error;
@@ -296,7 +370,7 @@ TEST(ServeTest, UnknownVersionAndOpcodeAreRejectedInBand) {
     body.PutU8(static_cast<uint8_t>(ReqOp::kPing));
     body.PutU64(1);
     ByteBuffer frame;
-    EncodeFrame(body, &frame);
+    ASSERT_TRUE(EncodeFrame(body, &frame).ok());
     Client& c = h.clients[0];
     ASSERT_TRUE(c.socket().SendAll(frame.data(), frame.size()).ok());
     auto resp = c.Await();
@@ -311,7 +385,7 @@ TEST(ServeTest, UnknownVersionAndOpcodeAreRejectedInBand) {
     body.PutU8(0xEE);
     body.PutU64(2);
     ByteBuffer frame;
-    EncodeFrame(body, &frame);
+    ASSERT_TRUE(EncodeFrame(body, &frame).ok());
     Client& c = h.clients[1];
     ASSERT_TRUE(c.socket().SendAll(frame.data(), frame.size()).ok());
     auto resp = c.Await();
@@ -510,7 +584,7 @@ TEST(ServeTest, TeardownMidRequestLeavesDatabaseConsistent) {
   req.entry = MakeDynamic(Rec(42));
   EncodeRequest(req, &body);
   ByteBuffer frame;
-  EncodeFrame(body, &frame);
+  ASSERT_TRUE(EncodeFrame(body, &frame).ok());
   ASSERT_GT(frame.size(), 8u);
   ASSERT_TRUE(
       h.clients[0].socket().SendAll(frame.data(), frame.size() / 2).ok());
@@ -846,6 +920,335 @@ TEST(ServeCrashMatrixTest, ServerKilledAtEveryVfsOpWhileClientsStream) {
       EXPECT_EQ(back->value, Rec(999));
     }
   }
+}
+
+// ---------------------------------------------------------------------
+// Oversize responses: answered in-band, session survives.
+// ---------------------------------------------------------------------
+
+/// A record whose payload alone is `n` bytes.
+Value BigRec(int seq, size_t n) {
+  return Value::RecordOf({{"Seq", Value::Int(seq)},
+                          {"Payload", Value::String(std::string(n, 'p'))}});
+}
+
+TEST(ServeTest, OversizeScanAnsweredInBandAndSessionSurvives) {
+  FaultVfs vfs(5);
+  auto wdb = WalDatabase::Open(&vfs, "db", CommitPolicy{1, true});
+  ASSERT_TRUE(wdb.ok()) << wdb.status();
+  ASSERT_TRUE(wdb->get()->RegisterExtent("recs", RecT()).ok());
+  // 17 × 1MiB of payload: the full scan cannot fit one ≤16MiB frame,
+  // but any single record can.
+  constexpr int kRecords = 17;
+  constexpr size_t kPayload = 1u << 20;
+  dyndb::Database::EntryId last_id = 0;
+  for (int i = 0; i < kRecords; ++i) {
+    auto id = wdb->get()->InsertValue(BigRec(i, kPayload));
+    ASSERT_TRUE(id.ok()) << id.status();
+    last_id = *id;
+  }
+  ASSERT_TRUE(wdb->get()->Commit().ok());
+
+  PairHarness h = StartPairServer(wdb->get(), /*workers=*/1, /*clients=*/1);
+  Client& c = h.clients[0];
+
+  // Pipeline the poison request and an innocent one behind it. The
+  // refusal must arrive in-band, for the right request id, and the
+  // ping behind it must still be answered on the same session.
+  Request scan;
+  scan.op = ReqOp::kGetScan;
+  scan.type = RecT();
+  auto scan_id = c.Send(std::move(scan));
+  ASSERT_TRUE(scan_id.ok()) << scan_id.status();
+  Request ping;
+  ping.op = ReqOp::kPing;
+  ASSERT_TRUE(c.Send(std::move(ping)).ok());
+
+  auto refusal = c.Await();
+  ASSERT_TRUE(refusal.ok()) << refusal.status();  // transport survived
+  EXPECT_EQ(refusal->id, *scan_id);
+  EXPECT_EQ(refusal->op, ReqOp::kGetScan);
+  EXPECT_EQ(refusal->status.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(refusal->entries.empty());  // refusal carries no payload
+
+  auto pong = c.Await();
+  ASSERT_TRUE(pong.ok()) << pong.status();
+  EXPECT_TRUE(pong->status.ok());
+
+  // The typed convenience surfaces the same refusal...
+  auto scan2 = c.GetScan(RecT());
+  EXPECT_EQ(scan2.status().code(), StatusCode::kResourceExhausted);
+  // ...and a query whose response fits still works afterwards.
+  auto one = c.Get(last_id);
+  ASSERT_TRUE(one.ok()) << one.status();
+  EXPECT_EQ(one->value, BigRec(kRecords - 1, kPayload));
+
+  ServerStats stats = h.server->stats();
+  EXPECT_EQ(stats.sessions_closed, 0u);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+  EXPECT_GE(stats.requests_error, 2u);  // the two refused scans
+}
+
+// ---------------------------------------------------------------------
+// Client receive deadline.
+// ---------------------------------------------------------------------
+
+TEST(ServeTest, AwaitDeadlineExpiresOnSilentPeer) {
+  auto pair = Socket::Pair();
+  ASSERT_TRUE(pair.ok()) << pair.status();
+  Client c(std::move(pair->first));
+  c.set_await_timeout(std::chrono::milliseconds(100));
+  // The peer exists but never answers (nothing is reading either, but
+  // one ping fits the socketpair buffer).
+  Request ping;
+  ping.op = ReqOp::kPing;
+  ASSERT_TRUE(c.Send(std::move(ping)).ok());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto resp = c.Await();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(resp.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(elapsed, std::chrono::milliseconds(90));
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+
+  // A peer that trickles half a header and stalls hits the same
+  // deadline: it bounds the whole frame read, not each byte.
+  const uint8_t half_header[4] = {1, 2, 3, 4};
+  ASSERT_TRUE(pair->second.SendAll(half_header, sizeof(half_header)).ok());
+  EXPECT_EQ(c.Await().status().code(), StatusCode::kDeadlineExceeded);
+}
+
+// ---------------------------------------------------------------------
+// The shipping ops: kShipBounds / kReadChunk.
+// ---------------------------------------------------------------------
+
+TEST(ServeTest, ShipBoundsMatchesInProcessShipper) {
+  FaultVfs vfs(5);
+  auto wdb = WalDatabase::Open(&vfs, "db", WalOptions{{1, true}, 2});
+  ASSERT_TRUE(wdb.ok()) << wdb.status();
+  ASSERT_TRUE(wdb->get()->RegisterExtent("recs", RecT()).ok());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(wdb->get()->InsertValue(Rec(i)).ok());
+  }
+  ASSERT_TRUE(wdb->get()->Commit().ok());
+
+  PairHarness h = StartPairServer(wdb->get(), /*workers=*/1, /*clients=*/1);
+  auto wire = h.clients[0].ShipBounds();
+  ASSERT_TRUE(wire.ok()) << wire.status();
+  const auto local = wdb->get()->ship_bounds();
+  EXPECT_EQ(wire->generation, local.generation);
+  ASSERT_EQ(wire->shards.size(), local.shards.size());
+  for (size_t s = 0; s < local.shards.size(); ++s) {
+    EXPECT_EQ(wire->shards[s].durable_bytes, local.shards[s].durable_bytes);
+    EXPECT_EQ(wire->shards[s].epoch, local.shards[s].epoch);
+  }
+  EXPECT_GT(wire->epoch(), 0u);
+}
+
+TEST(ServeTest, ReadChunkBoundariesMatchTheFile) {
+  FaultVfs vfs(5);
+  auto wdb = WalDatabase::Open(&vfs, "db", CommitPolicy{1, true});
+  ASSERT_TRUE(wdb.ok()) << wdb.status();
+  ASSERT_TRUE(wdb->get()->RegisterExtent("recs", RecT()).ok());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(wdb->get()->InsertValue(Rec(i)).ok());
+  }
+  ASSERT_TRUE(wdb->get()->Commit().ok());
+
+  const uint64_t durable = wdb->get()->ship_bounds().shards[0].durable_bytes;
+  ASSERT_GT(durable, 0u);
+  auto file_bytes = vfs.ReadFileBytes(wdb->get()->wal_path(0));
+  ASSERT_TRUE(file_bytes.ok()) << file_bytes.status();
+  const std::string wal(file_bytes->begin(), file_bytes->end());
+
+  PairHarness h = StartPairServer(wdb->get(), /*workers=*/1, /*clients=*/1);
+  Client& c = h.clients[0];
+
+  // Offset 0, the whole durable prefix.
+  auto whole = c.ReadChunk(ShipFile::kWalSegment, 0, 0, durable);
+  ASSERT_TRUE(whole.ok()) << whole.status();
+  EXPECT_EQ(whole->file_size, wal.size());
+  EXPECT_EQ(whole->data, wal.substr(0, durable));
+
+  // A mid-file range.
+  const uint64_t mid = durable / 2;
+  auto tail = c.ReadChunk(ShipFile::kWalSegment, 0, mid, durable - mid);
+  ASSERT_TRUE(tail.ok()) << tail.status();
+  EXPECT_EQ(tail->data, wal.substr(mid, durable - mid));
+
+  // Reading exactly at the end of the file: empty, not an error.
+  auto at_end = c.ReadChunk(ShipFile::kWalSegment, 0, wal.size(), 64);
+  ASSERT_TRUE(at_end.ok()) << at_end.status();
+  EXPECT_EQ(at_end->file_size, wal.size());
+  EXPECT_TRUE(at_end->data.empty());
+
+  // Past the end: also empty.
+  auto past = c.ReadChunk(ShipFile::kWalSegment, 0, wal.size() + 4096, 64);
+  ASSERT_TRUE(past.ok()) << past.status();
+  EXPECT_TRUE(past->data.empty());
+
+  // A zero-length read is the cheap "stat": size only.
+  auto stat = c.ReadChunk(ShipFile::kWalSegment, 0, 0, 0);
+  ASSERT_TRUE(stat.ok()) << stat.status();
+  EXPECT_EQ(stat->file_size, wal.size());
+  EXPECT_TRUE(stat->data.empty());
+
+  // A shard this (1-shard) primary does not have: typed error, session
+  // survives.
+  auto bad_shard = c.ReadChunk(ShipFile::kWalSegment, 1, 0, 16);
+  EXPECT_EQ(bad_shard.status().code(), StatusCode::kInvalidArgument);
+
+  // No checkpoint has been written yet: NotFound, in-band.
+  auto no_ckpt = c.ReadChunk(ShipFile::kCheckpoint, 0, 0, 16);
+  EXPECT_EQ(no_ckpt.status().code(), StatusCode::kNotFound);
+
+  // After a checkpoint the same read succeeds and matches the file.
+  ASSERT_TRUE(wdb->get()->Checkpoint().ok());
+  auto ckpt_bytes = vfs.ReadFileBytes(wdb->get()->checkpoint_path());
+  ASSERT_TRUE(ckpt_bytes.ok()) << ckpt_bytes.status();
+  auto ckpt = c.ReadChunk(ShipFile::kCheckpoint, 0, 0,
+                          std::min<uint64_t>(ckpt_bytes->size(), 4096));
+  ASSERT_TRUE(ckpt.ok()) << ckpt.status();
+  EXPECT_EQ(ckpt->file_size, ckpt_bytes->size());
+  EXPECT_EQ(ckpt->data,
+            std::string(ckpt_bytes->begin(),
+                        ckpt_bytes->begin() +
+                            static_cast<long>(ckpt->data.size())));
+
+  EXPECT_EQ(h.server->stats().sessions_closed, 0u);
+}
+
+// ---------------------------------------------------------------------
+// RemoteShipper: an unmodified Replica over the wire.
+// ---------------------------------------------------------------------
+
+/// Follower == primary, compared through snapshots (the serve-side
+/// sibling of crash_recovery_test's ExpectConverged).
+void ExpectConverged(const Database& primary, const Database& follower) {
+  Database::Snapshot p = primary.GetSnapshot();
+  Database::Snapshot f = follower.GetSnapshot();
+  ASSERT_EQ(p.size(), f.size());
+  EXPECT_EQ(p.epoch(), f.epoch());
+  // Ids are shard-striped, so walk the entries rather than indexing.
+  std::map<Database::EntryId, Value> pv, fv;
+  p.ForEachEntry([&](Database::EntryId id, const Dynamic& d) { pv[id] = d.value; });
+  f.ForEachEntry([&](Database::EntryId id, const Dynamic& d) { fv[id] = d.value; });
+  EXPECT_EQ(pv, fv);
+  ASSERT_EQ(p.ExtentNames(), f.ExtentNames());
+}
+
+TEST(ServeTest, RemoteFollowerConvergesOverSocketpair) {
+  FaultVfs vfs(7);
+  auto wdb = WalDatabase::Open(&vfs, "db", WalOptions{{1, true}, 2});
+  ASSERT_TRUE(wdb.ok()) << wdb.status();
+  ASSERT_TRUE(wdb->get()->RegisterExtent("recs", RecT()).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(wdb->get()->InsertValue(Rec(i)).ok());
+  }
+  ASSERT_TRUE(wdb->get()->Commit().ok());
+
+  PairHarness h = StartPairServer(wdb->get(), /*workers=*/1, /*clients=*/0);
+  auto pair = Socket::Pair();
+  ASSERT_TRUE(pair.ok()) << pair.status();
+  ASSERT_TRUE(h.server->AdoptConnection(std::move(pair->first)).ok());
+  auto shipper = RemoteShipper::Adopt(std::move(pair->second));
+  ASSERT_TRUE(shipper.ok()) << shipper.status();
+  EXPECT_EQ((*shipper)->shard_count(), 2);
+
+  persist::Replica follower;
+  ASSERT_TRUE(follower.Attach(shipper->get()).ok());
+  ExpectConverged(wdb->get()->db(), follower.db());
+
+  // Incremental tailing: new commits arrive on the next poll.
+  for (int i = 10; i < 16; ++i) {
+    ASSERT_TRUE(wdb->get()->InsertValue(Rec(i)).ok());
+  }
+  ASSERT_TRUE(wdb->get()->Commit().ok());
+  ASSERT_TRUE(follower.Poll().ok());
+  ExpectConverged(wdb->get()->db(), follower.db());
+
+  // A checkpoint rotation bumps the generation: the follower must
+  // re-bootstrap over the wire (checkpoint download + fresh cursors).
+  ASSERT_TRUE(wdb->get()->Checkpoint().ok());
+  ASSERT_TRUE(wdb->get()->InsertValue(Rec(99)).ok());
+  ASSERT_TRUE(wdb->get()->Commit().ok());
+  ASSERT_TRUE(follower.Poll().ok());
+  ExpectConverged(wdb->get()->db(), follower.db());
+  EXPECT_GE(follower.stats().bootstraps, 2u);
+
+  follower.Detach();
+  h.server->Stop();
+}
+
+TEST(ServeTest, NetworkFollowerReconnectsAfterPrimaryRestart) {
+  storage::PosixVfs vfs;
+  const std::string dir = FreshDir("wirefollow");
+
+  persist::Replica follower;
+  std::unique_ptr<RemoteShipper> shipper;
+  uint16_t port = 0;
+  {
+    auto wdb = WalDatabase::Open(&vfs, dir, CommitPolicy{1, true});
+    ASSERT_TRUE(wdb.ok()) << wdb.status();
+    ASSERT_TRUE(wdb->get()->RegisterExtent("recs", RecT()).ok());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(wdb->get()->InsertValue(Rec(i)).ok());
+    }
+    ASSERT_TRUE(wdb->get()->Commit().ok());
+
+    ServeOptions opts;
+    opts.workers = 1;
+    opts.listen = true;
+    opts.port = 0;
+    auto server = Server::Start(wdb->get(), opts);
+    ASSERT_TRUE(server.ok()) << server.status();
+    port = (*server)->port();
+
+    RemoteShipper::Options ropts;
+    ropts.recv_timeout = std::chrono::milliseconds(2000);
+    ropts.backoff_initial = std::chrono::milliseconds(5);
+    ropts.backoff_max = std::chrono::milliseconds(50);
+    ropts.max_reconnect_attempts = 40;
+    auto connected = RemoteShipper::Connect("127.0.0.1", port, ropts);
+    ASSERT_TRUE(connected.ok()) << connected.status();
+    shipper = std::move(*connected);
+
+    ASSERT_TRUE(follower.Attach(shipper.get()).ok());
+    ExpectConverged(wdb->get()->db(), follower.db());
+
+    (*server)->Stop();
+  }  // the primary process "dies" here
+
+  // Same data directory, same port: a recovered primary comes back.
+  auto wdb2 = WalDatabase::Open(&vfs, dir, CommitPolicy{1, true});
+  ASSERT_TRUE(wdb2.ok()) << wdb2.status();
+  for (int i = 5; i < 8; ++i) {
+    ASSERT_TRUE(wdb2->get()->InsertValue(Rec(i)).ok());
+  }
+  ASSERT_TRUE(wdb2->get()->Commit().ok());
+  ServeOptions opts2;
+  opts2.workers = 1;
+  opts2.listen = true;
+  opts2.port = port;
+  auto server2 = Server::Start(wdb2->get(), opts2);
+  ASSERT_TRUE(server2.ok()) << server2.status();
+
+  // The next poll finds the transport dead, redials, sees a bumped
+  // generation (the bias — the restarted primary's counter reset), and
+  // re-bootstraps to the recovered primary's state.
+  ASSERT_TRUE(follower.Poll().ok());
+  ExpectConverged(wdb2->get()->db(), follower.db());
+  EXPECT_GE(shipper->stats().reconnects, 1u);
+  EXPECT_GE(follower.stats().bootstraps, 2u);
+
+  // And keeps tailing it.
+  ASSERT_TRUE(wdb2->get()->InsertValue(Rec(100)).ok());
+  ASSERT_TRUE(wdb2->get()->Commit().ok());
+  ASSERT_TRUE(follower.Poll().ok());
+  ExpectConverged(wdb2->get()->db(), follower.db());
+
+  follower.Detach();
+  (*server2)->Stop();
 }
 
 }  // namespace

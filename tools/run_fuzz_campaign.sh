@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Time-boxed coverage-guided fuzz campaign over every fuzz target in
+# tests/fuzz/ — the long-running counterpart of `ctest -L fuzz-smoke`
+# (which only replays corpora / does a 30 s smoke).
+#
+# For each target, runs libFuzzer against its committed seed corpus for
+# a fixed budget, accumulating any *new* coverage-increasing inputs in
+# tests/fuzz/corpus/<target>/ (commit the keepers). Crashing inputs
+# land in tests/fuzz/crashes/<target>/, where the regression harness
+# replays them forever after — minimize with `-minimize_crash=1`
+# before committing.
+#
+# Usage: tools/run_fuzz_campaign.sh [build_dir] [seconds_per_target]
+#   build_dir           default: build
+#   seconds_per_target  default: 300
+#
+# Exit status: 0 campaign finished with no crashes, 1 a target found a
+# crash (artifact committed to its crashes/ dir), 77 the build tree has
+# no libFuzzer-instrumented targets (GCC or plain-Clang configure; the
+# driver-mode binaries replay corpora but cannot search). 77 matches
+# the ctest SKIP_RETURN_CODE convention used by the other gated tools.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+budget="${2:-300}"
+
+fuzz_root="$repo_root/tests/fuzz"
+
+# target -> extra seed dirs beyond its own corpus/ + crashes/ pair.
+targets=(fuzz_miniamber fuzz_decode_dynamic fuzz_serve_frame
+         fuzz_wal_replay)
+extra_seeds_fuzz_miniamber="$repo_root/tests/lint_corpus"
+
+status=0
+ran=0
+for target in "${targets[@]}"; do
+  bin="$build_dir/tests/fuzz/$target"
+  if [ ! -x "$bin" ]; then
+    echo "fuzz-campaign: $target not built ($bin missing), skipping" >&2
+    continue
+  fi
+  # Driver-mode binaries (non-Clang builds) just replay their args;
+  # only a real libFuzzer binary understands -help=1.
+  if ! "$bin" -help=1 2>&1 | grep -q libFuzzer; then
+    echo "fuzz-campaign: $target is a corpus-replay build, not" \
+         "libFuzzer; reconfigure with Clang to run a campaign" >&2
+    continue
+  fi
+  ran=1
+
+  corpus="$fuzz_root/corpus/${target#fuzz_}"
+  crashes="$fuzz_root/crashes/${target#fuzz_}"
+  mkdir -p "$corpus" "$crashes"
+  seeds=()
+  extra_var="extra_seeds_$target"
+  [ -n "${!extra_var:-}" ] && seeds+=("${!extra_var}")
+
+  echo "fuzz-campaign: $target for ${budget}s (corpus: $corpus)" >&2
+  # The first positional dir receives new inputs; the rest seed only.
+  if ! "$bin" -max_total_time="$budget" \
+       -artifact_prefix="$crashes/" \
+       "$corpus" "$crashes" ${seeds[@]+"${seeds[@]}"}; then
+    echo "fuzz-campaign: $target CRASHED — artifact in $crashes/" >&2
+    status=1
+  fi
+done
+
+if [ "$ran" -eq 0 ]; then
+  echo "fuzz-campaign: no libFuzzer targets in $build_dir; skipping" >&2
+  exit 77
+fi
+exit $status

@@ -45,6 +45,7 @@ core=(
   src/persist/replica.cc
   src/storage/log.cc
   src/serve/server.cc
+  src/serve/remote_shipper.cc
 )
 
 status=0
