@@ -192,6 +192,15 @@ Result<Client::Chunk> Client::ReadChunk(ShipFile file, int shard,
   req.length = length;
   DBPL_ASSIGN_OR_RETURN(Response resp, Call(std::move(req)));
   DBPL_RETURN_IF_ERROR(resp.status);
+  // A chunk longer than asked for is a protocol violation (the frame
+  // limit alone would let a hostile server answer an 8-byte read with
+  // megabytes); refuse it before any caller trusts the size.
+  if (resp.chunk.size() > length) {
+    return Status::Corruption(
+        "server answered a " + std::to_string(length) +
+        "-byte chunk read with " + std::to_string(resp.chunk.size()) +
+        " bytes");
+  }
   Chunk chunk;
   chunk.file_size = resp.file_size;
   chunk.data = std::move(resp.chunk);

@@ -36,6 +36,11 @@ class RemoteShipper::RemoteFile : public storage::VfsFile {
       DBPL_ASSIGN_OR_RETURN(
           Client::Chunk chunk,
           shipper_->ReadChunkRpc(file_, shard_, offset + total, want));
+      // ReadChunkRpc already rejects over-long chunks; re-check at the
+      // copy itself so the memcpy bound never rests on a remote peer.
+      if (chunk.data.size() > want) {
+        return Status::Corruption("chunk longer than requested");
+      }
       std::memcpy(p + total, chunk.data.data(), chunk.data.size());
       total += chunk.data.size();
       // A short chunk is the server's EOF, mirroring local ReadAt.
@@ -226,6 +231,16 @@ Result<Client::Chunk> RemoteShipper::ReadChunkRpc(ShipFile file, int shard,
   req.length = length;
   DBPL_ASSIGN_OR_RETURN(Response resp, Rpc(std::move(req)));
   DBPL_RETURN_IF_ERROR(resp.status);
+  // The frame limit only bounds the chunk at kMaxFrameBody; a hostile
+  // or buggy primary could still answer a small read with megabytes.
+  // Callers (RemoteFile::ReadAt) memcpy into buffers sized by
+  // `length`, so an over-long chunk must die here, not there.
+  if (resp.chunk.size() > length) {
+    return Status::Corruption(
+        "primary answered a " + std::to_string(length) +
+        "-byte chunk read with " + std::to_string(resp.chunk.size()) +
+        " bytes");
+  }
   Client::Chunk chunk;
   chunk.file_size = resp.file_size;
   chunk.data = std::move(resp.chunk);
@@ -254,12 +269,29 @@ Result<Response> RemoteShipper::Rpc(Request req) const {
       Status rc = Reconnect();
       if (!rc.ok()) {
         ++n_transport_errors_;
+        // A geometry refusal is permanent — redialing the same primary
+        // can only refuse again, so surfacing kUnavailable instead
+        // would mask the one error the docs promise (§9.3).
+        if (rc.code() == StatusCode::kFailedPrecondition) return rc;
         continue;
       }
       ++n_reconnects_;
+      // A chunk read must NOT be replayed across a reconnect: the
+      // primary may have restarted and rewritten the file, so stitching
+      // a post-reconnect chunk into a ReadAt loop begun before it could
+      // splice bytes from two primary incarnations into one logical
+      // read. Fail the read instead — the replica resyncs, re-polls
+      // bounds, and observes the generation Reconnect() just bumped.
+      if (req.op == ReqOp::kReadChunk) {
+        return Status::Unavailable(
+            "transport re-established mid-read; the requested range is "
+            "no longer trusted");
+      }
     }
-    // The request is re-sent verbatim after a reconnect: both shipping
-    // ops are idempotent reads, so replaying one is always safe.
+    // Only kShipBounds is re-sent after a reconnect: it is a
+    // self-contained fetch, and Reconnect() already re-biased the
+    // generation it will report, so the replay cannot leak pre-restart
+    // state.
     Result<Response> resp = client_.Call(req);
     if (resp.ok()) return resp;
     ++n_transport_errors_;

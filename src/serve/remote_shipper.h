@@ -38,6 +38,13 @@ namespace dbpl::serve {
 ///  * An RPC that keeps failing after reconnect attempts makes reads
 ///    fail (⇒ Replica resyncs) while `ship_bounds()` returns the last
 ///    known state (⇒ a quiesced follower simply makes no progress).
+///  * A chunk read whose transport breaks is never replayed across a
+///    reconnect — it fails with kUnavailable even once redialing
+///    succeeds, so a multi-chunk ReadAt can never splice bytes from
+///    two primary incarnations into one logical read. Only
+///    kShipBounds replays (a self-contained fetch, reported under the
+///    already-bumped generation). A chunk longer than requested is
+///    rejected as Corruption before any caller copies it.
 ///  * Every successful *re*connect biases the reported generation to
 ///    `last reported + 1`: a restarted primary resets its in-memory
 ///    generation counter, so offsets from before the reconnect cannot

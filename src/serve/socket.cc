@@ -46,9 +46,13 @@ Status PollUntil(int fd, short events,
     }
     const auto left =
         std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
-    // Wait at least 1ms so a sub-millisecond remainder cannot busy-spin.
-    const int wait_ms =
-        static_cast<int>(std::max<int64_t>(1, left.count()));
+    // Wait at least 1ms so a sub-millisecond remainder cannot
+    // busy-spin, and at most 60s so a huge deadline (> ~24.8 days)
+    // cannot overflow the int cast into a negative value that poll(2)
+    // reads as "wait forever" — the deadline is re-checked each round,
+    // so the cap changes nothing observable.
+    const int wait_ms = static_cast<int>(
+        std::min<int64_t>(std::max<int64_t>(1, left.count()), 60000));
     int rc = ::poll(&pfd, 1, wait_ms);
     if (rc > 0) return Status::OK();
     if (rc == 0) continue;  // timed out this round; deadline re-checked

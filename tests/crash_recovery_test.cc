@@ -976,7 +976,9 @@ TEST(WalCrashMatrixTest, CheckpointPlusReplayEqualsReplayFromEmpty) {
           ASSERT_TRUE((*ckpt)->InsertValue(v).ok());
           ASSERT_TRUE((*replay)->InsertValue(std::move(v)).ok());
         }
-        if (i % 17 == 9) ASSERT_TRUE((*ckpt)->Checkpoint().ok());
+        if (i % 17 == 9) {
+          ASSERT_TRUE((*ckpt)->Checkpoint().ok());
+        }
       }
       ASSERT_GE((*ckpt)->checkpoints_taken(), 1u);
       // Clean close: destructors flush the open batches.

@@ -1251,5 +1251,236 @@ TEST(ServeTest, NetworkFollowerReconnectsAfterPrimaryRestart) {
   (*server2)->Stop();
 }
 
+// ---------------------------------------------------------------------
+// Hostile / restarted primaries: the chunk path must stay honest.
+// ---------------------------------------------------------------------
+
+/// Reads one request frame off `sock` (blocking) and decodes it.
+Result<Request> RecvRequest(Socket* sock) {
+  std::vector<uint8_t> buf(kFrameHeaderBytes);
+  DBPL_RETURN_IF_ERROR(sock->RecvAll(buf.data(), buf.size()));
+  size_t total = 0;
+  std::string err;
+  FrameStatus fs = InspectFrame(buf.data(), buf.size(), &total, &err);
+  if (fs == FrameStatus::kNeedMore && total > buf.size()) {
+    const size_t had = buf.size();
+    buf.resize(total);
+    DBPL_RETURN_IF_ERROR(sock->RecvAll(buf.data() + had, total - had));
+    fs = InspectFrame(buf.data(), buf.size(), &total, &err);
+  }
+  if (fs != FrameStatus::kFrame) return Status::Corruption(err);
+  return DecodeRequest(buf.data() + kFrameHeaderBytes,
+                       total - kFrameHeaderBytes);
+}
+
+/// Frames and sends one response on `sock`.
+Status SendResponse(Socket* sock, const Response& resp) {
+  ByteBuffer body, frame;
+  EncodeResponse(resp, &body);
+  DBPL_RETURN_IF_ERROR(EncodeFrame(body, &frame));
+  return sock->SendAll(frame.data(), frame.size());
+}
+
+/// A scripted primary: answers the kShipBounds handshake honestly (one
+/// shard) but every nonzero kReadChunk with `excess` bytes *more* than
+/// requested — each answer is still a perfectly CRC-valid frame, so
+/// only a follower-side length check can catch it. Zero-length probes
+/// (Open's stat) are answered honestly so a shipper gets far enough to
+/// reach the ReadAt copy path. Exits when the peer hangs up.
+void RunOversizingPrimary(Socket sock, size_t excess) {
+  while (true) {
+    auto req = RecvRequest(&sock);
+    if (!req.ok()) return;
+    Response resp;
+    resp.id = req->id;
+    resp.op = req->op;
+    if (req->op == ReqOp::kShipBounds) {
+      resp.ship.generation = 1;
+      resp.ship.shards.resize(1);
+      resp.ship.shards[0].durable_bytes = 1 << 20;
+      resp.ship.shards[0].epoch = 1;
+    } else if (req->op == ReqOp::kReadChunk) {
+      resp.file_size = 1 << 20;
+      resp.chunk.assign(
+          req->length == 0 ? 0 : static_cast<size_t>(req->length) + excess,
+          'x');
+    }
+    if (!SendResponse(&sock, resp).ok()) return;
+  }
+}
+
+TEST(ServeTest, OversizeChunkFromHostilePrimaryIsRejected) {
+  auto pair = Socket::Pair();
+  ASSERT_TRUE(pair.ok()) << pair.status();
+  std::thread primary(RunOversizingPrimary, std::move(pair->second), 65536);
+
+  auto shipper = RemoteShipper::Adopt(std::move(pair->first));
+  ASSERT_TRUE(shipper.ok()) << shipper.status();
+  auto file = (*shipper)->vfs()->Open((*shipper)->wal_path(0),
+                                      storage::OpenMode::kRead);
+  ASSERT_TRUE(file.ok()) << file.status();
+
+  // Unchecked, the 64 KiB answer to this 8-byte read would be
+  // memcpy'd straight over the tiny buffer (follower-side memory
+  // corruption); it must instead die in-band as Corruption.
+  uint8_t tiny[8] = {0};
+  auto got = (*file)->ReadAt(0, tiny, sizeof(tiny));
+  EXPECT_EQ(got.status().code(), StatusCode::kCorruption) << got.status();
+
+  shipper->reset();  // closes the transport; the scripted primary exits
+  primary.join();
+}
+
+TEST(ServeTest, ClientRejectsOversizeChunk) {
+  auto pair = Socket::Pair();
+  ASSERT_TRUE(pair.ok()) << pair.status();
+  std::thread primary(RunOversizingPrimary, std::move(pair->second), 4096);
+  {
+    Client c(std::move(pair->first));
+    auto got = c.ReadChunk(ShipFile::kWalSegment, 0, 0, 16);
+    EXPECT_EQ(got.status().code(), StatusCode::kCorruption) << got.status();
+  }  // the Client's socket closes here; the scripted primary exits
+  primary.join();
+}
+
+TEST(ServeTest, ReconnectAbortsInFlightChunkRead) {
+  storage::PosixVfs vfs;
+  const std::string dir = FreshDir("reconnabort");
+  uint16_t port = 0;
+  std::unique_ptr<RemoteShipper> shipper;
+  std::unique_ptr<storage::VfsFile> file;
+  uint64_t gen0 = 0;
+  {
+    auto wdb = WalDatabase::Open(&vfs, dir, CommitPolicy{1, true});
+    ASSERT_TRUE(wdb.ok()) << wdb.status();
+    ASSERT_TRUE(wdb->get()->RegisterExtent("recs", RecT()).ok());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(wdb->get()->InsertValue(Rec(i)).ok());
+    }
+    ASSERT_TRUE(wdb->get()->Commit().ok());
+
+    ServeOptions opts;
+    opts.workers = 1;
+    opts.listen = true;
+    opts.port = 0;
+    auto server = Server::Start(wdb->get(), opts);
+    ASSERT_TRUE(server.ok()) << server.status();
+    port = (*server)->port();
+
+    RemoteShipper::Options ropts;
+    ropts.recv_timeout = std::chrono::milliseconds(2000);
+    ropts.backoff_initial = std::chrono::milliseconds(5);
+    ropts.backoff_max = std::chrono::milliseconds(50);
+    ropts.max_reconnect_attempts = 40;
+    auto connected = RemoteShipper::Connect("127.0.0.1", port, ropts);
+    ASSERT_TRUE(connected.ok()) << connected.status();
+    shipper = std::move(*connected);
+    gen0 = shipper->ship_bounds().generation;
+
+    auto opened = shipper->vfs()->Open(shipper->wal_path(0),
+                                       storage::OpenMode::kRead);
+    ASSERT_TRUE(opened.ok()) << opened.status();
+    file = std::move(*opened);
+    uint8_t buf[16];
+    ASSERT_TRUE(file->ReadAt(0, buf, sizeof(buf)).ok());
+
+    (*server)->Stop();
+  }  // the primary process "dies" here
+
+  // A recovered primary is back on the same port before the follower
+  // notices anything.
+  auto wdb2 = WalDatabase::Open(&vfs, dir, CommitPolicy{1, true});
+  ASSERT_TRUE(wdb2.ok()) << wdb2.status();
+  ServeOptions opts2;
+  opts2.workers = 1;
+  opts2.listen = true;
+  opts2.port = port;
+  auto server2 = Server::Start(wdb2->get(), opts2);
+  ASSERT_TRUE(server2.ok()) << server2.status();
+
+  // The read that crosses the restart reconnects under the hood but
+  // must NOT be answered from the new incarnation's file — replaying
+  // the range could splice bytes from two primary lifetimes into one
+  // logical read. It aborts as kUnavailable instead.
+  uint8_t buf[16];
+  auto got = file->ReadAt(0, buf, sizeof(buf));
+  EXPECT_EQ(got.status().code(), StatusCode::kUnavailable) << got.status();
+  EXPECT_GE(shipper->stats().reconnects, 1u);
+
+  // The very next bounds poll runs on the reconnected transport and
+  // reports the bumped generation — the re-bootstrap signal.
+  EXPECT_GT(shipper->ship_bounds().generation, gen0);
+
+  file.reset();
+  shipper.reset();
+  (*server2)->Stop();
+}
+
+TEST(ServeTest, GeometryChangeOnReconnectRefusesImmediately) {
+  storage::PosixVfs vfs;
+  uint16_t port = 0;
+  std::unique_ptr<RemoteShipper> shipper;
+  std::unique_ptr<storage::VfsFile> file;
+  {
+    // A 2-shard primary.
+    auto wdb = WalDatabase::Open(&vfs, FreshDir("geomchange_a"),
+                                 WalOptions{{1, true}, 2});
+    ASSERT_TRUE(wdb.ok()) << wdb.status();
+    ASSERT_TRUE(wdb->get()->RegisterExtent("recs", RecT()).ok());
+    ASSERT_TRUE(wdb->get()->InsertValue(Rec(1)).ok());
+    ASSERT_TRUE(wdb->get()->Commit().ok());
+
+    ServeOptions opts;
+    opts.workers = 1;
+    opts.listen = true;
+    opts.port = 0;
+    auto server = Server::Start(wdb->get(), opts);
+    ASSERT_TRUE(server.ok()) << server.status();
+    port = (*server)->port();
+
+    RemoteShipper::Options ropts;
+    ropts.recv_timeout = std::chrono::milliseconds(2000);
+    ropts.backoff_initial = std::chrono::milliseconds(5);
+    ropts.backoff_max = std::chrono::milliseconds(50);
+    ropts.max_reconnect_attempts = 40;
+    auto connected = RemoteShipper::Connect("127.0.0.1", port, ropts);
+    ASSERT_TRUE(connected.ok()) << connected.status();
+    shipper = std::move(*connected);
+    ASSERT_EQ(shipper->shard_count(), 2);
+
+    auto opened = shipper->vfs()->Open(shipper->wal_path(0),
+                                       storage::OpenMode::kRead);
+    ASSERT_TRUE(opened.ok()) << opened.status();
+    file = std::move(*opened);
+
+    (*server)->Stop();
+  }
+
+  // A *different* (1-shard) database takes over the port: as far as
+  // this shipper is concerned that is not a restarted primary.
+  auto wdb2 = WalDatabase::Open(&vfs, FreshDir("geomchange_b"),
+                                CommitPolicy{1, true});
+  ASSERT_TRUE(wdb2.ok()) << wdb2.status();
+  ServeOptions opts2;
+  opts2.workers = 1;
+  opts2.listen = true;
+  opts2.port = port;
+  auto server2 = Server::Start(wdb2->get(), opts2);
+  ASSERT_TRUE(server2.ok()) << server2.status();
+
+  // The refusal is permanent, so it must surface as the documented
+  // kFailedPrecondition at once — not be redialed into kUnavailable
+  // after max_reconnect_attempts (40 here: masking would also take
+  // ~40 × backoff in wall clock).
+  uint8_t buf[16];
+  auto got = file->ReadAt(0, buf, sizeof(buf));
+  EXPECT_EQ(got.status().code(), StatusCode::kFailedPrecondition)
+      << got.status();
+
+  file.reset();
+  shipper.reset();
+  (*server2)->Stop();
+}
+
 }  // namespace
 }  // namespace dbpl::serve
